@@ -1,0 +1,98 @@
+#pragma once
+
+// Shared helpers for the exhibit-reproduction binaries: a tiny flag parser
+// and common output plumbing. Every bench prints the rows/series of its
+// paper table or figure to stdout and optionally saves CSV via --csv=PATH.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scan/common/csv.hpp"
+#include "scan/common/str.hpp"
+
+namespace scan::bench {
+
+/// Minimal --flag=value / --flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+        std::exit(2);
+      }
+      arg.remove_prefix(2);
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        values_.emplace_back(std::string(arg), "");
+      } else {
+        values_.emplace_back(std::string(arg.substr(0, eq)),
+                             std::string(arg.substr(eq + 1)));
+      }
+    }
+  }
+
+  [[nodiscard]] bool Has(std::string_view name) const {
+    for (const auto& [key, _] : values_) {
+      if (key == name) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string GetString(std::string_view name,
+                                      std::string fallback) const {
+    for (const auto& [key, value] : values_) {
+      if (key == name) return value;
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] double GetDouble(std::string_view name,
+                                 double fallback) const {
+    for (const auto& [key, value] : values_) {
+      if (key == name) {
+        const auto parsed = ParseDouble(value);
+        if (!parsed) {
+          std::fprintf(stderr, "bad value for --%s\n",
+                       std::string(name).c_str());
+          std::exit(2);
+        }
+        return *parsed;
+      }
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] int GetInt(std::string_view name, int fallback) const {
+    return static_cast<int>(GetDouble(name, fallback));
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+/// Prints the table and optionally saves CSV per --csv=PATH.
+inline void Emit(const CsvTable& table, const Flags& flags) {
+  table.WritePretty(std::cout);
+  const std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    if (table.SaveCsv(csv_path)) {
+      std::cout << "\n[csv saved to " << csv_path << "]\n";
+    } else {
+      std::cerr << "failed to save CSV to " << csv_path << "\n";
+    }
+  }
+}
+
+/// "mean +- stddev" cell.
+inline std::string MeanStd(double mean, double stddev) {
+  return StrFormat("%.1f +- %.1f", mean, stddev);
+}
+
+}  // namespace scan::bench

@@ -1,0 +1,89 @@
+// Hybrid-cloud policy tuning: given your expected load and public-tier
+// price, compare the three horizontal scaling algorithms and the four
+// resource allocation algorithms, and print a recommendation.
+//
+//   $ ./hybrid_cloud_tuning [interval-tu] [public-cost]
+//
+// (e.g. `./hybrid_cloud_tuning 2.2 80` for a busy system with pricey
+// public capacity.)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scan/core/experiment.hpp"
+
+using namespace scan;
+using namespace scan::core;
+
+int main(int argc, char** argv) {
+  const double interval = argc > 1 ? std::atof(argv[1]) : 2.3;
+  const double public_cost = argc > 2 ? std::atof(argv[2]) : 50.0;
+  const int reps = 5;
+
+  std::printf("tuning for mean inter-arrival %.2f TU, public cost %.0f "
+              "CU/core-TU (%d repetitions each)\n\n",
+              interval, public_cost, reps);
+
+  ThreadPool pool;
+
+  // Phase 1: scaling policy (best-constant allocation held fixed).
+  std::vector<SimulationConfig> scaling_configs;
+  for (const ScalingAlgorithm scaling :
+       {ScalingAlgorithm::kNeverScale, ScalingAlgorithm::kAlwaysScale,
+        ScalingAlgorithm::kPredictive}) {
+    SimulationConfig config;
+    config.duration = SimTime{3'000.0};
+    config.mean_interarrival_tu = interval;
+    config.public_cost_per_core_tu = public_cost;
+    config.scaling = scaling;
+    scaling_configs.push_back(std::move(config));
+  }
+  const auto scaling_results = RunSweep(scaling_configs, reps, pool);
+
+  std::printf("scaling policy        profit/run       latency   public hires\n");
+  std::printf("----------------------------------------------------------------\n");
+  const AggregateMetrics* best_scaling = &scaling_results[0];
+  for (const AggregateMetrics& agg : scaling_results) {
+    std::printf("%-20s  %8.1f +- %5.1f  %6.1f TU  %8.0f\n",
+                ScalingAlgorithmName(agg.config.scaling),
+                agg.profit_per_run.mean(), agg.profit_per_run.stddev(),
+                agg.mean_latency.mean(), agg.public_hires.mean());
+    if (agg.profit_per_run.mean() > best_scaling->profit_per_run.mean()) {
+      best_scaling = &agg;
+    }
+  }
+
+  // Phase 2: allocation algorithm under the winning scaling policy.
+  std::vector<SimulationConfig> alloc_configs;
+  for (const AllocationAlgorithm alloc :
+       {AllocationAlgorithm::kGreedy, AllocationAlgorithm::kLongTerm,
+        AllocationAlgorithm::kLongTermAdaptive,
+        AllocationAlgorithm::kBestConstant}) {
+    SimulationConfig config = best_scaling->config;
+    config.allocation = alloc;
+    alloc_configs.push_back(std::move(config));
+  }
+  const auto alloc_results = RunSweep(alloc_configs, reps, pool);
+
+  std::printf("\nallocation algorithm   profit/run       core-stages/run\n");
+  std::printf("----------------------------------------------------------\n");
+  const AggregateMetrics* best_alloc = &alloc_results[0];
+  for (const AggregateMetrics& agg : alloc_results) {
+    std::printf("%-20s  %8.1f +- %5.1f  %6.1f\n",
+                AllocationAlgorithmName(agg.config.allocation),
+                agg.profit_per_run.mean(), agg.profit_per_run.stddev(),
+                agg.mean_core_stages.mean());
+    if (agg.profit_per_run.mean() > best_alloc->profit_per_run.mean()) {
+      best_alloc = &agg;
+    }
+  }
+
+  std::printf("\nrecommendation: %s scaling with %s allocation "
+              "(expected profit %.1f CU per pipeline run)\n",
+              ScalingAlgorithmName(best_alloc->config.scaling),
+              AllocationAlgorithmName(best_alloc->config.allocation),
+              best_alloc->profit_per_run.mean());
+  return 0;
+}

@@ -1,0 +1,81 @@
+#pragma once
+
+// CELAR-style worker pools (§IV-B, Figure 5 setup): "allowing (simulated)
+// CELAR to resize each of these pools as required" — a pool per thread
+// configuration whose target size the decision module sets, with the
+// manager reconciling actual workers toward the targets.
+//
+// Reconciliation policy:
+//  - grow: hire on the cheapest tier with capacity (private first), then
+//    configure to the pool's thread count (boot penalty applies);
+//  - shrink: release idle members first; busy members are never killed —
+//    the pool shrinks as they finish (the caller re-reconciles);
+//  - move: rather than shrink+grow, an idle worker from an oversized pool
+//    with enough cores is reconfigured into an undersized pool (one boot
+//    penalty instead of a release + hire + boot).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "scan/cloud/cloud_manager.hpp"
+#include "scan/common/status.hpp"
+
+namespace scan::cloud {
+
+/// A pool snapshot.
+struct PoolStatus {
+  int threads = 0;           ///< the pool's thread configuration
+  std::size_t target = 0;    ///< desired member count
+  std::size_t members = 0;   ///< current members (booting + ready + busy)
+  std::size_t busy = 0;      ///< members currently marked busy
+};
+
+/// What one Reconcile pass did.
+struct ReconcileReport {
+  std::size_t hired = 0;
+  std::size_t released = 0;
+  std::size_t moved = 0;  ///< reconfigured between pools
+  /// Unmet growth (tier capacity exhausted).
+  std::size_t deferred = 0;
+};
+
+class PoolManager {
+ public:
+  /// The manager drives (and must outlive) no one — the CloudManager must
+  /// outlive the PoolManager.
+  explicit PoolManager(CloudManager& cloud);
+
+  /// Declares (or retargets) the pool for `threads` workers of that many
+  /// cores. InvalidArgument if `threads` is not an offered instance size.
+  Status SetTarget(int threads, std::size_t target);
+
+  /// Moves actual membership toward the targets (see policy above).
+  ReconcileReport Reconcile(SimTime now);
+
+  /// Claims a ready, idle member of the pool for work (marks it busy).
+  /// NotFound when none is ready.
+  [[nodiscard]] Result<WorkerId> Acquire(int threads, SimTime now);
+
+  /// Returns a claimed member to its pool (marks it idle).
+  Status Release(WorkerId id, SimTime now);
+
+  /// Snapshot of every declared pool, ordered by thread count.
+  [[nodiscard]] std::vector<PoolStatus> Pools() const;
+
+  [[nodiscard]] const CloudManager& cloud() const { return cloud_; }
+
+ private:
+  struct Pool {
+    std::size_t target = 0;
+    std::vector<WorkerId> members;  ///< stable order for determinism
+  };
+
+  /// Pool containing `id`, or nullptr.
+  [[nodiscard]] Pool* FindPoolOf(WorkerId id, int* threads_out = nullptr);
+
+  CloudManager& cloud_;
+  std::map<int, Pool> pools_;  ///< keyed by thread configuration
+};
+
+}  // namespace scan::cloud

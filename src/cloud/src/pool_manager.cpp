@@ -1,0 +1,149 @@
+#include "scan/cloud/pool_manager.hpp"
+
+#include <algorithm>
+
+#include "scan/common/str.hpp"
+
+namespace scan::cloud {
+
+PoolManager::PoolManager(CloudManager& cloud) : cloud_(cloud) {}
+
+Status PoolManager::SetTarget(int threads, std::size_t target) {
+  const auto& sizes = cloud_.config().instance_sizes;
+  if (std::find(sizes.begin(), sizes.end(), threads) == sizes.end()) {
+    return InvalidArgumentError(StrFormat(
+        "SetTarget: %d threads is not an offered instance size", threads));
+  }
+  pools_[threads].target = target;
+  return Status::Ok();
+}
+
+PoolManager::Pool* PoolManager::FindPoolOf(WorkerId id, int* threads_out) {
+  for (auto& [threads, pool] : pools_) {
+    if (std::find(pool.members.begin(), pool.members.end(), id) !=
+        pool.members.end()) {
+      if (threads_out != nullptr) *threads_out = threads;
+      return &pool;
+    }
+  }
+  return nullptr;
+}
+
+ReconcileReport PoolManager::Reconcile(SimTime now) {
+  ReconcileReport report;
+
+  // Pass 1: move idle surplus workers from oversized pools into undersized
+  // pools they can serve (cores >= target threads), one reconfiguration
+  // each. Iterate deterministically by thread count.
+  for (auto& [needy_threads, needy] : pools_) {
+    while (needy.members.size() < needy.target) {
+      bool moved = false;
+      for (auto& [donor_threads, donor] : pools_) {
+        if (donor_threads == needy_threads) continue;
+        if (donor.members.size() <= donor.target) continue;
+        // Find an idle donor member with enough cores.
+        for (auto it = donor.members.begin(); it != donor.members.end();
+             ++it) {
+          const auto info = cloud_.Info(*it);
+          if (!info.ok() || info->state == WorkerState::kBusy ||
+              info->cores < needy_threads) {
+            continue;
+          }
+          const WorkerId id = *it;
+          donor.members.erase(it);
+          const auto delay = cloud_.Configure(id, needy_threads, now);
+          if (delay.ok()) {
+            needy.members.push_back(id);
+            ++report.moved;
+            moved = true;
+          } else {
+            donor.members.push_back(id);  // busy race: put it back
+          }
+          break;
+        }
+        if (moved) break;
+      }
+      if (!moved) break;
+    }
+  }
+
+  // Pass 2: shrink remaining oversized pools by releasing idle members.
+  for (auto& [threads, pool] : pools_) {
+    while (pool.members.size() > pool.target) {
+      const auto idle = std::find_if(
+          pool.members.begin(), pool.members.end(), [&](WorkerId id) {
+            const auto info = cloud_.Info(id);
+            return info.ok() && info->state != WorkerState::kBusy;
+          });
+      if (idle == pool.members.end()) break;  // all busy: shrink later
+      const WorkerId id = *idle;
+      pool.members.erase(idle);
+      if (cloud_.Release(id, now).ok()) ++report.released;
+    }
+  }
+
+  // Pass 3: grow undersized pools by hiring (private tier first).
+  for (auto& [threads, pool] : pools_) {
+    while (pool.members.size() < pool.target) {
+      const auto tier = cloud_.CheapestAvailableTier(threads);
+      if (!tier) {
+        report.deferred += pool.target - pool.members.size();
+        break;
+      }
+      const auto hired = cloud_.Hire(*tier, threads, now);
+      if (!hired.ok()) {
+        report.deferred += pool.target - pool.members.size();
+        break;
+      }
+      const auto configured = cloud_.Configure(*hired, threads, now);
+      (void)configured;
+      pool.members.push_back(*hired);
+      ++report.hired;
+    }
+  }
+  return report;
+}
+
+Result<WorkerId> PoolManager::Acquire(int threads, SimTime now) {
+  const auto it = pools_.find(threads);
+  if (it == pools_.end()) {
+    return NotFoundError(
+        StrFormat("Acquire: no pool for %d threads", threads));
+  }
+  for (const WorkerId id : it->second.members) {
+    const auto info = cloud_.Info(id);
+    if (!info.ok()) continue;
+    if (info->state == WorkerState::kBusy) continue;
+    if (info->ready_at > now) continue;  // still booting
+    SCAN_RETURN_IF_ERROR(cloud_.MarkBusy(id, now));
+    return id;
+  }
+  return NotFoundError(
+      StrFormat("Acquire: no ready idle worker in the %d-thread pool",
+                threads));
+}
+
+Status PoolManager::Release(WorkerId id, SimTime now) {
+  if (FindPoolOf(id) == nullptr) {
+    return NotFoundError("Release: worker not in any pool");
+  }
+  return cloud_.MarkIdle(id, now);
+}
+
+std::vector<PoolStatus> PoolManager::Pools() const {
+  std::vector<PoolStatus> out;
+  for (const auto& [threads, pool] : pools_) {
+    PoolStatus status;
+    status.threads = threads;
+    status.target = pool.target;
+    status.members = pool.members.size();
+    for (const WorkerId id : pool.members) {
+      const auto info = cloud_.Info(id);
+      if (info.ok() && info->state == WorkerState::kBusy) ++status.busy;
+    }
+    out.push_back(status);
+  }
+  return out;
+}
+
+}  // namespace scan::cloud

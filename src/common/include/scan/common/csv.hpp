@@ -1,0 +1,47 @@
+#pragma once
+
+// Minimal CSV emission for the benchmark harnesses. Every bench binary
+// prints the rows/series of its table or figure to stdout and (optionally)
+// to a CSV file so the exhibits can be re-plotted.
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scan {
+
+/// Accumulates rows and renders them as CSV and as an aligned text table.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with 4 significant decimals.
+  static std::string Num(double v);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
+
+  /// RFC-4180-style CSV (quotes fields containing comma/quote/newline).
+  void WriteCsv(std::ostream& os) const;
+
+  /// Human-readable aligned table with a rule under the header.
+  void WritePretty(std::ostream& os) const;
+
+  /// Writes CSV to the given path; returns false on I/O failure.
+  [[nodiscard]] bool SaveCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scan

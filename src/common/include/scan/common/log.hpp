@@ -1,0 +1,61 @@
+#pragma once
+
+// Leveled logging with a process-wide threshold. Thread-safe: each LogLine
+// assembles its message privately and emits it atomically on destruction.
+// The simulator and scheduler use kDebug/kTrace for event tracing; bench
+// binaries default to kWarning so exhibit output stays clean.
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace scan {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view LogLevelName(LogLevel level);
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+[[nodiscard]] LogLevel GetLogLevel();
+
+/// Internal: writes one formatted line to stderr under a global mutex.
+void EmitLogLine(LogLevel level, std::string_view message);
+
+/// Stream-style log statement: LogLine(LogLevel::kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= GetLogLevel()) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (enabled_) EmitLogLine(level_, stream_.str());
+  }
+
+  template <class T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace scan
+
+#define SCAN_LOG(level) ::scan::LogLine(level)
+#define SCAN_LOG_TRACE() SCAN_LOG(::scan::LogLevel::kTrace)
+#define SCAN_LOG_DEBUG() SCAN_LOG(::scan::LogLevel::kDebug)
+#define SCAN_LOG_INFO() SCAN_LOG(::scan::LogLevel::kInfo)
+#define SCAN_LOG_WARNING() SCAN_LOG(::scan::LogLevel::kWarning)
+#define SCAN_LOG_ERROR() SCAN_LOG(::scan::LogLevel::kError)

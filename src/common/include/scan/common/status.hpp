@@ -1,0 +1,150 @@
+#pragma once
+
+// Lightweight error handling for SCAN.
+//
+// The library avoids exceptions on expected failure paths (malformed input
+// files, unsatisfiable queries, capacity exhaustion) and instead returns
+// Status / Result<T>. Exceptions remain for programming errors
+// (out-of-contract use), per the C++ Core Guidelines E.* rules.
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace scan {
+
+/// Error categories used across the library.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kParseError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name for an ErrorCode.
+[[nodiscard]] std::string_view ErrorCodeName(ErrorCode code);
+
+/// A status: either OK or an error code with a message.
+class [[nodiscard]] Status {
+ public:
+  /// OK status.
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+[[nodiscard]] inline Status InvalidArgumentError(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+[[nodiscard]] inline Status NotFoundError(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+[[nodiscard]] inline Status AlreadyExistsError(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+[[nodiscard]] inline Status OutOfRangeError(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+[[nodiscard]] inline Status FailedPreconditionError(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+[[nodiscard]] inline Status ResourceExhaustedError(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+[[nodiscard]] inline Status ParseError(std::string msg) {
+  return {ErrorCode::kParseError, std::move(msg)};
+}
+[[nodiscard]] inline Status InternalError(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+[[nodiscard]] inline Status UnimplementedError(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+
+/// Thrown by Result::value() when the result holds an error.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::logic_error("Result accessed while holding error: " +
+                         status.ToString()) {}
+};
+
+/// Either a value of type T or an error Status.
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw BadResultAccess(std::get<Status>(data_));
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw BadResultAccess(std::get<Status>(data_));
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw BadResultAccess(std::get<Status>(data_));
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// The contained value, or `fallback` if this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace scan
+
+/// Early-return helper: propagate a non-OK Status from the current function.
+#define SCAN_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::scan::Status scan_status_tmp_ = (expr);       \
+    if (!scan_status_tmp_.ok()) return scan_status_tmp_; \
+  } while (false)

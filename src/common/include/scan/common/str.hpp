@@ -1,0 +1,49 @@
+#pragma once
+
+// Small string utilities shared by the parsers (Turtle, SPARQL, FASTQ/SAM)
+// and the CLI harnesses. All functions are allocation-conscious:
+// views in, views out where lifetimes allow.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scan {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view TrimView(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> SplitView(std::string_view s,
+                                                      char sep);
+
+/// Splits on any run of ASCII whitespace; drops empty fields.
+[[nodiscard]] std::vector<std::string_view> SplitWhitespace(
+    std::string_view s);
+
+/// Joins parts with a separator.
+[[nodiscard]] std::string Join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+[[nodiscard]] bool StartsWith(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict decimal integer parse; rejects trailing garbage.
+[[nodiscard]] std::optional<long long> ParseInt(std::string_view s);
+
+/// Strict double parse; rejects trailing garbage.
+[[nodiscard]] std::optional<double> ParseDouble(std::string_view s);
+
+/// Lower-cases ASCII.
+[[nodiscard]] std::string ToLower(std::string_view s);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string ReplaceAll(std::string_view s, std::string_view from,
+                                     std::string_view to);
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace scan

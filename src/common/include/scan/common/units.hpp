@@ -1,0 +1,122 @@
+#pragma once
+
+// Strong unit types used throughout SCAN.
+//
+// The paper's simulation is expressed in abstract "time units" (TU) and
+// "cost units" (CU). One TU is interpreted as one minute of wall-clock time
+// when converting physical latencies (e.g. the 30-second VM reconfiguration
+// penalty becomes 0.5 TU). Data sizes are the paper's "arbitrary units"
+// (roughly GB of input for the GATK pipeline model).
+//
+// Keeping these as distinct vocabulary types prevents the classic
+// unit-confusion bugs in cost/reward arithmetic: a reward (CU) cannot be
+// silently added to a duration (TU).
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace scan {
+
+/// A tag-parameterised, double-backed strong quantity.
+///
+/// Supports the affine/linear operations that make sense for physical
+/// quantities: addition/subtraction of like quantities, scaling by plain
+/// doubles, and ratios of like quantities (which yield a dimensionless
+/// double).
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.value_}; }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{s * a.value_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.value_ / s};
+  }
+  /// Ratio of like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+struct SimTimeTag {};
+struct CostTag {};
+struct DataSizeTag {};
+
+/// Simulation time, in the paper's abstract "time units" (1 TU ~ 1 minute).
+using SimTime = Quantity<SimTimeTag>;
+/// Monetary cost / reward, in the paper's abstract "cost units".
+using Cost = Quantity<CostTag>;
+/// Input-data size, in the paper's "arbitrary units" (~GB).
+using DataSize = Quantity<DataSizeTag>;
+
+namespace literals {
+constexpr SimTime operator""_tu(long double v) {
+  return SimTime{static_cast<double>(v)};
+}
+constexpr SimTime operator""_tu(unsigned long long v) {
+  return SimTime{static_cast<double>(v)};
+}
+constexpr Cost operator""_cu(long double v) {
+  return Cost{static_cast<double>(v)};
+}
+constexpr Cost operator""_cu(unsigned long long v) {
+  return Cost{static_cast<double>(v)};
+}
+constexpr DataSize operator""_du(long double v) {
+  return DataSize{static_cast<double>(v)};
+}
+constexpr DataSize operator""_du(unsigned long long v) {
+  return DataSize{static_cast<double>(v)};
+}
+}  // namespace literals
+
+/// The 30-second worker reconfiguration penalty from the paper, in TU
+/// (1 TU = 1 minute).
+inline constexpr SimTime kWorkerBootPenalty{0.5};
+
+}  // namespace scan
+
+template <class Tag>
+struct std::hash<scan::Quantity<Tag>> {
+  std::size_t operator()(const scan::Quantity<Tag>& q) const noexcept {
+    return std::hash<double>{}(q.value());
+  }
+};

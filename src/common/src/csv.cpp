@@ -1,0 +1,94 @@
+#include "scan/common/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace scan {
+
+namespace {
+
+std::string EscapeCsvField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("CsvTable: header must be non-empty");
+  }
+}
+
+void CsvTable::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("CsvTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvTable::Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+void CsvTable::WriteCsv(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << EscapeCsvField(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << EscapeCsvField(row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::WritePretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      os << row[i];
+      os << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+bool CsvTable::SaveCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  WriteCsv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace scan

@@ -1,0 +1,48 @@
+#include "scan/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace scan {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_emit_mutex;
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void EmitLogLine(LogLevel level, std::string_view message) {
+  const std::scoped_lock lock(g_emit_mutex);
+  std::fprintf(stderr, "[%.*s] %.*s\n",
+               static_cast<int>(LogLevelName(level).size()),
+               LogLevelName(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace scan

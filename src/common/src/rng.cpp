@@ -1,0 +1,106 @@
+#include "scan/common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace scan {
+
+std::int64_t RandomStream::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span <= 0xffffffffULL) {
+    return lo + static_cast<std::int64_t>(
+                    gen_.UniformBelow(static_cast<std::uint32_t>(span)));
+  }
+  // Wide range: combine two 32-bit draws, rejection to stay unbiased.
+  for (;;) {
+    const std::uint64_t r =
+        (static_cast<std::uint64_t>(gen_()) << 32) | gen_();
+    if (span == 0) return lo + static_cast<std::int64_t>(r);  // full range
+    const std::uint64_t limit = (~0ULL / span) * span;
+    if (r < limit) return lo + static_cast<std::int64_t>(r % span);
+  }
+}
+
+double RandomStream::Exponential(double mean) {
+  assert(mean > 0.0);
+  // Inverse CDF; guard against log(0).
+  double u = gen_.UniformDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double RandomStream::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller.
+  double u1 = gen_.UniformDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = gen_.UniformDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double RandomStream::TruncatedNormal(double mean, double stddev, double lo) {
+  assert(stddev >= 0.0);
+  if (stddev == 0.0) return mean < lo ? lo : mean;
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    const double x = Normal(mean, stddev);
+    if (x >= lo) return x;
+  }
+  // Pathological truncation (mean far below lo): fall back to the bound.
+  return lo;
+}
+
+std::uint32_t RandomStream::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    double product = gen_.UniformDouble();
+    std::uint32_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= gen_.UniformDouble();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means; exact
+  // Poisson tails do not matter for the simulation workloads (mean ~ 3).
+  const double x = Normal(mean, std::sqrt(mean));
+  return x < 0.0 ? 0u : static_cast<std::uint32_t>(x + 0.5);
+}
+
+double RandomStream::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+std::size_t RandomStream::WeightedIndex(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("WeightedIndex: empty weight vector");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("WeightedIndex: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("WeightedIndex: weights sum to zero");
+  }
+  double target = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: return the last index
+}
+
+}  // namespace scan

@@ -1,0 +1,161 @@
+#include "scan/concurrency/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <exception>
+
+namespace scan {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  WaitIdle();
+  stopping_.store(true, std::memory_order_release);
+  {
+    // Pair the notify with the sleep mutex so no worker misses the flag
+    // between its predicate check and its wait.
+    const std::scoped_lock lock(sleep_mutex_);
+  }
+  work_available_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(UniqueTask task) {
+  assert(task);
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t home =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    const std::scoped_lock lock(queues_[home]->mutex);
+    queues_[home]->deque.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::TryPop(std::size_t index, UniqueTask& out) {
+  auto& q = *queues_[index];
+  const std::scoped_lock lock(q.mutex);
+  if (q.deque.empty()) return false;
+  out = std::move(q.deque.front());
+  q.deque.pop_front();
+  return true;
+}
+
+bool ThreadPool::TrySteal(std::size_t thief, UniqueTask& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    auto& q = *queues_[(thief + offset) % n];
+    const std::scoped_lock lock(q.mutex);
+    if (!q.deque.empty()) {
+      out = std::move(q.deque.back());  // steal from the cold end
+      q.deque.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t index) {
+  for (;;) {
+    UniqueTask task;
+    if (TryPop(index, task) || TrySteal(index, task)) {
+      // Tasks must not throw across the pool boundary; a throwing
+      // fire-and-forget task is a programming error -> terminate, matching
+      // std::thread semantics. packaged_task-based submissions capture
+      // exceptions into the future before reaching here.
+      task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::scoped_lock lock(sleep_mutex_);
+        idle_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (pending_.load(std::memory_order_acquire) == 0) {
+      idle_.notify_all();
+    }
+    // Re-check queues under the sleep mutex is unnecessary: a submitter
+    // enqueues before notifying, and notify_one is called after release of
+    // the queue mutex, so a missed notify leaves pending_ > 0 and the
+    // timed wait below recovers promptly.
+    work_available_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock lock(sleep_mutex_);
+  idle_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& DefaultPool() {
+  static auto* pool = new ThreadPool();  // intentionally leaked; joins on exit not needed
+  return *pool;
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) {
+    // Aim for ~4 chunks per worker to smooth imbalance without flooding the
+    // queues with tiny tasks.
+    const std::size_t target_chunks = pool.thread_count() * 4;
+    grain = std::max<std::size_t>(1, n / std::max<std::size_t>(1, target_chunks));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t chunk_begin = begin + c * grain;
+    const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+    pool.Submit(UniqueTask([&, chunk_begin, chunk_end] {
+      try {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        const std::scoped_lock lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }));
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] {
+    return done.load(std::memory_order_acquire) == chunks;
+  });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace scan

@@ -1,0 +1,104 @@
+#pragma once
+
+// The paper's model of the 7-stage GATK variant-calling pipeline (§IV-1).
+//
+// Per-stage single-threaded execution time is linear in the input size of
+// the *first* stage:
+//     E_i(d) = a_i * d + b_i
+// and multithreaded time follows Amdahl's law with parallel fraction c_i:
+//     T_i(t, d) = c_i * E_i(d) / t + (1 - c_i) * E_i(d)
+// The thread count must be chosen when a stage starts and cannot change
+// mid-stage, but may differ between stages.
+//
+// Table II of the paper gives the coefficients measured by profiling the
+// real GATK; PaperGatk() reproduces them exactly.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "scan/common/units.hpp"
+
+namespace scan::gatk {
+
+/// Coefficients of one pipeline stage.
+struct StageCoefficients {
+  double a = 0.0;  ///< time per unit input (slope)
+  double b = 0.0;  ///< fixed overhead (intercept)
+  double c = 0.0;  ///< Amdahl parallel fraction in [0, 1]
+
+  friend bool operator==(const StageCoefficients&,
+                         const StageCoefficients&) = default;
+};
+
+/// The instance sizes offered by the simulated cloud (Table III).
+inline constexpr int kInstanceSizes[] = {1, 2, 4, 8, 16};
+
+/// A multi-stage pipeline model.
+class PipelineModel {
+ public:
+  /// Builds a model from per-stage coefficients. Throws std::invalid_argument
+  /// if empty or if any c is outside [0, 1].
+  explicit PipelineModel(std::vector<StageCoefficients> stages);
+
+  /// The paper's 7-stage GATK pipeline (Table II).
+  [[nodiscard]] static PipelineModel PaperGatk();
+
+  /// A copy with every stage's time coefficients (a, b) multiplied by
+  /// `factor` (c is dimensionless and unchanged). Used to convert the
+  /// profiling time unit of Table II into scheduler TUs — see
+  /// EXPERIMENTS.md, "unit calibration".
+  [[nodiscard]] PipelineModel Scaled(double factor) const;
+
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+  [[nodiscard]] const StageCoefficients& stage(std::size_t index) const;
+  [[nodiscard]] const std::vector<StageCoefficients>& stages() const {
+    return stages_;
+  }
+
+  /// E_i(d): single-threaded time of stage `index` for first-stage input
+  /// size d. Clamped below at 0 (stage 2's negative intercept can produce
+  /// tiny negative times for very small inputs; physical time cannot be
+  /// negative).
+  [[nodiscard]] SimTime SingleThreadedTime(std::size_t index,
+                                           DataSize d) const;
+
+  /// T_i(t, d): threaded time. Requires threads >= 1.
+  [[nodiscard]] SimTime ThreadedTime(std::size_t index, int threads,
+                                     DataSize d) const;
+
+  /// Total pipeline time for input d with per-stage thread counts
+  /// (threads.size() must equal stage_count()).
+  [[nodiscard]] SimTime PipelineTime(DataSize d,
+                                     std::span<const int> threads) const;
+
+  /// Total pipeline time with every stage single-threaded.
+  [[nodiscard]] SimTime SequentialPipelineTime(DataSize d) const;
+
+  /// Amdahl speedup bound of a stage: 1 / (1 - c) (infinity when c == 1).
+  [[nodiscard]] double MaxSpeedup(std::size_t index) const;
+
+  /// Speedup at a finite thread count: E / T.
+  [[nodiscard]] double Speedup(std::size_t index, int threads) const;
+
+  /// Core-time (threads x wall time) spent by a stage at a thread count —
+  /// the resource the cost function charges for.
+  [[nodiscard]] double CoreTime(std::size_t index, int threads,
+                                DataSize d) const;
+
+  /// The thread count from `candidates` minimizing wall time (which is
+  /// monotone in t, so this returns the largest candidate) subject to a
+  /// minimum marginal speedup per added thread: the next-larger candidate
+  /// is taken only if it improves wall time by at least
+  /// `min_marginal_gain` (fraction, e.g. 0.05 = 5%). This is the
+  /// "parallelism recommendation" rule the knowledge base derives from
+  /// profiles.
+  [[nodiscard]] int RecommendThreads(std::size_t index, DataSize d,
+                                     std::span<const int> candidates,
+                                     double min_marginal_gain = 0.05) const;
+
+ private:
+  std::vector<StageCoefficients> stages_;
+};
+
+}  // namespace scan::gatk

@@ -1,0 +1,49 @@
+#pragma once
+
+// Offline stage profiler (§III-A-1 / §IV-1).
+//
+// The paper bootstrapped its knowledge base by profiling the real GATK
+// "under different hardware configurations and with different inputs ...
+// ranging from 1GByte to 9GBytes" and then fit the linear/Amdahl model by
+// regression. We reproduce that loop against the model itself plus
+// multiplicative measurement noise, which is exactly what the regression
+// must be robust to.
+
+#include <cstdint>
+#include <vector>
+
+#include "scan/common/rng.hpp"
+#include "scan/concurrency/thread_pool.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+
+namespace scan::gatk {
+
+/// One profiling measurement.
+struct Observation {
+  std::size_t stage = 0;  ///< 0-based stage index
+  double input_gb = 0.0;
+  int threads = 1;
+  double measured_time = 0.0;
+};
+
+/// Profiling sweep parameters. Defaults mirror the paper: input sizes
+/// 1..9 GB, thread counts = the cloud's instance sizes, 3 repetitions.
+struct ProfileSpec {
+  std::vector<double> input_sizes_gb = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> thread_counts = {1, 2, 4, 8, 16};
+  int repetitions = 3;
+  double noise_stddev = 0.02;  ///< multiplicative: time *= (1 + N(0, sigma))
+};
+
+/// Runs the sweep over every (stage, size, threads, repetition) cell.
+/// Deterministic for a given seed; observation order is canonical
+/// (stage-major) regardless of thread interleaving.
+[[nodiscard]] std::vector<Observation> ProfilePipeline(
+    const PipelineModel& truth, const ProfileSpec& spec, std::uint64_t seed);
+
+/// Same sweep, fanned across a thread pool (cells are independent).
+[[nodiscard]] std::vector<Observation> ProfilePipelineParallel(
+    const PipelineModel& truth, const ProfileSpec& spec, std::uint64_t seed,
+    ThreadPool& pool);
+
+}  // namespace scan::gatk

@@ -1,0 +1,44 @@
+#pragma once
+
+// Model fitting (§IV-1): "The values of a_i, b_i and c_i were determined
+// for each pipeline stage by linear regression of offline profiling data."
+//
+// Given profiler observations, recover per-stage StageCoefficients:
+//  - (a, b): ordinary least squares of single-threaded time vs input size;
+//  - c: from each multi-threaded observation, Amdahl inverts to
+//        c = (1 - T/E(d)) / (1 - 1/t),
+//    averaged across observations (clamped to [0, 1]).
+
+#include <vector>
+
+#include "scan/common/stats.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/gatk/profiler.hpp"
+
+namespace scan::gatk {
+
+/// Per-stage fit with quality diagnostics.
+struct StageFit {
+  StageCoefficients coefficients;
+  double r_squared = 0.0;      ///< of the (a, b) linear fit
+  std::size_t single_thread_samples = 0;
+  std::size_t multi_thread_samples = 0;
+};
+
+/// Fits one stage from its observations (others are ignored).
+[[nodiscard]] StageFit FitStage(std::size_t stage,
+                                const std::vector<Observation>& observations);
+
+/// Fits every stage in [0, stage_count) and assembles a PipelineModel.
+[[nodiscard]] std::vector<StageFit> FitAllStages(
+    std::size_t stage_count, const std::vector<Observation>& observations);
+
+/// Convenience: model from fits.
+[[nodiscard]] PipelineModel ModelFromFits(const std::vector<StageFit>& fits);
+
+/// Largest absolute coefficient error between two models (validation
+/// metric for the Table II reproduction).
+[[nodiscard]] double MaxCoefficientError(const PipelineModel& truth,
+                                         const PipelineModel& fitted);
+
+}  // namespace scan::gatk

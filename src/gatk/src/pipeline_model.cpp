@@ -1,0 +1,131 @@
+#include "scan/gatk/pipeline_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace scan::gatk {
+
+PipelineModel::PipelineModel(std::vector<StageCoefficients> stages)
+    : stages_(std::move(stages)) {
+  if (stages_.empty()) {
+    throw std::invalid_argument("PipelineModel: no stages");
+  }
+  for (const StageCoefficients& s : stages_) {
+    if (s.c < 0.0 || s.c > 1.0) {
+      throw std::invalid_argument(
+          "PipelineModel: Amdahl fraction c outside [0, 1]");
+    }
+  }
+}
+
+PipelineModel PipelineModel::PaperGatk() {
+  // Table II: per-pipeline-stage scalability factors.
+  return PipelineModel({
+      {0.35, 5.38, 0.89},   // stage 1
+      {2.70, -0.53, 0.02},  // stage 2
+      {1.74, 3.93, 0.69},   // stage 3
+      {3.35, 0.53, 0.79},   // stage 4
+      {1.03, 17.86, 0.91},  // stage 5
+      {0.02, 0.39, 0.25},   // stage 6
+      {0.01, 5.10, 0.02},   // stage 7
+  });
+}
+
+PipelineModel PipelineModel::Scaled(double factor) const {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("PipelineModel::Scaled: factor must be > 0");
+  }
+  std::vector<StageCoefficients> scaled = stages_;
+  for (StageCoefficients& s : scaled) {
+    s.a *= factor;
+    s.b *= factor;
+  }
+  return PipelineModel(std::move(scaled));
+}
+
+const StageCoefficients& PipelineModel::stage(std::size_t index) const {
+  if (index >= stages_.size()) {
+    throw std::out_of_range("PipelineModel::stage: index out of range");
+  }
+  return stages_[index];
+}
+
+SimTime PipelineModel::SingleThreadedTime(std::size_t index,
+                                          DataSize d) const {
+  const StageCoefficients& s = stage(index);
+  return SimTime{std::max(0.0, s.a * d.value() + s.b)};
+}
+
+SimTime PipelineModel::ThreadedTime(std::size_t index, int threads,
+                                    DataSize d) const {
+  if (threads < 1) {
+    throw std::invalid_argument("PipelineModel::ThreadedTime: threads < 1");
+  }
+  const StageCoefficients& s = stage(index);
+  const double e = SingleThreadedTime(index, d).value();
+  return SimTime{s.c * e / static_cast<double>(threads) + (1.0 - s.c) * e};
+}
+
+SimTime PipelineModel::PipelineTime(DataSize d,
+                                    std::span<const int> threads) const {
+  if (threads.size() != stages_.size()) {
+    throw std::invalid_argument(
+        "PipelineModel::PipelineTime: thread plan size mismatch");
+  }
+  SimTime total{0.0};
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    total += ThreadedTime(i, threads[i], d);
+  }
+  return total;
+}
+
+SimTime PipelineModel::SequentialPipelineTime(DataSize d) const {
+  SimTime total{0.0};
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    total += SingleThreadedTime(i, d);
+  }
+  return total;
+}
+
+double PipelineModel::MaxSpeedup(std::size_t index) const {
+  const StageCoefficients& s = stage(index);
+  if (s.c >= 1.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (1.0 - s.c);
+}
+
+double PipelineModel::Speedup(std::size_t index, int threads) const {
+  const StageCoefficients& s = stage(index);
+  return 1.0 / (s.c / static_cast<double>(threads) + (1.0 - s.c));
+}
+
+double PipelineModel::CoreTime(std::size_t index, int threads,
+                               DataSize d) const {
+  return static_cast<double>(threads) *
+         ThreadedTime(index, threads, d).value();
+}
+
+int PipelineModel::RecommendThreads(std::size_t index, DataSize d,
+                                    std::span<const int> candidates,
+                                    double min_marginal_gain) const {
+  if (candidates.empty()) {
+    throw std::invalid_argument("RecommendThreads: no candidates");
+  }
+  std::vector<int> sorted(candidates.begin(), candidates.end());
+  std::sort(sorted.begin(), sorted.end());
+  int best = sorted.front();
+  double best_time = ThreadedTime(index, best, d).value();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const double t = ThreadedTime(index, sorted[i], d).value();
+    // Accept the bigger size only if it shaves at least the required
+    // fraction off the current best wall time.
+    if (best_time - t >= min_marginal_gain * best_time && best_time > 0.0) {
+      best = sorted[i];
+      best_time = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace scan::gatk

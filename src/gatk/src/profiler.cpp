@@ -1,0 +1,71 @@
+#include "scan/gatk/profiler.hpp"
+
+#include <algorithm>
+
+namespace scan::gatk {
+
+namespace {
+
+/// A cell's measurement is a pure function of (seed, cell identity), so the
+/// serial and parallel sweeps produce identical results.
+Observation MeasureCell(const PipelineModel& truth, std::size_t stage,
+                        double input_gb, int threads, int repetition,
+                        double noise_stddev, std::uint64_t seed) {
+  const std::uint64_t cell_key =
+      MixSeed(seed, MixSeed(stage * 1000003 + static_cast<std::uint64_t>(threads),
+                            MixSeed(static_cast<std::uint64_t>(input_gb * 1e6),
+                                    static_cast<std::uint64_t>(repetition))));
+  RandomStream rng(cell_key, "profiler-cell");
+  const double clean =
+      truth.ThreadedTime(stage, threads, DataSize{input_gb}).value();
+  const double noisy = clean * (1.0 + rng.Normal(0.0, noise_stddev));
+  return Observation{stage, input_gb, threads, std::max(0.0, noisy)};
+}
+
+std::size_t CellCount(const PipelineModel& truth, const ProfileSpec& spec) {
+  return truth.stage_count() * spec.input_sizes_gb.size() *
+         spec.thread_counts.size() * static_cast<std::size_t>(spec.repetitions);
+}
+
+/// Canonical (stage, size, threads, rep) order of cell `index`.
+Observation MeasureIndexed(const PipelineModel& truth, const ProfileSpec& spec,
+                           std::uint64_t seed, std::size_t index) {
+  const std::size_t reps = static_cast<std::size_t>(spec.repetitions);
+  const std::size_t threads_n = spec.thread_counts.size();
+  const std::size_t sizes_n = spec.input_sizes_gb.size();
+
+  const std::size_t rep = index % reps;
+  const std::size_t thread_idx = (index / reps) % threads_n;
+  const std::size_t size_idx = (index / (reps * threads_n)) % sizes_n;
+  const std::size_t stage = index / (reps * threads_n * sizes_n);
+  return MeasureCell(truth, stage, spec.input_sizes_gb[size_idx],
+                     spec.thread_counts[thread_idx], static_cast<int>(rep),
+                     spec.noise_stddev, seed);
+}
+
+}  // namespace
+
+std::vector<Observation> ProfilePipeline(const PipelineModel& truth,
+                                         const ProfileSpec& spec,
+                                         std::uint64_t seed) {
+  const std::size_t n = CellCount(truth, spec);
+  std::vector<Observation> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = MeasureIndexed(truth, spec, seed, i);
+  }
+  return out;
+}
+
+std::vector<Observation> ProfilePipelineParallel(const PipelineModel& truth,
+                                                 const ProfileSpec& spec,
+                                                 std::uint64_t seed,
+                                                 ThreadPool& pool) {
+  const std::size_t n = CellCount(truth, spec);
+  std::vector<Observation> out(n);
+  ParallelFor(pool, 0, n, [&](std::size_t i) {
+    out[i] = MeasureIndexed(truth, spec, seed, i);
+  });
+  return out;
+}
+
+}  // namespace scan::gatk

@@ -1,0 +1,71 @@
+#include "scan/gatk/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scan::gatk {
+
+StageFit FitStage(std::size_t stage,
+                  const std::vector<Observation>& observations) {
+  StageFit fit;
+
+  // (a, b) from single-threaded observations.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const Observation& obs : observations) {
+    if (obs.stage != stage || obs.threads != 1) continue;
+    xs.push_back(obs.input_gb);
+    ys.push_back(obs.measured_time);
+  }
+  const LinearFit line = FitLine(xs, ys);
+  fit.coefficients.a = line.slope;
+  fit.coefficients.b = line.intercept;
+  fit.r_squared = line.r_squared;
+  fit.single_thread_samples = xs.size();
+
+  // c from multi-threaded observations, inverting Amdahl against the
+  // *fitted* E(d) so the two estimates stay consistent.
+  RunningStats c_estimates;
+  for (const Observation& obs : observations) {
+    if (obs.stage != stage || obs.threads <= 1) continue;
+    const double e = line.slope * obs.input_gb + line.intercept;
+    if (e <= 0.0) continue;
+    const double denom = 1.0 - 1.0 / static_cast<double>(obs.threads);
+    const double c_hat = (1.0 - obs.measured_time / e) / denom;
+    c_estimates.Add(std::clamp(c_hat, 0.0, 1.0));
+  }
+  fit.multi_thread_samples = c_estimates.count();
+  fit.coefficients.c = c_estimates.empty() ? 0.0 : c_estimates.mean();
+  return fit;
+}
+
+std::vector<StageFit> FitAllStages(
+    std::size_t stage_count, const std::vector<Observation>& observations) {
+  std::vector<StageFit> fits;
+  fits.reserve(stage_count);
+  for (std::size_t stage = 0; stage < stage_count; ++stage) {
+    fits.push_back(FitStage(stage, observations));
+  }
+  return fits;
+}
+
+PipelineModel ModelFromFits(const std::vector<StageFit>& fits) {
+  std::vector<StageCoefficients> coefficients;
+  coefficients.reserve(fits.size());
+  for (const StageFit& fit : fits) coefficients.push_back(fit.coefficients);
+  return PipelineModel(std::move(coefficients));
+}
+
+double MaxCoefficientError(const PipelineModel& truth,
+                           const PipelineModel& fitted) {
+  double worst = 0.0;
+  const std::size_t n = std::min(truth.stage_count(), fitted.stage_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(truth.stage(i).a - fitted.stage(i).a));
+    worst = std::max(worst, std::abs(truth.stage(i).b - fitted.stage(i).b));
+    worst = std::max(worst, std::abs(truth.stage(i).c - fitted.stage(i).c));
+  }
+  return worst;
+}
+
+}  // namespace scan::gatk

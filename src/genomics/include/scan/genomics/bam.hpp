@@ -1,0 +1,53 @@
+#pragma once
+
+// BAM-lite: a binary container for alignment records.
+//
+// The paper's pipelines consume BAM ("the user submits aligned DNA or RNA
+// reads, typically in Binary Aligned Map (BAM) format"). Real BAM is
+// BGZF-compressed; BAM-lite keeps the structurally interesting parts — a
+// magic header, a reference dictionary, little-endian fixed-width record
+// fields, 4-bit-packed sequences and raw qualities — without the gzip
+// layer, so the Data Broker's binary path is exercised end to end.
+//
+// Layout (all integers little-endian):
+//   magic   "SBL1" (4 bytes)
+//   n_text  u32, header text bytes (the SAM @-lines joined by '\n')
+//   text    n_text bytes
+//   n_ref   u32
+//   per reference: n_name u32, name bytes, length i64
+//   n_rec   u64
+//   per record:
+//     ref_id   i32  (-1 = unmapped "*")
+//     pos      i64  (1-based; 0 = unmapped)
+//     mapq     u8
+//     flag     u16
+//     n_qname  u16, qname bytes
+//     n_cigar  u16, cigar bytes (text form; "*" allowed)
+//     l_seq    u32
+//     seq      ceil(l_seq / 2) bytes, 4-bit codes (=ACMGRSVTWYHKDBN order,
+//              as in real BAM), high nibble first
+//     qual     l_seq bytes (0xff fill when QUAL is "*")
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "scan/common/status.hpp"
+#include "scan/genomics/records.hpp"
+
+namespace scan::genomics {
+
+/// Serializes a SamFile to BAM-lite bytes. Fails if a record names a
+/// reference missing from the header's @SQ lines, or if SEQ contains a
+/// base outside the 16-symbol BAM alphabet.
+[[nodiscard]] Result<std::string> WriteBamLite(const SamFile& file);
+
+/// Parses BAM-lite bytes back to a SamFile. Strict: bad magic, truncated
+/// payloads, and out-of-range reference ids are ParseErrors.
+[[nodiscard]] Result<SamFile> ParseBamLite(std::string_view bytes);
+
+/// The 4-bit base encoding used by BAM ("=ACMGRSVTWYHKDBN").
+[[nodiscard]] int BamBaseCode(char base);          ///< -1 if not encodable
+[[nodiscard]] char BamBaseChar(int code);          ///< '\0' if out of range
+
+}  // namespace scan::genomics

@@ -1,0 +1,23 @@
+#pragma once
+
+// FASTA reading/writing (reference genomes for the synthetic pipeline).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scan/common/status.hpp"
+#include "scan/genomics/records.hpp"
+
+namespace scan::genomics {
+
+/// Parses FASTA text. Sequence lines are concatenated; blank lines are
+/// tolerated between entries.
+[[nodiscard]] Result<std::vector<FastaRecord>> ParseFasta(
+    std::string_view text);
+
+/// Serializes records with sequence wrapped at `line_width` characters.
+[[nodiscard]] std::string WriteFasta(const std::vector<FastaRecord>& records,
+                                     std::size_t line_width = 70);
+
+}  // namespace scan::genomics

@@ -1,0 +1,32 @@
+#pragma once
+
+// FASTQ reading/writing. FASTQ is the Data Broker's primary shard target:
+// the paper's example divides "a 100GB FASTQ file into 25 4GB files" to
+// create 25 parallel analysis subtasks.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scan/common/status.hpp"
+#include "scan/genomics/records.hpp"
+
+namespace scan::genomics {
+
+/// Parses 4-line FASTQ records. The '+' separator line may optionally
+/// repeat the id. Quality must match sequence length.
+[[nodiscard]] Result<std::vector<FastqRecord>> ParseFastq(
+    std::string_view text);
+
+/// Serializes records in canonical 4-line form.
+[[nodiscard]] std::string WriteFastq(const std::vector<FastqRecord>& records);
+
+/// Byte size WriteFastq would produce for one record (used by the sharder
+/// to hit byte budgets without serializing twice).
+[[nodiscard]] std::size_t FastqRecordBytes(const FastqRecord& record);
+
+/// Counts records without materializing them (fast scan for shard
+/// planning). ParseError on truncated trailing record.
+[[nodiscard]] Result<std::size_t> CountFastqRecords(std::string_view text);
+
+}  // namespace scan::genomics

@@ -1,0 +1,66 @@
+#pragma once
+
+// Streaming FASTQ access.
+//
+// The paper's inputs run to hundreds of gigabytes; materializing a whole
+// read set (ParseFastq) is fine for shards but not for the original file.
+// FastqStream yields one validated record at a time over a byte view, and
+// StreamShardFastq splits a payload into shards in a single bounded-memory
+// pass (same boundaries as genomics::ShardFastq for the record-count
+// policy, produced without building the record vector).
+
+#include <functional>
+#include <string_view>
+
+#include "scan/common/status.hpp"
+#include "scan/genomics/records.hpp"
+#include "scan/genomics/sharder.hpp"
+
+namespace scan::genomics {
+
+/// Pull-based reader over FASTQ text. Typical loop:
+///
+///   FastqStream stream(text);
+///   FastqRecord record;
+///   while (stream.Next(record)) { ... }
+///   if (!stream.status().ok()) { ... }   // malformed input
+class FastqStream {
+ public:
+  explicit FastqStream(std::string_view text) : text_(text) {}
+
+  /// Advances to the next record. Returns false at end-of-input or on a
+  /// parse error (check status()). The record is only valid when true is
+  /// returned.
+  bool Next(FastqRecord& record);
+
+  /// OK while records keep flowing and the input ends cleanly.
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// Records yielded so far.
+  [[nodiscard]] std::size_t records_read() const { return records_read_; }
+
+  /// Byte offset of the next unread character (shard boundary support:
+  /// offsets always fall between whole records).
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+
+ private:
+  /// Reads one line (without the newline); false at end of input.
+  bool NextLine(std::string_view& line);
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_number_ = 0;
+  std::size_t records_read_ = 0;
+  Status status_;
+};
+
+/// Streams `text` once, emitting a shard (substring view of the input —
+/// zero-copy) every `records_per_shard` records; the final partial shard
+/// is emitted too. The callback returning false stops the scan early.
+/// ParseError on malformed input.
+[[nodiscard]] Status StreamShardFastq(
+    std::string_view text, std::size_t records_per_shard,
+    const std::function<bool(std::string_view shard,
+                             std::size_t record_count)>& on_shard);
+
+}  // namespace scan::genomics

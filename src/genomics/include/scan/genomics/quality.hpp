@@ -1,0 +1,57 @@
+#pragma once
+
+// Read-set quality statistics.
+//
+// The knowledge base is supposed to "understand" the data each application
+// consumes (§II-C: data types, formats, and characteristics). This module
+// computes the summary a sequencing QC pass would feed it: read counts and
+// lengths, GC content, mean Phred quality, per-position quality profile,
+// and an expected-coverage estimate — the numbers a broker can use to pick
+// shard sizes and predict stage behaviour.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "scan/concurrency/thread_pool.hpp"
+#include "scan/genomics/records.hpp"
+
+namespace scan::genomics {
+
+/// Summary of a FASTQ read set.
+struct ReadSetStats {
+  std::size_t read_count = 0;
+  std::uint64_t total_bases = 0;
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  double mean_length = 0.0;
+  double gc_fraction = 0.0;    ///< G+C over all non-N bases
+  double n_fraction = 0.0;     ///< N over all bases
+  double mean_phred = 0.0;     ///< mean Phred score (Phred+33 decoding)
+  /// Mean Phred per read position, up to the longest read (positions with
+  /// no coverage report 0).
+  std::vector<double> mean_phred_by_position;
+  /// Fraction of reads whose mean Phred is at least 30 ("Q30 reads").
+  double q30_read_fraction = 0.0;
+};
+
+/// Computes the summary of a read set. Reads with mismatched
+/// sequence/quality lengths are ignored (they cannot appear via ParseFastq,
+/// which validates).
+[[nodiscard]] ReadSetStats ComputeReadSetStats(
+    std::span<const FastqRecord> reads);
+
+/// Parallel variant: partitions the reads across the pool and merges the
+/// partial summaries; identical results to the serial version.
+[[nodiscard]] ReadSetStats ComputeReadSetStatsParallel(
+    std::span<const FastqRecord> reads, ThreadPool& pool);
+
+/// Expected sequencing depth: total bases / genome length. Returns 0 for a
+/// non-positive genome length.
+[[nodiscard]] double EstimateCoverage(const ReadSetStats& stats,
+                                      std::uint64_t genome_length);
+
+/// Decodes one Phred+33 quality character to its score (0..93; clamped).
+[[nodiscard]] int PhredScore(char quality_char);
+
+}  // namespace scan::genomics

@@ -1,0 +1,103 @@
+#pragma once
+
+// Record types for the genomic data formats SCAN's Data Broker manipulates
+// (§II-B: "the read mapping produces sorted SAM output and the variant
+// caller takes sorted SAM input, and generates a standard VCF file").
+//
+// The paper works with real 100 MB - 500 GB files; we reproduce the same
+// byte-level formats over synthetic sequence content (see synthetic.hpp)
+// so sharding and merging exercise real parsing/serialization.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scan::genomics {
+
+/// Nucleotide alphabet used by the synthetic generator.
+inline constexpr std::string_view kBases = "ACGT";
+
+/// True if every character is A/C/G/T/N (upper case).
+[[nodiscard]] bool IsValidSequence(std::string_view seq);
+
+/// One FASTA entry: `>id description` + wrapped sequence lines.
+struct FastaRecord {
+  std::string id;
+  std::string description;
+  std::string sequence;
+
+  friend bool operator==(const FastaRecord&, const FastaRecord&) = default;
+};
+
+/// One FASTQ entry (4 lines: @id, sequence, +, quality).
+struct FastqRecord {
+  std::string id;
+  std::string sequence;
+  std::string quality;  ///< Phred+33, same length as sequence
+
+  friend bool operator==(const FastqRecord&, const FastqRecord&) = default;
+};
+
+/// One SAM alignment line (the 11 mandatory fields).
+struct SamRecord {
+  std::string qname;
+  std::uint16_t flag = 0;
+  std::string rname = "*";
+  std::int64_t pos = 0;  ///< 1-based leftmost mapping position; 0 = unmapped
+  std::uint8_t mapq = 0;
+  std::string cigar = "*";
+  std::string rnext = "*";
+  std::int64_t pnext = 0;
+  std::int64_t tlen = 0;
+  std::string seq = "*";
+  std::string qual = "*";
+
+  friend bool operator==(const SamRecord&, const SamRecord&) = default;
+};
+
+/// SAM header line (e.g. "@SQ\tSN:chr1\tLN:10000") kept verbatim.
+struct SamHeader {
+  std::vector<std::string> lines;
+
+  /// Extracts reference names from @SQ SN: fields.
+  [[nodiscard]] std::vector<std::string> ReferenceNames() const;
+  /// Extracts the LN: length of a reference, or -1.
+  [[nodiscard]] std::int64_t ReferenceLength(std::string_view name) const;
+
+  friend bool operator==(const SamHeader&, const SamHeader&) = default;
+};
+
+/// A parsed SAM file: header + alignments.
+struct SamFile {
+  SamHeader header;
+  std::vector<SamRecord> records;
+};
+
+/// One VCF data line (fixed fields; INFO kept as raw text).
+struct VcfRecord {
+  std::string chrom;
+  std::int64_t pos = 0;  ///< 1-based
+  std::string id = ".";
+  std::string ref;
+  std::string alt;
+  double qual = 0.0;
+  std::string filter = "PASS";
+  std::string info = ".";
+
+  friend bool operator==(const VcfRecord&, const VcfRecord&) = default;
+};
+
+/// A parsed VCF file: ## meta lines (verbatim, without trailing newline)
+/// plus data records.
+struct VcfFile {
+  std::vector<std::string> meta;  ///< lines beginning with "##"
+  std::vector<VcfRecord> records;
+};
+
+/// Ordering used for "sorted SAM/VCF": by (rname/chrom, pos), with records
+/// on the same chromosome ordered by position and ties kept stable.
+[[nodiscard]] bool SamCoordinateLess(const SamRecord& a, const SamRecord& b);
+[[nodiscard]] bool VcfCoordinateLess(const VcfRecord& a, const VcfRecord& b);
+
+}  // namespace scan::genomics

@@ -1,0 +1,32 @@
+#pragma once
+
+// SAM reading/writing. The GATK pipeline consumes sorted aligned reads
+// (the paper uses BAM; we use its text twin SAM, which has an identical
+// record model — the scheduler only ever observes record counts and byte
+// sizes, which the substitution preserves).
+
+#include <string>
+#include <string_view>
+
+#include "scan/common/status.hpp"
+#include "scan/genomics/records.hpp"
+
+namespace scan::genomics {
+
+/// Parses SAM text: '@' header lines then tab-separated alignment lines
+/// with the 11 mandatory columns (extra optional columns are tolerated and
+/// dropped).
+[[nodiscard]] Result<SamFile> ParseSam(std::string_view text);
+
+/// Serializes header + records.
+[[nodiscard]] std::string WriteSam(const SamFile& file);
+
+/// True if records are coordinate-sorted (rname, pos ascending).
+[[nodiscard]] bool IsCoordinateSorted(const SamFile& file);
+
+/// Builds a minimal header declaring the given references:
+/// "@HD VN:1.6 SO:coordinate" + one @SQ per reference.
+[[nodiscard]] SamHeader MakeHeader(
+    const std::vector<std::pair<std::string, std::int64_t>>& references);
+
+}  // namespace scan::genomics

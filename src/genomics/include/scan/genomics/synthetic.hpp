@@ -1,0 +1,66 @@
+#pragma once
+
+// Synthetic genomic data generation.
+//
+// Substitution note (see DESIGN.md): the paper's evaluation consumed real
+// Illumina HiSeq exome/WGS data, which we do not have. This generator
+// produces format-correct FASTA references, FASTQ read sets with a
+// configurable sequencing-error rate, coordinate-sorted SAM alignments, and
+// VCF variant sets — enough to exercise every Data Broker code path
+// (parse, shard, merge) on real bytes. All randomness is seeded.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/common/rng.hpp"
+#include "scan/genomics/records.hpp"
+
+namespace scan::genomics {
+
+/// Parameters for synthetic read generation.
+struct ReadSimSpec {
+  std::size_t read_count = 1000;
+  std::size_t read_length = 100;
+  double error_rate = 0.01;  ///< per-base substitution probability
+  char base_quality = 'I';   ///< Phred+33 quality for correct bases
+  char error_quality = '#';  ///< quality reported at error positions
+};
+
+/// Deterministic generator for synthetic genomic data.
+class SyntheticGenerator {
+ public:
+  explicit SyntheticGenerator(std::uint64_t seed);
+
+  /// A random reference sequence of the given length.
+  [[nodiscard]] FastaRecord Reference(std::string name, std::size_t length);
+
+  /// A multi-chromosome genome.
+  [[nodiscard]] std::vector<FastaRecord> Genome(
+      const std::vector<std::pair<std::string, std::size_t>>& chromosomes);
+
+  /// Reads sampled uniformly from the reference with substitution errors.
+  /// Read ids are "<ref-id>:<serial>". Requires
+  /// reference.sequence.size() >= spec.read_length.
+  [[nodiscard]] std::vector<FastqRecord> Reads(const FastaRecord& reference,
+                                               const ReadSimSpec& spec);
+
+  /// Coordinate-sorted alignments of `spec.read_count` perfect reads over
+  /// the given references (reads distributed proportionally to reference
+  /// length). Header declares every reference.
+  [[nodiscard]] SamFile AlignedReads(
+      const std::vector<FastaRecord>& references, const ReadSimSpec& spec);
+
+  /// `count` SNVs at distinct positions of the reference, sorted by
+  /// position, with QUAL drawn in [30, 60).
+  [[nodiscard]] VcfFile Variants(const FastaRecord& reference,
+                                 std::size_t count);
+
+ private:
+  char RandomBase();
+  char RandomBaseOtherThan(char base);
+
+  RandomStream rng_;
+};
+
+}  // namespace scan::genomics

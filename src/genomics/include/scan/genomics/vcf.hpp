@@ -1,0 +1,38 @@
+#pragma once
+
+// VCF reading/writing + multi-shard merge. The end of the GATK pipeline
+// produces "a standard VCF file"; when the Data Broker has split a job into
+// shards, their per-shard VCF outputs are merged back into one sorted file
+// (the paper's VariantsToVCF merge step).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scan/common/status.hpp"
+#include "scan/genomics/records.hpp"
+
+namespace scan::genomics {
+
+/// Parses VCF text: ## meta lines, a #CHROM column header, then
+/// tab-separated data lines (8 fixed columns; FORMAT/sample columns are
+/// tolerated and dropped).
+[[nodiscard]] Result<VcfFile> ParseVcf(std::string_view text);
+
+/// Serializes meta lines, the #CHROM header, and records.
+[[nodiscard]] std::string WriteVcf(const VcfFile& file);
+
+/// True if records are (chrom, pos)-sorted.
+[[nodiscard]] bool IsSorted(const VcfFile& file);
+
+/// Merges shard outputs into one sorted VCF: meta lines are taken from the
+/// first shard (deduplicated against later shards' identical lines), and
+/// all records are merge-sorted by coordinate. Each shard must itself be
+/// sorted; FailedPrecondition otherwise.
+[[nodiscard]] Result<VcfFile> MergeVcf(const std::vector<VcfFile>& shards);
+
+/// Minimal standard meta block (##fileformat=VCFv4.2 + source).
+[[nodiscard]] std::vector<std::string> StandardVcfMeta(
+    std::string_view source);
+
+}  // namespace scan::genomics

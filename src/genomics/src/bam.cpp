@@ -1,0 +1,243 @@
+#include "scan/genomics/bam.hpp"
+
+#include <cstring>
+#include <map>
+
+#include "scan/common/str.hpp"
+
+namespace scan::genomics {
+
+namespace {
+
+constexpr std::string_view kMagic = "SBL1";
+constexpr std::string_view kBamAlphabet = "=ACMGRSVTWYHKDBN";
+
+/// Little-endian append helpers.
+template <class T>
+void Put(std::string& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<char>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
+  }
+}
+
+/// Bounds-checked little-endian reads over a cursor.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  template <class T>
+  [[nodiscard]] bool Read(T& out) {
+    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(bytes_[pos_ + i]))
+               << (8 * i);
+    }
+    out = static_cast<T>(value);
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  [[nodiscard]] bool ReadBytes(std::string& out, std::size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    out.assign(bytes_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool AtEnd() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+int BamBaseCode(char base) {
+  const std::size_t at = kBamAlphabet.find(base);
+  return at == std::string_view::npos ? -1 : static_cast<int>(at);
+}
+
+char BamBaseChar(int code) {
+  if (code < 0 || code >= static_cast<int>(kBamAlphabet.size())) return '\0';
+  return kBamAlphabet[static_cast<std::size_t>(code)];
+}
+
+Result<std::string> WriteBamLite(const SamFile& file) {
+  std::string out;
+  out += kMagic;
+
+  // Header text.
+  std::string text;
+  for (std::size_t i = 0; i < file.header.lines.size(); ++i) {
+    if (i != 0) text += '\n';
+    text += file.header.lines[i];
+  }
+  Put<std::uint32_t>(out, static_cast<std::uint32_t>(text.size()));
+  out += text;
+
+  // Reference dictionary from the header, and name -> id map.
+  const auto names = file.header.ReferenceNames();
+  std::map<std::string, std::int32_t> ref_ids;
+  Put<std::uint32_t>(out, static_cast<std::uint32_t>(names.size()));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ref_ids[names[i]] = static_cast<std::int32_t>(i);
+    Put<std::uint32_t>(out, static_cast<std::uint32_t>(names[i].size()));
+    out += names[i];
+    Put<std::int64_t>(out, file.header.ReferenceLength(names[i]));
+  }
+
+  Put<std::uint64_t>(out, static_cast<std::uint64_t>(file.records.size()));
+  for (const SamRecord& rec : file.records) {
+    std::int32_t ref_id = -1;
+    if (rec.rname != "*") {
+      const auto it = ref_ids.find(rec.rname);
+      if (it == ref_ids.end()) {
+        return InvalidArgumentError(
+            "WriteBamLite: record references '" + rec.rname +
+            "' which is not declared in the header");
+      }
+      ref_id = it->second;
+    }
+    Put<std::int32_t>(out, ref_id);
+    Put<std::int64_t>(out, rec.pos);
+    Put<std::uint8_t>(out, rec.mapq);
+    Put<std::uint16_t>(out, rec.flag);
+    if (rec.qname.size() > 0xffff || rec.cigar.size() > 0xffff) {
+      return InvalidArgumentError("WriteBamLite: qname/cigar too long");
+    }
+    Put<std::uint16_t>(out, static_cast<std::uint16_t>(rec.qname.size()));
+    out += rec.qname;
+    Put<std::uint16_t>(out, static_cast<std::uint16_t>(rec.cigar.size()));
+    out += rec.cigar;
+
+    const bool no_seq = rec.seq == "*";
+    const std::string_view seq = no_seq ? std::string_view{} : rec.seq;
+    Put<std::uint32_t>(out, static_cast<std::uint32_t>(seq.size()));
+    for (std::size_t i = 0; i < seq.size(); i += 2) {
+      const int hi = BamBaseCode(seq[i]);
+      const int lo = i + 1 < seq.size() ? BamBaseCode(seq[i + 1]) : 0;
+      if (hi < 0 || lo < 0) {
+        return InvalidArgumentError(
+            "WriteBamLite: sequence base outside the BAM alphabet");
+      }
+      out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    const bool no_qual = rec.qual == "*";
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      out.push_back(no_qual ? static_cast<char>(0xff) : rec.qual[i]);
+    }
+  }
+  return out;
+}
+
+Result<SamFile> ParseBamLite(std::string_view bytes) {
+  ByteReader reader(bytes);
+  std::string magic;
+  if (!reader.ReadBytes(magic, kMagic.size()) || magic != kMagic) {
+    return ParseError("BAM-lite: bad magic");
+  }
+
+  SamFile file;
+  std::uint32_t n_text = 0;
+  std::string text;
+  if (!reader.Read(n_text) || !reader.ReadBytes(text, n_text)) {
+    return ParseError("BAM-lite: truncated header text");
+  }
+  if (!text.empty()) {
+    for (const auto line : SplitView(text, '\n')) {
+      file.header.lines.emplace_back(line);
+    }
+  }
+
+  std::uint32_t n_ref = 0;
+  if (!reader.Read(n_ref)) return ParseError("BAM-lite: truncated ref count");
+  // A corrupted count must not drive allocation: each reference needs at
+  // least 12 bytes, so anything above remaining()/12 is definitely bogus.
+  if (n_ref > reader.remaining() / 12) {
+    return ParseError("BAM-lite: reference count exceeds payload");
+  }
+  std::vector<std::string> ref_names;
+  ref_names.reserve(n_ref);
+  for (std::uint32_t i = 0; i < n_ref; ++i) {
+    std::uint32_t n_name = 0;
+    std::string name;
+    std::int64_t length = 0;
+    if (!reader.Read(n_name) || !reader.ReadBytes(name, n_name) ||
+        !reader.Read(length)) {
+      return ParseError("BAM-lite: truncated reference dictionary");
+    }
+    ref_names.push_back(std::move(name));
+  }
+
+  std::uint64_t n_rec = 0;
+  if (!reader.Read(n_rec)) return ParseError("BAM-lite: truncated record count");
+  // Minimum encoded record size is 23 bytes; clamp before reserving so a
+  // corrupted count cannot trigger a giant allocation.
+  if (n_rec > reader.remaining() / 23) {
+    return ParseError("BAM-lite: record count exceeds payload");
+  }
+  file.records.reserve(static_cast<std::size_t>(n_rec));
+  for (std::uint64_t r = 0; r < n_rec; ++r) {
+    SamRecord rec;
+    std::int32_t ref_id = -1;
+    std::uint16_t n_qname = 0;
+    std::uint16_t n_cigar = 0;
+    std::uint32_t l_seq = 0;
+    if (!reader.Read(ref_id) || !reader.Read(rec.pos) ||
+        !reader.Read(rec.mapq) || !reader.Read(rec.flag) ||
+        !reader.Read(n_qname)) {
+      return ParseError("BAM-lite: truncated record header");
+    }
+    if (ref_id >= 0) {
+      if (static_cast<std::size_t>(ref_id) >= ref_names.size()) {
+        return ParseError("BAM-lite: reference id out of range");
+      }
+      rec.rname = ref_names[static_cast<std::size_t>(ref_id)];
+    } else {
+      rec.rname = "*";
+    }
+    if (!reader.ReadBytes(rec.qname, n_qname) || !reader.Read(n_cigar) ||
+        !reader.ReadBytes(rec.cigar, n_cigar) || !reader.Read(l_seq)) {
+      return ParseError("BAM-lite: truncated record body");
+    }
+    if (l_seq == 0) {
+      rec.seq = "*";
+      rec.qual = "*";
+      file.records.push_back(std::move(rec));
+      continue;
+    }
+    std::string packed;
+    if (!reader.ReadBytes(packed, (l_seq + 1) / 2)) {
+      return ParseError("BAM-lite: truncated sequence");
+    }
+    rec.seq.clear();
+    rec.seq.reserve(l_seq);
+    for (std::uint32_t i = 0; i < l_seq; ++i) {
+      const auto byte = static_cast<unsigned char>(packed[i / 2]);
+      const int code = (i % 2 == 0) ? (byte >> 4) : (byte & 0x0f);
+      rec.seq.push_back(BamBaseChar(code));
+    }
+    std::string qual;
+    if (!reader.ReadBytes(qual, l_seq)) {
+      return ParseError("BAM-lite: truncated qualities");
+    }
+    if (!qual.empty() && static_cast<unsigned char>(qual[0]) == 0xff) {
+      rec.qual = "*";
+    } else {
+      rec.qual = std::move(qual);
+    }
+    file.records.push_back(std::move(rec));
+  }
+  if (!reader.AtEnd()) {
+    return ParseError("BAM-lite: trailing bytes after last record");
+  }
+  return file;
+}
+
+}  // namespace scan::genomics

@@ -1,0 +1,70 @@
+#include "scan/genomics/fasta.hpp"
+
+#include "scan/common/str.hpp"
+
+namespace scan::genomics {
+
+Result<std::vector<FastaRecord>> ParseFasta(std::string_view text) {
+  std::vector<FastaRecord> records;
+  FastaRecord current;
+  bool in_record = false;
+  std::size_t line_number = 0;
+
+  for (const auto raw_line : SplitView(text, '\n')) {
+    ++line_number;
+    const std::string_view line = TrimView(raw_line);
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      if (in_record) records.push_back(std::move(current));
+      current = FastaRecord{};
+      in_record = true;
+      const std::string_view head = line.substr(1);
+      const std::size_t space = head.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        current.id = std::string(head);
+      } else {
+        current.id = std::string(head.substr(0, space));
+        current.description = std::string(TrimView(head.substr(space + 1)));
+      }
+      if (current.id.empty()) {
+        return ParseError("FASTA: empty record id at line " +
+                          std::to_string(line_number));
+      }
+      continue;
+    }
+    if (!in_record) {
+      return ParseError("FASTA: sequence before first header at line " +
+                        std::to_string(line_number));
+    }
+    if (!IsValidSequence(line)) {
+      return ParseError("FASTA: invalid sequence characters at line " +
+                        std::to_string(line_number));
+    }
+    current.sequence.append(line);
+  }
+  if (in_record) records.push_back(std::move(current));
+  return records;
+}
+
+std::string WriteFasta(const std::vector<FastaRecord>& records,
+                       std::size_t line_width) {
+  if (line_width == 0) line_width = 70;
+  std::string out;
+  for (const FastaRecord& r : records) {
+    out += '>';
+    out += r.id;
+    if (!r.description.empty()) {
+      out += ' ';
+      out += r.description;
+    }
+    out += '\n';
+    for (std::size_t i = 0; i < r.sequence.size(); i += line_width) {
+      out.append(r.sequence, i, line_width);
+      out += '\n';
+    }
+    if (r.sequence.empty()) out += '\n';
+  }
+  return out;
+}
+
+}  // namespace scan::genomics

@@ -1,0 +1,99 @@
+#include "scan/genomics/fastq_stream.hpp"
+
+#include "scan/common/str.hpp"
+
+namespace scan::genomics {
+
+bool FastqStream::NextLine(std::string_view& line) {
+  if (pos_ >= text_.size()) return false;
+  const std::size_t eol = text_.find('\n', pos_);
+  if (eol == std::string_view::npos) {
+    line = text_.substr(pos_);
+    pos_ = text_.size();
+  } else {
+    line = text_.substr(pos_, eol - pos_);
+    pos_ = eol + 1;
+  }
+  ++line_number_;
+  return true;
+}
+
+bool FastqStream::Next(FastqRecord& record) {
+  if (!status_.ok()) return false;
+
+  // Skip blank tail lines between/after records.
+  std::string_view header;
+  for (;;) {
+    if (!NextLine(header)) return false;  // clean end of input
+    header = TrimView(header);
+    if (!header.empty()) break;
+  }
+
+  const std::string where = " at line " + std::to_string(line_number_);
+  if (header.front() != '@') {
+    status_ = ParseError("FASTQ stream: expected '@' header" + where);
+    return false;
+  }
+  std::string_view seq;
+  std::string_view plus;
+  std::string_view qual;
+  if (!NextLine(seq) || !NextLine(plus) || !NextLine(qual)) {
+    status_ = ParseError("FASTQ stream: truncated record" + where);
+    return false;
+  }
+  seq = TrimView(seq);
+  plus = TrimView(plus);
+  qual = TrimView(qual);
+  if (plus.empty() || plus.front() != '+') {
+    status_ = ParseError("FASTQ stream: expected '+' separator" + where);
+    return false;
+  }
+  if (!IsValidSequence(seq)) {
+    status_ = ParseError("FASTQ stream: invalid sequence characters" + where);
+    return false;
+  }
+  if (seq.size() != qual.size()) {
+    status_ = ParseError("FASTQ stream: quality length mismatch" + where);
+    return false;
+  }
+  record.id = std::string(header.substr(1));
+  if (record.id.empty()) {
+    status_ = ParseError("FASTQ stream: empty read id" + where);
+    return false;
+  }
+  record.sequence = std::string(seq);
+  record.quality = std::string(qual);
+  ++records_read_;
+  return true;
+}
+
+Status StreamShardFastq(
+    std::string_view text, std::size_t records_per_shard,
+    const std::function<bool(std::string_view, std::size_t)>& on_shard) {
+  if (records_per_shard == 0) {
+    return InvalidArgumentError("StreamShardFastq: zero records per shard");
+  }
+  FastqStream stream(text);
+  FastqRecord record;
+  std::size_t shard_start = 0;
+  std::size_t in_shard = 0;
+  while (stream.Next(record)) {
+    ++in_shard;
+    if (in_shard == records_per_shard) {
+      if (!on_shard(text.substr(shard_start, stream.offset() - shard_start),
+                    in_shard)) {
+        return Status::Ok();  // consumer stopped early
+      }
+      shard_start = stream.offset();
+      in_shard = 0;
+    }
+  }
+  SCAN_RETURN_IF_ERROR(stream.status());
+  if (in_shard > 0) {
+    on_shard(text.substr(shard_start, stream.offset() - shard_start),
+             in_shard);
+  }
+  return Status::Ok();
+}
+
+}  // namespace scan::genomics

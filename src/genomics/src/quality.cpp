@@ -1,0 +1,157 @@
+#include "scan/genomics/quality.hpp"
+
+#include <algorithm>
+
+namespace scan::genomics {
+
+namespace {
+
+/// Partial accumulation, mergeable for the parallel path.
+struct Partial {
+  std::size_t read_count = 0;
+  std::uint64_t total_bases = 0;
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  std::uint64_t gc_bases = 0;
+  std::uint64_t n_bases = 0;
+  std::uint64_t phred_sum = 0;
+  std::size_t q30_reads = 0;
+  std::vector<std::uint64_t> phred_sum_by_position;
+  std::vector<std::uint64_t> count_by_position;
+
+  void Add(const FastqRecord& read) {
+    if (read.sequence.size() != read.quality.size()) return;
+    const std::size_t length = read.sequence.size();
+    if (read_count == 0) {
+      min_length = max_length = length;
+    } else {
+      min_length = std::min(min_length, length);
+      max_length = std::max(max_length, length);
+    }
+    ++read_count;
+    total_bases += length;
+    if (phred_sum_by_position.size() < length) {
+      phred_sum_by_position.resize(length, 0);
+      count_by_position.resize(length, 0);
+    }
+    std::uint64_t read_phred = 0;
+    for (std::size_t i = 0; i < length; ++i) {
+      switch (read.sequence[i]) {
+        case 'G':
+        case 'C':
+          ++gc_bases;
+          break;
+        case 'N':
+          ++n_bases;
+          break;
+        default:
+          break;
+      }
+      const auto score = static_cast<std::uint64_t>(PhredScore(read.quality[i]));
+      read_phred += score;
+      phred_sum_by_position[i] += score;
+      ++count_by_position[i];
+    }
+    phred_sum += read_phred;
+    if (length > 0 &&
+        static_cast<double>(read_phred) / static_cast<double>(length) >=
+            30.0) {
+      ++q30_reads;
+    }
+  }
+
+  void Merge(const Partial& other) {
+    if (other.read_count == 0) return;
+    if (read_count == 0) {
+      min_length = other.min_length;
+      max_length = other.max_length;
+    } else {
+      min_length = std::min(min_length, other.min_length);
+      max_length = std::max(max_length, other.max_length);
+    }
+    read_count += other.read_count;
+    total_bases += other.total_bases;
+    gc_bases += other.gc_bases;
+    n_bases += other.n_bases;
+    phred_sum += other.phred_sum;
+    q30_reads += other.q30_reads;
+    if (phred_sum_by_position.size() < other.phred_sum_by_position.size()) {
+      phred_sum_by_position.resize(other.phred_sum_by_position.size(), 0);
+      count_by_position.resize(other.count_by_position.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.phred_sum_by_position.size(); ++i) {
+      phred_sum_by_position[i] += other.phred_sum_by_position[i];
+      count_by_position[i] += other.count_by_position[i];
+    }
+  }
+
+  [[nodiscard]] ReadSetStats Finish() const {
+    ReadSetStats stats;
+    stats.read_count = read_count;
+    stats.total_bases = total_bases;
+    stats.min_length = min_length;
+    stats.max_length = max_length;
+    if (read_count > 0) {
+      stats.mean_length = static_cast<double>(total_bases) /
+                          static_cast<double>(read_count);
+      stats.q30_read_fraction = static_cast<double>(q30_reads) /
+                                static_cast<double>(read_count);
+    }
+    if (total_bases > 0) {
+      const std::uint64_t acgt = total_bases - n_bases;
+      stats.gc_fraction = acgt == 0 ? 0.0
+                                    : static_cast<double>(gc_bases) /
+                                          static_cast<double>(acgt);
+      stats.n_fraction = static_cast<double>(n_bases) /
+                         static_cast<double>(total_bases);
+      stats.mean_phred = static_cast<double>(phred_sum) /
+                         static_cast<double>(total_bases);
+    }
+    stats.mean_phred_by_position.resize(phred_sum_by_position.size(), 0.0);
+    for (std::size_t i = 0; i < phred_sum_by_position.size(); ++i) {
+      if (count_by_position[i] > 0) {
+        stats.mean_phred_by_position[i] =
+            static_cast<double>(phred_sum_by_position[i]) /
+            static_cast<double>(count_by_position[i]);
+      }
+    }
+    return stats;
+  }
+};
+
+}  // namespace
+
+int PhredScore(char quality_char) {
+  const int score = static_cast<unsigned char>(quality_char) - 33;
+  return std::clamp(score, 0, 93);
+}
+
+ReadSetStats ComputeReadSetStats(std::span<const FastqRecord> reads) {
+  Partial partial;
+  for (const FastqRecord& read : reads) partial.Add(read);
+  return partial.Finish();
+}
+
+ReadSetStats ComputeReadSetStatsParallel(std::span<const FastqRecord> reads,
+                                         ThreadPool& pool) {
+  const std::size_t workers = std::max<std::size_t>(1, pool.thread_count());
+  const std::size_t chunk = (reads.size() + workers - 1) / workers;
+  std::vector<Partial> partials(workers);
+  ParallelFor(pool, 0, workers, [&](std::size_t w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(reads.size(), begin + chunk);
+    for (std::size_t i = begin; i < end; ++i) partials[w].Add(reads[i]);
+  });
+  Partial merged;
+  for (const Partial& partial : partials) merged.Merge(partial);
+  return merged.Finish();
+}
+
+double EstimateCoverage(const ReadSetStats& stats,
+                        std::uint64_t genome_length) {
+  if (genome_length == 0) return 0.0;
+  return static_cast<double>(stats.total_bases) /
+         static_cast<double>(genome_length);
+}
+
+}  // namespace scan::genomics

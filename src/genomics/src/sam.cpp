@@ -1,0 +1,113 @@
+#include "scan/genomics/sam.hpp"
+
+#include "scan/common/str.hpp"
+
+namespace scan::genomics {
+
+Result<SamFile> ParseSam(std::string_view text) {
+  SamFile file;
+  std::size_t line_number = 0;
+  bool seen_alignment = false;
+  for (const auto raw_line : SplitView(text, '\n')) {
+    ++line_number;
+    if (TrimView(raw_line).empty()) continue;
+    const std::string where = " at line " + std::to_string(line_number);
+    if (raw_line.front() == '@') {
+      if (seen_alignment) {
+        return ParseError("SAM: header line after alignments" + where);
+      }
+      file.header.lines.emplace_back(TrimView(raw_line));
+      continue;
+    }
+    seen_alignment = true;
+    const auto fields = SplitView(raw_line, '\t');
+    if (fields.size() < 11) {
+      return ParseError("SAM: fewer than 11 mandatory fields" + where);
+    }
+    SamRecord rec;
+    rec.qname = std::string(fields[0]);
+    const auto flag = ParseInt(fields[1]);
+    const auto pos = ParseInt(fields[3]);
+    const auto mapq = ParseInt(fields[4]);
+    const auto pnext = ParseInt(fields[7]);
+    const auto tlen = ParseInt(fields[8]);
+    if (!flag || !pos || !mapq || !pnext || !tlen) {
+      return ParseError("SAM: malformed numeric field" + where);
+    }
+    if (*flag < 0 || *flag > 0xffff) {
+      return ParseError("SAM: FLAG out of range" + where);
+    }
+    if (*mapq < 0 || *mapq > 255) {
+      return ParseError("SAM: MAPQ out of range" + where);
+    }
+    rec.flag = static_cast<std::uint16_t>(*flag);
+    rec.rname = std::string(fields[2]);
+    rec.pos = *pos;
+    rec.mapq = static_cast<std::uint8_t>(*mapq);
+    rec.cigar = std::string(fields[5]);
+    rec.rnext = std::string(fields[6]);
+    rec.pnext = *pnext;
+    rec.tlen = *tlen;
+    rec.seq = std::string(TrimView(fields[9]));
+    rec.qual = std::string(TrimView(fields[10]));
+    if (rec.seq != "*" && rec.qual != "*" &&
+        rec.seq.size() != rec.qual.size()) {
+      return ParseError("SAM: SEQ/QUAL length mismatch" + where);
+    }
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+std::string WriteSam(const SamFile& file) {
+  std::string out;
+  for (const std::string& line : file.header.lines) {
+    out += line;
+    out += '\n';
+  }
+  for (const SamRecord& r : file.records) {
+    out += r.qname;
+    out += '\t';
+    out += std::to_string(r.flag);
+    out += '\t';
+    out += r.rname;
+    out += '\t';
+    out += std::to_string(r.pos);
+    out += '\t';
+    out += std::to_string(r.mapq);
+    out += '\t';
+    out += r.cigar;
+    out += '\t';
+    out += r.rnext;
+    out += '\t';
+    out += std::to_string(r.pnext);
+    out += '\t';
+    out += std::to_string(r.tlen);
+    out += '\t';
+    out += r.seq;
+    out += '\t';
+    out += r.qual;
+    out += '\n';
+  }
+  return out;
+}
+
+bool IsCoordinateSorted(const SamFile& file) {
+  for (std::size_t i = 1; i < file.records.size(); ++i) {
+    if (SamCoordinateLess(file.records[i], file.records[i - 1])) return false;
+  }
+  return true;
+}
+
+SamHeader MakeHeader(
+    const std::vector<std::pair<std::string, std::int64_t>>& references) {
+  SamHeader header;
+  header.lines.push_back("@HD\tVN:1.6\tSO:coordinate");
+  for (const auto& [name, length] : references) {
+    header.lines.push_back("@SQ\tSN:" + name + "\tLN:" +
+                           std::to_string(length));
+  }
+  return header;
+}
+
+}  // namespace scan::genomics

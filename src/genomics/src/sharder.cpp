@@ -1,0 +1,139 @@
+#include "scan/genomics/sharder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "scan/genomics/fastq.hpp"
+#include "scan/genomics/sam.hpp"
+
+namespace scan::genomics {
+
+namespace {
+
+/// Computes shard boundaries over parsed records: [begin, end) index pairs.
+std::vector<std::pair<std::size_t, std::size_t>> FastqBoundaries(
+    const std::vector<FastqRecord>& records, const ShardSpec& spec) {
+  std::vector<std::pair<std::size_t, std::size_t>> bounds;
+  std::size_t begin = 0;
+  std::size_t bytes = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const std::size_t rec_bytes = FastqRecordBytes(records[i]);
+    const bool over_records =
+        spec.max_records != 0 && count + 1 > spec.max_records;
+    const bool over_bytes =
+        spec.max_bytes != 0 && count > 0 && bytes + rec_bytes > spec.max_bytes;
+    if (over_records || over_bytes) {
+      bounds.emplace_back(begin, i);
+      begin = i;
+      bytes = 0;
+      count = 0;
+    }
+    bytes += rec_bytes;
+    ++count;
+  }
+  if (count > 0) bounds.emplace_back(begin, records.size());
+  return bounds;
+}
+
+std::string SerializeRange(const std::vector<FastqRecord>& records,
+                           std::size_t begin, std::size_t end) {
+  std::vector<FastqRecord> slice(records.begin() + static_cast<long>(begin),
+                                 records.begin() + static_cast<long>(end));
+  return WriteFastq(slice);
+}
+
+}  // namespace
+
+Result<ShardSet> ShardFastq(std::string_view text, const ShardSpec& spec) {
+  if (spec.max_records == 0 && spec.max_bytes == 0) {
+    return InvalidArgumentError("ShardFastq: no shard bound set");
+  }
+  auto parsed = ParseFastq(text);
+  if (!parsed.ok()) return parsed.status();
+  const auto& records = parsed.value();
+
+  ShardSet out;
+  out.total_records = records.size();
+  for (const auto& [begin, end] : FastqBoundaries(records, spec)) {
+    out.shards.push_back(SerializeRange(records, begin, end));
+  }
+  return out;
+}
+
+Result<ShardSet> ShardFastqParallel(std::string_view text,
+                                    const ShardSpec& spec, ThreadPool& pool) {
+  if (spec.max_records == 0 && spec.max_bytes == 0) {
+    return InvalidArgumentError("ShardFastqParallel: no shard bound set");
+  }
+  auto parsed = ParseFastq(text);
+  if (!parsed.ok()) return parsed.status();
+  const auto& records = parsed.value();
+
+  const auto bounds = FastqBoundaries(records, spec);
+  ShardSet out;
+  out.total_records = records.size();
+  out.shards.resize(bounds.size());
+  ParallelFor(pool, 0, bounds.size(), [&](std::size_t i) {
+    out.shards[i] = SerializeRange(records, bounds[i].first, bounds[i].second);
+  });
+  return out;
+}
+
+std::string MergeFastq(const std::vector<std::string>& shards) {
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  std::string out;
+  out.reserve(total);
+  for (const auto& s : shards) out += s;
+  return out;
+}
+
+Result<ShardSet> ShardSamByRegion(std::string_view text,
+                                  std::int64_t region_size) {
+  if (region_size <= 0) {
+    return InvalidArgumentError("ShardSamByRegion: region_size must be > 0");
+  }
+  auto parsed = ParseSam(text);
+  if (!parsed.ok()) return parsed.status();
+  const SamFile& file = parsed.value();
+
+  // Bucket key: (rname, region index); unmapped records use a sentinel that
+  // sorts last.
+  using Key = std::pair<std::string, std::int64_t>;
+  std::map<Key, std::vector<const SamRecord*>> buckets;
+  std::vector<const SamRecord*> unmapped;
+  for (const SamRecord& rec : file.records) {
+    if (rec.rname == "*" || rec.pos <= 0) {
+      unmapped.push_back(&rec);
+      continue;
+    }
+    const std::int64_t region = (rec.pos - 1) / region_size;
+    buckets[{rec.rname, region}].push_back(&rec);
+  }
+
+  ShardSet out;
+  out.total_records = file.records.size();
+  auto serialize_bucket = [&](const std::vector<const SamRecord*>& bucket) {
+    SamFile shard;
+    shard.header = file.header;
+    shard.records.reserve(bucket.size());
+    for (const SamRecord* rec : bucket) shard.records.push_back(*rec);
+    out.shards.push_back(WriteSam(shard));
+  };
+  for (const auto& [key, bucket] : buckets) serialize_bucket(bucket);
+  if (!unmapped.empty()) serialize_bucket(unmapped);
+  return out;
+}
+
+Result<std::size_t> PlanShardCount(double total_size_gb,
+                                   double shard_size_gb) {
+  if (total_size_gb <= 0.0 || shard_size_gb <= 0.0) {
+    return InvalidArgumentError("PlanShardCount: sizes must be positive");
+  }
+  return static_cast<std::size_t>(
+      std::max(1.0, std::ceil(total_size_gb / shard_size_gb)));
+}
+
+}  // namespace scan::genomics

@@ -1,0 +1,152 @@
+#include "scan/genomics/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+
+#include "scan/genomics/sam.hpp"
+#include "scan/genomics/vcf.hpp"
+
+namespace scan::genomics {
+
+SyntheticGenerator::SyntheticGenerator(std::uint64_t seed)
+    : rng_(seed, "synthetic-genomics") {}
+
+char SyntheticGenerator::RandomBase() {
+  return kBases[rng_.UniformBelow(static_cast<std::uint32_t>(kBases.size()))];
+}
+
+char SyntheticGenerator::RandomBaseOtherThan(char base) {
+  for (;;) {
+    const char candidate = RandomBase();
+    if (candidate != base) return candidate;
+  }
+}
+
+FastaRecord SyntheticGenerator::Reference(std::string name,
+                                          std::size_t length) {
+  FastaRecord record;
+  record.id = std::move(name);
+  record.description = "synthetic reference";
+  record.sequence.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    record.sequence.push_back(RandomBase());
+  }
+  return record;
+}
+
+std::vector<FastaRecord> SyntheticGenerator::Genome(
+    const std::vector<std::pair<std::string, std::size_t>>& chromosomes) {
+  std::vector<FastaRecord> genome;
+  genome.reserve(chromosomes.size());
+  for (const auto& [name, length] : chromosomes) {
+    genome.push_back(Reference(name, length));
+  }
+  return genome;
+}
+
+std::vector<FastqRecord> SyntheticGenerator::Reads(
+    const FastaRecord& reference, const ReadSimSpec& spec) {
+  if (reference.sequence.size() < spec.read_length) {
+    throw std::invalid_argument(
+        "SyntheticGenerator::Reads: reference shorter than read length");
+  }
+  const std::size_t span = reference.sequence.size() - spec.read_length + 1;
+  std::vector<FastqRecord> reads;
+  reads.reserve(spec.read_count);
+  for (std::size_t serial = 0; serial < spec.read_count; ++serial) {
+    const std::size_t start =
+        rng_.UniformBelow(static_cast<std::uint32_t>(span));
+    FastqRecord read;
+    read.id = reference.id + ":" + std::to_string(serial);
+    read.sequence = reference.sequence.substr(start, spec.read_length);
+    read.quality.assign(spec.read_length, spec.base_quality);
+    for (std::size_t i = 0; i < spec.read_length; ++i) {
+      if (rng_.Uniform() < spec.error_rate) {
+        read.sequence[i] = RandomBaseOtherThan(read.sequence[i]);
+        read.quality[i] = spec.error_quality;
+      }
+    }
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+SamFile SyntheticGenerator::AlignedReads(
+    const std::vector<FastaRecord>& references, const ReadSimSpec& spec) {
+  if (references.empty()) {
+    throw std::invalid_argument(
+        "SyntheticGenerator::AlignedReads: no references");
+  }
+  std::vector<std::pair<std::string, std::int64_t>> ref_lengths;
+  std::vector<double> weights;
+  for (const FastaRecord& ref : references) {
+    if (ref.sequence.size() < spec.read_length) {
+      throw std::invalid_argument(
+          "SyntheticGenerator::AlignedReads: reference shorter than read");
+    }
+    ref_lengths.emplace_back(ref.id,
+                             static_cast<std::int64_t>(ref.sequence.size()));
+    weights.push_back(static_cast<double>(ref.sequence.size()));
+  }
+
+  SamFile file;
+  file.header = MakeHeader(ref_lengths);
+  file.records.reserve(spec.read_count);
+  const std::string cigar = std::to_string(spec.read_length) + "M";
+  for (std::size_t serial = 0; serial < spec.read_count; ++serial) {
+    const std::size_t ref_index = rng_.WeightedIndex(weights);
+    const FastaRecord& ref = references[ref_index];
+    const std::size_t span = ref.sequence.size() - spec.read_length + 1;
+    const std::size_t start =
+        rng_.UniformBelow(static_cast<std::uint32_t>(span));
+    SamRecord rec;
+    rec.qname = "read" + std::to_string(serial);
+    rec.flag = 0;
+    rec.rname = ref.id;
+    rec.pos = static_cast<std::int64_t>(start) + 1;  // SAM is 1-based
+    rec.mapq = 60;
+    rec.cigar = cigar;
+    rec.seq = ref.sequence.substr(start, spec.read_length);
+    rec.qual.assign(spec.read_length, spec.base_quality);
+    file.records.push_back(std::move(rec));
+  }
+  std::stable_sort(file.records.begin(), file.records.end(),
+                   SamCoordinateLess);
+  return file;
+}
+
+VcfFile SyntheticGenerator::Variants(const FastaRecord& reference,
+                                     std::size_t count) {
+  if (count > reference.sequence.size()) {
+    throw std::invalid_argument(
+        "SyntheticGenerator::Variants: more variants than positions");
+  }
+  VcfFile file;
+  file.meta = StandardVcfMeta("scan-synthetic");
+
+  // Distinct positions via rejection into a set (count << length in
+  // practice; bounded retries keep the worst case linear-ish).
+  std::set<std::size_t> positions;
+  while (positions.size() < count) {
+    positions.insert(rng_.UniformBelow(
+        static_cast<std::uint32_t>(reference.sequence.size())));
+  }
+  file.records.reserve(count);
+  for (const std::size_t zero_based : positions) {
+    VcfRecord rec;
+    rec.chrom = reference.id;
+    rec.pos = static_cast<std::int64_t>(zero_based) + 1;
+    rec.ref = std::string(1, reference.sequence[zero_based]);
+    rec.alt = std::string(1, RandomBaseOtherThan(reference.sequence[zero_based]));
+    rec.qual = 30.0 + 30.0 * rng_.Uniform();
+    rec.filter = "PASS";
+    rec.info = "TYPE=SNV";
+    file.records.push_back(std::move(rec));
+  }
+  assert(IsSorted(file));
+  return file;
+}
+
+}  // namespace scan::genomics

@@ -1,0 +1,169 @@
+#include "scan/genomics/variant_caller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "scan/common/str.hpp"
+#include "scan/genomics/quality.hpp"
+#include "scan/genomics/vcf.hpp"
+
+namespace scan::genomics {
+
+namespace {
+
+int BaseIndex(char base) {
+  switch (base) {
+    case 'A':
+      return 0;
+    case 'C':
+      return 1;
+    case 'G':
+      return 2;
+    case 'T':
+      return 3;
+    default:
+      return -1;  // N and friends do not vote
+  }
+}
+
+constexpr char kIndexBase[4] = {'A', 'C', 'G', 'T'};
+
+/// Parses a pure-match CIGAR "<n>M"; nullopt otherwise.
+std::optional<std::int64_t> PureMatchLength(const std::string& cigar) {
+  if (cigar.size() < 2 || cigar.back() != 'M') return std::nullopt;
+  const auto n = ParseInt(std::string_view(cigar).substr(0, cigar.size() - 1));
+  if (!n || *n <= 0) return std::nullopt;
+  return *n;
+}
+
+}  // namespace
+
+std::uint32_t Pileup::DepthAt(std::size_t pos) const {
+  if (pos >= counts.size()) return 0;
+  const auto& c = counts[pos];
+  return c[0] + c[1] + c[2] + c[3];
+}
+
+Result<Pileup> BuildPileup(const FastaRecord& reference,
+                           const SamFile& alignments,
+                           const CallerOptions& options,
+                           std::size_t* skipped_records) {
+  if (reference.sequence.empty()) {
+    return InvalidArgumentError("BuildPileup: empty reference");
+  }
+  Pileup pileup;
+  pileup.reference_id = reference.id;
+  pileup.counts.assign(reference.sequence.size(), {0, 0, 0, 0});
+
+  std::size_t skipped = 0;
+  for (const SamRecord& rec : alignments.records) {
+    if (rec.rname != reference.id || rec.pos <= 0 || rec.seq == "*") {
+      ++skipped;
+      continue;
+    }
+    const auto match_len = PureMatchLength(rec.cigar);
+    if (!match_len ||
+        static_cast<std::size_t>(*match_len) != rec.seq.size()) {
+      ++skipped;
+      continue;
+    }
+    const auto start = static_cast<std::size_t>(rec.pos - 1);
+    if (start + rec.seq.size() > reference.sequence.size()) {
+      ++skipped;  // runs off the reference: treat as unusable
+      continue;
+    }
+    const bool has_qual = rec.qual != "*" && rec.qual.size() == rec.seq.size();
+    for (std::size_t i = 0; i < rec.seq.size(); ++i) {
+      if (has_qual && PhredScore(rec.qual[i]) < options.min_base_quality) {
+        continue;
+      }
+      const int base = BaseIndex(rec.seq[i]);
+      if (base < 0) continue;
+      ++pileup.counts[start + i][static_cast<std::size_t>(base)];
+    }
+  }
+  if (skipped_records != nullptr) *skipped_records = skipped;
+  return pileup;
+}
+
+VcfFile CallVariants(const FastaRecord& reference, const Pileup& pileup,
+                     const CallerOptions& options) {
+  VcfFile out;
+  out.meta = StandardVcfMeta("scan-naive-caller");
+  const std::size_t n =
+      std::min(pileup.counts.size(), reference.sequence.size());
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const auto& counts = pileup.counts[pos];
+    const std::uint32_t depth = pileup.DepthAt(pos);
+    if (depth < options.min_depth) continue;
+    // The winning base.
+    std::size_t winner = 0;
+    for (std::size_t b = 1; b < 4; ++b) {
+      if (counts[b] > counts[winner]) winner = b;
+    }
+    const char ref_base = reference.sequence[pos];
+    const char alt_base = kIndexBase[winner];
+    if (alt_base == ref_base) continue;
+    const double fraction =
+        static_cast<double>(counts[winner]) / static_cast<double>(depth);
+    if (fraction < options.min_alt_fraction) continue;
+
+    VcfRecord record;
+    record.chrom = reference.id;
+    record.pos = static_cast<std::int64_t>(pos) + 1;
+    record.ref = std::string(1, ref_base);
+    record.alt = std::string(1, alt_base);
+    const double err = std::max(1.0 - fraction, 1e-6);
+    record.qual = std::min(60.0, -10.0 * std::log10(err));
+    record.filter = "PASS";
+    record.info = StrFormat("DP=%u;AF=%.3f", depth, fraction);
+    out.records.push_back(std::move(record));
+  }
+  return out;
+}
+
+Result<VcfFile> CallVariants(const FastaRecord& reference,
+                             const SamFile& alignments,
+                             const CallerOptions& options) {
+  auto pileup = BuildPileup(reference, alignments, options);
+  if (!pileup.ok()) return pileup.status();
+  return CallVariants(reference, *pileup, options);
+}
+
+double CallAccuracy::Precision() const {
+  const std::size_t called = true_positives + false_positives;
+  return called == 0 ? 0.0
+                     : static_cast<double>(true_positives) /
+                           static_cast<double>(called);
+}
+
+double CallAccuracy::Recall() const {
+  const std::size_t actual = true_positives + false_negatives;
+  return actual == 0 ? 0.0
+                     : static_cast<double>(true_positives) /
+                           static_cast<double>(actual);
+}
+
+CallAccuracy CompareCalls(const VcfFile& truth, const VcfFile& calls) {
+  auto key = [](const VcfRecord& r) {
+    return r.chrom + ":" + std::to_string(r.pos) + ":" + r.alt;
+  };
+  std::set<std::string> truth_keys;
+  for (const VcfRecord& r : truth.records) truth_keys.insert(key(r));
+
+  CallAccuracy accuracy;
+  std::set<std::string> hit;
+  for (const VcfRecord& r : calls.records) {
+    const std::string k = key(r);
+    if (truth_keys.contains(k)) {
+      if (hit.insert(k).second) ++accuracy.true_positives;
+    } else {
+      ++accuracy.false_positives;
+    }
+  }
+  accuracy.false_negatives = truth_keys.size() - hit.size();
+  return accuracy;
+}
+
+}  // namespace scan::genomics

@@ -1,0 +1,156 @@
+#include "scan/genomics/vcf.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "scan/common/str.hpp"
+
+namespace scan::genomics {
+
+namespace {
+constexpr std::string_view kColumnHeader =
+    "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO";
+}  // namespace
+
+Result<VcfFile> ParseVcf(std::string_view text) {
+  VcfFile file;
+  std::size_t line_number = 0;
+  bool seen_column_header = false;
+  for (const auto raw_line : SplitView(text, '\n')) {
+    ++line_number;
+    const std::string_view line = TrimView(raw_line);
+    if (line.empty()) continue;
+    const std::string where = " at line " + std::to_string(line_number);
+    if (StartsWith(line, "##")) {
+      if (seen_column_header) {
+        return ParseError("VCF: meta line after column header" + where);
+      }
+      file.meta.emplace_back(line);
+      continue;
+    }
+    if (StartsWith(line, "#")) {
+      if (!StartsWith(line, "#CHROM")) {
+        return ParseError("VCF: unexpected header line" + where);
+      }
+      seen_column_header = true;
+      continue;
+    }
+    const auto fields = SplitView(line, '\t');
+    if (fields.size() < 8) {
+      return ParseError("VCF: fewer than 8 columns" + where);
+    }
+    VcfRecord rec;
+    rec.chrom = std::string(fields[0]);
+    const auto pos = ParseInt(fields[1]);
+    if (!pos || *pos < 1) {
+      return ParseError("VCF: malformed POS" + where);
+    }
+    rec.pos = *pos;
+    rec.id = std::string(fields[2]);
+    rec.ref = std::string(fields[3]);
+    rec.alt = std::string(fields[4]);
+    if (fields[5] == ".") {
+      rec.qual = 0.0;
+    } else {
+      const auto q = ParseDouble(fields[5]);
+      if (!q) return ParseError("VCF: malformed QUAL" + where);
+      rec.qual = *q;
+    }
+    rec.filter = std::string(fields[6]);
+    rec.info = std::string(fields[7]);
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+std::string WriteVcf(const VcfFile& file) {
+  std::string out;
+  for (const std::string& meta : file.meta) {
+    out += meta;
+    out += '\n';
+  }
+  out += kColumnHeader;
+  out += '\n';
+  for (const VcfRecord& r : file.records) {
+    out += r.chrom;
+    out += '\t';
+    out += std::to_string(r.pos);
+    out += '\t';
+    out += r.id;
+    out += '\t';
+    out += r.ref;
+    out += '\t';
+    out += r.alt;
+    out += '\t';
+    out += StrFormat("%.4g", r.qual);
+    out += '\t';
+    out += r.filter;
+    out += '\t';
+    out += r.info;
+    out += '\n';
+  }
+  return out;
+}
+
+bool IsSorted(const VcfFile& file) {
+  for (std::size_t i = 1; i < file.records.size(); ++i) {
+    if (VcfCoordinateLess(file.records[i], file.records[i - 1])) return false;
+  }
+  return true;
+}
+
+Result<VcfFile> MergeVcf(const std::vector<VcfFile>& shards) {
+  VcfFile merged;
+  std::set<std::string> meta_seen;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!IsSorted(shards[i])) {
+      return FailedPreconditionError("MergeVcf: shard " + std::to_string(i) +
+                                     " is not coordinate-sorted");
+    }
+    for (const std::string& meta : shards[i].meta) {
+      if (meta_seen.insert(meta).second) merged.meta.push_back(meta);
+    }
+    total += shards[i].records.size();
+  }
+
+  // K-way merge with a min-heap of (record, shard index, offset).
+  struct HeapEntry {
+    const VcfRecord* record;
+    std::size_t shard;
+    std::size_t offset;
+  };
+  auto greater = [](const HeapEntry& a, const HeapEntry& b) {
+    if (VcfCoordinateLess(*b.record, *a.record)) return true;
+    if (VcfCoordinateLess(*a.record, *b.record)) return false;
+    return a.shard > b.shard;  // stable across shards
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(greater)>
+      heap(greater);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i].records.empty()) {
+      heap.push(HeapEntry{&shards[i].records[0], i, 0});
+    }
+  }
+  merged.records.reserve(total);
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    merged.records.push_back(*top.record);
+    const std::size_t next = top.offset + 1;
+    if (next < shards[top.shard].records.size()) {
+      heap.push(HeapEntry{&shards[top.shard].records[next], top.shard, next});
+    }
+  }
+  return merged;
+}
+
+std::vector<std::string> StandardVcfMeta(std::string_view source) {
+  return {
+      "##fileformat=VCFv4.2",
+      "##source=" + std::string(source),
+  };
+}
+
+}  // namespace scan::genomics

@@ -1,0 +1,92 @@
+#pragma once
+
+// The SCAN semantic model (§II-C): a domain ontology (DO) describing
+// bio-applications, data formats and workflows; a cloud ontology (CO)
+// describing tiers, instance types and costs; and the SCAN linker relating
+// the two. This module defines the vocabulary IRIs and seeds the schema
+// triples into a store.
+//
+//   Active Ontology ::= 'Ontology(' [domain] ')'
+//                     | 'Ontology(' [cloud] ')'
+//                     | 'SCAN(' {linker} ')'
+
+#include <string>
+#include <string_view>
+
+#include "scan/kb/triple_store.hpp"
+
+namespace scan::kb {
+
+/// Vocabulary IRIs of the SCAN ontology. Mirrors the namespace used in the
+/// paper's RDF/OWL snippets.
+namespace vocab {
+
+inline constexpr std::string_view kScanNs =
+    "http://www.semanticweb.org/wxing/ontologies/scan-ontology#";
+inline constexpr std::string_view kOwlNs = "http://www.w3.org/2002/07/owl#";
+inline constexpr std::string_view kRdfsNs =
+    "http://www.w3.org/2000/01/rdf-schema#";
+
+/// Builds "<scan-ontology#>{local}".
+[[nodiscard]] std::string Scan(std::string_view local);
+[[nodiscard]] std::string Owl(std::string_view local);
+[[nodiscard]] std::string Rdfs(std::string_view local);
+
+// --- Domain ontology classes (genome analysis side) ---
+[[nodiscard]] Term ClassApplication();        // scan:Application
+[[nodiscard]] Term ClassGenomeAnalysis();     // scan:GenomeAnalysis
+[[nodiscard]] Term ClassProteomeAnalysis();   // scan:ProteomeAnalysis
+[[nodiscard]] Term ClassImagingAnalysis();    // scan:ImagingAnalysis
+[[nodiscard]] Term ClassIntegrativeAnalysis();// scan:IntegrativeAnalysis
+[[nodiscard]] Term ClassDataFormat();         // scan:DataFormat
+[[nodiscard]] Term ClassAlignedGenomicData(); // scan:AlignedGenomicData
+[[nodiscard]] Term ClassWorkflow();           // scan:Workflow
+
+// --- Cloud ontology classes ---
+[[nodiscard]] Term ClassCloudResource();      // scan:CloudResource
+[[nodiscard]] Term ClassComputeTier();        // scan:ComputeTier
+[[nodiscard]] Term ClassInstanceType();       // scan:InstanceType
+
+// --- Properties used by application profile individuals (paper §III-A) ---
+[[nodiscard]] Term PropInputFileSize();  // scan:inputFileSize (GB)
+[[nodiscard]] Term PropSteps();          // scan:steps
+[[nodiscard]] Term PropRam();            // scan:RAM (GB)
+[[nodiscard]] Term PropETime();          // scan:eTime (seconds)
+[[nodiscard]] Term PropCpu();            // scan:CPU (cores)
+[[nodiscard]] Term PropThreads();        // scan:threads
+[[nodiscard]] Term PropPerformance();    // scan:performance ("good"/"poor")
+[[nodiscard]] Term PropStage();          // scan:stage (pipeline stage index)
+[[nodiscard]] Term PropApplication();    // scan:application ("GATK", "BWA", ...)
+
+// --- Linker properties (relate domain to cloud) ---
+[[nodiscard]] Term PropRequiredBy();         // scan:requiredBy
+[[nodiscard]] Term PropComputingResource();  // scan:computingResource
+[[nodiscard]] Term PropRunsOnTier();         // scan:runsOnTier
+[[nodiscard]] Term PropCostPerCoreTu();      // scan:costPerCoreTU
+[[nodiscard]] Term PropCores();              // scan:cores
+[[nodiscard]] Term PropDataFormatOf();       // scan:dataFormat
+
+/// The rdf:type predicate.
+[[nodiscard]] Term RdfType();
+/// owl:Class, used when seeding the schema.
+[[nodiscard]] Term OwlClass();
+/// owl:NamedIndividual.
+[[nodiscard]] Term OwlNamedIndividual();
+/// rdfs:subClassOf.
+[[nodiscard]] Term RdfsSubClassOf();
+/// rdfs:label.
+[[nodiscard]] Term RdfsLabel();
+
+}  // namespace vocab
+
+/// Seeds the SCAN schema into a store: declares the domain-ontology and
+/// cloud-ontology classes, their subclass structure (all analysis classes
+/// are Workflows; tiers and instance types are CloudResources), and labels.
+/// Returns the number of triples added.
+std::size_t SeedScanOntology(TripleStore& store);
+
+/// Registers the standard genomic data formats (FASTQ, BAM, SAM, VCF, FASTA,
+/// MGF) as DataFormat individuals with labels. Returns triples added.
+std::size_t SeedDataFormats(TripleStore& store);
+
+}  // namespace scan::kb

@@ -1,0 +1,164 @@
+#pragma once
+
+// SPARQL-subset query language over the triple store.
+//
+// The paper's Data Broker queries the knowledge base in SPARQL (§III-A-2).
+// This module implements the subset those queries need:
+//
+//   PREFIX pfx: <iri>
+//   SELECT [DISTINCT] ?a ?b | * | (COUNT(*) AS ?n) (AVG(?x) AS ?m)
+//   WHERE {
+//     triple patterns . FILTER(expr) OPTIONAL { ... }
+//     { ... } UNION { ... }
+//   }
+//   GROUP BY ?g ...   ORDER BY [ASC|DESC](?v) ...   LIMIT n   OFFSET n
+//
+// FILTER expressions support numeric/string comparisons (=, !=, <, <=, >,
+// >=), logical && || !, parentheses, and BOUND(?v).
+//
+// Semantics follow the SPARQL spec for this subset: basic graph patterns
+// join via shared variables, OPTIONAL is a left outer join, FILTER drops
+// rows whose expression is false or errors (an unbound variable inside a
+// comparison is an error, not false — use BOUND to test presence).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "scan/common/status.hpp"
+#include "scan/kb/triple_store.hpp"
+
+namespace scan::kb {
+
+/// A SPARQL variable (stored without the leading '?').
+struct Variable {
+  std::string name;
+  friend bool operator==(const Variable&, const Variable&) = default;
+};
+
+/// One position of a triple pattern: either a variable or a concrete term.
+using PatternNode = std::variant<Variable, Term>;
+
+struct TriplePattern {
+  PatternNode s;
+  PatternNode p;
+  PatternNode o;
+};
+
+/// FILTER expression tree.
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprOp {
+  kVar,      // variable reference
+  kLiteral,  // constant term
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kBound,  // BOUND(?v)
+};
+
+struct Expr {
+  ExprOp op = ExprOp::kLiteral;
+  std::string var;  // for kVar / kBound
+  Term literal;     // for kLiteral
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// A `{ ... }` group: conjunctive triple patterns, filters, nested
+/// OPTIONAL groups, and UNION alternations. Evaluation order: triples
+/// (join), then unions, then optionals, then filters.
+struct GroupPattern {
+  std::vector<TriplePattern> triples;
+  std::vector<ExprPtr> filters;
+  std::vector<GroupPattern> optionals;
+  /// Each element is one `{A} UNION {B} UNION ...` construct: a list of
+  /// alternative branches whose solutions are concatenated.
+  std::vector<std::vector<GroupPattern>> unions;
+};
+
+struct OrderKey {
+  std::string var;
+  bool ascending = true;
+};
+
+/// Aggregate functions usable in the projection:
+///   SELECT (COUNT(*) AS ?n) (AVG(?t) AS ?mean) ?g ... GROUP BY ?g
+enum class AggregateFn {
+  kNone,   // plain variable projection
+  kCount,  // COUNT(?v) counts bound rows; COUNT(*) counts all rows
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// One projected column: a plain variable or an aggregate with an alias.
+struct Projection {
+  AggregateFn fn = AggregateFn::kNone;
+  std::string var;    ///< source variable ("" for COUNT(*))
+  std::string alias;  ///< output name; defaults to var for plain columns
+  bool star = false;  ///< COUNT(*)
+};
+
+struct SelectQuery {
+  bool distinct = false;
+  std::vector<std::string> variables;  // empty == SELECT * (plain queries)
+  /// Full projection list (parallel to `variables` for plain queries;
+  /// carries the aggregates otherwise).
+  std::vector<Projection> projections;
+  /// GROUP BY variables (aggregate queries only).
+  std::vector<std::string> group_by;
+  GroupPattern where;
+  std::vector<OrderKey> order_by;
+  std::optional<std::size_t> limit;
+  std::optional<std::size_t> offset;
+
+  [[nodiscard]] bool HasAggregates() const {
+    for (const Projection& p : projections) {
+      if (p.fn != AggregateFn::kNone) return true;
+    }
+    return false;
+  }
+};
+
+/// Parses the SPARQL subset into an AST.
+[[nodiscard]] Result<SelectQuery> ParseSparql(std::string_view text);
+
+/// A result table. Missing optional bindings are nullopt.
+struct ResultSet {
+  std::vector<std::string> variables;
+  std::vector<std::vector<std::optional<Term>>> rows;
+
+  /// Index of a variable in `variables`, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> ColumnOf(
+      std::string_view var) const;
+
+  /// Renders an aligned text table (diagnostics / examples).
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Executes parsed queries against a store.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const TripleStore& store) : store_(store) {}
+
+  [[nodiscard]] Result<ResultSet> Execute(const SelectQuery& query) const;
+
+  /// Parse + execute in one step.
+  [[nodiscard]] Result<ResultSet> Execute(std::string_view text) const;
+
+ private:
+  const TripleStore& store_;
+};
+
+}  // namespace scan::kb

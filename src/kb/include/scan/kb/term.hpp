@@ -1,0 +1,92 @@
+#pragma once
+
+// RDF terms and term interning for the SCAN knowledge base.
+//
+// The paper stores application knowledge as OWL/RDF individuals (e.g. the
+// GATK1..GATK4 profiles in §III-A) and queries them with SPARQL. This module
+// provides the term layer: IRIs, literals (plain / typed), and blank nodes,
+// interned into dense 32-bit ids so triples are three ints and index joins
+// are integer comparisons.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace scan::kb {
+
+enum class TermKind : std::uint8_t {
+  kIri,
+  kLiteral,
+  kBlank,
+};
+
+/// A decoded RDF term. `datatype` is only meaningful for literals and holds
+/// the datatype IRI ("" = plain string literal).
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;   // IRI text, literal value, or blank-node label
+  std::string datatype;  // literal datatype IRI, "" for plain
+
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+[[nodiscard]] Term MakeIri(std::string iri);
+[[nodiscard]] Term MakeStringLiteral(std::string value);
+[[nodiscard]] Term MakeIntLiteral(long long value);
+[[nodiscard]] Term MakeDoubleLiteral(double value);
+[[nodiscard]] Term MakeBlank(std::string label);
+
+/// Well-known XSD datatype IRIs.
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr std::string_view kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// If the term is a literal with numeric content, returns its value.
+[[nodiscard]] std::optional<double> NumericValue(const Term& term);
+
+/// Canonical N-Triples-ish rendering, used in diagnostics and tests.
+[[nodiscard]] std::string ToString(const Term& term);
+
+/// Dense id of an interned term. Id 0 is reserved/invalid.
+enum class TermId : std::uint32_t {};
+
+inline constexpr TermId kInvalidTermId{0};
+
+[[nodiscard]] constexpr std::uint32_t Index(TermId id) {
+  return static_cast<std::uint32_t>(id);
+}
+
+/// Interns Terms to dense TermIds. Append-only: terms are never removed
+/// (the knowledge base only grows; see §III-A "knowledge expansion").
+class TermTable {
+ public:
+  TermTable();
+
+  /// Returns the id for the term, interning it if new.
+  TermId Intern(const Term& term);
+
+  /// Returns the id if the term is already interned.
+  [[nodiscard]] std::optional<TermId> Lookup(const Term& term) const;
+
+  /// Decodes an id. Precondition: id was produced by this table.
+  [[nodiscard]] const Term& Get(TermId id) const;
+
+  [[nodiscard]] std::size_t size() const { return terms_.size() - 1; }
+
+ private:
+  struct TermHash {
+    std::size_t operator()(const Term& t) const;
+  };
+  std::vector<Term> terms_;  // index 0 is a sentinel
+  std::unordered_map<Term, std::uint32_t, TermHash> ids_;
+};
+
+}  // namespace scan::kb

@@ -1,0 +1,95 @@
+#pragma once
+
+// In-memory RDF triple store with SPO / POS / OSP hash indexes.
+//
+// This is the instance store backing the SCAN knowledge base. Query access
+// is by triple pattern (any of subject / predicate / object may be
+// wildcards); the store picks the most selective index. The SPARQL engine
+// (sparql_engine.hpp) performs joins over these pattern matches.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "scan/kb/term.hpp"
+
+namespace scan::kb {
+
+/// One RDF statement as interned ids.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// A triple pattern: nullopt positions are wildcards.
+struct TriplePatternIds {
+  std::optional<TermId> s;
+  std::optional<TermId> p;
+  std::optional<TermId> o;
+};
+
+/// The triple store. Not thread-safe for concurrent mutation; concurrent
+/// reads are safe once loading is done (the SCAN platform builds the KB up
+/// front and then queries it from the broker).
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Interns terms through the shared table.
+  [[nodiscard]] TermTable& terms() { return terms_; }
+  [[nodiscard]] const TermTable& terms() const { return terms_; }
+
+  /// Adds a triple; returns false if it was already present.
+  bool Add(const Term& s, const Term& p, const Term& o);
+  bool Add(Triple t);
+
+  /// Removes a triple; returns false if absent. (Used by knowledge
+  /// maintenance when a profile row is superseded.)
+  bool Remove(Triple t);
+
+  [[nodiscard]] bool Contains(Triple t) const;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Invokes `fn` for every triple matching the pattern. `fn` returning
+  /// false stops the scan early.
+  void Match(const TriplePatternIds& pattern,
+             const std::function<bool(const Triple&)>& fn) const;
+
+  /// Convenience: collects all matches.
+  [[nodiscard]] std::vector<Triple> MatchAll(
+      const TriplePatternIds& pattern) const;
+
+  /// Objects o with (s, p, o) in the store.
+  [[nodiscard]] std::vector<TermId> Objects(TermId s, TermId p) const;
+
+  /// Subjects s with (s, p, o) in the store.
+  [[nodiscard]] std::vector<TermId> Subjects(TermId p, TermId o) const;
+
+  /// First object for (s, p, *), if any.
+  [[nodiscard]] std::optional<TermId> FirstObject(TermId s, TermId p) const;
+
+  /// All distinct subjects with rdf:type == type.
+  [[nodiscard]] std::vector<TermId> InstancesOf(TermId type) const;
+
+ private:
+  // key -> postings of the remaining two positions; postings kept sorted for
+  // deterministic iteration order.
+  using Postings = std::vector<std::pair<TermId, TermId>>;
+
+  static bool InsertSorted(Postings& postings, std::pair<TermId, TermId> kv);
+  static bool EraseSorted(Postings& postings, std::pair<TermId, TermId> kv);
+
+  std::unordered_map<std::uint32_t, Postings> spo_;  // s -> (p, o)
+  std::unordered_map<std::uint32_t, Postings> pos_;  // p -> (o, s)
+  std::unordered_map<std::uint32_t, Postings> osp_;  // o -> (s, p)
+  std::size_t count_ = 0;
+  TermTable terms_;
+};
+
+}  // namespace scan::kb

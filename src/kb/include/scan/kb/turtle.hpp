@@ -1,0 +1,42 @@
+#pragma once
+
+// Turtle-subset reader/writer for the knowledge base.
+//
+// The paper authored its ontology in RDF/OWL (Protégé + Jena). We persist
+// and exchange knowledge in a pragmatic Turtle subset covering what the
+// SCAN ontology needs:
+//   @prefix lines, `a` for rdf:type, prefixed and full IRIs, blank nodes,
+//   plain/typed string literals, integer and double literals, the `;` and
+//   `,` predicate/object list shorthands, and `#` comments.
+
+#include <string>
+#include <string_view>
+
+#include "scan/common/status.hpp"
+#include "scan/kb/triple_store.hpp"
+
+namespace scan::kb {
+
+/// Parses Turtle text, adding all triples to `store`. On error, nothing is
+/// rolled back (the store may hold triples parsed before the error) and the
+/// Status describes the line/column of the failure.
+[[nodiscard]] Status ParseTurtle(std::string_view text, TripleStore& store);
+
+/// Serializes the entire store as Turtle. Prefixes are applied greedily:
+/// any IRI beginning with a registered prefix expansion is shortened.
+/// The output groups triples by subject, predicates separated by `;`.
+class TurtleWriter {
+ public:
+  /// Registers `prefix:` -> expansion for compact output.
+  void AddPrefix(std::string prefix, std::string expansion);
+
+  [[nodiscard]] std::string Serialize(const TripleStore& store) const;
+
+ private:
+  [[nodiscard]] std::string RenderIri(const std::string& iri) const;
+  [[nodiscard]] std::string RenderTerm(const Term& term) const;
+
+  std::vector<std::pair<std::string, std::string>> prefixes_;
+};
+
+}  // namespace scan::kb

@@ -1,0 +1,243 @@
+#include "scan/kb/knowledge_base.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "scan/common/str.hpp"
+
+namespace scan::kb {
+
+using namespace vocab;
+
+KnowledgeBase::KnowledgeBase() {
+  SeedScanOntology(store_);
+  SeedDataFormats(store_);
+}
+
+std::string KnowledgeBase::QueryPrefixes() {
+  return "PREFIX scan: <" + std::string(kScanNs) +
+         ">\n"
+         "PREFIX owl: <" +
+         std::string(kOwlNs) +
+         ">\n"
+         "PREFIX rdfs: <" +
+         std::string(kRdfsNs) + ">\n";
+}
+
+std::string KnowledgeBase::NextIndividualName(std::string_view application) {
+  // Names follow the paper's expansion sequence GATK1, GATK2, ... Skip
+  // names already present (e.g. when bootstrap profiles were added with
+  // explicit names) so a task log never merges into an existing individual.
+  for (;;) {
+    ++auto_name_counter_;
+    std::string name =
+        std::string(application) + std::to_string(auto_name_counter_);
+    if (!store_.terms().Lookup(MakeIri(Scan(name))).has_value()) {
+      return name;
+    }
+  }
+}
+
+TermId KnowledgeBase::InsertIndividual(const ApplicationProfile& profile,
+                                       const std::string& name) {
+  const Term individual = MakeIri(Scan(name));
+  const Term rdf_type = RdfType();
+  store_.Add(individual, rdf_type, ClassApplication());
+  store_.Add(individual, rdf_type, OwlNamedIndividual());
+  store_.Add(individual, PropApplication(),
+             MakeStringLiteral(profile.application));
+  store_.Add(individual, PropInputFileSize(),
+             MakeDoubleLiteral(profile.input_file_size_gb));
+  store_.Add(individual, PropSteps(), MakeIntLiteral(profile.steps));
+  store_.Add(individual, PropETime(), MakeDoubleLiteral(profile.etime));
+  store_.Add(individual, PropThreads(), MakeIntLiteral(profile.threads));
+  if (profile.cpu > 0) {
+    store_.Add(individual, PropCpu(), MakeIntLiteral(profile.cpu));
+  }
+  if (profile.ram_gb > 0.0) {
+    store_.Add(individual, PropRam(), MakeDoubleLiteral(profile.ram_gb));
+  }
+  if (profile.stage > 0) {
+    store_.Add(individual, PropStage(), MakeIntLiteral(profile.stage));
+  }
+  if (!profile.performance.empty()) {
+    store_.Add(individual, PropPerformance(),
+               MakeStringLiteral(profile.performance));
+  }
+  return *store_.terms().Lookup(individual);
+}
+
+TermId KnowledgeBase::AddProfile(const ApplicationProfile& profile) {
+  const std::string name = profile.individual.empty()
+                               ? NextIndividualName(profile.application)
+                               : profile.individual;
+  return InsertIndividual(profile, name);
+}
+
+TermId KnowledgeBase::RecordTaskLog(const ApplicationProfile& log_entry) {
+  // Task logs always get fresh auto names: each run extends the KB, as in
+  // the paper's GATK1 -> GATK2 -> GATK3 -> GATK4 expansion example.
+  return InsertIndividual(log_entry, NextIndividualName(log_entry.application));
+}
+
+std::size_t KnowledgeBase::ProfileCount(std::string_view application) const {
+  return Profiles(application).size();
+}
+
+std::vector<ApplicationProfile> KnowledgeBase::Profiles(
+    std::string_view application, std::optional<int> stage) const {
+  std::vector<ApplicationProfile> out;
+  const auto app_prop = store_.terms().Lookup(PropApplication());
+  const auto app_value =
+      store_.terms().Lookup(MakeStringLiteral(std::string(application)));
+  if (!app_prop || !app_value) return out;
+
+  auto numeric_of = [&](TermId subject, const Term& prop) -> double {
+    const auto pid = store_.terms().Lookup(prop);
+    if (!pid) return 0.0;
+    const auto obj = store_.FirstObject(subject, *pid);
+    if (!obj) return 0.0;
+    return NumericValue(store_.terms().Get(*obj)).value_or(0.0);
+  };
+  auto string_of = [&](TermId subject, const Term& prop) -> std::string {
+    const auto pid = store_.terms().Lookup(prop);
+    if (!pid) return {};
+    const auto obj = store_.FirstObject(subject, *pid);
+    if (!obj) return {};
+    return store_.terms().Get(*obj).lexical;
+  };
+
+  for (const TermId subject : store_.Subjects(*app_prop, *app_value)) {
+    ApplicationProfile profile;
+    const std::string& iri = store_.terms().Get(subject).lexical;
+    const std::size_t hash_pos = iri.rfind('#');
+    profile.individual =
+        hash_pos == std::string::npos ? iri : iri.substr(hash_pos + 1);
+    profile.application = std::string(application);
+    profile.stage = static_cast<int>(numeric_of(subject, PropStage()));
+    profile.input_file_size_gb = numeric_of(subject, PropInputFileSize());
+    profile.steps = static_cast<int>(numeric_of(subject, PropSteps()));
+    profile.cpu = static_cast<int>(numeric_of(subject, PropCpu()));
+    profile.ram_gb = numeric_of(subject, PropRam());
+    profile.etime = numeric_of(subject, PropETime());
+    const int threads = static_cast<int>(numeric_of(subject, PropThreads()));
+    profile.threads = threads > 0 ? threads : 1;
+    profile.performance = string_of(subject, PropPerformance());
+    if (stage && profile.stage != *stage) continue;
+    out.push_back(std::move(profile));
+  }
+  return out;
+}
+
+Result<ShardAdvice> KnowledgeBase::AdviseShardSize(
+    std::string_view application, double min_gb, double max_gb) const {
+  if (min_gb < 0.0 || max_gb < min_gb) {
+    return InvalidArgumentError("AdviseShardSize: bad size bounds");
+  }
+  // The broker's query, in SPARQL as the paper prescribes. OPTIONAL blocks
+  // tolerate profiles missing CPU/RAM attributes.
+  const std::string query_text =
+      QueryPrefixes() +
+      StrFormat(
+          "SELECT ?ind ?size ?etime ?cpu ?ram WHERE {\n"
+          "  ?ind a scan:Application .\n"
+          "  ?ind scan:application \"%s\" .\n"
+          "  ?ind scan:inputFileSize ?size .\n"
+          "  ?ind scan:eTime ?etime .\n"
+          "  OPTIONAL { ?ind scan:CPU ?cpu . }\n"
+          "  OPTIONAL { ?ind scan:RAM ?ram . }\n"
+          "  FILTER(?size >= %.17g && ?size <= %.17g && ?etime > 0)\n"
+          "} ORDER BY ASC(?etime)",
+          std::string(application).c_str(), min_gb, max_gb);
+
+  const QueryEngine engine(store_);
+  auto result = engine.Execute(query_text);
+  if (!result.ok()) return result.status();
+
+  const auto& rs = result.value();
+  const auto ind_col = rs.ColumnOf("ind");
+  const auto size_col = rs.ColumnOf("size");
+  const auto etime_col = rs.ColumnOf("etime");
+  const auto cpu_col = rs.ColumnOf("cpu");
+  const auto ram_col = rs.ColumnOf("ram");
+  if (!ind_col || !size_col || !etime_col) {
+    return InternalError("AdviseShardSize: projection mismatch");
+  }
+
+  ShardAdvice best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& row : rs.rows) {
+    const auto size = NumericValue(*row[*size_col]);
+    const auto etime = NumericValue(*row[*etime_col]);
+    if (!size || !etime || *size <= 0.0) continue;
+    const double score = *etime / *size;
+    if (score < best_score) {
+      best_score = score;
+      best.shard_size_gb = *size;
+      best.time_per_gb = score;
+      const std::string& iri = row[*ind_col]->lexical;
+      const std::size_t hash_pos = iri.rfind('#');
+      best.source_individual =
+          hash_pos == std::string::npos ? iri : iri.substr(hash_pos + 1);
+      best.recommended_cpu =
+          (cpu_col && row[*cpu_col])
+              ? static_cast<int>(NumericValue(*row[*cpu_col]).value_or(0.0))
+              : 0;
+      best.recommended_ram_gb =
+          (ram_col && row[*ram_col])
+              ? NumericValue(*row[*ram_col]).value_or(0.0)
+              : 0.0;
+    }
+  }
+  if (best_score == std::numeric_limits<double>::infinity()) {
+    return NotFoundError("AdviseShardSize: no profile for application '" +
+                         std::string(application) + "' within bounds");
+  }
+  return best;
+}
+
+Result<int> KnowledgeBase::AdviseThreads(std::string_view application,
+                                         int stage) const {
+  const auto profiles = Profiles(application, stage);
+  if (profiles.empty()) {
+    return NotFoundError(StrFormat(
+        "AdviseThreads: no profiles for stage %d of '%s'", stage,
+        std::string(application).c_str()));
+  }
+  // Normalize by input size so differently-sized profile runs compare
+  // fairly, then pick the thread count with the best normalized time.
+  int best_threads = 1;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& p : profiles) {
+    if (p.input_file_size_gb <= 0.0 || p.etime <= 0.0) continue;
+    const double score = p.etime / p.input_file_size_gb;
+    if (score < best_score) {
+      best_score = score;
+      best_threads = p.threads;
+    }
+  }
+  if (best_score == std::numeric_limits<double>::infinity()) {
+    return NotFoundError("AdviseThreads: no usable profiles");
+  }
+  return best_threads;
+}
+
+LinearFit KnowledgeBase::FitETimeModel(std::string_view application,
+                                       std::optional<int> stage,
+                                       int threads) const {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& p : Profiles(application, stage)) {
+    if (p.threads != threads) continue;
+    xs.push_back(p.input_file_size_gb);
+    ys.push_back(p.etime);
+  }
+  return FitLine(xs, ys);
+}
+
+Result<ResultSet> KnowledgeBase::Query(std::string_view sparql) const {
+  const QueryEngine engine(store_);
+  return engine.Execute(sparql);
+}
+
+}  // namespace scan::kb

@@ -1,0 +1,126 @@
+#include "scan/kb/ontology.hpp"
+
+namespace scan::kb {
+
+namespace vocab {
+
+std::string Scan(std::string_view local) {
+  return std::string(kScanNs) + std::string(local);
+}
+std::string Owl(std::string_view local) {
+  return std::string(kOwlNs) + std::string(local);
+}
+std::string Rdfs(std::string_view local) {
+  return std::string(kRdfsNs) + std::string(local);
+}
+
+Term ClassApplication() { return MakeIri(Scan("Application")); }
+Term ClassGenomeAnalysis() { return MakeIri(Scan("GenomeAnalysis")); }
+Term ClassProteomeAnalysis() { return MakeIri(Scan("ProteomeAnalysis")); }
+Term ClassImagingAnalysis() { return MakeIri(Scan("ImagingAnalysis")); }
+Term ClassIntegrativeAnalysis() { return MakeIri(Scan("IntegrativeAnalysis")); }
+Term ClassDataFormat() { return MakeIri(Scan("DataFormat")); }
+Term ClassAlignedGenomicData() { return MakeIri(Scan("AlignedGenomicData")); }
+Term ClassWorkflow() { return MakeIri(Scan("Workflow")); }
+
+Term ClassCloudResource() { return MakeIri(Scan("CloudResource")); }
+Term ClassComputeTier() { return MakeIri(Scan("ComputeTier")); }
+Term ClassInstanceType() { return MakeIri(Scan("InstanceType")); }
+
+Term PropInputFileSize() { return MakeIri(Scan("inputFileSize")); }
+Term PropSteps() { return MakeIri(Scan("steps")); }
+Term PropRam() { return MakeIri(Scan("RAM")); }
+Term PropETime() { return MakeIri(Scan("eTime")); }
+Term PropCpu() { return MakeIri(Scan("CPU")); }
+Term PropThreads() { return MakeIri(Scan("threads")); }
+Term PropPerformance() { return MakeIri(Scan("performance")); }
+Term PropStage() { return MakeIri(Scan("stage")); }
+Term PropApplication() { return MakeIri(Scan("application")); }
+
+Term PropRequiredBy() { return MakeIri(Scan("requiredBy")); }
+Term PropComputingResource() { return MakeIri(Scan("computingResource")); }
+Term PropRunsOnTier() { return MakeIri(Scan("runsOnTier")); }
+Term PropCostPerCoreTu() { return MakeIri(Scan("costPerCoreTU")); }
+Term PropCores() { return MakeIri(Scan("cores")); }
+Term PropDataFormatOf() { return MakeIri(Scan("dataFormat")); }
+
+Term RdfType() { return MakeIri(std::string(kRdfType)); }
+Term OwlClass() { return MakeIri(Owl("Class")); }
+Term OwlNamedIndividual() { return MakeIri(Owl("NamedIndividual")); }
+Term RdfsSubClassOf() { return MakeIri(Rdfs("subClassOf")); }
+Term RdfsLabel() { return MakeIri(Rdfs("label")); }
+
+}  // namespace vocab
+
+std::size_t SeedScanOntology(TripleStore& store) {
+  using namespace vocab;
+  const std::size_t before = store.size();
+
+  const Term owl_class = OwlClass();
+  const Term rdf_type = RdfType();
+  const Term subclass = RdfsSubClassOf();
+  const Term label = RdfsLabel();
+
+  auto declare_class = [&](const Term& cls, std::string text) {
+    store.Add(cls, rdf_type, owl_class);
+    store.Add(cls, label, MakeStringLiteral(std::move(text)));
+  };
+
+  // Domain ontology.
+  declare_class(ClassApplication(), "Bio-application");
+  declare_class(ClassWorkflow(), "Analysis workflow");
+  declare_class(ClassGenomeAnalysis(), "Genome analysis workflow");
+  declare_class(ClassProteomeAnalysis(), "Proteome analysis workflow");
+  declare_class(ClassImagingAnalysis(), "Cell imaging analysis workflow");
+  declare_class(ClassIntegrativeAnalysis(), "Integrative network analysis");
+  declare_class(ClassDataFormat(), "Biological data format");
+  declare_class(ClassAlignedGenomicData(), "Aligned genomic data (GATK input)");
+
+  store.Add(ClassGenomeAnalysis(), subclass, ClassWorkflow());
+  store.Add(ClassProteomeAnalysis(), subclass, ClassWorkflow());
+  store.Add(ClassImagingAnalysis(), subclass, ClassWorkflow());
+  store.Add(ClassIntegrativeAnalysis(), subclass, ClassWorkflow());
+
+  // Cloud ontology.
+  declare_class(ClassCloudResource(), "Cloud resource");
+  declare_class(ClassComputeTier(), "Compute tier");
+  declare_class(ClassInstanceType(), "Instance type");
+  store.Add(ClassComputeTier(), subclass, ClassCloudResource());
+  store.Add(ClassInstanceType(), subclass, ClassCloudResource());
+
+  // Linker: AlignedGenomicData requiredBy GATK workflows (prototype example
+  // from §III-A-2).
+  store.Add(ClassAlignedGenomicData(), PropRequiredBy(),
+            ClassGenomeAnalysis());
+
+  return store.size() - before;
+}
+
+std::size_t SeedDataFormats(TripleStore& store) {
+  using namespace vocab;
+  const std::size_t before = store.size();
+  const Term rdf_type = RdfType();
+  const Term format_class = ClassDataFormat();
+  const Term label = RdfsLabel();
+
+  struct FormatSpec {
+    const char* local;
+    const char* text;
+  };
+  static constexpr FormatSpec kFormats[] = {
+      {"FASTQ", "Sequencing reads with quality scores"},
+      {"FASTA", "Reference / assembled sequence"},
+      {"SAM", "Sequence alignment map (text)"},
+      {"BAM", "Sequence alignment map (binary)"},
+      {"VCF", "Variant call format"},
+      {"MGF", "Mascot generic format (proteomics spectra)"},
+  };
+  for (const auto& f : kFormats) {
+    const Term iri = MakeIri(Scan(f.local));
+    store.Add(iri, rdf_type, format_class);
+    store.Add(iri, label, MakeStringLiteral(f.text));
+  }
+  return store.size() - before;
+}
+
+}  // namespace scan::kb

@@ -1,0 +1,728 @@
+#include <cctype>
+#include <map>
+
+#include "scan/common/str.hpp"
+#include "scan/kb/sparql.hpp"
+
+namespace scan::kb {
+
+namespace {
+
+enum class TokKind {
+  kEof,
+  kKeyword,   // upper-cased identifier (SELECT, WHERE, ...)
+  kVariable,  // ?name (text holds name without '?')
+  kIri,       // <...> (text holds the IRI)
+  kPrefixedName,  // pfx:local (text holds "pfx:local")
+  kString,    // "..." (text holds decoded value)
+  kNumber,    // integer or double literal (text holds lexical form)
+  kPunct,     // one of { } ( ) . ; , * = != < <= > >= && || !
+  kA,         // the `a` keyword (rdf:type)
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  bool is_double = false;  // for kNumber
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) {
+        tokens.push_back(Token{TokKind::kEof, "", false, line_});
+        return tokens;
+      }
+      const char c = Peek();
+      if (c == '?' || c == '$') {
+        Advance();
+        std::string name = ReadName();
+        if (name.empty()) return Err("empty variable name");
+        tokens.push_back(Token{TokKind::kVariable, std::move(name), false, line_});
+        continue;
+      }
+      if (c == '<') {
+        // '<' is ambiguous: IRI open bracket vs. less-than in FILTER.
+        // It is an IRI iff a '>' appears before any whitespace.
+        if (LooksLikeIri()) {
+          Advance();
+          std::string iri;
+          while (!AtEnd() && Peek() != '>') iri += Advance();
+          if (AtEnd()) return Err("unterminated IRI");
+          Advance();
+          tokens.push_back(Token{TokKind::kIri, std::move(iri), false, line_});
+        } else {
+          Advance();
+          if (Peek() == '=') {
+            Advance();
+            tokens.push_back(Token{TokKind::kPunct, "<=", false, line_});
+          } else {
+            tokens.push_back(Token{TokKind::kPunct, "<", false, line_});
+          }
+        }
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = Advance();
+        std::string value;
+        for (;;) {
+          if (AtEnd()) return Err("unterminated string");
+          char ch = Advance();
+          if (ch == '\\') {
+            if (AtEnd()) return Err("dangling escape");
+            const char esc = Advance();
+            switch (esc) {
+              case 'n': value += '\n'; break;
+              case 't': value += '\t'; break;
+              case '"': value += '"'; break;
+              case '\'': value += '\''; break;
+              case '\\': value += '\\'; break;
+              default: return Err("unsupported escape");
+            }
+            continue;
+          }
+          if (ch == quote) break;
+          value += ch;
+        }
+        tokens.push_back(Token{TokKind::kString, std::move(value), false, line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          ((c == '+' || c == '-') &&
+           std::isdigit(static_cast<unsigned char>(PeekAt(1))) != 0)) {
+        std::string num;
+        bool is_double = false;
+        if (c == '+' || c == '-') num += Advance();
+        while (!AtEnd()) {
+          const char d = Peek();
+          if (std::isdigit(static_cast<unsigned char>(d)) != 0) {
+            num += Advance();
+          } else if (d == '.' &&
+                     std::isdigit(static_cast<unsigned char>(PeekAt(1))) != 0) {
+            is_double = true;
+            num += Advance();
+          } else if (d == 'e' || d == 'E') {
+            is_double = true;
+            num += Advance();
+            if (Peek() == '+' || Peek() == '-') num += Advance();
+          } else {
+            break;
+          }
+        }
+        tokens.push_back(Token{TokKind::kNumber, std::move(num), is_double, line_});
+        continue;
+      }
+      // Multi-char punctuation first.
+      if (c == '!' && PeekAt(1) == '=') {
+        Advance(); Advance();
+        tokens.push_back(Token{TokKind::kPunct, "!=", false, line_});
+        continue;
+      }
+      if (c == '=' ) {
+        Advance();
+        tokens.push_back(Token{TokKind::kPunct, "=", false, line_});
+        continue;
+      }
+      if (c == '&' && PeekAt(1) == '&') {
+        Advance(); Advance();
+        tokens.push_back(Token{TokKind::kPunct, "&&", false, line_});
+        continue;
+      }
+      if (c == '|' && PeekAt(1) == '|') {
+        Advance(); Advance();
+        tokens.push_back(Token{TokKind::kPunct, "||", false, line_});
+        continue;
+      }
+      if (c == '>' ) {
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          tokens.push_back(Token{TokKind::kPunct, ">=", false, line_});
+        } else {
+          tokens.push_back(Token{TokKind::kPunct, ">", false, line_});
+        }
+        continue;
+      }
+      if (std::string_view("{}().;,*!").find(c) != std::string_view::npos) {
+        Advance();
+        tokens.push_back(Token{TokKind::kPunct, std::string(1, c), false, line_});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::string word = ReadName();
+        // Prefixed name?
+        if (Peek() == ':') {
+          Advance();
+          std::string local = ReadName();
+          tokens.push_back(Token{TokKind::kPrefixedName, word + ":" + local,
+                                 false, line_});
+          continue;
+        }
+        if (word == "a") {
+          tokens.push_back(Token{TokKind::kA, "a", false, line_});
+          continue;
+        }
+        // Keywords are case-insensitive.
+        std::string upper;
+        for (const char ch : word) {
+          upper += static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        tokens.push_back(Token{TokKind::kKeyword, std::move(upper), false, line_});
+        continue;
+      }
+      if (c == ':') {
+        // Default-prefix name `:local`.
+        Advance();
+        std::string local = ReadName();
+        tokens.push_back(Token{TokKind::kPrefixedName, ":" + local, false, line_});
+        continue;
+      }
+      return Err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+ private:
+  [[nodiscard]] bool AtEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  [[nodiscard]] char PeekAt(std::size_t k) const {
+    return pos_ + k >= text_.size() ? '\0' : text_[pos_ + k];
+  }
+  char Advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek())) != 0) {
+        Advance();
+      }
+      if (!AtEnd() && Peek() == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+        continue;
+      }
+      return;
+    }
+  }
+  std::string ReadName() {
+    std::string word;
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+          c == '-') {
+        word += Advance();
+      } else {
+        break;
+      }
+    }
+    return word;
+  }
+
+  /// After '<': true if a '>' occurs before any whitespace (IRI form).
+  [[nodiscard]] bool LooksLikeIri() const {
+    for (std::size_t k = 1; pos_ + k < text_.size(); ++k) {
+      const char c = text_[pos_ + k];
+      if (c == '>') return true;
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) return false;
+    }
+    return false;
+  }
+  Status Err(std::string msg) const {
+    return ParseError(msg + " at line " + std::to_string(line_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+// Propagate errors from Status-returning subroutines inside
+// Result-returning functions.
+#define SCAN_RETURN_IF_ERROR_R(expr) \
+  do {                               \
+    ::scan::Status s_ = (expr);      \
+    if (!s_.ok()) return s_;         \
+  } while (false)
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> Run() {
+    SelectQuery query;
+    // PREFIX declarations.
+    while (IsKeyword("PREFIX")) {
+      Next();
+      SCAN_RETURN_IF_ERROR_R(ParsePrefixDecl());
+    }
+    if (!IsKeyword("SELECT")) return Err("expected SELECT");
+    Next();
+    if (IsKeyword("DISTINCT")) {
+      query.distinct = true;
+      Next();
+    }
+    if (IsPunct("*")) {
+      Next();
+    } else {
+      for (;;) {
+        if (Cur().kind == TokKind::kVariable) {
+          Projection projection;
+          projection.var = Cur().text;
+          projection.alias = Cur().text;
+          query.variables.push_back(Cur().text);
+          query.projections.push_back(std::move(projection));
+          Next();
+          continue;
+        }
+        if (IsPunct("(")) {
+          auto aggregate = ParseAggregateProjection();
+          if (!aggregate.ok()) return aggregate.status();
+          query.variables.push_back(aggregate->alias);
+          query.projections.push_back(std::move(aggregate.value()));
+          continue;
+        }
+        break;
+      }
+      if (query.projections.empty()) {
+        return Err("expected projection variables or *");
+      }
+    }
+    // FROM <...> clauses are accepted and ignored (the engine queries the
+    // single default graph; the paper's example uses FROM <scan-wxing.owl>).
+    while (IsKeyword("FROM")) {
+      Next();
+      if (Cur().kind != TokKind::kIri) return Err("expected IRI after FROM");
+      Next();
+    }
+    if (IsKeyword("WHERE")) Next();
+    auto group = ParseGroup();
+    if (!group.ok()) return group.status();
+    query.where = std::move(group.value());
+
+    if (IsKeyword("GROUP")) {
+      Next();
+      if (!IsKeyword("BY")) return Err("expected BY after GROUP");
+      Next();
+      while (Cur().kind == TokKind::kVariable) {
+        query.group_by.push_back(Cur().text);
+        Next();
+      }
+      if (query.group_by.empty()) return Err("empty GROUP BY");
+    }
+    if (IsKeyword("ORDER")) {
+      Next();
+      if (!IsKeyword("BY")) return Err("expected BY after ORDER");
+      Next();
+      for (;;) {
+        OrderKey key;
+        if (IsKeyword("ASC") || IsKeyword("DESC")) {
+          key.ascending = Cur().text == "ASC";
+          Next();
+          if (!IsPunct("(")) return Err("expected ( after ASC/DESC");
+          Next();
+          if (Cur().kind != TokKind::kVariable) {
+            return Err("expected variable in ORDER BY");
+          }
+          key.var = Cur().text;
+          Next();
+          if (!IsPunct(")")) return Err("expected ) in ORDER BY");
+          Next();
+        } else if (Cur().kind == TokKind::kVariable) {
+          key.var = Cur().text;
+          Next();
+        } else {
+          break;
+        }
+        query.order_by.push_back(std::move(key));
+        if (Cur().kind != TokKind::kVariable && !IsKeyword("ASC") &&
+            !IsKeyword("DESC")) {
+          break;
+        }
+      }
+      if (query.order_by.empty()) return Err("empty ORDER BY");
+    }
+    if (IsKeyword("LIMIT")) {
+      Next();
+      if (Cur().kind != TokKind::kNumber || Cur().is_double) {
+        return Err("expected integer after LIMIT");
+      }
+      query.limit = static_cast<std::size_t>(*ParseInt(Cur().text));
+      Next();
+    }
+    if (IsKeyword("OFFSET")) {
+      Next();
+      if (Cur().kind != TokKind::kNumber || Cur().is_double) {
+        return Err("expected integer after OFFSET");
+      }
+      query.offset = static_cast<std::size_t>(*ParseInt(Cur().text));
+      Next();
+    }
+    if (Cur().kind != TokKind::kEof) {
+      return Err("trailing input after query (near '" + Cur().text + "')");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Next() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool IsKeyword(std::string_view kw) const {
+    return Cur().kind == TokKind::kKeyword && Cur().text == kw;
+  }
+  bool IsPunct(std::string_view p) const {
+    return Cur().kind == TokKind::kPunct && Cur().text == p;
+  }
+  Status Err(std::string msg) const {
+    return ParseError(msg + " at line " + std::to_string(Cur().line));
+  }
+
+  /// Parses "( FN(?v | *) AS ?alias )" after the opening '(' is current.
+  Result<Projection> ParseAggregateProjection() {
+    Next();  // consume '('
+    static const std::map<std::string, AggregateFn, std::less<>> kFns = {
+        {"COUNT", AggregateFn::kCount}, {"SUM", AggregateFn::kSum},
+        {"AVG", AggregateFn::kAvg},     {"MIN", AggregateFn::kMin},
+        {"MAX", AggregateFn::kMax},
+    };
+    if (Cur().kind != TokKind::kKeyword || !kFns.contains(Cur().text)) {
+      return Err("expected aggregate function (COUNT/SUM/AVG/MIN/MAX)");
+    }
+    Projection projection;
+    projection.fn = kFns.at(Cur().text);
+    Next();
+    if (!IsPunct("(")) return Err("expected '(' after aggregate function");
+    Next();
+    if (IsPunct("*")) {
+      if (projection.fn != AggregateFn::kCount) {
+        return Err("only COUNT accepts *");
+      }
+      projection.star = true;
+      Next();
+    } else if (Cur().kind == TokKind::kVariable) {
+      projection.var = Cur().text;
+      Next();
+    } else {
+      return Err("expected variable or * inside aggregate");
+    }
+    if (!IsPunct(")")) return Err("expected ')' closing aggregate argument");
+    Next();
+    if (!IsKeyword("AS")) return Err("expected AS in aggregate projection");
+    Next();
+    if (Cur().kind != TokKind::kVariable) {
+      return Err("expected alias variable after AS");
+    }
+    projection.alias = Cur().text;
+    Next();
+    if (!IsPunct(")")) return Err("expected ')' closing aggregate projection");
+    Next();
+    return projection;
+  }
+
+  Status ParsePrefixDecl() {
+    if (Cur().kind != TokKind::kPrefixedName) {
+      return Err("expected prefix name in PREFIX");
+    }
+    std::string name = Cur().text;
+    // "pfx:" arrives as "pfx:" + "" local.
+    const std::size_t colon = name.find(':');
+    std::string prefix = name.substr(0, colon);
+    Next();
+    if (Cur().kind != TokKind::kIri) return Err("expected IRI in PREFIX");
+    prefixes_[prefix] = Cur().text;
+    Next();
+    return Status::Ok();
+  }
+
+  Result<Term> ResolvePrefixed(const std::string& text) {
+    const std::size_t colon = text.find(':');
+    const std::string prefix = text.substr(0, colon);
+    const std::string local = text.substr(colon + 1);
+    const auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Err("unknown prefix '" + prefix + "'");
+    }
+    return MakeIri(it->second + local);
+  }
+
+  Result<PatternNode> ParseNode(bool allow_literal) {
+    switch (Cur().kind) {
+      case TokKind::kVariable: {
+        Variable v{Cur().text};
+        Next();
+        return PatternNode{std::move(v)};
+      }
+      case TokKind::kIri: {
+        Term t = MakeIri(Cur().text);
+        Next();
+        return PatternNode{std::move(t)};
+      }
+      case TokKind::kPrefixedName: {
+        auto term = ResolvePrefixed(Cur().text);
+        if (!term.ok()) return term.status();
+        Next();
+        return PatternNode{std::move(term.value())};
+      }
+      case TokKind::kA: {
+        Next();
+        return PatternNode{MakeIri(std::string(kRdfType))};
+      }
+      case TokKind::kString: {
+        if (!allow_literal) return Err("literal not allowed here");
+        Term t = MakeStringLiteral(Cur().text);
+        Next();
+        return PatternNode{std::move(t)};
+      }
+      case TokKind::kNumber: {
+        if (!allow_literal) return Err("literal not allowed here");
+        Term t{TermKind::kLiteral, Cur().text,
+               std::string(Cur().is_double ? kXsdDouble : kXsdInteger)};
+        Next();
+        return PatternNode{std::move(t)};
+      }
+      default:
+        return Err("expected variable, IRI, or literal (got '" + Cur().text +
+                   "')");
+    }
+  }
+
+  Result<GroupPattern> ParseGroup() {
+    if (!IsPunct("{")) return Err("expected '{'");
+    Next();
+    GroupPattern group;
+    for (;;) {
+      if (IsPunct("}")) {
+        Next();
+        return group;
+      }
+      if (Cur().kind == TokKind::kEof) return Err("unterminated group");
+      if (IsKeyword("FILTER")) {
+        Next();
+        auto expr = ParseFilter();
+        if (!expr.ok()) return expr.status();
+        group.filters.push_back(std::move(expr.value()));
+        if (IsPunct(".")) Next();
+        continue;
+      }
+      if (IsKeyword("OPTIONAL")) {
+        Next();
+        auto inner = ParseGroup();
+        if (!inner.ok()) return inner.status();
+        group.optionals.push_back(std::move(inner.value()));
+        if (IsPunct(".")) Next();
+        continue;
+      }
+      if (IsPunct("{")) {
+        // `{A} UNION {B} [UNION {C} ...]` alternation.
+        std::vector<GroupPattern> branches;
+        auto first = ParseGroup();
+        if (!first.ok()) return first.status();
+        branches.push_back(std::move(first.value()));
+        while (IsKeyword("UNION")) {
+          Next();
+          auto branch = ParseGroup();
+          if (!branch.ok()) return branch.status();
+          branches.push_back(std::move(branch.value()));
+        }
+        if (branches.size() < 2) {
+          return Err("expected UNION after nested group");
+        }
+        group.unions.push_back(std::move(branches));
+        if (IsPunct(".")) Next();
+        continue;
+      }
+      // Triple pattern with ; and , shorthands.
+      auto subject = ParseNode(/*allow_literal=*/false);
+      if (!subject.ok()) return subject.status();
+      for (;;) {
+        auto predicate = ParseNode(/*allow_literal=*/false);
+        if (!predicate.ok()) return predicate.status();
+        for (;;) {
+          auto object = ParseNode(/*allow_literal=*/true);
+          if (!object.ok()) return object.status();
+          group.triples.push_back(TriplePattern{subject.value(),
+                                                predicate.value(),
+                                                object.value()});
+          if (IsPunct(",")) {
+            Next();
+            continue;
+          }
+          break;
+        }
+        if (IsPunct(";")) {
+          Next();
+          if (IsPunct(".") || IsPunct("}")) break;  // tolerate trailing ;
+          continue;
+        }
+        break;
+      }
+      if (IsPunct(".")) Next();
+    }
+  }
+
+  Result<ExprPtr> ParseFilter() {
+    if (!IsPunct("(")) return Err("expected '(' after FILTER");
+    Next();
+    auto expr = ParseOr();
+    if (!expr.ok()) return expr.status();
+    if (!IsPunct(")")) return Err("expected ')' closing FILTER");
+    Next();
+    return std::move(expr.value());
+  }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs.status();
+    while (IsPunct("||")) {
+      Next();
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs.status();
+      auto node = std::make_unique<Expr>();
+      node->op = ExprOp::kOr;
+      node->lhs = std::move(lhs.value());
+      node->rhs = std::move(rhs.value());
+      lhs = std::move(node);
+    }
+    return std::move(lhs.value());
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs.status();
+    while (IsPunct("&&")) {
+      Next();
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs.status();
+      auto node = std::make_unique<Expr>();
+      node->op = ExprOp::kAnd;
+      node->lhs = std::move(lhs.value());
+      node->rhs = std::move(rhs.value());
+      lhs = std::move(node);
+    }
+    return std::move(lhs.value());
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (IsPunct("!")) {
+      Next();
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand.status();
+      auto node = std::make_unique<Expr>();
+      node->op = ExprOp::kNot;
+      node->lhs = std::move(operand.value());
+      return node;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    if (IsPunct("(")) {
+      Next();
+      auto inner = ParseOr();
+      if (!inner.ok()) return inner.status();
+      if (!IsPunct(")")) return Err("expected ')'");
+      Next();
+      return std::move(inner.value());
+    }
+    if (IsKeyword("BOUND")) {
+      Next();
+      if (!IsPunct("(")) return Err("expected '(' after BOUND");
+      Next();
+      if (Cur().kind != TokKind::kVariable) {
+        return Err("expected variable in BOUND");
+      }
+      auto node = std::make_unique<Expr>();
+      node->op = ExprOp::kBound;
+      node->var = Cur().text;
+      Next();
+      if (!IsPunct(")")) return Err("expected ')' after BOUND variable");
+      Next();
+      return node;
+    }
+    auto lhs = ParseOperand();
+    if (!lhs.ok()) return lhs.status();
+    // Comparison operator?
+    static const std::map<std::string, ExprOp, std::less<>> kOps = {
+        {"=", ExprOp::kEq},  {"!=", ExprOp::kNe}, {"<", ExprOp::kLt},
+        {"<=", ExprOp::kLe}, {">", ExprOp::kGt},  {">=", ExprOp::kGe},
+    };
+    if (Cur().kind == TokKind::kPunct) {
+      const auto it = kOps.find(Cur().text);
+      if (it != kOps.end()) {
+        const ExprOp op = it->second;
+        Next();
+        auto rhs = ParseOperand();
+        if (!rhs.ok()) return rhs.status();
+        auto node = std::make_unique<Expr>();
+        node->op = op;
+        node->lhs = std::move(lhs.value());
+        node->rhs = std::move(rhs.value());
+        return node;
+      }
+    }
+    return std::move(lhs.value());
+  }
+
+  Result<ExprPtr> ParseOperand() {
+    auto node = std::make_unique<Expr>();
+    switch (Cur().kind) {
+      case TokKind::kVariable:
+        node->op = ExprOp::kVar;
+        node->var = Cur().text;
+        Next();
+        return node;
+      case TokKind::kNumber:
+        node->op = ExprOp::kLiteral;
+        node->literal =
+            Term{TermKind::kLiteral, Cur().text,
+                 std::string(Cur().is_double ? kXsdDouble : kXsdInteger)};
+        Next();
+        return node;
+      case TokKind::kString:
+        node->op = ExprOp::kLiteral;
+        node->literal = MakeStringLiteral(Cur().text);
+        Next();
+        return node;
+      case TokKind::kIri:
+        node->op = ExprOp::kLiteral;
+        node->literal = MakeIri(Cur().text);
+        Next();
+        return node;
+      case TokKind::kPrefixedName: {
+        auto term = ResolvePrefixed(Cur().text);
+        if (!term.ok()) return term.status();
+        node->op = ExprOp::kLiteral;
+        node->literal = std::move(term.value());
+        Next();
+        return node;
+      }
+      default:
+        return Err("expected operand in FILTER (got '" + Cur().text + "')");
+    }
+  }
+
+#undef SCAN_RETURN_IF_ERROR_R
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<SelectQuery> ParseSparql(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  return parser.Run();
+}
+
+}  // namespace scan::kb

@@ -1,0 +1,156 @@
+#include "scan/kb/triple_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scan::kb {
+
+namespace {
+
+// Sorted postings use (first, second) lexicographic order on raw indexes.
+bool PairLess(std::pair<TermId, TermId> a, std::pair<TermId, TermId> b) {
+  if (Index(a.first) != Index(b.first)) {
+    return Index(a.first) < Index(b.first);
+  }
+  return Index(a.second) < Index(b.second);
+}
+
+}  // namespace
+
+bool TripleStore::InsertSorted(Postings& postings,
+                               std::pair<TermId, TermId> kv) {
+  const auto it =
+      std::lower_bound(postings.begin(), postings.end(), kv, PairLess);
+  if (it != postings.end() && *it == kv) return false;
+  postings.insert(it, kv);
+  return true;
+}
+
+bool TripleStore::EraseSorted(Postings& postings,
+                              std::pair<TermId, TermId> kv) {
+  const auto it =
+      std::lower_bound(postings.begin(), postings.end(), kv, PairLess);
+  if (it == postings.end() || !(*it == kv)) return false;
+  postings.erase(it);
+  return true;
+}
+
+bool TripleStore::Add(const Term& s, const Term& p, const Term& o) {
+  return Add(Triple{terms_.Intern(s), terms_.Intern(p), terms_.Intern(o)});
+}
+
+bool TripleStore::Add(Triple t) {
+  assert(Index(t.s) != 0 && Index(t.p) != 0 && Index(t.o) != 0);
+  if (!InsertSorted(spo_[Index(t.s)], {t.p, t.o})) return false;
+  InsertSorted(pos_[Index(t.p)], {t.o, t.s});
+  InsertSorted(osp_[Index(t.o)], {t.s, t.p});
+  ++count_;
+  return true;
+}
+
+bool TripleStore::Remove(Triple t) {
+  const auto it = spo_.find(Index(t.s));
+  if (it == spo_.end()) return false;
+  if (!EraseSorted(it->second, {t.p, t.o})) return false;
+  EraseSorted(pos_[Index(t.p)], {t.o, t.s});
+  EraseSorted(osp_[Index(t.o)], {t.s, t.p});
+  --count_;
+  return true;
+}
+
+bool TripleStore::Contains(Triple t) const {
+  const auto it = spo_.find(Index(t.s));
+  if (it == spo_.end()) return false;
+  const std::pair<TermId, TermId> kv{t.p, t.o};
+  const auto pit =
+      std::lower_bound(it->second.begin(), it->second.end(), kv, PairLess);
+  return pit != it->second.end() && *pit == kv;
+}
+
+void TripleStore::Match(const TriplePatternIds& pattern,
+                        const std::function<bool(const Triple&)>& fn) const {
+  // Choose the index keyed by a bound position; prefer the subject index,
+  // then predicate, then object; fall back to a full scan over spo_.
+  if (pattern.s) {
+    const auto it = spo_.find(Index(*pattern.s));
+    if (it == spo_.end()) return;
+    for (const auto& [p, o] : it->second) {
+      if (pattern.p && !(p == *pattern.p)) continue;
+      if (pattern.o && !(o == *pattern.o)) continue;
+      if (!fn(Triple{*pattern.s, p, o})) return;
+    }
+    return;
+  }
+  if (pattern.p) {
+    const auto it = pos_.find(Index(*pattern.p));
+    if (it == pos_.end()) return;
+    for (const auto& [o, s] : it->second) {
+      if (pattern.o && !(o == *pattern.o)) continue;
+      if (!fn(Triple{s, *pattern.p, o})) return;
+    }
+    return;
+  }
+  if (pattern.o) {
+    const auto it = osp_.find(Index(*pattern.o));
+    if (it == osp_.end()) return;
+    for (const auto& [s, p] : it->second) {
+      if (!fn(Triple{s, p, *pattern.o})) return;
+    }
+    return;
+  }
+  // Full scan. Iterate subjects in ascending id order for determinism.
+  std::vector<std::uint32_t> subjects;
+  subjects.reserve(spo_.size());
+  for (const auto& [s, _] : spo_) subjects.push_back(s);
+  std::sort(subjects.begin(), subjects.end());
+  for (const std::uint32_t s : subjects) {
+    for (const auto& [p, o] : spo_.at(s)) {
+      if (!fn(Triple{TermId{s}, p, o})) return;
+    }
+  }
+}
+
+std::vector<Triple> TripleStore::MatchAll(
+    const TriplePatternIds& pattern) const {
+  std::vector<Triple> out;
+  Match(pattern, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
+  std::vector<TermId> out;
+  Match(TriplePatternIds{s, p, std::nullopt}, [&](const Triple& t) {
+    out.push_back(t.o);
+    return true;
+  });
+  return out;
+}
+
+std::vector<TermId> TripleStore::Subjects(TermId p, TermId o) const {
+  std::vector<TermId> out;
+  Match(TriplePatternIds{std::nullopt, p, o}, [&](const Triple& t) {
+    out.push_back(t.s);
+    return true;
+  });
+  return out;
+}
+
+std::optional<TermId> TripleStore::FirstObject(TermId s, TermId p) const {
+  std::optional<TermId> out;
+  Match(TriplePatternIds{s, p, std::nullopt}, [&](const Triple& t) {
+    out = t.o;
+    return false;
+  });
+  return out;
+}
+
+std::vector<TermId> TripleStore::InstancesOf(TermId type) const {
+  const auto rdf_type = terms_.Lookup(MakeIri(std::string(kRdfType)));
+  if (!rdf_type) return {};
+  return Subjects(*rdf_type, type);
+}
+
+}  // namespace scan::kb

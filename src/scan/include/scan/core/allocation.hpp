@@ -1,0 +1,77 @@
+#pragma once
+
+// Resource allocation algorithms (Table I): choose the per-stage thread
+// plan for a pipeline run. Each stage's thread count must come from the
+// cloud's instance sizes and is fixed once the stage starts (§IV-1).
+//
+//  - greedy: per job, each stage independently maximizes its marginal
+//    profit now — reward saved by the time reduction minus the extra
+//    core-time cost of running wider.
+//  - long-term: one plan optimized for the *expected* job size of the
+//    workload distribution, computed once and reused.
+//  - long-term adaptive: long-term, re-optimized as execution-time
+//    knowledge accumulates (the scheduler refreshes the model estimate and
+//    calls Replan periodically).
+//  - best constant: exhaustive/coordinate-descent search for the single
+//    plan with the best expected profit; "every run uses the same
+//    execution plan" (the Fig. 4 baseline).
+//
+// Profit model used by the optimizers: for the time-based reward, profit
+// separates per stage (reward loss is linear in total latency), so each
+// stage minimizes   d * Rpenalty * T_i(t) + price * t * T_i(t).
+// For the throughput reward the total is not separable; we run coordinate
+// descent over stages, which converges in a few sweeps on this small
+// lattice.
+
+#include <span>
+#include <vector>
+
+#include "scan/common/units.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/workload/reward.hpp"
+
+namespace scan::core {
+
+/// Thread count per pipeline stage.
+using ThreadPlan = std::vector<int>;
+
+/// Cost context for plan optimization: the per-core per-TU price the plan
+/// will (mostly) pay. Optimizers use the blended price of the tier mix the
+/// scheduler expects to run on; passing the private price biases toward
+/// wide plans, the public price toward narrow ones.
+struct AllocationContext {
+  double core_price_per_tu = 5.0;
+  std::span<const int> instance_sizes;
+  workload::RewardFunction reward;
+};
+
+/// Expected profit proxy of running one job of size d under `plan`:
+/// reward at the plan's execution latency minus core-time cost. Queueing
+/// is excluded (identical across plans at decision time).
+[[nodiscard]] double PlanProfit(const gatk::PipelineModel& model, DataSize d,
+                                std::span<const int> plan,
+                                const AllocationContext& ctx);
+
+/// Greedy per-stage plan for a specific job size.
+[[nodiscard]] ThreadPlan GreedyPlan(const gatk::PipelineModel& model,
+                                    DataSize d, const AllocationContext& ctx);
+
+/// Long-term plan for the workload's expected job size.
+[[nodiscard]] ThreadPlan LongTermPlan(const gatk::PipelineModel& model,
+                                      DataSize expected_size,
+                                      const AllocationContext& ctx);
+
+/// Best constant plan: coordinate descent on PlanProfit from several
+/// starting points (all-1s, all-max, greedy), keeping the best.
+[[nodiscard]] ThreadPlan BestConstantPlan(const gatk::PipelineModel& model,
+                                          DataSize expected_size,
+                                          const AllocationContext& ctx);
+
+/// Sum of threads across stages — the "total core-stages per pipeline run"
+/// axis of Figure 5.
+[[nodiscard]] int TotalCoreStages(std::span<const int> plan);
+
+/// All-singlethreaded plan.
+[[nodiscard]] ThreadPlan SequentialPlan(std::size_t stages);
+
+}  // namespace scan::core

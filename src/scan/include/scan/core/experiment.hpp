@@ -1,0 +1,44 @@
+#pragma once
+
+// Experiment harness: the paper repeats every measurement 10 times and
+// reports mean ± one standard deviation. This module runs (configuration x
+// repetition) cells — in parallel across a thread pool, since each cell is
+// an independent deterministic simulation — and aggregates.
+
+#include <vector>
+
+#include "scan/common/stats.hpp"
+#include "scan/concurrency/thread_pool.hpp"
+#include "scan/core/config.hpp"
+#include "scan/core/scheduler.hpp"
+
+namespace scan::core {
+
+/// Aggregated results of N repetitions of one configuration.
+struct AggregateMetrics {
+  SimulationConfig config;
+  RunningStats profit_per_run;   ///< the Figure 4 metric
+  RunningStats reward_to_cost;   ///< the Figure 5 metric
+  RunningStats mean_latency;
+  RunningStats jobs_completed;
+  RunningStats total_reward;
+  RunningStats total_cost;
+  RunningStats public_hires;
+  RunningStats mean_core_stages;
+};
+
+/// Runs `repetitions` independent runs of `config` (repetition k seeds the
+/// RNG streams with config.SeedFor(k)) and aggregates. If `pool` is given,
+/// repetitions run concurrently; results are identical either way.
+[[nodiscard]] AggregateMetrics RunRepetitions(const SimulationConfig& config,
+                                              int repetitions,
+                                              SchedulerOptions options = {},
+                                              ThreadPool* pool = nullptr);
+
+/// Runs a sweep: every configuration x repetition cell, flattened across
+/// the pool. Returns aggregates in the order of `configs`.
+[[nodiscard]] std::vector<AggregateMetrics> RunSweep(
+    const std::vector<SimulationConfig>& configs, int repetitions,
+    ThreadPool& pool, const SchedulerOptions& options = {});
+
+}  // namespace scan::core

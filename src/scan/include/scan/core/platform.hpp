@@ -1,0 +1,59 @@
+#pragma once
+
+// The SCAN platform facade: wires the knowledge base, Data Broker, GATK
+// pipeline model, and scheduler together, reproducing the paper's closed
+// loop:
+//
+//   profile GATK  ->  fit model by regression  ->  seed knowledge base
+//        ->  schedule simulated runs  ->  log task completions back
+//        ->  (adaptive algorithms consume the refreshed knowledge)
+//
+// Platform::Bootstrap* builds the model either from the paper's published
+// Table II coefficients or by re-running the profiling+regression loop.
+
+#include <cstdint>
+#include <memory>
+
+#include "scan/core/config.hpp"
+#include "scan/core/data_broker.hpp"
+#include "scan/core/scheduler.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/gatk/profiler.hpp"
+#include "scan/gatk/regression.hpp"
+#include "scan/kb/knowledge_base.hpp"
+
+namespace scan::core {
+
+/// How the platform obtains its pipeline model.
+enum class ModelSource {
+  kPaperTable2,       ///< use Table II coefficients directly
+  kProfileAndFit,     ///< run the synthetic profiler and regress (§IV-1)
+};
+
+class Platform {
+ public:
+  /// Builds the platform. With kProfileAndFit, runs the profiling sweep
+  /// (seeded by `seed`), fits the model, and seeds the knowledge base with
+  /// the profiling observations as application profiles.
+  Platform(ModelSource source, std::uint64_t seed = 42);
+
+  [[nodiscard]] const gatk::PipelineModel& model() const { return model_; }
+  [[nodiscard]] kb::KnowledgeBase& knowledge() { return *knowledge_; }
+  [[nodiscard]] const kb::KnowledgeBase& knowledge() const {
+    return *knowledge_;
+  }
+  [[nodiscard]] DataBroker& broker() { return *broker_; }
+
+  /// Runs one simulation repetition of `config` and feeds the run's
+  /// aggregate back into the knowledge base.
+  [[nodiscard]] RunMetrics RunSimulation(const SimulationConfig& config,
+                                         int repetition,
+                                         SchedulerOptions options = {});
+
+ private:
+  gatk::PipelineModel model_;
+  std::unique_ptr<kb::KnowledgeBase> knowledge_;
+  std::unique_ptr<DataBroker> broker_;
+};
+
+}  // namespace scan::core

@@ -1,0 +1,220 @@
+#pragma once
+
+// The SCAN Scheduler (§III-A-2): per-stage work queues, a pool of worker
+// VMs hired from the hybrid cloud, reward-driven hire-or-wait decisions,
+// and per-stage thread sizing via the resource allocation algorithms.
+//
+// Mechanics of one simulated run:
+//  - Jobs arrive in batches (workload::ArrivalGenerator) and receive a
+//    per-stage thread plan from the configured allocation algorithm.
+//  - Each pipeline stage has a FIFO queue. A queued task is dispatched to
+//    (in order of preference) an idle worker already configured with the
+//    required thread count; an idle worker reconfigured to it (30 s
+//    penalty); or a freshly hired worker — private tier when capacity
+//    remains, public tier subject to the horizontal scaling algorithm:
+//      * never-scale:  never hire public capacity;
+//      * always-scale: hire public immediately when private is full;
+//      * predictive:   hire iff the delay cost (Eq. 1) of holding the
+//        queue until the next worker frees exceeds the hire cost.
+//  - Workers execute one task to completion (T_i(t, d) of the pipeline
+//    model); idle workers are released after a timeout.
+//  - A completed pipeline run earns R(d, latency); profit is total reward
+//    minus the cloud bill.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "scan/cloud/cloud_manager.hpp"
+#include "scan/common/rng.hpp"
+#include "scan/common/stats.hpp"
+#include "scan/core/allocation.hpp"
+#include "scan/core/config.hpp"
+#include "scan/core/estimators.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/sim/simulator.hpp"
+#include "scan/workload/arrivals.hpp"
+#include "scan/workload/trace.hpp"
+#include "scan/workload/reward.hpp"
+
+namespace scan::core {
+
+/// One sampled point of the run's time series (enabled via
+/// SchedulerOptions::timeline_sample_period).
+struct TimelinePoint {
+  SimTime time{0.0};
+  std::size_t queued_jobs = 0;   ///< waiting tasks across all stage queues
+  std::size_t busy_workers = 0;
+  std::size_t idle_workers = 0;
+  std::size_t private_cores = 0; ///< cores hired on the private tier
+  std::size_t public_cores = 0;
+  double cost_rate = 0.0;        ///< CU per TU burn rate
+};
+
+/// Metrics of one simulation run.
+struct RunMetrics {
+  std::size_t jobs_arrived = 0;
+  std::size_t jobs_completed = 0;
+  double total_reward = 0.0;
+  double total_cost = 0.0;
+  cloud::CostReport cost_report;
+  RunningStats latency;        ///< completed-job latencies (TU)
+  RunningStats queue_wait;     ///< per-dispatch queue waits (TU)
+  /// Queue waits split per pipeline stage (index = 0-based stage).
+  std::vector<RunningStats> stage_queue_wait;
+  /// Per-worker lifetime utilization (busy time / hired time), recorded
+  /// when a worker is released — the paper's worker feedback signal.
+  RunningStats worker_utilization;
+  RunningStats core_stages;    ///< TotalCoreStages of completed jobs' plans
+  std::size_t private_hires = 0;
+  std::size_t public_hires = 0;
+  std::size_t reconfigurations = 0;
+  std::size_t releases = 0;
+  std::size_t worker_failures = 0;  ///< injected crashes (failure model)
+  std::size_t task_retries = 0;     ///< tasks re-enqueued after a crash
+  SimTime duration{0.0};
+  /// Sampled time series; empty unless timeline sampling was enabled.
+  std::vector<TimelinePoint> timeline;
+
+  [[nodiscard]] double profit() const { return total_reward - total_cost; }
+  [[nodiscard]] double profit_per_run() const {
+    return jobs_completed == 0 ? 0.0
+                               : profit() / static_cast<double>(jobs_completed);
+  }
+  [[nodiscard]] double reward_to_cost() const {
+    return total_cost <= 0.0 ? 0.0 : total_reward / total_cost;
+  }
+};
+
+/// Extra knobs that are not part of the paper's parameter tables.
+struct SchedulerOptions {
+  /// Overrides the allocation algorithm with a fixed plan (used by the
+  /// Figure 5 core-stage sweep).
+  std::optional<ThreadPlan> forced_plan;
+  /// Price per core-TU assumed by the plan optimizers; defaults to the
+  /// midpoint of the private and public tier prices.
+  std::optional<double> allocation_price_hint;
+  /// When positive, sample a TimelinePoint every this many TU.
+  SimTime timeline_sample_period{0.0};
+  /// Replay this recorded workload instead of the synthetic arrival
+  /// process (batches beyond config.duration are ignored).
+  std::optional<workload::JobTrace> trace;
+};
+
+/// One simulated SCAN deployment. Construct, then Run() exactly once.
+class Scheduler {
+ public:
+  Scheduler(const SimulationConfig& config, gatk::PipelineModel model,
+            std::uint64_t seed, SchedulerOptions options = {});
+
+  /// Runs the simulation for config.duration and returns the metrics.
+  /// Jobs still in flight at the horizon are not counted as completed, and
+  /// cloud cost is settled exactly at the horizon.
+  [[nodiscard]] RunMetrics Run();
+
+  /// The thread plan the allocation algorithm produces for a job of the
+  /// given size at the current knowledge state (exposed for tests and the
+  /// experiment harness).
+  [[nodiscard]] ThreadPlan PlanFor(DataSize size) const;
+
+ private:
+  struct JobState {
+    std::uint64_t id = 0;
+    DataSize size{0.0};
+    SimTime arrival{0.0};
+    std::size_t stage = 0;
+    ThreadPlan plan;
+    SimTime enqueued_at{0.0};
+  };
+
+  struct WorkerBook {
+    cloud::WorkerId id{};
+    int cores = 0;    ///< instance size (fixed at hire)
+    int threads = 0;  ///< current software configuration (<= cores)
+    bool busy = false;
+    SimTime busy_until{0.0};
+    SimTime idle_since{0.0};
+    SimTime busy_accumulated{0.0};  ///< total task-execution time served
+    std::uint64_t idle_epoch = 0;
+  };
+
+  /// Worker feedback (§III-A-3): fold the released worker's lifetime
+  /// utilization into the run metrics.
+  void RecordWorkerUtilization(const WorkerBook& worker, SimTime now);
+
+  void OnBatchArrival(const workload::ArrivalBatch& batch);
+  void EnqueueJob(std::uint64_t job_id);
+  void TryDispatchAll();
+  /// Attempts to dispatch the head of one stage queue; true on success.
+  bool TryDispatchHead(std::size_t stage);
+  void AssignTask(std::uint64_t job_id, std::size_t stage,
+                  WorkerBook& worker, SimTime start_time);
+  void OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key);
+  /// Failure-injection: the worker crashed mid-task; bill and discard it,
+  /// re-enqueue the job's current stage.
+  void OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key);
+  void ScheduleIdleRelease(std::uint64_t worker_key);
+
+  /// The predictive hire-or-wait inequality for the head of `stage`'s
+  /// queue; true = hire public capacity now.
+  [[nodiscard]] bool PredictiveShouldHire(std::size_t stage, int threads,
+                                          DataSize head_size);
+  /// Earliest time an existing busy worker frees; nullopt if none busy.
+  [[nodiscard]] std::optional<SimTime> NextWorkerFreeTime() const;
+  /// Delay cost (Eq. 1) of delaying every job queued at `stage` by `delay`.
+  [[nodiscard]] double QueueDelayCost(std::size_t stage, SimTime delay) const;
+
+  /// Removes `key` from its idle bucket, if present.
+  void RemoveFromIdle(std::uint64_t key, int threads);
+
+  /// Compaction: releases idle private-tier workers (smallest first) until
+  /// the private tier can fit `needed_cores` more. Returns true on
+  /// success. Prevents fragmentation stalls where small idle workers pin
+  /// capacity a larger queued task needs.
+  bool TryFreePrivateCapacity(int needed_cores);
+
+  /// The policy governing public hiring right now: the configured one, or
+  /// the bandit's current arm under kLearnedBandit.
+  [[nodiscard]] ScalingAlgorithm EffectiveScaling() const;
+  /// Bandit epoch boundary: credit the finishing arm with the epoch's
+  /// profit rate and epsilon-greedily select the next arm.
+  void BanditEpoch();
+
+  SimulationConfig config_;
+  SchedulerOptions options_;
+  gatk::PipelineModel model_;
+  workload::RewardFunction reward_;
+  cloud::CloudManager cloud_;
+  workload::ArrivalGenerator arrivals_;
+  sim::Simulator sim_;
+  QueueTimeEstimator queue_estimator_;
+
+  ThreadPlan constant_plan_;  ///< for kLongTerm / kBestConstant / forced
+  std::size_t completions_since_replan_ = 0;
+
+  std::vector<std::deque<std::uint64_t>> queues_;  ///< job ids per stage
+  std::unordered_map<std::uint64_t, JobState> jobs_;
+  std::unordered_map<std::uint64_t, WorkerBook> workers_;
+  /// Idle worker keys per thread configuration (sorted for determinism).
+  std::map<int, std::vector<std::uint64_t>> idle_;
+
+  // kLearnedBandit state: one arm per base policy.
+  struct BanditArm {
+    ScalingAlgorithm policy;
+    RunningStats profit_rate;
+  };
+  std::vector<BanditArm> bandit_arms_;
+  std::size_t bandit_current_arm_ = 0;
+  double bandit_epoch_start_reward_ = 0.0;
+  double bandit_epoch_start_cost_ = 0.0;
+  RandomStream bandit_rng_;
+  RandomStream failure_rng_;
+
+  RunMetrics metrics_;
+  bool ran_ = false;
+};
+
+}  // namespace scan::core

@@ -1,0 +1,182 @@
+#include "scan/core/allocation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scan::core {
+
+namespace {
+
+/// Execution latency of a plan (no queueing).
+double PlanLatency(const gatk::PipelineModel& model, DataSize d,
+                   std::span<const int> plan) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < model.stage_count(); ++i) {
+    total += model.ThreadedTime(i, plan[i], d).value();
+  }
+  return total;
+}
+
+/// Core-time cost of a plan.
+double PlanCoreCost(const gatk::PipelineModel& model, DataSize d,
+                    std::span<const int> plan, double price) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < model.stage_count(); ++i) {
+    total += price * model.CoreTime(i, plan[i], d);
+  }
+  return total;
+}
+
+void ValidateContext(const AllocationContext& ctx) {
+  if (ctx.instance_sizes.empty()) {
+    throw std::invalid_argument("AllocationContext: no instance sizes");
+  }
+  if (ctx.core_price_per_tu < 0.0) {
+    throw std::invalid_argument("AllocationContext: negative price");
+  }
+}
+
+}  // namespace
+
+double PlanProfit(const gatk::PipelineModel& model, DataSize d,
+                  std::span<const int> plan, const AllocationContext& ctx) {
+  if (plan.size() != model.stage_count()) {
+    throw std::invalid_argument("PlanProfit: plan size mismatch");
+  }
+  const double latency = PlanLatency(model, d, plan);
+  // Guard the throughput scheme against a (theoretical) zero latency.
+  const SimTime t{std::max(latency, 1e-9)};
+  const double reward = ctx.reward(d, t).value();
+  return reward - PlanCoreCost(model, d, plan, ctx.core_price_per_tu);
+}
+
+ThreadPlan GreedyPlan(const gatk::PipelineModel& model, DataSize d,
+                      const AllocationContext& ctx) {
+  ValidateContext(ctx);
+  ThreadPlan plan(model.stage_count(), 1);
+
+  // Stage-local marginal rule. For the time-based reward, each TU of
+  // latency saved is worth d * Rpenalty; for the throughput reward, value
+  // latency savings at the local derivative |dR/dt| evaluated at the
+  // sequential latency (a greedy, "now"-focused approximation).
+  double latency_value;  // CU per TU of latency saved
+  const auto& params = ctx.reward.params();
+  if (params.scheme == workload::RewardScheme::kTimeBased) {
+    latency_value = d.value() * params.r_penalty;
+  } else {
+    const double seq = std::max(
+        model.SequentialPipelineTime(d).value(), 1e-9);
+    latency_value = d.value() * params.r_scale / (seq * seq);
+  }
+
+  for (std::size_t i = 0; i < model.stage_count(); ++i) {
+    double best_score = -1e300;
+    int best_threads = 1;
+    for (const int t : ctx.instance_sizes) {
+      const double wall = model.ThreadedTime(i, t, d).value();
+      const double saved = model.SingleThreadedTime(i, d).value() - wall;
+      const double extra_cost =
+          ctx.core_price_per_tu *
+          (model.CoreTime(i, t, d) - model.CoreTime(i, 1, d));
+      const double score = latency_value * saved - extra_cost;
+      if (score > best_score) {
+        best_score = score;
+        best_threads = t;
+      }
+    }
+    plan[i] = best_threads;
+  }
+  return plan;
+}
+
+ThreadPlan LongTermPlan(const gatk::PipelineModel& model,
+                        DataSize expected_size, const AllocationContext& ctx) {
+  ValidateContext(ctx);
+  // The long-term scheme optimizes the same objective as greedy but at the
+  // workload's expected size, then applies coordinate descent to repair the
+  // per-stage approximation against the joint objective.
+  ThreadPlan plan = GreedyPlan(model, expected_size, ctx);
+  bool improved = true;
+  int sweeps = 0;
+  while (improved && sweeps < 16) {
+    improved = false;
+    ++sweeps;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const int original = plan[i];
+      double best = PlanProfit(model, expected_size, plan, ctx);
+      int best_threads = original;
+      for (const int t : ctx.instance_sizes) {
+        if (t == original) continue;
+        plan[i] = t;
+        const double profit = PlanProfit(model, expected_size, plan, ctx);
+        if (profit > best + 1e-12) {
+          best = profit;
+          best_threads = t;
+        }
+      }
+      plan[i] = best_threads;
+      if (best_threads != original) improved = true;
+    }
+  }
+  return plan;
+}
+
+ThreadPlan BestConstantPlan(const gatk::PipelineModel& model,
+                            DataSize expected_size,
+                            const AllocationContext& ctx) {
+  ValidateContext(ctx);
+  // Coordinate descent from diverse starts; the lattice is tiny (|sizes|^7)
+  // and the objective is well-behaved, so this reliably finds the best
+  // constant plan without a full exhaustive sweep.
+  std::vector<ThreadPlan> starts;
+  starts.push_back(SequentialPlan(model.stage_count()));
+  starts.push_back(ThreadPlan(
+      model.stage_count(),
+      *std::max_element(ctx.instance_sizes.begin(), ctx.instance_sizes.end())));
+  starts.push_back(GreedyPlan(model, expected_size, ctx));
+
+  ThreadPlan best_plan = starts.front();
+  double best_profit = -1e300;
+  for (ThreadPlan plan : starts) {
+    bool improved = true;
+    int sweeps = 0;
+    while (improved && sweeps < 32) {
+      improved = false;
+      ++sweeps;
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        const int original = plan[i];
+        double local_best = PlanProfit(model, expected_size, plan, ctx);
+        int local_threads = original;
+        for (const int t : ctx.instance_sizes) {
+          if (t == original) continue;
+          plan[i] = t;
+          const double profit = PlanProfit(model, expected_size, plan, ctx);
+          if (profit > local_best + 1e-12) {
+            local_best = profit;
+            local_threads = t;
+          }
+        }
+        plan[i] = local_threads;
+        if (local_threads != original) improved = true;
+      }
+    }
+    const double profit = PlanProfit(model, expected_size, plan, ctx);
+    if (profit > best_profit) {
+      best_profit = profit;
+      best_plan = plan;
+    }
+  }
+  return best_plan;
+}
+
+int TotalCoreStages(std::span<const int> plan) {
+  int total = 0;
+  for (const int t : plan) total += t;
+  return total;
+}
+
+ThreadPlan SequentialPlan(std::size_t stages) {
+  return ThreadPlan(stages, 1);
+}
+
+}  // namespace scan::core

@@ -1,0 +1,54 @@
+#include "scan/core/estimators.hpp"
+
+#include <stdexcept>
+
+namespace scan::core {
+
+QueueTimeEstimator::QueueTimeEstimator(std::size_t stages, double alpha) {
+  if (stages == 0) {
+    throw std::invalid_argument("QueueTimeEstimator: zero stages");
+  }
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("QueueTimeEstimator: alpha outside (0, 1]");
+  }
+  ewmas_.assign(stages, Ewma(alpha));
+}
+
+void QueueTimeEstimator::Observe(std::size_t stage, SimTime wait) {
+  if (stage >= ewmas_.size()) {
+    throw std::out_of_range("QueueTimeEstimator::Observe: bad stage");
+  }
+  ewmas_[stage].Add(wait.value());
+}
+
+SimTime QueueTimeEstimator::Estimate(std::size_t stage) const {
+  if (stage >= ewmas_.size()) {
+    throw std::out_of_range("QueueTimeEstimator::Estimate: bad stage");
+  }
+  return SimTime{ewmas_[stage].value_or(0.0)};
+}
+
+SimTime EstimateRemainingTime(const gatk::PipelineModel& model,
+                              const QueueTimeEstimator& queues,
+                              DataSize job_size, std::size_t current_stage,
+                              std::span<const int> thread_plan) {
+  if (thread_plan.size() != model.stage_count()) {
+    throw std::invalid_argument("EstimateRemainingTime: plan size mismatch");
+  }
+  SimTime total{0.0};
+  for (std::size_t i = current_stage; i < model.stage_count(); ++i) {
+    total += queues.Estimate(i);
+    total += model.ThreadedTime(i, thread_plan[i], job_size);
+  }
+  return total;
+}
+
+SimTime EstimateTotalTime(const gatk::PipelineModel& model,
+                          const QueueTimeEstimator& queues, DataSize job_size,
+                          SimTime elapsed, std::size_t current_stage,
+                          std::span<const int> thread_plan) {
+  return elapsed + EstimateRemainingTime(model, queues, job_size,
+                                         current_stage, thread_plan);
+}
+
+}  // namespace scan::core

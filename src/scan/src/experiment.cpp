@@ -1,0 +1,76 @@
+#include "scan/core/experiment.hpp"
+
+#include <mutex>
+
+#include "scan/gatk/pipeline_model.hpp"
+
+namespace scan::core {
+
+namespace {
+
+RunMetrics RunOne(const SimulationConfig& config, int repetition,
+                  const SchedulerOptions& options) {
+  Scheduler scheduler(config, gatk::PipelineModel::PaperGatk(),
+                      config.SeedFor(repetition), options);
+  return scheduler.Run();
+}
+
+void Absorb(AggregateMetrics& agg, const RunMetrics& run) {
+  agg.profit_per_run.Add(run.profit_per_run());
+  agg.reward_to_cost.Add(run.reward_to_cost());
+  agg.mean_latency.Add(run.latency.mean());
+  agg.jobs_completed.Add(static_cast<double>(run.jobs_completed));
+  agg.total_reward.Add(run.total_reward);
+  agg.total_cost.Add(run.total_cost);
+  agg.public_hires.Add(static_cast<double>(run.public_hires));
+  agg.mean_core_stages.Add(run.core_stages.mean());
+}
+
+}  // namespace
+
+AggregateMetrics RunRepetitions(const SimulationConfig& config,
+                                int repetitions, SchedulerOptions options,
+                                ThreadPool* pool) {
+  AggregateMetrics agg;
+  agg.config = config;
+  if (repetitions <= 0) return agg;
+
+  std::vector<RunMetrics> runs(static_cast<std::size_t>(repetitions));
+  if (pool != nullptr) {
+    ParallelFor(*pool, 0, runs.size(), [&](std::size_t k) {
+      runs[k] = RunOne(config, static_cast<int>(k), options);
+    });
+  } else {
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      runs[k] = RunOne(config, static_cast<int>(k), options);
+    }
+  }
+  // Aggregate in repetition order so the (order-sensitive) Welford state is
+  // reproducible regardless of thread interleaving.
+  for (const RunMetrics& run : runs) Absorb(agg, run);
+  return agg;
+}
+
+std::vector<AggregateMetrics> RunSweep(
+    const std::vector<SimulationConfig>& configs, int repetitions,
+    ThreadPool& pool, const SchedulerOptions& options) {
+  if (repetitions <= 0) return {};
+  const std::size_t reps = static_cast<std::size_t>(repetitions);
+  std::vector<RunMetrics> cells(configs.size() * reps);
+  ParallelFor(pool, 0, cells.size(), [&](std::size_t index) {
+    const std::size_t config_index = index / reps;
+    const int rep = static_cast<int>(index % reps);
+    cells[index] = RunOne(configs[config_index], rep, options);
+  });
+
+  std::vector<AggregateMetrics> out(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    out[c].config = configs[c];
+    for (std::size_t k = 0; k < reps; ++k) {
+      Absorb(out[c], cells[c * reps + k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace scan::core

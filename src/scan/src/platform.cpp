@@ -1,0 +1,55 @@
+#include "scan/core/platform.hpp"
+
+namespace scan::core {
+
+namespace {
+
+gatk::PipelineModel BuildModel(ModelSource source, std::uint64_t seed,
+                               kb::KnowledgeBase& knowledge) {
+  if (source == ModelSource::kPaperTable2) {
+    return gatk::PipelineModel::PaperGatk();
+  }
+  // §IV-1: profile the (true) pipeline over sizes and thread counts, then
+  // recover the coefficients by regression. The fitted model is what the
+  // scheduler plans with; the knowledge base keeps the raw observations.
+  const gatk::PipelineModel truth = gatk::PipelineModel::PaperGatk();
+  const gatk::ProfileSpec spec;
+  const auto observations = gatk::ProfilePipeline(truth, spec, seed);
+  for (const gatk::Observation& obs : observations) {
+    kb::ApplicationProfile profile;
+    profile.application = "GATK";
+    profile.stage = static_cast<int>(obs.stage) + 1;  // KB stages are 1-based
+    profile.input_file_size_gb = obs.input_gb;
+    profile.threads = obs.threads;
+    profile.etime = obs.measured_time;
+    knowledge.AddProfile(profile);
+  }
+  const auto fits = gatk::FitAllStages(truth.stage_count(), observations);
+  return gatk::ModelFromFits(fits);
+}
+
+}  // namespace
+
+Platform::Platform(ModelSource source, std::uint64_t seed)
+    : model_(gatk::PipelineModel::PaperGatk()),
+      knowledge_(std::make_unique<kb::KnowledgeBase>()) {
+  model_ = BuildModel(source, seed, *knowledge_);
+  broker_ = std::make_unique<DataBroker>(*knowledge_);
+}
+
+RunMetrics Platform::RunSimulation(const SimulationConfig& config,
+                                   int repetition, SchedulerOptions options) {
+  Scheduler scheduler(config, model_, config.SeedFor(repetition),
+                      std::move(options));
+  RunMetrics metrics = scheduler.Run();
+  // Knowledge expansion: the run's mean behaviour becomes a new profile
+  // individual (the paper logs every task; one aggregate per run keeps the
+  // KB size proportional to experiments, not events).
+  if (metrics.jobs_completed > 0) {
+    broker_->RecordCompletion("GATK", /*stage=*/0, config.mean_job_size,
+                              /*threads=*/1, metrics.latency.mean());
+  }
+  return metrics;
+}
+
+}  // namespace scan::core

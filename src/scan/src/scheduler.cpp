@@ -1,0 +1,532 @@
+#include "scan/core/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "scan/common/log.hpp"
+
+namespace scan::core {
+
+namespace {
+
+/// Idle buckets keep keys ascending so dispatch is deterministic.
+void InsertSorted(std::vector<std::uint64_t>& keys, std::uint64_t key) {
+  keys.insert(std::lower_bound(keys.begin(), keys.end(), key), key);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const SimulationConfig& config, gatk::PipelineModel model,
+                     std::uint64_t seed, SchedulerOptions options)
+    : config_(config),
+      options_(std::move(options)),
+      model_(model.Scaled(config.stage_time_scale)),
+      reward_(config.MakeRewardParams()),
+      cloud_(config.MakeCloudConfig()),
+      arrivals_(config.MakeArrivalParams(), seed),
+      queue_estimator_(model_.stage_count()),
+      queues_(model_.stage_count()),
+      bandit_rng_(seed, "scaling-bandit"),
+      failure_rng_(seed, "worker-failures") {
+  if (config_.scaling == ScalingAlgorithm::kLearnedBandit) {
+    bandit_arms_ = {{ScalingAlgorithm::kNeverScale, {}},
+                    {ScalingAlgorithm::kAlwaysScale, {}},
+                    {ScalingAlgorithm::kPredictive, {}}};
+    bandit_current_arm_ = 2;  // start from the paper's predictive policy
+  }
+  metrics_.stage_queue_wait.resize(model_.stage_count());
+  if (options_.forced_plan &&
+      options_.forced_plan->size() != model_.stage_count()) {
+    throw std::invalid_argument("Scheduler: forced plan size mismatch");
+  }
+  // Precompute the constant plan used by the long-term family.
+  // Plan optimizers assume the blended core price of the tier mix the run
+  // will see; the midpoint of the two tiers is a robust default (pure
+  // private prices over-widen plans, pure public prices over-narrow them).
+  const double default_price_hint =
+      0.5 * (config_.private_cost_per_core_tu + config_.public_cost_per_core_tu);
+  const AllocationContext ctx{
+      options_.allocation_price_hint.value_or(default_price_hint),
+      std::span<const int>(config_.instance_sizes), reward_};
+  const DataSize expected{config_.mean_job_size};
+  switch (config_.allocation) {
+    case AllocationAlgorithm::kGreedy:
+      constant_plan_ = SequentialPlan(model_.stage_count());  // unused
+      break;
+    case AllocationAlgorithm::kLongTerm:
+    case AllocationAlgorithm::kLongTermAdaptive:
+      constant_plan_ = LongTermPlan(model_, expected, ctx);
+      break;
+    case AllocationAlgorithm::kBestConstant:
+      constant_plan_ = BestConstantPlan(model_, expected, ctx);
+      break;
+  }
+  if (options_.forced_plan) constant_plan_ = *options_.forced_plan;
+}
+
+ThreadPlan Scheduler::PlanFor(DataSize size) const {
+  if (options_.forced_plan) return *options_.forced_plan;
+  if (config_.allocation == AllocationAlgorithm::kGreedy) {
+    const AllocationContext ctx{
+        options_.allocation_price_hint.value_or(
+            0.5 * (config_.private_cost_per_core_tu +
+                   config_.public_cost_per_core_tu)),
+        std::span<const int>(config_.instance_sizes), reward_};
+    return GreedyPlan(model_, size, ctx);
+  }
+  return constant_plan_;
+}
+
+RunMetrics Scheduler::Run() {
+  if (ran_) throw std::logic_error("Scheduler::Run: already ran");
+  ran_ = true;
+
+  // Pre-generate the arrival schedule for the whole horizon so the arrival
+  // process is independent of scheduling decisions. A recorded trace, when
+  // provided, replaces the synthetic generator.
+  const std::vector<workload::ArrivalBatch> batches =
+      options_.trace ? options_.trace->ToBatches()
+                     : arrivals_.GenerateUntil(config_.duration);
+  for (const workload::ArrivalBatch& batch : batches) {
+    if (batch.time > config_.duration) continue;
+    sim_.ScheduleAt(batch.time, [this, batch](sim::Simulator&) {
+      OnBatchArrival(batch);
+    });
+  }
+
+  if (config_.scaling == ScalingAlgorithm::kLearnedBandit) {
+    sim_.SchedulePeriodic(config_.bandit_epoch,
+                          [this](sim::Simulator&) { BanditEpoch(); });
+  }
+  if (options_.timeline_sample_period > SimTime{0.0}) {
+    sim_.SchedulePeriodic(
+        options_.timeline_sample_period, [this](sim::Simulator& s) {
+          TimelinePoint point;
+          point.time = s.Now();
+          for (const auto& queue : queues_) point.queued_jobs += queue.size();
+          for (const auto& [key, worker] : workers_) {
+            (worker.busy ? point.busy_workers : point.idle_workers) += 1;
+          }
+          point.private_cores = cloud_.CoresInUse(cloud::Tier::kPrivate);
+          point.public_cores = cloud_.CoresInUse(cloud::Tier::kPublic);
+          point.cost_rate = cloud_.CostRate().value();
+          metrics_.timeline.push_back(point);
+        });
+  }
+
+  sim_.RunUntil(config_.duration);
+
+  metrics_.duration = config_.duration;
+  metrics_.cost_report = cloud_.CostUpTo(config_.duration);
+  metrics_.total_cost = metrics_.cost_report.total.value();
+  return metrics_;
+}
+
+void Scheduler::OnBatchArrival(const workload::ArrivalBatch& batch) {
+  for (const workload::Job& job : batch.jobs) {
+    ++metrics_.jobs_arrived;
+    JobState state;
+    state.id = job.id;
+    state.size = job.size;
+    state.arrival = job.arrival;
+    state.stage = 0;
+    state.plan = PlanFor(job.size);
+    jobs_.emplace(job.id, std::move(state));
+    EnqueueJob(job.id);
+  }
+  TryDispatchAll();
+}
+
+void Scheduler::EnqueueJob(std::uint64_t job_id) {
+  JobState& job = jobs_.at(job_id);
+  job.enqueued_at = sim_.Now();
+  queues_[job.stage].push_back(job_id);
+}
+
+void Scheduler::TryDispatchAll() {
+  // Later stages first: draining work in progress before admitting new
+  // stage-0 tasks keeps the pipeline flowing under overload (stage-0-first
+  // would starve downstream stages and complete nothing).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t stage = queues_.size(); stage-- > 0;) {
+      while (!queues_[stage].empty() && TryDispatchHead(stage)) {
+        progress = true;
+      }
+    }
+  }
+}
+
+void Scheduler::RemoveFromIdle(std::uint64_t key, int threads) {
+  auto it = idle_.find(threads);
+  if (it == idle_.end()) return;
+  auto& keys = it->second;
+  const auto pos = std::lower_bound(keys.begin(), keys.end(), key);
+  if (pos != keys.end() && *pos == key) keys.erase(pos);
+  if (keys.empty()) idle_.erase(it);
+}
+
+bool Scheduler::TryDispatchHead(std::size_t stage) {
+  const std::uint64_t job_id = queues_[stage].front();
+  JobState& job = jobs_.at(job_id);
+  const int threads = job.plan[stage];
+  const SimTime now = sim_.Now();
+
+  // 1. An idle worker already configured with the required thread count.
+  //    Within the bucket, prefer the fewest cores (a big machine downsized
+  //    to few threads wastes its extra cores for the task's duration).
+  if (const auto bucket = idle_.find(threads); bucket != idle_.end()) {
+    std::uint64_t key = bucket->second.front();
+    int best_cores = workers_.at(key).cores;
+    for (const std::uint64_t candidate_key : bucket->second) {
+      const int cores = workers_.at(candidate_key).cores;
+      if (cores < best_cores) {
+        best_cores = cores;
+        key = candidate_key;
+      }
+    }
+    WorkerBook& worker = workers_.at(key);
+    RemoveFromIdle(key, threads);
+    queues_[stage].pop_front();
+    AssignTask(job_id, stage, worker, now);
+    return true;
+  }
+
+  // 2. Hire an exact-size worker on the private (cheap) tier, compacting
+  //    idle private capacity if fragmentation blocks the fit.
+  const std::size_t private_free =
+      cloud_.AvailableCores(cloud::Tier::kPrivate);
+  const bool private_fits =
+      (private_free != cloud::TierConfig::kUnlimited &&
+       private_free >= static_cast<std::size_t>(threads)) ||
+      TryFreePrivateCapacity(threads);
+
+  // 3. Otherwise reconfigure an idle worker with enough cores (30 s
+  //    penalty) — reusing a machine we already pay for beats hiring public
+  //    capacity, but loses to an exact-size private hire (which avoids
+  //    running a narrow task on a wide, mostly-wasted machine).
+  if (!private_fits) {
+    std::uint64_t best_key = 0;
+    int best_cores = 1 << 30;
+    for (const auto& [cfg, keys] : idle_) {
+      for (const std::uint64_t key : keys) {
+        const WorkerBook& candidate = workers_.at(key);
+        if (candidate.cores >= threads && candidate.cores < best_cores) {
+          best_cores = candidate.cores;
+          best_key = key;
+        }
+      }
+    }
+    if (best_key != 0) {
+      WorkerBook& worker = workers_.at(best_key);
+      RemoveFromIdle(best_key, worker.threads);
+      const auto delay = cloud_.Configure(worker.id, threads, now);
+      assert(delay.ok());
+      worker.threads = threads;
+      ++metrics_.reconfigurations;
+      queues_[stage].pop_front();
+      AssignTask(job_id, stage, worker, now + delay.value());
+      return true;
+    }
+  }
+
+  // 4. Hire: private when it fits, public subject to the scaling policy.
+  cloud::Tier tier;
+  if (private_fits) {
+    tier = cloud::Tier::kPrivate;
+    ++metrics_.private_hires;
+  } else {
+    switch (EffectiveScaling()) {
+      case ScalingAlgorithm::kNeverScale:
+        return false;  // wait for a worker to free up
+      case ScalingAlgorithm::kAlwaysScale:
+        tier = cloud::Tier::kPublic;
+        ++metrics_.public_hires;
+        break;
+      case ScalingAlgorithm::kPredictive:
+        if (!PredictiveShouldHire(stage, threads, job.size)) return false;
+        tier = cloud::Tier::kPublic;
+        ++metrics_.public_hires;
+        break;
+      default:
+        return false;  // kLearnedBandit never reaches here
+    }
+  }
+
+  const auto hired = cloud_.Hire(tier, threads, now);
+  if (!hired.ok()) {
+    // Lost a race on capacity accounting; treat as un-dispatchable now.
+    return false;
+  }
+  const auto delay = cloud_.Configure(*hired, threads, now);
+  assert(delay.ok());
+
+  WorkerBook worker;
+  worker.id = *hired;
+  worker.cores = threads;
+  worker.threads = threads;
+  const std::uint64_t key = static_cast<std::uint64_t>(*hired);
+  workers_.emplace(key, worker);
+  queues_[stage].pop_front();
+  AssignTask(job_id, stage, workers_.at(key), now + delay.value());
+  return true;
+}
+
+void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
+                           WorkerBook& worker, SimTime start_time) {
+  JobState& job = jobs_.at(job_id);
+  const SimTime now = sim_.Now();
+  const SimTime wait = now - job.enqueued_at;
+  queue_estimator_.Observe(stage, wait);
+  metrics_.queue_wait.Add(wait.value());
+  metrics_.stage_queue_wait[stage].Add(wait.value());
+
+  const SimTime exec = model_.ThreadedTime(stage, worker.threads, job.size);
+  const SimTime done_at = start_time + exec;
+  worker.busy = true;
+  worker.busy_until = done_at;
+  worker.busy_accumulated += exec;
+  const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
+
+  // Failure injection: the worker may crash before the task finishes
+  // (exponential time-to-failure). Exactly one of the two events fires.
+  if (config_.worker_failure_rate > 0.0) {
+    const SimTime fail_at =
+        start_time +
+        SimTime{failure_rng_.Exponential(1.0 / config_.worker_failure_rate)};
+    if (fail_at < done_at) {
+      worker.busy_until = fail_at;
+      sim_.ScheduleAt(fail_at, [this, job_id, worker_key](sim::Simulator&) {
+        OnWorkerFailure(job_id, worker_key);
+      });
+      return;
+    }
+  }
+  sim_.ScheduleAt(done_at, [this, job_id, worker_key](sim::Simulator&) {
+    OnTaskComplete(job_id, worker_key);
+  });
+}
+
+void Scheduler::OnWorkerFailure(std::uint64_t job_id,
+                                std::uint64_t worker_key) {
+  const SimTime now = sim_.Now();
+  // The crashed VM is gone; its bill stops at the crash instant.
+  WorkerBook& worker = workers_.at(worker_key);
+  // A crash interrupts the in-flight task: remove the unserved remainder
+  // from the busy accumulator before folding in the feedback.
+  worker.busy_accumulated -= (worker.busy_until - now);
+  RecordWorkerUtilization(worker, now);
+  const Status released = cloud_.Release(worker.id, now);
+  assert(released.ok());
+  (void)released;
+  workers_.erase(worker_key);
+  ++metrics_.worker_failures;
+
+  // The interrupted task restarts from its stage queue (work done so far
+  // is lost, as with a real mid-stage crash).
+  ++metrics_.task_retries;
+  EnqueueJob(job_id);
+  TryDispatchAll();
+}
+
+void Scheduler::RecordWorkerUtilization(const WorkerBook& worker,
+                                        SimTime now) {
+  const auto info = cloud_.Info(worker.id);
+  if (!info.ok()) return;
+  const double lifetime = (now - info->hired_at).value();
+  if (lifetime <= 0.0) return;
+  metrics_.worker_utilization.Add(
+      std::min(1.0, worker.busy_accumulated.value() / lifetime));
+}
+
+void Scheduler::OnTaskComplete(std::uint64_t job_id,
+                               std::uint64_t worker_key) {
+  const SimTime now = sim_.Now();
+  WorkerBook& worker = workers_.at(worker_key);
+  worker.busy = false;
+  worker.idle_since = now;
+  ++worker.idle_epoch;
+  InsertSorted(idle_[worker.threads], worker_key);
+  ScheduleIdleRelease(worker_key);
+
+  JobState& job = jobs_.at(job_id);
+  ++job.stage;
+  if (job.stage == model_.stage_count()) {
+    // Pipeline run finished: settle the reward.
+    const SimTime latency = now - job.arrival;
+    metrics_.total_reward += reward_(job.size, latency).value();
+    metrics_.latency.Add(latency.value());
+    metrics_.core_stages.Add(
+        static_cast<double>(TotalCoreStages(job.plan)));
+    ++metrics_.jobs_completed;
+    jobs_.erase(job_id);
+
+    // Adaptive replanning: refresh the long-term plan with the effective
+    // core price observed so far (the bill divided by core-time used),
+    // which folds the realized private/public mix back into the optimizer.
+    if (config_.allocation == AllocationAlgorithm::kLongTermAdaptive &&
+        ++completions_since_replan_ >= config_.adaptive_replan_every) {
+      completions_since_replan_ = 0;
+      const cloud::CostReport bill = cloud_.CostUpTo(now);
+      const double core_tus =
+          bill.private_core_tus + bill.public_core_tus;
+      if (core_tus > 0.0) {
+        const AllocationContext ctx{
+            bill.total.value() / core_tus,
+            std::span<const int>(config_.instance_sizes), reward_};
+        constant_plan_ =
+            LongTermPlan(model_, DataSize{config_.mean_job_size}, ctx);
+      }
+    }
+  } else {
+    EnqueueJob(job_id);
+  }
+  TryDispatchAll();
+}
+
+void Scheduler::ScheduleIdleRelease(std::uint64_t worker_key) {
+  const std::uint64_t epoch = workers_.at(worker_key).idle_epoch;
+  sim_.ScheduleAfter(
+      config_.idle_release_timeout,
+      [this, worker_key, epoch](sim::Simulator& s) {
+        const auto it = workers_.find(worker_key);
+        if (it == workers_.end()) return;
+        WorkerBook& worker = it->second;
+        if (worker.busy || worker.idle_epoch != epoch) return;
+        RemoveFromIdle(worker_key, worker.threads);
+        RecordWorkerUtilization(worker, s.Now());
+        const Status released = cloud_.Release(worker.id, s.Now());
+        assert(released.ok());
+        (void)released;
+        workers_.erase(it);
+        ++metrics_.releases;
+        // Freed capacity may unblock a waiting queue (never-scale relies
+        // on this to make progress when the private tier was full).
+        TryDispatchAll();
+      });
+}
+
+bool Scheduler::TryFreePrivateCapacity(int needed_cores) {
+  std::size_t available = cloud_.AvailableCores(cloud::Tier::kPrivate);
+  if (available == cloud::TierConfig::kUnlimited) return true;
+  if (static_cast<std::size_t>(needed_cores) >
+      cloud_.config().private_tier.core_capacity) {
+    return false;  // could never fit, even empty
+  }
+
+  // Collect idle private workers, smallest cores first (release as little
+  // capacity as possible), key order breaking ties for determinism.
+  std::vector<std::pair<int, std::uint64_t>> candidates;
+  for (const auto& [cfg, keys] : idle_) {
+    for (const std::uint64_t key : keys) {
+      const WorkerBook& worker = workers_.at(key);
+      const auto info = cloud_.Info(worker.id);
+      if (info.ok() && info->tier == cloud::Tier::kPrivate) {
+        candidates.emplace_back(worker.cores, key);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  const SimTime now = sim_.Now();
+  for (const auto& [cores, key] : candidates) {
+    if (available >= static_cast<std::size_t>(needed_cores)) break;
+    WorkerBook& worker = workers_.at(key);
+    RemoveFromIdle(key, worker.threads);
+    RecordWorkerUtilization(worker, now);
+    const Status released = cloud_.Release(worker.id, now);
+    assert(released.ok());
+    (void)released;
+    workers_.erase(key);
+    ++metrics_.releases;
+    available += static_cast<std::size_t>(cores);
+  }
+  return available >= static_cast<std::size_t>(needed_cores);
+}
+
+std::optional<SimTime> Scheduler::NextWorkerFreeTime() const {
+  std::optional<SimTime> earliest;
+  for (const auto& [key, worker] : workers_) {
+    if (!worker.busy) continue;
+    if (!earliest || worker.busy_until < *earliest) {
+      earliest = worker.busy_until;
+    }
+  }
+  return earliest;
+}
+
+double Scheduler::QueueDelayCost(std::size_t stage, SimTime delay) const {
+  double total = 0.0;
+  const SimTime now = sim_.Now();
+  for (const std::uint64_t job_id : queues_[stage]) {
+    const JobState& job = jobs_.at(job_id);
+    const SimTime ett =
+        EstimateTotalTime(model_, queue_estimator_, job.size,
+                          now - job.arrival, job.stage,
+                          std::span<const int>(job.plan));
+    total += reward_.DelayCost(job.size, ett, delay).value();
+  }
+  return total;
+}
+
+ScalingAlgorithm Scheduler::EffectiveScaling() const {
+  if (config_.scaling != ScalingAlgorithm::kLearnedBandit) {
+    return config_.scaling;
+  }
+  return bandit_arms_[bandit_current_arm_].policy;
+}
+
+void Scheduler::BanditEpoch() {
+  // Credit the finishing arm with the epoch's realized profit rate.
+  const cloud::CostReport bill = cloud_.CostUpTo(sim_.Now());
+  const double reward_delta =
+      metrics_.total_reward - bandit_epoch_start_reward_;
+  const double cost_delta = bill.total.value() - bandit_epoch_start_cost_;
+  const double rate =
+      (reward_delta - cost_delta) / config_.bandit_epoch.value();
+  bandit_arms_[bandit_current_arm_].profit_rate.Add(rate);
+  bandit_epoch_start_reward_ = metrics_.total_reward;
+  bandit_epoch_start_cost_ = bill.total.value();
+
+  // Epsilon-greedy selection; untried arms first so every policy gets at
+  // least one epoch of evidence.
+  for (std::size_t i = 0; i < bandit_arms_.size(); ++i) {
+    if (bandit_arms_[i].profit_rate.empty()) {
+      bandit_current_arm_ = i;
+      return;
+    }
+  }
+  if (bandit_rng_.Uniform() < config_.bandit_epsilon) {
+    bandit_current_arm_ = bandit_rng_.UniformBelow(
+        static_cast<std::uint32_t>(bandit_arms_.size()));
+    return;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < bandit_arms_.size(); ++i) {
+    if (bandit_arms_[i].profit_rate.mean() >
+        bandit_arms_[best].profit_rate.mean()) {
+      best = i;
+    }
+  }
+  bandit_current_arm_ = best;
+}
+
+bool Scheduler::PredictiveShouldHire(std::size_t stage, int threads,
+                                     DataSize head_size) {
+  const auto next_free = NextWorkerFreeTime();
+  if (!next_free) return true;  // nothing running: waiting cannot help
+  const SimTime delay = *next_free - sim_.Now();
+  if (delay <= SimTime{0.0}) return false;  // a worker frees "now"
+
+  const double delay_cost = QueueDelayCost(stage, delay);
+  const double hire_cost =
+      config_.public_cost_per_core_tu * static_cast<double>(threads) *
+      (model_.ThreadedTime(stage, threads, head_size) +
+       cloud_.config().boot_penalty)
+          .value();
+  return delay_cost > hire_cost;
+}
+
+}  // namespace scan::core

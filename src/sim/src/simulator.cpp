@@ -1,0 +1,125 @@
+#include "scan/sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace scan::sim {
+
+EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
+  if (!(when >= now_)) {
+    throw std::invalid_argument(
+        "Simulator::ScheduleAt: cannot schedule in the past");
+  }
+  if (!cb) {
+    throw std::invalid_argument("Simulator::ScheduleAt: empty callback");
+  }
+  const std::uint64_t seq = next_seq_++;
+  calendar_.push(Event{when, seq, std::move(cb)});
+  ++stats_.events_scheduled;
+  return EventId{seq};
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (!id.valid() || id.seq_ >= next_seq_) return false;
+  // Periodic handles cancel their recurrence state instead.
+  for (auto& p : periodics_) {
+    if (p->handle_seq == id.seq_ && !p->cancelled) {
+      p->cancelled = true;
+      ++stats_.events_cancelled;
+      return true;
+    }
+  }
+  const auto [it, inserted] = cancelled_.insert(id.seq_);
+  (void)it;
+  if (inserted) ++stats_.events_cancelled;
+  return inserted;
+}
+
+Simulator::Callback Simulator::MakePeriodicFire(
+    std::shared_ptr<PeriodicState> state) {
+  return [state = std::move(state)](Simulator& sim) {
+    if (state->cancelled) return;
+    state->cb(sim);
+    if (!state->cancelled) {
+      sim.ScheduleAfter(state->period, MakePeriodicFire(state));
+    }
+  };
+}
+
+EventId Simulator::SchedulePeriodic(SimTime period, Callback cb) {
+  if (!(period > SimTime{0.0})) {
+    throw std::invalid_argument(
+        "Simulator::SchedulePeriodic: period must be positive");
+  }
+  auto state = std::make_shared<PeriodicState>();
+  state->period = period;
+  state->cb = std::move(cb);
+  state->handle_seq = next_seq_;  // the handle aliases the first firing
+  periodics_.push_back(state);
+  return ScheduleAfter(period, MakePeriodicFire(std::move(state)));
+}
+
+void Simulator::PopAndRun() {
+  // The priority queue does not allow moving out of top(); copy the handle
+  // pieces and const_cast-free move via re-pop pattern.
+  Event ev = calendar_.top();
+  calendar_.pop();
+  if (cancelled_.erase(ev.seq) > 0) {
+    return;  // lazily-deleted event
+  }
+  assert(ev.when >= now_);
+  now_ = ev.when;
+  if (trace_hook_) trace_hook_(ev.when, ev.seq);
+  ++stats_.events_executed;
+  ev.cb(*this);
+}
+
+void Simulator::RunUntil(SimTime horizon) {
+  while (!calendar_.empty()) {
+    const Event& next = calendar_.top();
+    if (cancelled_.contains(next.seq)) {
+      cancelled_.erase(next.seq);
+      calendar_.pop();
+      continue;
+    }
+    if (next.when > horizon) {
+      now_ = horizon;
+      return;
+    }
+    PopAndRun();
+  }
+  // Calendar drained; clock rests at the last executed event (or horizon if
+  // that is finite and earlier semantics are not needed — we keep last event
+  // time so Now() reflects real progress).
+}
+
+bool Simulator::Step() {
+  while (!calendar_.empty()) {
+    const Event& next = calendar_.top();
+    if (cancelled_.contains(next.seq)) {
+      cancelled_.erase(next.seq);
+      calendar_.pop();
+      continue;
+    }
+    PopAndRun();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::Empty() const {
+  // Account for lazily-cancelled entries still in the heap.
+  return calendar_.size() <= cancelled_.size();
+}
+
+SimTime Simulator::NextEventTime() const {
+  // Note: may report the time of a cancelled (lazily-deleted) event; callers
+  // use this only as a lower bound, which remains correct.
+  if (calendar_.empty()) {
+    return SimTime{std::numeric_limits<double>::infinity()};
+  }
+  return calendar_.top().when;
+}
+
+}  // namespace scan::sim

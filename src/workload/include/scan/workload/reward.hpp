@@ -1,0 +1,59 @@
+#pragma once
+
+// The paper's reward functions (§II-D). All users offer reward on the same
+// terms; the scheduler maximizes profit = reward - resource cost.
+//
+//  Time-oriented:        R(d, t) = d * (Rmax - t * Rpenalty)
+//    Linear penalty per unit of latency; can go negative for very late
+//    completions (the paper's deadline-like behaviour: "reward falls to
+//    zero as the results are useless thereafter" and beyond).
+//
+//  Throughput-oriented:  R(d, t) = d * Rscale / t
+//    Rewards the fraction of runtime eliminated: halving latency doubles
+//    the reward, regardless of absolute time.
+
+#include "scan/common/units.hpp"
+
+namespace scan::workload {
+
+enum class RewardScheme : int { kTimeBased, kThroughputBased };
+
+[[nodiscard]] constexpr const char* RewardSchemeName(RewardScheme scheme) {
+  return scheme == RewardScheme::kTimeBased ? "time-based"
+                                            : "throughput-based";
+}
+
+/// Parameters; defaults are the paper's Table III values.
+struct RewardParams {
+  RewardScheme scheme = RewardScheme::kTimeBased;
+  double r_max = 400.0;       ///< Rmax (CU)
+  double r_penalty = 15.0;    ///< Rpenalty (CU per TU)
+  double r_scale = 15000.0;   ///< Rscale (CU * TU)
+};
+
+/// Evaluates R(d, t). Copyable value type; cheap to pass around.
+class RewardFunction {
+ public:
+  explicit RewardFunction(RewardParams params) : params_(params) {}
+
+  [[nodiscard]] const RewardParams& params() const { return params_; }
+
+  /// Reward for completing a job of size d with total latency t.
+  /// t must be > 0 for the throughput scheme.
+  [[nodiscard]] Cost operator()(DataSize d, SimTime t) const;
+
+  /// The paper's delay cost (Eq. 1) contribution of one job:
+  /// R(ETT, d) - R(ETT + delay, d) — how much reward evaporates if the job
+  /// slips by `delay`.
+  [[nodiscard]] Cost DelayCost(DataSize d, SimTime estimated_total_time,
+                               SimTime delay) const;
+
+  /// Latency at which the time-based reward crosses zero (Rmax/Rpenalty);
+  /// infinity for the throughput scheme (never negative).
+  [[nodiscard]] SimTime BreakEvenLatency() const;
+
+ private:
+  RewardParams params_;
+};
+
+}  // namespace scan::workload

@@ -1,0 +1,49 @@
+#pragma once
+
+// Trace-driven workloads.
+//
+// The paper's evaluation uses a synthetic batched-Poisson arrival process,
+// but a deployed SCAN would replay real submission logs. This module loads
+// a CSV job trace ("time_tu,size_gb" per line, '#' comments allowed),
+// validates it, groups simultaneous arrivals into batches, and can also
+// serialize a generated workload back to a trace — so synthetic and
+// recorded workloads are interchangeable inputs to the scheduler.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scan/common/status.hpp"
+#include "scan/workload/arrivals.hpp"
+
+namespace scan::workload {
+
+/// A fully materialized workload trace.
+struct JobTrace {
+  std::vector<Job> jobs;  ///< sorted by arrival time, ids 0..n-1
+
+  /// Groups jobs into batches of identical arrival instants, in order.
+  [[nodiscard]] std::vector<ArrivalBatch> ToBatches() const;
+
+  /// Mean inter-arrival interval between batches (0 for < 2 batches).
+  [[nodiscard]] double MeanBatchInterval() const;
+
+  /// Total of all job sizes.
+  [[nodiscard]] double TotalSize() const;
+};
+
+/// Parses "time,size" CSV text. Lines: `<time_tu>,<size_gb>`; blank lines
+/// and lines starting with '#' are skipped. Times must be non-negative and
+/// non-decreasing is NOT required (the trace is sorted); sizes must be
+/// positive. Job ids are assigned in time order.
+[[nodiscard]] Result<JobTrace> ParseJobTrace(std::string_view csv_text);
+
+/// Serializes a trace back to CSV (inverse of ParseJobTrace).
+[[nodiscard]] std::string WriteJobTrace(const JobTrace& trace);
+
+/// Records `horizon` worth of a synthetic arrival process as a trace —
+/// the bridge from the paper's generator to the replayable format.
+[[nodiscard]] JobTrace RecordTrace(ArrivalGenerator& generator,
+                                   SimTime horizon);
+
+}  // namespace scan::workload

@@ -1,0 +1,60 @@
+#include "scan/workload/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace scan::workload {
+
+ArrivalGenerator::ArrivalGenerator(ArrivalParams params, std::uint64_t seed)
+    : params_(params),
+      interarrival_rng_(seed, "arrivals/interarrival"),
+      batch_rng_(seed, "arrivals/batch-size"),
+      size_rng_(seed, "arrivals/job-size") {
+  if (params_.mean_interarrival_tu <= 0.0) {
+    throw std::invalid_argument(
+        "ArrivalGenerator: mean inter-arrival must be positive");
+  }
+  if (params_.mean_job_size <= 0.0) {
+    throw std::invalid_argument(
+        "ArrivalGenerator: mean job size must be positive");
+  }
+}
+
+ArrivalBatch ArrivalGenerator::NextBatch() {
+  clock_ += SimTime{
+      interarrival_rng_.Exponential(params_.mean_interarrival_tu)};
+
+  ArrivalBatch batch;
+  batch.time = clock_;
+
+  const double drawn_count = batch_rng_.TruncatedNormal(
+      params_.mean_jobs_per_arrival,
+      std::sqrt(params_.jobs_per_arrival_variance), 0.0);
+  const auto count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(drawn_count + 0.5));
+
+  batch.jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Job job;
+    job.id = next_job_id_++;
+    // Sizes are bounded away from zero: a zero-size job would earn zero
+    // reward and distort the throughput scheme's d/t ratio.
+    job.size = DataSize{size_rng_.TruncatedNormal(
+        params_.mean_job_size, std::sqrt(params_.job_size_variance), 0.25)};
+    job.arrival = clock_;
+    batch.jobs.push_back(job);
+  }
+  return batch;
+}
+
+std::vector<ArrivalBatch> ArrivalGenerator::GenerateUntil(SimTime horizon) {
+  std::vector<ArrivalBatch> batches;
+  for (;;) {
+    ArrivalBatch batch = NextBatch();
+    if (batch.time > horizon) break;
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace scan::workload

@@ -1,0 +1,38 @@
+#include "scan/workload/reward.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace scan::workload {
+
+Cost RewardFunction::operator()(DataSize d, SimTime t) const {
+  switch (params_.scheme) {
+    case RewardScheme::kTimeBased:
+      return Cost{d.value() * (params_.r_max - t.value() * params_.r_penalty)};
+    case RewardScheme::kThroughputBased: {
+      if (t.value() <= 0.0) {
+        throw std::invalid_argument(
+            "RewardFunction: throughput reward needs t > 0");
+      }
+      return Cost{d.value() * params_.r_scale / t.value()};
+    }
+  }
+  return Cost{0.0};
+}
+
+Cost RewardFunction::DelayCost(DataSize d, SimTime estimated_total_time,
+                               SimTime delay) const {
+  return (*this)(d, estimated_total_time) -
+         (*this)(d, estimated_total_time + delay);
+}
+
+SimTime RewardFunction::BreakEvenLatency() const {
+  if (params_.scheme == RewardScheme::kThroughputBased ||
+      params_.r_penalty <= 0.0) {
+    return SimTime{std::numeric_limits<double>::infinity()};
+  }
+  return SimTime{params_.r_max / params_.r_penalty};
+}
+
+}  // namespace scan::workload

@@ -1,0 +1,92 @@
+#include "scan/workload/trace.hpp"
+
+#include <algorithm>
+
+#include "scan/common/str.hpp"
+
+namespace scan::workload {
+
+std::vector<ArrivalBatch> JobTrace::ToBatches() const {
+  std::vector<ArrivalBatch> batches;
+  for (const Job& job : jobs) {
+    if (batches.empty() ||
+        batches.back().time.value() != job.arrival.value()) {
+      ArrivalBatch batch;
+      batch.time = job.arrival;
+      batches.push_back(std::move(batch));
+    }
+    batches.back().jobs.push_back(job);
+  }
+  return batches;
+}
+
+double JobTrace::MeanBatchInterval() const {
+  const auto batches = ToBatches();
+  if (batches.size() < 2) return 0.0;
+  return (batches.back().time - batches.front().time).value() /
+         static_cast<double>(batches.size() - 1);
+}
+
+double JobTrace::TotalSize() const {
+  double total = 0.0;
+  for (const Job& job : jobs) total += job.size.value();
+  return total;
+}
+
+Result<JobTrace> ParseJobTrace(std::string_view csv_text) {
+  JobTrace trace;
+  std::size_t line_number = 0;
+  for (const auto raw_line : SplitView(csv_text, '\n')) {
+    ++line_number;
+    const std::string_view line = TrimView(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = SplitView(line, ',');
+    if (fields.size() != 2) {
+      return ParseError("job trace: expected 'time,size' at line " +
+                        std::to_string(line_number));
+    }
+    const auto time = ParseDouble(fields[0]);
+    const auto size = ParseDouble(fields[1]);
+    if (!time || *time < 0.0) {
+      return ParseError("job trace: bad time at line " +
+                        std::to_string(line_number));
+    }
+    if (!size || *size <= 0.0) {
+      return ParseError("job trace: bad size at line " +
+                        std::to_string(line_number));
+    }
+    Job job;
+    job.arrival = SimTime{*time};
+    job.size = DataSize{*size};
+    trace.jobs.push_back(job);
+  }
+  std::stable_sort(trace.jobs.begin(), trace.jobs.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    trace.jobs[i].id = i;
+  }
+  return trace;
+}
+
+std::string WriteJobTrace(const JobTrace& trace) {
+  std::string out = "# time_tu,size_gb\n";
+  for (const Job& job : trace.jobs) {
+    out += StrFormat("%.6g,%.6g\n", job.arrival.value(), job.size.value());
+  }
+  return out;
+}
+
+JobTrace RecordTrace(ArrivalGenerator& generator, SimTime horizon) {
+  JobTrace trace;
+  for (const ArrivalBatch& batch : generator.GenerateUntil(horizon)) {
+    for (const Job& job : batch.jobs) trace.jobs.push_back(job);
+  }
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    trace.jobs[i].id = i;
+  }
+  return trace;
+}
+
+}  // namespace scan::workload

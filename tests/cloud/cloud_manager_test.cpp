@@ -1,0 +1,203 @@
+#include "scan/cloud/cloud_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scan::cloud {
+namespace {
+
+CloudConfig SmallConfig() {
+  CloudConfig config = CloudConfig::Paper(50.0);
+  config.private_tier.core_capacity = 16;
+  return config;
+}
+
+TEST(CloudManagerTest, PaperConfigDefaults) {
+  const CloudConfig config = CloudConfig::Paper(80.0);
+  EXPECT_DOUBLE_EQ(config.private_tier.cost_per_core_tu.value(), 5.0);
+  EXPECT_EQ(config.private_tier.core_capacity, 624u);
+  EXPECT_DOUBLE_EQ(config.public_tier.cost_per_core_tu.value(), 80.0);
+  EXPECT_EQ(config.public_tier.core_capacity, TierConfig::kUnlimited);
+  EXPECT_EQ(config.instance_sizes, (std::vector<int>{1, 2, 4, 8, 16}));
+  EXPECT_DOUBLE_EQ(config.boot_penalty.value(), 0.5);
+}
+
+TEST(CloudManagerTest, RejectsBadConfig) {
+  CloudConfig config;
+  config.instance_sizes = {};
+  EXPECT_THROW(CloudManager{config}, std::invalid_argument);
+  config.instance_sizes = {0};
+  EXPECT_THROW(CloudManager{config}, std::invalid_argument);
+}
+
+TEST(CloudManagerTest, HireValidatesInstanceSize) {
+  CloudManager cloud(SmallConfig());
+  EXPECT_EQ(cloud.Hire(Tier::kPrivate, 3, SimTime{0.0}).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(cloud.Hire(Tier::kPrivate, 4, SimTime{0.0}).ok());
+}
+
+TEST(CloudManagerTest, HireTracksCapacity) {
+  CloudManager cloud(SmallConfig());
+  EXPECT_EQ(cloud.AvailableCores(Tier::kPrivate), 16u);
+  ASSERT_TRUE(cloud.Hire(Tier::kPrivate, 8, SimTime{0.0}).ok());
+  EXPECT_EQ(cloud.CoresInUse(Tier::kPrivate), 8u);
+  EXPECT_EQ(cloud.AvailableCores(Tier::kPrivate), 8u);
+  ASSERT_TRUE(cloud.Hire(Tier::kPrivate, 8, SimTime{0.0}).ok());
+  EXPECT_EQ(cloud.Hire(Tier::kPrivate, 1, SimTime{0.0}).status().code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(CloudManagerTest, PublicTierIsUnlimited) {
+  CloudManager cloud(SmallConfig());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cloud.Hire(Tier::kPublic, 16, SimTime{0.0}).ok());
+  }
+  EXPECT_EQ(cloud.CoresInUse(Tier::kPublic), 1600u);
+  EXPECT_EQ(cloud.AvailableCores(Tier::kPublic), TierConfig::kUnlimited);
+}
+
+TEST(CloudManagerTest, WorkerBootsWithPenalty) {
+  CloudManager cloud(SmallConfig());
+  const auto id = cloud.Hire(Tier::kPrivate, 4, SimTime{10.0});
+  ASSERT_TRUE(id.ok());
+  const auto info = cloud.Info(*id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, WorkerState::kBooting);
+  EXPECT_DOUBLE_EQ(info->ready_at.value(), 10.5);
+  EXPECT_DOUBLE_EQ(info->hired_at.value(), 10.0);
+}
+
+TEST(CloudManagerTest, ReleaseFreesCapacityAndSettlesCost) {
+  CloudManager cloud(SmallConfig());
+  const auto id = cloud.Hire(Tier::kPrivate, 4, SimTime{0.0});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(cloud.Release(*id, SimTime{10.0}).ok());
+  EXPECT_EQ(cloud.CoresInUse(Tier::kPrivate), 0u);
+  // 4 cores x 10 TU x 5 CU = 200.
+  const CostReport report = cloud.CostUpTo(SimTime{100.0});
+  EXPECT_DOUBLE_EQ(report.private_tier.value(), 200.0);
+  EXPECT_DOUBLE_EQ(report.total.value(), 200.0);
+  EXPECT_DOUBLE_EQ(report.private_core_tus, 40.0);
+  // Double release fails.
+  EXPECT_EQ(cloud.Release(*id, SimTime{11.0}).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(CloudManagerTest, ReleaseUnknownWorker) {
+  CloudManager cloud(SmallConfig());
+  EXPECT_EQ(cloud.Release(WorkerId{999}, SimTime{0.0}).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(CloudManagerTest, LiveWorkerCostProRated) {
+  CloudManager cloud(SmallConfig());
+  ASSERT_TRUE(cloud.Hire(Tier::kPublic, 2, SimTime{5.0}).ok());
+  // 2 cores x 5 TU x 50 CU = 500 at t = 10.
+  const CostReport report = cloud.CostUpTo(SimTime{10.0});
+  EXPECT_DOUBLE_EQ(report.public_tier.value(), 500.0);
+}
+
+TEST(CloudManagerTest, CostRateSumsLiveWorkers) {
+  CloudManager cloud(SmallConfig());
+  const auto a = cloud.Hire(Tier::kPrivate, 4, SimTime{0.0});
+  const auto b = cloud.Hire(Tier::kPublic, 2, SimTime{0.0});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // 4 x 5 + 2 x 50 = 120 CU/TU.
+  EXPECT_DOUBLE_EQ(cloud.CostRate().value(), 120.0);
+  ASSERT_TRUE(cloud.Release(*b, SimTime{1.0}).ok());
+  EXPECT_DOUBLE_EQ(cloud.CostRate().value(), 20.0);
+}
+
+TEST(CloudManagerTest, ConfigureChargesPenaltyOnChange) {
+  CloudManager cloud(SmallConfig());
+  const auto id = cloud.Hire(Tier::kPrivate, 8, SimTime{0.0});
+  ASSERT_TRUE(id.ok());
+  // First configuration (0 -> 4 threads): boot penalty.
+  const auto first = cloud.Configure(*id, 4, SimTime{0.0});
+  ASSERT_TRUE(first.ok());
+  EXPECT_DOUBLE_EQ(first->value(), 0.5);
+  // Same threads once ready: free.
+  const auto same = cloud.Configure(*id, 4, SimTime{1.0});
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(same->value(), 0.0);
+  // Different threads: penalty again.
+  const auto changed = cloud.Configure(*id, 8, SimTime{1.0});
+  ASSERT_TRUE(changed.ok());
+  EXPECT_DOUBLE_EQ(changed->value(), 0.5);
+}
+
+TEST(CloudManagerTest, ConfigureValidatesThreadCount) {
+  CloudManager cloud(SmallConfig());
+  const auto id = cloud.Hire(Tier::kPrivate, 4, SimTime{0.0});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(cloud.Configure(*id, 8, SimTime{0.0}).status().code(),
+            ErrorCode::kInvalidArgument);  // more threads than cores
+  EXPECT_EQ(cloud.Configure(*id, 0, SimTime{0.0}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(CloudManagerTest, ConfigureWhileBootingSameThreadsReturnsRemaining) {
+  CloudManager cloud(SmallConfig());
+  const auto id = cloud.Hire(Tier::kPrivate, 4, SimTime{0.0});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(cloud.Configure(*id, 4, SimTime{0.0}).ok());  // boots to 0.5
+  const auto remaining = cloud.Configure(*id, 4, SimTime{0.25});
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_DOUBLE_EQ(remaining->value(), 0.25);
+}
+
+TEST(CloudManagerTest, BusyWorkerCannotBeConfigured) {
+  CloudManager cloud(SmallConfig());
+  const auto id = cloud.Hire(Tier::kPrivate, 4, SimTime{0.0});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(cloud.Configure(*id, 4, SimTime{0.0}).ok());
+  ASSERT_TRUE(cloud.MarkBusy(*id, SimTime{1.0}).ok());
+  EXPECT_EQ(cloud.Configure(*id, 2, SimTime{1.0}).status().code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(cloud.MarkIdle(*id, SimTime{2.0}).ok());
+  EXPECT_TRUE(cloud.Configure(*id, 2, SimTime{2.0}).ok());
+}
+
+TEST(CloudManagerTest, MarkBusyRequiresBooted) {
+  CloudManager cloud(SmallConfig());
+  const auto id = cloud.Hire(Tier::kPrivate, 4, SimTime{0.0});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(cloud.MarkBusy(*id, SimTime{0.1}).code(),
+            ErrorCode::kFailedPrecondition);  // still booting
+  EXPECT_TRUE(cloud.MarkBusy(*id, SimTime{0.6}).ok());
+}
+
+TEST(CloudManagerTest, LiveWorkersInHireOrder) {
+  CloudManager cloud(SmallConfig());
+  const auto a = cloud.Hire(Tier::kPrivate, 1, SimTime{0.0});
+  const auto b = cloud.Hire(Tier::kPublic, 2, SimTime{1.0});
+  const auto c = cloud.Hire(Tier::kPublic, 4, SimTime{2.0});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(cloud.Release(*b, SimTime{3.0}).ok());
+  const auto live = cloud.LiveWorkers();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].id, *a);
+  EXPECT_EQ(live[1].id, *c);
+}
+
+TEST(CloudManagerTest, CheapestAvailableTierPrefersPrivate) {
+  CloudManager cloud(SmallConfig());
+  EXPECT_EQ(cloud.CheapestAvailableTier(8), Tier::kPrivate);
+  ASSERT_TRUE(cloud.Hire(Tier::kPrivate, 16, SimTime{0.0}).ok());
+  EXPECT_EQ(cloud.CheapestAvailableTier(8), Tier::kPublic);
+  EXPECT_FALSE(cloud.CheapestAvailableTier(3).has_value());  // invalid size
+}
+
+TEST(CloudManagerTest, CostReportSplitsTiers) {
+  CloudManager cloud(SmallConfig());
+  ASSERT_TRUE(cloud.Hire(Tier::kPrivate, 2, SimTime{0.0}).ok());
+  ASSERT_TRUE(cloud.Hire(Tier::kPublic, 1, SimTime{0.0}).ok());
+  const CostReport report = cloud.CostUpTo(SimTime{10.0});
+  EXPECT_DOUBLE_EQ(report.private_tier.value(), 100.0);  // 2 x 10 x 5
+  EXPECT_DOUBLE_EQ(report.public_tier.value(), 500.0);   // 1 x 10 x 50
+  EXPECT_DOUBLE_EQ(report.total.value(), 600.0);
+}
+
+}  // namespace
+}  // namespace scan::cloud

@@ -1,0 +1,105 @@
+// Parameterized property sweeps over the cloud substrate.
+
+#include <gtest/gtest.h>
+
+#include "scan/cloud/cloud_manager.hpp"
+#include "scan/cloud/pool_manager.hpp"
+
+namespace scan::cloud {
+namespace {
+
+// Cost identity: for any (tier, size, duration), the bill equals
+// price x cores x held-time, and releasing stops accrual.
+class CostIdentityProperty
+    : public testing::TestWithParam<std::tuple<int /*tier*/, int /*cores*/,
+                                               double /*held*/>> {};
+
+TEST_P(CostIdentityProperty, BillMatchesClosedForm) {
+  const auto [tier_int, cores, held] = GetParam();
+  const Tier tier = tier_int == 0 ? Tier::kPrivate : Tier::kPublic;
+  CloudManager cloud(CloudConfig::Paper(80.0));
+  const auto id = cloud.Hire(tier, cores, SimTime{10.0});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(cloud.Release(*id, SimTime{10.0 + held}).ok());
+
+  const double price = tier == Tier::kPrivate ? 5.0 : 80.0;
+  const CostReport bill = cloud.CostUpTo(SimTime{10'000.0});
+  EXPECT_NEAR(bill.total.value(), price * cores * held, 1e-9);
+  // Cost is frozen after release.
+  EXPECT_NEAR(cloud.CostUpTo(SimTime{20'000.0}).total.value(),
+              bill.total.value(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostIdentityProperty,
+    testing::Combine(testing::Values(0, 1), testing::Values(1, 2, 4, 8, 16),
+                     testing::Values(0.5, 3.0, 100.0)));
+
+// Capacity conservation: hiring to exhaustion and releasing everything
+// returns the tier to its initial state, for every instance size.
+class CapacityConservationProperty : public testing::TestWithParam<int> {};
+
+TEST_P(CapacityConservationProperty, HireAllReleaseAllRestoresCapacity) {
+  const int cores = GetParam();
+  CloudConfig config = CloudConfig::Paper(50.0);
+  config.private_tier.core_capacity = 64;
+  CloudManager cloud(config);
+
+  std::vector<WorkerId> hired;
+  for (;;) {
+    const auto id = cloud.Hire(Tier::kPrivate, cores, SimTime{0.0});
+    if (!id.ok()) {
+      EXPECT_EQ(id.status().code(), ErrorCode::kResourceExhausted);
+      break;
+    }
+    hired.push_back(*id);
+  }
+  EXPECT_EQ(hired.size(), 64u / static_cast<std::size_t>(cores));
+  EXPECT_LT(cloud.AvailableCores(Tier::kPrivate),
+            static_cast<std::size_t>(cores));
+  for (const WorkerId id : hired) {
+    EXPECT_TRUE(cloud.Release(id, SimTime{1.0}).ok());
+  }
+  EXPECT_EQ(cloud.AvailableCores(Tier::kPrivate), 64u);
+  EXPECT_EQ(cloud.CoresInUse(Tier::kPrivate), 0u);
+  EXPECT_DOUBLE_EQ(cloud.CostRate().value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CapacityConservationProperty,
+                         testing::Values(1, 2, 4, 8, 16));
+
+// Pool reconciliation property: for any target vector, reconciling twice
+// is idempotent and total members never exceed targets.
+class PoolTargetProperty
+    : public testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PoolTargetProperty, ReconcileReachesAndHoldsTargets) {
+  const auto [t1, t4, t8] = GetParam();
+  CloudManager cloud(CloudConfig::Paper(50.0));
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(1, static_cast<std::size_t>(t1)).ok());
+  ASSERT_TRUE(pools.SetTarget(4, static_cast<std::size_t>(t4)).ok());
+  ASSERT_TRUE(pools.SetTarget(8, static_cast<std::size_t>(t8)).ok());
+  (void)pools.Reconcile(SimTime{0.0});
+  const ReconcileReport second = pools.Reconcile(SimTime{1.0});
+  EXPECT_EQ(second.hired + second.released + second.moved, 0u);
+  for (const PoolStatus& status : pools.Pools()) {
+    EXPECT_EQ(status.members, status.target);
+  }
+  // Retarget everything to zero: full teardown.
+  ASSERT_TRUE(pools.SetTarget(1, 0).ok());
+  ASSERT_TRUE(pools.SetTarget(4, 0).ok());
+  ASSERT_TRUE(pools.SetTarget(8, 0).ok());
+  (void)pools.Reconcile(SimTime{2.0});
+  EXPECT_EQ(cloud.CoresInUse(Tier::kPrivate) + cloud.CoresInUse(Tier::kPublic),
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, PoolTargetProperty,
+                         testing::Values(std::make_tuple(0, 0, 0),
+                                         std::make_tuple(3, 2, 1),
+                                         std::make_tuple(10, 0, 4),
+                                         std::make_tuple(1, 1, 1)));
+
+}  // namespace
+}  // namespace scan::cloud

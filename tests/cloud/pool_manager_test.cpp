@@ -1,0 +1,164 @@
+#include "scan/cloud/pool_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scan::cloud {
+namespace {
+
+CloudConfig SmallConfig() {
+  CloudConfig config = CloudConfig::Paper(50.0);
+  config.private_tier.core_capacity = 16;
+  return config;
+}
+
+TEST(PoolManagerTest, SetTargetValidatesInstanceSize) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  EXPECT_EQ(pools.SetTarget(3, 2).code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(pools.SetTarget(4, 2).ok());
+}
+
+TEST(PoolManagerTest, ReconcileGrowsToTarget) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(4, 3).ok());
+  const ReconcileReport report = pools.Reconcile(SimTime{0.0});
+  EXPECT_EQ(report.hired, 3u);
+  EXPECT_EQ(report.deferred, 0u);
+  const auto status = pools.Pools();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].members, 3u);
+  EXPECT_EQ(cloud.CoresInUse(Tier::kPrivate), 12u);
+}
+
+TEST(PoolManagerTest, GrowthSpillsToPublicWhenPrivateFull) {
+  CloudManager cloud(SmallConfig());  // 16 private cores
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(8, 3).ok());  // 24 cores needed
+  const ReconcileReport report = pools.Reconcile(SimTime{0.0});
+  EXPECT_EQ(report.hired, 3u);
+  EXPECT_EQ(cloud.CoresInUse(Tier::kPrivate), 16u);
+  EXPECT_EQ(cloud.CoresInUse(Tier::kPublic), 8u);
+}
+
+TEST(PoolManagerTest, ShrinkReleasesIdleMembers) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(2, 4).ok());
+  (void)pools.Reconcile(SimTime{0.0});
+  ASSERT_TRUE(pools.SetTarget(2, 1).ok());
+  const ReconcileReport report = pools.Reconcile(SimTime{5.0});
+  EXPECT_EQ(report.released, 3u);
+  EXPECT_EQ(pools.Pools()[0].members, 1u);
+  EXPECT_EQ(cloud.CoresInUse(Tier::kPrivate), 2u);
+}
+
+TEST(PoolManagerTest, BusyMembersSurviveShrink) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(2, 2).ok());
+  (void)pools.Reconcile(SimTime{0.0});
+  // Claim both once they boot (boot penalty 0.5).
+  const auto a = pools.Acquire(2, SimTime{1.0});
+  const auto b = pools.Acquire(2, SimTime{1.0});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(pools.SetTarget(2, 0).ok());
+  const ReconcileReport report = pools.Reconcile(SimTime{1.5});
+  EXPECT_EQ(report.released, 0u);  // both busy: untouched
+  EXPECT_EQ(pools.Pools()[0].members, 2u);
+  // Finish one and reconcile again.
+  ASSERT_TRUE(pools.Release(*a, SimTime{2.0}).ok());
+  const ReconcileReport second = pools.Reconcile(SimTime{2.0});
+  EXPECT_EQ(second.released, 1u);
+}
+
+TEST(PoolManagerTest, MoveReconfiguresAcrossPoolsInsteadOfChurn) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(4, 2).ok());
+  (void)pools.Reconcile(SimTime{0.0});
+  // Retarget: 4-thread pool shrinks to 1, 2-thread pool wants 1. The
+  // surplus 4-core idle worker can serve 2 threads -> move, not release +
+  // hire.
+  ASSERT_TRUE(pools.SetTarget(4, 1).ok());
+  ASSERT_TRUE(pools.SetTarget(2, 1).ok());
+  const ReconcileReport report = pools.Reconcile(SimTime{1.0});
+  EXPECT_EQ(report.moved, 1u);
+  EXPECT_EQ(report.hired, 0u);
+  EXPECT_EQ(report.released, 0u);
+  const auto status = pools.Pools();
+  ASSERT_EQ(status.size(), 2u);
+  EXPECT_EQ(status[0].threads, 2);
+  EXPECT_EQ(status[0].members, 1u);
+  EXPECT_EQ(status[1].members, 1u);
+}
+
+TEST(PoolManagerTest, MoveRequiresEnoughCores) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(2, 2).ok());
+  (void)pools.Reconcile(SimTime{0.0});
+  // 8-thread pool cannot be fed from 2-core donors: must hire.
+  ASSERT_TRUE(pools.SetTarget(2, 0).ok());
+  ASSERT_TRUE(pools.SetTarget(8, 1).ok());
+  const ReconcileReport report = pools.Reconcile(SimTime{1.0});
+  EXPECT_EQ(report.moved, 0u);
+  EXPECT_EQ(report.hired, 1u);
+  EXPECT_EQ(report.released, 2u);
+}
+
+TEST(PoolManagerTest, AcquireRespectsBootTime) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(4, 1).ok());
+  (void)pools.Reconcile(SimTime{0.0});
+  // Still booting at t = 0.2 (boot penalty 0.5).
+  EXPECT_EQ(pools.Acquire(4, SimTime{0.2}).status().code(),
+            ErrorCode::kNotFound);
+  const auto ready = pools.Acquire(4, SimTime{0.6});
+  EXPECT_TRUE(ready.ok());
+  // Pool exhausted now.
+  EXPECT_FALSE(pools.Acquire(4, SimTime{0.6}).ok());
+}
+
+TEST(PoolManagerTest, AcquireUnknownPool) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  EXPECT_EQ(pools.Acquire(16, SimTime{0.0}).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(PoolManagerTest, ReleaseRequiresMembership) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  const auto foreign = cloud.Hire(Tier::kPrivate, 2, SimTime{0.0});
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_EQ(pools.Release(*foreign, SimTime{1.0}).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(PoolManagerTest, DeferredGrowthReportedWhenCapacityExhausted) {
+  CloudConfig config = SmallConfig();
+  config.public_tier.core_capacity = 0;  // no elastic tier at all
+  CloudManager cloud(config);
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(16, 2).ok());  // needs 32 > 16 private cores
+  const ReconcileReport report = pools.Reconcile(SimTime{0.0});
+  EXPECT_EQ(report.hired, 1u);
+  EXPECT_EQ(report.deferred, 1u);
+}
+
+TEST(PoolManagerTest, ReconcileIsIdempotentAtTarget) {
+  CloudManager cloud(SmallConfig());
+  PoolManager pools(cloud);
+  ASSERT_TRUE(pools.SetTarget(4, 2).ok());
+  (void)pools.Reconcile(SimTime{0.0});
+  const ReconcileReport second = pools.Reconcile(SimTime{1.0});
+  EXPECT_EQ(second.hired, 0u);
+  EXPECT_EQ(second.released, 0u);
+  EXPECT_EQ(second.moved, 0u);
+}
+
+}  // namespace
+}  // namespace scan::cloud

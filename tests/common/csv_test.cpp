@@ -1,0 +1,75 @@
+#include "scan/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace scan {
+namespace {
+
+TEST(CsvTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvTable({}), std::invalid_argument);
+}
+
+TEST(CsvTableTest, RejectsRowWidthMismatch) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only"}), std::invalid_argument);
+}
+
+TEST(CsvTableTest, WritesPlainCsv) {
+  CsvTable t({"x", "y"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvTableTest, EscapesSpecialCharacters) {
+  CsvTable t({"name"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str(), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(CsvTableTest, PrettyAlignsColumns) {
+  CsvTable t({"col", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.WritePretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(CsvTableTest, NumFormats) {
+  EXPECT_EQ(CsvTable::Num(2.0), "2");
+  EXPECT_EQ(CsvTable::Num(3.14159), "3.142");
+}
+
+TEST(CsvTableTest, RowCountTracked) {
+  CsvTable t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.AddRow({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.data()[0][0], "1");
+}
+
+TEST(CsvTableTest, SaveCsvRoundTrip) {
+  CsvTable t({"k", "v"});
+  t.AddRow({"alpha", "1"});
+  const std::string path = testing::TempDir() + "/scan_csv_test.csv";
+  ASSERT_TRUE(t.SaveCsv(path));
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str(), "k,v\nalpha,1\n");
+}
+
+}  // namespace
+}  // namespace scan

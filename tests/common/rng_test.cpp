@@ -1,0 +1,186 @@
+#include "scan/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace scan {
+namespace {
+
+TEST(Pcg32Test, DeterministicSequence) {
+  Pcg32 a(123, 7);
+  Pcg32 b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1, 7);
+  Pcg32 b(2, 7);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Pcg32Test, UniformBelowRespectsBound) {
+  Pcg32 gen(42, 1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(gen.UniformBelow(17), 17u);
+  }
+  EXPECT_EQ(gen.UniformBelow(1), 0u);
+  EXPECT_EQ(gen.UniformBelow(0), 0u);
+}
+
+TEST(Pcg32Test, UniformDoubleInUnitInterval) {
+  Pcg32 gen(42, 1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = gen.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Fnv1aTest, StableKnownValues) {
+  // FNV-1a has fixed published constants; the empty string hashes to the
+  // offset basis.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_EQ(Fnv1a64("scan"), Fnv1a64("scan"));
+}
+
+TEST(MixSeedTest, OrderSensitive) {
+  EXPECT_NE(MixSeed(1, 2), MixSeed(2, 1));
+}
+
+TEST(RandomStreamTest, NamedStreamsAreIndependent) {
+  RandomStream arrivals(99, "arrivals");
+  RandomStream sizes(99, "sizes");
+  // Same root seed, different names -> different sequences.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (arrivals.Uniform() != sizes.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomStreamTest, SameNameSameSeedReproduces) {
+  RandomStream a(7, "workload");
+  RandomStream b(7, "workload");
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RandomStreamTest, UniformRange) {
+  RandomStream s(5, "u");
+  for (int i = 0; i < 1000; ++i) {
+    const double x = s.Uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RandomStreamTest, UniformIntInclusiveBounds) {
+  RandomStream s(5, "i");
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = s.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStreamTest, ExponentialMeanConverges) {
+  RandomStream s(11, "exp");
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += s.Exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(RandomStreamTest, ExponentialAlwaysNonNegative) {
+  RandomStream s(11, "exp2");
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(s.Exponential(0.001), 0.0);
+  }
+}
+
+TEST(RandomStreamTest, NormalMomentsConverge) {
+  RandomStream s(13, "norm");
+  double sum = 0.0;
+  double sumsq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = s.Normal(10.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RandomStreamTest, TruncatedNormalRespectsFloor) {
+  RandomStream s(17, "trunc");
+  for (int i = 0; i < 20'000; ++i) {
+    EXPECT_GE(s.TruncatedNormal(1.0, 5.0, 0.5), 0.5);
+  }
+}
+
+TEST(RandomStreamTest, TruncatedNormalDegenerateSigma) {
+  RandomStream s(17, "trunc0");
+  EXPECT_DOUBLE_EQ(s.TruncatedNormal(4.0, 0.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.TruncatedNormal(0.0, 0.0, 1.0), 1.0);
+}
+
+TEST(RandomStreamTest, PoissonMeanConverges) {
+  RandomStream s(19, "poisson");
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += s.Poisson(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RandomStreamTest, PoissonZeroMean) {
+  RandomStream s(19, "poisson0");
+  EXPECT_EQ(s.Poisson(0.0), 0u);
+}
+
+TEST(RandomStreamTest, PoissonLargeMeanUsesApproximation) {
+  RandomStream s(23, "plarge");
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += s.Poisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 0.5);
+}
+
+TEST(RandomStreamTest, WeightedIndexDistribution) {
+  RandomStream s(29, "weights");
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) ++counts[s.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(RandomStreamTest, WeightedIndexRejectsBadInput) {
+  RandomStream s(29, "bad");
+  EXPECT_THROW((void)s.WeightedIndex({}), std::invalid_argument);
+  EXPECT_THROW((void)s.WeightedIndex({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)s.WeightedIndex({1.0, -1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scan

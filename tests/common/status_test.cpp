@@ -1,0 +1,93 @@
+#include "scan/common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scan {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = NotFoundError("missing profile");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing profile");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing profile");
+}
+
+TEST(StatusTest, AllFactoryFunctionsSetTheirCode) {
+  EXPECT_EQ(InvalidArgumentError("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(ParseError("").code(), ErrorCode::kParseError);
+  EXPECT_EQ(InternalError("").code(), ErrorCode::kInternal);
+  EXPECT_EQ(UnimplementedError("").code(), ErrorCode::kUnimplemented);
+}
+
+TEST(StatusTest, ErrorCodeNamesAreDistinct) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kParseError), "PARSE_ERROR");
+  EXPECT_NE(ErrorCodeName(ErrorCode::kNotFound),
+            ErrorCodeName(ErrorCode::kInternal));
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r = NotFoundError("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOnErrorThrows) {
+  const Result<int> r = InternalError("boom");
+  EXPECT_THROW((void)r.value(), BadResultAccess);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  const Result<int> err = NotFoundError("x");
+  EXPECT_EQ(err.value_or(7), 7);
+  const Result<int> ok = 3;
+  EXPECT_EQ(ok.value_or(7), 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailsFirst() { return InvalidArgumentError("inner"); }
+
+Status UsesReturnIfError() {
+  SCAN_RETURN_IF_ERROR(FailsFirst());
+  return InternalError("should not reach");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  const Status s = UsesReturnIfError();
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace scan

@@ -1,0 +1,90 @@
+#include "scan/common/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scan {
+namespace {
+
+TEST(StrTest, TrimView) {
+  EXPECT_EQ(TrimView("  hello  "), "hello");
+  EXPECT_EQ(TrimView("hello"), "hello");
+  EXPECT_EQ(TrimView("\t\n x \r"), "x");
+  EXPECT_EQ(TrimView(""), "");
+  EXPECT_EQ(TrimView("   "), "");
+}
+
+TEST(StrTest, SplitViewKeepsEmptyFields) {
+  const auto parts = SplitView("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrTest, SplitViewSingleField) {
+  const auto parts = SplitView("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = SplitWhitespace("  a \t b\n  c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StrTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StrTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StrTest, ParseIntStrict) {
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt("-17"), -17);
+  EXPECT_EQ(ParseInt("  8 "), 8);
+  EXPECT_FALSE(ParseInt("4x").has_value());
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("3.5").has_value());
+}
+
+TEST(StrTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("180"), 180.0);
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+}
+
+TEST(StrTest, ToLower) {
+  EXPECT_EQ(ToLower("HeLLo-123"), "hello-123");
+}
+
+TEST(StrTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("none here", "xyz", "q"), "none here");
+  EXPECT_EQ(ReplaceAll("abc", "", "q"), "abc");
+}
+
+TEST(StrTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace scan

@@ -1,0 +1,78 @@
+#include "scan/common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace scan {
+namespace {
+
+using namespace scan::literals;
+
+TEST(UnitsTest, DefaultConstructsToZero) {
+  EXPECT_EQ(SimTime{}.value(), 0.0);
+  EXPECT_EQ(Cost{}.value(), 0.0);
+  EXPECT_EQ(DataSize{}.value(), 0.0);
+}
+
+TEST(UnitsTest, LiteralsProduceExpectedValues) {
+  EXPECT_DOUBLE_EQ((2.5_tu).value(), 2.5);
+  EXPECT_DOUBLE_EQ((400_cu).value(), 400.0);
+  EXPECT_DOUBLE_EQ((5_du).value(), 5.0);
+}
+
+TEST(UnitsTest, AdditionAndSubtraction) {
+  const SimTime a{3.0};
+  const SimTime b{1.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 4.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((-b).value(), -1.5);
+}
+
+TEST(UnitsTest, CompoundAssignment) {
+  SimTime t{1.0};
+  t += SimTime{2.0};
+  EXPECT_DOUBLE_EQ(t.value(), 3.0);
+  t -= SimTime{0.5};
+  EXPECT_DOUBLE_EQ(t.value(), 2.5);
+  t *= 4.0;
+  EXPECT_DOUBLE_EQ(t.value(), 10.0);
+  t /= 2.0;
+  EXPECT_DOUBLE_EQ(t.value(), 5.0);
+}
+
+TEST(UnitsTest, ScalarMultiplicationBothSides) {
+  const Cost c{10.0};
+  EXPECT_DOUBLE_EQ((c * 3.0).value(), 30.0);
+  EXPECT_DOUBLE_EQ((3.0 * c).value(), 30.0);
+  EXPECT_DOUBLE_EQ((c / 4.0).value(), 2.5);
+}
+
+TEST(UnitsTest, RatioOfLikeQuantitiesIsDimensionless) {
+  const double ratio = Cost{15.0} / Cost{5.0};
+  EXPECT_DOUBLE_EQ(ratio, 3.0);
+}
+
+TEST(UnitsTest, ComparisonOperators) {
+  EXPECT_LT(SimTime{1.0}, SimTime{2.0});
+  EXPECT_GT(SimTime{2.0}, SimTime{1.0});
+  EXPECT_EQ(SimTime{1.0}, SimTime{1.0});
+  EXPECT_LE(SimTime{1.0}, SimTime{1.0});
+  EXPECT_NE(SimTime{1.0}, SimTime{1.5});
+}
+
+TEST(UnitsTest, BootPenaltyIsHalfTimeUnit) {
+  // 30 seconds at 1 TU per minute.
+  EXPECT_DOUBLE_EQ(kWorkerBootPenalty.value(), 0.5);
+}
+
+TEST(UnitsTest, Hashable) {
+  std::unordered_set<SimTime> times;
+  times.insert(SimTime{1.0});
+  times.insert(SimTime{1.0});
+  times.insert(SimTime{2.0});
+  EXPECT_EQ(times.size(), 2u);
+}
+
+}  // namespace
+}  // namespace scan

@@ -1,0 +1,179 @@
+#include "scan/concurrency/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace scan {
+namespace {
+
+TEST(UniqueTaskTest, InvokesWrappedCallable) {
+  int calls = 0;
+  UniqueTask task([&] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(task));
+  task();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(UniqueTaskTest, EmptyIsFalse) {
+  const UniqueTask task;
+  EXPECT_FALSE(static_cast<bool>(task));
+}
+
+TEST(UniqueTaskTest, WrapsMoveOnlyCallable) {
+  auto ptr = std::make_unique<int>(5);
+  int seen = 0;
+  UniqueTask task([p = std::move(ptr), &seen] { seen = *p; });
+  task();
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit(UniqueTask([&] { counter.fetch_add(1); }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_GE(pool.tasks_executed(), 100u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit(UniqueTask([&] { counter.fetch_add(1); }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.SubmitWithResult([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultPropagatesException) {
+  ThreadPool pool(2);
+  auto fut = pool.SubmitWithResult(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit(UniqueTask([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit(UniqueTask([&] { counter.fetch_add(1); }));
+    }
+  }));
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit(UniqueTask([&] { counter.fetch_add(1); }));
+    }
+  }  // destructor waits
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsShared) {
+  ThreadPool& a = DefaultPool();
+  ThreadPool& b = DefaultPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+}
+
+TEST(ParallelForTest, CoversEntireRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(pool, 0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(pool, 5, 5, [&](std::size_t) { ++calls; });
+  ParallelFor(pool, 7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> seen;
+  // grain larger than range -> single chunk, executed inline.
+  ParallelFor(pool, 0, 3, [&](std::size_t i) { seen.push_back(i); }, 100);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  const std::size_t n = 100'000;
+  std::atomic<long long> total{0};
+  ParallelFor(pool, 0, n, [&](std::size_t i) {
+    total.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(pool, 0, 1000,
+                  [&](std::size_t i) {
+                    if (i == 537) throw std::logic_error("boom");
+                  }),
+      std::logic_error);
+  // Pool must remain usable afterwards.
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 0, 10, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForTest, ExplicitGrainRespected) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 0, 64, [&](std::size_t) { counter.fetch_add(1); }, 16);
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// Parameterized stress: many pool sizes handle the same fan-out correctly.
+class PoolSizeProperty : public testing::TestWithParam<int> {};
+
+TEST_P(PoolSizeProperty, FanOutSumsCorrectly) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  std::atomic<long long> sum{0};
+  constexpr int kTasks = 500;
+  for (int i = 1; i <= kTasks; ++i) {
+    pool.Submit(UniqueTask(
+        [&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(sum.load(), static_cast<long long>(kTasks) * (kTasks + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoolSizeProperty, testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace scan

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "scan/core/allocation.hpp"
+#include "scan/core/config.hpp"
+#include "scan/core/estimators.hpp"
+
+namespace scan::core {
+namespace {
+
+TEST(ConfigTest, DefaultsMatchTable3) {
+  const SimulationConfig config;
+  EXPECT_DOUBLE_EQ(config.duration.value(), 10'000.0);
+  EXPECT_DOUBLE_EQ(config.private_cost_per_core_tu, 5.0);
+  EXPECT_DOUBLE_EQ(config.r_max, 400.0);
+  EXPECT_DOUBLE_EQ(config.r_penalty, 15.0);
+  EXPECT_DOUBLE_EQ(config.r_scale, 15'000.0);
+  EXPECT_EQ(config.instance_sizes, (std::vector<int>{1, 2, 4, 8, 16}));
+  EXPECT_DOUBLE_EQ(config.mean_jobs_per_arrival, 3.0);
+  EXPECT_DOUBLE_EQ(config.jobs_per_arrival_variance, 2.0);
+  EXPECT_DOUBLE_EQ(config.mean_job_size, 5.0);
+  EXPECT_DOUBLE_EQ(config.job_size_variance, 1.0);
+}
+
+TEST(ConfigTest, DerivedParamsPropagate) {
+  SimulationConfig config;
+  config.public_cost_per_core_tu = 110.0;
+  config.mean_interarrival_tu = 2.2;
+  config.reward_scheme = workload::RewardScheme::kThroughputBased;
+  const auto cloud = config.MakeCloudConfig();
+  EXPECT_DOUBLE_EQ(cloud.public_tier.cost_per_core_tu.value(), 110.0);
+  EXPECT_EQ(cloud.private_tier.core_capacity, config.private_capacity_cores);
+  const auto arrivals = config.MakeArrivalParams();
+  EXPECT_DOUBLE_EQ(arrivals.mean_interarrival_tu, 2.2);
+  const auto reward = config.MakeRewardParams();
+  EXPECT_EQ(reward.scheme, workload::RewardScheme::kThroughputBased);
+}
+
+TEST(ConfigTest, LabelMentionsAllVariableParams) {
+  SimulationConfig config;
+  config.allocation = AllocationAlgorithm::kGreedy;
+  config.scaling = ScalingAlgorithm::kNeverScale;
+  const std::string label = config.Label();
+  EXPECT_NE(label.find("greedy"), std::string::npos);
+  EXPECT_NE(label.find("never-scale"), std::string::npos);
+  EXPECT_NE(label.find("2.50"), std::string::npos);
+  EXPECT_NE(label.find("time-based"), std::string::npos);
+  EXPECT_NE(label.find("50"), std::string::npos);
+}
+
+TEST(ConfigTest, SeedsDifferByRepAndConfig) {
+  SimulationConfig a;
+  SimulationConfig b;
+  b.mean_interarrival_tu = 2.0;
+  EXPECT_NE(a.SeedFor(0), a.SeedFor(1));
+  EXPECT_NE(a.SeedFor(0), b.SeedFor(0));
+  EXPECT_EQ(a.SeedFor(3), a.SeedFor(3));
+}
+
+TEST(ConfigTest, Table1GridHasPaperCardinality) {
+  const Table1Grid grid;
+  const auto configs = grid.Expand(SimulationConfig{});
+  // 4 allocations x 3 scalings x 11 intervals x 2 schemes x 4 costs.
+  EXPECT_EQ(configs.size(), 4u * 3u * 11u * 2u * 4u);
+}
+
+TEST(QueueTimeEstimatorTest, StartsAtZeroThenTracks) {
+  QueueTimeEstimator est(3);
+  EXPECT_DOUBLE_EQ(est.Estimate(0).value(), 0.0);
+  est.Observe(0, SimTime{4.0});
+  EXPECT_DOUBLE_EQ(est.Estimate(0).value(), 4.0);
+  est.Observe(0, SimTime{8.0});
+  EXPECT_GT(est.Estimate(0).value(), 4.0);
+  EXPECT_LT(est.Estimate(0).value(), 8.0);
+  // Other stages unaffected.
+  EXPECT_DOUBLE_EQ(est.Estimate(1).value(), 0.0);
+}
+
+TEST(QueueTimeEstimatorTest, Validation) {
+  EXPECT_THROW(QueueTimeEstimator(0), std::invalid_argument);
+  EXPECT_THROW(QueueTimeEstimator(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(QueueTimeEstimator(3, 1.5), std::invalid_argument);
+  QueueTimeEstimator est(2);
+  EXPECT_THROW(est.Observe(2, SimTime{1.0}), std::out_of_range);
+  EXPECT_THROW((void)est.Estimate(9), std::out_of_range);
+}
+
+TEST(EstimatorsTest, EttIsElapsedPlusRemaining) {
+  const auto model = gatk::PipelineModel::PaperGatk();
+  QueueTimeEstimator queues(model.stage_count());
+  queues.Observe(3, SimTime{2.0});
+  const std::vector<int> plan(7, 1);
+  const SimTime remaining = EstimateRemainingTime(
+      model, queues, DataSize{5.0}, /*current_stage=*/3, plan);
+  // Stages 3..6 execution plus 2.0 queue estimate at stage 3 only.
+  double expected = 2.0;
+  for (std::size_t i = 3; i < 7; ++i) {
+    expected += model.SingleThreadedTime(i, DataSize{5.0}).value();
+  }
+  EXPECT_NEAR(remaining.value(), expected, 1e-12);
+  const SimTime ett = EstimateTotalTime(model, queues, DataSize{5.0},
+                                        SimTime{11.0}, 3, plan);
+  EXPECT_NEAR(ett.value(), expected + 11.0, 1e-12);
+}
+
+TEST(EstimatorsTest, PlanSizeValidated) {
+  const auto model = gatk::PipelineModel::PaperGatk();
+  QueueTimeEstimator queues(model.stage_count());
+  const std::vector<int> short_plan(3, 1);
+  EXPECT_THROW((void)EstimateRemainingTime(model, queues, DataSize{1.0}, 0,
+                                           short_plan),
+               std::invalid_argument);
+}
+
+// ---- Allocation ----
+
+AllocationContext MakeContext(double price,
+                              const std::vector<int>& sizes,
+                              workload::RewardParams params = {}) {
+  return AllocationContext{price, std::span<const int>(sizes),
+                           workload::RewardFunction(params)};
+}
+
+const std::vector<int> kSizes = {1, 2, 4, 8, 16};
+
+TEST(AllocationTest, PlanProfitRewardsFasterPlans) {
+  const auto model = gatk::PipelineModel::PaperGatk().Scaled(0.25);
+  const auto ctx = MakeContext(5.0, kSizes);
+  const ThreadPlan narrow = SequentialPlan(7);
+  ThreadPlan wide(7, 16);
+  // At a cheap price, cutting latency from ~20 to ~8 TU is worth the cores.
+  EXPECT_GT(PlanProfit(model, DataSize{5.0}, wide, ctx),
+            PlanProfit(model, DataSize{5.0}, narrow, ctx));
+}
+
+TEST(AllocationTest, HighPriceNarrowsPlans) {
+  const auto model = gatk::PipelineModel::PaperGatk().Scaled(0.25);
+  const ThreadPlan cheap =
+      BestConstantPlan(model, DataSize{5.0}, MakeContext(1.0, kSizes));
+  const ThreadPlan pricey =
+      BestConstantPlan(model, DataSize{5.0}, MakeContext(200.0, kSizes));
+  const ThreadPlan extreme =
+      BestConstantPlan(model, DataSize{5.0}, MakeContext(5000.0, kSizes));
+  EXPECT_GT(TotalCoreStages(cheap), TotalCoreStages(pricey));
+  EXPECT_EQ(TotalCoreStages(extreme), 7);  // all-sequential at extreme price
+}
+
+TEST(AllocationTest, SerialStagesStayNarrow) {
+  // Stages 2 and 7 have c = 0.02: no optimizer should widen them.
+  const auto model = gatk::PipelineModel::PaperGatk().Scaled(0.25);
+  const auto ctx = MakeContext(27.5, kSizes);
+  for (const ThreadPlan& plan :
+       {GreedyPlan(model, DataSize{5.0}, ctx),
+        LongTermPlan(model, DataSize{5.0}, ctx),
+        BestConstantPlan(model, DataSize{5.0}, ctx)}) {
+    EXPECT_EQ(plan[1], 1);
+    EXPECT_EQ(plan[6], 1);
+  }
+}
+
+TEST(AllocationTest, BestConstantAtLeastAsGoodAsGreedyAndLongTerm) {
+  const auto model = gatk::PipelineModel::PaperGatk().Scaled(0.25);
+  const auto ctx = MakeContext(27.5, kSizes);
+  const DataSize d{5.0};
+  const double best = PlanProfit(model, d, BestConstantPlan(model, d, ctx), ctx);
+  EXPECT_GE(best + 1e-9, PlanProfit(model, d, GreedyPlan(model, d, ctx), ctx));
+  EXPECT_GE(best + 1e-9,
+            PlanProfit(model, d, LongTermPlan(model, d, ctx), ctx));
+  EXPECT_GE(best + 1e-9, PlanProfit(model, d, SequentialPlan(7), ctx));
+}
+
+TEST(AllocationTest, PlansUseOnlyOfferedSizes) {
+  const auto model = gatk::PipelineModel::PaperGatk().Scaled(0.25);
+  const std::vector<int> limited = {1, 4};
+  const auto ctx = MakeContext(10.0, limited);
+  for (const ThreadPlan& plan :
+       {GreedyPlan(model, DataSize{5.0}, ctx),
+        BestConstantPlan(model, DataSize{5.0}, ctx)}) {
+    for (const int t : plan) {
+      EXPECT_TRUE(t == 1 || t == 4) << "thread count " << t;
+    }
+  }
+}
+
+TEST(AllocationTest, ThroughputSchemeProducesValidPlans) {
+  const auto model = gatk::PipelineModel::PaperGatk().Scaled(0.25);
+  workload::RewardParams params;
+  params.scheme = workload::RewardScheme::kThroughputBased;
+  const auto ctx = MakeContext(27.5, kSizes, params);
+  const ThreadPlan plan = BestConstantPlan(model, DataSize{5.0}, ctx);
+  ASSERT_EQ(plan.size(), 7u);
+  for (const int t : plan) {
+    EXPECT_GE(t, 1);
+    EXPECT_LE(t, 16);
+  }
+  // Throughput reward values speed more: plan should not be narrower than
+  // the all-sequential baseline's profit.
+  EXPECT_GE(PlanProfit(model, DataSize{5.0}, plan, ctx),
+            PlanProfit(model, DataSize{5.0}, SequentialPlan(7), ctx));
+}
+
+TEST(AllocationTest, Validation) {
+  const auto model = gatk::PipelineModel::PaperGatk();
+  const std::vector<int> empty;
+  const auto bad_ctx = MakeContext(5.0, empty);
+  EXPECT_THROW((void)GreedyPlan(model, DataSize{1.0}, bad_ctx),
+               std::invalid_argument);
+  const auto ctx = MakeContext(5.0, kSizes);
+  const ThreadPlan wrong_size(3, 1);
+  EXPECT_THROW((void)PlanProfit(model, DataSize{1.0}, wrong_size, ctx),
+               std::invalid_argument);
+}
+
+TEST(AllocationTest, TotalCoreStages) {
+  EXPECT_EQ(TotalCoreStages(std::vector<int>{1, 2, 4}), 7);
+  EXPECT_EQ(TotalCoreStages(SequentialPlan(7)), 7);
+}
+
+}  // namespace
+}  // namespace scan::core

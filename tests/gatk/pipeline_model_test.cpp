@@ -1,0 +1,161 @@
+#include "scan/gatk/pipeline_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scan::gatk {
+namespace {
+
+TEST(PipelineModelTest, PaperGatkMatchesTable2) {
+  const PipelineModel model = PipelineModel::PaperGatk();
+  ASSERT_EQ(model.stage_count(), 7u);
+  // Spot-check Table II rows (1-based stage -> 0-based index).
+  EXPECT_DOUBLE_EQ(model.stage(0).a, 0.35);
+  EXPECT_DOUBLE_EQ(model.stage(0).b, 5.38);
+  EXPECT_DOUBLE_EQ(model.stage(0).c, 0.89);
+  EXPECT_DOUBLE_EQ(model.stage(1).a, 2.70);
+  EXPECT_DOUBLE_EQ(model.stage(1).b, -0.53);
+  EXPECT_DOUBLE_EQ(model.stage(1).c, 0.02);
+  EXPECT_DOUBLE_EQ(model.stage(4).b, 17.86);
+  EXPECT_DOUBLE_EQ(model.stage(6).a, 0.01);
+  EXPECT_DOUBLE_EQ(model.stage(6).c, 0.02);
+}
+
+TEST(PipelineModelTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(PipelineModel({}), std::invalid_argument);
+  EXPECT_THROW(PipelineModel({{1.0, 0.0, -0.1}}), std::invalid_argument);
+  EXPECT_THROW(PipelineModel({{1.0, 0.0, 1.1}}), std::invalid_argument);
+}
+
+TEST(PipelineModelTest, SingleThreadedTimeIsLinear) {
+  const PipelineModel model({{2.0, 3.0, 0.5}});
+  EXPECT_DOUBLE_EQ(model.SingleThreadedTime(0, DataSize{0.0}).value(), 3.0);
+  EXPECT_DOUBLE_EQ(model.SingleThreadedTime(0, DataSize{5.0}).value(), 13.0);
+}
+
+TEST(PipelineModelTest, NegativeTimeClampsToZero) {
+  // Stage 2's intercept is -0.53: tiny inputs must not yield negative time.
+  const PipelineModel model = PipelineModel::PaperGatk();
+  EXPECT_DOUBLE_EQ(model.SingleThreadedTime(1, DataSize{0.0}).value(), 0.0);
+  EXPECT_GE(model.ThreadedTime(1, 4, DataSize{0.0}).value(), 0.0);
+}
+
+TEST(PipelineModelTest, ThreadedTimeFollowsAmdahl) {
+  const PipelineModel model({{0.0, 10.0, 0.8}});
+  // T(t) = 0.8 * 10/t + 0.2 * 10
+  EXPECT_DOUBLE_EQ(model.ThreadedTime(0, 1, DataSize{1.0}).value(), 10.0);
+  EXPECT_DOUBLE_EQ(model.ThreadedTime(0, 2, DataSize{1.0}).value(), 6.0);
+  EXPECT_DOUBLE_EQ(model.ThreadedTime(0, 4, DataSize{1.0}).value(), 4.0);
+  EXPECT_DOUBLE_EQ(model.ThreadedTime(0, 8, DataSize{1.0}).value(), 3.0);
+}
+
+TEST(PipelineModelTest, ThreadedTimeRejectsZeroThreads) {
+  const PipelineModel model = PipelineModel::PaperGatk();
+  EXPECT_THROW((void)model.ThreadedTime(0, 0, DataSize{1.0}),
+               std::invalid_argument);
+}
+
+TEST(PipelineModelTest, MoreThreadsNeverSlower) {
+  const PipelineModel model = PipelineModel::PaperGatk();
+  for (std::size_t stage = 0; stage < model.stage_count(); ++stage) {
+    double prev = model.ThreadedTime(stage, 1, DataSize{5.0}).value();
+    for (const int t : {2, 4, 8, 16}) {
+      const double now = model.ThreadedTime(stage, t, DataSize{5.0}).value();
+      EXPECT_LE(now, prev + 1e-12) << "stage " << stage << " t " << t;
+      prev = now;
+    }
+  }
+}
+
+TEST(PipelineModelTest, SpeedupBoundedByAmdahl) {
+  const PipelineModel model = PipelineModel::PaperGatk();
+  for (std::size_t stage = 0; stage < model.stage_count(); ++stage) {
+    const double limit = model.MaxSpeedup(stage);
+    for (const int t : {2, 4, 8, 16}) {
+      EXPECT_LT(model.Speedup(stage, t), limit + 1e-9);
+      EXPECT_GE(model.Speedup(stage, t), 1.0);
+    }
+  }
+}
+
+TEST(PipelineModelTest, MaxSpeedupFormula) {
+  const PipelineModel model({{0.0, 1.0, 0.75}, {0.0, 1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(model.MaxSpeedup(0), 4.0);
+  EXPECT_TRUE(std::isinf(model.MaxSpeedup(1)));
+}
+
+TEST(PipelineModelTest, PipelineTimeSumsStages) {
+  const PipelineModel model = PipelineModel::PaperGatk();
+  const std::vector<int> ones(7, 1);
+  EXPECT_NEAR(model.PipelineTime(DataSize{5.0}, ones).value(),
+              model.SequentialPipelineTime(DataSize{5.0}).value(), 1e-12);
+  // Paper numbers: E_total(5) = 9.2 * 5 + 32.66 = 78.66 (stage 2 and no
+  // clamping active at d = 5).
+  EXPECT_NEAR(model.SequentialPipelineTime(DataSize{5.0}).value(), 78.66,
+              1e-9);
+}
+
+TEST(PipelineModelTest, PipelineTimeValidatesPlanSize) {
+  const PipelineModel model = PipelineModel::PaperGatk();
+  const std::vector<int> wrong(3, 1);
+  EXPECT_THROW((void)model.PipelineTime(DataSize{1.0}, wrong),
+               std::invalid_argument);
+}
+
+TEST(PipelineModelTest, CoreTimeIsThreadsTimesWall) {
+  const PipelineModel model({{0.0, 10.0, 0.8}});
+  EXPECT_DOUBLE_EQ(model.CoreTime(0, 4, DataSize{1.0}), 16.0);  // 4 * 4.0
+}
+
+TEST(PipelineModelTest, ScaledMultipliesTimeNotAmdahl) {
+  const PipelineModel model = PipelineModel::PaperGatk();
+  const PipelineModel scaled = model.Scaled(0.25);
+  for (std::size_t i = 0; i < model.stage_count(); ++i) {
+    EXPECT_DOUBLE_EQ(scaled.stage(i).a, model.stage(i).a * 0.25);
+    EXPECT_DOUBLE_EQ(scaled.stage(i).b, model.stage(i).b * 0.25);
+    EXPECT_DOUBLE_EQ(scaled.stage(i).c, model.stage(i).c);
+  }
+  EXPECT_THROW((void)model.Scaled(0.0), std::invalid_argument);
+}
+
+TEST(PipelineModelTest, RecommendThreadsRespectsMarginalGain) {
+  // c = 0: no parallelism, so wider never helps -> always 1.
+  const PipelineModel serial({{1.0, 0.0, 0.0}});
+  const std::vector<int> sizes = {1, 2, 4, 8, 16};
+  EXPECT_EQ(serial.RecommendThreads(0, DataSize{5.0}, sizes), 1);
+  // c = 1: perfect scaling -> widest wins.
+  const PipelineModel parallel({{1.0, 0.0, 1.0}});
+  EXPECT_EQ(parallel.RecommendThreads(0, DataSize{5.0}, sizes), 16);
+}
+
+TEST(PipelineModelTest, StageIndexOutOfRangeThrows) {
+  const PipelineModel model = PipelineModel::PaperGatk();
+  EXPECT_THROW((void)model.stage(7), std::out_of_range);
+}
+
+// Property sweep: threaded time interpolates between sequential and the
+// Amdahl floor for every paper stage and several sizes.
+class AmdahlProperty
+    : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(AmdahlProperty, ThreadedTimeWithinBounds) {
+  const auto [threads, size] = GetParam();
+  const PipelineModel model = PipelineModel::PaperGatk();
+  for (std::size_t stage = 0; stage < model.stage_count(); ++stage) {
+    const double e = model.SingleThreadedTime(stage, DataSize{size}).value();
+    const double t =
+        model.ThreadedTime(stage, threads, DataSize{size}).value();
+    const double floor = (1.0 - model.stage(stage).c) * e;
+    EXPECT_LE(t, e + 1e-12);
+    EXPECT_GE(t, floor - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AmdahlProperty,
+    testing::Combine(testing::Values(1, 2, 4, 8, 16),
+                     testing::Values(0.5, 2.0, 5.0, 9.0)));
+
+}  // namespace
+}  // namespace scan::gatk

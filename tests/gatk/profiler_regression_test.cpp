@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "scan/gatk/profiler.hpp"
+#include "scan/gatk/regression.hpp"
+
+namespace scan::gatk {
+namespace {
+
+TEST(ProfilerTest, ProducesFullGrid) {
+  const PipelineModel truth = PipelineModel::PaperGatk();
+  ProfileSpec spec;
+  spec.input_sizes_gb = {1.0, 5.0};
+  spec.thread_counts = {1, 4};
+  spec.repetitions = 2;
+  const auto obs = ProfilePipeline(truth, spec, 1);
+  EXPECT_EQ(obs.size(), 7u * 2u * 2u * 2u);
+}
+
+TEST(ProfilerTest, DeterministicForSeed) {
+  const PipelineModel truth = PipelineModel::PaperGatk();
+  const ProfileSpec spec;
+  const auto a = ProfilePipeline(truth, spec, 42);
+  const auto b = ProfilePipeline(truth, spec, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].measured_time, b[i].measured_time);
+  }
+  const auto c = ProfilePipeline(truth, spec, 43);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].measured_time != c[i].measured_time) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ProfilerTest, ParallelMatchesSerial) {
+  const PipelineModel truth = PipelineModel::PaperGatk();
+  const ProfileSpec spec;
+  const auto serial = ProfilePipeline(truth, spec, 5);
+  ThreadPool pool(4);
+  const auto parallel = ProfilePipelineParallel(truth, spec, 5, pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].stage, parallel[i].stage);
+    EXPECT_DOUBLE_EQ(serial[i].measured_time, parallel[i].measured_time);
+  }
+}
+
+TEST(ProfilerTest, NoiseCentersOnTruth) {
+  const PipelineModel truth = PipelineModel::PaperGatk();
+  ProfileSpec spec;
+  spec.input_sizes_gb = {5.0};
+  spec.thread_counts = {1};
+  spec.repetitions = 400;
+  spec.noise_stddev = 0.05;
+  const auto obs = ProfilePipeline(truth, spec, 11);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Observation& o : obs) {
+    if (o.stage != 4) continue;  // stage 5 (0-based 4)
+    sum += o.measured_time;
+    ++n;
+  }
+  const double expected =
+      truth.SingleThreadedTime(4, DataSize{5.0}).value();
+  EXPECT_NEAR(sum / static_cast<double>(n), expected, expected * 0.01);
+}
+
+TEST(ProfilerTest, ZeroNoiseMatchesModelExactly) {
+  const PipelineModel truth = PipelineModel::PaperGatk();
+  ProfileSpec spec;
+  spec.noise_stddev = 0.0;
+  spec.repetitions = 1;
+  const auto obs = ProfilePipeline(truth, spec, 3);
+  for (const Observation& o : obs) {
+    EXPECT_DOUBLE_EQ(
+        o.measured_time,
+        truth.ThreadedTime(o.stage, o.threads, DataSize{o.input_gb}).value());
+  }
+}
+
+TEST(RegressionTest, RecoversTable2FromCleanProfiles) {
+  const PipelineModel truth = PipelineModel::PaperGatk();
+  ProfileSpec spec;
+  spec.noise_stddev = 0.0;
+  const auto obs = ProfilePipeline(truth, spec, 1);
+  const auto fits = FitAllStages(truth.stage_count(), obs);
+  const PipelineModel fitted = ModelFromFits(fits);
+  EXPECT_LT(MaxCoefficientError(truth, fitted), 1e-9);
+  for (const StageFit& fit : fits) {
+    EXPECT_GT(fit.single_thread_samples, 0u);
+    EXPECT_GT(fit.multi_thread_samples, 0u);
+  }
+}
+
+TEST(RegressionTest, RecoversTable2UnderNoise) {
+  // The paper: "We found these simple models represented the profiling
+  // data very accurately." With 2% multiplicative noise the fit should
+  // recover every coefficient to within a few percent of its scale.
+  const PipelineModel truth = PipelineModel::PaperGatk();
+  ProfileSpec spec;  // defaults: 1..9 GB x {1,2,4,8,16} x 3 reps, 2% noise
+  const auto obs = ProfilePipeline(truth, spec, 7);
+  const PipelineModel fitted =
+      ModelFromFits(FitAllStages(truth.stage_count(), obs));
+  for (std::size_t i = 0; i < truth.stage_count(); ++i) {
+    EXPECT_NEAR(fitted.stage(i).a, truth.stage(i).a,
+                0.05 * truth.stage(i).a + 0.05)
+        << "a, stage " << i + 1;
+    EXPECT_NEAR(fitted.stage(i).b, truth.stage(i).b, 0.6)
+        << "b, stage " << i + 1;
+    EXPECT_NEAR(fitted.stage(i).c, truth.stage(i).c, 0.08)
+        << "c, stage " << i + 1;
+  }
+}
+
+TEST(RegressionTest, RSquaredHighForLinearStages) {
+  const PipelineModel truth = PipelineModel::PaperGatk();
+  ProfileSpec spec;
+  const auto obs = ProfilePipeline(truth, spec, 9);
+  const auto fits = FitAllStages(truth.stage_count(), obs);
+  for (std::size_t i = 0; i < fits.size(); ++i) {
+    // Stages 6 and 7 have near-zero slopes (a = 0.02, 0.01), so their
+    // y-variance is dominated by measurement noise and r^2 is legitimately
+    // low; the strongly size-dependent stages must fit almost perfectly.
+    if (truth.stage(i).a >= 0.3) {
+      EXPECT_GT(fits[i].r_squared, 0.95) << "stage " << i + 1;
+    }
+  }
+}
+
+TEST(RegressionTest, EmptyObservationsGiveZeroFit) {
+  const StageFit fit = FitStage(0, {});
+  EXPECT_DOUBLE_EQ(fit.coefficients.a, 0.0);
+  EXPECT_DOUBLE_EQ(fit.coefficients.c, 0.0);
+  EXPECT_EQ(fit.single_thread_samples, 0u);
+}
+
+TEST(RegressionTest, CClampedToUnitInterval) {
+  // Pathological observations (threaded slower than sequential) must not
+  // push c below 0.
+  std::vector<Observation> obs;
+  for (const double d : {1.0, 2.0, 4.0}) {
+    obs.push_back({0, d, 1, 10.0 * d});
+    obs.push_back({0, d, 4, 12.0 * d});  // slower with threads
+  }
+  const StageFit fit = FitStage(0, obs);
+  EXPECT_GE(fit.coefficients.c, 0.0);
+  EXPECT_LE(fit.coefficients.c, 1.0);
+}
+
+TEST(RegressionTest, MaxCoefficientError) {
+  const PipelineModel a({{1.0, 2.0, 0.5}});
+  const PipelineModel b({{1.5, 2.0, 0.4}});
+  EXPECT_DOUBLE_EQ(MaxCoefficientError(a, b), 0.5);
+}
+
+}  // namespace
+}  // namespace scan::gatk

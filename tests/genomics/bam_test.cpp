@@ -1,0 +1,164 @@
+#include "scan/genomics/bam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scan/genomics/sam.hpp"
+#include "scan/genomics/synthetic.hpp"
+
+namespace scan::genomics {
+namespace {
+
+SamFile MakeSample() {
+  SamFile file;
+  file.header = MakeHeader({{"chr1", 10000}, {"chr2", 5000}});
+  file.records.push_back(
+      {"r1", 0, "chr1", 100, 60, "4M", "*", 0, 0, "ACGT", "IIII"});
+  file.records.push_back(
+      {"r2", 16, "chr2", 42, 37, "3M1S", "*", 0, 0, "GGCN", "#FFI"});
+  file.records.push_back(
+      {"un", 4, "*", 0, 0, "*", "*", 0, 0, "TTTT", "IIII"});
+  return file;
+}
+
+TEST(BamLiteTest, RoundTripsRecords) {
+  const SamFile original = MakeSample();
+  const auto bytes = WriteBamLite(original);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  const auto parsed = ParseBamLite(*bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->header, original.header);
+  EXPECT_EQ(parsed->records, original.records);
+}
+
+TEST(BamLiteTest, RoundTripsStarSeqAndQual) {
+  SamFile file;
+  file.header = MakeHeader({{"chr1", 100}});
+  file.records.push_back(
+      {"r1", 0, "chr1", 1, 60, "*", "*", 0, 0, "*", "*"});
+  file.records.push_back(
+      {"r2", 0, "chr1", 2, 60, "2M", "*", 0, 0, "AC", "*"});  // seq, no qual
+  const auto bytes = WriteBamLite(file);
+  ASSERT_TRUE(bytes.ok());
+  const auto parsed = ParseBamLite(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->records, file.records);
+}
+
+TEST(BamLiteTest, OddLengthSequences) {
+  SamFile file;
+  file.header = MakeHeader({{"chr1", 100}});
+  file.records.push_back(
+      {"odd", 0, "chr1", 5, 60, "5M", "*", 0, 0, "ACGTN", "IIIII"});
+  const auto bytes = WriteBamLite(file);
+  ASSERT_TRUE(bytes.ok());
+  const auto parsed = ParseBamLite(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->records[0].seq, "ACGTN");
+  EXPECT_EQ(parsed->records[0].qual, "IIIII");
+}
+
+TEST(BamLiteTest, BinarySmallerThanTextForPackedSequences) {
+  SyntheticGenerator gen(5);
+  const auto genome = gen.Genome({{"chr1", 4000}});
+  ReadSimSpec spec;
+  spec.read_count = 500;
+  spec.read_length = 150;
+  const SamFile file = gen.AlignedReads(genome, spec);
+  const auto bytes = WriteBamLite(file);
+  ASSERT_TRUE(bytes.ok());
+  // 4-bit packing should beat the tab-separated text representation.
+  EXPECT_LT(bytes->size(), WriteSam(file).size());
+  const auto parsed = ParseBamLite(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->records, file.records);
+}
+
+TEST(BamLiteTest, RejectsUndeclaredReference) {
+  SamFile file;
+  file.header = MakeHeader({{"chr1", 100}});
+  file.records.push_back(
+      {"r1", 0, "chrMISSING", 1, 60, "1M", "*", 0, 0, "A", "I"});
+  EXPECT_EQ(WriteBamLite(file).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(BamLiteTest, RejectsNonBamBases) {
+  SamFile file;
+  file.header = MakeHeader({{"chr1", 100}});
+  file.records.push_back(
+      {"r1", 0, "chr1", 1, 60, "1M", "*", 0, 0, "Z", "I"});
+  EXPECT_EQ(WriteBamLite(file).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(BamLiteTest, RejectsBadMagic) {
+  EXPECT_EQ(ParseBamLite("NOPE....").status().code(), ErrorCode::kParseError);
+  EXPECT_EQ(ParseBamLite("").status().code(), ErrorCode::kParseError);
+}
+
+TEST(BamLiteTest, RejectsTruncationAtEveryPrefix) {
+  const SamFile original = MakeSample();
+  const auto bytes = WriteBamLite(original);
+  ASSERT_TRUE(bytes.ok());
+  // Every strict prefix must fail cleanly (no crash, no success).
+  for (std::size_t len = 0; len < bytes->size(); len += 7) {
+    const auto parsed = ParseBamLite(std::string_view(*bytes).substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(BamLiteTest, RejectsTrailingGarbage) {
+  const auto bytes = WriteBamLite(MakeSample());
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(ParseBamLite(*bytes + "x").status().code(),
+            ErrorCode::kParseError);
+}
+
+TEST(BamLiteTest, RejectsOutOfRangeReferenceId) {
+  // Corrupt the first record's ref_id to a large value.
+  const SamFile original = MakeSample();
+  auto bytes = WriteBamLite(original);
+  ASSERT_TRUE(bytes.ok());
+  // Locate the record area: after magic(4) + text hdr + refs + count(8).
+  // Rather than compute offsets, flip bytes until the parser reports the
+  // specific error (property: corruption never crashes).
+  bool saw_range_error = false;
+  for (std::size_t at = 0; at < bytes->size(); ++at) {
+    std::string corrupted = *bytes;
+    corrupted[at] = static_cast<char>(0x7f);
+    const auto parsed = ParseBamLite(corrupted);
+    if (!parsed.ok() &&
+        parsed.status().message().find("reference id") != std::string::npos) {
+      saw_range_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_range_error);
+}
+
+TEST(BamLiteTest, BaseCodecCoversAlphabet) {
+  const std::string_view alphabet = "=ACMGRSVTWYHKDBN";
+  for (std::size_t i = 0; i < alphabet.size(); ++i) {
+    EXPECT_EQ(BamBaseCode(alphabet[i]), static_cast<int>(i));
+    EXPECT_EQ(BamBaseChar(static_cast<int>(i)), alphabet[i]);
+  }
+  EXPECT_EQ(BamBaseCode('Z'), -1);
+  EXPECT_EQ(BamBaseChar(16), '\0');
+  EXPECT_EQ(BamBaseChar(-1), '\0');
+}
+
+TEST(BamLiteTest, LargeRoundTripViaSynthetic) {
+  SyntheticGenerator gen(9);
+  const auto genome = gen.Genome({{"chr1", 2000}, {"chr2", 1000}});
+  ReadSimSpec spec;
+  spec.read_count = 1000;
+  spec.read_length = 75;
+  const SamFile file = gen.AlignedReads(genome, spec);
+  const auto bytes = WriteBamLite(file);
+  ASSERT_TRUE(bytes.ok());
+  const auto parsed = ParseBamLite(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->records.size(), 1000u);
+  EXPECT_EQ(parsed->records, file.records);
+  EXPECT_TRUE(IsCoordinateSorted(*parsed));
+}
+
+}  // namespace
+}  // namespace scan::genomics

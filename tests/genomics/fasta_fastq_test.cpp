@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "scan/genomics/fasta.hpp"
+#include "scan/genomics/fastq.hpp"
+
+namespace scan::genomics {
+namespace {
+
+TEST(FastaTest, ParsesSingleRecord) {
+  const auto records = ParseFasta(">chr1 test chromosome\nACGT\nACGT\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].id, "chr1");
+  EXPECT_EQ((*records)[0].description, "test chromosome");
+  EXPECT_EQ((*records)[0].sequence, "ACGTACGT");
+}
+
+TEST(FastaTest, ParsesMultipleRecords) {
+  const auto records = ParseFasta(">a\nAC\n>b\nGT\n>c\nNN\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[1].id, "b");
+  EXPECT_EQ((*records)[2].sequence, "NN");
+}
+
+TEST(FastaTest, ToleratesBlankLinesAndNoDescription) {
+  const auto records = ParseFasta("\n>only\n\nACGT\n\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_TRUE((*records)[0].description.empty());
+}
+
+TEST(FastaTest, RejectsSequenceBeforeHeader) {
+  EXPECT_FALSE(ParseFasta("ACGT\n>late\nAC\n").ok());
+}
+
+TEST(FastaTest, RejectsInvalidCharacters) {
+  EXPECT_FALSE(ParseFasta(">x\nACGU\n").ok());  // RNA base
+  EXPECT_FALSE(ParseFasta(">x\nacgt\n").ok());  // lower case
+}
+
+TEST(FastaTest, RejectsEmptyId) {
+  EXPECT_FALSE(ParseFasta("> description only\nAC\n").ok());
+}
+
+TEST(FastaTest, WriteWrapsLines) {
+  const std::vector<FastaRecord> records = {
+      {"chr1", "desc", std::string(150, 'A')}};
+  const std::string out = WriteFasta(records, 70);
+  // 150 bases at width 70 -> lines of 70, 70, 10.
+  EXPECT_NE(out.find(">chr1 desc\n"), std::string::npos);
+  const auto first_nl = out.find('\n');
+  const auto second_nl = out.find('\n', first_nl + 1);
+  EXPECT_EQ(second_nl - first_nl - 1, 70u);
+}
+
+TEST(FastaTest, RoundTrip) {
+  const std::vector<FastaRecord> original = {
+      {"c1", "x", "ACGTACGTACGT"},
+      {"c2", "", "NNNN"},
+  };
+  const auto reparsed = ParseFasta(WriteFasta(original));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(FastqTest, ParsesRecords) {
+  const auto records =
+      ParseFastq("@r1\nACGT\n+\nIIII\n@r2\nGGCC\n+r2\n####\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].id, "r1");
+  EXPECT_EQ((*records)[0].sequence, "ACGT");
+  EXPECT_EQ((*records)[0].quality, "IIII");
+  EXPECT_EQ((*records)[1].quality, "####");
+}
+
+TEST(FastqTest, RejectsTruncatedRecord) {
+  EXPECT_FALSE(ParseFastq("@r1\nACGT\n+\n").ok());
+}
+
+TEST(FastqTest, RejectsMissingAtSign) {
+  EXPECT_FALSE(ParseFastq("r1\nACGT\n+\nIIII\n").ok());
+}
+
+TEST(FastqTest, RejectsMissingPlus) {
+  EXPECT_FALSE(ParseFastq("@r1\nACGT\nX\nIIII\n").ok());
+}
+
+TEST(FastqTest, RejectsQualityLengthMismatch) {
+  EXPECT_FALSE(ParseFastq("@r1\nACGT\n+\nIII\n").ok());
+}
+
+TEST(FastqTest, RejectsInvalidBases) {
+  EXPECT_FALSE(ParseFastq("@r1\nACXT\n+\nIIII\n").ok());
+}
+
+TEST(FastqTest, RejectsEmptyReadId) {
+  EXPECT_FALSE(ParseFastq("@\nACGT\n+\nIIII\n").ok());
+}
+
+TEST(FastqTest, EmptyInputYieldsNoRecords) {
+  const auto records = ParseFastq("");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(FastqTest, WriteRoundTrip) {
+  const std::vector<FastqRecord> original = {
+      {"read1", "ACGTACGT", "IIIIIIII"},
+      {"read2", "NNNN", "####"},
+  };
+  const auto reparsed = ParseFastq(WriteFastq(original));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, original);
+}
+
+TEST(FastqTest, RecordBytesMatchesSerialization) {
+  const FastqRecord record{"r1", "ACGT", "IIII"};
+  EXPECT_EQ(FastqRecordBytes(record), WriteFastq({record}).size());
+}
+
+TEST(FastqTest, CountMatchesParse) {
+  const std::string text = WriteFastq({
+      {"a", "AC", "II"},
+      {"b", "GT", "II"},
+      {"c", "AA", "II"},
+  });
+  const auto count = CountFastqRecords(text);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3u);
+}
+
+TEST(FastqTest, CountDetectsTruncation) {
+  EXPECT_FALSE(CountFastqRecords("@r1\nACGT\n+\n").ok());
+}
+
+TEST(RecordsTest, IsValidSequence) {
+  EXPECT_TRUE(IsValidSequence("ACGTN"));
+  EXPECT_TRUE(IsValidSequence(""));
+  EXPECT_FALSE(IsValidSequence("acgt"));
+  EXPECT_FALSE(IsValidSequence("ACG T"));
+}
+
+}  // namespace
+}  // namespace scan::genomics

@@ -1,0 +1,147 @@
+#include "scan/genomics/fastq_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scan/genomics/fastq.hpp"
+#include "scan/genomics/synthetic.hpp"
+
+namespace scan::genomics {
+namespace {
+
+TEST(FastqStreamTest, YieldsRecordsInOrder) {
+  const std::string text = "@r1\nACGT\n+\nIIII\n@r2\nGGCC\n+\n####\n";
+  FastqStream stream(text);
+  FastqRecord record;
+  ASSERT_TRUE(stream.Next(record));
+  EXPECT_EQ(record.id, "r1");
+  EXPECT_EQ(record.sequence, "ACGT");
+  ASSERT_TRUE(stream.Next(record));
+  EXPECT_EQ(record.id, "r2");
+  EXPECT_EQ(record.quality, "####");
+  EXPECT_FALSE(stream.Next(record));
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(stream.records_read(), 2u);
+}
+
+TEST(FastqStreamTest, EmptyInputEndsCleanly) {
+  FastqStream stream("");
+  FastqRecord record;
+  EXPECT_FALSE(stream.Next(record));
+  EXPECT_TRUE(stream.status().ok());
+}
+
+TEST(FastqStreamTest, MatchesBatchParserOnLargeInput) {
+  SyntheticGenerator gen(19);
+  const auto ref = gen.Reference("chr1", 800);
+  ReadSimSpec spec;
+  spec.read_count = 500;
+  spec.read_length = 64;
+  const std::string text = WriteFastq(gen.Reads(ref, spec));
+
+  const auto batch = ParseFastq(text);
+  ASSERT_TRUE(batch.ok());
+  FastqStream stream(text);
+  FastqRecord record;
+  std::size_t i = 0;
+  while (stream.Next(record)) {
+    ASSERT_LT(i, batch->size());
+    EXPECT_EQ(record, (*batch)[i]);
+    ++i;
+  }
+  EXPECT_TRUE(stream.status().ok());
+  EXPECT_EQ(i, batch->size());
+}
+
+TEST(FastqStreamTest, ErrorsSurfaceViaStatus) {
+  struct Case {
+    const char* text;
+    const char* what;
+  };
+  const Case cases[] = {
+      {"r1\nACGT\n+\nIIII\n", "header"},
+      {"@r1\nACGT\nX\nIIII\n", "separator"},
+      {"@r1\nACXT\n+\nIIII\n", "sequence"},
+      {"@r1\nACGT\n+\nIII\n", "length"},
+      {"@r1\nACGT\n+\n", "truncated"},
+      {"@\nACGT\n+\nIIII\n", "id"},
+  };
+  for (const Case& c : cases) {
+    FastqStream stream(c.text);
+    FastqRecord record;
+    EXPECT_FALSE(stream.Next(record)) << c.what;
+    EXPECT_FALSE(stream.status().ok()) << c.what;
+    // A failed stream stays failed.
+    EXPECT_FALSE(stream.Next(record)) << c.what;
+  }
+}
+
+TEST(FastqStreamTest, OffsetsFallOnRecordBoundaries) {
+  const std::string text = WriteFastq({{"a", "AC", "II"}, {"b", "GT", "II"}});
+  FastqStream stream(text);
+  FastqRecord record;
+  ASSERT_TRUE(stream.Next(record));
+  // The remainder from offset() parses as valid FASTQ.
+  const auto rest = ParseFastq(std::string_view(text).substr(stream.offset()));
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->size(), 1u);
+  EXPECT_EQ((*rest)[0].id, "b");
+}
+
+TEST(StreamShardTest, ShardsMatchWholeFileSplit) {
+  SyntheticGenerator gen(29);
+  const auto ref = gen.Reference("chr1", 600);
+  ReadSimSpec spec;
+  spec.read_count = 105;
+  spec.read_length = 40;
+  const std::string text = WriteFastq(gen.Reads(ref, spec));
+
+  std::vector<std::string> shards;
+  std::size_t total_records = 0;
+  const Status status = StreamShardFastq(
+      text, 25, [&](std::string_view shard, std::size_t count) {
+        shards.emplace_back(shard);
+        total_records += count;
+        return true;
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(shards.size(), 5u);  // 25*4 + 5
+  EXPECT_EQ(total_records, 105u);
+  // Concatenation restores the input byte for byte (zero-copy views).
+  std::string reassembled;
+  for (const std::string& shard : shards) reassembled += shard;
+  EXPECT_EQ(reassembled, text);
+  // Every shard parses.
+  for (const std::string& shard : shards) {
+    EXPECT_TRUE(ParseFastq(shard).ok());
+  }
+}
+
+TEST(StreamShardTest, EarlyStopHonoured) {
+  const std::string text = WriteFastq({{"a", "AC", "II"},
+                                       {"b", "GT", "II"},
+                                       {"c", "AA", "II"}});
+  int shards_seen = 0;
+  const Status status = StreamShardFastq(
+      text, 1, [&](std::string_view, std::size_t) {
+        ++shards_seen;
+        return shards_seen < 2;  // stop after the second shard
+      });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(shards_seen, 2);
+}
+
+TEST(StreamShardTest, Validation) {
+  EXPECT_EQ(StreamShardFastq("", 0, [](std::string_view, std::size_t) {
+              return true;
+            }).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(StreamShardFastq("@broken\nACGT\n", 10,
+                             [](std::string_view, std::size_t) {
+                               return true;
+                             })
+                .code(),
+            ErrorCode::kParseError);
+}
+
+}  // namespace
+}  // namespace scan::genomics

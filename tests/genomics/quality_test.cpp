@@ -1,0 +1,126 @@
+#include "scan/genomics/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scan/genomics/synthetic.hpp"
+
+namespace scan::genomics {
+namespace {
+
+TEST(PhredTest, DecodesStandardOffsets) {
+  EXPECT_EQ(PhredScore('!'), 0);   // ASCII 33
+  EXPECT_EQ(PhredScore('I'), 40);  // ASCII 73
+  EXPECT_EQ(PhredScore('#'), 2);
+  EXPECT_EQ(PhredScore(' '), 0);   // below offset clamps to 0
+}
+
+TEST(QualityTest, EmptySetIsAllZero) {
+  const ReadSetStats stats = ComputeReadSetStats({});
+  EXPECT_EQ(stats.read_count, 0u);
+  EXPECT_EQ(stats.total_bases, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 0.0);
+  EXPECT_DOUBLE_EQ(stats.gc_fraction, 0.0);
+  EXPECT_TRUE(stats.mean_phred_by_position.empty());
+}
+
+TEST(QualityTest, KnownSmallSet) {
+  const std::vector<FastqRecord> reads = {
+      {"r1", "GGCC", "IIII"},  // all GC, Q40
+      {"r2", "AATT", "####"},  // no GC, Q2
+  };
+  const ReadSetStats stats = ComputeReadSetStats(reads);
+  EXPECT_EQ(stats.read_count, 2u);
+  EXPECT_EQ(stats.total_bases, 8u);
+  EXPECT_EQ(stats.min_length, 4u);
+  EXPECT_EQ(stats.max_length, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 4.0);
+  EXPECT_DOUBLE_EQ(stats.gc_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(stats.n_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_phred, 21.0);  // (40*4 + 2*4) / 8
+  EXPECT_DOUBLE_EQ(stats.q30_read_fraction, 0.5);
+  ASSERT_EQ(stats.mean_phred_by_position.size(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_phred_by_position[0], 21.0);
+}
+
+TEST(QualityTest, NBasesExcludedFromGc) {
+  const std::vector<FastqRecord> reads = {{"r1", "GCNN", "IIII"}};
+  const ReadSetStats stats = ComputeReadSetStats(reads);
+  EXPECT_DOUBLE_EQ(stats.gc_fraction, 1.0);  // GC over non-N = 2/2
+  EXPECT_DOUBLE_EQ(stats.n_fraction, 0.5);
+}
+
+TEST(QualityTest, VariableLengthsTracked) {
+  const std::vector<FastqRecord> reads = {
+      {"r1", "AC", "II"},
+      {"r2", "ACGTAC", "IIIIII"},
+  };
+  const ReadSetStats stats = ComputeReadSetStats(reads);
+  EXPECT_EQ(stats.min_length, 2u);
+  EXPECT_EQ(stats.max_length, 6u);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 4.0);
+  ASSERT_EQ(stats.mean_phred_by_position.size(), 6u);
+  // Positions 2..5 only covered by the long read.
+  EXPECT_DOUBLE_EQ(stats.mean_phred_by_position[5], 40.0);
+}
+
+TEST(QualityTest, ParallelMatchesSerial) {
+  SyntheticGenerator gen(11);
+  const FastaRecord ref = gen.Reference("chr1", 2000);
+  ReadSimSpec spec;
+  spec.read_count = 5000;
+  spec.read_length = 80;
+  spec.error_rate = 0.02;
+  const auto reads = gen.Reads(ref, spec);
+
+  const ReadSetStats serial = ComputeReadSetStats(reads);
+  ThreadPool pool(4);
+  const ReadSetStats parallel = ComputeReadSetStatsParallel(reads, pool);
+
+  EXPECT_EQ(serial.read_count, parallel.read_count);
+  EXPECT_EQ(serial.total_bases, parallel.total_bases);
+  EXPECT_DOUBLE_EQ(serial.gc_fraction, parallel.gc_fraction);
+  EXPECT_DOUBLE_EQ(serial.mean_phred, parallel.mean_phred);
+  EXPECT_DOUBLE_EQ(serial.q30_read_fraction, parallel.q30_read_fraction);
+  ASSERT_EQ(serial.mean_phred_by_position.size(),
+            parallel.mean_phred_by_position.size());
+  for (std::size_t i = 0; i < serial.mean_phred_by_position.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.mean_phred_by_position[i],
+                     parallel.mean_phred_by_position[i]);
+  }
+}
+
+TEST(QualityTest, SyntheticErrorRateVisibleInQ30) {
+  SyntheticGenerator gen(13);
+  const FastaRecord ref = gen.Reference("chr1", 1000);
+  ReadSimSpec clean_spec;
+  clean_spec.read_count = 500;
+  clean_spec.read_length = 100;
+  clean_spec.error_rate = 0.0;
+  ReadSimSpec noisy_spec = clean_spec;
+  noisy_spec.error_rate = 0.3;  // error positions get quality '#' (Q2)
+
+  const auto clean = ComputeReadSetStats(gen.Reads(ref, clean_spec));
+  const auto noisy = ComputeReadSetStats(gen.Reads(ref, noisy_spec));
+  EXPECT_DOUBLE_EQ(clean.q30_read_fraction, 1.0);
+  EXPECT_GT(clean.mean_phred, noisy.mean_phred);
+}
+
+TEST(QualityTest, GcFractionConvergesToQuarterBaseAlphabet) {
+  // The synthetic generator draws bases uniformly over ACGT, so GC ~ 0.5.
+  SyntheticGenerator gen(17);
+  const FastaRecord ref = gen.Reference("chr1", 50'000);
+  const std::vector<FastqRecord> as_reads = {
+      {"whole", ref.sequence, std::string(ref.sequence.size(), 'I')}};
+  const ReadSetStats stats = ComputeReadSetStats(as_reads);
+  EXPECT_NEAR(stats.gc_fraction, 0.5, 0.01);
+}
+
+TEST(CoverageTest, Formula) {
+  ReadSetStats stats;
+  stats.total_bases = 30'000;
+  EXPECT_DOUBLE_EQ(EstimateCoverage(stats, 1'000), 30.0);
+  EXPECT_DOUBLE_EQ(EstimateCoverage(stats, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace scan::genomics

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "scan/genomics/sam.hpp"
+#include "scan/genomics/vcf.hpp"
+
+namespace scan::genomics {
+namespace {
+
+constexpr const char* kSamText =
+    "@HD\tVN:1.6\tSO:coordinate\n"
+    "@SQ\tSN:chr1\tLN:10000\n"
+    "@SQ\tSN:chr2\tLN:5000\n"
+    "r1\t0\tchr1\t100\t60\t4M\t*\t0\t0\tACGT\tIIII\n"
+    "r2\t0\tchr1\t200\t60\t4M\t*\t0\t0\tGGCC\tIIII\n"
+    "r3\t0\tchr2\t50\t60\t4M\t*\t0\t0\tTTTT\tIIII\n";
+
+TEST(SamTest, ParsesHeaderAndRecords) {
+  const auto file = ParseSam(kSamText);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->header.lines.size(), 3u);
+  ASSERT_EQ(file->records.size(), 3u);
+  EXPECT_EQ(file->records[0].qname, "r1");
+  EXPECT_EQ(file->records[0].pos, 100);
+  EXPECT_EQ(file->records[0].mapq, 60);
+  EXPECT_EQ(file->records[2].rname, "chr2");
+}
+
+TEST(SamTest, HeaderHelpers) {
+  const auto file = ParseSam(kSamText);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->header.ReferenceNames(),
+            (std::vector<std::string>{"chr1", "chr2"}));
+  EXPECT_EQ(file->header.ReferenceLength("chr1"), 10000);
+  EXPECT_EQ(file->header.ReferenceLength("chr2"), 5000);
+  EXPECT_EQ(file->header.ReferenceLength("chrX"), -1);
+}
+
+TEST(SamTest, RejectsHeaderAfterAlignment) {
+  EXPECT_FALSE(
+      ParseSam("r1\t0\tchr1\t1\t60\t1M\t*\t0\t0\tA\tI\n@HD\tVN:1.6\n").ok());
+}
+
+TEST(SamTest, RejectsTooFewFields) {
+  EXPECT_FALSE(ParseSam("r1\t0\tchr1\t1\t60\t1M\t*\t0\t0\tA\n").ok());
+}
+
+TEST(SamTest, RejectsBadNumericFields) {
+  EXPECT_FALSE(ParseSam("r1\tx\tchr1\t1\t60\t1M\t*\t0\t0\tA\tI\n").ok());
+  EXPECT_FALSE(ParseSam("r1\t0\tchr1\tpos\t60\t1M\t*\t0\t0\tA\tI\n").ok());
+  EXPECT_FALSE(ParseSam("r1\t0\tchr1\t1\t999\t1M\t*\t0\t0\tA\tI\n").ok());
+  EXPECT_FALSE(ParseSam("r1\t70000\tchr1\t1\t60\t1M\t*\t0\t0\tA\tI\n").ok());
+}
+
+TEST(SamTest, RejectsSeqQualLengthMismatch) {
+  EXPECT_FALSE(ParseSam("r1\t0\tchr1\t1\t60\t2M\t*\t0\t0\tAC\tI\n").ok());
+}
+
+TEST(SamTest, StarSeqOrQualSkipsLengthCheck) {
+  EXPECT_TRUE(ParseSam("r1\t0\tchr1\t1\t60\t2M\t*\t0\t0\t*\tII\n").ok());
+  EXPECT_TRUE(ParseSam("r1\t0\tchr1\t1\t60\t2M\t*\t0\t0\tAC\t*\n").ok());
+}
+
+TEST(SamTest, RoundTrip) {
+  const auto file = ParseSam(kSamText);
+  ASSERT_TRUE(file.ok());
+  const auto reparsed = ParseSam(WriteSam(*file));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->header, file->header);
+  EXPECT_EQ(reparsed->records, file->records);
+}
+
+TEST(SamTest, CoordinateSortDetection) {
+  auto file = ParseSam(kSamText);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(IsCoordinateSorted(*file));
+  std::swap(file->records[0], file->records[1]);
+  EXPECT_FALSE(IsCoordinateSorted(*file));
+}
+
+TEST(SamTest, MakeHeaderProducesParsableHeader) {
+  const SamHeader header = MakeHeader({{"chr1", 1000}, {"chr2", 2000}});
+  SamFile file;
+  file.header = header;
+  const auto reparsed = ParseSam(WriteSam(file));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->header.ReferenceLength("chr2"), 2000);
+}
+
+constexpr const char* kVcfText =
+    "##fileformat=VCFv4.2\n"
+    "##source=test\n"
+    "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n"
+    "chr1\t100\t.\tA\tT\t50\tPASS\tTYPE=SNV\n"
+    "chr1\t200\trs1\tG\tC\t33.5\tPASS\tTYPE=SNV\n"
+    "chr2\t10\t.\tT\tA\t.\tq10\tDP=3\n";
+
+TEST(VcfTest, ParsesMetaAndRecords) {
+  const auto file = ParseVcf(kVcfText);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->meta.size(), 2u);
+  ASSERT_EQ(file->records.size(), 3u);
+  EXPECT_EQ(file->records[0].chrom, "chr1");
+  EXPECT_EQ(file->records[0].pos, 100);
+  EXPECT_DOUBLE_EQ(file->records[1].qual, 33.5);
+  EXPECT_DOUBLE_EQ(file->records[2].qual, 0.0);  // "." QUAL
+  EXPECT_EQ(file->records[2].filter, "q10");
+}
+
+TEST(VcfTest, RejectsMalformedPos) {
+  EXPECT_FALSE(ParseVcf("chr1\tzero\t.\tA\tT\t50\tPASS\t.\n").ok());
+  EXPECT_FALSE(ParseVcf("chr1\t0\t.\tA\tT\t50\tPASS\t.\n").ok());
+}
+
+TEST(VcfTest, RejectsTooFewColumns) {
+  EXPECT_FALSE(ParseVcf("chr1\t100\t.\tA\tT\t50\tPASS\n").ok());
+}
+
+TEST(VcfTest, RejectsMetaAfterColumnHeader) {
+  EXPECT_FALSE(ParseVcf("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n"
+                        "##late=1\n")
+                   .ok());
+}
+
+TEST(VcfTest, RoundTrip) {
+  const auto file = ParseVcf(kVcfText);
+  ASSERT_TRUE(file.ok());
+  const auto reparsed = ParseVcf(WriteVcf(*file));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->meta, file->meta);
+  EXPECT_EQ(reparsed->records, file->records);
+}
+
+TEST(VcfTest, SortDetection) {
+  auto file = ParseVcf(kVcfText);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(IsSorted(*file));
+  std::swap(file->records[0], file->records[1]);
+  EXPECT_FALSE(IsSorted(*file));
+}
+
+TEST(VcfMergeTest, MergesSortedShards) {
+  VcfFile a;
+  a.meta = StandardVcfMeta("scan");
+  a.records = {{"chr1", 100, ".", "A", "T", 50.0, "PASS", "."},
+               {"chr1", 300, ".", "G", "C", 50.0, "PASS", "."}};
+  VcfFile b;
+  b.meta = StandardVcfMeta("scan");
+  b.records = {{"chr1", 200, ".", "T", "A", 50.0, "PASS", "."},
+               {"chr2", 50, ".", "C", "G", 50.0, "PASS", "."}};
+  const auto merged = MergeVcf({a, b});
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->records.size(), 4u);
+  EXPECT_TRUE(IsSorted(*merged));
+  EXPECT_EQ(merged->records[0].pos, 100);
+  EXPECT_EQ(merged->records[1].pos, 200);
+  EXPECT_EQ(merged->records[2].pos, 300);
+  EXPECT_EQ(merged->records[3].chrom, "chr2");
+  // Identical meta lines deduplicated.
+  EXPECT_EQ(merged->meta.size(), 2u);
+}
+
+TEST(VcfMergeTest, RejectsUnsortedShard) {
+  VcfFile bad;
+  bad.records = {{"chr1", 300, ".", "A", "T", 50.0, "PASS", "."},
+                 {"chr1", 100, ".", "G", "C", 50.0, "PASS", "."}};
+  EXPECT_EQ(MergeVcf({bad}).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(VcfMergeTest, EmptyInputs) {
+  const auto merged = MergeVcf({});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->records.empty());
+  const auto merged_one_empty = MergeVcf({VcfFile{}});
+  ASSERT_TRUE(merged_one_empty.ok());
+  EXPECT_TRUE(merged_one_empty->records.empty());
+}
+
+TEST(VcfMergeTest, StableAcrossShardsOnTies) {
+  VcfFile a;
+  a.records = {{"chr1", 100, "fromA", "A", "T", 1.0, "PASS", "."}};
+  VcfFile b;
+  b.records = {{"chr1", 100, "fromB", "A", "C", 1.0, "PASS", "."}};
+  const auto merged = MergeVcf({a, b});
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->records.size(), 2u);
+  EXPECT_EQ(merged->records[0].id, "fromA");  // shard order preserved on tie
+  EXPECT_EQ(merged->records[1].id, "fromB");
+}
+
+}  // namespace
+}  // namespace scan::genomics

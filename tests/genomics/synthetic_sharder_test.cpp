@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scan/genomics/fastq.hpp"
+#include "scan/genomics/sam.hpp"
+#include "scan/genomics/sharder.hpp"
+#include "scan/genomics/synthetic.hpp"
+#include "scan/genomics/vcf.hpp"
+
+namespace scan::genomics {
+namespace {
+
+TEST(SyntheticTest, ReferenceHasRequestedLengthAndAlphabet) {
+  SyntheticGenerator gen(1);
+  const FastaRecord ref = gen.Reference("chr1", 500);
+  EXPECT_EQ(ref.id, "chr1");
+  EXPECT_EQ(ref.sequence.size(), 500u);
+  EXPECT_TRUE(IsValidSequence(ref.sequence));
+  // No 'N' bases from the generator.
+  EXPECT_EQ(ref.sequence.find('N'), std::string::npos);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticGenerator a(7);
+  SyntheticGenerator b(7);
+  EXPECT_EQ(a.Reference("c", 100).sequence, b.Reference("c", 100).sequence);
+  SyntheticGenerator c(8);
+  EXPECT_NE(a.Reference("c", 100).sequence, c.Reference("c", 100).sequence);
+}
+
+TEST(SyntheticTest, GenomeProducesAllChromosomes) {
+  SyntheticGenerator gen(2);
+  const auto genome = gen.Genome({{"chr1", 100}, {"chr2", 200}});
+  ASSERT_EQ(genome.size(), 2u);
+  EXPECT_EQ(genome[1].sequence.size(), 200u);
+}
+
+TEST(SyntheticTest, ReadsComeFromReference) {
+  SyntheticGenerator gen(3);
+  const FastaRecord ref = gen.Reference("chr1", 1000);
+  ReadSimSpec spec;
+  spec.read_count = 200;
+  spec.read_length = 50;
+  spec.error_rate = 0.0;  // perfect reads: must be exact substrings
+  const auto reads = gen.Reads(ref, spec);
+  ASSERT_EQ(reads.size(), 200u);
+  for (const FastqRecord& read : reads) {
+    EXPECT_EQ(read.sequence.size(), 50u);
+    EXPECT_EQ(read.quality.size(), 50u);
+    EXPECT_NE(ref.sequence.find(read.sequence), std::string::npos)
+        << "read not a substring of the reference";
+  }
+}
+
+TEST(SyntheticTest, ErrorRateInjectsMismatches) {
+  SyntheticGenerator gen(4);
+  const FastaRecord ref = gen.Reference("chr1", 2000);
+  ReadSimSpec spec;
+  spec.read_count = 100;
+  spec.read_length = 100;
+  spec.error_rate = 0.1;
+  const auto reads = gen.Reads(ref, spec);
+  std::size_t error_positions = 0;
+  std::size_t total = 0;
+  for (const FastqRecord& read : reads) {
+    for (const char q : read.quality) {
+      ++total;
+      if (q == spec.error_quality) ++error_positions;
+    }
+  }
+  const double observed =
+      static_cast<double>(error_positions) / static_cast<double>(total);
+  EXPECT_NEAR(observed, 0.1, 0.02);
+}
+
+TEST(SyntheticTest, ReadsRejectShortReference) {
+  SyntheticGenerator gen(5);
+  const FastaRecord ref = gen.Reference("c", 10);
+  ReadSimSpec spec;
+  spec.read_length = 50;
+  EXPECT_THROW((void)gen.Reads(ref, spec), std::invalid_argument);
+}
+
+TEST(SyntheticTest, AlignedReadsAreSortedWithHeader) {
+  SyntheticGenerator gen(6);
+  const auto genome = gen.Genome({{"chr1", 1000}, {"chr2", 500}});
+  ReadSimSpec spec;
+  spec.read_count = 300;
+  spec.read_length = 40;
+  const SamFile file = gen.AlignedReads(genome, spec);
+  EXPECT_EQ(file.records.size(), 300u);
+  EXPECT_TRUE(IsCoordinateSorted(file));
+  EXPECT_EQ(file.header.ReferenceLength("chr1"), 1000);
+  EXPECT_EQ(file.header.ReferenceLength("chr2"), 500);
+  for (const SamRecord& rec : file.records) {
+    EXPECT_GE(rec.pos, 1);
+    EXPECT_EQ(rec.seq.size(), 40u);
+  }
+  // Round trip through the SAM serializer.
+  const auto reparsed = ParseSam(WriteSam(file));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->records.size(), 300u);
+}
+
+TEST(SyntheticTest, VariantsAreSortedDistinctSnvs) {
+  SyntheticGenerator gen(7);
+  const FastaRecord ref = gen.Reference("chr1", 500);
+  const VcfFile file = gen.Variants(ref, 50);
+  EXPECT_EQ(file.records.size(), 50u);
+  EXPECT_TRUE(IsSorted(file));
+  std::set<std::int64_t> positions;
+  for (const VcfRecord& rec : file.records) {
+    positions.insert(rec.pos);
+    ASSERT_GE(rec.pos, 1);
+    ASSERT_LE(rec.pos, 500);
+    // REF matches the reference base; ALT differs.
+    EXPECT_EQ(rec.ref[0], ref.sequence[static_cast<std::size_t>(rec.pos - 1)]);
+    EXPECT_NE(rec.alt, rec.ref);
+  }
+  EXPECT_EQ(positions.size(), 50u);
+}
+
+TEST(SyntheticTest, VariantsRejectOverCount) {
+  SyntheticGenerator gen(8);
+  const FastaRecord ref = gen.Reference("c", 10);
+  EXPECT_THROW((void)gen.Variants(ref, 11), std::invalid_argument);
+}
+
+// ---- Sharders ----
+
+std::string MakeFastqPayload(std::size_t reads, std::uint64_t seed = 9) {
+  SyntheticGenerator gen(seed);
+  const FastaRecord ref = gen.Reference("chr1", 400);
+  ReadSimSpec spec;
+  spec.read_count = reads;
+  spec.read_length = 50;
+  return WriteFastq(gen.Reads(ref, spec));
+}
+
+TEST(ShardFastqTest, SplitsByRecordCount) {
+  const std::string payload = MakeFastqPayload(100);
+  ShardSpec spec;
+  spec.max_records = 30;
+  const auto shards = ShardFastq(payload, spec);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_EQ(shards->count(), 4u);  // 30+30+30+10
+  EXPECT_EQ(shards->total_records, 100u);
+  // Each shard is valid FASTQ.
+  std::size_t reassembled = 0;
+  for (const std::string& shard : shards->shards) {
+    const auto records = ParseFastq(shard);
+    ASSERT_TRUE(records.ok());
+    reassembled += records->size();
+    EXPECT_LE(records->size(), 30u);
+  }
+  EXPECT_EQ(reassembled, 100u);
+}
+
+TEST(ShardFastqTest, SplitsByBytes) {
+  const std::string payload = MakeFastqPayload(64);
+  ShardSpec spec;
+  spec.max_bytes = payload.size() / 4;
+  const auto shards = ShardFastq(payload, spec);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_GE(shards->count(), 4u);
+  for (const std::string& shard : shards->shards) {
+    EXPECT_LE(shard.size(), spec.max_bytes);
+  }
+}
+
+TEST(ShardFastqTest, OversizedRecordGetsOwnShard) {
+  const std::vector<FastqRecord> records = {
+      {"big", std::string(1000, 'A'), std::string(1000, 'I')},
+      {"small", "AC", "II"},
+  };
+  ShardSpec spec;
+  spec.max_bytes = 100;  // smaller than the big record
+  const auto shards = ShardFastq(WriteFastq(records), spec);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_EQ(shards->count(), 2u);
+}
+
+TEST(ShardFastqTest, RequiresABound) {
+  EXPECT_EQ(ShardFastq("", ShardSpec{}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ShardFastqTest, PropagatesParseError) {
+  ShardSpec spec;
+  spec.max_records = 10;
+  EXPECT_EQ(ShardFastq("@broken\nACGT\n", spec).status().code(),
+            ErrorCode::kParseError);
+}
+
+TEST(ShardFastqTest, MergeIsInverse) {
+  const std::string payload = MakeFastqPayload(57);
+  ShardSpec spec;
+  spec.max_records = 10;
+  const auto shards = ShardFastq(payload, spec);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_EQ(MergeFastq(shards->shards), payload);
+}
+
+TEST(ShardFastqTest, ParallelMatchesSerial) {
+  const std::string payload = MakeFastqPayload(200);
+  ShardSpec spec;
+  spec.max_records = 17;
+  const auto serial = ShardFastq(payload, spec);
+  ThreadPool pool(4);
+  const auto parallel = ShardFastqParallel(payload, spec, pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->shards, parallel->shards);
+}
+
+TEST(ShardSamTest, SplitsByRegionKeepingHeader) {
+  SyntheticGenerator gen(10);
+  const auto genome = gen.Genome({{"chr1", 2000}});
+  ReadSimSpec spec;
+  spec.read_count = 200;
+  spec.read_length = 50;
+  const SamFile file = gen.AlignedReads(genome, spec);
+  const auto shards = ShardSamByRegion(WriteSam(file), 500);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_GE(shards->count(), 2u);
+  std::size_t total = 0;
+  for (const std::string& shard : shards->shards) {
+    const auto parsed = ParseSam(shard);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->header, file.header);  // header replicated
+    total += parsed->records.size();
+    // All records of a shard fall in one region of one reference.
+    if (!parsed->records.empty() && parsed->records[0].rname != "*") {
+      const std::int64_t region = (parsed->records[0].pos - 1) / 500;
+      for (const SamRecord& rec : parsed->records) {
+        EXPECT_EQ((rec.pos - 1) / 500, region);
+        EXPECT_EQ(rec.rname, parsed->records[0].rname);
+      }
+    }
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(ShardSamTest, UnmappedReadsGetCatchAllShard) {
+  const std::string text =
+      "@HD\tVN:1.6\tSO:coordinate\n"
+      "r1\t0\tchr1\t100\t60\t2M\t*\t0\t0\tAC\tII\n"
+      "r2\t4\t*\t0\t0\t*\t*\t0\t0\tGG\tII\n";
+  const auto shards = ShardSamByRegion(text, 1000);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_EQ(shards->count(), 2u);
+}
+
+TEST(ShardSamTest, RejectsBadRegionSize) {
+  EXPECT_EQ(ShardSamByRegion("", 0).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ShardSamByRegion("", -5).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(PlanShardCountTest, PaperExample) {
+  // "divide a 100GB FASTQ file into 25 4GB files"
+  const auto count = PlanShardCount(100.0, 4.0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 25u);
+}
+
+TEST(PlanShardCountTest, RoundsUpAndClamps) {
+  EXPECT_EQ(*PlanShardCount(10.0, 3.0), 4u);
+  EXPECT_EQ(*PlanShardCount(1.0, 4.0), 1u);
+  EXPECT_FALSE(PlanShardCount(0.0, 4.0).ok());
+  EXPECT_FALSE(PlanShardCount(10.0, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace scan::genomics

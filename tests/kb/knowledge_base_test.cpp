@@ -1,0 +1,211 @@
+#include "scan/kb/knowledge_base.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scan::kb {
+namespace {
+
+/// Profiles mirroring the paper's GATK1..GATK4 expansion example
+/// (inputFileSize GB, eTime): (10,180), (5,200), (20,280), (4,80).
+KnowledgeBase MakePaperKb() {
+  KnowledgeBase kb;
+  kb.AddProfile({"GATK1", "GATK", 0, 10.0, 1, 8, 4.0, 180.0, 1, "good"});
+  kb.AddProfile({"GATK2", "GATK", 0, 5.0, 1, 8, 4.0, 200.0, 1, ""});
+  kb.AddProfile({"GATK3", "GATK", 0, 20.0, 1, 8, 4.0, 280.0, 1, ""});
+  kb.AddProfile({"GATK4", "GATK", 0, 4.0, 1, 8, 4.0, 80.0, 1, ""});
+  return kb;
+}
+
+TEST(KnowledgeBaseTest, SeedsOntologyOnConstruction) {
+  const KnowledgeBase kb;
+  EXPECT_GT(kb.store().size(), 20u);
+}
+
+TEST(KnowledgeBaseTest, AddProfileCreatesIndividual) {
+  KnowledgeBase kb;
+  const TermId id =
+      kb.AddProfile({"GATK1", "GATK", 0, 10.0, 1, 8, 4.0, 180.0, 1, "good"});
+  EXPECT_NE(Index(id), 0u);
+  EXPECT_EQ(kb.ProfileCount("GATK"), 1u);
+}
+
+TEST(KnowledgeBaseTest, ProfilesRoundTripAllFields) {
+  KnowledgeBase kb;
+  kb.AddProfile({"GATK9", "GATK", 3, 2.5, 2, 16, 8.0, 33.5, 4, "good"});
+  const auto profiles = kb.Profiles("GATK");
+  ASSERT_EQ(profiles.size(), 1u);
+  const auto& p = profiles[0];
+  EXPECT_EQ(p.individual, "GATK9");
+  EXPECT_EQ(p.stage, 3);
+  EXPECT_DOUBLE_EQ(p.input_file_size_gb, 2.5);
+  EXPECT_EQ(p.steps, 2);
+  EXPECT_EQ(p.cpu, 16);
+  EXPECT_DOUBLE_EQ(p.ram_gb, 8.0);
+  EXPECT_DOUBLE_EQ(p.etime, 33.5);
+  EXPECT_EQ(p.threads, 4);
+  EXPECT_EQ(p.performance, "good");
+}
+
+TEST(KnowledgeBaseTest, AutoNamingFollowsPaperSequence) {
+  KnowledgeBase kb;
+  kb.RecordTaskLog({"", "GATK", 0, 10.0, 1, 8, 4.0, 180.0, 1, ""});
+  kb.RecordTaskLog({"", "GATK", 0, 5.0, 1, 8, 4.0, 200.0, 1, ""});
+  const auto profiles = kb.Profiles("GATK");
+  ASSERT_EQ(profiles.size(), 2u);
+  // Auto names are App + counter (GATK1, GATK2, ...).
+  EXPECT_EQ(profiles[0].individual.substr(0, 4), "GATK");
+  EXPECT_NE(profiles[0].individual, profiles[1].individual);
+}
+
+TEST(KnowledgeBaseTest, ProfilesFilteredByApplication) {
+  KnowledgeBase kb;
+  kb.AddProfile({"GATK1", "GATK", 0, 10.0, 1, 8, 4.0, 180.0, 1, ""});
+  kb.AddProfile({"BWA1", "BWA", 0, 12.0, 1, 4, 2.0, 60.0, 1, ""});
+  EXPECT_EQ(kb.ProfileCount("GATK"), 1u);
+  EXPECT_EQ(kb.ProfileCount("BWA"), 1u);
+  EXPECT_EQ(kb.ProfileCount("MaxQuant"), 0u);
+}
+
+TEST(KnowledgeBaseTest, ProfilesFilteredByStage) {
+  KnowledgeBase kb;
+  kb.AddProfile({"", "GATK", 1, 2.0, 1, 8, 4.0, 10.0, 1, ""});
+  kb.AddProfile({"", "GATK", 2, 2.0, 1, 8, 4.0, 20.0, 1, ""});
+  kb.AddProfile({"", "GATK", 2, 4.0, 1, 8, 4.0, 40.0, 1, ""});
+  EXPECT_EQ(kb.Profiles("GATK", 1).size(), 1u);
+  EXPECT_EQ(kb.Profiles("GATK", 2).size(), 2u);
+  EXPECT_EQ(kb.Profiles("GATK", 3).size(), 0u);
+}
+
+TEST(KnowledgeBaseTest, AdviseShardSizePicksBestTimePerGb) {
+  const KnowledgeBase kb = MakePaperKb();
+  // time/GB: GATK1=18, GATK2=40, GATK3=14, GATK4=20 -> GATK3 wins.
+  const auto advice = kb.AdviseShardSize("GATK", 0.0, 100.0);
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_EQ(advice->source_individual, "GATK3");
+  EXPECT_DOUBLE_EQ(advice->shard_size_gb, 20.0);
+  EXPECT_DOUBLE_EQ(advice->time_per_gb, 14.0);
+  EXPECT_EQ(advice->recommended_cpu, 8);
+  EXPECT_DOUBLE_EQ(advice->recommended_ram_gb, 4.0);
+}
+
+TEST(KnowledgeBaseTest, AdviseShardSizeRespectsBounds) {
+  const KnowledgeBase kb = MakePaperKb();
+  // Limit to <= 10 GB: candidates GATK1 (18), GATK2 (40), GATK4 (20);
+  // GATK1 wins.
+  const auto advice = kb.AdviseShardSize("GATK", 0.0, 10.0);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_EQ(advice->source_individual, "GATK1");
+  EXPECT_DOUBLE_EQ(advice->shard_size_gb, 10.0);
+}
+
+TEST(KnowledgeBaseTest, AdviseShardSizeNoCandidates) {
+  const KnowledgeBase kb = MakePaperKb();
+  EXPECT_EQ(kb.AdviseShardSize("GATK", 50.0, 60.0).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(kb.AdviseShardSize("Unknown", 0.0, 100.0).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(KnowledgeBaseTest, AdviseShardSizeRejectsBadBounds) {
+  const KnowledgeBase kb = MakePaperKb();
+  EXPECT_EQ(kb.AdviseShardSize("GATK", 10.0, 5.0).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(kb.AdviseShardSize("GATK", -1.0, 5.0).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(KnowledgeBaseTest, KnowledgeExpansionImprovesAdvice) {
+  KnowledgeBase kb;
+  kb.AddProfile({"", "GATK", 0, 10.0, 1, 8, 4.0, 300.0, 1, ""});  // 30 s/GB
+  const auto before = kb.AdviseShardSize("GATK", 0.0, 100.0);
+  ASSERT_TRUE(before.ok());
+  EXPECT_DOUBLE_EQ(before->shard_size_gb, 10.0);
+  // A later task log discovers a better operating point.
+  kb.RecordTaskLog({"", "GATK", 0, 2.0, 1, 8, 4.0, 20.0, 1, ""});  // 10 s/GB
+  const auto after = kb.AdviseShardSize("GATK", 0.0, 100.0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after->shard_size_gb, 2.0);
+}
+
+TEST(KnowledgeBaseTest, AdviseThreadsPicksFastestNormalizedProfile) {
+  KnowledgeBase kb;
+  kb.AddProfile({"", "GATK", 2, 4.0, 1, 8, 4.0, 100.0, 1, ""});  // 25 /GB
+  kb.AddProfile({"", "GATK", 2, 4.0, 1, 8, 4.0, 40.0, 4, ""});   // 10 /GB
+  kb.AddProfile({"", "GATK", 2, 4.0, 1, 8, 4.0, 60.0, 8, ""});   // 15 /GB
+  const auto threads = kb.AdviseThreads("GATK", 2);
+  ASSERT_TRUE(threads.ok());
+  EXPECT_EQ(*threads, 4);
+}
+
+TEST(KnowledgeBaseTest, AdviseThreadsMissingStage) {
+  const KnowledgeBase kb = MakePaperKb();
+  EXPECT_EQ(kb.AdviseThreads("GATK", 99).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(KnowledgeBaseTest, FitETimeModelRecoversLinearLaw) {
+  KnowledgeBase kb;
+  // eTime = 12 * size + 30 at 1 thread.
+  for (const double size : {1.0, 2.0, 4.0, 8.0}) {
+    kb.AddProfile({"", "GATK", 1, size, 1, 8, 4.0, 12.0 * size + 30.0, 1, ""});
+  }
+  const LinearFit fit = kb.FitETimeModel("GATK", 1, 1);
+  EXPECT_NEAR(fit.slope, 12.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 30.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(KnowledgeBaseTest, FitETimeModelFiltersThreads) {
+  KnowledgeBase kb;
+  for (const double size : {1.0, 2.0}) {
+    kb.AddProfile({"", "GATK", 1, size, 1, 8, 4.0, 10.0 * size, 1, ""});
+    kb.AddProfile({"", "GATK", 1, size, 1, 8, 4.0, 3.0 * size, 4, ""});
+  }
+  EXPECT_NEAR(kb.FitETimeModel("GATK", 1, 1).slope, 10.0, 1e-9);
+  EXPECT_NEAR(kb.FitETimeModel("GATK", 1, 4).slope, 3.0, 1e-9);
+}
+
+TEST(KnowledgeBaseTest, RawSparqlQueryWorks) {
+  const KnowledgeBase kb = MakePaperKb();
+  const auto rs = kb.Query(KnowledgeBase::QueryPrefixes() +
+                           "SELECT ?i WHERE { ?i a scan:Application . }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 4u);
+}
+
+TEST(KnowledgeBaseTest, PaperSnippetQueryRankedByETime) {
+  // The paper's broker query, modernized: select GATK instances with their
+  // sizes and execution times, ranked by execution time.
+  const KnowledgeBase kb = MakePaperKb();
+  const auto rs = kb.Query(
+      KnowledgeBase::QueryPrefixes() +
+      "SELECT ?i ?size ?etime WHERE {\n"
+      "  ?i a scan:Application .\n"
+      "  ?i scan:application \"GATK\" .\n"
+      "  ?i scan:inputFileSize ?size .\n"
+      "  ?i scan:eTime ?etime .\n"
+      "} ORDER BY ASC(?etime)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(*NumericValue(*rs->rows.front()[2]), 80.0);
+  EXPECT_DOUBLE_EQ(*NumericValue(*rs->rows.back()[2]), 280.0);
+}
+
+TEST(KnowledgeBaseTest, TaskLogNeverCollidesWithNamedProfiles) {
+  // Regression: auto-named logs must skip explicitly-named individuals,
+  // or the log's triples merge into the existing individual.
+  KnowledgeBase kb;
+  kb.AddProfile({"GATK1", "GATK", 0, 10.0, 1, 8, 4.0, 180.0, 1, ""});
+  kb.AddProfile({"GATK2", "GATK", 0, 5.0, 1, 8, 4.0, 200.0, 1, ""});
+  kb.RecordTaskLog({"", "GATK", 0, 2.0, 1, 8, 4.0, 18.0, 1, ""});
+  const auto profiles = kb.Profiles("GATK");
+  ASSERT_EQ(profiles.size(), 3u);
+  // The advice must see the new 2 GB / 9-per-GB operating point.
+  const auto advice = kb.AdviseShardSize("GATK", 0.5, 32.0);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_DOUBLE_EQ(advice->shard_size_gb, 2.0);
+  EXPECT_DOUBLE_EQ(advice->time_per_gb, 9.0);
+}
+
+}  // namespace
+}  // namespace scan::kb

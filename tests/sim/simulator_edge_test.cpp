@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "scan/sim/simulator.hpp"
+
+namespace scan::sim {
+namespace {
+
+TEST(SimulatorEdgeTest, DeepEventChainDoesNotRecurse) {
+  // Each event schedules the next; the engine iterates (no stack growth),
+  // so a long chain must complete.
+  Simulator sim;
+  constexpr int kDepth = 200'000;
+  int fired = 0;
+  std::function<void(Simulator&)> chain = [&](Simulator& s) {
+    if (++fired < kDepth) {
+      s.ScheduleAfter(SimTime{0.001}, chain);
+    }
+  };
+  sim.ScheduleAt(SimTime{0.0}, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, kDepth);
+}
+
+TEST(SimulatorEdgeTest, PeriodicCancelsItselfFromInsideCallback) {
+  Simulator sim;
+  int fired = 0;
+  EventId handle;
+  handle = sim.SchedulePeriodic(SimTime{1.0}, [&](Simulator& s) {
+    if (++fired == 3) s.Cancel(handle);
+  });
+  sim.RunUntil(SimTime{100.0});
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorEdgeTest, CancelDuringEventOfSameTimestamp) {
+  // Event A cancels event B scheduled at the same instant; B must not run.
+  Simulator sim;
+  bool b_ran = false;
+  EventId b;
+  sim.ScheduleAt(SimTime{1.0}, [&](Simulator& s) { s.Cancel(b); });
+  b = sim.ScheduleAt(SimTime{1.0}, [&](Simulator&) { b_ran = true; });
+  sim.RunToCompletion();
+  EXPECT_FALSE(b_ran);
+}
+
+TEST(SimulatorEdgeTest, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(SimTime{5.0}, [&](Simulator& s) {
+    s.ScheduleAfter(SimTime{0.0}, [&](Simulator& inner) {
+      fired_at = inner.Now().value();
+    });
+  });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulatorEdgeTest, ManySimultaneousPeriodics) {
+  Simulator sim;
+  int total = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.SchedulePeriodic(SimTime{1.0}, [&](Simulator&) { ++total; });
+  }
+  sim.RunUntil(SimTime{10.5});
+  EXPECT_EQ(total, 100);  // 10 periodics x 10 firings
+}
+
+TEST(SimulatorEdgeTest, RunUntilAtExactEventTimeIncludesIt) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(SimTime{5.0}, [&](Simulator&) { fired = true; });
+  sim.RunUntil(SimTime{5.0});
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorEdgeTest, StatsSurviveCancellationMix) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(
+        sim.ScheduleAt(SimTime{static_cast<double>(i + 1)}, [](Simulator&) {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(sim.Cancel(ids[i]));
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.stats().events_scheduled, 100u);
+  EXPECT_EQ(sim.stats().events_cancelled, 50u);
+  EXPECT_EQ(sim.stats().events_executed, 50u);
+}
+
+}  // namespace
+}  // namespace scan::sim

@@ -1,0 +1,205 @@
+#include "scan/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace scan::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now().value(), 0.0);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(SimulatorTest, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(SimTime{3.0}, [&](Simulator&) { order.push_back(3); });
+  sim.ScheduleAt(SimTime{1.0}, [&](Simulator&) { order.push_back(1); });
+  sim.ScheduleAt(SimTime{2.0}, [&](Simulator&) { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now().value(), 3.0);
+}
+
+TEST(SimulatorTest, SimultaneousEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(SimTime{5.0}, [&order, i](Simulator&) { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(SimTime{2.0}, [&](Simulator& s) {
+    s.ScheduleAfter(SimTime{1.5}, [&](Simulator& inner) {
+      fired_at = inner.Now().value();
+    });
+  });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(SimulatorTest, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.ScheduleAt(SimTime{5.0}, [](Simulator& s) {
+    EXPECT_THROW(s.ScheduleAt(SimTime{1.0}, [](Simulator&) {}),
+                 std::invalid_argument);
+  });
+  sim.RunToCompletion();
+}
+
+TEST(SimulatorTest, EmptyCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.ScheduleAt(SimTime{1.0}, Simulator::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(SimTime{1.0}, [&](Simulator&) { ++fired; });
+  sim.ScheduleAt(SimTime{10.0}, [&](Simulator&) { ++fired; });
+  sim.RunUntil(SimTime{5.0});
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now().value(), 5.0);
+  EXPECT_FALSE(sim.Empty());
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id =
+      sim.ScheduleAt(SimTime{1.0}, [&](Simulator&) { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.stats().events_cancelled, 1u);
+}
+
+TEST(SimulatorTest, CancelInvalidHandle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(EventId{}));
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotAdvanceClock) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(SimTime{8.0}, [](Simulator&) {});
+  sim.ScheduleAt(SimTime{2.0}, [](Simulator&) {});
+  sim.Cancel(id);
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(sim.Now().value(), 2.0);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(SimTime{1.0}, [&](Simulator&) { ++fired; });
+  sim.ScheduleAt(SimTime{2.0}, [&](Simulator&) { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int count = 0;
+  sim.SchedulePeriodic(SimTime{1.0}, [&](Simulator&) { ++count; });
+  sim.RunUntil(SimTime{5.5});
+  EXPECT_EQ(count, 5);  // t = 1, 2, 3, 4, 5
+}
+
+TEST(SimulatorTest, PeriodicCancelStopsRecurrence) {
+  Simulator sim;
+  int count = 0;
+  const EventId id =
+      sim.SchedulePeriodic(SimTime{1.0}, [&](Simulator&) { ++count; });
+  sim.ScheduleAt(SimTime{3.5}, [&](Simulator& s) { s.Cancel(id); });
+  sim.RunUntil(SimTime{10.0});
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, PeriodicRejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(sim.SchedulePeriodic(SimTime{0.0}, [](Simulator&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.SchedulePeriodic(SimTime{-1.0}, [](Simulator&) {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, NextEventTime) {
+  Simulator sim;
+  EXPECT_TRUE(std::isinf(sim.NextEventTime().value()));
+  sim.ScheduleAt(SimTime{4.0}, [](Simulator&) {});
+  EXPECT_DOUBLE_EQ(sim.NextEventTime().value(), 4.0);
+}
+
+TEST(SimulatorTest, StatsCountScheduledAndExecuted) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(SimTime{static_cast<double>(i) + 1.0}, [](Simulator&) {});
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.stats().events_scheduled, 5u);
+  EXPECT_EQ(sim.stats().events_executed, 5u);
+}
+
+TEST(SimulatorTest, TraceHookObservesOrder) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.SetTraceHook([&](SimTime t, std::uint64_t) { times.push_back(t.value()); });
+  sim.ScheduleAt(SimTime{2.0}, [](Simulator&) {});
+  sim.ScheduleAt(SimTime{1.0}, [](Simulator&) {});
+  sim.RunToCompletion();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(SimTime{1.0}, [&](Simulator& s) {
+    order.push_back(1);
+    s.ScheduleAt(SimTime{1.0}, [&](Simulator&) { order.push_back(2); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Property-style sweep: with N events at distinct random-ish times, the
+// execution order equals ascending time order, for several N.
+class SimulatorOrderingProperty : public testing::TestWithParam<int> {};
+
+TEST_P(SimulatorOrderingProperty, AlwaysTimeOrdered) {
+  const int n = GetParam();
+  Simulator sim;
+  std::vector<double> fired;
+  for (int i = 0; i < n; ++i) {
+    // Deterministic scatter of times.
+    const double when = static_cast<double>((i * 7919) % (n * 13)) + 0.25;
+    sim.ScheduleAt(SimTime{when},
+                   [&fired](Simulator& s) { fired.push_back(s.Now().value()); });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(n));
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimulatorOrderingProperty,
+                         testing::Values(1, 2, 10, 100, 1000));
+
+}  // namespace
+}  // namespace scan::sim

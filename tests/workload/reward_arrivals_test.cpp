@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scan/workload/arrivals.hpp"
+#include "scan/workload/reward.hpp"
+
+namespace scan::workload {
+namespace {
+
+TEST(RewardTest, TimeBasedFormula) {
+  // R(d, t) = d * (Rmax - t * Rpenalty), paper defaults Rmax=400, Rpen=15.
+  const RewardFunction reward{RewardParams{}};
+  EXPECT_DOUBLE_EQ(reward(DataSize{5.0}, SimTime{10.0}).value(),
+                   5.0 * (400.0 - 150.0));
+  EXPECT_DOUBLE_EQ(reward(DataSize{1.0}, SimTime{0.0}).value(), 400.0);
+}
+
+TEST(RewardTest, TimeBasedGoesNegativePastBreakEven) {
+  const RewardFunction reward{RewardParams{}};
+  EXPECT_DOUBLE_EQ(reward.BreakEvenLatency().value(), 400.0 / 15.0);
+  EXPECT_LT(reward(DataSize{1.0}, SimTime{30.0}).value(), 0.0);
+  EXPECT_GT(reward(DataSize{1.0}, SimTime{20.0}).value(), 0.0);
+}
+
+TEST(RewardTest, ThroughputFormula) {
+  RewardParams params;
+  params.scheme = RewardScheme::kThroughputBased;
+  const RewardFunction reward{params};
+  // R(d, t) = d * Rscale / t with Rscale = 15000.
+  EXPECT_DOUBLE_EQ(reward(DataSize{5.0}, SimTime{10.0}).value(), 7500.0);
+  EXPECT_DOUBLE_EQ(reward(DataSize{2.0}, SimTime{100.0}).value(), 300.0);
+}
+
+TEST(RewardTest, ThroughputNeverNegative) {
+  RewardParams params;
+  params.scheme = RewardScheme::kThroughputBased;
+  const RewardFunction reward{params};
+  EXPECT_GT(reward(DataSize{1.0}, SimTime{100000.0}).value(), 0.0);
+  EXPECT_TRUE(std::isinf(reward.BreakEvenLatency().value()));
+}
+
+TEST(RewardTest, ThroughputRejectsZeroTime) {
+  RewardParams params;
+  params.scheme = RewardScheme::kThroughputBased;
+  const RewardFunction reward{params};
+  EXPECT_THROW((void)reward(DataSize{1.0}, SimTime{0.0}),
+               std::invalid_argument);
+}
+
+TEST(RewardTest, TimeBasedDelayCostIsLinearInDelay) {
+  // Eq. 1: for the time scheme, R(ETT) - R(ETT + delay) = d * Rpen * delay,
+  // independent of ETT.
+  const RewardFunction reward{RewardParams{}};
+  const double dc1 =
+      reward.DelayCost(DataSize{5.0}, SimTime{10.0}, SimTime{2.0}).value();
+  const double dc2 =
+      reward.DelayCost(DataSize{5.0}, SimTime{100.0}, SimTime{2.0}).value();
+  EXPECT_DOUBLE_EQ(dc1, 5.0 * 15.0 * 2.0);
+  EXPECT_DOUBLE_EQ(dc2, dc1);
+}
+
+TEST(RewardTest, ThroughputDelayCostDecaysWithEtt) {
+  RewardParams params;
+  params.scheme = RewardScheme::kThroughputBased;
+  const RewardFunction reward{params};
+  const double early =
+      reward.DelayCost(DataSize{5.0}, SimTime{10.0}, SimTime{2.0}).value();
+  const double late =
+      reward.DelayCost(DataSize{5.0}, SimTime{100.0}, SimTime{2.0}).value();
+  EXPECT_GT(early, late);  // delaying an early job wastes more reward
+  EXPECT_GT(late, 0.0);
+}
+
+TEST(RewardTest, SchemeNames) {
+  EXPECT_STREQ(RewardSchemeName(RewardScheme::kTimeBased), "time-based");
+  EXPECT_STREQ(RewardSchemeName(RewardScheme::kThroughputBased),
+               "throughput-based");
+}
+
+TEST(ArrivalsTest, RejectsBadParams) {
+  ArrivalParams params;
+  params.mean_interarrival_tu = 0.0;
+  EXPECT_THROW(ArrivalGenerator(params, 1), std::invalid_argument);
+  params = ArrivalParams{};
+  params.mean_job_size = -1.0;
+  EXPECT_THROW(ArrivalGenerator(params, 1), std::invalid_argument);
+}
+
+TEST(ArrivalsTest, DeterministicForSeed) {
+  const ArrivalParams params;
+  ArrivalGenerator a(params, 5);
+  ArrivalGenerator b(params, 5);
+  for (int i = 0; i < 20; ++i) {
+    const ArrivalBatch ba = a.NextBatch();
+    const ArrivalBatch bb = b.NextBatch();
+    EXPECT_DOUBLE_EQ(ba.time.value(), bb.time.value());
+    ASSERT_EQ(ba.jobs.size(), bb.jobs.size());
+    for (std::size_t j = 0; j < ba.jobs.size(); ++j) {
+      EXPECT_DOUBLE_EQ(ba.jobs[j].size.value(), bb.jobs[j].size.value());
+    }
+  }
+}
+
+TEST(ArrivalsTest, TimesStrictlyIncreaseAndJobsCarryBatchTime) {
+  ArrivalGenerator gen(ArrivalParams{}, 9);
+  SimTime last{0.0};
+  for (int i = 0; i < 100; ++i) {
+    const ArrivalBatch batch = gen.NextBatch();
+    EXPECT_GT(batch.time, last);
+    last = batch.time;
+    ASSERT_GE(batch.jobs.size(), 1u);
+    for (const Job& job : batch.jobs) {
+      EXPECT_DOUBLE_EQ(job.arrival.value(), batch.time.value());
+      EXPECT_GT(job.size.value(), 0.0);
+    }
+  }
+}
+
+TEST(ArrivalsTest, JobIdsAreUniqueAndSequential) {
+  ArrivalGenerator gen(ArrivalParams{}, 9);
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 50; ++i) {
+    for (const Job& job : gen.NextBatch().jobs) {
+      EXPECT_EQ(job.id, expected++);
+    }
+  }
+  EXPECT_EQ(gen.jobs_generated(), expected);
+}
+
+TEST(ArrivalsTest, MomentsMatchPaperSettings) {
+  // Mean inter-arrival 2.5 TU; mean jobs/batch ~3; mean size ~5.
+  ArrivalParams params;  // defaults are the paper values
+  ArrivalGenerator gen(params, 17);
+  const int batches = 40'000;
+  double total_jobs = 0.0;
+  double total_size = 0.0;
+  SimTime last{0.0};
+  double interval_sum = 0.0;
+  for (int i = 0; i < batches; ++i) {
+    const ArrivalBatch batch = gen.NextBatch();
+    interval_sum += (batch.time - last).value();
+    last = batch.time;
+    total_jobs += static_cast<double>(batch.jobs.size());
+    for (const Job& job : batch.jobs) total_size += job.size.value();
+  }
+  EXPECT_NEAR(interval_sum / batches, 2.5, 0.05);
+  // Truncation at 0 and the >=1 floor pull the batch mean slightly up
+  // from 3; allow that bias.
+  EXPECT_NEAR(total_jobs / batches, 3.0, 0.15);
+  EXPECT_NEAR(total_size / total_jobs, 5.0, 0.05);
+}
+
+TEST(ArrivalsTest, GenerateUntilRespectsHorizon) {
+  ArrivalGenerator gen(ArrivalParams{}, 23);
+  const auto batches = gen.GenerateUntil(SimTime{100.0});
+  ASSERT_FALSE(batches.empty());
+  for (const ArrivalBatch& batch : batches) {
+    EXPECT_LE(batch.time.value(), 100.0);
+  }
+  // Roughly horizon / mean-interval batches.
+  EXPECT_NEAR(static_cast<double>(batches.size()), 40.0, 20.0);
+}
+
+TEST(ArrivalsTest, LoadKnobChangesRate) {
+  ArrivalParams slow;
+  slow.mean_interarrival_tu = 3.0;
+  ArrivalParams fast;
+  fast.mean_interarrival_tu = 2.0;
+  ArrivalGenerator slow_gen(slow, 31);
+  ArrivalGenerator fast_gen(fast, 31);
+  EXPECT_LT(slow_gen.GenerateUntil(SimTime{1000.0}).size(),
+            fast_gen.GenerateUntil(SimTime{1000.0}).size());
+}
+
+}  // namespace
+}  // namespace scan::workload

@@ -1,0 +1,92 @@
+#include "scan/workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scan::workload {
+namespace {
+
+TEST(JobTraceTest, ParsesCsvWithCommentsAndBlanks) {
+  const auto trace = ParseJobTrace(
+      "# a workload trace\n"
+      "\n"
+      "1.5,4.0\n"
+      "1.5,6.0\n"
+      "3.0,5.5\n");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->jobs.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace->jobs[0].arrival.value(), 1.5);
+  EXPECT_DOUBLE_EQ(trace->jobs[0].size.value(), 4.0);
+  EXPECT_EQ(trace->jobs[0].id, 0u);
+  EXPECT_EQ(trace->jobs[2].id, 2u);
+}
+
+TEST(JobTraceTest, SortsOutOfOrderTimes) {
+  const auto trace = ParseJobTrace("5.0,1.0\n2.0,2.0\n9.0,3.0\n");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_DOUBLE_EQ(trace->jobs[0].arrival.value(), 2.0);
+  EXPECT_DOUBLE_EQ(trace->jobs[1].arrival.value(), 5.0);
+  EXPECT_DOUBLE_EQ(trace->jobs[2].arrival.value(), 9.0);
+  // Ids follow the sorted order.
+  EXPECT_EQ(trace->jobs[0].id, 0u);
+}
+
+TEST(JobTraceTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseJobTrace("1.0\n").ok());
+  EXPECT_FALSE(ParseJobTrace("1.0,2.0,3.0\n").ok());
+  EXPECT_FALSE(ParseJobTrace("x,2.0\n").ok());
+  EXPECT_FALSE(ParseJobTrace("-1.0,2.0\n").ok());
+  EXPECT_FALSE(ParseJobTrace("1.0,0.0\n").ok());
+  EXPECT_FALSE(ParseJobTrace("1.0,-3.0\n").ok());
+}
+
+TEST(JobTraceTest, EmptyTraceIsValid) {
+  const auto trace = ParseJobTrace("# nothing here\n");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->jobs.empty());
+  EXPECT_TRUE(trace->ToBatches().empty());
+  EXPECT_DOUBLE_EQ(trace->MeanBatchInterval(), 0.0);
+}
+
+TEST(JobTraceTest, BatchesGroupSimultaneousArrivals) {
+  const auto trace =
+      ParseJobTrace("1.0,1.0\n1.0,2.0\n1.0,3.0\n4.0,1.0\n7.0,1.0\n");
+  ASSERT_TRUE(trace.ok());
+  const auto batches = trace->ToBatches();
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].jobs.size(), 3u);
+  EXPECT_EQ(batches[1].jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace->MeanBatchInterval(), 3.0);
+  EXPECT_DOUBLE_EQ(trace->TotalSize(), 8.0);
+}
+
+TEST(JobTraceTest, RoundTripThroughCsv) {
+  const auto original = ParseJobTrace("1.25,4.5\n2.75,3.25\n");
+  ASSERT_TRUE(original.ok());
+  const auto reparsed = ParseJobTrace(WriteJobTrace(*original));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->jobs.size(), original->jobs.size());
+  for (std::size_t i = 0; i < original->jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reparsed->jobs[i].arrival.value(),
+                     original->jobs[i].arrival.value());
+    EXPECT_DOUBLE_EQ(reparsed->jobs[i].size.value(),
+                     original->jobs[i].size.value());
+  }
+}
+
+TEST(JobTraceTest, RecordTraceBridgesSyntheticGenerator) {
+  ArrivalGenerator generator(ArrivalParams{}, 77);
+  const JobTrace trace = RecordTrace(generator, SimTime{500.0});
+  ASSERT_GT(trace.jobs.size(), 100u);
+  // Statistics resemble the generator's parameters.
+  EXPECT_NEAR(trace.MeanBatchInterval(), 2.5, 0.5);
+  EXPECT_NEAR(trace.TotalSize() / static_cast<double>(trace.jobs.size()),
+              5.0, 0.5);
+  // Replaying through CSV is lossless at 6 significant digits.
+  const auto replayed = ParseJobTrace(WriteJobTrace(trace));
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->jobs.size(), trace.jobs.size());
+  EXPECT_EQ(replayed->ToBatches().size(), trace.ToBatches().size());
+}
+
+}  // namespace
+}  // namespace scan::workload
