@@ -13,7 +13,12 @@
 // default is a representative sub-grid (intervals {2.0, 2.5, 3.0}, public
 // costs {20, 110}, 3 repetitions). Pass --full for the paper's grid.
 //
-// Flags: --full, --reps=N, --duration=TU, --csv=PATH
+// Flags: --full, --reps=N, --duration=TU, --csv=PATH, --verify
+//
+// --verify attaches the testkit invariant oracle to every run of the
+// sweep (scan::testkit::RunSweepVerified): the same aggregates come back,
+// plus a conservation-law audit of every simulation event. Non-zero
+// violations exit 1.
 
 #include <cstdio>
 #include <iostream>
@@ -21,6 +26,7 @@
 
 #include "bench_util.hpp"
 #include "scan/core/experiment.hpp"
+#include "scan/testkit/scenario.hpp"
 
 using namespace scan;
 using namespace scan::core;
@@ -28,6 +34,7 @@ using namespace scan::core;
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const bool full = flags.Has("full");
+  const bool verify = flags.Has("verify");
   const int reps = flags.GetInt("reps", full ? 10 : 3);
   const double duration = flags.GetDouble("duration", full ? 10000.0 : 2000.0);
 
@@ -43,10 +50,27 @@ int main(int argc, char** argv) {
   std::cout << "Table I sweep: " << configs.size() << " configurations x "
             << reps << " repetitions (duration " << duration << " TU)"
             << (full ? " [--full]" : " [sampled grid; --full for the paper's]")
+            << (verify ? " [--verify: invariant oracle attached]" : "")
             << "\n\n";
 
   ThreadPool pool;
-  const auto results = RunSweep(configs, reps, pool);
+  std::vector<AggregateMetrics> results;
+  int verify_exit = 0;
+  if (verify) {
+    const testkit::VerifiedSweep sweep =
+        testkit::RunSweepVerified(configs, reps, pool);
+    results = sweep.aggregates;
+    std::cout << "verify: " << sweep.events_checked << " events checked over "
+              << sweep.runs << " runs, " << sweep.violation_count
+              << " invariant violations\n";
+    for (const std::string& violation : sweep.violations) {
+      std::cout << "  " << violation << "\n";
+    }
+    std::cout << "\n";
+    if (!sweep.ok()) verify_exit = 1;
+  } else {
+    results = RunSweep(configs, reps, pool);
+  }
 
   CsvTable table({"allocation", "scaling", "interval", "reward", "pub_cost",
                   "profit_per_run", "profit_sd", "reward_to_cost",
@@ -109,5 +133,5 @@ int main(int argc, char** argv) {
             << "  predictive >= min(always, never) in "
             << predictive_compromise << " of " << cells.size()
             << " workload cells\n";
-  return 0;
+  return verify_exit;
 }

@@ -41,7 +41,11 @@ ReconcileReport PoolManager::Reconcile(SimTime now) {
       for (auto& [donor_threads, donor] : pools_) {
         if (donor_threads == needy_threads) continue;
         if (donor.members.size() <= donor.target) continue;
-        // Find an idle donor member with enough cores.
+        // Find an idle donor member with enough cores. Only remove it
+        // from the donor once the reconfiguration actually succeeded:
+        // erasing first and re-appending on failure would reorder the
+        // pool (member order is the determinism contract) and skip any
+        // later movable member of the same donor.
         for (auto it = donor.members.begin(); it != donor.members.end();
              ++it) {
           const auto info = cloud_.Info(*it);
@@ -50,15 +54,12 @@ ReconcileReport PoolManager::Reconcile(SimTime now) {
             continue;
           }
           const WorkerId id = *it;
-          donor.members.erase(it);
           const auto delay = cloud_.Configure(id, needy_threads, now);
-          if (delay.ok()) {
-            needy.members.push_back(id);
-            ++report.moved;
-            moved = true;
-          } else {
-            donor.members.push_back(id);  // busy race: put it back
-          }
+          if (!delay.ok()) continue;  // busy race: leave it in place
+          donor.members.erase(it);
+          needy.members.push_back(id);
+          ++report.moved;
+          moved = true;
           break;
         }
         if (moved) break;

@@ -129,33 +129,43 @@ void ParallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // The completion state must be heap-owned and shared with every task:
+  // with it on this frame's stack, the waiter can wake between the last
+  // worker's counter update and its notify, see the work complete, and
+  // return — destroying the mutex/cv while that worker still touches them
+  // (a use-after-return ThreadSanitizer catches). Keeping a shared_ptr in
+  // each task makes any interleaving safe, and mutating `remaining` only
+  // under the mutex closes the wake-before-notify window.
+  struct CompletionState {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = 0;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<CompletionState>();
+  state->remaining = chunks;
 
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t chunk_begin = begin + c * grain;
     const std::size_t chunk_end = std::min(end, chunk_begin + grain);
-    pool.Submit(UniqueTask([&, chunk_begin, chunk_end] {
+    // `fn` by reference is safe: the waiter cannot return before
+    // `remaining` hits zero, which happens only after every chunk has
+    // finished calling `fn`.
+    pool.Submit(UniqueTask([state, &fn, chunk_begin, chunk_end] {
+      std::exception_ptr error;
       try {
         for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
       } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error = std::current_exception();
       }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-        const std::scoped_lock lock(done_mutex);
-        done_cv.notify_all();
-      }
+      const std::scoped_lock lock(state->mutex);
+      if (error && !state->first_error) state->first_error = error;
+      if (--state->remaining == 0) state->done_cv.notify_all();
     }));
   }
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] {
-    return done.load(std::memory_order_acquire) == chunks;
-  });
-  if (first_error) std::rethrow_exception(first_error);
+  std::unique_lock lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace scan

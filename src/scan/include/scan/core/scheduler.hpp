@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -89,6 +90,45 @@ struct RunMetrics {
   }
 };
 
+/// Read-only view of one worker for inspection hooks (testkit oracle).
+struct WorkerView {
+  std::uint64_t key = 0;
+  cloud::Tier tier = cloud::Tier::kPrivate;
+  int cores = 0;
+  int threads = 0;
+  bool busy = false;
+  /// Job executing on this worker; meaningful only while busy.
+  std::uint64_t current_job = 0;
+  SimTime busy_until{0.0};
+  SimTime busy_accumulated{0.0};
+  SimTime hired_at{0.0};
+};
+
+/// Read-only view of one queued task.
+struct QueuedTaskView {
+  std::uint64_t job_id = 0;
+  std::size_t stage = 0;
+  SimTime enqueued_at{0.0};
+};
+
+/// Consistent snapshot of the scheduler between two simulation events,
+/// handed to SchedulerOptions::inspection_hook. Building one is O(live
+/// state), so the hook is meant for verification harnesses, not sweeps.
+struct SchedulerView {
+  SimTime now{0.0};
+  std::uint64_t event_seq = 0;
+  /// Per-stage FIFO queues, front first.
+  std::vector<std::vector<QueuedTaskView>> queues;
+  /// Live workers, ascending key (deterministic order).
+  std::vector<WorkerView> workers;
+  std::size_t private_cores = 0;  ///< cores hired on the private tier
+  std::size_t public_cores = 0;
+  std::size_t private_capacity = 0;
+  double cost_rate = 0.0;  ///< CU per TU burn rate right now
+  /// Metrics accumulated so far (owned by the running scheduler).
+  const RunMetrics* metrics = nullptr;
+};
+
 /// Extra knobs that are not part of the paper's parameter tables.
 struct SchedulerOptions {
   /// Overrides the allocation algorithm with a fixed plan (used by the
@@ -102,6 +142,14 @@ struct SchedulerOptions {
   /// Replay this recorded workload instead of the synthetic arrival
   /// process (batches beyond config.duration are ignored).
   std::optional<workload::JobTrace> trace;
+  /// Invoked before every simulation event with the event's (time,
+  /// sequence) — feed it to a testkit::TraceDigest for bit-level run
+  /// comparison. Must not mutate the scheduler.
+  std::function<void(SimTime, std::uint64_t)> trace_hook;
+  /// Invoked before every simulation event with a consistent SchedulerView
+  /// (the testkit invariant oracle). Snapshot construction is O(state) per
+  /// event; enable for verification runs only.
+  std::function<void(const SchedulerView&)> inspection_hook;
 };
 
 /// One simulated SCAN deployment. Construct, then Run() exactly once.
@@ -135,6 +183,7 @@ class Scheduler {
     int cores = 0;    ///< instance size (fixed at hire)
     int threads = 0;  ///< current software configuration (<= cores)
     bool busy = false;
+    std::uint64_t current_job = 0;  ///< meaningful only while busy
     SimTime busy_until{0.0};
     SimTime idle_since{0.0};
     SimTime busy_accumulated{0.0};  ///< total task-execution time served
@@ -169,6 +218,9 @@ class Scheduler {
 
   /// Removes `key` from its idle bucket, if present.
   void RemoveFromIdle(std::uint64_t key, int threads);
+
+  /// Builds the inspection snapshot for the event about to execute.
+  [[nodiscard]] SchedulerView BuildView(SimTime when, std::uint64_t seq) const;
 
   /// Compaction: releases idle private-tier workers (smallest first) until
   /// the private tier can fit `needed_cores` more. Returns true on

@@ -78,9 +78,57 @@ ThreadPlan Scheduler::PlanFor(DataSize size) const {
   return constant_plan_;
 }
 
+SchedulerView Scheduler::BuildView(SimTime when, std::uint64_t seq) const {
+  SchedulerView view;
+  view.now = when;
+  view.event_seq = seq;
+  view.queues.reserve(queues_.size());
+  for (std::size_t stage = 0; stage < queues_.size(); ++stage) {
+    std::vector<QueuedTaskView> tasks;
+    tasks.reserve(queues_[stage].size());
+    for (const std::uint64_t job_id : queues_[stage]) {
+      const JobState& job = jobs_.at(job_id);
+      tasks.push_back({job_id, job.stage, job.enqueued_at});
+    }
+    view.queues.push_back(std::move(tasks));
+  }
+  view.workers.reserve(workers_.size());
+  for (const auto& [key, worker] : workers_) {
+    WorkerView wv;
+    wv.key = key;
+    const auto info = cloud_.Info(worker.id);
+    if (info.ok()) wv.tier = info->tier;
+    wv.cores = worker.cores;
+    wv.threads = worker.threads;
+    wv.busy = worker.busy;
+    wv.current_job = worker.current_job;
+    wv.busy_until = worker.busy_until;
+    wv.busy_accumulated = worker.busy_accumulated;
+    if (info.ok()) wv.hired_at = info->hired_at;
+    view.workers.push_back(wv);
+  }
+  std::sort(view.workers.begin(), view.workers.end(),
+            [](const WorkerView& a, const WorkerView& b) { return a.key < b.key; });
+  view.private_cores = cloud_.CoresInUse(cloud::Tier::kPrivate);
+  view.public_cores = cloud_.CoresInUse(cloud::Tier::kPublic);
+  view.private_capacity = cloud_.config().private_tier.core_capacity;
+  view.cost_rate = cloud_.CostRate().value();
+  view.metrics = &metrics_;
+  return view;
+}
+
 RunMetrics Scheduler::Run() {
   if (ran_) throw std::logic_error("Scheduler::Run: already ran");
   ran_ = true;
+
+  if (options_.trace_hook || options_.inspection_hook) {
+    sim_.SetTraceHook([this](SimTime when, std::uint64_t seq) {
+      if (options_.trace_hook) options_.trace_hook(when, seq);
+      if (options_.inspection_hook) {
+        options_.inspection_hook(BuildView(when, seq));
+      }
+    });
+  }
 
   // Pre-generate the arrival schedule for the whole horizon so the arrival
   // process is independent of scheduling decisions. A recorded trace, when
@@ -286,18 +334,21 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   const SimTime exec = model_.ThreadedTime(stage, worker.threads, job.size);
   const SimTime done_at = start_time + exec;
   worker.busy = true;
+  worker.current_job = job_id;
   worker.busy_until = done_at;
   worker.busy_accumulated += exec;
   const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
 
   // Failure injection: the worker may crash before the task finishes
   // (exponential time-to-failure). Exactly one of the two events fires.
+  // busy_until stays at done_at — the scheduler must not foresee the
+  // crash, so NextWorkerFreeTime (and hence the predictive hire decision)
+  // keeps reasoning from the planned completion time.
   if (config_.worker_failure_rate > 0.0) {
     const SimTime fail_at =
         start_time +
         SimTime{failure_rng_.Exponential(1.0 / config_.worker_failure_rate)};
     if (fail_at < done_at) {
-      worker.busy_until = fail_at;
       sim_.ScheduleAt(fail_at, [this, job_id, worker_key](sim::Simulator&) {
         OnWorkerFailure(job_id, worker_key);
       });
@@ -314,8 +365,10 @@ void Scheduler::OnWorkerFailure(std::uint64_t job_id,
   const SimTime now = sim_.Now();
   // The crashed VM is gone; its bill stops at the crash instant.
   WorkerBook& worker = workers_.at(worker_key);
-  // A crash interrupts the in-flight task: remove the unserved remainder
-  // from the busy accumulator before folding in the feedback.
+  // A crash interrupts the in-flight task: busy_accumulated was credited
+  // with the full execution time at assignment, so remove the unserved
+  // remainder (busy_until is the planned completion) before folding the
+  // lifetime utilization into the feedback metric.
   worker.busy_accumulated -= (worker.busy_until - now);
   RecordWorkerUtilization(worker, now);
   const Status released = cloud_.Release(worker.id, now);
@@ -346,6 +399,7 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id,
   const SimTime now = sim_.Now();
   WorkerBook& worker = workers_.at(worker_key);
   worker.busy = false;
+  worker.current_job = 0;
   worker.idle_since = now;
   ++worker.idle_epoch;
   InsertSorted(idle_[worker.threads], worker_key);

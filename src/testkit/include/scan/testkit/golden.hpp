@@ -1,0 +1,50 @@
+#pragma once
+
+// Golden-run determinism checking: run a configuration twice with the
+// same seed and require bit-identical results — metrics fingerprint and
+// executed-event trace digest. This is the repo's strongest correctness
+// lever: the paper's whole evaluation is a seeded simulation, so any
+// nondeterminism (unordered iteration, uninitialized reads, data races in
+// the experiment driver) silently corrupts every reported number.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/core/config.hpp"
+#include "scan/core/scheduler.hpp"
+#include "scan/testkit/digest.hpp"
+
+namespace scan::testkit {
+
+/// One instrumented simulation run.
+struct InstrumentedRun {
+  core::RunMetrics metrics;
+  MetricsFingerprint fingerprint;
+  std::uint64_t trace_digest = 0;
+  std::uint64_t trace_events = 0;
+};
+
+/// Runs one scheduler simulation with the trace digest attached. Any
+/// hooks already present in `options` are replaced.
+[[nodiscard]] InstrumentedRun RunInstrumented(
+    const core::SimulationConfig& config, std::uint64_t seed,
+    core::SchedulerOptions options = {});
+
+/// Outcome of a golden-run comparison.
+struct DeterminismReport {
+  bool identical = false;
+  /// Human-readable differences (metric fields, trace digest).
+  std::vector<std::string> differences;
+  InstrumentedRun first;
+  InstrumentedRun second;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Runs `config` twice with the same seed and compares bit-for-bit.
+[[nodiscard]] DeterminismReport CheckDeterminism(
+    const core::SimulationConfig& config, std::uint64_t seed,
+    core::SchedulerOptions options = {});
+
+}  // namespace scan::testkit

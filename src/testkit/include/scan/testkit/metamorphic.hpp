@@ -1,0 +1,59 @@
+#pragma once
+
+// Metamorphic relations: paper-derived statements of the form "if the
+// configuration changes in way X, the metrics must respond in way Y",
+// checked by running related configurations under the same seed. They
+// catch logic errors a single-run oracle cannot — e.g. a reward function
+// that leaks into the schedule, or a public-tier bill that fails to rise
+// with the public price.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/core/config.hpp"
+
+namespace scan::testkit {
+
+/// Outcome of one metamorphic relation check.
+struct RelationResult {
+  std::string name;
+  bool holds = false;
+  std::string detail;  ///< the compared numbers, for failure messages
+};
+
+/// No failure injection => no crashes, no retries.
+[[nodiscard]] RelationResult CheckNoFailuresWhenReliable(
+    const core::SimulationConfig& base, std::uint64_t seed);
+
+/// Never-scale => the public tier is never touched (no hires, no bill).
+[[nodiscard]] RelationResult CheckNeverScaleNoPublic(
+    const core::SimulationConfig& base, std::uint64_t seed);
+
+/// With a forced thread plan and always-scale, the schedule is
+/// reward-independent: doubling Rmax leaves cost and completions
+/// bit-identical while total reward does not decrease.
+[[nodiscard]] RelationResult CheckRewardIndependentSchedule(
+    const core::SimulationConfig& base, std::uint64_t seed);
+
+/// With a forced plan and always-scale, raising the public price leaves
+/// the schedule identical and the bill monotone non-decreasing.
+[[nodiscard]] RelationResult CheckPublicCostMonotone(
+    const core::SimulationConfig& base, std::uint64_t seed);
+
+/// The arrival stream is prefix-stable: extending the duration can only
+/// add arrivals, never change or remove earlier ones.
+[[nodiscard]] RelationResult CheckDurationPrefixMonotone(
+    const core::SimulationConfig& base, std::uint64_t seed);
+
+/// At heavy load (interval 2.0), always-scale completes at least as many
+/// jobs as never-scale — Figure 4's saturation story.
+[[nodiscard]] RelationResult CheckScalingDominatesAtHeavyLoad(
+    const core::SimulationConfig& base, std::uint64_t seed);
+
+/// Runs every relation against `base` (each relation derives the variant
+/// configurations it needs).
+[[nodiscard]] std::vector<RelationResult> CheckAllRelations(
+    const core::SimulationConfig& base, std::uint64_t seed);
+
+}  // namespace scan::testkit

@@ -1,0 +1,79 @@
+#pragma once
+
+// The invariant oracle: a sim-trace hook that re-checks, before every
+// simulation event, the conservation laws the paper's scheduler model
+// implies. Attach one to a SchedulerOptions and run; any violation is
+// recorded with the event time/sequence where it was observed.
+//
+// Checked invariants:
+//  - the simulation clock is monotone, and simultaneous events fire in
+//    scheduling (sequence) order;
+//  - cores hired on the private tier never exceed its capacity;
+//  - per worker: threads <= cores, and accumulated busy time fits inside
+//    the hired lifetime (boot penalties make it strictly smaller);
+//  - per stage queue: FIFO order (enqueue times non-decreasing front to
+//    back) and stage labels match the queue;
+//  - job conservation: every arrived job is completed, queued, or
+//    executing — exactly one of the three — and no job appears twice;
+//  - metrics sanity: completions never exceed arrivals, one latency sample
+//    per completion, one retry per injected worker failure, and the cost
+//    burn rate is never negative.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/core/config.hpp"
+#include "scan/core/scheduler.hpp"
+
+namespace scan::testkit {
+
+struct OracleOptions {
+  /// Violations beyond this many are counted but not recorded verbatim.
+  std::size_t max_recorded = 32;
+  /// Absolute slack for floating-point comparisons (busy vs hired time).
+  double epsilon = 1e-9;
+};
+
+class InvariantOracle {
+ public:
+  using Options = OracleOptions;
+
+  explicit InvariantOracle(const core::SimulationConfig& config,
+                           Options options = {});
+
+  /// Installs the oracle as the options' inspection hook (replacing any
+  /// previous hook). The oracle must outlive the scheduler run.
+  void Attach(core::SchedulerOptions& scheduler_options);
+
+  /// The hook body; public so tests can feed synthetic views directly.
+  void Observe(const core::SchedulerView& view);
+
+  [[nodiscard]] std::uint64_t events_checked() const {
+    return events_checked_;
+  }
+  [[nodiscard]] std::uint64_t violation_count() const {
+    return violation_count_;
+  }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const { return violation_count_ == 0; }
+
+  /// Multi-line summary: events checked and every recorded violation.
+  [[nodiscard]] std::string Report() const;
+
+ private:
+  void Fail(const core::SchedulerView& view, std::string message);
+
+  core::SimulationConfig config_;
+  Options options_;
+  SimTime last_now_{0.0};
+  std::uint64_t last_seq_ = 0;
+  bool seen_event_ = false;
+  std::uint64_t events_checked_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace scan::testkit

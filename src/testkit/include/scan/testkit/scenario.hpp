@@ -1,0 +1,76 @@
+#pragma once
+
+// Randomized scenario generation: a mini-fuzzer over the experiment space.
+// Each seed draws one SimulationConfig from the cross product the paper
+// sweeps (Table I) plus the engine knobs it does not (failure rate, boot
+// penalty, private capacity, idle timeout), then stress-runs it under the
+// invariant oracle and a determinism double-run. Fifty seeds cover corners
+// no hand-written grid does — e.g. always-scale at heavy load with crashes
+// and a zero boot penalty.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/concurrency/thread_pool.hpp"
+#include "scan/core/config.hpp"
+#include "scan/core/experiment.hpp"
+#include "scan/testkit/golden.hpp"
+
+namespace scan::testkit {
+
+/// Bounds for the scenario draw (kept modest so suites stay fast).
+struct ScenarioOptions {
+  SimTime min_duration{120.0};
+  SimTime max_duration{320.0};
+  double max_failure_rate = 0.03;
+  double max_boot_penalty = 1.0;
+  /// Also compare each scenario against a second same-seed run.
+  bool check_determinism = true;
+};
+
+/// Draws one seeded random configuration. Equal seeds give equal configs.
+[[nodiscard]] core::SimulationConfig DrawScenario(
+    std::uint64_t seed, const ScenarioOptions& options = {});
+
+/// Outcome of one scenario stress run.
+struct StressResult {
+  std::uint64_t seed = 0;
+  core::SimulationConfig config;
+  InstrumentedRun run;
+  std::uint64_t events_checked = 0;
+  std::vector<std::string> violations;       ///< oracle findings
+  std::vector<std::string> determinism_diff; ///< golden-run mismatches
+  [[nodiscard]] bool ok() const {
+    return violations.empty() && determinism_diff.empty();
+  }
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// Runs one configuration under the oracle (and optional determinism
+/// double-run); `seed` also seeds the scheduler.
+[[nodiscard]] StressResult StressScenario(
+    const core::SimulationConfig& config, std::uint64_t seed,
+    const ScenarioOptions& options = {});
+
+/// Draws and stress-runs `count` scenarios seeded from `base_seed`.
+/// Returns every result (callers typically assert all `ok()`).
+[[nodiscard]] std::vector<StressResult> StressSweep(
+    std::uint64_t base_seed, int count, const ScenarioOptions& options = {});
+
+/// Verified experiment sweep: the experiment driver's RunSweep with a
+/// per-run invariant oracle attached live (bench/table1_sweep --verify).
+struct VerifiedSweep {
+  std::vector<core::AggregateMetrics> aggregates;
+  std::uint64_t runs = 0;
+  std::uint64_t events_checked = 0;
+  std::uint64_t violation_count = 0;
+  std::vector<std::string> violations;  ///< capped sample of findings
+  [[nodiscard]] bool ok() const { return violation_count == 0; }
+};
+
+[[nodiscard]] VerifiedSweep RunSweepVerified(
+    const std::vector<core::SimulationConfig>& configs, int repetitions,
+    ThreadPool& pool, const core::SchedulerOptions& base_options = {});
+
+}  // namespace scan::testkit

@@ -1,0 +1,58 @@
+#include "scan/testkit/golden.hpp"
+
+#include "scan/common/str.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+
+namespace scan::testkit {
+
+InstrumentedRun RunInstrumented(const core::SimulationConfig& config,
+                                std::uint64_t seed,
+                                core::SchedulerOptions options) {
+  TraceDigest trace;
+  trace.Attach(options);
+  core::Scheduler scheduler(config, gatk::PipelineModel::PaperGatk(), seed,
+                            std::move(options));
+  InstrumentedRun run;
+  run.metrics = scheduler.Run();
+  run.fingerprint = MetricsFingerprint::Of(run.metrics);
+  run.trace_digest = trace.value();
+  run.trace_events = trace.events();
+  return run;
+}
+
+DeterminismReport CheckDeterminism(const core::SimulationConfig& config,
+                                   std::uint64_t seed,
+                                   core::SchedulerOptions options) {
+  DeterminismReport report;
+  // A caller-supplied inspection hook (e.g. an oracle) would carry state
+  // across the two runs and misread the clock restart; drop it here.
+  options.inspection_hook = nullptr;
+  report.first = RunInstrumented(config, seed, options);
+  report.second = RunInstrumented(config, seed, std::move(options));
+
+  report.differences =
+      report.first.fingerprint.DiffAgainst(report.second.fingerprint);
+  if (report.first.trace_events != report.second.trace_events) {
+    report.differences.push_back(
+        StrFormat("trace events: %llu != %llu",
+                  static_cast<unsigned long long>(report.first.trace_events),
+                  static_cast<unsigned long long>(report.second.trace_events)));
+  }
+  if (report.first.trace_digest != report.second.trace_digest) {
+    report.differences.push_back(StrFormat(
+        "trace digest: 0x%016llx != 0x%016llx",
+        static_cast<unsigned long long>(report.first.trace_digest),
+        static_cast<unsigned long long>(report.second.trace_digest)));
+  }
+  report.identical = report.differences.empty();
+  return report;
+}
+
+std::string DeterminismReport::ToString() const {
+  if (identical) return "determinism: identical\n";
+  std::string out = "determinism: runs differ\n";
+  for (const std::string& diff : differences) out += "  " + diff + "\n";
+  return out;
+}
+
+}  // namespace scan::testkit

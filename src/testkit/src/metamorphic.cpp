@@ -1,0 +1,146 @@
+#include "scan/testkit/metamorphic.hpp"
+
+#include "scan/common/str.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/testkit/golden.hpp"
+
+namespace scan::testkit {
+namespace {
+
+/// Shared run entry point; keeps every relation on the same code path.
+core::RunMetrics RunOnce(const core::SimulationConfig& config,
+                         std::uint64_t seed,
+                         core::SchedulerOptions options = {}) {
+  return RunInstrumented(config, seed, std::move(options)).metrics;
+}
+
+/// A fixed mid-range plan so allocation cannot react to the mutation
+/// under test (relations that must hold the schedule constant).
+core::SchedulerOptions ForcedPlanOptions() {
+  core::SchedulerOptions options;
+  options.forced_plan = core::ThreadPlan(
+      gatk::PipelineModel::PaperGatk().stage_count(), 4);
+  return options;
+}
+
+RelationResult Verdict(std::string name, bool holds, std::string detail) {
+  return RelationResult{std::move(name), holds, std::move(detail)};
+}
+
+}  // namespace
+
+RelationResult CheckNoFailuresWhenReliable(const core::SimulationConfig& base,
+                                           std::uint64_t seed) {
+  core::SimulationConfig config = base;
+  config.worker_failure_rate = 0.0;
+  const core::RunMetrics run = RunOnce(config, seed);
+  return Verdict(
+      "reliable-cloud-no-retries",
+      run.worker_failures == 0 && run.task_retries == 0,
+      StrFormat("failures=%zu retries=%zu", run.worker_failures,
+                run.task_retries));
+}
+
+RelationResult CheckNeverScaleNoPublic(const core::SimulationConfig& base,
+                                       std::uint64_t seed) {
+  core::SimulationConfig config = base;
+  config.scaling = core::ScalingAlgorithm::kNeverScale;
+  const core::RunMetrics run = RunOnce(config, seed);
+  return Verdict(
+      "never-scale-no-public",
+      run.public_hires == 0 && run.cost_report.public_tier.value() == 0.0 &&
+          run.cost_report.public_core_tus == 0.0,
+      StrFormat("public hires=%zu bill=%.6f core_tus=%.6f", run.public_hires,
+                run.cost_report.public_tier.value(),
+                run.cost_report.public_core_tus));
+}
+
+RelationResult CheckRewardIndependentSchedule(
+    const core::SimulationConfig& base, std::uint64_t seed) {
+  core::SimulationConfig low = base;
+  low.scaling = core::ScalingAlgorithm::kAlwaysScale;
+  core::SimulationConfig high = low;
+  high.r_max = 2.0 * low.r_max;
+
+  const core::RunMetrics a = RunOnce(low, seed, ForcedPlanOptions());
+  const core::RunMetrics b = RunOnce(high, seed, ForcedPlanOptions());
+  const bool schedule_identical = a.total_cost == b.total_cost &&
+                                  a.jobs_completed == b.jobs_completed &&
+                                  a.latency.mean() == b.latency.mean();
+  return Verdict(
+      "reward-independent-schedule",
+      schedule_identical && b.total_reward >= a.total_reward,
+      StrFormat("cost %.6f vs %.6f, completed %zu vs %zu, reward %.6f vs %.6f",
+                a.total_cost, b.total_cost, a.jobs_completed, b.jobs_completed,
+                a.total_reward, b.total_reward));
+}
+
+RelationResult CheckPublicCostMonotone(const core::SimulationConfig& base,
+                                       std::uint64_t seed) {
+  core::SimulationConfig cheap = base;
+  cheap.scaling = core::ScalingAlgorithm::kAlwaysScale;
+  cheap.public_cost_per_core_tu = 20.0;
+  core::SimulationConfig dear = cheap;
+  dear.public_cost_per_core_tu = 110.0;
+
+  const core::RunMetrics a = RunOnce(cheap, seed, ForcedPlanOptions());
+  const core::RunMetrics b = RunOnce(dear, seed, ForcedPlanOptions());
+  const bool schedule_identical =
+      a.jobs_completed == b.jobs_completed &&
+      a.total_reward == b.total_reward &&
+      a.cost_report.public_core_tus == b.cost_report.public_core_tus;
+  return Verdict(
+      "public-cost-monotone",
+      schedule_identical && b.total_cost >= a.total_cost,
+      StrFormat("completed %zu vs %zu, core_tus %.6f vs %.6f, "
+                "cost %.6f vs %.6f",
+                a.jobs_completed, b.jobs_completed,
+                a.cost_report.public_core_tus, b.cost_report.public_core_tus,
+                a.total_cost, b.total_cost));
+}
+
+RelationResult CheckDurationPrefixMonotone(const core::SimulationConfig& base,
+                                           std::uint64_t seed) {
+  core::SimulationConfig shorter = base;
+  core::SimulationConfig longer = base;
+  longer.duration = shorter.duration + SimTime{100.0};
+
+  const core::RunMetrics a = RunOnce(shorter, seed);
+  const core::RunMetrics b = RunOnce(longer, seed);
+  return Verdict("duration-prefix-monotone",
+                 b.jobs_arrived >= a.jobs_arrived &&
+                     b.jobs_completed >= a.jobs_completed,
+                 StrFormat("arrived %zu vs %zu, completed %zu vs %zu",
+                           a.jobs_arrived, b.jobs_arrived, a.jobs_completed,
+                           b.jobs_completed));
+}
+
+RelationResult CheckScalingDominatesAtHeavyLoad(
+    const core::SimulationConfig& base, std::uint64_t seed) {
+  core::SimulationConfig never = base;
+  never.mean_interarrival_tu = 2.0;
+  never.scaling = core::ScalingAlgorithm::kNeverScale;
+  core::SimulationConfig always = never;
+  always.scaling = core::ScalingAlgorithm::kAlwaysScale;
+
+  const core::RunMetrics a = RunOnce(never, seed);
+  const core::RunMetrics b = RunOnce(always, seed);
+  return Verdict("always-scale-dominates-heavy-load",
+                 b.jobs_completed >= a.jobs_completed,
+                 StrFormat("never-scale completed %zu, always-scale %zu",
+                           a.jobs_completed, b.jobs_completed));
+}
+
+std::vector<RelationResult> CheckAllRelations(
+    const core::SimulationConfig& base, std::uint64_t seed) {
+  return {
+      CheckNoFailuresWhenReliable(base, seed),
+      CheckNeverScaleNoPublic(base, seed),
+      CheckRewardIndependentSchedule(base, seed),
+      CheckPublicCostMonotone(base, seed),
+      CheckDurationPrefixMonotone(base, seed),
+      CheckScalingDominatesAtHeavyLoad(base, seed),
+  };
+}
+
+}  // namespace scan::testkit

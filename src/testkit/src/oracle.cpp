@@ -1,0 +1,173 @@
+#include "scan/testkit/oracle.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "scan/common/str.hpp"
+
+namespace scan::testkit {
+
+InvariantOracle::InvariantOracle(const core::SimulationConfig& config,
+                                 Options options)
+    : config_(config), options_(options) {}
+
+void InvariantOracle::Attach(core::SchedulerOptions& scheduler_options) {
+  scheduler_options.inspection_hook = [this](const core::SchedulerView& view) {
+    Observe(view);
+  };
+}
+
+void InvariantOracle::Fail(const core::SchedulerView& view,
+                           std::string message) {
+  ++violation_count_;
+  if (violations_.size() < options_.max_recorded) {
+    violations_.push_back(StrFormat("[t=%.6f seq=%llu] %s",
+                                    view.now.value(),
+                                    static_cast<unsigned long long>(view.event_seq),
+                                    message.c_str()));
+  }
+}
+
+void InvariantOracle::Observe(const core::SchedulerView& view) {
+  ++events_checked_;
+
+  // --- clock: monotone time, FIFO sequence order among simultaneous events.
+  if (seen_event_) {
+    if (view.now < last_now_) {
+      Fail(view, StrFormat("clock moved backwards from %.6f",
+                           last_now_.value()));
+    } else if (view.now == last_now_ && view.event_seq <= last_seq_) {
+      Fail(view, StrFormat("tie-break order violated: seq %llu after %llu",
+                           static_cast<unsigned long long>(view.event_seq),
+                           static_cast<unsigned long long>(last_seq_)));
+    }
+  }
+  seen_event_ = true;
+  last_now_ = view.now;
+  last_seq_ = view.event_seq;
+
+  // --- tiers: hired cores fit the capacity; burn rate is physical.
+  if (view.private_capacity != cloud::TierConfig::kUnlimited &&
+      view.private_cores > view.private_capacity) {
+    Fail(view, StrFormat("private tier over capacity: %zu of %zu cores",
+                         view.private_cores, view.private_capacity));
+  }
+  if (view.cost_rate < 0.0) {
+    Fail(view, StrFormat("negative cost rate %.6f", view.cost_rate));
+  }
+  std::size_t private_sum = 0;
+  std::size_t public_sum = 0;
+
+  // --- workers: configuration sane, busy-time accounting conserved.
+  std::unordered_set<std::uint64_t> executing;
+  for (const core::WorkerView& worker : view.workers) {
+    if (worker.cores <= 0 || worker.threads <= 0 ||
+        worker.threads > worker.cores) {
+      Fail(view, StrFormat("worker %llu misconfigured: %d threads on %d cores",
+                           static_cast<unsigned long long>(worker.key),
+                           worker.threads, worker.cores));
+    }
+    (worker.tier == cloud::Tier::kPrivate ? private_sum : public_sum) +=
+        static_cast<std::size_t>(worker.cores);
+    // busy_accumulated counts whole task executions (credited up front at
+    // assignment, through busy_until while a task is in flight), so the
+    // bound is the hired lifetime extended to the in-flight completion.
+    const SimTime busy_bound =
+        (worker.busy ? std::max(worker.busy_until, view.now) : view.now) -
+        worker.hired_at;
+    if (worker.busy_accumulated.value() >
+        busy_bound.value() + options_.epsilon) {
+      Fail(view,
+           StrFormat("worker %llu busy time %.9f exceeds hired time %.9f",
+                     static_cast<unsigned long long>(worker.key),
+                     worker.busy_accumulated.value(), busy_bound.value()));
+    }
+    if (worker.busy) {
+      if (!executing.insert(worker.current_job).second) {
+        Fail(view, StrFormat("job %llu executing on two workers",
+                             static_cast<unsigned long long>(
+                                 worker.current_job)));
+      }
+    }
+  }
+  if (private_sum != view.private_cores || public_sum != view.public_cores) {
+    Fail(view,
+         StrFormat("tier accounting drift: workers hold %zu/%zu cores, "
+                   "cloud meters %zu/%zu",
+                   private_sum, public_sum, view.private_cores,
+                   view.public_cores));
+  }
+
+  // --- queues: FIFO per stage, stage labels consistent, no duplicates,
+  //     and nothing both queued and executing.
+  std::unordered_set<std::uint64_t> queued;
+  for (std::size_t stage = 0; stage < view.queues.size(); ++stage) {
+    SimTime previous{0.0};
+    bool first = true;
+    for (const core::QueuedTaskView& task : view.queues[stage]) {
+      if (task.stage != stage) {
+        Fail(view, StrFormat("job %llu queued at stage %zu but labelled %zu",
+                             static_cast<unsigned long long>(task.job_id),
+                             stage, task.stage));
+      }
+      if (!first && task.enqueued_at < previous) {
+        Fail(view, StrFormat("FIFO violated at stage %zu: job %llu enqueued "
+                             "%.6f after a %.6f entry",
+                             stage,
+                             static_cast<unsigned long long>(task.job_id),
+                             task.enqueued_at.value(), previous.value()));
+      }
+      previous = task.enqueued_at;
+      first = false;
+      if (!queued.insert(task.job_id).second) {
+        Fail(view, StrFormat("job %llu queued twice",
+                             static_cast<unsigned long long>(task.job_id)));
+      }
+      if (executing.contains(task.job_id)) {
+        Fail(view, StrFormat("job %llu both queued and executing",
+                             static_cast<unsigned long long>(task.job_id)));
+      }
+    }
+  }
+
+  // --- metrics: conservation and per-completion accounting.
+  if (view.metrics != nullptr) {
+    const core::RunMetrics& m = *view.metrics;
+    if (m.jobs_completed > m.jobs_arrived) {
+      Fail(view, StrFormat("completed %zu of %zu arrived jobs",
+                           m.jobs_completed, m.jobs_arrived));
+    }
+    const std::size_t in_flight = queued.size() + executing.size();
+    if (m.jobs_arrived != m.jobs_completed + in_flight) {
+      Fail(view, StrFormat("job conservation: arrived %zu != completed %zu "
+                           "+ in-flight %zu",
+                           m.jobs_arrived, m.jobs_completed, in_flight));
+    }
+    if (m.latency.count() != m.jobs_completed) {
+      Fail(view, StrFormat("latency samples %zu != completions %zu",
+                           m.latency.count(), m.jobs_completed));
+    }
+    if (m.task_retries != m.worker_failures) {
+      Fail(view, StrFormat("retries %zu != worker failures %zu",
+                           m.task_retries, m.worker_failures));
+    }
+  }
+}
+
+std::string InvariantOracle::Report() const {
+  std::string out = StrFormat(
+      "invariant oracle: %llu events checked, %llu violations\n",
+      static_cast<unsigned long long>(events_checked_),
+      static_cast<unsigned long long>(violation_count_));
+  for (const std::string& violation : violations_) {
+    out += "  " + violation + "\n";
+  }
+  if (violation_count_ > violations_.size()) {
+    out += StrFormat("  ... and %llu more\n",
+                     static_cast<unsigned long long>(violation_count_ -
+                                                     violations_.size()));
+  }
+  return out;
+}
+
+}  // namespace scan::testkit

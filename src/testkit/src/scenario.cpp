@@ -1,0 +1,185 @@
+#include "scan/testkit/scenario.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "scan/common/rng.hpp"
+#include "scan/common/str.hpp"
+#include "scan/testkit/oracle.hpp"
+
+namespace scan::testkit {
+
+core::SimulationConfig DrawScenario(std::uint64_t seed,
+                                    const ScenarioOptions& options) {
+  RandomStream rng(seed, "testkit-scenario");
+  core::SimulationConfig config;
+
+  // Table I axes.
+  config.allocation = static_cast<core::AllocationAlgorithm>(
+      rng.UniformBelow(4));
+  config.scaling = static_cast<core::ScalingAlgorithm>(rng.UniformBelow(4));
+  config.mean_interarrival_tu = rng.Uniform(2.0, 3.0);
+  config.reward_scheme =
+      static_cast<workload::RewardScheme>(rng.UniformBelow(2));
+  const double public_costs[] = {20.0, 50.0, 80.0, 110.0};
+  config.public_cost_per_core_tu = public_costs[rng.UniformBelow(4)];
+
+  // Engine knobs the paper holds fixed — fuzzed here on purpose.
+  config.duration =
+      SimTime{rng.Uniform(options.min_duration.value(),
+                          options.max_duration.value())};
+  config.worker_failure_rate =
+      rng.Uniform() < 0.5 ? 0.0
+                          : rng.Uniform(0.001, options.max_failure_rate);
+  config.boot_penalty = SimTime{rng.Uniform(0.0, options.max_boot_penalty)};
+  const std::size_t capacities[] = {16, 32, 48, 64, 96};
+  config.private_capacity_cores = capacities[rng.UniformBelow(5)];
+  config.idle_release_timeout = SimTime{rng.Uniform(0.5, 3.0)};
+  config.mean_job_size = rng.Uniform(3.0, 7.0);
+  config.mean_jobs_per_arrival = rng.Uniform(1.0, 5.0);
+  config.bandit_epoch = SimTime{rng.Uniform(20.0, 80.0)};
+  config.base_seed = MixSeed(seed, 0x5ce9a21af1u);
+  return config;
+}
+
+StressResult StressScenario(const core::SimulationConfig& config,
+                            std::uint64_t seed,
+                            const ScenarioOptions& options) {
+  StressResult result;
+  result.seed = seed;
+  result.config = config;
+
+  InvariantOracle oracle(config);
+  core::SchedulerOptions run_options;
+  run_options.timeline_sample_period = SimTime{10.0};
+  oracle.Attach(run_options);
+  result.run = RunInstrumented(config, seed, run_options);
+  result.events_checked = oracle.events_checked();
+  result.violations = oracle.violations();
+  if (!oracle.ok() && result.violations.empty()) {
+    result.violations.push_back("unrecorded violations (cap exceeded)");
+  }
+
+  if (options.check_determinism) {
+    core::SchedulerOptions replay_options;
+    replay_options.timeline_sample_period = SimTime{10.0};
+    const InstrumentedRun replay =
+        RunInstrumented(config, seed, replay_options);
+    result.determinism_diff =
+        result.run.fingerprint.DiffAgainst(replay.fingerprint);
+    if (result.run.trace_digest != replay.trace_digest ||
+        result.run.trace_events != replay.trace_events) {
+      result.determinism_diff.push_back(StrFormat(
+          "trace: %llu events 0x%016llx != %llu events 0x%016llx",
+          static_cast<unsigned long long>(result.run.trace_events),
+          static_cast<unsigned long long>(result.run.trace_digest),
+          static_cast<unsigned long long>(replay.trace_events),
+          static_cast<unsigned long long>(replay.trace_digest)));
+    }
+  }
+  return result;
+}
+
+std::string StressResult::Describe() const {
+  std::string out = StrFormat(
+      "scenario seed=%llu [%s/%s interval=%.2f %s pub=%.0f dur=%.0f "
+      "fail=%.3f boot=%.2f cap=%zu]: %llu events, %zu violations",
+      static_cast<unsigned long long>(seed),
+      core::AllocationAlgorithmName(config.allocation),
+      core::ScalingAlgorithmName(config.scaling),
+      config.mean_interarrival_tu,
+      workload::RewardSchemeName(config.reward_scheme),
+      config.public_cost_per_core_tu, config.duration.value(),
+      config.worker_failure_rate, config.boot_penalty.value(),
+      config.private_capacity_cores,
+      static_cast<unsigned long long>(events_checked), violations.size());
+  for (const std::string& violation : violations) {
+    out += "\n    " + violation;
+  }
+  for (const std::string& diff : determinism_diff) {
+    out += "\n    determinism: " + diff;
+  }
+  return out;
+}
+
+std::vector<StressResult> StressSweep(std::uint64_t base_seed, int count,
+                                      const ScenarioOptions& options) {
+  std::vector<StressResult> results;
+  results.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = MixSeed(base_seed, static_cast<std::uint64_t>(i));
+    results.push_back(
+        StressScenario(DrawScenario(seed, options), seed, options));
+  }
+  return results;
+}
+
+namespace {
+
+/// Mirrors the experiment driver's per-run aggregation (experiment.cpp).
+void Absorb(core::AggregateMetrics& agg, const core::RunMetrics& run) {
+  agg.profit_per_run.Add(run.profit_per_run());
+  agg.reward_to_cost.Add(run.reward_to_cost());
+  agg.mean_latency.Add(run.latency.mean());
+  agg.jobs_completed.Add(static_cast<double>(run.jobs_completed));
+  agg.total_reward.Add(run.total_reward);
+  agg.total_cost.Add(run.total_cost);
+  agg.public_hires.Add(static_cast<double>(run.public_hires));
+  agg.mean_core_stages.Add(run.core_stages.mean());
+}
+
+}  // namespace
+
+VerifiedSweep RunSweepVerified(const std::vector<core::SimulationConfig>& configs,
+                               int repetitions, ThreadPool& pool,
+                               const core::SchedulerOptions& base_options) {
+  VerifiedSweep sweep;
+  if (repetitions <= 0) return sweep;
+  const std::size_t reps = static_cast<std::size_t>(repetitions);
+
+  std::vector<core::RunMetrics> cells(configs.size() * reps);
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::uint64_t> violation_count{0};
+  std::mutex violations_mutex;
+  constexpr std::size_t kMaxRecorded = 32;
+
+  ParallelFor(pool, 0, cells.size(), [&](std::size_t index) {
+    const std::size_t config_index = index / reps;
+    const int rep = static_cast<int>(index % reps);
+    const core::SimulationConfig& config = configs[config_index];
+
+    InvariantOracle oracle(config);
+    core::SchedulerOptions options = base_options;
+    oracle.Attach(options);
+    const InstrumentedRun run =
+        RunInstrumented(config, config.SeedFor(rep), std::move(options));
+    cells[index] = run.metrics;
+
+    events.fetch_add(oracle.events_checked(), std::memory_order_relaxed);
+    if (!oracle.ok()) {
+      violation_count.fetch_add(oracle.violation_count(),
+                                std::memory_order_relaxed);
+      const std::scoped_lock lock(violations_mutex);
+      for (const std::string& violation : oracle.violations()) {
+        if (sweep.violations.size() >= kMaxRecorded) break;
+        sweep.violations.push_back(
+            StrFormat("%s rep %d: %s", config.Label().c_str(), rep,
+                      violation.c_str()));
+      }
+    }
+  });
+
+  sweep.runs = cells.size();
+  sweep.events_checked = events.load();
+  sweep.violation_count = violation_count.load();
+  sweep.aggregates.resize(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    sweep.aggregates[c].config = configs[c];
+    for (std::size_t k = 0; k < reps; ++k) {
+      Absorb(sweep.aggregates[c], cells[c * reps + k]);
+    }
+  }
+  return sweep;
+}
+
+}  // namespace scan::testkit

@@ -1,0 +1,51 @@
+// Metamorphic relations: paper-derived "change X => metrics respond Y"
+// statements checked by running related configurations under one seed.
+
+#include <gtest/gtest.h>
+
+#include "scan/testkit/metamorphic.hpp"
+
+namespace scan::testkit {
+namespace {
+
+core::SimulationConfig BaseConfig() {
+  core::SimulationConfig config;
+  config.duration = SimTime{300.0};
+  return config;
+}
+
+TEST(Metamorphic, AllRelationsHoldOnDefaultConfig) {
+  const std::vector<RelationResult> results =
+      CheckAllRelations(BaseConfig(), /*seed=*/7);
+  ASSERT_EQ(results.size(), 6u);
+  for (const RelationResult& result : results) {
+    EXPECT_TRUE(result.holds) << result.name << ": " << result.detail;
+  }
+}
+
+TEST(Metamorphic, AllRelationsHoldUnderGreedyAllocation) {
+  core::SimulationConfig config = BaseConfig();
+  config.allocation = core::AllocationAlgorithm::kGreedy;
+  for (const RelationResult& result : CheckAllRelations(config, /*seed=*/11)) {
+    EXPECT_TRUE(result.holds) << result.name << ": " << result.detail;
+  }
+}
+
+TEST(Metamorphic, AllRelationsHoldUnderThroughputReward) {
+  core::SimulationConfig config = BaseConfig();
+  config.reward_scheme = workload::RewardScheme::kThroughputBased;
+  for (const RelationResult& result : CheckAllRelations(config, /*seed=*/13)) {
+    EXPECT_TRUE(result.holds) << result.name << ": " << result.detail;
+  }
+}
+
+TEST(Metamorphic, RelationsCarryComparisonDetail) {
+  for (const RelationResult& result :
+       CheckAllRelations(BaseConfig(), /*seed=*/7)) {
+    EXPECT_FALSE(result.name.empty());
+    EXPECT_FALSE(result.detail.empty()) << result.name;
+  }
+}
+
+}  // namespace
+}  // namespace scan::testkit

@@ -1,0 +1,227 @@
+// Invariant-oracle coverage: real scheduler runs must pass clean, and
+// hand-built corrupted views must each trip the matching check (the
+// oracle itself needs negative tests, or it could silently check
+// nothing).
+
+#include <gtest/gtest.h>
+
+#include "scan/testkit/golden.hpp"
+#include "scan/testkit/oracle.hpp"
+
+namespace scan::testkit {
+namespace {
+
+core::SimulationConfig BaseConfig() {
+  core::SimulationConfig config;
+  config.duration = SimTime{300.0};
+  return config;
+}
+
+TEST(InvariantOracle, CleanOnRealRun) {
+  const core::SimulationConfig config = BaseConfig();
+  InvariantOracle oracle(config);
+  core::SchedulerOptions options;
+  oracle.Attach(options);
+  (void)RunInstrumented(config, config.SeedFor(0), std::move(options));
+  EXPECT_GT(oracle.events_checked(), 0u);
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
+}
+
+TEST(InvariantOracle, CleanOnRealRunWithFailuresAndBootPenalty) {
+  core::SimulationConfig config = BaseConfig();
+  config.worker_failure_rate = 0.02;
+  config.boot_penalty = SimTime{0.8};
+  config.scaling = core::ScalingAlgorithm::kAlwaysScale;
+  InvariantOracle oracle(config);
+  core::SchedulerOptions options;
+  oracle.Attach(options);
+  (void)RunInstrumented(config, config.SeedFor(3), std::move(options));
+  EXPECT_GT(oracle.events_checked(), 0u);
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
+}
+
+// --- synthetic views: each corruption must be caught -----------------------
+
+/// A minimal consistent view the corruption tests then break.
+core::SchedulerView CleanView() {
+  core::SchedulerView view;
+  view.now = SimTime{10.0};
+  view.event_seq = 5;
+  view.queues.resize(7);
+  view.private_capacity = 48;
+  return view;
+}
+
+core::WorkerView CleanWorker() {
+  core::WorkerView worker;
+  worker.key = 1;
+  worker.tier = cloud::Tier::kPrivate;
+  worker.cores = 4;
+  worker.threads = 4;
+  worker.hired_at = SimTime{1.0};
+  return worker;
+}
+
+TEST(InvariantOracle, AcceptsConsistentSyntheticView) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  core::WorkerView worker = CleanWorker();
+  view.workers.push_back(worker);
+  view.private_cores = 4;
+  oracle.Observe(view);
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
+}
+
+TEST(InvariantOracle, CatchesBackwardsClock) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  oracle.Observe(view);
+  view.now = SimTime{9.0};
+  view.event_seq = 6;
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("clock"), std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesTieBreakOrder) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  oracle.Observe(view);
+  view.event_seq = 4;  // same time, lower sequence
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("tie-break"), std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesPrivateOverCapacity) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  core::WorkerView worker = CleanWorker();
+  worker.cores = 64;
+  worker.threads = 16;
+  view.workers.push_back(worker);
+  view.private_cores = 64;  // capacity is 48
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("capacity"), std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesThreadsOverCores) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  core::WorkerView worker = CleanWorker();
+  worker.threads = 8;  // > 4 cores
+  view.workers.push_back(worker);
+  view.private_cores = 4;
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("misconfigured"),
+            std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesBusyTimeOverflow) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  core::WorkerView worker = CleanWorker();
+  worker.busy_accumulated = SimTime{100.0};  // hired at t=1, now t=10
+  view.workers.push_back(worker);
+  view.private_cores = 4;
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("busy time"), std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesTierAccountingDrift) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  view.workers.push_back(CleanWorker());
+  view.private_cores = 8;  // the one worker only holds 4
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("drift"), std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesFifoViolation) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  view.queues[2].push_back({10, 2, SimTime{5.0}});
+  view.queues[2].push_back({11, 2, SimTime{4.0}});  // enqueued earlier, behind
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("FIFO"), std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesDuplicateQueuedJob) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  view.queues[1].push_back({7, 1, SimTime{2.0}});
+  view.queues[3].push_back({7, 3, SimTime{3.0}});
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("queued twice"),
+            std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesJobBothQueuedAndExecuting) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  core::WorkerView worker = CleanWorker();
+  worker.busy = true;
+  worker.current_job = 7;
+  worker.busy_until = SimTime{12.0};
+  view.workers.push_back(worker);
+  view.private_cores = 4;
+  view.queues[1].push_back({7, 1, SimTime{2.0}});
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("both queued and executing"),
+            std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesJobConservationBreak) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  core::RunMetrics metrics;
+  metrics.jobs_arrived = 5;
+  metrics.jobs_completed = 3;  // 2 unaccounted for: nothing queued/executing
+  metrics.latency.Add(1.0);
+  metrics.latency.Add(1.0);
+  metrics.latency.Add(1.0);
+  view.metrics = &metrics;
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("conservation"),
+            std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesRetryFailureMismatch) {
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  core::RunMetrics metrics;
+  metrics.worker_failures = 2;
+  metrics.task_retries = 1;
+  view.metrics = &metrics;
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.Report().find("retries"), std::string::npos);
+}
+
+TEST(InvariantOracle, RecordingCapCountsEverything) {
+  InvariantOracle::Options options;
+  options.max_recorded = 2;
+  InvariantOracle oracle(BaseConfig(), options);
+  core::SchedulerView view = CleanView();
+  for (int i = 0; i < 5; ++i) {
+    view.cost_rate = -1.0;  // one violation per observe
+    oracle.Observe(view);
+    view.now = view.now + SimTime{1.0};
+    view.event_seq += 1;
+  }
+  EXPECT_EQ(oracle.violations().size(), 2u);
+  EXPECT_EQ(oracle.violation_count(), 5u);
+  EXPECT_NE(oracle.Report().find("and 3 more"), std::string::npos)
+      << oracle.Report();
+}
+
+}  // namespace
+}  // namespace scan::testkit

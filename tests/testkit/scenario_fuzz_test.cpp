@@ -1,0 +1,109 @@
+// Randomized scenario fuzzing: 50+ seeded configurations drawn across the
+// paper's parameter space (and beyond it: failures, boot penalties,
+// capacities), each stress-run under the invariant oracle and a
+// determinism double-run.
+
+#include <gtest/gtest.h>
+
+#include "scan/testkit/oracle.hpp"
+#include "scan/testkit/scenario.hpp"
+
+namespace scan::testkit {
+namespace {
+
+TEST(ScenarioGenerator, SameSeedSameConfig) {
+  const core::SimulationConfig a = DrawScenario(42);
+  const core::SimulationConfig b = DrawScenario(42);
+  EXPECT_EQ(a.Label(), b.Label());
+  EXPECT_EQ(a.duration.value(), b.duration.value());
+  EXPECT_EQ(a.worker_failure_rate, b.worker_failure_rate);
+  EXPECT_EQ(a.boot_penalty.value(), b.boot_penalty.value());
+  EXPECT_EQ(a.private_capacity_cores, b.private_capacity_cores);
+  EXPECT_EQ(a.base_seed, b.base_seed);
+}
+
+TEST(ScenarioGenerator, DifferentSeedsExploreTheSpace) {
+  bool saw_failures = false;
+  bool saw_reliable = false;
+  bool saw_public_scaling = false;
+  bool saw_never_scale = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const core::SimulationConfig config = DrawScenario(seed);
+    (config.worker_failure_rate > 0.0 ? saw_failures : saw_reliable) = true;
+    (config.scaling == core::ScalingAlgorithm::kNeverScale ? saw_never_scale
+                                                           : saw_public_scaling) =
+        true;
+  }
+  EXPECT_TRUE(saw_failures && saw_reliable)
+      << "failure-rate draw is not covering both regimes";
+  EXPECT_TRUE(saw_public_scaling && saw_never_scale)
+      << "scaling draw is not covering the policy set";
+}
+
+TEST(ScenarioGenerator, RespectsBounds) {
+  ScenarioOptions options;
+  options.min_duration = SimTime{50.0};
+  options.max_duration = SimTime{80.0};
+  options.max_failure_rate = 0.01;
+  options.max_boot_penalty = 0.25;
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    const core::SimulationConfig config = DrawScenario(seed, options);
+    EXPECT_GE(config.duration.value(), 50.0);
+    EXPECT_LT(config.duration.value(), 80.0);
+    EXPECT_LE(config.worker_failure_rate, 0.01);
+    EXPECT_LE(config.boot_penalty.value(), 0.25);
+  }
+}
+
+// The acceptance bar: >= 50 seeded random configurations, every one clean
+// under the oracle and bit-identical on replay.
+TEST(ScenarioFuzz, FiftySeedsZeroViolations) {
+  const std::vector<StressResult> results = StressSweep(/*base_seed=*/2026,
+                                                        /*count=*/50);
+  ASSERT_EQ(results.size(), 50u);
+  std::uint64_t total_events = 0;
+  for (const StressResult& result : results) {
+    EXPECT_TRUE(result.ok()) << result.Describe();
+    EXPECT_GT(result.events_checked, 0u) << result.Describe();
+    total_events += result.events_checked;
+  }
+  // A sweep that silently simulated nothing would also report zero
+  // violations; require real event volume.
+  EXPECT_GT(total_events, 10'000u);
+}
+
+TEST(VerifiedSweep, RunsCleanAndAggregates) {
+  core::SimulationConfig base;
+  base.duration = SimTime{150.0};
+  core::SimulationConfig heavy = base;
+  heavy.mean_interarrival_tu = 2.0;
+  heavy.scaling = core::ScalingAlgorithm::kAlwaysScale;
+
+  ThreadPool pool(2);
+  const VerifiedSweep sweep =
+      RunSweepVerified({base, heavy}, /*repetitions=*/2, pool);
+  EXPECT_TRUE(sweep.ok()) << sweep.violation_count << " violations";
+  EXPECT_EQ(sweep.runs, 4u);
+  EXPECT_GT(sweep.events_checked, 0u);
+  ASSERT_EQ(sweep.aggregates.size(), 2u);
+  EXPECT_EQ(sweep.aggregates[0].profit_per_run.count(), 2u);
+  EXPECT_EQ(sweep.aggregates[1].profit_per_run.count(), 2u);
+}
+
+TEST(VerifiedSweep, MatchesSerialAggregation) {
+  core::SimulationConfig config;
+  config.duration = SimTime{150.0};
+  ThreadPool pool(4);
+  const VerifiedSweep a = RunSweepVerified({config}, 3, pool);
+  const VerifiedSweep b = RunSweepVerified({config}, 3, pool);
+  ASSERT_EQ(a.aggregates.size(), 1u);
+  ASSERT_EQ(b.aggregates.size(), 1u);
+  // Thread placement must not leak into the aggregate (order-stable fold).
+  EXPECT_EQ(a.aggregates[0].profit_per_run.mean(),
+            b.aggregates[0].profit_per_run.mean());
+  EXPECT_EQ(a.aggregates[0].total_cost.mean(), b.aggregates[0].total_cost.mean());
+  EXPECT_EQ(a.events_checked, b.events_checked);
+}
+
+}  // namespace
+}  // namespace scan::testkit

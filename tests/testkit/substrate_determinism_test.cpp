@@ -1,0 +1,149 @@
+// Determinism of the substrate modules the scheduler composes — the DES
+// engine, the cloud metering, the data broker's KB-driven planning, and
+// the threaded experiment driver. Each is exercised twice through the
+// testkit digests; any divergence is a reproducibility bug even if the
+// scheduler-level suites happen to pass.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scan/cloud/cloud_manager.hpp"
+#include "scan/core/data_broker.hpp"
+#include "scan/core/experiment.hpp"
+#include "scan/kb/knowledge_base.hpp"
+#include "scan/sim/simulator.hpp"
+#include "scan/testkit/digest.hpp"
+
+namespace scan::testkit {
+namespace {
+
+// --- sim: event calendar with ties, cancels, and periodics -----------------
+
+std::uint64_t SimTraceDigest() {
+  sim::Simulator sim;
+  Fnv1aDigest digest;
+  sim.SetTraceHook([&digest](SimTime when, std::uint64_t seq) {
+    digest.MixDouble(when.value());
+    digest.MixU64(seq);
+  });
+
+  RandomStream rng(99, "substrate-sim");
+  std::vector<sim::EventId> cancellable;
+  for (int i = 0; i < 200; ++i) {
+    // Quantized times force plenty of exact ties.
+    const SimTime when{static_cast<double>(rng.UniformBelow(50))};
+    cancellable.push_back(sim.ScheduleAt(when, [](sim::Simulator&) {}));
+  }
+  for (std::size_t i = 0; i < cancellable.size(); i += 3) {
+    (void)sim.Cancel(cancellable[i]);
+  }
+  const sim::EventId periodic =
+      sim.SchedulePeriodic(SimTime{2.5}, [](sim::Simulator&) {});
+  sim.ScheduleAt(SimTime{40.0}, [periodic](sim::Simulator& s) {
+    (void)s.Cancel(periodic);
+  });
+  sim.RunUntil(SimTime{60.0});
+  return digest.value();
+}
+
+TEST(SubstrateDeterminism, SimulatorTraceIsReproducible) {
+  const std::uint64_t first = SimTraceDigest();
+  const std::uint64_t second = SimTraceDigest();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, Fnv1aDigest{}.value()) << "trace hook never fired";
+}
+
+// --- cloud: metering under a scripted hire/release sequence ----------------
+
+std::uint64_t CloudBillDigest() {
+  cloud::CloudManager manager(cloud::CloudConfig::Paper(80.0));
+  RandomStream rng(7, "substrate-cloud");
+  std::vector<cloud::WorkerId> live;
+  SimTime now{0.0};
+  for (int step = 0; step < 120; ++step) {
+    now = now + SimTime{rng.Uniform(0.1, 1.0)};
+    const int cores = 1 << rng.UniformBelow(5);  // 1,2,4,8,16
+    const cloud::Tier tier =
+        rng.Uniform() < 0.5 ? cloud::Tier::kPrivate : cloud::Tier::kPublic;
+    if (auto hired = manager.Hire(tier, cores, now); hired.ok()) {
+      live.push_back(hired.value());
+    }
+    if (!live.empty() && rng.Uniform() < 0.4) {
+      const std::size_t victim = rng.UniformBelow(
+          static_cast<std::uint32_t>(live.size()));
+      (void)manager.Release(live[victim], now);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  const cloud::CostReport report = manager.CostUpTo(now + SimTime{5.0});
+  Fnv1aDigest digest;
+  digest.MixDouble(report.total.value());
+  digest.MixDouble(report.private_tier.value());
+  digest.MixDouble(report.public_tier.value());
+  digest.MixDouble(report.private_core_tus);
+  digest.MixDouble(report.public_core_tus);
+  digest.MixDouble(manager.CostRate().value());
+  digest.MixSize(manager.CoresInUse(cloud::Tier::kPrivate));
+  digest.MixSize(manager.CoresInUse(cloud::Tier::kPublic));
+  return digest.value();
+}
+
+TEST(SubstrateDeterminism, CloudMeteringIsReproducible) {
+  EXPECT_EQ(CloudBillDigest(), CloudBillDigest());
+}
+
+// --- broker: KB-driven shard planning --------------------------------------
+
+std::uint64_t BrokerPlanDigest() {
+  kb::KnowledgeBase knowledge;
+  kb::ApplicationProfile profile;
+  profile.application = "GATK";
+  profile.threads = 4;
+  profile.cpu = 8;
+  profile.ram_gb = 16.0;
+  for (int i = 1; i <= 4; ++i) {
+    profile.individual = "";
+    profile.input_file_size_gb = static_cast<double>(i);
+    profile.etime = 10.0 + 3.0 * i;
+    (void)knowledge.RecordTaskLog(profile);
+  }
+
+  core::DataBroker broker(knowledge);
+  Fnv1aDigest digest;
+  for (const double size : {3.0, 7.5, 12.0, 40.0}) {
+    const auto plan = broker.PlanJob("GATK", size);
+    if (!plan.ok()) continue;
+    digest.MixDouble(plan.value().shard_size_gb);
+    digest.MixSize(plan.value().shard_count);
+    digest.MixDouble(plan.value().total_size_gb);
+    digest.MixString(plan.value().advice_source);
+  }
+  return digest.value();
+}
+
+TEST(SubstrateDeterminism, BrokerPlanningIsReproducible) {
+  const std::uint64_t first = BrokerPlanDigest();
+  const std::uint64_t second = BrokerPlanDigest();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, Fnv1aDigest{}.value()) << "no plan was produced";
+}
+
+// --- experiment driver: thread placement must not change results -----------
+
+TEST(SubstrateDeterminism, ThreadedRepetitionsMatchSerial) {
+  core::SimulationConfig config;
+  config.duration = SimTime{150.0};
+  ThreadPool pool(4);
+  const core::AggregateMetrics serial =
+      core::RunRepetitions(config, 4, {}, nullptr);
+  const core::AggregateMetrics threaded =
+      core::RunRepetitions(config, 4, {}, &pool);
+  EXPECT_EQ(serial.profit_per_run.mean(), threaded.profit_per_run.mean());
+  EXPECT_EQ(serial.total_cost.mean(), threaded.total_cost.mean());
+  EXPECT_EQ(serial.mean_latency.mean(), threaded.mean_latency.mean());
+  EXPECT_EQ(serial.jobs_completed.mean(), threaded.jobs_completed.mean());
+}
+
+}  // namespace
+}  // namespace scan::testkit
