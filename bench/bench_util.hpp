@@ -2,10 +2,14 @@
 
 // Shared helpers for the exhibit-reproduction binaries: a tiny flag parser
 // and common output plumbing. Every bench prints the rows/series of its
-// paper table or figure to stdout and optionally saves CSV via --csv=PATH.
+// paper table or figure to stdout and optionally saves CSV via --csv=PATH
+// or JSON via --json=PATH (an array of {column: value} objects, numbers
+// unquoted).
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -77,7 +81,50 @@ class Flags {
   std::vector<std::pair<std::string, std::string>> values_;
 };
 
-/// Prints the table and optionally saves CSV per --csv=PATH.
+/// JSON string literal with the escapes that can appear in table cells.
+inline std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Cells that parse as finite numbers are emitted unquoted so downstream
+/// tooling (plotting scripts, jq) gets real JSON numbers.
+inline std::string JsonCell(const std::string& cell) {
+  const auto parsed = ParseDouble(cell);
+  if (parsed && std::isfinite(*parsed)) return cell;
+  return JsonQuote(cell);
+}
+
+/// Serializes the table as an array of {column: value} objects.
+inline bool SaveJson(const CsvTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[\n";
+  for (std::size_t r = 0; r < table.data().size(); ++r) {
+    const auto& row = table.data()[r];
+    out << "  {";
+    for (std::size_t c = 0; c < table.header().size(); ++c) {
+      if (c > 0) out << ", ";
+      out << JsonQuote(table.header()[c]) << ": " << JsonCell(row[c]);
+    }
+    out << (r + 1 < table.data().size() ? "},\n" : "}\n");
+  }
+  out << "]\n";
+  return out.good();
+}
+
+/// Prints the table and optionally saves CSV per --csv=PATH and JSON per
+/// --json=PATH.
 inline void Emit(const CsvTable& table, const Flags& flags) {
   table.WritePretty(std::cout);
   const std::string csv_path = flags.GetString("csv", "");
@@ -86,6 +133,14 @@ inline void Emit(const CsvTable& table, const Flags& flags) {
       std::cout << "\n[csv saved to " << csv_path << "]\n";
     } else {
       std::cerr << "failed to save CSV to " << csv_path << "\n";
+    }
+  }
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    if (SaveJson(table, json_path)) {
+      std::cout << "\n[json saved to " << json_path << "]\n";
+    } else {
+      std::cerr << "failed to save JSON to " << json_path << "\n";
     }
   }
 }

@@ -11,7 +11,7 @@
 // than either baseline.
 //
 // Flags: --reps=N (default 10), --duration=TU (default 10000),
-//        --quick (reps=3, duration=2000), --csv=PATH
+//        --quick (reps=3, duration=2000), --csv=PATH, --json=PATH
 
 #include <cstdio>
 #include <iostream>

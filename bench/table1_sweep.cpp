@@ -13,7 +13,8 @@
 // default is a representative sub-grid (intervals {2.0, 2.5, 3.0}, public
 // costs {20, 110}, 3 repetitions). Pass --full for the paper's grid.
 //
-// Flags: --full, --reps=N, --duration=TU, --csv=PATH, --verify
+// Flags: --full, --reps=N, --duration=TU, --csv=PATH, --json=PATH,
+//        --verify
 //
 // --verify attaches the testkit invariant oracle to every run of the
 // sweep (scan::testkit::RunSweepVerified): the same aggregates come back,

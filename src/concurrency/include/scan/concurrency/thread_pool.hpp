@@ -93,6 +93,18 @@ class ThreadPool {
     return tasks_executed_.load(std::memory_order_relaxed);
   }
 
+  /// Tasks submitted but not yet picked up by a worker — the backlog the
+  /// runtime's utilization feedback watches. Instantaneous and approximate
+  /// under concurrency (monitoring only, never for synchronization).
+  [[nodiscard]] std::size_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks submitted but not yet finished (queued + executing).
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct WorkerQueue {
     std::mutex mutex;
@@ -111,6 +123,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> pending_{0};  // submitted but not yet finished
+  std::atomic<std::size_t> queued_{0};   // submitted but not yet started
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<std::uint64_t> tasks_executed_{0};
 };

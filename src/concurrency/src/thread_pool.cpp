@@ -36,6 +36,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(UniqueTask task) {
   assert(task);
   pending_.fetch_add(1, std::memory_order_acq_rel);
+  queued_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t home =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
@@ -51,6 +52,7 @@ bool ThreadPool::TryPop(std::size_t index, UniqueTask& out) {
   if (q.deque.empty()) return false;
   out = std::move(q.deque.front());
   q.deque.pop_front();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -62,6 +64,7 @@ bool ThreadPool::TrySteal(std::size_t thief, UniqueTask& out) {
     if (!q.deque.empty()) {
       out = std::move(q.deque.back());  // steal from the cold end
       q.deque.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
   }

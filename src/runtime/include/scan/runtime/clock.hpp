@@ -1,0 +1,118 @@
+#pragma once
+
+// Time backends for the live runtime.
+//
+// The simulator's clock is the event calendar; the live runtime needs a
+// clock that real threads can run against. Two backends:
+//
+//  - VirtualClock: deterministic, time-warped. The coordinator advances
+//    the clock to each event's instant; a stage task "runs" for its
+//    modeled T_i(t, d) without sleeping (workers execute a token spin so
+//    the concurrent machinery is genuinely exercised). This is the parity
+//    mode: with pinned seeds the runtime must reproduce the simulator's
+//    schedule bit for bit.
+//
+//  - WallClock: maps simulation TU onto real seconds; stage tasks burn
+//    actual CPU for their modeled duration via a calibrated spin kernel.
+//    Completion times are physical, so runs are NOT deterministic — this
+//    backend exists to measure the live system (throughput, dispatch
+//    latency) and to give ThreadSanitizer real interleavings to bite on.
+
+#include <chrono>
+#include <cstdint>
+
+#include "scan/common/units.hpp"
+
+namespace scan::runtime {
+
+/// Calibrated CPU-burner: converts "seconds of work" into a spin count so
+/// workers consume real CPU time without syscalls or sleeps in the hot
+/// loop. Calibration is per-process; the kernel itself is a trivially
+/// copyable value type so tasks can capture it by value.
+class SpinKernel {
+ public:
+  /// Uncalibrated kernel with a conservative default rate; sufficient for
+  /// BurnIterations-only (VirtualClock) use.
+  SpinKernel() = default;
+
+  /// Measures the host's spin throughput (a few ms, once per process).
+  [[nodiscard]] static SpinKernel Calibrate();
+
+  /// Burns approximately `seconds` of CPU on the calling thread. The loop
+  /// is capped by a wall deadline at 2x the target so a mis-calibration
+  /// (frequency scaling, preemption) cannot hang a worker.
+  void Burn(double seconds) const;
+
+  /// Burns an explicit iteration count (token work for VirtualClock).
+  void BurnIterations(std::uint64_t iterations) const;
+
+  [[nodiscard]] double iterations_per_second() const { return rate_; }
+
+ private:
+  explicit SpinKernel(double rate) : rate_(rate) {}
+  double rate_ = 1e8;
+};
+
+enum class ClockMode { kVirtual, kWall };
+
+[[nodiscard]] constexpr const char* ClockModeName(ClockMode mode) {
+  return mode == ClockMode::kVirtual ? "virtual" : "wall";
+}
+
+/// Abstract runtime clock in simulation TU.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual ClockMode mode() const = 0;
+  /// Current runtime time.
+  [[nodiscard]] virtual SimTime Now() const = 0;
+  /// Real seconds one TU of modeled stage execution costs a worker
+  /// (0 = time-warped: workers do token work only).
+  [[nodiscard]] virtual double seconds_per_tu() const = 0;
+};
+
+/// Deterministic time-warped clock; the coordinator owns advancement.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] ClockMode mode() const override { return ClockMode::kVirtual; }
+  [[nodiscard]] SimTime Now() const override { return now_; }
+  [[nodiscard]] double seconds_per_tu() const override { return 0.0; }
+
+  /// Warps to `t` (monotone non-decreasing, enforced by the coordinator).
+  void AdvanceTo(SimTime t) { now_ = t; }
+
+ private:
+  SimTime now_{0.0};
+};
+
+/// Maps TU onto std::chrono::steady_clock seconds from Start().
+class WallClock final : public Clock {
+ public:
+  explicit WallClock(double seconds_per_tu)
+      : seconds_per_tu_(seconds_per_tu), start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] ClockMode mode() const override { return ClockMode::kWall; }
+  [[nodiscard]] SimTime Now() const override {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    return SimTime{elapsed.count() / seconds_per_tu_};
+  }
+  [[nodiscard]] double seconds_per_tu() const override {
+    return seconds_per_tu_;
+  }
+
+  /// The wall instant at which runtime time reaches `t`.
+  [[nodiscard]] std::chrono::steady_clock::time_point DeadlineFor(
+      SimTime t) const {
+    return start_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(t.value() *
+                                                      seconds_per_tu_));
+  }
+
+ private:
+  double seconds_per_tu_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace scan::runtime

@@ -1,0 +1,94 @@
+#pragma once
+
+// Bounded MPSC channel carrying worker -> coordinator completion messages.
+//
+// Producers are the runtime's execution threads (the last slice of a stage
+// task pushes exactly one message); the single consumer is the coordinator
+// loop inside RuntimePlatform. The queue is bounded so a slow coordinator
+// exerts backpressure on workers instead of growing memory without bound:
+// Push blocks while the queue is full, and the coordinator always drains
+// (stashing out-of-order tickets aside), so the system cannot deadlock.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace scan::runtime {
+
+/// A stage task's completion message. The ticket is assigned by the
+/// coordinator at dispatch; it is the only payload a worker reports (all
+/// bookkeeping lives on the coordinator side, keyed by ticket).
+struct TaskCompletion {
+  std::uint64_t ticket = 0;
+};
+
+/// Bounded multi-producer single-consumer queue.
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Blocks while the queue is full (producer backpressure).
+  void Push(TaskCompletion completion) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+    items_.push_back(completion);
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until a message is available.
+  [[nodiscard]] TaskCompletion Pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty(); });
+    return PopLocked(lock);
+  }
+
+  /// Non-blocking pop.
+  [[nodiscard]] std::optional<TaskCompletion> TryPop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    return PopLocked(lock);
+  }
+
+  /// Pops, waiting at most until `deadline`; nullopt on timeout.
+  [[nodiscard]] std::optional<TaskCompletion> PopUntil(
+      std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_until(lock, deadline,
+                               [this] { return !items_.empty(); })) {
+      return std::nullopt;
+    }
+    return PopLocked(lock);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  TaskCompletion PopLocked(std::unique_lock<std::mutex>& lock) {
+    const TaskCompletion front = items_.front();
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return front;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<TaskCompletion> items_;
+  std::size_t capacity_;
+};
+
+}  // namespace scan::runtime

@@ -1,0 +1,256 @@
+#pragma once
+
+// The live SCAN platform: an event-driven runtime that executes the
+// paper's Scheduler loop against real OS threads instead of simulated
+// workers.
+//
+// Architecture (one coordinator, many executors):
+//  - The coordinator thread owns every scheduling decision and all
+//    bookkeeping: per-stage FIFO queues, worker books, the cloud ledger,
+//    the shared SchedulingPolicy (the same decision core the simulator
+//    uses), and a control-event calendar with the simulator's (time,
+//    sequence) FIFO tie-breaking.
+//  - Each hired worker VM is represented by a LiveWorker that physically
+//    executes its stage task as `threads` parallel slices on a shared
+//    execution ThreadPool and reports completion over a bounded MPSC
+//    CompletionQueue.
+//  - Under VirtualClock the coordinator replays the modeled timeline:
+//    each assignment's completion instant is known at dispatch, and the
+//    corresponding calendar event *gates on the physical completion
+//    message* before the books are updated. Decisions therefore happen in
+//    exactly the simulator's event order — with pinned seeds a run
+//    produces the identical schedule, which scan_testkit's parity oracle
+//    cross-validates bit for bit.
+//  - Under WallClock the runtime is a real concurrent system: stage tasks
+//    burn CPU for their modeled duration (mapped onto wall seconds), and
+//    completions are handled in physical arrival order. Runs are not
+//    deterministic; this mode measures dispatch latency/throughput and
+//    gives ThreadSanitizer real interleavings.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "scan/cloud/cloud_manager.hpp"
+#include "scan/common/rng.hpp"
+#include "scan/common/stats.hpp"
+#include "scan/concurrency/thread_pool.hpp"
+#include "scan/core/config.hpp"
+#include "scan/core/policy.hpp"
+#include "scan/core/scheduler.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/runtime/clock.hpp"
+#include "scan/runtime/completion_queue.hpp"
+#include "scan/runtime/live_worker.hpp"
+#include "scan/workload/arrivals.hpp"
+#include "scan/workload/trace.hpp"
+
+namespace scan::runtime {
+
+/// Knobs of one live run (the runtime analogue of SchedulerOptions).
+struct RuntimeOptions {
+  ClockMode clock = ClockMode::kVirtual;
+  /// WallClock only: real seconds per simulated TU. The default maps a
+  /// 200 TU smoke run onto ~0.4 s of wall time.
+  double wall_seconds_per_tu = 0.002;
+  /// Execution pool size (0 = hardware concurrency).
+  std::size_t exec_threads = 0;
+  /// Completion channel bound (producer backpressure threshold).
+  std::size_t completion_capacity = 1024;
+  std::optional<core::ThreadPlan> forced_plan;
+  std::optional<double> allocation_price_hint;
+  /// Replay this recorded workload instead of the synthetic arrivals.
+  std::optional<workload::JobTrace> trace;
+  /// Record the parity payload (RunMetrics::stage_schedule et al.).
+  bool record_schedule = false;
+  /// When positive, sample a TimelinePoint every this many TU.
+  SimTime timeline_sample_period{0.0};
+};
+
+/// What one live run produced: the simulator-shaped metrics plus the
+/// runtime-only measurements (wall time, dispatch latency, pool load).
+struct RuntimeReport {
+  core::RunMetrics metrics;
+  double wall_seconds = 0.0;
+  /// Coordinator time per dispatch round (TryDispatchAll), microseconds.
+  RunningStats dispatch_micros;
+  std::uint64_t stage_tasks_dispatched = 0;
+  /// Pool-level slice tasks executed over the run.
+  std::uint64_t pool_tasks_executed = 0;
+  std::size_t peak_pool_queue_depth = 0;
+  std::size_t exec_threads = 0;
+  ClockMode clock = ClockMode::kVirtual;
+
+  [[nodiscard]] double jobs_per_second() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(metrics.jobs_completed) / wall_seconds;
+  }
+};
+
+/// One live SCAN deployment. Construct, then Serve() exactly once.
+class RuntimePlatform {
+ public:
+  RuntimePlatform(const core::SimulationConfig& config,
+                  gatk::PipelineModel model, std::uint64_t seed,
+                  RuntimeOptions options = {});
+  ~RuntimePlatform();
+
+  RuntimePlatform(const RuntimePlatform&) = delete;
+  RuntimePlatform& operator=(const RuntimePlatform&) = delete;
+
+  /// Runs the platform for config.duration (modeled TU) and returns the
+  /// report. Cloud cost is settled exactly at the horizon, as in the
+  /// simulator.
+  [[nodiscard]] RuntimeReport Serve();
+
+  /// The plan the shared policy produces right now (exposed for tests).
+  [[nodiscard]] core::ThreadPlan PlanFor(DataSize size) const {
+    return policy_.PlanFor(size);
+  }
+
+ private:
+  // --- mirrored Scheduler bookkeeping (see scheduler.cpp) ---
+  struct JobState {
+    std::uint64_t id = 0;
+    DataSize size{0.0};
+    SimTime arrival{0.0};
+    std::size_t stage = 0;
+    core::ThreadPlan plan;
+    SimTime enqueued_at{0.0};
+  };
+
+  struct WorkerBook {
+    cloud::WorkerId id{};
+    int cores = 0;
+    int threads = 0;
+    bool busy = false;
+    std::uint64_t current_job = 0;
+    SimTime busy_until{0.0};
+    SimTime idle_since{0.0};
+    SimTime busy_accumulated{0.0};
+    std::uint64_t idle_epoch = 0;
+  };
+
+  // --- control-event calendar (coordinator-private; the simulator's
+  //     (when, seq) FIFO tie-break, so virtual runs order decisions
+  //     identically to sim::Simulator) ---
+  struct ControlEvent {
+    SimTime when{0.0};
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const ControlEvent& a, const ControlEvent& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  struct PeriodicTask {
+    SimTime period{0.0};
+    std::function<void()> fn;
+  };
+
+  /// In-flight physical task, keyed by ticket. `orphaned` marks a task
+  /// whose worker was crashed by failure injection: its eventual
+  /// completion message is drained and discarded.
+  struct TicketState {
+    std::uint64_t job_id = 0;
+    std::uint64_t worker_key = 0;
+    bool orphaned = false;
+  };
+
+  [[nodiscard]] SimTime Now() const { return clock_->Now(); }
+
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+  void SchedulePeriodic(SimTime period, std::function<void()> fn);
+  [[nodiscard]] std::function<void()> MakePeriodicFire(
+      std::shared_ptr<PeriodicTask> task);
+  [[nodiscard]] ControlEvent PopCalendar();
+
+  void RunVirtual();
+  void RunWall();
+
+  /// Blocks until the worker message for `ticket` has been consumed,
+  /// draining (and stashing) other tickets that arrive first. VirtualClock
+  /// only: this is the gate that makes real threads replay the modeled
+  /// timeline.
+  void WaitForTicket(std::uint64_t ticket);
+  void HandleWallCompletion(const TaskCompletion& completion);
+  void WallFailureDue(std::uint64_t ticket);
+  /// Consumes every message still owed by dispatched tasks (end of run).
+  void DrainInFlight();
+
+  // --- mirrored Scheduler mechanics ---
+  void OnBatchArrival(const workload::ArrivalBatch& batch);
+  void EnqueueJob(std::uint64_t job_id);
+  void TryDispatchAll();
+  bool TryDispatchHead(std::size_t stage);
+  void AssignTask(std::uint64_t job_id, std::size_t stage,
+                  WorkerBook& worker, SimTime start_time);
+  void OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key);
+  void OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key);
+  void ScheduleIdleRelease(std::uint64_t worker_key);
+  void RecordWorkerUtilization(const WorkerBook& worker, SimTime now);
+  void RemoveFromIdle(std::uint64_t key, int threads);
+  bool TryFreePrivateCapacity(int needed_cores);
+  void BanditEpoch();
+  void SampleTimeline();
+  [[nodiscard]] bool PredictiveShouldHire(std::size_t stage, int threads,
+                                          DataSize head_size);
+  [[nodiscard]] std::optional<SimTime> NextWorkerFreeTime() const;
+  [[nodiscard]] std::vector<core::QueuedJobSnapshot> SnapshotQueue(
+      std::size_t stage) const;
+
+  core::SimulationConfig config_;
+  RuntimeOptions options_;
+  core::SchedulingPolicy policy_;  ///< shared decision core (also in sim)
+  cloud::CloudManager cloud_;
+  workload::ArrivalGenerator arrivals_;
+
+  std::vector<std::deque<std::uint64_t>> queues_;  ///< job ids per stage
+  std::unordered_map<std::uint64_t, JobState> jobs_;
+  std::unordered_map<std::uint64_t, WorkerBook> workers_;
+  std::map<int, std::vector<std::uint64_t>> idle_;
+
+  RandomStream failure_rng_;
+  core::RunMetrics metrics_;
+  bool ran_ = false;
+
+  // --- calendar ---
+  std::priority_queue<ControlEvent, std::vector<ControlEvent>, EventOrder>
+      calendar_;
+  std::uint64_t next_seq_ = 1;
+
+  // --- physical execution ---
+  std::unique_ptr<Clock> clock_;
+  VirtualClock* vclock_ = nullptr;  ///< set iff options_.clock == kVirtual
+  WallClock* wclock_ = nullptr;     ///< set iff options_.clock == kWall
+  SpinKernel kernel_;
+  CompletionQueue completions_;
+  std::unordered_map<std::uint64_t, TicketState> in_flight_;
+  std::unordered_set<std::uint64_t> reaped_;  ///< popped ahead of their gate
+  std::uint64_t next_ticket_ = 1;
+  std::size_t unconsumed_ = 0;  ///< tickets dispatched, message not popped
+
+  // --- runtime-only measurements ---
+  RunningStats dispatch_micros_;
+  std::uint64_t stage_tasks_dispatched_ = 0;
+  std::size_t peak_pool_queue_depth_ = 0;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<LiveWorker>>
+      live_workers_;
+  /// Declared last: its destructor joins executor threads that may still
+  /// touch completions_ / live worker slice groups.
+  std::unique_ptr<ThreadPool> exec_pool_;
+};
+
+}  // namespace scan::runtime

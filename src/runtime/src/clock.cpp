@@ -1,0 +1,74 @@
+#include "scan/runtime/clock.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace scan::runtime {
+
+namespace {
+
+/// A spin unit of compute the optimizer cannot elide or collapse: a small
+/// integer mix whose result feeds an atomic sink.
+inline std::uint64_t SpinRound(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return x;
+}
+
+std::atomic<std::uint64_t> g_spin_sink{0};
+
+std::uint64_t RunSpins(std::uint64_t iterations) {
+  std::uint64_t acc = iterations | 1;
+  for (std::uint64_t i = 0; i < iterations; ++i) acc = SpinRound(acc + i);
+  return acc;
+}
+
+}  // namespace
+
+SpinKernel SpinKernel::Calibrate() {
+  using clock = std::chrono::steady_clock;
+  // Warm up, then measure in growing batches until ~2 ms of samples.
+  std::uint64_t batch = 1 << 16;
+  g_spin_sink.fetch_add(RunSpins(batch), std::memory_order_relaxed);
+  double rate = 1e8;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto start = clock::now();
+    g_spin_sink.fetch_add(RunSpins(batch), std::memory_order_relaxed);
+    const std::chrono::duration<double> elapsed = clock::now() - start;
+    if (elapsed.count() >= 2e-3) {
+      rate = static_cast<double>(batch) / elapsed.count();
+      break;
+    }
+    if (elapsed.count() > 0.0) {
+      rate = static_cast<double>(batch) / elapsed.count();
+    }
+    batch *= 4;
+  }
+  return SpinKernel(std::max(rate, 1e6));
+}
+
+void SpinKernel::Burn(double seconds) const {
+  if (seconds <= 0.0) return;
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  const auto hard_deadline =
+      start + std::chrono::duration_cast<clock::duration>(
+                  std::chrono::duration<double>(2.0 * seconds + 1e-4));
+  const auto target = start + std::chrono::duration_cast<clock::duration>(
+                                  std::chrono::duration<double>(seconds));
+  // Burn in slabs of ~100us of estimated work, re-checking the wall clock
+  // between slabs so preemption or frequency scaling cannot overshoot far.
+  const std::uint64_t slab =
+      std::max<std::uint64_t>(1024, static_cast<std::uint64_t>(rate_ * 1e-4));
+  while (clock::now() < target) {
+    g_spin_sink.fetch_add(RunSpins(slab), std::memory_order_relaxed);
+    if (clock::now() >= hard_deadline) break;
+  }
+}
+
+void SpinKernel::BurnIterations(std::uint64_t iterations) const {
+  g_spin_sink.fetch_add(RunSpins(iterations), std::memory_order_relaxed);
+}
+
+}  // namespace scan::runtime

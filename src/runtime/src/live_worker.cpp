@@ -1,0 +1,54 @@
+#include "scan/runtime/live_worker.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+namespace scan::runtime {
+
+namespace {
+
+/// Token work per slice under VirtualClock — enough to force real pool
+/// scheduling and memory traffic, small enough not to dominate the run.
+constexpr std::uint64_t kTokenIterations = 256;
+
+/// Shared countdown for one task's slices. Heap-owned and shared by every
+/// slice so the worker (and even the platform's worker map entry) may be
+/// destroyed while slices are still in flight.
+struct SliceGroup {
+  std::atomic<int> remaining{0};
+  std::uint64_t ticket = 0;
+  CompletionQueue* completions = nullptr;
+};
+
+}  // namespace
+
+void LiveWorker::Execute(const StageTask& task) {
+  assert(task.slices >= 1);
+  auto group = std::make_shared<SliceGroup>();
+  group->remaining.store(task.slices, std::memory_order_relaxed);
+  group->ticket = task.ticket;
+  group->completions = completions_;
+
+  for (int slice = 0; slice < task.slices; ++slice) {
+    pool_->Submit(UniqueTask([group, kernel = kernel_,
+                              pre = task.pre_delay_seconds,
+                              burn = task.burn_seconds] {
+      if (pre > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(pre));
+      }
+      if (burn > 0.0) {
+        kernel.Burn(burn);
+      } else {
+        kernel.BurnIterations(kTokenIterations);
+      }
+      if (group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        group->completions->Push({group->ticket});
+      }
+    }));
+  }
+}
+
+}  // namespace scan::runtime

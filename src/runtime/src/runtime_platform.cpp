@@ -1,0 +1,629 @@
+#include "scan/runtime/runtime_platform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace scan::runtime {
+
+namespace {
+
+/// Idle buckets keep keys ascending so dispatch is deterministic (the
+/// simulator does the same; see scheduler.cpp).
+void InsertSorted(std::vector<std::uint64_t>& keys, std::uint64_t key) {
+  keys.insert(std::lower_bound(keys.begin(), keys.end(), key), key);
+}
+
+}  // namespace
+
+RuntimePlatform::RuntimePlatform(const core::SimulationConfig& config,
+                                 gatk::PipelineModel model,
+                                 std::uint64_t seed, RuntimeOptions options)
+    : config_(config),
+      options_(std::move(options)),
+      policy_(config, model, options_.forced_plan,
+              options_.allocation_price_hint, seed),
+      cloud_(config.MakeCloudConfig()),
+      arrivals_(config.MakeArrivalParams(), seed),
+      queues_(policy_.model().stage_count()),
+      failure_rng_(seed, "worker-failures"),
+      kernel_(options_.clock == ClockMode::kWall ? SpinKernel::Calibrate()
+                                                 : SpinKernel{}),
+      completions_(options_.completion_capacity) {
+  metrics_.stage_queue_wait.resize(policy_.model().stage_count());
+  exec_pool_ = std::make_unique<ThreadPool>(options_.exec_threads);
+}
+
+RuntimePlatform::~RuntimePlatform() = default;
+
+void RuntimePlatform::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(fn);
+  calendar_.push(ControlEvent{when, next_seq_++, std::move(fn)});
+}
+
+std::function<void()> RuntimePlatform::MakePeriodicFire(
+    std::shared_ptr<PeriodicTask> task) {
+  // Mirrors sim::Simulator::MakePeriodicFire: the callback runs first,
+  // then the next firing is scheduled (sequence numbers match the
+  // simulator's, which virtual-mode parity depends on).
+  return [this, task] {
+    task->fn();
+    ScheduleAt(Now() + task->period, MakePeriodicFire(task));
+  };
+}
+
+void RuntimePlatform::SchedulePeriodic(SimTime period,
+                                       std::function<void()> fn) {
+  auto task = std::make_shared<PeriodicTask>();
+  task->period = period;
+  task->fn = std::move(fn);
+  ScheduleAt(Now() + period, MakePeriodicFire(std::move(task)));
+}
+
+RuntimePlatform::ControlEvent RuntimePlatform::PopCalendar() {
+  ControlEvent ev = calendar_.top();
+  calendar_.pop();
+  return ev;
+}
+
+RuntimeReport RuntimePlatform::Serve() {
+  if (ran_) throw std::logic_error("RuntimePlatform::Serve: already ran");
+  ran_ = true;
+
+  // The clock starts here, not at construction: wall time must be zero at
+  // the first admission decision.
+  if (options_.clock == ClockMode::kVirtual) {
+    auto clock = std::make_unique<VirtualClock>();
+    vclock_ = clock.get();
+    clock_ = std::move(clock);
+  } else {
+    auto clock = std::make_unique<WallClock>(options_.wall_seconds_per_tu);
+    wclock_ = clock.get();
+    clock_ = std::move(clock);
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // Admission/ingest: pre-generate the whole arrival schedule (or replay a
+  // recorded trace), mirroring Scheduler::Run so the arrival process is
+  // independent of scheduling decisions.
+  const std::vector<workload::ArrivalBatch> batches =
+      options_.trace ? options_.trace->ToBatches()
+                     : arrivals_.GenerateUntil(config_.duration);
+  for (const workload::ArrivalBatch& batch : batches) {
+    if (batch.time > config_.duration) continue;
+    ScheduleAt(batch.time, [this, batch] { OnBatchArrival(batch); });
+  }
+  if (config_.scaling == core::ScalingAlgorithm::kLearnedBandit) {
+    SchedulePeriodic(config_.bandit_epoch, [this] { BanditEpoch(); });
+  }
+  if (options_.timeline_sample_period > SimTime{0.0}) {
+    SchedulePeriodic(options_.timeline_sample_period,
+                     [this] { SampleTimeline(); });
+  }
+
+  if (options_.clock == ClockMode::kVirtual) {
+    RunVirtual();
+  } else {
+    RunWall();
+  }
+
+  // Every dispatched task still owes a message (e.g. tasks orphaned by a
+  // crash, or slices finishing just past the horizon); consume them all
+  // before the pool can be considered quiescent.
+  DrainInFlight();
+  exec_pool_->WaitIdle();
+
+  metrics_.duration = config_.duration;
+  metrics_.cost_report = cloud_.CostUpTo(config_.duration);
+  metrics_.total_cost = metrics_.cost_report.total.value();
+
+  RuntimeReport report;
+  report.metrics = std::move(metrics_);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  report.wall_seconds = wall.count();
+  report.dispatch_micros = dispatch_micros_;
+  report.stage_tasks_dispatched = stage_tasks_dispatched_;
+  report.pool_tasks_executed = exec_pool_->tasks_executed();
+  report.peak_pool_queue_depth = peak_pool_queue_depth_;
+  report.exec_threads = exec_pool_->thread_count();
+  report.clock = options_.clock;
+  return report;
+}
+
+void RuntimePlatform::RunVirtual() {
+  // The simulator's RunUntil: fire events in (when, seq) order through the
+  // horizon; events beyond it stay unfired.
+  const SimTime horizon = config_.duration;
+  while (!calendar_.empty()) {
+    if (calendar_.top().when > horizon) break;
+    const ControlEvent ev = PopCalendar();
+    vclock_->AdvanceTo(ev.when);
+    ev.fn();
+  }
+}
+
+void RuntimePlatform::RunWall() {
+  const SimTime horizon = config_.duration;
+  for (;;) {
+    // Fire every control event whose modeled instant has passed.
+    while (!calendar_.empty() && calendar_.top().when <= horizon &&
+           calendar_.top().when <= wclock_->Now()) {
+      const ControlEvent ev = PopCalendar();
+      ev.fn();
+    }
+    if (wclock_->Now() >= horizon) break;
+    // Quiescent early exit: nothing in flight and no future control event
+    // inside the horizon means nothing can change any more.
+    if (in_flight_.empty() &&
+        (calendar_.empty() || calendar_.top().when > horizon)) {
+      break;
+    }
+    // Handle completions that already arrived; dispatches they trigger may
+    // schedule new due events, so loop back around.
+    bool handled = false;
+    while (const auto completion = completions_.TryPop()) {
+      --unconsumed_;
+      HandleWallCompletion(*completion);
+      handled = true;
+    }
+    if (handled) continue;
+    // Sleep until the next control event, the horizon, or a completion —
+    // whichever comes first.
+    SimTime next = horizon;
+    if (!calendar_.empty() && calendar_.top().when < next) {
+      next = calendar_.top().when;
+    }
+    if (const auto completion = completions_.PopUntil(
+            wclock_->DeadlineFor(next))) {
+      --unconsumed_;
+      HandleWallCompletion(*completion);
+    }
+  }
+}
+
+void RuntimePlatform::WaitForTicket(std::uint64_t ticket) {
+  if (reaped_.erase(ticket) > 0) return;
+  for (;;) {
+    const TaskCompletion completion = completions_.Pop();
+    --unconsumed_;
+    if (completion.ticket == ticket) return;
+    reaped_.insert(completion.ticket);
+  }
+}
+
+void RuntimePlatform::HandleWallCompletion(const TaskCompletion& completion) {
+  const auto it = in_flight_.find(completion.ticket);
+  assert(it != in_flight_.end());
+  if (it == in_flight_.end()) return;
+  const TicketState state = it->second;
+  in_flight_.erase(it);
+  if (state.orphaned) return;  // its worker crashed; the result is lost
+  OnTaskComplete(state.job_id, state.worker_key);
+}
+
+void RuntimePlatform::WallFailureDue(std::uint64_t ticket) {
+  const auto it = in_flight_.find(ticket);
+  // The physical task may have beaten the modeled crash; then the failure
+  // simply does not happen (wall mode tracks physical reality).
+  if (it == in_flight_.end() || it->second.orphaned) return;
+  it->second.orphaned = true;
+  OnWorkerFailure(it->second.job_id, it->second.worker_key);
+}
+
+void RuntimePlatform::DrainInFlight() {
+  while (unconsumed_ > 0) {
+    (void)completions_.Pop();
+    --unconsumed_;
+  }
+  reaped_.clear();
+  in_flight_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Mirrored Scheduler mechanics. These methods intentionally track
+// scheduler.cpp line for line (substituting the control calendar for the
+// simulator): virtual-mode parity rests on both sides making identical
+// decision sequences from the shared SchedulingPolicy.
+// ---------------------------------------------------------------------------
+
+void RuntimePlatform::OnBatchArrival(const workload::ArrivalBatch& batch) {
+  for (const workload::Job& job : batch.jobs) {
+    ++metrics_.jobs_arrived;
+    JobState state;
+    state.id = job.id;
+    state.size = job.size;
+    state.arrival = job.arrival;
+    state.stage = 0;
+    state.plan = policy_.PlanFor(job.size);
+    jobs_.emplace(job.id, std::move(state));
+    EnqueueJob(job.id);
+  }
+  TryDispatchAll();
+}
+
+void RuntimePlatform::EnqueueJob(std::uint64_t job_id) {
+  JobState& job = jobs_.at(job_id);
+  job.enqueued_at = Now();
+  queues_[job.stage].push_back(job_id);
+}
+
+void RuntimePlatform::TryDispatchAll() {
+  const auto dispatch_start = std::chrono::steady_clock::now();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t stage = queues_.size(); stage-- > 0;) {
+      while (!queues_[stage].empty() && TryDispatchHead(stage)) {
+        progress = true;
+      }
+    }
+  }
+  const std::chrono::duration<double, std::micro> elapsed =
+      std::chrono::steady_clock::now() - dispatch_start;
+  dispatch_micros_.Add(elapsed.count());
+}
+
+void RuntimePlatform::RemoveFromIdle(std::uint64_t key, int threads) {
+  auto it = idle_.find(threads);
+  if (it == idle_.end()) return;
+  auto& keys = it->second;
+  const auto pos = std::lower_bound(keys.begin(), keys.end(), key);
+  if (pos != keys.end() && *pos == key) keys.erase(pos);
+  if (keys.empty()) idle_.erase(it);
+}
+
+bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
+  const std::uint64_t job_id = queues_[stage].front();
+  JobState& job = jobs_.at(job_id);
+  const int threads = job.plan[stage];
+  const SimTime now = Now();
+
+  // 1. An idle worker already configured with the required thread count.
+  if (const auto bucket = idle_.find(threads); bucket != idle_.end()) {
+    std::uint64_t key = bucket->second.front();
+    int best_cores = workers_.at(key).cores;
+    for (const std::uint64_t candidate_key : bucket->second) {
+      const int cores = workers_.at(candidate_key).cores;
+      if (cores < best_cores) {
+        best_cores = cores;
+        key = candidate_key;
+      }
+    }
+    WorkerBook& worker = workers_.at(key);
+    RemoveFromIdle(key, threads);
+    queues_[stage].pop_front();
+    AssignTask(job_id, stage, worker, now);
+    return true;
+  }
+
+  // 2. Hire exact-size on the private tier, compacting fragmentation.
+  const std::size_t private_free =
+      cloud_.AvailableCores(cloud::Tier::kPrivate);
+  const bool private_fits =
+      (private_free != cloud::TierConfig::kUnlimited &&
+       private_free >= static_cast<std::size_t>(threads)) ||
+      TryFreePrivateCapacity(threads);
+
+  // 3. Otherwise reconfigure an idle worker with enough cores.
+  if (!private_fits) {
+    std::uint64_t best_key = 0;
+    int best_cores = 1 << 30;
+    for (const auto& [cfg, keys] : idle_) {
+      for (const std::uint64_t key : keys) {
+        const WorkerBook& candidate = workers_.at(key);
+        if (candidate.cores >= threads && candidate.cores < best_cores) {
+          best_cores = candidate.cores;
+          best_key = key;
+        }
+      }
+    }
+    if (best_key != 0) {
+      WorkerBook& worker = workers_.at(best_key);
+      RemoveFromIdle(best_key, worker.threads);
+      const auto delay = cloud_.Configure(worker.id, threads, now);
+      assert(delay.ok());
+      worker.threads = threads;
+      live_workers_.at(best_key)->Configure(threads);
+      ++metrics_.reconfigurations;
+      queues_[stage].pop_front();
+      AssignTask(job_id, stage, worker, now + delay.value());
+      return true;
+    }
+  }
+
+  // 4. Hire: private when it fits, public subject to the scaling policy.
+  cloud::Tier tier;
+  if (private_fits) {
+    tier = cloud::Tier::kPrivate;
+    ++metrics_.private_hires;
+  } else {
+    switch (policy_.EffectiveScaling()) {
+      case core::ScalingAlgorithm::kNeverScale:
+        return false;
+      case core::ScalingAlgorithm::kAlwaysScale:
+        tier = cloud::Tier::kPublic;
+        ++metrics_.public_hires;
+        break;
+      case core::ScalingAlgorithm::kPredictive:
+        if (!PredictiveShouldHire(stage, threads, job.size)) return false;
+        tier = cloud::Tier::kPublic;
+        ++metrics_.public_hires;
+        break;
+      default:
+        return false;  // kLearnedBandit never reaches here
+    }
+  }
+
+  const auto hired = cloud_.Hire(tier, threads, now);
+  if (!hired.ok()) {
+    return false;
+  }
+  const auto delay = cloud_.Configure(*hired, threads, now);
+  assert(delay.ok());
+
+  WorkerBook worker;
+  worker.id = *hired;
+  worker.cores = threads;
+  worker.threads = threads;
+  const std::uint64_t key = static_cast<std::uint64_t>(*hired);
+  workers_.emplace(key, worker);
+  live_workers_.emplace(
+      key, std::make_unique<LiveWorker>(key, threads, *exec_pool_,
+                                        completions_, kernel_));
+  queues_[stage].pop_front();
+  AssignTask(job_id, stage, workers_.at(key), now + delay.value());
+  return true;
+}
+
+void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
+                                 WorkerBook& worker, SimTime start_time) {
+  JobState& job = jobs_.at(job_id);
+  const SimTime now = Now();
+  const SimTime wait = now - job.enqueued_at;
+  policy_.ObserveQueueWait(stage, wait);
+  metrics_.queue_wait.Add(wait.value());
+  metrics_.stage_queue_wait[stage].Add(wait.value());
+
+  const SimTime exec =
+      policy_.model().ThreadedTime(stage, worker.threads, job.size);
+  const SimTime done_at = start_time + exec;
+  worker.busy = true;
+  worker.current_job = job_id;
+  worker.busy_until = done_at;
+  worker.busy_accumulated += exec;
+  const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
+
+  // Failure injection: one exponential draw per assignment, exactly as the
+  // simulator draws it (stream parity). busy_until stays at done_at — the
+  // scheduler must not foresee the crash.
+  std::optional<SimTime> fail_at;
+  if (config_.worker_failure_rate > 0.0) {
+    const SimTime drawn =
+        start_time +
+        SimTime{failure_rng_.Exponential(1.0 / config_.worker_failure_rate)};
+    if (drawn < done_at) fail_at = drawn;
+  }
+  if (options_.record_schedule) {
+    metrics_.stage_schedule.push_back({job_id, stage, worker_key,
+                                       worker.threads, now, start_time,
+                                       done_at, fail_at.has_value()});
+  }
+
+  // Physical dispatch: hand the stage task to the live worker. Under
+  // VirtualClock the slices do token work; under WallClock they burn the
+  // modeled duration in real CPU (boot delay becomes a real sleep).
+  const std::uint64_t ticket = next_ticket_++;
+  in_flight_.emplace(ticket, TicketState{job_id, worker_key, false});
+  ++unconsumed_;
+  ++stage_tasks_dispatched_;
+  StageTask task;
+  task.ticket = ticket;
+  task.slices = worker.threads;
+  const double seconds_per_tu = clock_->seconds_per_tu();
+  task.pre_delay_seconds = (start_time - now).value() * seconds_per_tu;
+  task.burn_seconds = exec.value() * seconds_per_tu;
+  live_workers_.at(worker_key)->Execute(task);
+  peak_pool_queue_depth_ =
+      std::max(peak_pool_queue_depth_, exec_pool_->queue_depth());
+
+  if (options_.clock == ClockMode::kVirtual) {
+    // The completion (or crash) is a calendar event at its modeled
+    // instant, gated on the physical completion message.
+    if (fail_at) {
+      ScheduleAt(*fail_at, [this, job_id, worker_key, ticket] {
+        WaitForTicket(ticket);
+        in_flight_.erase(ticket);
+        OnWorkerFailure(job_id, worker_key);
+      });
+      return;
+    }
+    ScheduleAt(done_at, [this, job_id, worker_key, ticket] {
+      WaitForTicket(ticket);
+      in_flight_.erase(ticket);
+      OnTaskComplete(job_id, worker_key);
+    });
+    return;
+  }
+  // WallClock: the completion is handled when its message physically
+  // arrives; only the modeled crash needs a calendar entry.
+  if (fail_at) {
+    ScheduleAt(*fail_at, [this, ticket] { WallFailureDue(ticket); });
+  }
+}
+
+void RuntimePlatform::OnWorkerFailure(std::uint64_t job_id,
+                                      std::uint64_t worker_key) {
+  const SimTime now = Now();
+  WorkerBook& worker = workers_.at(worker_key);
+  worker.busy_accumulated -= (worker.busy_until - now);
+  RecordWorkerUtilization(worker, now);
+  const Status released = cloud_.Release(worker.id, now);
+  assert(released.ok());
+  (void)released;
+  workers_.erase(worker_key);
+  live_workers_.erase(worker_key);
+  ++metrics_.worker_failures;
+
+  ++metrics_.task_retries;
+  EnqueueJob(job_id);
+  TryDispatchAll();
+}
+
+void RuntimePlatform::RecordWorkerUtilization(const WorkerBook& worker,
+                                              SimTime now) {
+  const auto info = cloud_.Info(worker.id);
+  if (!info.ok()) return;
+  const double lifetime = (now - info->hired_at).value();
+  if (lifetime <= 0.0) return;
+  metrics_.worker_utilization.Add(
+      std::min(1.0, worker.busy_accumulated.value() / lifetime));
+}
+
+void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
+                                     std::uint64_t worker_key) {
+  const SimTime now = Now();
+  WorkerBook& worker = workers_.at(worker_key);
+  worker.busy = false;
+  worker.current_job = 0;
+  worker.idle_since = now;
+  ++worker.idle_epoch;
+  InsertSorted(idle_[worker.threads], worker_key);
+  ScheduleIdleRelease(worker_key);
+
+  JobState& job = jobs_.at(job_id);
+  ++job.stage;
+  if (job.stage == policy_.model().stage_count()) {
+    const SimTime latency = now - job.arrival;
+    const double reward = policy_.reward()(job.size, latency).value();
+    metrics_.total_reward += reward;
+    metrics_.latency.Add(latency.value());
+    metrics_.core_stages.Add(
+        static_cast<double>(core::TotalCoreStages(job.plan)));
+    ++metrics_.jobs_completed;
+    if (options_.record_schedule) {
+      metrics_.job_completions.push_back({job_id, now, latency, reward});
+    }
+    jobs_.erase(job_id);
+
+    if (policy_.NoteCompletion()) {
+      policy_.ReplanFromBill(cloud_.CostUpTo(now));
+    }
+  } else {
+    EnqueueJob(job_id);
+  }
+  TryDispatchAll();
+}
+
+void RuntimePlatform::ScheduleIdleRelease(std::uint64_t worker_key) {
+  const std::uint64_t epoch = workers_.at(worker_key).idle_epoch;
+  ScheduleAt(Now() + config_.idle_release_timeout,
+             [this, worker_key, epoch] {
+               const auto it = workers_.find(worker_key);
+               if (it == workers_.end()) return;
+               WorkerBook& worker = it->second;
+               if (worker.busy || worker.idle_epoch != epoch) return;
+               RemoveFromIdle(worker_key, worker.threads);
+               RecordWorkerUtilization(worker, Now());
+               const Status released = cloud_.Release(worker.id, Now());
+               assert(released.ok());
+               (void)released;
+               workers_.erase(it);
+               live_workers_.erase(worker_key);
+               ++metrics_.releases;
+               TryDispatchAll();
+             });
+}
+
+bool RuntimePlatform::TryFreePrivateCapacity(int needed_cores) {
+  std::size_t available = cloud_.AvailableCores(cloud::Tier::kPrivate);
+  if (available == cloud::TierConfig::kUnlimited) return true;
+  if (static_cast<std::size_t>(needed_cores) >
+      cloud_.config().private_tier.core_capacity) {
+    return false;
+  }
+
+  std::vector<std::pair<int, std::uint64_t>> candidates;
+  for (const auto& [cfg, keys] : idle_) {
+    for (const std::uint64_t key : keys) {
+      const WorkerBook& worker = workers_.at(key);
+      const auto info = cloud_.Info(worker.id);
+      if (info.ok() && info->tier == cloud::Tier::kPrivate) {
+        candidates.emplace_back(worker.cores, key);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  const SimTime now = Now();
+  for (const auto& [cores, key] : candidates) {
+    if (available >= static_cast<std::size_t>(needed_cores)) break;
+    WorkerBook& worker = workers_.at(key);
+    RemoveFromIdle(key, worker.threads);
+    RecordWorkerUtilization(worker, now);
+    const Status released = cloud_.Release(worker.id, now);
+    assert(released.ok());
+    (void)released;
+    workers_.erase(key);
+    live_workers_.erase(key);
+    ++metrics_.releases;
+    available += static_cast<std::size_t>(cores);
+  }
+  return available >= static_cast<std::size_t>(needed_cores);
+}
+
+std::optional<SimTime> RuntimePlatform::NextWorkerFreeTime() const {
+  std::optional<SimTime> earliest;
+  for (const auto& [key, worker] : workers_) {
+    if (!worker.busy) continue;
+    if (!earliest || worker.busy_until < *earliest) {
+      earliest = worker.busy_until;
+    }
+  }
+  return earliest;
+}
+
+std::vector<core::QueuedJobSnapshot> RuntimePlatform::SnapshotQueue(
+    std::size_t stage) const {
+  std::vector<core::QueuedJobSnapshot> snapshot;
+  snapshot.reserve(queues_[stage].size());
+  const SimTime now = Now();
+  for (const std::uint64_t job_id : queues_[stage]) {
+    const JobState& job = jobs_.at(job_id);
+    snapshot.push_back({job.size, now - job.arrival, job.stage,
+                        std::span<const int>(job.plan)});
+  }
+  return snapshot;
+}
+
+void RuntimePlatform::BanditEpoch() {
+  const cloud::CostReport bill = cloud_.CostUpTo(Now());
+  policy_.BanditEpoch(metrics_.total_reward, bill.total.value());
+}
+
+void RuntimePlatform::SampleTimeline() {
+  core::TimelinePoint point;
+  point.time = Now();
+  for (const auto& queue : queues_) point.queued_jobs += queue.size();
+  for (const auto& [key, worker] : workers_) {
+    (worker.busy ? point.busy_workers : point.idle_workers) += 1;
+  }
+  point.private_cores = cloud_.CoresInUse(cloud::Tier::kPrivate);
+  point.public_cores = cloud_.CoresInUse(cloud::Tier::kPublic);
+  point.cost_rate = cloud_.CostRate().value();
+  metrics_.timeline.push_back(point);
+}
+
+bool RuntimePlatform::PredictiveShouldHire(std::size_t stage, int threads,
+                                           DataSize head_size) {
+  std::optional<SimTime> next_free_delay;
+  if (const auto next_free = NextWorkerFreeTime()) {
+    next_free_delay = *next_free - Now();
+  }
+  return policy_.PredictiveShouldHire(SnapshotQueue(stage), stage, threads,
+                                      head_size, next_free_delay,
+                                      cloud_.config().boot_penalty);
+}
+
+}  // namespace scan::runtime

@@ -1,0 +1,128 @@
+#pragma once
+
+// The scheduler's decision core, factored out of the discrete-event
+// Scheduler so the live runtime (scan::runtime::RuntimePlatform) and the
+// simulator share one implementation instead of forking it.
+//
+// The policy owns everything that decides *what* to run where — the
+// per-job thread plan (allocation algorithms), the predictive hire-or-wait
+// inequality (Eq. 1 delay cost vs. hire cost), the online queue-wait
+// estimator feeding Eq. 2, the learned-bandit scaling arm, and adaptive
+// replanning — but none of the execution mechanics (queues, worker books,
+// the event loop). Callers describe their queue state through
+// QueuedJobSnapshot spans, so the policy never touches driver-specific
+// containers.
+//
+// Determinism contract: the policy is driven in event order by its caller;
+// equal call sequences produce bit-identical decisions (its RNG streams
+// are derived from the run seed exactly as the pre-extraction Scheduler
+// derived them).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "scan/cloud/cloud_manager.hpp"
+#include "scan/common/rng.hpp"
+#include "scan/common/stats.hpp"
+#include "scan/core/allocation.hpp"
+#include "scan/core/config.hpp"
+#include "scan/core/estimators.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/workload/reward.hpp"
+
+namespace scan::core {
+
+/// One queued job as the decision core sees it: enough to price the delay
+/// cost of holding the queue (Eq. 1) without exposing driver internals.
+struct QueuedJobSnapshot {
+  DataSize size{0.0};
+  /// Time since the job entered the system (now - arrival).
+  SimTime elapsed{0.0};
+  /// Stage the job is queued for (0-based).
+  std::size_t stage = 0;
+  /// The job's planned thread count per stage.
+  std::span<const int> plan;
+};
+
+/// The shared decision core. Construct once per run; drive in event order.
+class SchedulingPolicy {
+ public:
+  /// `model` is the *unscaled* pipeline model; the policy applies
+  /// config.stage_time_scale itself and exposes the scaled model.
+  SchedulingPolicy(const SimulationConfig& config,
+                   const gatk::PipelineModel& model,
+                   std::optional<ThreadPlan> forced_plan,
+                   std::optional<double> allocation_price_hint,
+                   std::uint64_t seed);
+
+  /// The scaled pipeline model every execution-time estimate uses.
+  [[nodiscard]] const gatk::PipelineModel& model() const { return model_; }
+  [[nodiscard]] const workload::RewardFunction& reward() const {
+    return reward_;
+  }
+
+  /// The thread plan the allocation algorithm produces for a job of the
+  /// given size at the current knowledge state.
+  [[nodiscard]] ThreadPlan PlanFor(DataSize size) const;
+
+  /// Feeds an observed dispatch wait into the per-stage EWMA (Eq. 2's EQT).
+  void ObserveQueueWait(std::size_t stage, SimTime wait);
+
+  /// Delay cost (Eq. 1) of delaying every job in `queue` by `delay`.
+  [[nodiscard]] double QueueDelayCost(std::span<const QueuedJobSnapshot> queue,
+                                      SimTime delay) const;
+
+  /// The predictive hire-or-wait inequality for the head of a stage queue:
+  /// true = hire public capacity now. `next_free_delay` is the time until
+  /// the earliest busy worker frees (nullopt when none is busy — waiting
+  /// cannot help, so the answer is always "hire").
+  [[nodiscard]] bool PredictiveShouldHire(
+      std::span<const QueuedJobSnapshot> queue, std::size_t stage,
+      int threads, DataSize head_size,
+      std::optional<SimTime> next_free_delay, SimTime boot_penalty) const;
+
+  /// The policy governing public hiring right now: the configured one, or
+  /// the bandit's current arm under kLearnedBandit.
+  [[nodiscard]] ScalingAlgorithm EffectiveScaling() const;
+
+  /// Bandit epoch boundary: credit the finishing arm with the epoch's
+  /// profit rate (from the run's reward/cost totals so far) and
+  /// epsilon-greedily select the next arm.
+  void BanditEpoch(double total_reward_so_far, double total_cost_so_far);
+
+  /// Call once per completed pipeline run. Returns true when the adaptive
+  /// long-term allocator is due for a replan (the caller then computes the
+  /// realized bill and calls ReplanFromBill).
+  [[nodiscard]] bool NoteCompletion();
+
+  /// Adaptive replanning: refresh the long-term plan with the effective
+  /// core price observed so far (bill divided by core-time used).
+  void ReplanFromBill(const cloud::CostReport& bill);
+
+ private:
+  [[nodiscard]] AllocationContext MakeContext(double price) const;
+
+  SimulationConfig config_;
+  gatk::PipelineModel model_;  ///< scaled by config.stage_time_scale
+  workload::RewardFunction reward_;
+  QueueTimeEstimator queue_estimator_;
+  std::optional<ThreadPlan> forced_plan_;
+  double price_hint_ = 0.0;
+  ThreadPlan constant_plan_;  ///< for kLongTerm / kBestConstant / forced
+  std::size_t completions_since_replan_ = 0;
+
+  // kLearnedBandit state: one arm per base policy.
+  struct BanditArm {
+    ScalingAlgorithm policy;
+    RunningStats profit_rate;
+  };
+  std::vector<BanditArm> bandit_arms_;
+  std::size_t bandit_current_arm_ = 0;
+  double bandit_epoch_start_reward_ = 0.0;
+  double bandit_epoch_start_cost_ = 0.0;
+  RandomStream bandit_rng_;
+};
+
+}  // namespace scan::core

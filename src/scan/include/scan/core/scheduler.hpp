@@ -34,7 +34,7 @@
 #include "scan/common/stats.hpp"
 #include "scan/core/allocation.hpp"
 #include "scan/core/config.hpp"
-#include "scan/core/estimators.hpp"
+#include "scan/core/policy.hpp"
 #include "scan/gatk/pipeline_model.hpp"
 #include "scan/sim/simulator.hpp"
 #include "scan/workload/arrivals.hpp"
@@ -53,6 +53,31 @@ struct TimelinePoint {
   std::size_t private_cores = 0; ///< cores hired on the private tier
   std::size_t public_cores = 0;
   double cost_rate = 0.0;        ///< CU per TU burn rate
+};
+
+/// One task assignment, recorded when record_schedule is enabled. This is
+/// the parity payload between the simulator and the live runtime: for
+/// pinned seeds under the runtime's VirtualClock, both must produce the
+/// identical sequence of StageRecords.
+struct StageRecord {
+  std::uint64_t job_id = 0;
+  std::size_t stage = 0;
+  std::uint64_t worker_key = 0;
+  int threads = 0;
+  SimTime dispatched{0.0};  ///< the dispatch decision instant
+  SimTime start{0.0};       ///< includes any boot/reconfiguration delay
+  SimTime end{0.0};         ///< planned completion (actual, under VirtualClock)
+  /// The assignment ends in an injected worker crash instead of completing
+  /// (known at assignment time: the failure draw precedes the finish).
+  bool preempted_by_failure = false;
+};
+
+/// One completed pipeline run, recorded when record_schedule is enabled.
+struct JobCompletionRecord {
+  std::uint64_t job_id = 0;
+  SimTime finished{0.0};
+  SimTime latency{0.0};
+  double reward = 0.0;
 };
 
 /// Metrics of one simulation run.
@@ -79,6 +104,10 @@ struct RunMetrics {
   SimTime duration{0.0};
   /// Sampled time series; empty unless timeline sampling was enabled.
   std::vector<TimelinePoint> timeline;
+  /// Every task assignment / completed job, in event order; empty unless
+  /// record_schedule was enabled (the sim<->runtime parity payload).
+  std::vector<StageRecord> stage_schedule;
+  std::vector<JobCompletionRecord> job_completions;
 
   [[nodiscard]] double profit() const { return total_reward - total_cost; }
   [[nodiscard]] double profit_per_run() const {
@@ -150,6 +179,10 @@ struct SchedulerOptions {
   /// (the testkit invariant oracle). Snapshot construction is O(state) per
   /// event; enable for verification runs only.
   std::function<void(const SchedulerView&)> inspection_hook;
+  /// Record every task assignment and job completion into
+  /// RunMetrics::stage_schedule / job_completions (the parity payload the
+  /// live runtime is cross-validated against).
+  bool record_schedule = false;
 };
 
 /// One simulated SCAN deployment. Construct, then Run() exactly once.
@@ -208,13 +241,15 @@ class Scheduler {
   void ScheduleIdleRelease(std::uint64_t worker_key);
 
   /// The predictive hire-or-wait inequality for the head of `stage`'s
-  /// queue; true = hire public capacity now.
+  /// queue; true = hire public capacity now. Delegates to the shared
+  /// SchedulingPolicy with a snapshot of the stage queue.
   [[nodiscard]] bool PredictiveShouldHire(std::size_t stage, int threads,
                                           DataSize head_size);
   /// Earliest time an existing busy worker frees; nullopt if none busy.
   [[nodiscard]] std::optional<SimTime> NextWorkerFreeTime() const;
-  /// Delay cost (Eq. 1) of delaying every job queued at `stage` by `delay`.
-  [[nodiscard]] double QueueDelayCost(std::size_t stage, SimTime delay) const;
+  /// Snapshot of `stage`'s queue for the policy's delay-cost evaluation.
+  [[nodiscard]] std::vector<QueuedJobSnapshot> SnapshotQueue(
+      std::size_t stage) const;
 
   /// Removes `key` from its idle bucket, if present.
   void RemoveFromIdle(std::uint64_t key, int threads);
@@ -228,24 +263,16 @@ class Scheduler {
   /// capacity a larger queued task needs.
   bool TryFreePrivateCapacity(int needed_cores);
 
-  /// The policy governing public hiring right now: the configured one, or
-  /// the bandit's current arm under kLearnedBandit.
-  [[nodiscard]] ScalingAlgorithm EffectiveScaling() const;
-  /// Bandit epoch boundary: credit the finishing arm with the epoch's
-  /// profit rate and epsilon-greedily select the next arm.
+  /// Bandit epoch boundary: settle the bill and hand the totals to the
+  /// policy's arm-selection step.
   void BanditEpoch();
 
   SimulationConfig config_;
   SchedulerOptions options_;
-  gatk::PipelineModel model_;
-  workload::RewardFunction reward_;
+  SchedulingPolicy policy_;  ///< shared decision core (also in the runtime)
   cloud::CloudManager cloud_;
   workload::ArrivalGenerator arrivals_;
   sim::Simulator sim_;
-  QueueTimeEstimator queue_estimator_;
-
-  ThreadPlan constant_plan_;  ///< for kLongTerm / kBestConstant / forced
-  std::size_t completions_since_replan_ = 0;
 
   std::vector<std::deque<std::uint64_t>> queues_;  ///< job ids per stage
   std::unordered_map<std::uint64_t, JobState> jobs_;
@@ -253,16 +280,6 @@ class Scheduler {
   /// Idle worker keys per thread configuration (sorted for determinism).
   std::map<int, std::vector<std::uint64_t>> idle_;
 
-  // kLearnedBandit state: one arm per base policy.
-  struct BanditArm {
-    ScalingAlgorithm policy;
-    RunningStats profit_rate;
-  };
-  std::vector<BanditArm> bandit_arms_;
-  std::size_t bandit_current_arm_ = 0;
-  double bandit_epoch_start_reward_ = 0.0;
-  double bandit_epoch_start_cost_ = 0.0;
-  RandomStream bandit_rng_;
   RandomStream failure_rng_;
 
   RunMetrics metrics_;

@@ -1,0 +1,152 @@
+#include "scan/core/policy.hpp"
+
+#include <stdexcept>
+
+namespace scan::core {
+
+SchedulingPolicy::SchedulingPolicy(const SimulationConfig& config,
+                                   const gatk::PipelineModel& model,
+                                   std::optional<ThreadPlan> forced_plan,
+                                   std::optional<double> allocation_price_hint,
+                                   std::uint64_t seed)
+    : config_(config),
+      model_(model.Scaled(config.stage_time_scale)),
+      reward_(config.MakeRewardParams()),
+      queue_estimator_(model_.stage_count()),
+      forced_plan_(std::move(forced_plan)),
+      bandit_rng_(seed, "scaling-bandit") {
+  if (config_.scaling == ScalingAlgorithm::kLearnedBandit) {
+    bandit_arms_ = {{ScalingAlgorithm::kNeverScale, {}},
+                    {ScalingAlgorithm::kAlwaysScale, {}},
+                    {ScalingAlgorithm::kPredictive, {}}};
+    bandit_current_arm_ = 2;  // start from the paper's predictive policy
+  }
+  if (forced_plan_ && forced_plan_->size() != model_.stage_count()) {
+    throw std::invalid_argument("SchedulingPolicy: forced plan size mismatch");
+  }
+  // Plan optimizers assume the blended core price of the tier mix the run
+  // will see; the midpoint of the two tiers is a robust default (pure
+  // private prices over-widen plans, pure public prices over-narrow them).
+  const double default_price_hint =
+      0.5 * (config_.private_cost_per_core_tu + config_.public_cost_per_core_tu);
+  price_hint_ = allocation_price_hint.value_or(default_price_hint);
+  const AllocationContext ctx = MakeContext(price_hint_);
+  const DataSize expected{config_.mean_job_size};
+  switch (config_.allocation) {
+    case AllocationAlgorithm::kGreedy:
+      constant_plan_ = SequentialPlan(model_.stage_count());  // unused
+      break;
+    case AllocationAlgorithm::kLongTerm:
+    case AllocationAlgorithm::kLongTermAdaptive:
+      constant_plan_ = LongTermPlan(model_, expected, ctx);
+      break;
+    case AllocationAlgorithm::kBestConstant:
+      constant_plan_ = BestConstantPlan(model_, expected, ctx);
+      break;
+  }
+  if (forced_plan_) constant_plan_ = *forced_plan_;
+}
+
+AllocationContext SchedulingPolicy::MakeContext(double price) const {
+  return AllocationContext{price, std::span<const int>(config_.instance_sizes),
+                           reward_};
+}
+
+ThreadPlan SchedulingPolicy::PlanFor(DataSize size) const {
+  if (forced_plan_) return *forced_plan_;
+  if (config_.allocation == AllocationAlgorithm::kGreedy) {
+    return GreedyPlan(model_, size, MakeContext(price_hint_));
+  }
+  return constant_plan_;
+}
+
+void SchedulingPolicy::ObserveQueueWait(std::size_t stage, SimTime wait) {
+  queue_estimator_.Observe(stage, wait);
+}
+
+double SchedulingPolicy::QueueDelayCost(
+    std::span<const QueuedJobSnapshot> queue, SimTime delay) const {
+  double total = 0.0;
+  for (const QueuedJobSnapshot& job : queue) {
+    const SimTime ett = EstimateTotalTime(model_, queue_estimator_, job.size,
+                                          job.elapsed, job.stage, job.plan);
+    total += reward_.DelayCost(job.size, ett, delay).value();
+  }
+  return total;
+}
+
+bool SchedulingPolicy::PredictiveShouldHire(
+    std::span<const QueuedJobSnapshot> queue, std::size_t stage, int threads,
+    DataSize head_size, std::optional<SimTime> next_free_delay,
+    SimTime boot_penalty) const {
+  if (!next_free_delay) return true;  // nothing running: waiting cannot help
+  const SimTime delay = *next_free_delay;
+  if (delay <= SimTime{0.0}) return false;  // a worker frees "now"
+
+  const double delay_cost = QueueDelayCost(queue, delay);
+  const double hire_cost =
+      config_.public_cost_per_core_tu * static_cast<double>(threads) *
+      (model_.ThreadedTime(stage, threads, head_size) + boot_penalty).value();
+  return delay_cost > hire_cost;
+}
+
+ScalingAlgorithm SchedulingPolicy::EffectiveScaling() const {
+  if (config_.scaling != ScalingAlgorithm::kLearnedBandit) {
+    return config_.scaling;
+  }
+  return bandit_arms_[bandit_current_arm_].policy;
+}
+
+void SchedulingPolicy::BanditEpoch(double total_reward_so_far,
+                                   double total_cost_so_far) {
+  // Credit the finishing arm with the epoch's realized profit rate.
+  const double reward_delta = total_reward_so_far - bandit_epoch_start_reward_;
+  const double cost_delta = total_cost_so_far - bandit_epoch_start_cost_;
+  const double rate =
+      (reward_delta - cost_delta) / config_.bandit_epoch.value();
+  bandit_arms_[bandit_current_arm_].profit_rate.Add(rate);
+  bandit_epoch_start_reward_ = total_reward_so_far;
+  bandit_epoch_start_cost_ = total_cost_so_far;
+
+  // Epsilon-greedy selection; untried arms first so every policy gets at
+  // least one epoch of evidence.
+  for (std::size_t i = 0; i < bandit_arms_.size(); ++i) {
+    if (bandit_arms_[i].profit_rate.empty()) {
+      bandit_current_arm_ = i;
+      return;
+    }
+  }
+  if (bandit_rng_.Uniform() < config_.bandit_epsilon) {
+    bandit_current_arm_ = bandit_rng_.UniformBelow(
+        static_cast<std::uint32_t>(bandit_arms_.size()));
+    return;
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < bandit_arms_.size(); ++i) {
+    if (bandit_arms_[i].profit_rate.mean() >
+        bandit_arms_[best].profit_rate.mean()) {
+      best = i;
+    }
+  }
+  bandit_current_arm_ = best;
+}
+
+bool SchedulingPolicy::NoteCompletion() {
+  if (config_.allocation != AllocationAlgorithm::kLongTermAdaptive) {
+    return false;
+  }
+  if (++completions_since_replan_ < config_.adaptive_replan_every) {
+    return false;
+  }
+  completions_since_replan_ = 0;
+  return true;
+}
+
+void SchedulingPolicy::ReplanFromBill(const cloud::CostReport& bill) {
+  const double core_tus = bill.private_core_tus + bill.public_core_tus;
+  if (core_tus <= 0.0) return;
+  const AllocationContext ctx = MakeContext(bill.total.value() / core_tus);
+  constant_plan_ = LongTermPlan(model_, DataSize{config_.mean_job_size}, ctx);
+}
+
+}  // namespace scan::core

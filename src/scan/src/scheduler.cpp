@@ -21,61 +21,17 @@ Scheduler::Scheduler(const SimulationConfig& config, gatk::PipelineModel model,
                      std::uint64_t seed, SchedulerOptions options)
     : config_(config),
       options_(std::move(options)),
-      model_(model.Scaled(config.stage_time_scale)),
-      reward_(config.MakeRewardParams()),
+      policy_(config, model, options_.forced_plan,
+              options_.allocation_price_hint, seed),
       cloud_(config.MakeCloudConfig()),
       arrivals_(config.MakeArrivalParams(), seed),
-      queue_estimator_(model_.stage_count()),
-      queues_(model_.stage_count()),
-      bandit_rng_(seed, "scaling-bandit"),
+      queues_(policy_.model().stage_count()),
       failure_rng_(seed, "worker-failures") {
-  if (config_.scaling == ScalingAlgorithm::kLearnedBandit) {
-    bandit_arms_ = {{ScalingAlgorithm::kNeverScale, {}},
-                    {ScalingAlgorithm::kAlwaysScale, {}},
-                    {ScalingAlgorithm::kPredictive, {}}};
-    bandit_current_arm_ = 2;  // start from the paper's predictive policy
-  }
-  metrics_.stage_queue_wait.resize(model_.stage_count());
-  if (options_.forced_plan &&
-      options_.forced_plan->size() != model_.stage_count()) {
-    throw std::invalid_argument("Scheduler: forced plan size mismatch");
-  }
-  // Precompute the constant plan used by the long-term family.
-  // Plan optimizers assume the blended core price of the tier mix the run
-  // will see; the midpoint of the two tiers is a robust default (pure
-  // private prices over-widen plans, pure public prices over-narrow them).
-  const double default_price_hint =
-      0.5 * (config_.private_cost_per_core_tu + config_.public_cost_per_core_tu);
-  const AllocationContext ctx{
-      options_.allocation_price_hint.value_or(default_price_hint),
-      std::span<const int>(config_.instance_sizes), reward_};
-  const DataSize expected{config_.mean_job_size};
-  switch (config_.allocation) {
-    case AllocationAlgorithm::kGreedy:
-      constant_plan_ = SequentialPlan(model_.stage_count());  // unused
-      break;
-    case AllocationAlgorithm::kLongTerm:
-    case AllocationAlgorithm::kLongTermAdaptive:
-      constant_plan_ = LongTermPlan(model_, expected, ctx);
-      break;
-    case AllocationAlgorithm::kBestConstant:
-      constant_plan_ = BestConstantPlan(model_, expected, ctx);
-      break;
-  }
-  if (options_.forced_plan) constant_plan_ = *options_.forced_plan;
+  metrics_.stage_queue_wait.resize(policy_.model().stage_count());
 }
 
 ThreadPlan Scheduler::PlanFor(DataSize size) const {
-  if (options_.forced_plan) return *options_.forced_plan;
-  if (config_.allocation == AllocationAlgorithm::kGreedy) {
-    const AllocationContext ctx{
-        options_.allocation_price_hint.value_or(
-            0.5 * (config_.private_cost_per_core_tu +
-                   config_.public_cost_per_core_tu)),
-        std::span<const int>(config_.instance_sizes), reward_};
-    return GreedyPlan(model_, size, ctx);
-  }
-  return constant_plan_;
+  return policy_.PlanFor(size);
 }
 
 SchedulerView Scheduler::BuildView(SimTime when, std::uint64_t seq) const {
@@ -286,7 +242,7 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
     tier = cloud::Tier::kPrivate;
     ++metrics_.private_hires;
   } else {
-    switch (EffectiveScaling()) {
+    switch (policy_.EffectiveScaling()) {
       case ScalingAlgorithm::kNeverScale:
         return false;  // wait for a worker to free up
       case ScalingAlgorithm::kAlwaysScale:
@@ -327,11 +283,12 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   JobState& job = jobs_.at(job_id);
   const SimTime now = sim_.Now();
   const SimTime wait = now - job.enqueued_at;
-  queue_estimator_.Observe(stage, wait);
+  policy_.ObserveQueueWait(stage, wait);
   metrics_.queue_wait.Add(wait.value());
   metrics_.stage_queue_wait[stage].Add(wait.value());
 
-  const SimTime exec = model_.ThreadedTime(stage, worker.threads, job.size);
+  const SimTime exec =
+      policy_.model().ThreadedTime(stage, worker.threads, job.size);
   const SimTime done_at = start_time + exec;
   worker.busy = true;
   worker.current_job = job_id;
@@ -344,16 +301,23 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   // busy_until stays at done_at — the scheduler must not foresee the
   // crash, so NextWorkerFreeTime (and hence the predictive hire decision)
   // keeps reasoning from the planned completion time.
+  std::optional<SimTime> fail_at;
   if (config_.worker_failure_rate > 0.0) {
-    const SimTime fail_at =
+    const SimTime drawn =
         start_time +
         SimTime{failure_rng_.Exponential(1.0 / config_.worker_failure_rate)};
-    if (fail_at < done_at) {
-      sim_.ScheduleAt(fail_at, [this, job_id, worker_key](sim::Simulator&) {
-        OnWorkerFailure(job_id, worker_key);
-      });
-      return;
-    }
+    if (drawn < done_at) fail_at = drawn;
+  }
+  if (options_.record_schedule) {
+    metrics_.stage_schedule.push_back({job_id, stage, worker_key,
+                                       worker.threads, now, start_time,
+                                       done_at, fail_at.has_value()});
+  }
+  if (fail_at) {
+    sim_.ScheduleAt(*fail_at, [this, job_id, worker_key](sim::Simulator&) {
+      OnWorkerFailure(job_id, worker_key);
+    });
+    return;
   }
   sim_.ScheduleAt(done_at, [this, job_id, worker_key](sim::Simulator&) {
     OnTaskComplete(job_id, worker_key);
@@ -407,32 +371,25 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id,
 
   JobState& job = jobs_.at(job_id);
   ++job.stage;
-  if (job.stage == model_.stage_count()) {
+  if (job.stage == policy_.model().stage_count()) {
     // Pipeline run finished: settle the reward.
     const SimTime latency = now - job.arrival;
-    metrics_.total_reward += reward_(job.size, latency).value();
+    const double reward = policy_.reward()(job.size, latency).value();
+    metrics_.total_reward += reward;
     metrics_.latency.Add(latency.value());
     metrics_.core_stages.Add(
         static_cast<double>(TotalCoreStages(job.plan)));
     ++metrics_.jobs_completed;
+    if (options_.record_schedule) {
+      metrics_.job_completions.push_back({job_id, now, latency, reward});
+    }
     jobs_.erase(job_id);
 
     // Adaptive replanning: refresh the long-term plan with the effective
     // core price observed so far (the bill divided by core-time used),
     // which folds the realized private/public mix back into the optimizer.
-    if (config_.allocation == AllocationAlgorithm::kLongTermAdaptive &&
-        ++completions_since_replan_ >= config_.adaptive_replan_every) {
-      completions_since_replan_ = 0;
-      const cloud::CostReport bill = cloud_.CostUpTo(now);
-      const double core_tus =
-          bill.private_core_tus + bill.public_core_tus;
-      if (core_tus > 0.0) {
-        const AllocationContext ctx{
-            bill.total.value() / core_tus,
-            std::span<const int>(config_.instance_sizes), reward_};
-        constant_plan_ =
-            LongTermPlan(model_, DataSize{config_.mean_job_size}, ctx);
-      }
+    if (policy_.NoteCompletion()) {
+      policy_.ReplanFromBill(cloud_.CostUpTo(now));
     }
   } else {
     EnqueueJob(job_id);
@@ -511,76 +468,33 @@ std::optional<SimTime> Scheduler::NextWorkerFreeTime() const {
   return earliest;
 }
 
-double Scheduler::QueueDelayCost(std::size_t stage, SimTime delay) const {
-  double total = 0.0;
+std::vector<QueuedJobSnapshot> Scheduler::SnapshotQueue(
+    std::size_t stage) const {
+  std::vector<QueuedJobSnapshot> snapshot;
+  snapshot.reserve(queues_[stage].size());
   const SimTime now = sim_.Now();
   for (const std::uint64_t job_id : queues_[stage]) {
     const JobState& job = jobs_.at(job_id);
-    const SimTime ett =
-        EstimateTotalTime(model_, queue_estimator_, job.size,
-                          now - job.arrival, job.stage,
-                          std::span<const int>(job.plan));
-    total += reward_.DelayCost(job.size, ett, delay).value();
+    snapshot.push_back({job.size, now - job.arrival, job.stage,
+                        std::span<const int>(job.plan)});
   }
-  return total;
-}
-
-ScalingAlgorithm Scheduler::EffectiveScaling() const {
-  if (config_.scaling != ScalingAlgorithm::kLearnedBandit) {
-    return config_.scaling;
-  }
-  return bandit_arms_[bandit_current_arm_].policy;
+  return snapshot;
 }
 
 void Scheduler::BanditEpoch() {
-  // Credit the finishing arm with the epoch's realized profit rate.
   const cloud::CostReport bill = cloud_.CostUpTo(sim_.Now());
-  const double reward_delta =
-      metrics_.total_reward - bandit_epoch_start_reward_;
-  const double cost_delta = bill.total.value() - bandit_epoch_start_cost_;
-  const double rate =
-      (reward_delta - cost_delta) / config_.bandit_epoch.value();
-  bandit_arms_[bandit_current_arm_].profit_rate.Add(rate);
-  bandit_epoch_start_reward_ = metrics_.total_reward;
-  bandit_epoch_start_cost_ = bill.total.value();
-
-  // Epsilon-greedy selection; untried arms first so every policy gets at
-  // least one epoch of evidence.
-  for (std::size_t i = 0; i < bandit_arms_.size(); ++i) {
-    if (bandit_arms_[i].profit_rate.empty()) {
-      bandit_current_arm_ = i;
-      return;
-    }
-  }
-  if (bandit_rng_.Uniform() < config_.bandit_epsilon) {
-    bandit_current_arm_ = bandit_rng_.UniformBelow(
-        static_cast<std::uint32_t>(bandit_arms_.size()));
-    return;
-  }
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < bandit_arms_.size(); ++i) {
-    if (bandit_arms_[i].profit_rate.mean() >
-        bandit_arms_[best].profit_rate.mean()) {
-      best = i;
-    }
-  }
-  bandit_current_arm_ = best;
+  policy_.BanditEpoch(metrics_.total_reward, bill.total.value());
 }
 
 bool Scheduler::PredictiveShouldHire(std::size_t stage, int threads,
                                      DataSize head_size) {
-  const auto next_free = NextWorkerFreeTime();
-  if (!next_free) return true;  // nothing running: waiting cannot help
-  const SimTime delay = *next_free - sim_.Now();
-  if (delay <= SimTime{0.0}) return false;  // a worker frees "now"
-
-  const double delay_cost = QueueDelayCost(stage, delay);
-  const double hire_cost =
-      config_.public_cost_per_core_tu * static_cast<double>(threads) *
-      (model_.ThreadedTime(stage, threads, head_size) +
-       cloud_.config().boot_penalty)
-          .value();
-  return delay_cost > hire_cost;
+  std::optional<SimTime> next_free_delay;
+  if (const auto next_free = NextWorkerFreeTime()) {
+    next_free_delay = *next_free - sim_.Now();
+  }
+  return policy_.PredictiveShouldHire(SnapshotQueue(stage), stage, threads,
+                                      head_size, next_free_delay,
+                                      cloud_.config().boot_penalty);
 }
 
 }  // namespace scan::core

@@ -1,0 +1,48 @@
+#pragma once
+
+// Sim <-> runtime parity oracle: the cross-validation contract of the live
+// runtime. Under the runtime's VirtualClock, a pinned seed must make the
+// simulator and the live platform produce the *same run* — the identical
+// per-job stage schedule (worker, threads, start, end for every
+// assignment), the identical completions, and a bit-identical
+// MetricsFingerprint — even though the runtime executed every stage task
+// on real OS threads. The two sides share only the SchedulingPolicy
+// decision core; queues, worker books, and the event loop are independent
+// implementations, so agreement here checks both against each other.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/core/config.hpp"
+#include "scan/runtime/runtime_platform.hpp"
+#include "scan/testkit/digest.hpp"
+
+namespace scan::testkit {
+
+/// Outcome of one sim-vs-runtime comparison.
+struct ParityResult {
+  std::uint64_t seed = 0;
+  MetricsFingerprint sim_fingerprint;
+  MetricsFingerprint runtime_fingerprint;
+  /// Assignments / completed jobs compared (identical on both sides when
+  /// ok(); the sim's counts otherwise).
+  std::size_t stage_records = 0;
+  std::size_t job_records = 0;
+  /// Human-readable differences; empty means bit-for-bit agreement.
+  std::vector<std::string> mismatches;
+
+  [[nodiscard]] bool ok() const { return mismatches.empty(); }
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// Runs the discrete-event simulator and the live runtime (forced to
+/// VirtualClock, schedule recording on) with the same config and seed and
+/// compares the full parity payload. Remaining `runtime_options` fields
+/// (forced plan, price hint, trace, timeline sampling) are honored and
+/// mirrored onto the simulator's options.
+[[nodiscard]] ParityResult CheckSimRuntimeParity(
+    const core::SimulationConfig& config, std::uint64_t seed,
+    runtime::RuntimeOptions runtime_options = {});
+
+}  // namespace scan::testkit

@@ -1,0 +1,131 @@
+#include "scan/testkit/parity.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "scan/core/scheduler.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+
+namespace scan::testkit {
+
+namespace {
+
+constexpr std::size_t kMaxReportedMismatches = 12;
+
+void Note(std::vector<std::string>& mismatches, std::string message) {
+  if (mismatches.size() < kMaxReportedMismatches) {
+    mismatches.push_back(std::move(message));
+  }
+}
+
+/// Exact (bitwise for doubles) comparison of the recorded schedules.
+void CompareSchedules(const core::RunMetrics& sim,
+                      const core::RunMetrics& live,
+                      std::vector<std::string>& mismatches) {
+  if (sim.stage_schedule.size() != live.stage_schedule.size()) {
+    Note(mismatches,
+         "stage_schedule size: sim=" + std::to_string(sim.stage_schedule.size()) +
+             " runtime=" + std::to_string(live.stage_schedule.size()));
+  }
+  const std::size_t n =
+      std::min(sim.stage_schedule.size(), live.stage_schedule.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::StageRecord& a = sim.stage_schedule[i];
+    const core::StageRecord& b = live.stage_schedule[i];
+    if (a.job_id != b.job_id || a.stage != b.stage ||
+        a.worker_key != b.worker_key || a.threads != b.threads ||
+        a.dispatched != b.dispatched || a.start != b.start ||
+        a.end != b.end || a.preempted_by_failure != b.preempted_by_failure) {
+      std::ostringstream oss;
+      oss << "stage_schedule[" << i << "]: sim(job " << a.job_id << " stage "
+          << a.stage << " worker " << a.worker_key << " x" << a.threads
+          << " @" << a.start.value() << ".." << a.end.value()
+          << (a.preempted_by_failure ? " CRASH" : "") << ") != runtime(job "
+          << b.job_id << " stage " << b.stage << " worker " << b.worker_key
+          << " x" << b.threads << " @" << b.start.value() << ".."
+          << b.end.value() << (b.preempted_by_failure ? " CRASH" : "") << ")";
+      Note(mismatches, oss.str());
+    }
+  }
+
+  if (sim.job_completions.size() != live.job_completions.size()) {
+    Note(mismatches,
+         "job_completions size: sim=" + std::to_string(sim.job_completions.size()) +
+             " runtime=" + std::to_string(live.job_completions.size()));
+  }
+  const std::size_t m =
+      std::min(sim.job_completions.size(), live.job_completions.size());
+  for (std::size_t i = 0; i < m; ++i) {
+    const core::JobCompletionRecord& a = sim.job_completions[i];
+    const core::JobCompletionRecord& b = live.job_completions[i];
+    if (a.job_id != b.job_id || a.finished != b.finished ||
+        a.latency != b.latency || a.reward != b.reward) {
+      std::ostringstream oss;
+      oss << "job_completions[" << i << "]: sim(job " << a.job_id << " @"
+          << a.finished.value() << " latency " << a.latency.value()
+          << " reward " << a.reward << ") != runtime(job " << b.job_id << " @"
+          << b.finished.value() << " latency " << b.latency.value()
+          << " reward " << b.reward << ")";
+      Note(mismatches, oss.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::string ParityResult::Describe() const {
+  std::ostringstream oss;
+  oss << "parity seed=" << seed << " records=" << stage_records << "/"
+      << job_records;
+  if (ok()) {
+    oss << " OK (digest " << sim_fingerprint.digest << ")";
+    return oss.str();
+  }
+  oss << " MISMATCH:";
+  for (const std::string& m : mismatches) oss << "\n  " << m;
+  return oss.str();
+}
+
+ParityResult CheckSimRuntimeParity(const core::SimulationConfig& config,
+                                   std::uint64_t seed,
+                                   runtime::RuntimeOptions runtime_options) {
+  runtime_options.clock = runtime::ClockMode::kVirtual;
+  runtime_options.record_schedule = true;
+
+  core::SchedulerOptions sim_options;
+  sim_options.forced_plan = runtime_options.forced_plan;
+  sim_options.allocation_price_hint = runtime_options.allocation_price_hint;
+  sim_options.trace = runtime_options.trace;
+  sim_options.timeline_sample_period = runtime_options.timeline_sample_period;
+  sim_options.record_schedule = true;
+
+  core::Scheduler scheduler(config, gatk::PipelineModel::PaperGatk(), seed,
+                            sim_options);
+  const core::RunMetrics sim_metrics = scheduler.Run();
+
+  runtime::RuntimePlatform platform(config, gatk::PipelineModel::PaperGatk(),
+                                    seed, runtime_options);
+  const runtime::RuntimeReport report = platform.Serve();
+
+  ParityResult result;
+  result.seed = seed;
+  result.sim_fingerprint = MetricsFingerprint::Of(sim_metrics);
+  result.runtime_fingerprint = MetricsFingerprint::Of(report.metrics);
+  result.stage_records = sim_metrics.stage_schedule.size();
+  result.job_records = sim_metrics.job_completions.size();
+
+  CompareSchedules(sim_metrics, report.metrics, result.mismatches);
+  if (result.sim_fingerprint.digest != result.runtime_fingerprint.digest) {
+    for (std::string& diff :
+         result.sim_fingerprint.DiffAgainst(result.runtime_fingerprint)) {
+      Note(result.mismatches, "fingerprint " + std::move(diff));
+    }
+    Note(result.mismatches,
+         "fingerprint digest: sim=" +
+             std::to_string(result.sim_fingerprint.digest) +
+             " runtime=" + std::to_string(result.runtime_fingerprint.digest));
+  }
+  return result;
+}
+
+}  // namespace scan::testkit

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 namespace scan {
@@ -56,6 +59,49 @@ TEST(ThreadPoolTest, SubmitWithResultReturnsValue) {
   ThreadPool pool(2);
   auto fut = pool.SubmitWithResult([] { return 6 * 7; });
   EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, CountersSettleAfterWaitIdle) {
+  ThreadPool pool(4);
+  const std::uint64_t executed_before = pool.tasks_executed();
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit(UniqueTask([&] { counter.fetch_add(1); }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_EQ(pool.tasks_executed() - executed_before, 200u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, QueueDepthSeesBacklogBehindBlockedWorkers) {
+  // One worker, blocked on a latch: everything submitted behind it must be
+  // visible as queue depth, and pending must count the executing task too.
+  ThreadPool pool(1);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<bool> first_running{false};
+  pool.Submit(UniqueTask([&] {
+    first_running.store(true);
+    std::unique_lock lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  }));
+  while (!first_running.load()) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit(UniqueTask([] {}));
+  }
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  EXPECT_EQ(pool.pending(), 6u);
+  {
+    const std::scoped_lock lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  pool.WaitIdle();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.pending(), 0u);
 }
 
 TEST(ThreadPoolTest, SubmitWithResultPropagatesException) {
