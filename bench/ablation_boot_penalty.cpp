@@ -20,6 +20,7 @@ using namespace scan::core;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const auto obs_session = bench::MakeObsSession(flags);
   const int reps = flags.GetInt("reps", 5);
   const double duration = flags.GetDouble("duration", 3000.0);
   const double interval = flags.GetDouble("interval", 2.2);

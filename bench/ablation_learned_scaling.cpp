@@ -22,6 +22,7 @@ using namespace scan::core;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const auto obs_session = bench::MakeObsSession(flags);
   const int reps = flags.GetInt("reps", 5);
   const double duration = flags.GetDouble("duration", 5000.0);
   const double epoch = flags.GetDouble("epoch", 50.0);

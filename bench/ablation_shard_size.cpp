@@ -77,6 +77,7 @@ ShardOutcome EvaluateShardSize(const gatk::PipelineModel& model, double job_gb,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const auto obs_session = bench::MakeObsSession(flags);
   const double job_gb = flags.GetDouble("job-gb", 40.0);
   const double price = 5.0;  // private tier
 

@@ -44,6 +44,7 @@ Row RunOnce(core::SimulationConfig config, RuntimeOptions options,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const auto obs_session = bench::MakeObsSession(flags);
   const double virtual_tu = flags.GetDouble("duration", 2000.0);
   const double wall_tu = flags.GetDouble("wall-duration", 150.0);
   const double ms_per_tu = flags.GetDouble("ms-per-tu", 2.0);

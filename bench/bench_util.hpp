@@ -18,6 +18,7 @@
 
 #include "scan/common/csv.hpp"
 #include "scan/common/str.hpp"
+#include "scan/obs/session.hpp"
 
 namespace scan::bench {
 
@@ -148,6 +149,25 @@ inline void Emit(const CsvTable& table, const Flags& flags) {
 /// "mean +- stddev" cell.
 inline std::string MeanStd(double mean, double stddev) {
   return StrFormat("%.1f +- %.1f", mean, stddev);
+}
+
+/// Observability wiring shared by every bench/example binary:
+///   --trace=PATH           trace events (.jsonl = JSONL, else Chrome JSON)
+///   --metrics=PATH         metrics (.json = snapshot, else Prometheus text)
+///   --audit=PATH           scheduler decision audit (JSONL)
+///   --log-level=LEVEL      trace|debug|info|warning|error|off
+///   --trace-capacity=N     per-thread trace ring size (events)
+/// Construction enables the requested subsystems; exports happen when the
+/// returned session leaves scope (keep it alive for the whole run).
+[[nodiscard]] inline obs::ObsSession MakeObsSession(const Flags& flags) {
+  obs::ObsOptions opts;
+  opts.trace_path = flags.GetString("trace", "");
+  opts.metrics_path = flags.GetString("metrics", "");
+  opts.audit_path = flags.GetString("audit", "");
+  opts.log_level = flags.GetString("log-level", "");
+  opts.trace_capacity =
+      static_cast<std::size_t>(flags.GetDouble("trace-capacity", 0.0));
+  return obs::ObsSession(std::move(opts));
 }
 
 }  // namespace scan::bench

@@ -24,6 +24,7 @@ using namespace scan::core;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const auto obs_session = bench::MakeObsSession(flags);
   const bool quick = flags.Has("quick");
   const int reps = flags.GetInt("reps", quick ? 3 : 10);
   const double duration = flags.GetDouble("duration", quick ? 2000.0 : 10000.0);

@@ -56,6 +56,7 @@ std::vector<ThreadPlan> WideningPlans(int max_core_stages) {
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const auto obs_session = bench::MakeObsSession(flags);
   const bool quick = flags.Has("quick");
   const int reps = flags.GetInt("reps", quick ? 3 : 10);
   const double duration = flags.GetDouble("duration", quick ? 1500.0 : 5000.0);

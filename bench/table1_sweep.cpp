@@ -34,6 +34,7 @@ using namespace scan::core;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const auto obs_session = bench::MakeObsSession(flags);
   const bool full = flags.Has("full");
   const bool verify = flags.Has("verify");
   const int reps = flags.GetInt("reps", full ? 10 : 3);

@@ -22,6 +22,7 @@ using namespace scan::gatk;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const auto obs_session = bench::MakeObsSession(flags);
   ProfileSpec spec;
   spec.noise_stddev = flags.GetDouble("noise", 0.02);
   spec.repetitions = flags.GetInt("reps", 3);

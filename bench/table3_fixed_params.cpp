@@ -16,6 +16,7 @@ using namespace scan::core;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const auto obs_session = bench::MakeObsSession(flags);
   const SimulationConfig config;
 
   struct Row {

@@ -1,0 +1,250 @@
+// obs_inspect: read a scan_obs trace (Chrome trace JSON or JSONL) and
+// summarize it — per-stage queue-wait totals and the critical-path
+// breakdown (queue wait vs. execution) of the slowest jobs.
+//
+//   $ ./table1_sweep --trace=run.json          # record a trace
+//   $ ./obs_inspect run.json                   # inspect it
+//   $ ./obs_inspect                            # self-check (see below)
+//
+// With no argument the binary runs its self-check: a pinned-seed
+// Scheduler run with tracing enabled, exported to JSONL, parsed back with
+// the same parser used for files, and cross-checked against the run's
+// RunMetrics — the per-stage queue-wait totals recovered from the trace
+// must match the scheduler's own stage_queue_wait accumulators. This is
+// registered as a ctest, so the exporters and this parser cannot drift
+// from the instrumentation.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scan/common/str.hpp"
+#include "scan/core/scheduler.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/obs/trace.hpp"
+
+using namespace scan;
+
+namespace {
+
+/// One parsed trace event (file-format independent, times in TU).
+struct ParsedEvent {
+  std::string kind;
+  double t = 0.0;
+  double dur = 0.0;
+  std::uint64_t track = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double v = 0.0;
+};
+
+/// Extracts the number following `"key":` in a JSON object line. Good
+/// enough for the exporters' machine-written one-object-per-line output.
+std::optional<double> FindNumber(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  return ParseDouble(line.substr(pos + needle.size(),
+                                 line.find_first_of(",}", pos + needle.size()) -
+                                     (pos + needle.size())));
+}
+
+std::optional<std::string> FindString(std::string_view line,
+                                      std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":\"";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(line.substr(start, end - start));
+}
+
+/// Parses either export format; Chrome traces are detected by the
+/// "traceEvents" wrapper and their ts/dur converted back from trace
+/// microseconds to TU (1 TU = 1000 us, see trace.cpp).
+std::vector<ParsedEvent> ParseTraceFile(const std::string& path, bool& ok) {
+  std::ifstream in(path);
+  ok = static_cast<bool>(in);
+  std::vector<ParsedEvent> events;
+  if (!ok) return events;
+  bool chrome = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"traceEvents\"") != std::string::npos) {
+      chrome = true;
+      continue;
+    }
+    ParsedEvent ev;
+    if (chrome) {
+      const auto name = FindString(line, "name");
+      const auto ts = FindNumber(line, "ts");
+      if (!name || !ts) continue;
+      ev.kind = *name;
+      ev.t = *ts / 1000.0;
+      ev.dur = FindNumber(line, "dur").value_or(0.0) / 1000.0;
+      ev.track =
+          static_cast<std::uint64_t>(FindNumber(line, "tid").value_or(0.0));
+    } else {
+      const auto kind = FindString(line, "kind");
+      const auto t = FindNumber(line, "t");
+      if (!kind || !t) continue;
+      ev.kind = *kind;
+      ev.t = *t;
+      ev.dur = FindNumber(line, "dur").value_or(0.0);
+      ev.track =
+          static_cast<std::uint64_t>(FindNumber(line, "track").value_or(0.0));
+    }
+    ev.a = static_cast<std::uint64_t>(FindNumber(line, "a").value_or(0.0));
+    ev.b = static_cast<std::uint64_t>(FindNumber(line, "b").value_or(0.0));
+    ev.v = FindNumber(line, "v").value_or(0.0);
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+struct JobPath {
+  double queue_wait = 0.0;
+  double exec = 0.0;
+  double latency = 0.0;
+  bool completed = false;
+};
+
+struct TraceSummary {
+  std::map<std::uint64_t, double> stage_queue_wait;  ///< stage -> total TU
+  std::map<std::uint64_t, std::uint64_t> stage_dequeues;
+  std::map<std::uint64_t, JobPath> jobs;
+  std::size_t events = 0;
+};
+
+TraceSummary Summarize(const std::vector<ParsedEvent>& events) {
+  TraceSummary s;
+  s.events = events.size();
+  for (const ParsedEvent& ev : events) {
+    if (ev.kind == "queue-dequeue") {
+      s.stage_queue_wait[ev.b] += ev.v;
+      ++s.stage_dequeues[ev.b];
+      s.jobs[ev.a].queue_wait += ev.v;
+    } else if (ev.kind == "stage-exec") {
+      s.jobs[ev.a].exec += ev.dur;
+    } else if (ev.kind == "job-complete") {
+      s.jobs[ev.a].latency = ev.v;
+      s.jobs[ev.a].completed = true;
+    }
+  }
+  return s;
+}
+
+void PrintSummary(const TraceSummary& s) {
+  std::printf("%zu events\n\nqueue-wait breakdown per stage:\n", s.events);
+  std::printf("  %-6s %10s %12s %12s\n", "stage", "dequeues", "total TU",
+              "mean TU");
+  for (const auto& [stage, total] : s.stage_queue_wait) {
+    const auto n = s.stage_dequeues.at(stage);
+    std::printf("  %-6llu %10llu %12.2f %12.3f\n",
+                static_cast<unsigned long long>(stage),
+                static_cast<unsigned long long>(n), total,
+                n > 0 ? total / static_cast<double>(n) : 0.0);
+  }
+
+  // Critical path of the slowest completed jobs: latency splits into queue
+  // wait + execution + boot/configure slack (the remainder).
+  std::vector<std::pair<double, std::uint64_t>> slowest;
+  for (const auto& [id, path] : s.jobs) {
+    if (path.completed) slowest.emplace_back(path.latency, id);
+  }
+  std::sort(slowest.rbegin(), slowest.rend());
+  std::printf("\ncritical path of the %zu slowest jobs (TU):\n",
+              std::min<std::size_t>(slowest.size(), 5));
+  std::printf("  %-8s %10s %10s %10s %10s\n", "job", "latency", "queued",
+              "executing", "other");
+  for (std::size_t i = 0; i < slowest.size() && i < 5; ++i) {
+    const JobPath& p = s.jobs.at(slowest[i].second);
+    std::printf("  %-8llu %10.2f %10.2f %10.2f %10.2f\n",
+                static_cast<unsigned long long>(slowest[i].second), p.latency,
+                p.queue_wait, p.exec,
+                std::max(0.0, p.latency - p.queue_wait - p.exec));
+  }
+}
+
+/// Self-check: trace a pinned Scheduler run, export + re-parse, and
+/// compare per-stage queue-wait totals against RunMetrics.
+int SelfCheck() {
+  core::SimulationConfig config;
+  config.duration = SimTime{2000.0};
+  config.scaling = core::ScalingAlgorithm::kPredictive;
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Enable();
+  core::Scheduler scheduler(config, gatk::PipelineModel::PaperGatk(), 42);
+  const core::RunMetrics metrics = scheduler.Run();
+  recorder.Disable();
+
+  const std::string path = "obs_inspect_selfcheck.jsonl";
+  if (!recorder.ExportJsonl(path)) {
+    std::fprintf(stderr, "self-check: JSONL export failed\n");
+    return 1;
+  }
+  bool ok = false;
+  const TraceSummary summary = Summarize(ParseTraceFile(path, ok));
+  std::remove(path.c_str());
+  if (!ok || summary.events == 0) {
+    std::fprintf(stderr, "self-check: could not read back %s\n", path.c_str());
+    return 1;
+  }
+  PrintSummary(summary);
+
+  // Every stage's recovered total must match the scheduler's own Welford
+  // accumulator (sum = mean * count) to float round-trip precision.
+  bool pass = metrics.jobs_completed > 0;
+  for (std::size_t stage = 0; stage < metrics.stage_queue_wait.size();
+       ++stage) {
+    const auto& stats = metrics.stage_queue_wait[stage];
+    const double expect = stats.mean() * static_cast<double>(stats.count());
+    const auto it = summary.stage_queue_wait.find(stage);
+    const double got = it == summary.stage_queue_wait.end() ? 0.0 : it->second;
+    const double tol = 1e-6 * std::max(1.0, std::fabs(expect));
+    if (std::fabs(got - expect) > tol) {
+      std::fprintf(stderr,
+                   "self-check: stage %zu queue-wait mismatch "
+                   "(trace %.9g vs metrics %.9g)\n",
+                   stage, got, expect);
+      pass = false;
+    }
+    const auto n = summary.stage_dequeues.count(stage)
+                       ? summary.stage_dequeues.at(stage)
+                       : 0;
+    if (n != stats.count()) {
+      std::fprintf(stderr,
+                   "self-check: stage %zu dequeue count mismatch "
+                   "(trace %llu vs metrics %zu)\n",
+                   stage, static_cast<unsigned long long>(n), stats.count());
+      pass = false;
+    }
+  }
+  std::printf("\nself-check (trace vs RunMetrics.stage_queue_wait): %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return SelfCheck();
+  bool ok = false;
+  const std::vector<ParsedEvent> events = ParseTraceFile(argv[1], ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::printf("%s: ", argv[1]);
+  PrintSummary(Summarize(events));
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "scan/gatk/pipeline_model.hpp"
+#include "scan/obs/session.hpp"
 #include "scan/runtime/runtime_platform.hpp"
 
 using namespace scan;
@@ -43,6 +44,17 @@ bool HasFlag(int argc, char** argv, const char* name) {
   return false;
 }
 
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,6 +64,14 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(FlagValue(argc, argv, "threads", 8));
   const auto seed =
       static_cast<std::uint64_t>(FlagValue(argc, argv, "seed", 42));
+
+  // Observability: --trace=PATH --metrics=PATH --audit=PATH --log-level=L.
+  obs::ObsOptions obs_opts;
+  obs_opts.trace_path = StringFlag(argc, argv, "trace", "");
+  obs_opts.metrics_path = StringFlag(argc, argv, "metrics", "");
+  obs_opts.audit_path = StringFlag(argc, argv, "audit", "");
+  obs_opts.log_level = StringFlag(argc, argv, "log-level", "");
+  const obs::ObsSession obs_session(std::move(obs_opts));
 
   core::SimulationConfig config;
   config.duration = SimTime{duration};

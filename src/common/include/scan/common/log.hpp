@@ -4,9 +4,23 @@
 // assembles its message privately and emits it atomically on destruction.
 // The simulator and scheduler use kDebug/kTrace for event tracing; bench
 // binaries default to kWarning so exhibit output stays clean.
+//
+// The threshold is an inline atomic read with relaxed ordering: LogLine is
+// constructed on every log statement, including from runtime worker
+// threads, so the disabled path must stay a single load + branch with no
+// function call or lock.
+//
+// Every emitted line carries a monotonic wall-clock prefix (seconds since
+// the first log line) and the current simulation time (fed by the
+// simulator / runtime event loops via SetLogSimTime), so log output can be
+// correlated with scan_obs trace events.
 
+#include <atomic>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace scan {
@@ -22,9 +36,44 @@ enum class LogLevel : int {
 
 [[nodiscard]] std::string_view LogLevelName(LogLevel level);
 
+/// Parses "trace", "debug", "info", "warning"/"warn", "error", "off"
+/// (case-sensitive, matching the flag spelling); nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> ParseLogLevel(std::string_view name);
+
+namespace internal {
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+/// Simulation time of the event being processed; NaN = no simulation
+/// clock is running (prefix shows "-").
+inline std::atomic<double> g_log_sim_time{
+    std::numeric_limits<double>::quiet_NaN()};
+}  // namespace internal
+
 /// Process-wide minimum level; messages below it are dropped.
-void SetLogLevel(LogLevel level);
-[[nodiscard]] LogLevel GetLogLevel();
+inline void SetLogLevel(LogLevel level) {
+  internal::g_log_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
+[[nodiscard]] inline LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      internal::g_log_level.load(std::memory_order_relaxed));
+}
+
+/// Stamps the simulation time shown in log prefixes. The simulator and
+/// the runtime event loops call this as they advance their clocks.
+inline void SetLogSimTime(double time_tu) {
+  internal::g_log_sim_time.store(time_tu, std::memory_order_relaxed);
+}
+[[nodiscard]] inline double GetLogSimTime() {
+  return internal::g_log_sim_time.load(std::memory_order_relaxed);
+}
+
+/// Formats one log line (no trailing newline): wall seconds + sim time
+/// prefix, level tag, message. Exposed for tests; EmitLogLine supplies
+/// the live timestamps.
+[[nodiscard]] std::string FormatLogLine(LogLevel level,
+                                        std::string_view message,
+                                        double wall_seconds,
+                                        double sim_time_tu);
 
 /// Internal: writes one formatted line to stderr under a global mutex.
 void EmitLogLine(LogLevel level, std::string_view message);

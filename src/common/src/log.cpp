@@ -1,14 +1,23 @@
 #include "scan/common/log.hpp"
 
-#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
-#include <string>
+
+#include "scan/common/str.hpp"
 
 namespace scan {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
 std::mutex g_emit_mutex;
+
+/// Monotonic origin for the wall-clock prefix: the first emitted line.
+double WallSecondsSinceStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
 }  // namespace
 
 std::string_view LogLevelName(LogLevel level) {
@@ -29,20 +38,32 @@ std::string_view LogLevelName(LogLevel level) {
   return "?";
 }
 
-void SetLogLevel(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warning" || name == "warn") return LogLevel::kWarning;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
 }
 
-LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+std::string FormatLogLine(LogLevel level, std::string_view message,
+                          double wall_seconds, double sim_time_tu) {
+  const std::string sim = std::isnan(sim_time_tu)
+                              ? std::string("-")
+                              : StrFormat("%.3f", sim_time_tu);
+  return StrFormat("[%8.3fs tu=%s] [%.*s] %.*s", wall_seconds, sim.c_str(),
+                   static_cast<int>(LogLevelName(level).size()),
+                   LogLevelName(level).data(),
+                   static_cast<int>(message.size()), message.data());
 }
 
 void EmitLogLine(LogLevel level, std::string_view message) {
+  const std::string line =
+      FormatLogLine(level, message, WallSecondsSinceStart(), GetLogSimTime());
   const std::scoped_lock lock(g_emit_mutex);
-  std::fprintf(stderr, "[%.*s] %.*s\n",
-               static_cast<int>(LogLevelName(level).size()),
-               LogLevelName(level).data(), static_cast<int>(message.size()),
-               message.data());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace scan

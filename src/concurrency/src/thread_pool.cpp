@@ -5,6 +5,8 @@
 #include <chrono>
 #include <exception>
 
+#include "scan/obs/metrics.hpp"
+
 namespace scan {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -36,7 +38,12 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(UniqueTask task) {
   assert(task);
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  queued_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t depth = queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (obs::MetricsEnabled()) {
+    obs::PoolMetrics& pm = obs::PoolMetrics::Global();
+    pm.tasks_submitted->Increment();
+    pm.queue_depth->Set(static_cast<double>(depth));
+  }
   const std::size_t home =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
@@ -81,6 +88,9 @@ void ThreadPool::WorkerLoop(std::size_t index) {
       // exceptions into the future before reaching here.
       task();
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::MetricsEnabled()) {
+        obs::PoolMetrics::Global().tasks_executed->Increment();
+      }
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         const std::scoped_lock lock(sleep_mutex_);
         idle_.notify_all();

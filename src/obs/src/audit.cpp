@@ -1,0 +1,122 @@
+#include "scan/obs/audit.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <mutex>
+
+#include "scan/common/str.hpp"
+
+namespace scan::obs {
+
+const char* HireChoiceName(HireChoice choice) {
+  switch (choice) {
+    case HireChoice::kReuseIdle:
+      return "reuse-idle";
+    case HireChoice::kReconfigure:
+      return "reconfigure";
+    case HireChoice::kHirePrivate:
+      return "hire-private";
+    case HireChoice::kHirePublic:
+      return "hire-public";
+    case HireChoice::kWait:
+      return "wait";
+  }
+  return "?";
+}
+
+struct DecisionAudit::Impl {
+  mutable std::mutex mutex;
+  std::vector<HireDecisionRecord> hires;
+  std::vector<PlanDecisionRecord> plans;
+};
+
+DecisionAudit& DecisionAudit::Global() {
+  static DecisionAudit audit;
+  return audit;
+}
+
+DecisionAudit::Impl& DecisionAudit::impl() const {
+  static Impl the_impl;
+  return the_impl;
+}
+
+void DecisionAudit::Clear() {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  im.hires.clear();
+  im.plans.clear();
+}
+
+void DecisionAudit::RecordHire(const HireDecisionRecord& record) {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  im.hires.push_back(record);
+}
+
+void DecisionAudit::RecordPlan(PlanDecisionRecord record) {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  im.plans.push_back(std::move(record));
+}
+
+std::vector<HireDecisionRecord> DecisionAudit::hires() const {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  return im.hires;
+}
+
+std::vector<PlanDecisionRecord> DecisionAudit::plans() const {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  return im.plans;
+}
+
+namespace {
+
+/// JSON has no NaN; unpriced fields become null.
+std::string JsonNumberOrNull(double value) {
+  if (std::isnan(value)) return "null";
+  return StrFormat("%.17g", value);
+}
+
+}  // namespace
+
+bool DecisionAudit::ExportJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  for (const HireDecisionRecord& r : im.hires) {
+    out << "{\"type\":\"hire\",\"t\":" << StrFormat("%.17g", r.time_tu)
+        << ",\"job\":" << r.job_id << ",\"stage\":" << r.stage
+        << ",\"threads\":" << r.threads << ",\"choice\":\""
+        << HireChoiceName(r.choice) << "\",\"scaling\":\"" << r.scaling
+        << "\",\"queue_length\":" << r.queue_length
+        << ",\"head_size_du\":" << StrFormat("%.17g", r.head_size_du)
+        << ",\"delay_cost\":" << JsonNumberOrNull(r.delay_cost)
+        << ",\"hire_cost\":" << JsonNumberOrNull(r.hire_cost)
+        << ",\"next_free_delay_tu\":"
+        << JsonNumberOrNull(r.next_free_delay_tu)
+        << ",\"boot_penalty_tu\":" << StrFormat("%.17g", r.boot_penalty_tu)
+        << ",\"public_core_price\":"
+        << StrFormat("%.17g", r.public_core_price) << "}\n";
+  }
+  for (const PlanDecisionRecord& r : im.plans) {
+    out << "{\"type\":\"plan\",\"t\":" << StrFormat("%.17g", r.time_tu)
+        << ",\"job\":" << r.job_id
+        << ",\"size_du\":" << StrFormat("%.17g", r.size_du)
+        << ",\"allocation\":\"" << r.allocation << "\",\"plan\":[";
+    for (std::size_t i = 0; i < r.plan.size(); ++i) {
+      if (i > 0) out << ',';
+      out << r.plan[i];
+    }
+    out << "],\"price_hint\":" << StrFormat("%.17g", r.price_hint)
+        << ",\"predicted_exec_tu\":"
+        << StrFormat("%.17g", r.predicted_exec_tu)
+        << ",\"predicted_reward\":"
+        << StrFormat("%.17g", r.predicted_reward) << "}\n";
+  }
+  return out.good();
+}
+
+}  // namespace scan::obs

@@ -1,0 +1,210 @@
+#include "scan/obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "scan/common/str.hpp"
+
+namespace scan::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJobArrival:
+      return "job-arrival";
+    case EventKind::kShardSplit:
+      return "shard-split";
+    case EventKind::kQueueEnqueue:
+      return "queue-enqueue";
+    case EventKind::kQueueDequeue:
+      return "queue-dequeue";
+    case EventKind::kWorkerHire:
+      return "worker-hire";
+    case EventKind::kWorkerRelease:
+      return "worker-release";
+    case EventKind::kWorkerFailure:
+      return "worker-failure";
+    case EventKind::kTaskRetry:
+      return "task-retry";
+    case EventKind::kStageExec:
+      return "stage-exec";
+    case EventKind::kStageSlice:
+      return "stage-slice";
+    case EventKind::kTicketDelivery:
+      return "ticket-delivery";
+    case EventKind::kJobComplete:
+      return "job-complete";
+    case EventKind::kDecision:
+      return "decision";
+  }
+  return "?";
+}
+
+/// One thread's ring. Grows lazily (no up-front reservation: short runs
+/// and dead executor threads cost only what they recorded), then
+/// overwrites its oldest entry once `capacity` events are held.
+struct TraceRecorder::Lane {
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;  ///< overwrite cursor, meaningful once full
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::uint32_t id = 0;
+};
+
+struct TraceRecorder::Impl {
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<Lane>> lanes;
+  /// Bumped on Clear so every thread's cached lane pointer re-attaches.
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<std::size_t> capacity{kDefaultCapacity};
+};
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::Impl& TraceRecorder::impl() const {
+  static Impl the_impl;
+  return the_impl;
+}
+
+TraceRecorder::Lane& TraceRecorder::Local() {
+  struct Cache {
+    Lane* lane = nullptr;
+    std::uint64_t epoch = 0;
+  };
+  thread_local Cache cache;
+  Impl& im = impl();
+  const std::uint64_t epoch = im.epoch.load(std::memory_order_acquire);
+  if (cache.lane == nullptr || cache.epoch != epoch) {
+    const std::scoped_lock lock(im.mutex);
+    im.lanes.push_back(std::make_unique<Lane>());
+    cache.lane = im.lanes.back().get();
+    cache.lane->id = static_cast<std::uint32_t>(im.lanes.size() - 1);
+    cache.epoch = epoch;
+  }
+  return *cache.lane;
+}
+
+void TraceRecorder::Enable(std::size_t capacity_per_thread) {
+  Impl& im = impl();
+  im.capacity.store(capacity_per_thread == 0 ? kDefaultCapacity
+                                             : capacity_per_thread,
+                    std::memory_order_relaxed);
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Disable() {
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+}
+
+void TraceRecorder::Clear() {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  im.lanes.clear();
+  im.epoch.fetch_add(1, std::memory_order_release);
+}
+
+void TraceRecorder::Emit(const TraceEvent& event) {
+  if (!TraceEnabled()) return;
+  const std::size_t capacity = impl().capacity.load(std::memory_order_relaxed);
+  Lane& lane = Local();
+  ++lane.recorded;
+  if (lane.ring.size() < capacity) {
+    lane.ring.push_back(event);
+    return;
+  }
+  lane.ring[lane.next] = event;
+  lane.next = (lane.next + 1) % capacity;
+  ++lane.dropped;
+}
+
+std::uint32_t TraceRecorder::CurrentLane() { return Local().id; }
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  std::vector<TraceEvent> merged;
+  for (const auto& lane : im.lanes) {
+    if (lane->dropped == 0) {
+      merged.insert(merged.end(), lane->ring.begin(), lane->ring.end());
+    } else {
+      // Ring wrapped: oldest surviving event sits at the overwrite cursor.
+      merged.insert(merged.end(), lane->ring.begin() + static_cast<std::ptrdiff_t>(lane->next),
+                    lane->ring.end());
+      merged.insert(merged.end(), lane->ring.begin(),
+                    lane->ring.begin() + static_cast<std::ptrdiff_t>(lane->next));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time_tu < b.time_tu;
+                   });
+  return merged;
+}
+
+TraceRecorder::Stats TraceRecorder::stats() const {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  Stats s;
+  s.lanes = im.lanes.size();
+  for (const auto& lane : im.lanes) {
+    s.events_recorded += lane->recorded;
+    s.events_dropped += lane->dropped;
+  }
+  return s;
+}
+
+std::size_t TraceRecorder::capacity_per_thread() const {
+  return impl().capacity.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// 1 modeled TU = 1000 trace microseconds, so a 200 TU run renders as a
+/// 200 ms timeline — comfortable zoom range in Perfetto.
+constexpr double kMicrosPerTu = 1000.0;
+
+}  // namespace
+
+bool TraceRecorder::ExportChromeJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  const std::vector<TraceEvent> events = Collect();
+  out << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    out << "{\"name\":\"" << EventKindName(ev.kind)
+        << "\",\"cat\":\"scan\",\"ph\":\"" << (IsSpan(ev.kind) ? "X" : "i")
+        << "\"";
+    if (!IsSpan(ev.kind)) out << ",\"s\":\"t\"";
+    out << ",\"ts\":" << StrFormat("%.17g", ev.time_tu * kMicrosPerTu);
+    if (IsSpan(ev.kind)) {
+      out << ",\"dur\":" << StrFormat("%.17g", ev.duration_tu * kMicrosPerTu);
+    }
+    out << ",\"pid\":1,\"tid\":" << ev.track << ",\"args\":{\"a\":" << ev.a
+        << ",\"b\":" << ev.b << ",\"v\":" << StrFormat("%.17g", ev.value)
+        << "}}";
+    out << (i + 1 < events.size() ? ",\n" : "\n");
+  }
+  out << "]}\n";
+  return out.good();
+}
+
+bool TraceRecorder::ExportJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const TraceEvent& ev : Collect()) {
+    out << "{\"t\":" << StrFormat("%.17g", ev.time_tu)
+        << ",\"dur\":" << StrFormat("%.17g", ev.duration_tu)
+        << ",\"kind\":\"" << EventKindName(ev.kind)
+        << "\",\"track\":" << ev.track << ",\"a\":" << ev.a
+        << ",\"b\":" << ev.b << ",\"v\":" << StrFormat("%.17g", ev.value)
+        << "}\n";
+  }
+  return out.good();
+}
+
+}  // namespace scan::obs

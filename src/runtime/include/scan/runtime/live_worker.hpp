@@ -33,6 +33,11 @@ struct StageTask {
   /// Real seconds of CPU each slice burns (the task's modeled duration
   /// mapped to wall time; 0 = token burn under VirtualClock).
   double burn_seconds = 0.0;
+  /// Modeled start instant and duration (TU) — carried along so executor
+  /// threads can stamp their kStageSlice trace spans with simulation time
+  /// (the scan_obs determinism contract forbids wall-time stamps).
+  double sim_start_tu = 0.0;
+  double sim_exec_tu = 0.0;
 };
 
 /// One hired worker VM executing stage tasks on the shared pool.

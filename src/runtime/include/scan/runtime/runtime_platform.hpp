@@ -47,6 +47,8 @@
 #include "scan/core/policy.hpp"
 #include "scan/core/scheduler.hpp"
 #include "scan/gatk/pipeline_model.hpp"
+#include "scan/obs/audit.hpp"
+#include "scan/obs/metrics.hpp"
 #include "scan/runtime/clock.hpp"
 #include "scan/runtime/completion_queue.hpp"
 #include "scan/runtime/live_worker.hpp"
@@ -205,7 +207,15 @@ class RuntimePlatform {
   void BanditEpoch();
   void SampleTimeline();
   [[nodiscard]] bool PredictiveShouldHire(std::size_t stage, int threads,
-                                          DataSize head_size);
+                                          DataSize head_size,
+                                          core::HireEvaluation* eval = nullptr);
+  /// scan_obs decision-audit hooks (mirroring Scheduler::AuditHire /
+  /// AuditPlan; no-ops unless audit or tracing is enabled).
+  void AuditHire(obs::HireChoice choice, std::size_t stage,
+                 const JobState& job, int threads, std::size_t queue_length,
+                 const core::HireEvaluation* eval);
+  void AuditPlan(std::uint64_t job_id, DataSize size,
+                 const core::ThreadPlan& plan);
   [[nodiscard]] std::optional<SimTime> NextWorkerFreeTime() const;
   [[nodiscard]] std::vector<core::QueuedJobSnapshot> SnapshotQueue(
       std::size_t stage) const;
@@ -223,6 +233,9 @@ class RuntimePlatform {
 
   RandomStream failure_rng_;
   core::RunMetrics metrics_;
+  /// scan_obs instruments (updates gated on obs::MetricsEnabled()).
+  obs::PlatformMetrics pmetrics_ = obs::PlatformMetrics::Resolve();
+  obs::Histogram* dispatch_micros_hist_ = nullptr;  ///< resolved in ctor
   bool ran_ = false;
 
   // --- calendar ---

@@ -6,6 +6,9 @@
 #include <memory>
 #include <thread>
 
+#include "scan/obs/metrics.hpp"
+#include "scan/obs/trace.hpp"
+
 namespace scan::runtime {
 
 namespace {
@@ -35,7 +38,9 @@ void LiveWorker::Execute(const StageTask& task) {
   for (int slice = 0; slice < task.slices; ++slice) {
     pool_->Submit(UniqueTask([group, kernel = kernel_,
                               pre = task.pre_delay_seconds,
-                              burn = task.burn_seconds] {
+                              burn = task.burn_seconds, slice,
+                              sim_start = task.sim_start_tu,
+                              sim_exec = task.sim_exec_tu] {
       if (pre > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(pre));
       }
@@ -44,7 +49,18 @@ void LiveWorker::Execute(const StageTask& task) {
       } else {
         kernel.BurnIterations(kTokenIterations);
       }
+      if (obs::TraceEnabled()) {
+        // Executor-thread span on its own track band (1000 + lane), stamped
+        // with modeled time so virtual-mode traces stay deterministic.
+        obs::TraceEmit(obs::EventKind::kStageSlice, sim_start,
+                       1000 + obs::TraceRecorder::Global().CurrentLane(),
+                       group->ticket, static_cast<std::uint64_t>(slice), 0.0,
+                       sim_exec);
+      }
       if (group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (obs::MetricsEnabled()) {
+          obs::PoolMetrics::Global().completions_pushed->Increment();
+        }
         group->completions->Push({group->ticket});
       }
     }));

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
+
+#include "scan/common/log.hpp"
+#include "scan/obs/trace.hpp"
 
 namespace scan::runtime {
 
@@ -32,6 +36,9 @@ RuntimePlatform::RuntimePlatform(const core::SimulationConfig& config,
                                                  : SpinKernel{}),
       completions_(options_.completion_capacity) {
   metrics_.stage_queue_wait.resize(policy_.model().stage_count());
+  dispatch_micros_hist_ = &obs::MetricsRegistry::Global().GetHistogram(
+      "scan_dispatch_micros", "Coordinator time per dispatch round (us)",
+      {1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
   exec_pool_ = std::make_unique<ThreadPool>(options_.exec_threads);
 }
 
@@ -140,6 +147,7 @@ void RuntimePlatform::RunVirtual() {
     if (calendar_.top().when > horizon) break;
     const ControlEvent ev = PopCalendar();
     vclock_->AdvanceTo(ev.when);
+    SetLogSimTime(ev.when.value());
     ev.fn();
   }
 }
@@ -151,6 +159,7 @@ void RuntimePlatform::RunWall() {
     while (!calendar_.empty() && calendar_.top().when <= horizon &&
            calendar_.top().when <= wclock_->Now()) {
       const ControlEvent ev = PopCalendar();
+      SetLogSimTime(wclock_->Now().value());
       ev.fn();
     }
     if (wclock_->Now() >= horizon) break;
@@ -188,12 +197,23 @@ void RuntimePlatform::WaitForTicket(std::uint64_t ticket) {
   for (;;) {
     const TaskCompletion completion = completions_.Pop();
     --unconsumed_;
-    if (completion.ticket == ticket) return;
+    if (completion.ticket == ticket) {
+      if (obs::TraceEnabled()) {
+        obs::TraceEmit(obs::EventKind::kTicketDelivery, Now().value(), 0,
+                       ticket);
+      }
+      return;
+    }
     reaped_.insert(completion.ticket);
   }
 }
 
 void RuntimePlatform::HandleWallCompletion(const TaskCompletion& completion) {
+  SetLogSimTime(Now().value());
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kTicketDelivery, Now().value(), 0,
+                   completion.ticket);
+  }
   const auto it = in_flight_.find(completion.ticket);
   assert(it != in_flight_.end());
   if (it == in_flight_.end()) return;
@@ -231,22 +251,86 @@ void RuntimePlatform::DrainInFlight() {
 void RuntimePlatform::OnBatchArrival(const workload::ArrivalBatch& batch) {
   for (const workload::Job& job : batch.jobs) {
     ++metrics_.jobs_arrived;
+    if (obs::MetricsEnabled()) pmetrics_.jobs_arrived->Increment();
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kJobArrival, Now().value(), 0, job.id, 0,
+                     job.size.value());
+    }
     JobState state;
     state.id = job.id;
     state.size = job.size;
     state.arrival = job.arrival;
     state.stage = 0;
     state.plan = policy_.PlanFor(job.size);
+    if (obs::AuditEnabled()) AuditPlan(job.id, job.size, state.plan);
     jobs_.emplace(job.id, std::move(state));
     EnqueueJob(job.id);
   }
   TryDispatchAll();
 }
 
+void RuntimePlatform::AuditPlan(std::uint64_t job_id, DataSize size,
+                                const core::ThreadPlan& plan) {
+  obs::PlanDecisionRecord rec;
+  rec.time_tu = Now().value();
+  rec.job_id = job_id;
+  rec.size_du = size.value();
+  rec.allocation = core::AllocationAlgorithmName(config_.allocation);
+  rec.plan = plan;
+  rec.price_hint = policy_.price_hint();
+  double exec = 0.0;
+  for (std::size_t stage = 0; stage < plan.size(); ++stage) {
+    exec += policy_.model().ThreadedTime(stage, plan[stage], size).value();
+  }
+  rec.predicted_exec_tu = exec;
+  rec.predicted_reward = policy_.reward()(size, SimTime{exec}).value();
+  obs::DecisionAudit::Global().RecordPlan(std::move(rec));
+}
+
+void RuntimePlatform::AuditHire(obs::HireChoice choice, std::size_t stage,
+                                const JobState& job, int threads,
+                                std::size_t queue_length,
+                                const core::HireEvaluation* eval) {
+  const bool audit = obs::AuditEnabled();
+  const bool trace = obs::TraceEnabled();
+  if (!audit && !trace) return;
+  const double now = Now().value();
+  if (trace) {
+    const double margin = (eval != nullptr && !std::isnan(eval->delay_cost))
+                              ? eval->delay_cost - eval->hire_cost
+                              : 0.0;
+    obs::TraceEmit(obs::EventKind::kDecision, now,
+                   static_cast<std::uint64_t>(choice), job.id, stage, margin);
+  }
+  if (!audit) return;
+  obs::HireDecisionRecord rec;
+  rec.time_tu = now;
+  rec.job_id = job.id;
+  rec.stage = stage;
+  rec.threads = threads;
+  rec.choice = choice;
+  rec.scaling = core::ScalingAlgorithmName(policy_.EffectiveScaling());
+  rec.queue_length = queue_length;
+  rec.head_size_du = job.size.value();
+  if (eval != nullptr) {
+    rec.delay_cost = eval->delay_cost;
+    rec.hire_cost = eval->hire_cost;
+    rec.next_free_delay_tu = eval->next_free_delay_tu;
+  }
+  rec.boot_penalty_tu = cloud_.config().boot_penalty.value();
+  rec.public_core_price = config_.public_cost_per_core_tu;
+  obs::DecisionAudit::Global().RecordHire(rec);
+}
+
 void RuntimePlatform::EnqueueJob(std::uint64_t job_id) {
   JobState& job = jobs_.at(job_id);
   job.enqueued_at = Now();
   queues_[job.stage].push_back(job_id);
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kQueueEnqueue, job.enqueued_at.value(), 0,
+                   job_id, job.stage);
+  }
+  if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(1.0);
 }
 
 void RuntimePlatform::TryDispatchAll() {
@@ -263,6 +347,7 @@ void RuntimePlatform::TryDispatchAll() {
   const std::chrono::duration<double, std::micro> elapsed =
       std::chrono::steady_clock::now() - dispatch_start;
   dispatch_micros_.Add(elapsed.count());
+  if (obs::MetricsEnabled()) dispatch_micros_hist_->Observe(elapsed.count());
 }
 
 void RuntimePlatform::RemoveFromIdle(std::uint64_t key, int threads) {
@@ -279,6 +364,7 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
   JobState& job = jobs_.at(job_id);
   const int threads = job.plan[stage];
   const SimTime now = Now();
+  const std::size_t queue_len = queues_[stage].size();
 
   // 1. An idle worker already configured with the required thread count.
   if (const auto bucket = idle_.find(threads); bucket != idle_.end()) {
@@ -293,6 +379,8 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
     }
     WorkerBook& worker = workers_.at(key);
     RemoveFromIdle(key, threads);
+    AuditHire(obs::HireChoice::kReuseIdle, stage, job, threads, queue_len,
+              nullptr);
     queues_[stage].pop_front();
     AssignTask(job_id, stage, worker, now);
     return true;
@@ -327,6 +415,9 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
       worker.threads = threads;
       live_workers_.at(best_key)->Configure(threads);
       ++metrics_.reconfigurations;
+      if (obs::MetricsEnabled()) pmetrics_.reconfigurations->Increment();
+      AuditHire(obs::HireChoice::kReconfigure, stage, job, threads, queue_len,
+                nullptr);
       queues_[stage].pop_front();
       AssignTask(job_id, stage, worker, now + delay.value());
       return true;
@@ -335,21 +426,33 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
 
   // 4. Hire: private when it fits, public subject to the scaling policy.
   cloud::Tier tier;
+  core::HireEvaluation eval;
+  const core::HireEvaluation* eval_ptr = nullptr;
   if (private_fits) {
     tier = cloud::Tier::kPrivate;
     ++metrics_.private_hires;
+    if (obs::MetricsEnabled()) pmetrics_.private_hires->Increment();
   } else {
     switch (policy_.EffectiveScaling()) {
       case core::ScalingAlgorithm::kNeverScale:
+        AuditHire(obs::HireChoice::kWait, stage, job, threads, queue_len,
+                  nullptr);
         return false;
       case core::ScalingAlgorithm::kAlwaysScale:
         tier = cloud::Tier::kPublic;
         ++metrics_.public_hires;
+        if (obs::MetricsEnabled()) pmetrics_.public_hires->Increment();
         break;
       case core::ScalingAlgorithm::kPredictive:
-        if (!PredictiveShouldHire(stage, threads, job.size)) return false;
+        if (!PredictiveShouldHire(stage, threads, job.size, &eval)) {
+          AuditHire(obs::HireChoice::kWait, stage, job, threads, queue_len,
+                    &eval);
+          return false;
+        }
+        eval_ptr = &eval;
         tier = cloud::Tier::kPublic;
         ++metrics_.public_hires;
+        if (obs::MetricsEnabled()) pmetrics_.public_hires->Increment();
         break;
       default:
         return false;  // kLearnedBandit never reaches here
@@ -372,6 +475,14 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
   live_workers_.emplace(
       key, std::make_unique<LiveWorker>(key, threads, *exec_pool_,
                                         completions_, kernel_));
+  AuditHire(tier == cloud::Tier::kPrivate ? obs::HireChoice::kHirePrivate
+                                          : obs::HireChoice::kHirePublic,
+            stage, job, threads, queue_len, eval_ptr);
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kWorkerHire, now.value(), key, job_id,
+                   static_cast<std::uint64_t>(tier),
+                   static_cast<double>(threads));
+  }
   queues_[stage].pop_front();
   AssignTask(job_id, stage, workers_.at(key), now + delay.value());
   return true;
@@ -385,6 +496,15 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   policy_.ObserveQueueWait(stage, wait);
   metrics_.queue_wait.Add(wait.value());
   metrics_.stage_queue_wait[stage].Add(wait.value());
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kQueueDequeue, now.value(), 0, job_id,
+                   stage, wait.value());
+  }
+  if (obs::MetricsEnabled()) {
+    pmetrics_.queued_jobs->Add(-1.0);
+    pmetrics_.queue_wait_tu->Observe(wait.value());
+    pmetrics_.busy_workers->Add(1.0);
+  }
 
   const SimTime exec =
       policy_.model().ThreadedTime(stage, worker.threads, job.size);
@@ -394,6 +514,11 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   worker.busy_until = done_at;
   worker.busy_accumulated += exec;
   const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kStageExec, start_time.value(), worker_key,
+                   job_id, stage, static_cast<double>(worker.threads),
+                   exec.value());
+  }
 
   // Failure injection: one exponential draw per assignment, exactly as the
   // simulator draws it (stream parity). busy_until stays at done_at — the
@@ -424,6 +549,8 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   const double seconds_per_tu = clock_->seconds_per_tu();
   task.pre_delay_seconds = (start_time - now).value() * seconds_per_tu;
   task.burn_seconds = exec.value() * seconds_per_tu;
+  task.sim_start_tu = start_time.value();
+  task.sim_exec_tu = exec.value();
   live_workers_.at(worker_key)->Execute(task);
   peak_pool_queue_depth_ =
       std::max(peak_pool_queue_depth_, exec_pool_->queue_depth());
@@ -465,6 +592,17 @@ void RuntimePlatform::OnWorkerFailure(std::uint64_t job_id,
   workers_.erase(worker_key);
   live_workers_.erase(worker_key);
   ++metrics_.worker_failures;
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kWorkerFailure, now.value(), worker_key,
+                   job_id);
+    obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job_id,
+                   jobs_.at(job_id).stage);
+  }
+  if (obs::MetricsEnabled()) {
+    pmetrics_.worker_failures->Increment();
+    pmetrics_.task_retries->Increment();
+    pmetrics_.busy_workers->Add(-1.0);
+  }
 
   ++metrics_.task_retries;
   EnqueueJob(job_id);
@@ -477,14 +615,19 @@ void RuntimePlatform::RecordWorkerUtilization(const WorkerBook& worker,
   if (!info.ok()) return;
   const double lifetime = (now - info->hired_at).value();
   if (lifetime <= 0.0) return;
-  metrics_.worker_utilization.Add(
-      std::min(1.0, worker.busy_accumulated.value() / lifetime));
+  const double utilization =
+      std::min(1.0, worker.busy_accumulated.value() / lifetime);
+  metrics_.worker_utilization.Add(utilization);
+  if (obs::MetricsEnabled()) {
+    pmetrics_.worker_utilization->Observe(utilization);
+  }
 }
 
 void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
                                      std::uint64_t worker_key) {
   const SimTime now = Now();
   WorkerBook& worker = workers_.at(worker_key);
+  if (obs::MetricsEnabled() && worker.busy) pmetrics_.busy_workers->Add(-1.0);
   worker.busy = false;
   worker.current_job = 0;
   worker.idle_since = now;
@@ -502,6 +645,14 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
     metrics_.core_stages.Add(
         static_cast<double>(core::TotalCoreStages(job.plan)));
     ++metrics_.jobs_completed;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kJobComplete, now.value(), 0, job_id, 0,
+                     latency.value());
+    }
+    if (obs::MetricsEnabled()) {
+      pmetrics_.jobs_completed->Increment();
+      pmetrics_.job_latency_tu->Observe(latency.value());
+    }
     if (options_.record_schedule) {
       metrics_.job_completions.push_back({job_id, now, latency, reward});
     }
@@ -532,6 +683,11 @@ void RuntimePlatform::ScheduleIdleRelease(std::uint64_t worker_key) {
                workers_.erase(it);
                live_workers_.erase(worker_key);
                ++metrics_.releases;
+               if (obs::TraceEnabled()) {
+                 obs::TraceEmit(obs::EventKind::kWorkerRelease, Now().value(),
+                                worker_key, 0);
+               }
+               if (obs::MetricsEnabled()) pmetrics_.releases->Increment();
                TryDispatchAll();
              });
 }
@@ -568,6 +724,10 @@ bool RuntimePlatform::TryFreePrivateCapacity(int needed_cores) {
     workers_.erase(key);
     live_workers_.erase(key);
     ++metrics_.releases;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kWorkerRelease, now.value(), key, 0);
+    }
+    if (obs::MetricsEnabled()) pmetrics_.releases->Increment();
     available += static_cast<std::size_t>(cores);
   }
   return available >= static_cast<std::size_t>(needed_cores);
@@ -616,14 +776,15 @@ void RuntimePlatform::SampleTimeline() {
 }
 
 bool RuntimePlatform::PredictiveShouldHire(std::size_t stage, int threads,
-                                           DataSize head_size) {
+                                           DataSize head_size,
+                                           core::HireEvaluation* eval) {
   std::optional<SimTime> next_free_delay;
   if (const auto next_free = NextWorkerFreeTime()) {
     next_free_delay = *next_free - Now();
   }
   return policy_.PredictiveShouldHire(SnapshotQueue(stage), stage, threads,
                                       head_size, next_free_delay,
-                                      cloud_.config().boot_penalty);
+                                      cloud_.config().boot_penalty, eval);
 }
 
 }  // namespace scan::runtime

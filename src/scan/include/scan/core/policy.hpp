@@ -19,6 +19,7 @@
 // derived them).
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <span>
 #include <vector>
@@ -33,6 +34,17 @@
 #include "scan/workload/reward.hpp"
 
 namespace scan::core {
+
+/// The priced inputs of one predictive hire-or-wait evaluation, exposed so
+/// the scan_obs decision audit can record *why* the inequality answered
+/// the way it did. Cost fields stay NaN when the evaluation short-circuits
+/// before pricing (no busy worker, or the head frees immediately).
+struct HireEvaluation {
+  double delay_cost = std::numeric_limits<double>::quiet_NaN();
+  double hire_cost = std::numeric_limits<double>::quiet_NaN();
+  double next_free_delay_tu = std::numeric_limits<double>::quiet_NaN();
+  bool hire = false;
+};
 
 /// One queued job as the decision core sees it: enough to price the delay
 /// cost of holding the queue (Eq. 1) without exposing driver internals.
@@ -77,11 +89,17 @@ class SchedulingPolicy {
   /// The predictive hire-or-wait inequality for the head of a stage queue:
   /// true = hire public capacity now. `next_free_delay` is the time until
   /// the earliest busy worker frees (nullopt when none is busy — waiting
-  /// cannot help, so the answer is always "hire").
+  /// cannot help, so the answer is always "hire"). When `eval` is non-null
+  /// the priced inputs are copied out for the decision audit; passing it
+  /// never changes the decision.
   [[nodiscard]] bool PredictiveShouldHire(
       std::span<const QueuedJobSnapshot> queue, std::size_t stage,
       int threads, DataSize head_size,
-      std::optional<SimTime> next_free_delay, SimTime boot_penalty) const;
+      std::optional<SimTime> next_free_delay, SimTime boot_penalty,
+      HireEvaluation* eval = nullptr) const;
+
+  /// Core price per TU the plan optimizers assume (for the plan audit).
+  [[nodiscard]] double price_hint() const { return price_hint_; }
 
   /// The policy governing public hiring right now: the configured one, or
   /// the bandit's current arm under kLearnedBandit.

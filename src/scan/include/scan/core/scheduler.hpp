@@ -36,6 +36,8 @@
 #include "scan/core/config.hpp"
 #include "scan/core/policy.hpp"
 #include "scan/gatk/pipeline_model.hpp"
+#include "scan/obs/audit.hpp"
+#include "scan/obs/metrics.hpp"
 #include "scan/sim/simulator.hpp"
 #include "scan/workload/arrivals.hpp"
 #include "scan/workload/trace.hpp"
@@ -242,9 +244,21 @@ class Scheduler {
 
   /// The predictive hire-or-wait inequality for the head of `stage`'s
   /// queue; true = hire public capacity now. Delegates to the shared
-  /// SchedulingPolicy with a snapshot of the stage queue.
+  /// SchedulingPolicy with a snapshot of the stage queue. `eval` (may be
+  /// null) receives the priced inputs for the decision audit.
   [[nodiscard]] bool PredictiveShouldHire(std::size_t stage, int threads,
-                                          DataSize head_size);
+                                          DataSize head_size,
+                                          HireEvaluation* eval = nullptr);
+
+  /// Records one hire-vs-wait decision into the scan_obs audit log and
+  /// trace (no-op unless one of them is enabled).
+  void AuditHire(obs::HireChoice choice, std::size_t stage,
+                 const JobState& job, int threads, std::size_t queue_length,
+                 const HireEvaluation* eval);
+
+  /// Records the thread-allocation decision for a newly admitted job
+  /// (no-op unless the decision audit is enabled).
+  void AuditPlan(std::uint64_t job_id, DataSize size, const ThreadPlan& plan);
   /// Earliest time an existing busy worker frees; nullopt if none busy.
   [[nodiscard]] std::optional<SimTime> NextWorkerFreeTime() const;
   /// Snapshot of `stage`'s queue for the policy's delay-cost evaluation.
@@ -283,6 +297,9 @@ class Scheduler {
   RandomStream failure_rng_;
 
   RunMetrics metrics_;
+  /// scan_obs instruments, resolved once; updates are gated on
+  /// obs::MetricsEnabled() so the disabled cost is one load + branch.
+  obs::PlatformMetrics pmetrics_ = obs::PlatformMetrics::Resolve();
   bool ran_ = false;
 };
 

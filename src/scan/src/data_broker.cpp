@@ -5,7 +5,24 @@
 #include <map>
 #include <cmath>
 
+#include "scan/common/log.hpp"
+#include "scan/obs/trace.hpp"
+
 namespace scan::core {
+
+namespace {
+
+/// Broker calls happen outside any one scheduler event, so the shard-split
+/// trace instant is stamped with the ambient logging sim-time when one is
+/// set (see SetLogSimTime) and 0 otherwise.
+void TraceShardSplit(const BrokerPlan& plan) {
+  if (!obs::TraceEnabled()) return;
+  const double sim = GetLogSimTime();
+  obs::TraceEmit(obs::EventKind::kShardSplit, std::isnan(sim) ? 0.0 : sim, 0,
+                 0, plan.shard_count, plan.shard_size_gb);
+}
+
+}  // namespace
 
 double BrokerPlan::ShardSize(std::size_t index) const {
   if (shard_count == 0) return 0.0;
@@ -53,6 +70,7 @@ Result<BrokerPlan> DataBroker::PlanJob(std::string_view application,
       genomics::PlanShardCount(total_size_gb, plan.shard_size_gb);
   if (!count.ok()) return count.status();
   plan.shard_count = *count;
+  TraceShardSplit(plan);
   return plan;
 }
 
@@ -109,6 +127,7 @@ Result<BrokerPlan> DataBroker::PlanJobProfitAware(
       best.advice_source = "(profit-aware ranking)";
     }
   }
+  TraceShardSplit(best);
   return best;
 }
 

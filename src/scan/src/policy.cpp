@@ -78,15 +78,25 @@ double SchedulingPolicy::QueueDelayCost(
 bool SchedulingPolicy::PredictiveShouldHire(
     std::span<const QueuedJobSnapshot> queue, std::size_t stage, int threads,
     DataSize head_size, std::optional<SimTime> next_free_delay,
-    SimTime boot_penalty) const {
-  if (!next_free_delay) return true;  // nothing running: waiting cannot help
+    SimTime boot_penalty, HireEvaluation* eval) const {
+  if (!next_free_delay) {
+    // Nothing running: waiting cannot help.
+    if (eval) eval->hire = true;
+    return true;
+  }
   const SimTime delay = *next_free_delay;
+  if (eval) eval->next_free_delay_tu = delay.value();
   if (delay <= SimTime{0.0}) return false;  // a worker frees "now"
 
   const double delay_cost = QueueDelayCost(queue, delay);
   const double hire_cost =
       config_.public_cost_per_core_tu * static_cast<double>(threads) *
       (model_.ThreadedTime(stage, threads, head_size) + boot_penalty).value();
+  if (eval) {
+    eval->delay_cost = delay_cost;
+    eval->hire_cost = hire_cost;
+    eval->hire = delay_cost > hire_cost;
+  }
   return delay_cost > hire_cost;
 }
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "scan/common/log.hpp"
+#include "scan/obs/trace.hpp"
 
 namespace scan::core {
 
@@ -130,22 +132,86 @@ RunMetrics Scheduler::Run() {
 void Scheduler::OnBatchArrival(const workload::ArrivalBatch& batch) {
   for (const workload::Job& job : batch.jobs) {
     ++metrics_.jobs_arrived;
+    if (obs::MetricsEnabled()) pmetrics_.jobs_arrived->Increment();
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kJobArrival, sim_.Now().value(), 0,
+                     job.id, 0, job.size.value());
+    }
     JobState state;
     state.id = job.id;
     state.size = job.size;
     state.arrival = job.arrival;
     state.stage = 0;
     state.plan = PlanFor(job.size);
+    if (obs::AuditEnabled()) AuditPlan(job.id, job.size, state.plan);
     jobs_.emplace(job.id, std::move(state));
     EnqueueJob(job.id);
   }
   TryDispatchAll();
 }
 
+void Scheduler::AuditPlan(std::uint64_t job_id, DataSize size,
+                          const ThreadPlan& plan) {
+  obs::PlanDecisionRecord rec;
+  rec.time_tu = sim_.Now().value();
+  rec.job_id = job_id;
+  rec.size_du = size.value();
+  rec.allocation = AllocationAlgorithmName(config_.allocation);
+  rec.plan = plan;
+  rec.price_hint = policy_.price_hint();
+  double exec = 0.0;
+  for (std::size_t stage = 0; stage < plan.size(); ++stage) {
+    exec += policy_.model().ThreadedTime(stage, plan[stage], size).value();
+  }
+  rec.predicted_exec_tu = exec;
+  rec.predicted_reward = policy_.reward()(size, SimTime{exec}).value();
+  obs::DecisionAudit::Global().RecordPlan(std::move(rec));
+}
+
+void Scheduler::AuditHire(obs::HireChoice choice, std::size_t stage,
+                          const JobState& job, int threads,
+                          std::size_t queue_length,
+                          const HireEvaluation* eval) {
+  const bool audit = obs::AuditEnabled();
+  const bool trace = obs::TraceEnabled();
+  if (!audit && !trace) return;
+  const double now = sim_.Now().value();
+  if (trace) {
+    const double margin = (eval != nullptr && !std::isnan(eval->delay_cost))
+                              ? eval->delay_cost - eval->hire_cost
+                              : 0.0;
+    obs::TraceEmit(obs::EventKind::kDecision, now,
+                   static_cast<std::uint64_t>(choice), job.id, stage, margin);
+  }
+  if (!audit) return;
+  obs::HireDecisionRecord rec;
+  rec.time_tu = now;
+  rec.job_id = job.id;
+  rec.stage = stage;
+  rec.threads = threads;
+  rec.choice = choice;
+  rec.scaling = ScalingAlgorithmName(policy_.EffectiveScaling());
+  rec.queue_length = queue_length;
+  rec.head_size_du = job.size.value();
+  if (eval != nullptr) {
+    rec.delay_cost = eval->delay_cost;
+    rec.hire_cost = eval->hire_cost;
+    rec.next_free_delay_tu = eval->next_free_delay_tu;
+  }
+  rec.boot_penalty_tu = cloud_.config().boot_penalty.value();
+  rec.public_core_price = config_.public_cost_per_core_tu;
+  obs::DecisionAudit::Global().RecordHire(rec);
+}
+
 void Scheduler::EnqueueJob(std::uint64_t job_id) {
   JobState& job = jobs_.at(job_id);
   job.enqueued_at = sim_.Now();
   queues_[job.stage].push_back(job_id);
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kQueueEnqueue, job.enqueued_at.value(), 0,
+                   job_id, job.stage);
+  }
+  if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(1.0);
 }
 
 void Scheduler::TryDispatchAll() {
@@ -177,6 +243,7 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
   JobState& job = jobs_.at(job_id);
   const int threads = job.plan[stage];
   const SimTime now = sim_.Now();
+  const std::size_t queue_len = queues_[stage].size();
 
   // 1. An idle worker already configured with the required thread count.
   //    Within the bucket, prefer the fewest cores (a big machine downsized
@@ -193,6 +260,8 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
     }
     WorkerBook& worker = workers_.at(key);
     RemoveFromIdle(key, threads);
+    AuditHire(obs::HireChoice::kReuseIdle, stage, job, threads, queue_len,
+              nullptr);
     queues_[stage].pop_front();
     AssignTask(job_id, stage, worker, now);
     return true;
@@ -230,6 +299,9 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
       assert(delay.ok());
       worker.threads = threads;
       ++metrics_.reconfigurations;
+      if (obs::MetricsEnabled()) pmetrics_.reconfigurations->Increment();
+      AuditHire(obs::HireChoice::kReconfigure, stage, job, threads, queue_len,
+                nullptr);
       queues_[stage].pop_front();
       AssignTask(job_id, stage, worker, now + delay.value());
       return true;
@@ -238,21 +310,33 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
 
   // 4. Hire: private when it fits, public subject to the scaling policy.
   cloud::Tier tier;
+  HireEvaluation eval;
+  const HireEvaluation* eval_ptr = nullptr;
   if (private_fits) {
     tier = cloud::Tier::kPrivate;
     ++metrics_.private_hires;
+    if (obs::MetricsEnabled()) pmetrics_.private_hires->Increment();
   } else {
     switch (policy_.EffectiveScaling()) {
       case ScalingAlgorithm::kNeverScale:
+        AuditHire(obs::HireChoice::kWait, stage, job, threads, queue_len,
+                  nullptr);
         return false;  // wait for a worker to free up
       case ScalingAlgorithm::kAlwaysScale:
         tier = cloud::Tier::kPublic;
         ++metrics_.public_hires;
+        if (obs::MetricsEnabled()) pmetrics_.public_hires->Increment();
         break;
       case ScalingAlgorithm::kPredictive:
-        if (!PredictiveShouldHire(stage, threads, job.size)) return false;
+        if (!PredictiveShouldHire(stage, threads, job.size, &eval)) {
+          AuditHire(obs::HireChoice::kWait, stage, job, threads, queue_len,
+                    &eval);
+          return false;
+        }
+        eval_ptr = &eval;
         tier = cloud::Tier::kPublic;
         ++metrics_.public_hires;
+        if (obs::MetricsEnabled()) pmetrics_.public_hires->Increment();
         break;
       default:
         return false;  // kLearnedBandit never reaches here
@@ -273,6 +357,14 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
   worker.threads = threads;
   const std::uint64_t key = static_cast<std::uint64_t>(*hired);
   workers_.emplace(key, worker);
+  AuditHire(tier == cloud::Tier::kPrivate ? obs::HireChoice::kHirePrivate
+                                          : obs::HireChoice::kHirePublic,
+            stage, job, threads, queue_len, eval_ptr);
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kWorkerHire, now.value(), key, job_id,
+                   static_cast<std::uint64_t>(tier),
+                   static_cast<double>(threads));
+  }
   queues_[stage].pop_front();
   AssignTask(job_id, stage, workers_.at(key), now + delay.value());
   return true;
@@ -286,6 +378,15 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   policy_.ObserveQueueWait(stage, wait);
   metrics_.queue_wait.Add(wait.value());
   metrics_.stage_queue_wait[stage].Add(wait.value());
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kQueueDequeue, now.value(), 0, job_id,
+                   stage, wait.value());
+  }
+  if (obs::MetricsEnabled()) {
+    pmetrics_.queued_jobs->Add(-1.0);
+    pmetrics_.queue_wait_tu->Observe(wait.value());
+    pmetrics_.busy_workers->Add(1.0);
+  }
 
   const SimTime exec =
       policy_.model().ThreadedTime(stage, worker.threads, job.size);
@@ -295,6 +396,11 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   worker.busy_until = done_at;
   worker.busy_accumulated += exec;
   const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kStageExec, start_time.value(), worker_key,
+                   job_id, stage, static_cast<double>(worker.threads),
+                   exec.value());
+  }
 
   // Failure injection: the worker may crash before the task finishes
   // (exponential time-to-failure). Exactly one of the two events fires.
@@ -340,6 +446,17 @@ void Scheduler::OnWorkerFailure(std::uint64_t job_id,
   (void)released;
   workers_.erase(worker_key);
   ++metrics_.worker_failures;
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kWorkerFailure, now.value(), worker_key,
+                   job_id);
+    obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job_id,
+                   jobs_.at(job_id).stage);
+  }
+  if (obs::MetricsEnabled()) {
+    pmetrics_.worker_failures->Increment();
+    pmetrics_.task_retries->Increment();
+    pmetrics_.busy_workers->Add(-1.0);
+  }
 
   // The interrupted task restarts from its stage queue (work done so far
   // is lost, as with a real mid-stage crash).
@@ -354,14 +471,19 @@ void Scheduler::RecordWorkerUtilization(const WorkerBook& worker,
   if (!info.ok()) return;
   const double lifetime = (now - info->hired_at).value();
   if (lifetime <= 0.0) return;
-  metrics_.worker_utilization.Add(
-      std::min(1.0, worker.busy_accumulated.value() / lifetime));
+  const double utilization =
+      std::min(1.0, worker.busy_accumulated.value() / lifetime);
+  metrics_.worker_utilization.Add(utilization);
+  if (obs::MetricsEnabled()) {
+    pmetrics_.worker_utilization->Observe(utilization);
+  }
 }
 
 void Scheduler::OnTaskComplete(std::uint64_t job_id,
                                std::uint64_t worker_key) {
   const SimTime now = sim_.Now();
   WorkerBook& worker = workers_.at(worker_key);
+  if (obs::MetricsEnabled() && worker.busy) pmetrics_.busy_workers->Add(-1.0);
   worker.busy = false;
   worker.current_job = 0;
   worker.idle_since = now;
@@ -380,6 +502,14 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id,
     metrics_.core_stages.Add(
         static_cast<double>(TotalCoreStages(job.plan)));
     ++metrics_.jobs_completed;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kJobComplete, now.value(), 0, job_id, 0,
+                     latency.value());
+    }
+    if (obs::MetricsEnabled()) {
+      pmetrics_.jobs_completed->Increment();
+      pmetrics_.job_latency_tu->Observe(latency.value());
+    }
     if (options_.record_schedule) {
       metrics_.job_completions.push_back({job_id, now, latency, reward});
     }
@@ -413,6 +543,11 @@ void Scheduler::ScheduleIdleRelease(std::uint64_t worker_key) {
         (void)released;
         workers_.erase(it);
         ++metrics_.releases;
+        if (obs::TraceEnabled()) {
+          obs::TraceEmit(obs::EventKind::kWorkerRelease, s.Now().value(),
+                         worker_key, 0);
+        }
+        if (obs::MetricsEnabled()) pmetrics_.releases->Increment();
         // Freed capacity may unblock a waiting queue (never-scale relies
         // on this to make progress when the private tier was full).
         TryDispatchAll();
@@ -452,6 +587,10 @@ bool Scheduler::TryFreePrivateCapacity(int needed_cores) {
     (void)released;
     workers_.erase(key);
     ++metrics_.releases;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kWorkerRelease, now.value(), key, 0);
+    }
+    if (obs::MetricsEnabled()) pmetrics_.releases->Increment();
     available += static_cast<std::size_t>(cores);
   }
   return available >= static_cast<std::size_t>(needed_cores);
@@ -487,14 +626,15 @@ void Scheduler::BanditEpoch() {
 }
 
 bool Scheduler::PredictiveShouldHire(std::size_t stage, int threads,
-                                     DataSize head_size) {
+                                     DataSize head_size,
+                                     HireEvaluation* eval) {
   std::optional<SimTime> next_free_delay;
   if (const auto next_free = NextWorkerFreeTime()) {
     next_free_delay = *next_free - sim_.Now();
   }
   return policy_.PredictiveShouldHire(SnapshotQueue(stage), stage, threads,
                                       head_size, next_free_delay,
-                                      cloud_.config().boot_penalty);
+                                      cloud_.config().boot_penalty, eval);
 }
 
 }  // namespace scan::core

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "scan/common/log.hpp"
+
 namespace scan::sim {
 
 EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
@@ -70,6 +72,7 @@ void Simulator::PopAndRun() {
   }
   assert(ev.when >= now_);
   now_ = ev.when;
+  SetLogSimTime(now_.value());
   if (trace_hook_) trace_hook_(ev.when, ev.seq);
   ++stats_.events_executed;
   ev.cb(*this);

@@ -1,10 +1,14 @@
 #include "scan/testkit/parity.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "scan/core/scheduler.hpp"
 #include "scan/gatk/pipeline_model.hpp"
+#include "scan/obs/audit.hpp"
+#include "scan/obs/metrics.hpp"
+#include "scan/obs/trace.hpp"
 
 namespace scan::testkit {
 
@@ -89,6 +93,21 @@ std::string ParityResult::Describe() const {
 ParityResult CheckSimRuntimeParity(const core::SimulationConfig& config,
                                    std::uint64_t seed,
                                    runtime::RuntimeOptions runtime_options) {
+  // SCAN_OBS_TRACE=1 turns every scan_obs subsystem on for the whole
+  // process: running the parity suite this way proves observability cannot
+  // perturb the schedule (the digests must match the untraced run bit for
+  // bit). Checked once; enabling mid-suite would violate the recorder's
+  // quiescence contract.
+  static const bool obs_forced = [] {
+    const char* env = std::getenv("SCAN_OBS_TRACE");
+    if (env == nullptr || env[0] == '\0' || env[0] == '0') return false;
+    obs::TraceRecorder::Global().Enable();
+    obs::EnableMetrics();
+    obs::DecisionAudit::Global().Enable();
+    return true;
+  }();
+  (void)obs_forced;
+
   runtime_options.clock = runtime::ClockMode::kVirtual;
   runtime_options.record_schedule = true;
 

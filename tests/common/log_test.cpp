@@ -27,6 +27,44 @@ TEST(LogTest, LevelNamesAreStable) {
   EXPECT_EQ(LogLevelName(LogLevel::kOff), "OFF");
 }
 
+TEST(LogTest, ParseLogLevelAcceptsFlagSpellings) {
+  EXPECT_EQ(ParseLogLevel("trace"), LogLevel::kTrace);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+}
+
+TEST(LogTest, ParseLogLevelRejectsUnknownSpellings) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("INFO"), std::nullopt);  // case-sensitive
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("warning "), std::nullopt);
+}
+
+TEST(LogTest, FormatLogLineCarriesWallAndSimTimestamps) {
+  const std::string line =
+      FormatLogLine(LogLevel::kInfo, "hello", /*wall_seconds=*/1.5,
+                    /*sim_time_tu=*/42.25);
+  EXPECT_EQ(line, "[   1.500s tu=42.250] [INFO] hello");
+}
+
+TEST(LogTest, FormatLogLineShowsDashWithoutSimClock) {
+  const std::string line =
+      FormatLogLine(LogLevel::kError, "boom", 0.0,
+                    std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(line, "[   0.000s tu=-] [ERROR] boom");
+}
+
+TEST(LogTest, SimTimeStampRoundTrips) {
+  const double saved = GetLogSimTime();
+  SetLogSimTime(17.5);
+  EXPECT_DOUBLE_EQ(GetLogSimTime(), 17.5);
+  SetLogSimTime(saved);
+}
+
 TEST(LogTest, ThresholdRoundTrips) {
   const LevelGuard guard;
   SetLogLevel(LogLevel::kError);

@@ -66,6 +66,39 @@ TEST(RunningStatsTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStatsTest, MergeEmptyWithEmptyStaysEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.Merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergePreservesExtremaAndSum) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(9.0);
+  RunningStats b;
+  b.Add(-4.0);
+  b.Add(6.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min(), -4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(RunningStatsTest, SingleSampleVarianceIsZeroAfterMerge) {
+  RunningStats single;
+  single.Add(7.0);
+  RunningStats empty;
+  single.Merge(empty);
+  EXPECT_EQ(single.count(), 1u);
+  EXPECT_DOUBLE_EQ(single.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(single.stddev(), 0.0);
+}
+
 TEST(RunningStatsTest, ResetClears) {
   RunningStats s;
   s.Add(5.0);

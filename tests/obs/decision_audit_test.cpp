@@ -1,0 +1,145 @@
+#include "scan/obs/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace scan::obs {
+namespace {
+
+/// Leaves the process-wide audit disabled and empty around each test.
+class DecisionAuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DecisionAudit::Global().Disable();
+    DecisionAudit::Global().Clear();
+  }
+  void TearDown() override {
+    DecisionAudit::Global().Disable();
+    DecisionAudit::Global().Clear();
+  }
+};
+
+TEST_F(DecisionAuditTest, EnableDisableRoundTrips) {
+  EXPECT_FALSE(AuditEnabled());
+  DecisionAudit::Global().Enable();
+  EXPECT_TRUE(AuditEnabled());
+  DecisionAudit::Global().Disable();
+  EXPECT_FALSE(AuditEnabled());
+}
+
+TEST_F(DecisionAuditTest, HireChoiceNamesAreStable) {
+  EXPECT_STREQ(HireChoiceName(HireChoice::kReuseIdle), "reuse-idle");
+  EXPECT_STREQ(HireChoiceName(HireChoice::kReconfigure), "reconfigure");
+  EXPECT_STREQ(HireChoiceName(HireChoice::kHirePrivate), "hire-private");
+  EXPECT_STREQ(HireChoiceName(HireChoice::kHirePublic), "hire-public");
+  EXPECT_STREQ(HireChoiceName(HireChoice::kWait), "wait");
+}
+
+TEST_F(DecisionAuditTest, RecordsHireAndPlanDecisions) {
+  DecisionAudit& audit = DecisionAudit::Global();
+  audit.Enable();
+
+  HireDecisionRecord hire;
+  hire.time_tu = 10.0;
+  hire.job_id = 3;
+  hire.stage = 1;
+  hire.threads = 4;
+  hire.choice = HireChoice::kHirePublic;
+  hire.scaling = "predictive";
+  hire.queue_length = 2;
+  hire.head_size_du = 16.0;
+  hire.delay_cost = 5.0;
+  hire.hire_cost = 3.0;
+  hire.next_free_delay_tu = 1.5;
+  hire.boot_penalty_tu = 0.5;
+  hire.public_core_price = 0.02;
+  audit.RecordHire(hire);
+
+  PlanDecisionRecord plan;
+  plan.time_tu = 9.0;
+  plan.job_id = 3;
+  plan.size_du = 16.0;
+  plan.allocation = "dp";
+  plan.plan = {4, 2, 1};
+  plan.price_hint = 0.02;
+  plan.predicted_exec_tu = 42.0;
+  plan.predicted_reward = 7.0;
+  audit.RecordPlan(plan);
+
+  const std::vector<HireDecisionRecord> hires = audit.hires();
+  ASSERT_EQ(hires.size(), 1u);
+  EXPECT_EQ(hires[0].job_id, 3u);
+  EXPECT_EQ(hires[0].choice, HireChoice::kHirePublic);
+  EXPECT_DOUBLE_EQ(hires[0].delay_cost, 5.0);
+  EXPECT_DOUBLE_EQ(hires[0].hire_cost, 3.0);
+  EXPECT_EQ(hires[0].queue_length, 2u);
+
+  const std::vector<PlanDecisionRecord> plans = audit.plans();
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].plan, (std::vector<int>{4, 2, 1}));
+  EXPECT_DOUBLE_EQ(plans[0].predicted_exec_tu, 42.0);
+}
+
+TEST_F(DecisionAuditTest, ClearEmptiesBothLogs) {
+  DecisionAudit& audit = DecisionAudit::Global();
+  audit.RecordHire(HireDecisionRecord{});
+  audit.RecordPlan(PlanDecisionRecord{});
+  audit.Clear();
+  EXPECT_TRUE(audit.hires().empty());
+  EXPECT_TRUE(audit.plans().empty());
+}
+
+TEST_F(DecisionAuditTest, ExportJsonlRendersNaNCostsAsNull) {
+  DecisionAudit& audit = DecisionAudit::Global();
+
+  // Default-constructed record: the cost fields stay NaN (short-circuited
+  // decision, e.g. reuse-idle never priced the inequality).
+  HireDecisionRecord unpriced;
+  unpriced.time_tu = 1.0;
+  unpriced.job_id = 8;
+  unpriced.choice = HireChoice::kReuseIdle;
+  unpriced.scaling = "predictive";
+  audit.RecordHire(unpriced);
+
+  HireDecisionRecord priced;
+  priced.time_tu = 2.0;
+  priced.job_id = 9;
+  priced.choice = HireChoice::kWait;
+  priced.scaling = "predictive";
+  priced.delay_cost = 0.25;
+  priced.hire_cost = 0.75;
+  audit.RecordHire(priced);
+
+  PlanDecisionRecord plan;
+  plan.job_id = 8;
+  plan.allocation = "uniform";
+  plan.plan = {2, 2};
+  audit.RecordPlan(plan);
+
+  const std::string path = "decision_audit_test.jsonl";
+  ASSERT_TRUE(audit.ExportJsonl(path));
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  std::remove(path.c_str());
+
+  ASSERT_EQ(lines.size(), 3u);  // hires first, then plans
+  EXPECT_NE(lines[0].find("\"type\":\"hire\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"choice\":\"reuse-idle\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"delay_cost\":null"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"next_free_delay_tu\":null"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"delay_cost\":0.25"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"hire_cost\":0.75"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"type\":\"plan\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"plan\":[2,2]"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"allocation\":\"uniform\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scan::obs

@@ -1,0 +1,122 @@
+// The determinism contract of scan_obs: enabling tracing, metrics, and the
+// decision audit must leave a seeded run bit-for-bit identical — same
+// MetricsFingerprint digest, same sim <-> runtime parity. The CI pipeline
+// additionally re-runs the whole 15-seed parity suite under
+// SCAN_OBS_TRACE=1; these tests are the in-binary version of that check.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scan/core/scheduler.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/obs/audit.hpp"
+#include "scan/obs/metrics.hpp"
+#include "scan/obs/trace.hpp"
+#include "scan/testkit/digest.hpp"
+#include "scan/testkit/parity.hpp"
+
+namespace scan {
+namespace {
+
+core::SimulationConfig MakeConfig() {
+  core::SimulationConfig config;
+  config.duration = SimTime{600.0};
+  config.scaling = core::ScalingAlgorithm::kPredictive;
+  return config;
+}
+
+/// RAII: every scan_obs subsystem on for the scope, cleaned up after.
+class ObsAllOn {
+ public:
+  ObsAllOn() {
+    obs::TraceRecorder::Global().Clear();
+    obs::DecisionAudit::Global().Clear();
+    obs::MetricsRegistry::Global().ResetAll();
+    obs::TraceRecorder::Global().Enable();
+    obs::EnableMetrics();
+    obs::DecisionAudit::Global().Enable();
+  }
+  ~ObsAllOn() {
+    obs::TraceRecorder::Global().Disable();
+    obs::DisableMetrics();
+    obs::DecisionAudit::Global().Disable();
+    obs::TraceRecorder::Global().Clear();
+    obs::DecisionAudit::Global().Clear();
+    obs::MetricsRegistry::Global().ResetAll();
+  }
+  ObsAllOn(const ObsAllOn&) = delete;
+  ObsAllOn& operator=(const ObsAllOn&) = delete;
+};
+
+TEST(ObsParityTest, TracedSchedulerRunIsBitIdenticalToUntraced) {
+  const core::SimulationConfig config = MakeConfig();
+  core::SchedulerOptions options;
+  options.record_schedule = true;
+
+  core::Scheduler untraced(config, gatk::PipelineModel::PaperGatk(), 1234,
+                           options);
+  const testkit::MetricsFingerprint base =
+      testkit::MetricsFingerprint::Of(untraced.Run());
+
+  std::uint64_t events = 0;
+  std::size_t hires = 0;
+  {
+    const ObsAllOn on;
+    core::Scheduler traced(config, gatk::PipelineModel::PaperGatk(), 1234,
+                           options);
+    const testkit::MetricsFingerprint fp =
+        testkit::MetricsFingerprint::Of(traced.Run());
+    EXPECT_EQ(fp.digest, base.digest)
+        << "tracing perturbed the schedule; first diffs:\n"
+        << (fp.DiffAgainst(base).empty() ? "(none)"
+                                         : fp.DiffAgainst(base).front());
+    events = obs::TraceRecorder::Global().stats().events_recorded;
+    hires = obs::DecisionAudit::Global().hires().size();
+  }
+  // The instrumented run must actually have observed something, otherwise
+  // this test proves nothing.
+  EXPECT_GT(events, 0u);
+  EXPECT_GT(hires, 0u);
+}
+
+TEST(ObsParityTest, SimRuntimeParityHoldsWithEverythingEnabled) {
+  const ObsAllOn on;
+  const testkit::ParityResult result =
+      testkit::CheckSimRuntimeParity(MakeConfig(), /*seed=*/77);
+  EXPECT_TRUE(result.ok()) << result.Describe();
+  EXPECT_GT(result.stage_records, 0u);
+  // The runtime's executor threads traced their slices into their own
+  // lanes; the coordinator and the simulator share the main-thread lane.
+  EXPECT_GT(obs::TraceRecorder::Global().stats().lanes, 1u);
+}
+
+TEST(ObsParityTest, AuditRecordsCarryPricedInputsUnderPredictiveScaling) {
+  const ObsAllOn on;
+  core::Scheduler scheduler(MakeConfig(), gatk::PipelineModel::PaperGatk(),
+                            99);
+  (void)scheduler.Run();
+
+  const auto hires = obs::DecisionAudit::Global().hires();
+  const auto plans = obs::DecisionAudit::Global().plans();
+  ASSERT_FALSE(hires.empty());
+  ASSERT_FALSE(plans.empty());
+  // Every record names its algorithm, and at least one predictive decision
+  // must have actually priced the hire-vs-wait inequality.
+  bool any_priced = false;
+  for (const auto& h : hires) {
+    EXPECT_STRNE(h.scaling, "");
+    if (!std::isnan(h.delay_cost) && !std::isnan(h.hire_cost)) {
+      any_priced = true;
+    }
+  }
+  EXPECT_TRUE(any_priced);
+  for (const auto& p : plans) {
+    EXPECT_STRNE(p.allocation, "");
+    EXPECT_FALSE(p.plan.empty());
+    EXPECT_GT(p.predicted_exec_tu, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace scan

@@ -1,0 +1,220 @@
+#include "scan/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scan::obs {
+namespace {
+
+/// Every test starts and ends with the process-wide recorder disabled and
+/// empty (the quiescence contract lets us Clear between tests freely).
+class TraceRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST_F(TraceRecorderTest, DisabledEmitIsANoOp) {
+  EXPECT_FALSE(TraceEnabled());
+  TraceEmit(EventKind::kJobArrival, 1.0, 0, 7);
+  EXPECT_TRUE(TraceRecorder::Global().Collect().empty());
+  EXPECT_EQ(TraceRecorder::Global().stats().events_recorded, 0u);
+}
+
+TEST_F(TraceRecorderTest, RecordsPayloadFieldsRoundTrip) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable();
+  TraceEmit(EventKind::kWorkerHire, 12.5, /*track=*/3, /*a=*/9, /*b=*/1,
+            /*value=*/4.0);
+  TraceEmit(EventKind::kStageExec, 13.0, 3, 9, 2, 4.0, /*duration_tu=*/2.75);
+  rec.Disable();
+
+  const std::vector<TraceEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kWorkerHire);
+  EXPECT_DOUBLE_EQ(events[0].time_tu, 12.5);
+  EXPECT_EQ(events[0].track, 3u);
+  EXPECT_EQ(events[0].a, 9u);
+  EXPECT_EQ(events[0].b, 1u);
+  EXPECT_DOUBLE_EQ(events[0].value, 4.0);
+  EXPECT_DOUBLE_EQ(events[0].duration_tu, 0.0);
+  EXPECT_EQ(events[1].kind, EventKind::kStageExec);
+  EXPECT_DOUBLE_EQ(events[1].duration_tu, 2.75);
+
+  const TraceRecorder::Stats stats = rec.stats();
+  EXPECT_EQ(stats.events_recorded, 2u);
+  EXPECT_EQ(stats.events_dropped, 0u);
+  EXPECT_EQ(stats.lanes, 1u);
+}
+
+TEST_F(TraceRecorderTest, CollectSortsChronologically) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable();
+  TraceEmit(EventKind::kJobArrival, 5.0, 0, 1);
+  TraceEmit(EventKind::kJobArrival, 1.0, 0, 2);
+  TraceEmit(EventKind::kJobArrival, 3.0, 0, 3);
+  rec.Disable();
+  const std::vector<TraceEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].time_tu, 1.0);
+  EXPECT_DOUBLE_EQ(events[1].time_tu, 3.0);
+  EXPECT_DOUBLE_EQ(events[2].time_tu, 5.0);
+}
+
+TEST_F(TraceRecorderTest, RingOverwritesOldestAndCountsDrops) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable(/*capacity_per_thread=*/4);
+  EXPECT_EQ(rec.capacity_per_thread(), 4u);
+  for (int i = 0; i < 6; ++i) {
+    TraceEmit(EventKind::kQueueEnqueue, static_cast<double>(i), 0,
+              static_cast<std::uint64_t>(i));
+  }
+  rec.Disable();
+
+  const TraceRecorder::Stats stats = rec.stats();
+  EXPECT_EQ(stats.events_recorded, 6u);
+  EXPECT_EQ(stats.events_dropped, 2u);
+
+  // The two oldest events (t=0, t=1) were overwritten.
+  const std::vector<TraceEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].time_tu, static_cast<double>(i + 2));
+  }
+}
+
+TEST_F(TraceRecorderTest, EnableWithZeroCapacityFallsBackToDefault) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable(0);
+  EXPECT_EQ(rec.capacity_per_thread(), TraceRecorder::kDefaultCapacity);
+  rec.Disable();
+}
+
+TEST_F(TraceRecorderTest, ClearDiscardsEventsAndReattachesLanes) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable();
+  TraceEmit(EventKind::kJobArrival, 1.0, 0, 1);
+  rec.Clear();
+  EXPECT_TRUE(rec.Collect().empty());
+  EXPECT_EQ(rec.stats().events_recorded, 0u);
+  EXPECT_EQ(rec.stats().lanes, 0u);
+
+  // The thread's cached lane was invalidated; the next Emit re-attaches.
+  TraceEmit(EventKind::kJobComplete, 2.0, 0, 1);
+  rec.Disable();
+  ASSERT_EQ(rec.Collect().size(), 1u);
+  EXPECT_EQ(rec.Collect()[0].kind, EventKind::kJobComplete);
+  EXPECT_EQ(rec.stats().lanes, 1u);
+}
+
+TEST_F(TraceRecorderTest, EachEmittingThreadGetsItsOwnLane) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable();
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 10;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceEmit(EventKind::kStageSlice, static_cast<double>(i),
+                  static_cast<std::uint64_t>(t),
+                  static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(i),
+                  0.0, 0.5);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  rec.Disable();
+
+  const TraceRecorder::Stats stats = rec.stats();
+  EXPECT_EQ(stats.events_recorded,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.lanes, static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(rec.Collect().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST_F(TraceRecorderTest, SpanClassificationMatchesKinds) {
+  EXPECT_TRUE(IsSpan(EventKind::kStageExec));
+  EXPECT_TRUE(IsSpan(EventKind::kStageSlice));
+  EXPECT_FALSE(IsSpan(EventKind::kJobArrival));
+  EXPECT_FALSE(IsSpan(EventKind::kQueueDequeue));
+  EXPECT_FALSE(IsSpan(EventKind::kDecision));
+}
+
+TEST_F(TraceRecorderTest, EventKindNamesAreStable) {
+  EXPECT_STREQ(EventKindName(EventKind::kJobArrival), "job-arrival");
+  EXPECT_STREQ(EventKindName(EventKind::kShardSplit), "shard-split");
+  EXPECT_STREQ(EventKindName(EventKind::kQueueDequeue), "queue-dequeue");
+  EXPECT_STREQ(EventKindName(EventKind::kStageExec), "stage-exec");
+  EXPECT_STREQ(EventKindName(EventKind::kTicketDelivery), "ticket-delivery");
+  EXPECT_STREQ(EventKindName(EventKind::kDecision), "decision");
+}
+
+TEST_F(TraceRecorderTest, ChromeExportWrapsSpansAndInstants) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable();
+  TraceEmit(EventKind::kJobArrival, 1.5, 0, 7, 0, 32.0);
+  TraceEmit(EventKind::kStageExec, 2.0, 4, 7, 1, 2.0, /*duration_tu=*/3.0);
+  rec.Disable();
+
+  const std::string path = "trace_recorder_test_chrome.json";
+  ASSERT_TRUE(rec.ExportChromeJson(path));
+  const std::string text = ReadAll(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  // Instant: ph "i" with scope "t"; 1 TU = 1000 trace microseconds.
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":1500"), std::string::npos);
+  // Span: ph "X" with a duration.
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":3000"), std::string::npos);
+  EXPECT_NE(text.find("\"tid\":4"), std::string::npos);
+}
+
+TEST_F(TraceRecorderTest, JsonlExportEmitsOneObjectPerEvent) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Enable();
+  TraceEmit(EventKind::kQueueDequeue, 4.25, 0, 11, 2, 1.75);
+  TraceEmit(EventKind::kJobComplete, 9.0, 0, 11, 0, 4.75);
+  rec.Disable();
+
+  const std::string path = "trace_recorder_test.jsonl";
+  ASSERT_TRUE(rec.ExportJsonl(path));
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  std::remove(path.c_str());
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"kind\":\"queue-dequeue\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"t\":4.25"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"v\":1.75"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"job-complete\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scan::obs
