@@ -120,8 +120,19 @@ struct TraceSummary {
   std::map<std::uint64_t, double> stage_queue_wait;  ///< stage -> total TU
   std::map<std::uint64_t, std::uint64_t> stage_dequeues;
   std::map<std::uint64_t, JobPath> jobs;
+  /// Fault-recovery instants (DESIGN.md §10), kind -> count. Empty for a
+  /// fault-free trace, so the recovery block only prints on chaos runs.
+  std::map<std::string, std::uint64_t> recovery;
   std::size_t events = 0;
 };
+
+bool IsRecoveryKind(const std::string& kind) {
+  return kind == "worker-failure" || kind == "worker-flap" ||
+         kind == "task-retry" || kind == "retry-backoff" ||
+         kind == "checkpoint" || kind == "straggle" ||
+         kind == "breaker-open" || kind == "speculative-launch" ||
+         kind == "speculative-wasted" || kind == "job-abandoned";
+}
 
 TraceSummary Summarize(const std::vector<ParsedEvent>& events) {
   TraceSummary s;
@@ -136,6 +147,8 @@ TraceSummary Summarize(const std::vector<ParsedEvent>& events) {
     } else if (ev.kind == "job-complete") {
       s.jobs[ev.a].latency = ev.v;
       s.jobs[ev.a].completed = true;
+    } else if (IsRecoveryKind(ev.kind)) {
+      ++s.recovery[ev.kind];
     }
   }
   return s;
@@ -170,6 +183,14 @@ void PrintSummary(const TraceSummary& s) {
                 static_cast<unsigned long long>(slowest[i].second), p.latency,
                 p.queue_wait, p.exec,
                 std::max(0.0, p.latency - p.queue_wait - p.exec));
+  }
+
+  if (!s.recovery.empty()) {
+    std::printf("\nfault recovery events:\n");
+    for (const auto& [kind, count] : s.recovery) {
+      std::printf("  %-20s %8llu\n", kind.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
   }
 }
 

@@ -77,6 +77,16 @@ int main(int argc, char** argv) {
   config.duration = SimTime{duration};
   config.scaling = core::ScalingAlgorithm::kPredictive;
   config.allocation = core::AllocationAlgorithm::kBestConstant;
+  // Chaos knobs (all default off — see DESIGN.md §10): --crash-rate=R
+  // --flap-rate=R --straggle-rate=R --checkpoint-interval=TU
+  // --backoff-base=TU.
+  config.worker_failure_rate = FlagValue(argc, argv, "crash-rate", 0.0);
+  config.fault.flap_rate = FlagValue(argc, argv, "flap-rate", 0.0);
+  config.fault.straggle_rate = FlagValue(argc, argv, "straggle-rate", 0.0);
+  config.fault.checkpoint_interval =
+      SimTime{FlagValue(argc, argv, "checkpoint-interval", 0.0)};
+  config.fault.backoff_base =
+      SimTime{FlagValue(argc, argv, "backoff-base", 0.0)};
   if (wall) {
     // Real CPU is the scarce resource now: lighten the modeled load so the
     // physical pool can keep pace (see DESIGN.md, "Live runtime").
@@ -126,5 +136,14 @@ int main(int argc, char** argv) {
               "hires, %zu reconfigurations, %zu failures\n",
               m.private_hires, m.public_hires, m.reconfigurations,
               m.worker_failures);
+  if (m.worker_failures > 0 || m.worker_flaps > 0 ||
+      m.straggles_injected > 0 || m.task_retries > 0) {
+    std::printf("  fault recovery          : %zu retries, %zu checkpoints, "
+                "%zu flaps, %zu straggles, %zu speculative (%zu wasted), "
+                "%zu abandoned\n",
+                m.task_retries, m.checkpoints_saved, m.worker_flaps,
+                m.straggles_injected, m.speculative_launches,
+                m.speculative_wasted, m.jobs_abandoned);
+  }
   return m.jobs_completed > 0 ? 0 : 1;
 }

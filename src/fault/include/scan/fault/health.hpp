@@ -1,0 +1,50 @@
+#pragma once
+
+// Per-worker health tracking with a circuit breaker for flapping workers.
+// Purely deterministic bookkeeping: no clocks of its own, no RNG — the
+// caller supplies simulation time, so the simulator and the live runtime
+// make identical breaker decisions.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "scan/common/units.hpp"
+
+namespace scan::fault {
+
+class WorkerHealthTracker {
+ public:
+  WorkerHealthTracker() = default;
+  WorkerHealthTracker(int breaker_threshold, SimTime breaker_cooldown)
+      : threshold_(breaker_threshold), cooldown_(breaker_cooldown) {}
+
+  /// Breaker disabled (threshold 0) means every worker is always allowed.
+  [[nodiscard]] bool enabled() const { return threshold_ > 0; }
+
+  /// Whether the worker may receive a new assignment at `now`.
+  [[nodiscard]] bool Allows(std::uint64_t worker_key, SimTime now) const;
+
+  /// Records one flap. Returns true when this flap opened the breaker
+  /// (the worker is then blocked until now + cooldown; it re-opens after
+  /// a single further flap — the tracker stays primed at threshold-1).
+  bool RecordFlap(std::uint64_t worker_key, SimTime now);
+
+  /// A completed assignment clears the worker's flap streak.
+  void RecordSuccess(std::uint64_t worker_key);
+
+  /// Drops all state for a destroyed worker (crash or release). Worker
+  /// keys are never reused, so this is the only way entries leave.
+  void Forget(std::uint64_t worker_key);
+
+ private:
+  struct State {
+    int flaps = 0;
+    SimTime open_until{0.0};
+  };
+
+  int threshold_ = 0;
+  SimTime cooldown_{0.0};
+  std::unordered_map<std::uint64_t, State> states_;
+};
+
+}  // namespace scan::fault

@@ -1,0 +1,50 @@
+#pragma once
+
+// Retry policy: capped exponential backoff with a per-job budget, plus
+// the closed-form expected-rework factor that prices crash risk into the
+// §III hire-vs-wait comparison.
+
+#include "scan/fault/fault_config.hpp"
+
+namespace scan::fault {
+
+/// Deterministic retry schedule derived from FaultConfig.
+class RetryPolicy {
+ public:
+  RetryPolicy() = default;
+  explicit RetryPolicy(const FaultConfig& config)
+      : max_retries_(config.max_retries_per_job),
+        base_(config.backoff_base),
+        multiplier_(config.backoff_multiplier),
+        cap_(config.backoff_cap) {}
+
+  /// True when a job that has now been retried `retries_used` times has
+  /// exceeded its budget and must be abandoned.
+  [[nodiscard]] bool Exhausted(int retries_used) const {
+    return max_retries_ >= 0 && retries_used > max_retries_;
+  }
+
+  /// Backoff before retry number `retry_index` (0-based):
+  /// min(cap, base * multiplier^retry_index). Computed by repeated
+  /// multiplication (no std::pow) so it is bit-identical across
+  /// platforms. Zero base means immediate requeue.
+  [[nodiscard]] SimTime BackoffFor(int retry_index) const;
+
+ private:
+  int max_retries_ = -1;
+  SimTime base_{0.0};
+  double multiplier_ = 2.0;
+  SimTime cap_{8.0};
+};
+
+/// Expected execution-time inflation from exponential crashes at rate
+/// `crash_rate` over a task of modeled length `exec_tu`, with work
+/// checkpointed every `checkpoint_interval_tu` (0 = no checkpoints; the
+/// whole task is one segment). For segment length c the classic
+/// restart-from-checkpoint result gives expected time (e^{rc}-1)/r per
+/// segment, hence factor expm1(r*c)/(r*c) >= 1. Returns exactly 1.0 when
+/// crash_rate <= 0 so disabled configs price bit-identically to legacy.
+[[nodiscard]] double ExpectedReworkFactor(double crash_rate, double exec_tu,
+                                          double checkpoint_interval_tu);
+
+}  // namespace scan::fault

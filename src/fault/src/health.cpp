@@ -1,0 +1,30 @@
+#include "scan/fault/health.hpp"
+
+namespace scan::fault {
+
+bool WorkerHealthTracker::Allows(std::uint64_t worker_key, SimTime now) const {
+  if (threshold_ <= 0) return true;
+  const auto it = states_.find(worker_key);
+  if (it == states_.end()) return true;
+  return now >= it->second.open_until;
+}
+
+bool WorkerHealthTracker::RecordFlap(std::uint64_t worker_key, SimTime now) {
+  if (threshold_ <= 0) return false;
+  State& state = states_[worker_key];
+  ++state.flaps;
+  if (state.flaps < threshold_) return false;
+  state.open_until = now + cooldown_;
+  state.flaps = threshold_ - 1;
+  return true;
+}
+
+void WorkerHealthTracker::RecordSuccess(std::uint64_t worker_key) {
+  states_.erase(worker_key);
+}
+
+void WorkerHealthTracker::Forget(std::uint64_t worker_key) {
+  states_.erase(worker_key);
+}
+
+}  // namespace scan::fault

@@ -1,0 +1,44 @@
+#include "scan/fault/injector.hpp"
+
+#include <algorithm>
+
+namespace scan::fault {
+
+FaultDecision FaultInjector::Draw(SimTime start, SimTime planned_end) {
+  FaultDecision decision;
+  decision.actual_end = planned_end;
+
+  // Crash draw first: with straggle/flap disabled this is the single
+  // exponential the legacy scheduler drew, keeping old seeds bit-exact.
+  std::optional<SimTime> crash;
+  if (crash_rate_ > 0.0) {
+    crash = start + SimTime{rng_.Exponential(1.0 / crash_rate_)};
+  }
+
+  if (config_.straggle_rate > 0.0 && rng_.Uniform() < config_.straggle_rate) {
+    decision.straggle_factor = std::max(config_.straggle_factor, 1.0);
+    decision.actual_end =
+        start + SimTime{(planned_end - start).value() * decision.straggle_factor};
+  }
+
+  // A crash only lands if it precedes the (possibly straggle-extended)
+  // completion — a straggler stays exposed to the hazard for longer.
+  if (crash.has_value() && *crash < decision.actual_end) {
+    decision.crash_at = crash;
+  }
+
+  if (config_.flap_rate > 0.0) {
+    const SimTime flap =
+        start + SimTime{rng_.Exponential(1.0 / config_.flap_rate)};
+    if (flap < decision.actual_end &&
+        (!decision.crash_at.has_value() || flap < *decision.crash_at)) {
+      // The flap interrupts the assignment before the crash would have
+      // landed, so the crash never happens for this assignment.
+      decision.flap_at = flap;
+      decision.crash_at.reset();
+    }
+  }
+  return decision;
+}
+
+}  // namespace scan::fault

@@ -1,0 +1,28 @@
+#include "scan/fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scan::fault {
+
+SimTime RetryPolicy::BackoffFor(int retry_index) const {
+  if (base_ <= SimTime{0.0}) return SimTime{0.0};
+  const double cap = cap_.value();
+  double backoff = base_.value();
+  for (int i = 0; i < retry_index && backoff < cap; ++i) {
+    backoff *= multiplier_;
+  }
+  return SimTime{std::min(backoff, cap)};
+}
+
+double ExpectedReworkFactor(double crash_rate, double exec_tu,
+                            double checkpoint_interval_tu) {
+  if (crash_rate <= 0.0 || exec_tu <= 0.0) return 1.0;
+  const double segment = checkpoint_interval_tu > 0.0
+                             ? std::min(checkpoint_interval_tu, exec_tu)
+                             : exec_tu;
+  const double x = crash_rate * segment;
+  return std::expm1(x) / x;
+}
+
+}  // namespace scan::fault

@@ -52,8 +52,20 @@ bool TripleStore::Remove(Triple t) {
   const auto it = spo_.find(Index(t.s));
   if (it == spo_.end()) return false;
   if (!EraseSorted(it->second, {t.p, t.o})) return false;
-  EraseSorted(pos_[Index(t.p)], {t.o, t.s});
-  EraseSorted(osp_[Index(t.o)], {t.s, t.p});
+  // Erase posting lists that just became empty: the full-scan Match path
+  // visits every spo_ key, so a lingering empty list is both a leak and a
+  // subject the scan keeps touching forever. The secondary indexes are
+  // looked up with find() — operator[] would default-create an entry when
+  // the maps ever disagree, hiding the corruption it implies.
+  if (it->second.empty()) spo_.erase(it);
+  if (const auto pit = pos_.find(Index(t.p)); pit != pos_.end()) {
+    EraseSorted(pit->second, {t.o, t.s});
+    if (pit->second.empty()) pos_.erase(pit);
+  }
+  if (const auto oit = osp_.find(Index(t.o)); oit != osp_.end()) {
+    EraseSorted(oit->second, {t.s, t.p});
+    if (oit->second.empty()) osp_.erase(oit);
+  }
   --count_;
   return true;
 }

@@ -60,7 +60,10 @@ struct HireDecisionRecord {
   /// Time until the earliest busy worker frees; NaN when none was busy.
   double next_free_delay_tu = std::numeric_limits<double>::quiet_NaN();
   double boot_penalty_tu = 0.0;
-  double public_core_price = 0.0;  ///< CU per core-TU on the public tier
+  double public_core_price = 0.0;
+  /// Expected-rework inflation priced into the hire cost (1.0 when crash
+  /// pricing is off or checkpointing makes rework negligible).
+  double rework_factor = 1.0;
 };
 
 /// One thread-allocation decision (job admission).

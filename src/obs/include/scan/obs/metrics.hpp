@@ -156,6 +156,13 @@ struct PlatformMetrics {
   Counter* releases = nullptr;
   Counter* worker_failures = nullptr;
   Counter* task_retries = nullptr;
+  Counter* worker_flaps = nullptr;
+  Counter* breaker_opens = nullptr;
+  Counter* checkpoints_saved = nullptr;
+  Counter* speculative_launches = nullptr;
+  Counter* speculative_wasted = nullptr;
+  Counter* straggles = nullptr;
+  Counter* jobs_abandoned = nullptr;
   Gauge* queued_jobs = nullptr;
   Gauge* busy_workers = nullptr;
   Histogram* queue_wait_tu = nullptr;

@@ -49,6 +49,14 @@ namespace scan::obs {
 ///  kJobComplete    instant  a=job_id                     value=latency_tu
 ///  kDecision       instant  a=job_id  b=stage track=HireChoice
 ///                           value=delay_cost-hire_cost (0 if not priced)
+///  kStraggle       instant  a=job_id  b=stage track=key value=factor
+///  kWorkerFlap     instant  a=job_id  track=worker_key
+///  kBreakerOpen    instant  track=worker_key             value=cooldown_tu
+///  kCheckpoint     instant  a=job_id  b=stage            value=stage_done
+///  kRetryBackoff   instant  a=job_id  b=stage            value=backoff_tu
+///  kSpeculativeLaunch instant a=job_id b=stage track=straggler_key
+///  kSpeculativeWasted instant a=job_id track=worker_key
+///  kJobAbandoned   instant  a=job_id  b=stage            value=retries
 enum class EventKind : std::uint8_t {
   kJobArrival = 0,
   kShardSplit,
@@ -63,6 +71,14 @@ enum class EventKind : std::uint8_t {
   kTicketDelivery,
   kJobComplete,
   kDecision,
+  kStraggle,
+  kWorkerFlap,
+  kBreakerOpen,
+  kCheckpoint,
+  kRetryBackoff,
+  kSpeculativeLaunch,
+  kSpeculativeWasted,
+  kJobAbandoned,
 };
 
 [[nodiscard]] const char* EventKindName(EventKind kind);

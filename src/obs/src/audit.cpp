@@ -99,7 +99,9 @@ bool DecisionAudit::ExportJsonl(const std::string& path) const {
         << JsonNumberOrNull(r.next_free_delay_tu)
         << ",\"boot_penalty_tu\":" << StrFormat("%.17g", r.boot_penalty_tu)
         << ",\"public_core_price\":"
-        << StrFormat("%.17g", r.public_core_price) << "}\n";
+        << StrFormat("%.17g", r.public_core_price)
+        << ",\"rework_factor\":" << StrFormat("%.17g", r.rework_factor)
+        << "}\n";
   }
   for (const PlanDecisionRecord& r : im.plans) {
     out << "{\"type\":\"plan\",\"t\":" << StrFormat("%.17g", r.time_tu)

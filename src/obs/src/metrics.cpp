@@ -257,6 +257,20 @@ PlatformMetrics PlatformMetrics::Resolve() {
                                       "Injected worker crashes");
   m.task_retries = &reg.GetCounter("scan_task_retries_total",
                                    "Tasks re-enqueued after a crash");
+  m.worker_flaps = &reg.GetCounter(
+      "scan_worker_flaps_total", "Workers that dropped a task but survived");
+  m.breaker_opens = &reg.GetCounter(
+      "scan_breaker_opens_total", "Circuit-breaker openings on flapping workers");
+  m.checkpoints_saved = &reg.GetCounter(
+      "scan_checkpoints_saved_total", "Lost assignments resumed from a checkpoint");
+  m.speculative_launches = &reg.GetCounter(
+      "scan_speculative_launches_total", "Speculative copies enqueued for stragglers");
+  m.speculative_wasted = &reg.GetCounter(
+      "scan_speculative_wasted_total", "Completions discarded as stale duplicates");
+  m.straggles = &reg.GetCounter("scan_straggles_total",
+                                "Assignments injected with a slowdown");
+  m.jobs_abandoned = &reg.GetCounter(
+      "scan_jobs_abandoned_total", "Jobs dropped after exhausting their retry budget");
   m.queued_jobs =
       &reg.GetGauge("scan_queued_jobs", "Tasks waiting across stage queues");
   m.busy_workers =

@@ -37,6 +37,22 @@ const char* EventKindName(EventKind kind) {
       return "job-complete";
     case EventKind::kDecision:
       return "decision";
+    case EventKind::kStraggle:
+      return "straggle";
+    case EventKind::kWorkerFlap:
+      return "worker-flap";
+    case EventKind::kBreakerOpen:
+      return "breaker-open";
+    case EventKind::kCheckpoint:
+      return "checkpoint";
+    case EventKind::kRetryBackoff:
+      return "retry-backoff";
+    case EventKind::kSpeculativeLaunch:
+      return "speculative-launch";
+    case EventKind::kSpeculativeWasted:
+      return "speculative-wasted";
+    case EventKind::kJobAbandoned:
+      return "job-abandoned";
   }
   return "?";
 }

@@ -128,6 +128,12 @@ class RuntimePlatform {
     std::size_t stage = 0;
     core::ThreadPlan plan;
     SimTime enqueued_at{0.0};
+    int retries = 0;
+    double stage_done = 0.0;
+    std::uint64_t epoch = 0;
+    int active = 0;
+    bool in_backoff = false;
+    bool speculated = false;
   };
 
   struct WorkerBook {
@@ -140,6 +146,8 @@ class RuntimePlatform {
     SimTime idle_since{0.0};
     SimTime busy_accumulated{0.0};
     std::uint64_t idle_epoch = 0;
+    std::uint64_t assignment_epoch = 0;
+    std::uint64_t assignment_seq = 0;
   };
 
   // --- control-event calendar (coordinator-private; the simulator's
@@ -168,6 +176,15 @@ class RuntimePlatform {
     std::uint64_t job_id = 0;
     std::uint64_t worker_key = 0;
     bool orphaned = false;
+    /// Job epoch the assignment started under (stale-result detection).
+    std::uint64_t epoch = 0;
+    /// Straggle overrun beyond the planned end (0 normally), passed to
+    /// OnTaskComplete by the wall-clock completion path.
+    SimTime extra{0.0};
+    /// Assignment start and planned execution length (checkpoint
+    /// accounting on the wall-clock failure/flap paths).
+    SimTime start{0.0};
+    SimTime planned_exec{0.0};
   };
 
   [[nodiscard]] SimTime Now() const { return clock_->Now(); }
@@ -188,6 +205,7 @@ class RuntimePlatform {
   void WaitForTicket(std::uint64_t ticket);
   void HandleWallCompletion(const TaskCompletion& completion);
   void WallFailureDue(std::uint64_t ticket);
+  void WallFlapDue(std::uint64_t ticket);
   /// Consumes every message still owed by dispatched tasks (end of run).
   void DrainInFlight();
 
@@ -198,8 +216,18 @@ class RuntimePlatform {
   bool TryDispatchHead(std::size_t stage);
   void AssignTask(std::uint64_t job_id, std::size_t stage,
                   WorkerBook& worker, SimTime start_time);
-  void OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key);
-  void OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key);
+  void OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
+                      std::uint64_t epoch, SimTime extra);
+  void OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key,
+                       std::uint64_t epoch, SimTime start_time,
+                       SimTime planned_exec);
+  void OnWorkerFlap(std::uint64_t job_id, std::uint64_t worker_key,
+                    std::uint64_t epoch, SimTime start_time,
+                    SimTime planned_exec);
+  void HandleTaskLoss(JobState& job, SimTime served, SimTime planned_exec);
+  void OnSpeculationCheck(std::uint64_t job_id, std::uint64_t epoch,
+                          std::uint64_t worker_key,
+                          std::uint64_t assignment_seq);
   void ScheduleIdleRelease(std::uint64_t worker_key);
   void RecordWorkerUtilization(const WorkerBook& worker, SimTime now);
   void RemoveFromIdle(std::uint64_t key, int threads);
@@ -231,7 +259,11 @@ class RuntimePlatform {
   std::unordered_map<std::uint64_t, WorkerBook> workers_;
   std::map<int, std::vector<std::uint64_t>> idle_;
 
-  RandomStream failure_rng_;
+  fault::FaultInjector injector_;  ///< owns the "worker-failures" RNG
+  fault::RetryPolicy retry_;
+  fault::WorkerHealthTracker health_;
+  std::unordered_set<std::uint64_t> speculative_queued_;
+  std::uint64_t next_assignment_seq_ = 1;
   core::RunMetrics metrics_;
   /// scan_obs instruments (updates gated on obs::MetricsEnabled()).
   obs::PlatformMetrics pmetrics_ = obs::PlatformMetrics::Resolve();

@@ -31,7 +31,9 @@ RuntimePlatform::RuntimePlatform(const core::SimulationConfig& config,
       cloud_(config.MakeCloudConfig()),
       arrivals_(config.MakeArrivalParams(), seed),
       queues_(policy_.model().stage_count()),
-      failure_rng_(seed, "worker-failures"),
+      injector_(seed, config.worker_failure_rate, config.fault),
+      retry_(config.fault),
+      health_(config.fault.breaker_threshold, config.fault.breaker_cooldown),
       kernel_(options_.clock == ClockMode::kWall ? SpinKernel::Calibrate()
                                                  : SpinKernel{}),
       completions_(options_.completion_capacity) {
@@ -220,7 +222,7 @@ void RuntimePlatform::HandleWallCompletion(const TaskCompletion& completion) {
   const TicketState state = it->second;
   in_flight_.erase(it);
   if (state.orphaned) return;  // its worker crashed; the result is lost
-  OnTaskComplete(state.job_id, state.worker_key);
+  OnTaskComplete(state.job_id, state.worker_key, state.epoch, state.extra);
 }
 
 void RuntimePlatform::WallFailureDue(std::uint64_t ticket) {
@@ -229,7 +231,20 @@ void RuntimePlatform::WallFailureDue(std::uint64_t ticket) {
   // simply does not happen (wall mode tracks physical reality).
   if (it == in_flight_.end() || it->second.orphaned) return;
   it->second.orphaned = true;
-  OnWorkerFailure(it->second.job_id, it->second.worker_key);
+  const TicketState state = it->second;
+  OnWorkerFailure(state.job_id, state.worker_key, state.epoch, state.start,
+                  state.planned_exec);
+}
+
+void RuntimePlatform::WallFlapDue(std::uint64_t ticket) {
+  const auto it = in_flight_.find(ticket);
+  // As with crashes, a physical completion that beat the modeled flap
+  // wins; otherwise the in-flight result is orphaned and discarded.
+  if (it == in_flight_.end() || it->second.orphaned) return;
+  it->second.orphaned = true;
+  const TicketState state = it->second;
+  OnWorkerFlap(state.job_id, state.worker_key, state.epoch, state.start,
+               state.planned_exec);
 }
 
 void RuntimePlatform::DrainInFlight() {
@@ -316,6 +331,7 @@ void RuntimePlatform::AuditHire(obs::HireChoice choice, std::size_t stage,
     rec.delay_cost = eval->delay_cost;
     rec.hire_cost = eval->hire_cost;
     rec.next_free_delay_tu = eval->next_free_delay_tu;
+    rec.rework_factor = eval->rework_factor;
   }
   rec.boot_penalty_tu = cloud_.config().boot_penalty.value();
   rec.public_core_price = config_.public_cost_per_core_tu;
@@ -368,22 +384,27 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
 
   // 1. An idle worker already configured with the required thread count.
   if (const auto bucket = idle_.find(threads); bucket != idle_.end()) {
-    std::uint64_t key = bucket->second.front();
-    int best_cores = workers_.at(key).cores;
+    // Mirrors the simulator: breaker-open workers are skipped; if the
+    // whole bucket is blocked, fall through to the other steps.
+    std::uint64_t key = 0;
+    int best_cores = 1 << 30;
     for (const std::uint64_t candidate_key : bucket->second) {
+      if (!health_.Allows(candidate_key, now)) continue;
       const int cores = workers_.at(candidate_key).cores;
       if (cores < best_cores) {
         best_cores = cores;
         key = candidate_key;
       }
     }
-    WorkerBook& worker = workers_.at(key);
-    RemoveFromIdle(key, threads);
-    AuditHire(obs::HireChoice::kReuseIdle, stage, job, threads, queue_len,
-              nullptr);
-    queues_[stage].pop_front();
-    AssignTask(job_id, stage, worker, now);
-    return true;
+    if (key != 0) {
+      WorkerBook& worker = workers_.at(key);
+      RemoveFromIdle(key, threads);
+      AuditHire(obs::HireChoice::kReuseIdle, stage, job, threads, queue_len,
+                nullptr);
+      queues_[stage].pop_front();
+      AssignTask(job_id, stage, worker, now);
+      return true;
+    }
   }
 
   // 2. Hire exact-size on the private tier, compacting fragmentation.
@@ -400,6 +421,7 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
     int best_cores = 1 << 30;
     for (const auto& [cfg, keys] : idle_) {
       for (const std::uint64_t key : keys) {
+        if (!health_.Allows(key, now)) continue;
         const WorkerBook& candidate = workers_.at(key);
         if (candidate.cores >= threads && candidate.cores < best_cores) {
           best_cores = candidate.cores;
@@ -491,6 +513,7 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
 void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
                                  WorkerBook& worker, SimTime start_time) {
   JobState& job = jobs_.at(job_id);
+  const bool speculative = speculative_queued_.erase(job_id) > 0;
   const SimTime now = Now();
   const SimTime wait = now - job.enqueued_at;
   policy_.ObserveQueueWait(stage, wait);
@@ -506,13 +529,22 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
     pmetrics_.busy_workers->Add(1.0);
   }
 
-  const SimTime exec =
+  const SimTime full_exec =
       policy_.model().ThreadedTime(stage, worker.threads, job.size);
+  // Checkpoint resume (mirrors scheduler.cpp, including the bit-identical
+  // no-checkpoint branch).
+  SimTime exec = full_exec;
+  if (job.stage_done > 0.0) {
+    exec = SimTime{full_exec.value() * (1.0 - job.stage_done)};
+  }
   const SimTime done_at = start_time + exec;
   worker.busy = true;
   worker.current_job = job_id;
   worker.busy_until = done_at;
   worker.busy_accumulated += exec;
+  worker.assignment_epoch = job.epoch;
+  worker.assignment_seq = next_assignment_seq_++;
+  ++job.active;
   const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kStageExec, start_time.value(), worker_key,
@@ -520,27 +552,35 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
                    exec.value());
   }
 
-  // Failure injection: one exponential draw per assignment, exactly as the
-  // simulator draws it (stream parity). busy_until stays at done_at — the
-  // scheduler must not foresee the crash.
-  std::optional<SimTime> fail_at;
-  if (config_.worker_failure_rate > 0.0) {
-    const SimTime drawn =
-        start_time +
-        SimTime{failure_rng_.Exponential(1.0 / config_.worker_failure_rate)};
-    if (drawn < done_at) fail_at = drawn;
+  // Fault injection: the same injector draws, in the same order, as the
+  // simulator makes them (stream parity). busy_until stays at done_at —
+  // the scheduler must not foresee faults.
+  const fault::FaultDecision fate = injector_.Draw(start_time, done_at);
+  if (fate.straggles()) {
+    ++metrics_.straggles_injected;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kStraggle, start_time.value(),
+                     worker_key, job_id, stage, fate.straggle_factor);
+    }
+    if (obs::MetricsEnabled()) pmetrics_.straggles->Increment();
   }
   if (options_.record_schedule) {
     metrics_.stage_schedule.push_back({job_id, stage, worker_key,
                                        worker.threads, now, start_time,
-                                       done_at, fail_at.has_value()});
+                                       done_at, fate.crash_at.has_value()});
   }
 
   // Physical dispatch: hand the stage task to the live worker. Under
   // VirtualClock the slices do token work; under WallClock they burn the
-  // modeled duration in real CPU (boot delay becomes a real sleep).
+  // (straggle-extended) duration in real CPU (boot delay becomes a real
+  // sleep).
+  const SimTime actual_exec = fate.actual_end - start_time;
+  const SimTime extra = fate.actual_end - done_at;
+  const std::uint64_t epoch = job.epoch;
   const std::uint64_t ticket = next_ticket_++;
-  in_flight_.emplace(ticket, TicketState{job_id, worker_key, false});
+  in_flight_.emplace(
+      ticket, TicketState{job_id, worker_key, false, epoch, extra, start_time,
+                          exec});
   ++unconsumed_;
   ++stage_tasks_dispatched_;
   StageTask task;
@@ -548,40 +588,70 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   task.slices = worker.threads;
   const double seconds_per_tu = clock_->seconds_per_tu();
   task.pre_delay_seconds = (start_time - now).value() * seconds_per_tu;
-  task.burn_seconds = exec.value() * seconds_per_tu;
+  task.burn_seconds = actual_exec.value() * seconds_per_tu;
   task.sim_start_tu = start_time.value();
-  task.sim_exec_tu = exec.value();
+  task.sim_exec_tu = actual_exec.value();
   live_workers_.at(worker_key)->Execute(task);
   peak_pool_queue_depth_ =
       std::max(peak_pool_queue_depth_, exec_pool_->queue_depth());
 
+  // Straggler detection: scheduled BEFORE the terminal event, exactly as
+  // the simulator orders its calendar inserts (same-instant tie-break
+  // parity depends on matching sequence numbers).
+  if (config_.fault.speculation_slowdown > 0.0 && !speculative &&
+      !job.speculated) {
+    job.speculated = true;
+    const SimTime check_at =
+        start_time +
+        SimTime{exec.value() * config_.fault.speculation_slowdown};
+    const std::uint64_t seq = worker.assignment_seq;
+    ScheduleAt(check_at, [this, job_id, epoch, worker_key, seq] {
+      OnSpeculationCheck(job_id, epoch, worker_key, seq);
+    });
+  }
+
   if (options_.clock == ClockMode::kVirtual) {
-    // The completion (or crash) is a calendar event at its modeled
+    // The completion (or crash/flap) is a calendar event at its modeled
     // instant, gated on the physical completion message.
-    if (fail_at) {
-      ScheduleAt(*fail_at, [this, job_id, worker_key, ticket] {
+    if (fate.crash_at) {
+      ScheduleAt(*fate.crash_at, [this, job_id, worker_key, ticket, epoch,
+                                  start_time, exec] {
         WaitForTicket(ticket);
         in_flight_.erase(ticket);
-        OnWorkerFailure(job_id, worker_key);
+        OnWorkerFailure(job_id, worker_key, epoch, start_time, exec);
       });
       return;
     }
-    ScheduleAt(done_at, [this, job_id, worker_key, ticket] {
-      WaitForTicket(ticket);
-      in_flight_.erase(ticket);
-      OnTaskComplete(job_id, worker_key);
-    });
+    if (fate.flap_at) {
+      ScheduleAt(*fate.flap_at, [this, job_id, worker_key, ticket, epoch,
+                                 start_time, exec] {
+        WaitForTicket(ticket);
+        in_flight_.erase(ticket);
+        OnWorkerFlap(job_id, worker_key, epoch, start_time, exec);
+      });
+      return;
+    }
+    ScheduleAt(fate.actual_end,
+               [this, job_id, worker_key, ticket, epoch, extra] {
+                 WaitForTicket(ticket);
+                 in_flight_.erase(ticket);
+                 OnTaskComplete(job_id, worker_key, epoch, extra);
+               });
     return;
   }
   // WallClock: the completion is handled when its message physically
-  // arrives; only the modeled crash needs a calendar entry.
-  if (fail_at) {
-    ScheduleAt(*fail_at, [this, ticket] { WallFailureDue(ticket); });
+  // arrives; only a modeled crash or flap needs a calendar entry.
+  if (fate.crash_at) {
+    ScheduleAt(*fate.crash_at, [this, ticket] { WallFailureDue(ticket); });
+  } else if (fate.flap_at) {
+    ScheduleAt(*fate.flap_at, [this, ticket] { WallFlapDue(ticket); });
   }
 }
 
 void RuntimePlatform::OnWorkerFailure(std::uint64_t job_id,
-                                      std::uint64_t worker_key) {
+                                      std::uint64_t worker_key,
+                                      std::uint64_t epoch, SimTime start_time,
+                                      SimTime planned_exec) {
   const SimTime now = Now();
   WorkerBook& worker = workers_.at(worker_key);
   worker.busy_accumulated -= (worker.busy_until - now);
@@ -591,20 +661,152 @@ void RuntimePlatform::OnWorkerFailure(std::uint64_t job_id,
   (void)released;
   workers_.erase(worker_key);
   live_workers_.erase(worker_key);
+  health_.Forget(worker_key);
   ++metrics_.worker_failures;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kWorkerFailure, now.value(), worker_key,
                    job_id);
-    obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job_id,
-                   jobs_.at(job_id).stage);
   }
   if (obs::MetricsEnabled()) {
     pmetrics_.worker_failures->Increment();
-    pmetrics_.task_retries->Increment();
     pmetrics_.busy_workers->Add(-1.0);
   }
 
+  const auto jit = jobs_.find(job_id);
+  if (jit != jobs_.end() && jit->second.epoch == epoch) {
+    HandleTaskLoss(jit->second, now - start_time, planned_exec);
+  }
+  TryDispatchAll();
+}
+
+void RuntimePlatform::OnWorkerFlap(std::uint64_t job_id,
+                                   std::uint64_t worker_key,
+                                   std::uint64_t epoch, SimTime start_time,
+                                   SimTime planned_exec) {
+  const SimTime now = Now();
+  // Mirrors Scheduler::OnWorkerFlap; the LiveWorker survives (the machine
+  // only dropped its task), so live_workers_ keeps its entry.
+  WorkerBook& worker = workers_.at(worker_key);
+  worker.busy_accumulated -= (worker.busy_until - now);
+  if (obs::MetricsEnabled()) pmetrics_.busy_workers->Add(-1.0);
+  worker.busy = false;
+  worker.current_job = 0;
+  worker.idle_since = now;
+  ++worker.idle_epoch;
+  InsertSorted(idle_[worker.threads], worker_key);
+  ScheduleIdleRelease(worker_key);
+  ++metrics_.worker_flaps;
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kWorkerFlap, now.value(), worker_key,
+                   job_id);
+  }
+  if (obs::MetricsEnabled()) pmetrics_.worker_flaps->Increment();
+  if (health_.enabled() && health_.RecordFlap(worker_key, now)) {
+    ++metrics_.breaker_opens;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kBreakerOpen, now.value(), worker_key, 0,
+                     0, config_.fault.breaker_cooldown.value());
+    }
+    if (obs::MetricsEnabled()) pmetrics_.breaker_opens->Increment();
+  }
+
+  const auto jit = jobs_.find(job_id);
+  if (jit != jobs_.end() && jit->second.epoch == epoch) {
+    HandleTaskLoss(jit->second, now - start_time, planned_exec);
+  }
+  TryDispatchAll();
+}
+
+void RuntimePlatform::HandleTaskLoss(JobState& job, SimTime served,
+                                     SimTime planned_exec) {
+  const SimTime now = Now();
+  // Mirrors Scheduler::HandleTaskLoss line for line — see scheduler.cpp
+  // for the reasoning behind each step.
+  if (config_.fault.checkpoint_interval > SimTime{0.0} &&
+      planned_exec > SimTime{0.0}) {
+    const double interval = config_.fault.checkpoint_interval.value();
+    const double saved =
+        std::floor(served.value() / interval) * interval;
+    if (saved > 0.0) {
+      const double fraction =
+          std::min(saved / planned_exec.value(), 0.95);
+      job.stage_done += (1.0 - job.stage_done) * fraction;
+      ++metrics_.checkpoints_saved;
+      if (obs::TraceEnabled()) {
+        obs::TraceEmit(obs::EventKind::kCheckpoint, now.value(), 0, job.id,
+                       job.stage, job.stage_done);
+      }
+      if (obs::MetricsEnabled()) pmetrics_.checkpoints_saved->Increment();
+    }
+  }
+
+  --job.active;
+  if (job.active > 0 || speculative_queued_.count(job.id) > 0) {
+    return;
+  }
+
+  ++job.epoch;
+  job.active = 0;
+  job.speculated = false;
+  ++job.retries;
+  if (retry_.Exhausted(job.retries)) {
+    ++metrics_.jobs_abandoned;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kJobAbandoned, now.value(), 0, job.id,
+                     job.stage, static_cast<double>(job.retries));
+    }
+    if (obs::MetricsEnabled()) pmetrics_.jobs_abandoned->Increment();
+    jobs_.erase(job.id);
+    return;
+  }
   ++metrics_.task_retries;
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job.id,
+                   job.stage);
+  }
+  if (obs::MetricsEnabled()) pmetrics_.task_retries->Increment();
+
+  const SimTime backoff = retry_.BackoffFor(job.retries - 1);
+  if (backoff <= SimTime{0.0}) {
+    EnqueueJob(job.id);
+    return;
+  }
+  job.in_backoff = true;
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kRetryBackoff, now.value(), 0, job.id,
+                   job.stage, backoff.value());
+  }
+  const std::uint64_t job_id = job.id;
+  ScheduleAt(now + backoff, [this, job_id] {
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return;
+    it->second.in_backoff = false;
+    EnqueueJob(job_id);
+    TryDispatchAll();
+  });
+}
+
+void RuntimePlatform::OnSpeculationCheck(std::uint64_t job_id,
+                                         std::uint64_t epoch,
+                                         std::uint64_t worker_key,
+                                         std::uint64_t assignment_seq) {
+  const auto jit = jobs_.find(job_id);
+  if (jit == jobs_.end() || jit->second.epoch != epoch) return;
+  const auto wit = workers_.find(worker_key);
+  if (wit == workers_.end() || !wit->second.busy ||
+      wit->second.current_job != job_id ||
+      wit->second.assignment_seq != assignment_seq) {
+    return;
+  }
+  if (speculative_queued_.count(job_id) > 0) return;
+  speculative_queued_.insert(job_id);
+  ++metrics_.speculative_launches;
+  const SimTime now = Now();
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kSpeculativeLaunch, now.value(),
+                   worker_key, job_id, jit->second.stage);
+  }
+  if (obs::MetricsEnabled()) pmetrics_.speculative_launches->Increment();
   EnqueueJob(job_id);
   TryDispatchAll();
 }
@@ -624,9 +826,11 @@ void RuntimePlatform::RecordWorkerUtilization(const WorkerBook& worker,
 }
 
 void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
-                                     std::uint64_t worker_key) {
+                                     std::uint64_t worker_key,
+                                     std::uint64_t epoch, SimTime extra) {
   const SimTime now = Now();
   WorkerBook& worker = workers_.at(worker_key);
+  if (extra > SimTime{0.0}) worker.busy_accumulated += extra;
   if (obs::MetricsEnabled() && worker.busy) pmetrics_.busy_workers->Add(-1.0);
   worker.busy = false;
   worker.current_job = 0;
@@ -634,8 +838,34 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
   ++worker.idle_epoch;
   InsertSorted(idle_[worker.threads], worker_key);
   ScheduleIdleRelease(worker_key);
+  if (health_.enabled()) health_.RecordSuccess(worker_key);
 
-  JobState& job = jobs_.at(job_id);
+  // Stale completion (superseded epoch): the worker is freed, the result
+  // is discarded. Mirrors Scheduler::OnTaskComplete.
+  const auto jit = jobs_.find(job_id);
+  if (jit == jobs_.end() || jit->second.epoch != epoch) {
+    ++metrics_.speculative_wasted;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kSpeculativeWasted, now.value(),
+                     worker_key, job_id);
+    }
+    if (obs::MetricsEnabled()) pmetrics_.speculative_wasted->Increment();
+    TryDispatchAll();
+    return;
+  }
+
+  JobState& job = jit->second;
+  if (speculative_queued_.erase(job_id) > 0) {
+    auto& queue = queues_[job.stage];
+    const auto entry = std::find(queue.begin(), queue.end(), job_id);
+    assert(entry != queue.end());
+    queue.erase(entry);
+    if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(-1.0);
+  }
+  job.stage_done = 0.0;
+  ++job.epoch;
+  job.active = 0;
+  job.speculated = false;
   ++job.stage;
   if (job.stage == policy_.model().stage_count()) {
     const SimTime latency = now - job.arrival;

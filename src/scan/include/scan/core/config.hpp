@@ -11,6 +11,7 @@
 
 #include "scan/cloud/cloud_manager.hpp"
 #include "scan/common/units.hpp"
+#include "scan/fault/fault_config.hpp"
 #include "scan/workload/arrivals.hpp"
 #include "scan/workload/reward.hpp"
 
@@ -97,6 +98,10 @@ struct SimulationConfig {
   /// worker is lost (its cost is still billed up to the crash) and the
   /// interrupted task restarts from its stage queue.
   double worker_failure_rate = 0.0;
+  /// Fault model beyond plain crashes (straggle/flap injection, per-stage
+  /// checkpoints, retry backoff + budget, breaker, speculation). All
+  /// defaults reproduce legacy behavior bit for bit.
+  fault::FaultConfig fault;
   std::uint64_t base_seed = 0x5ca9b10c;
 
   /// Derived helpers.

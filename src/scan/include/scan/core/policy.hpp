@@ -43,6 +43,10 @@ struct HireEvaluation {
   double delay_cost = std::numeric_limits<double>::quiet_NaN();
   double hire_cost = std::numeric_limits<double>::quiet_NaN();
   double next_free_delay_tu = std::numeric_limits<double>::quiet_NaN();
+  /// Expected-rework inflation multiplied into the hire cost's execution
+  /// term (fault::ExpectedReworkFactor); exactly 1.0 when crash pricing
+  /// is inactive, so legacy configs price bit-identically.
+  double rework_factor = 1.0;
   bool hire = false;
 };
 

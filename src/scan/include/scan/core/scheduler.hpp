@@ -27,6 +27,7 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "scan/cloud/cloud_manager.hpp"
@@ -35,6 +36,9 @@
 #include "scan/core/allocation.hpp"
 #include "scan/core/config.hpp"
 #include "scan/core/policy.hpp"
+#include "scan/fault/health.hpp"
+#include "scan/fault/injector.hpp"
+#include "scan/fault/retry.hpp"
 #include "scan/gatk/pipeline_model.hpp"
 #include "scan/obs/audit.hpp"
 #include "scan/obs/metrics.hpp"
@@ -102,7 +106,15 @@ struct RunMetrics {
   std::size_t reconfigurations = 0;
   std::size_t releases = 0;
   std::size_t worker_failures = 0;  ///< injected crashes (failure model)
-  std::size_t task_retries = 0;     ///< tasks re-enqueued after a crash
+  std::size_t task_retries = 0;     ///< tasks re-enqueued after a loss
+  // --- fault-model counters (all zero with fault injection off) --------
+  std::size_t worker_flaps = 0;         ///< task dropped, worker survived
+  std::size_t breaker_opens = 0;        ///< circuit-breaker openings
+  std::size_t checkpoints_saved = 0;    ///< losses resumed from checkpoint
+  std::size_t speculative_launches = 0; ///< straggler copies enqueued
+  std::size_t speculative_wasted = 0;   ///< stale duplicate completions
+  std::size_t straggles_injected = 0;   ///< assignments slowed down
+  std::size_t jobs_abandoned = 0;       ///< retry budget exhausted
   SimTime duration{0.0};
   /// Sampled time series; empty unless timeline sampling was enabled.
   std::vector<TimelinePoint> timeline;
@@ -133,6 +145,10 @@ struct WorkerView {
   SimTime busy_until{0.0};
   SimTime busy_accumulated{0.0};
   SimTime hired_at{0.0};
+  /// Busy, but the assignment's job already moved on (completed via a
+  /// speculative sibling, was retried, or was abandoned) — the result
+  /// will be discarded on arrival. Always false without fault injection.
+  bool stale = false;
 };
 
 /// Read-only view of one queued task.
@@ -156,6 +172,8 @@ struct SchedulerView {
   std::size_t public_cores = 0;
   std::size_t private_capacity = 0;
   double cost_rate = 0.0;  ///< CU per TU burn rate right now
+  /// Jobs sitting out a retry backoff (neither queued nor executing).
+  std::size_t backoff_jobs = 0;
   /// Metrics accumulated so far (owned by the running scheduler).
   const RunMetrics* metrics = nullptr;
 };
@@ -211,6 +229,22 @@ class Scheduler {
     std::size_t stage = 0;
     ThreadPlan plan;
     SimTime enqueued_at{0.0};
+    // --- recovery bookkeeping (inert without fault injection) ----------
+    /// Times this job's current pipeline run was lost and re-enqueued.
+    int retries = 0;
+    /// Fraction of the current stage already checkpointed; a new
+    /// assignment only executes the remaining (1 - stage_done) share.
+    double stage_done = 0.0;
+    /// Bumped on every stage advance and every retry: in-flight events
+    /// carrying an older epoch are stale and must not advance the job.
+    std::uint64_t epoch = 0;
+    /// Same-epoch assignments currently executing (2 with a live
+    /// speculative copy).
+    int active = 0;
+    /// Sitting out a retry backoff (not queued, not executing).
+    bool in_backoff = false;
+    /// A speculation check was already scheduled for this epoch.
+    bool speculated = false;
   };
 
   struct WorkerBook {
@@ -223,6 +257,12 @@ class Scheduler {
     SimTime idle_since{0.0};
     SimTime busy_accumulated{0.0};  ///< total task-execution time served
     std::uint64_t idle_epoch = 0;
+    /// Epoch of the job when the current assignment started (staleness
+    /// detection for speculative duplicates).
+    std::uint64_t assignment_epoch = 0;
+    /// Unique id of the current assignment (distinguishes the original
+    /// from a speculative copy on re-assignment of the same worker).
+    std::uint64_t assignment_seq = 0;
   };
 
   /// Worker feedback (§III-A-3): fold the released worker's lifetime
@@ -236,10 +276,31 @@ class Scheduler {
   bool TryDispatchHead(std::size_t stage);
   void AssignTask(std::uint64_t job_id, std::size_t stage,
                   WorkerBook& worker, SimTime start_time);
-  void OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key);
+  /// `epoch` is the job epoch the assignment started under (stale
+  /// completions free the worker but do not advance the job); `extra` is
+  /// the straggle overrun beyond the planned end (0 normally).
+  void OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
+                      std::uint64_t epoch, SimTime extra);
   /// Failure-injection: the worker crashed mid-task; bill and discard it,
-  /// re-enqueue the job's current stage.
-  void OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key);
+  /// then run recovery for the interrupted assignment (checkpoint resume,
+  /// retry budget, backoff). `start_time`/`planned_exec` describe the
+  /// interrupted assignment for checkpoint accounting.
+  void OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key,
+                       std::uint64_t epoch, SimTime start_time,
+                       SimTime planned_exec);
+  /// Flap-injection: the worker drops its task but survives and returns
+  /// to the idle pool; feeds the per-worker circuit breaker.
+  void OnWorkerFlap(std::uint64_t job_id, std::uint64_t worker_key,
+                    std::uint64_t epoch, SimTime start_time,
+                    SimTime planned_exec);
+  /// Shared recovery path for a valid-epoch task loss (crash or flap):
+  /// checkpoint credit, sibling check, retry budget, backoff scheduling.
+  void HandleTaskLoss(JobState& job, SimTime served, SimTime planned_exec);
+  /// Straggler detection: fires at start + slowdown * modeled_exec; if
+  /// the same assignment is still running, enqueues a speculative copy.
+  void OnSpeculationCheck(std::uint64_t job_id, std::uint64_t epoch,
+                          std::uint64_t worker_key,
+                          std::uint64_t assignment_seq);
   void ScheduleIdleRelease(std::uint64_t worker_key);
 
   /// The predictive hire-or-wait inequality for the head of `stage`'s
@@ -294,7 +355,13 @@ class Scheduler {
   /// Idle worker keys per thread configuration (sorted for determinism).
   std::map<int, std::vector<std::uint64_t>> idle_;
 
-  RandomStream failure_rng_;
+  fault::FaultInjector injector_;      ///< owns the "worker-failures" RNG
+  fault::RetryPolicy retry_;
+  fault::WorkerHealthTracker health_;  ///< circuit breaker (off by default)
+  /// Jobs whose queue entry is a speculative straggler copy (at most one
+  /// per job); consumed by AssignTask, cancelled on valid completion.
+  std::unordered_set<std::uint64_t> speculative_queued_;
+  std::uint64_t next_assignment_seq_ = 1;
 
   RunMetrics metrics_;
   /// scan_obs instruments, resolved once; updates are gated on

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "scan/fault/retry.hpp"
+
 namespace scan::core {
 
 SchedulingPolicy::SchedulingPolicy(const SimulationConfig& config,
@@ -89,12 +91,25 @@ bool SchedulingPolicy::PredictiveShouldHire(
   if (delay <= SimTime{0.0}) return false;  // a worker frees "now"
 
   const double delay_cost = QueueDelayCost(queue, delay);
+  // Expected-rework pricing (§III delay-cost vs hire-cost under crashes):
+  // the execution term is inflated by the closed-form restart factor so
+  // hire-vs-wait sees the true expected public bill, while the boot
+  // penalty is paid once regardless of crashes. When the factor is
+  // exactly 1.0 (no crash rate) the arithmetic below reproduces the
+  // legacy expression bit for bit.
+  const double exec_tu =
+      model_.ThreadedTime(stage, threads, head_size).value();
+  const double rework = fault::ExpectedReworkFactor(
+      config_.worker_failure_rate, exec_tu,
+      config_.fault.checkpoint_interval.value());
+  const double priced_exec = rework == 1.0 ? exec_tu : exec_tu * rework;
   const double hire_cost =
       config_.public_cost_per_core_tu * static_cast<double>(threads) *
-      (model_.ThreadedTime(stage, threads, head_size) + boot_penalty).value();
+      (priced_exec + boot_penalty.value());
   if (eval) {
     eval->delay_cost = delay_cost;
     eval->hire_cost = hire_cost;
+    eval->rework_factor = rework;
     eval->hire = delay_cost > hire_cost;
   }
   return delay_cost > hire_cost;

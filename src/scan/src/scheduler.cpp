@@ -28,7 +28,9 @@ Scheduler::Scheduler(const SimulationConfig& config, gatk::PipelineModel model,
       cloud_(config.MakeCloudConfig()),
       arrivals_(config.MakeArrivalParams(), seed),
       queues_(policy_.model().stage_count()),
-      failure_rng_(seed, "worker-failures") {
+      injector_(seed, config.worker_failure_rate, config.fault),
+      retry_(config.fault),
+      health_(config.fault.breaker_threshold, config.fault.breaker_cooldown) {
   metrics_.stage_queue_wait.resize(policy_.model().stage_count());
 }
 
@@ -63,6 +65,11 @@ SchedulerView Scheduler::BuildView(SimTime when, std::uint64_t seq) const {
     wv.busy_until = worker.busy_until;
     wv.busy_accumulated = worker.busy_accumulated;
     if (info.ok()) wv.hired_at = info->hired_at;
+    if (worker.busy) {
+      const auto jit = jobs_.find(worker.current_job);
+      wv.stale = jit == jobs_.end() ||
+                 jit->second.epoch != worker.assignment_epoch;
+    }
     view.workers.push_back(wv);
   }
   std::sort(view.workers.begin(), view.workers.end(),
@@ -71,6 +78,10 @@ SchedulerView Scheduler::BuildView(SimTime when, std::uint64_t seq) const {
   view.public_cores = cloud_.CoresInUse(cloud::Tier::kPublic);
   view.private_capacity = cloud_.config().private_tier.core_capacity;
   view.cost_rate = cloud_.CostRate().value();
+  for (const auto& [id, job] : jobs_) {
+    (void)id;
+    if (job.in_backoff) ++view.backoff_jobs;
+  }
   view.metrics = &metrics_;
   return view;
 }
@@ -197,6 +208,7 @@ void Scheduler::AuditHire(obs::HireChoice choice, std::size_t stage,
     rec.delay_cost = eval->delay_cost;
     rec.hire_cost = eval->hire_cost;
     rec.next_free_delay_tu = eval->next_free_delay_tu;
+    rec.rework_factor = eval->rework_factor;
   }
   rec.boot_penalty_tu = cloud_.config().boot_penalty.value();
   rec.public_core_price = config_.public_cost_per_core_tu;
@@ -249,22 +261,28 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
   //    Within the bucket, prefer the fewest cores (a big machine downsized
   //    to few threads wastes its extra cores for the task's duration).
   if (const auto bucket = idle_.find(threads); bucket != idle_.end()) {
-    std::uint64_t key = bucket->second.front();
-    int best_cores = workers_.at(key).cores;
+    // Workers with an open circuit breaker are skipped (health_ allows
+    // everyone when the breaker is disabled, preserving legacy choices);
+    // if the whole bucket is blocked, fall through to the other steps.
+    std::uint64_t key = 0;
+    int best_cores = 1 << 30;
     for (const std::uint64_t candidate_key : bucket->second) {
+      if (!health_.Allows(candidate_key, now)) continue;
       const int cores = workers_.at(candidate_key).cores;
       if (cores < best_cores) {
         best_cores = cores;
         key = candidate_key;
       }
     }
-    WorkerBook& worker = workers_.at(key);
-    RemoveFromIdle(key, threads);
-    AuditHire(obs::HireChoice::kReuseIdle, stage, job, threads, queue_len,
-              nullptr);
-    queues_[stage].pop_front();
-    AssignTask(job_id, stage, worker, now);
-    return true;
+    if (key != 0) {
+      WorkerBook& worker = workers_.at(key);
+      RemoveFromIdle(key, threads);
+      AuditHire(obs::HireChoice::kReuseIdle, stage, job, threads, queue_len,
+                nullptr);
+      queues_[stage].pop_front();
+      AssignTask(job_id, stage, worker, now);
+      return true;
+    }
   }
 
   // 2. Hire an exact-size worker on the private (cheap) tier, compacting
@@ -285,6 +303,7 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
     int best_cores = 1 << 30;
     for (const auto& [cfg, keys] : idle_) {
       for (const std::uint64_t key : keys) {
+        if (!health_.Allows(key, now)) continue;
         const WorkerBook& candidate = workers_.at(key);
         if (candidate.cores >= threads && candidate.cores < best_cores) {
           best_cores = candidate.cores;
@@ -373,6 +392,9 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
 void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
                            WorkerBook& worker, SimTime start_time) {
   JobState& job = jobs_.at(job_id);
+  // A queued speculative copy is consumed by whichever dispatch reaches
+  // the job first; it must not spawn a second speculation check.
+  const bool speculative = speculative_queued_.erase(job_id) > 0;
   const SimTime now = sim_.Now();
   const SimTime wait = now - job.enqueued_at;
   policy_.ObserveQueueWait(stage, wait);
@@ -388,13 +410,23 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
     pmetrics_.busy_workers->Add(1.0);
   }
 
-  const SimTime exec =
+  const SimTime full_exec =
       policy_.model().ThreadedTime(stage, worker.threads, job.size);
+  // Checkpoint resume: a retried stage only executes its unfinished
+  // share. The branch keeps the arithmetic bit-identical to legacy when
+  // nothing was checkpointed.
+  SimTime exec = full_exec;
+  if (job.stage_done > 0.0) {
+    exec = SimTime{full_exec.value() * (1.0 - job.stage_done)};
+  }
   const SimTime done_at = start_time + exec;
   worker.busy = true;
   worker.current_job = job_id;
   worker.busy_until = done_at;
   worker.busy_accumulated += exec;
+  worker.assignment_epoch = job.epoch;
+  worker.assignment_seq = next_assignment_seq_++;
+  ++job.active;
   const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kStageExec, start_time.value(), worker_key,
@@ -402,65 +434,246 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
                    exec.value());
   }
 
-  // Failure injection: the worker may crash before the task finishes
-  // (exponential time-to-failure). Exactly one of the two events fires.
-  // busy_until stays at done_at — the scheduler must not foresee the
-  // crash, so NextWorkerFreeTime (and hence the predictive hire decision)
-  // keeps reasoning from the planned completion time.
-  std::optional<SimTime> fail_at;
-  if (config_.worker_failure_rate > 0.0) {
-    const SimTime drawn =
-        start_time +
-        SimTime{failure_rng_.Exponential(1.0 / config_.worker_failure_rate)};
-    if (drawn < done_at) fail_at = drawn;
+  // Fault injection: the assignment may straggle (run slower than its
+  // model), crash the worker, or flap it. Exactly one terminal event
+  // fires per assignment. busy_until stays at done_at — the scheduler
+  // must not foresee faults, so NextWorkerFreeTime (and hence the
+  // predictive hire decision) keeps reasoning from the planned
+  // completion time.
+  const fault::FaultDecision fate = injector_.Draw(start_time, done_at);
+  if (fate.straggles()) {
+    ++metrics_.straggles_injected;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kStraggle, start_time.value(),
+                     worker_key, job_id, stage, fate.straggle_factor);
+    }
+    if (obs::MetricsEnabled()) pmetrics_.straggles->Increment();
   }
   if (options_.record_schedule) {
     metrics_.stage_schedule.push_back({job_id, stage, worker_key,
                                        worker.threads, now, start_time,
-                                       done_at, fail_at.has_value()});
+                                       done_at, fate.crash_at.has_value()});
   }
-  if (fail_at) {
-    sim_.ScheduleAt(*fail_at, [this, job_id, worker_key](sim::Simulator&) {
-      OnWorkerFailure(job_id, worker_key);
+
+  // Straggler detection: if this (non-speculative) assignment is still
+  // running once slowdown * its modeled time has passed, enqueue one
+  // speculative copy. Gated so disabled configs schedule no extra event.
+  const std::uint64_t epoch = job.epoch;
+  if (config_.fault.speculation_slowdown > 0.0 && !speculative &&
+      !job.speculated) {
+    job.speculated = true;
+    const SimTime check_at =
+        start_time +
+        SimTime{exec.value() * config_.fault.speculation_slowdown};
+    const std::uint64_t seq = worker.assignment_seq;
+    sim_.ScheduleAt(check_at,
+                    [this, job_id, epoch, worker_key, seq](sim::Simulator&) {
+                      OnSpeculationCheck(job_id, epoch, worker_key, seq);
+                    });
+  }
+
+  if (fate.crash_at) {
+    sim_.ScheduleAt(*fate.crash_at, [this, job_id, worker_key, epoch,
+                                     start_time, exec](sim::Simulator&) {
+      OnWorkerFailure(job_id, worker_key, epoch, start_time, exec);
     });
     return;
   }
-  sim_.ScheduleAt(done_at, [this, job_id, worker_key](sim::Simulator&) {
-    OnTaskComplete(job_id, worker_key);
-  });
+  if (fate.flap_at) {
+    sim_.ScheduleAt(*fate.flap_at, [this, job_id, worker_key, epoch,
+                                    start_time, exec](sim::Simulator&) {
+      OnWorkerFlap(job_id, worker_key, epoch, start_time, exec);
+    });
+    return;
+  }
+  const SimTime extra = fate.actual_end - done_at;
+  sim_.ScheduleAt(fate.actual_end,
+                  [this, job_id, worker_key, epoch, extra](sim::Simulator&) {
+                    OnTaskComplete(job_id, worker_key, epoch, extra);
+                  });
 }
 
-void Scheduler::OnWorkerFailure(std::uint64_t job_id,
-                                std::uint64_t worker_key) {
+void Scheduler::OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key,
+                                std::uint64_t epoch, SimTime start_time,
+                                SimTime planned_exec) {
   const SimTime now = sim_.Now();
   // The crashed VM is gone; its bill stops at the crash instant.
   WorkerBook& worker = workers_.at(worker_key);
   // A crash interrupts the in-flight task: busy_accumulated was credited
   // with the full execution time at assignment, so remove the unserved
   // remainder (busy_until is the planned completion) before folding the
-  // lifetime utilization into the feedback metric.
+  // lifetime utilization into the feedback metric. For a straggler that
+  // crashed past its planned end this *adds* now - busy_until, leaving
+  // exactly the time actually served — both cases land on
+  // busy_accumulated covering [hired, now] work only.
   worker.busy_accumulated -= (worker.busy_until - now);
   RecordWorkerUtilization(worker, now);
   const Status released = cloud_.Release(worker.id, now);
   assert(released.ok());
   (void)released;
   workers_.erase(worker_key);
+  health_.Forget(worker_key);
   ++metrics_.worker_failures;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kWorkerFailure, now.value(), worker_key,
                    job_id);
-    obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job_id,
-                   jobs_.at(job_id).stage);
   }
   if (obs::MetricsEnabled()) {
     pmetrics_.worker_failures->Increment();
-    pmetrics_.task_retries->Increment();
     pmetrics_.busy_workers->Add(-1.0);
   }
 
-  // The interrupted task restarts from its stage queue (work done so far
-  // is lost, as with a real mid-stage crash).
+  // Recovery only applies if the job is still on the epoch this
+  // assignment started under (a speculative sibling may have finished or
+  // retried it already — then the crash cost is all there was to settle).
+  const auto jit = jobs_.find(job_id);
+  if (jit != jobs_.end() && jit->second.epoch == epoch) {
+    HandleTaskLoss(jit->second, now - start_time, planned_exec);
+  }
+  TryDispatchAll();
+}
+
+void Scheduler::OnWorkerFlap(std::uint64_t job_id, std::uint64_t worker_key,
+                             std::uint64_t epoch, SimTime start_time,
+                             SimTime planned_exec) {
+  const SimTime now = sim_.Now();
+  // The worker survives but drops its in-flight task: roll back the
+  // unserved credit (same accounting as a crash) and return it to the
+  // idle pool.
+  WorkerBook& worker = workers_.at(worker_key);
+  worker.busy_accumulated -= (worker.busy_until - now);
+  if (obs::MetricsEnabled()) pmetrics_.busy_workers->Add(-1.0);
+  worker.busy = false;
+  worker.current_job = 0;
+  worker.idle_since = now;
+  ++worker.idle_epoch;
+  InsertSorted(idle_[worker.threads], worker_key);
+  ScheduleIdleRelease(worker_key);
+  ++metrics_.worker_flaps;
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kWorkerFlap, now.value(), worker_key,
+                   job_id);
+  }
+  if (obs::MetricsEnabled()) pmetrics_.worker_flaps->Increment();
+  if (health_.enabled() && health_.RecordFlap(worker_key, now)) {
+    ++metrics_.breaker_opens;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kBreakerOpen, now.value(), worker_key, 0,
+                     0, config_.fault.breaker_cooldown.value());
+    }
+    if (obs::MetricsEnabled()) pmetrics_.breaker_opens->Increment();
+  }
+
+  const auto jit = jobs_.find(job_id);
+  if (jit != jobs_.end() && jit->second.epoch == epoch) {
+    HandleTaskLoss(jit->second, now - start_time, planned_exec);
+  }
+  TryDispatchAll();
+}
+
+void Scheduler::HandleTaskLoss(JobState& job, SimTime served,
+                               SimTime planned_exec) {
+  const SimTime now = sim_.Now();
+  // Checkpoint credit: work completes at whole checkpoint intervals of
+  // *modeled* execution time (a straggler checkpoints on the same modeled
+  // boundaries — progress is measured in work, priced in the model's
+  // units), so the job resumes from the last one instead of restarting
+  // the stage.
+  if (config_.fault.checkpoint_interval > SimTime{0.0} &&
+      planned_exec > SimTime{0.0}) {
+    const double interval = config_.fault.checkpoint_interval.value();
+    const double saved =
+        std::floor(served.value() / interval) * interval;
+    if (saved > 0.0) {
+      // stage_done is a fraction of the *whole* stage; this assignment
+      // only covered the remaining (1 - stage_done) share. Cap below 1 so
+      // a resumed assignment always has a positive remainder to run.
+      const double fraction =
+          std::min(saved / planned_exec.value(), 0.95);
+      job.stage_done += (1.0 - job.stage_done) * fraction;
+      ++metrics_.checkpoints_saved;
+      if (obs::TraceEnabled()) {
+        obs::TraceEmit(obs::EventKind::kCheckpoint, now.value(), 0, job.id,
+                       job.stage, job.stage_done);
+      }
+      if (obs::MetricsEnabled()) pmetrics_.checkpoints_saved->Increment();
+    }
+  }
+
+  --job.active;
+  if (job.active > 0 || speculative_queued_.count(job.id) > 0) {
+    // A same-epoch sibling (running speculative copy, or one still in the
+    // queue) carries the job; no retry needed for this loss.
+    return;
+  }
+
+  // Full loss: invalidate any outstanding speculation events and spend
+  // one retry from the budget.
+  ++job.epoch;
+  job.active = 0;
+  job.speculated = false;
+  ++job.retries;
+  if (retry_.Exhausted(job.retries)) {
+    ++metrics_.jobs_abandoned;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kJobAbandoned, now.value(), 0, job.id,
+                     job.stage, static_cast<double>(job.retries));
+    }
+    if (obs::MetricsEnabled()) pmetrics_.jobs_abandoned->Increment();
+    jobs_.erase(job.id);
+    return;
+  }
   ++metrics_.task_retries;
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job.id,
+                   job.stage);
+  }
+  if (obs::MetricsEnabled()) pmetrics_.task_retries->Increment();
+
+  const SimTime backoff = retry_.BackoffFor(job.retries - 1);
+  if (backoff <= SimTime{0.0}) {
+    // Immediate requeue in the same event — the legacy path, with no
+    // extra calendar entry (keeps disabled-fault runs bit-identical).
+    EnqueueJob(job.id);
+    return;
+  }
+  job.in_backoff = true;
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kRetryBackoff, now.value(), 0, job.id,
+                   job.stage, backoff.value());
+  }
+  const std::uint64_t job_id = job.id;
+  sim_.ScheduleAfter(backoff, [this, job_id](sim::Simulator&) {
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return;
+    it->second.in_backoff = false;
+    EnqueueJob(job_id);
+    TryDispatchAll();
+  });
+}
+
+void Scheduler::OnSpeculationCheck(std::uint64_t job_id, std::uint64_t epoch,
+                                   std::uint64_t worker_key,
+                                   std::uint64_t assignment_seq) {
+  const auto jit = jobs_.find(job_id);
+  if (jit == jobs_.end() || jit->second.epoch != epoch) return;
+  const auto wit = workers_.find(worker_key);
+  // Only a straggler trips the check: the original assignment must still
+  // be running on the same worker past slowdown * its modeled time.
+  if (wit == workers_.end() || !wit->second.busy ||
+      wit->second.current_job != job_id ||
+      wit->second.assignment_seq != assignment_seq) {
+    return;
+  }
+  if (speculative_queued_.count(job_id) > 0) return;
+  speculative_queued_.insert(job_id);
+  ++metrics_.speculative_launches;
+  const SimTime now = sim_.Now();
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::EventKind::kSpeculativeLaunch, now.value(),
+                   worker_key, job_id, jit->second.stage);
+  }
+  if (obs::MetricsEnabled()) pmetrics_.speculative_launches->Increment();
   EnqueueJob(job_id);
   TryDispatchAll();
 }
@@ -479,10 +692,13 @@ void Scheduler::RecordWorkerUtilization(const WorkerBook& worker,
   }
 }
 
-void Scheduler::OnTaskComplete(std::uint64_t job_id,
-                               std::uint64_t worker_key) {
+void Scheduler::OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
+                               std::uint64_t epoch, SimTime extra) {
   const SimTime now = sim_.Now();
   WorkerBook& worker = workers_.at(worker_key);
+  // A straggler served longer than the credit taken at assignment; top
+  // the ledger up to the time actually worked.
+  if (extra > SimTime{0.0}) worker.busy_accumulated += extra;
   if (obs::MetricsEnabled() && worker.busy) pmetrics_.busy_workers->Add(-1.0);
   worker.busy = false;
   worker.current_job = 0;
@@ -490,8 +706,36 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id,
   ++worker.idle_epoch;
   InsertSorted(idle_[worker.threads], worker_key);
   ScheduleIdleRelease(worker_key);
+  if (health_.enabled()) health_.RecordSuccess(worker_key);
 
-  JobState& job = jobs_.at(job_id);
+  // A completion from a superseded epoch (the job finished via a
+  // speculative sibling, was retried, or abandoned) only frees the
+  // worker; the result is discarded.
+  const auto jit = jobs_.find(job_id);
+  if (jit == jobs_.end() || jit->second.epoch != epoch) {
+    ++metrics_.speculative_wasted;
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::EventKind::kSpeculativeWasted, now.value(),
+                     worker_key, job_id);
+    }
+    if (obs::MetricsEnabled()) pmetrics_.speculative_wasted->Increment();
+    TryDispatchAll();
+    return;
+  }
+
+  JobState& job = jit->second;
+  // A speculative copy still sitting in the queue is moot now.
+  if (speculative_queued_.erase(job_id) > 0) {
+    auto& queue = queues_[job.stage];
+    const auto entry = std::find(queue.begin(), queue.end(), job_id);
+    assert(entry != queue.end());
+    queue.erase(entry);
+    if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(-1.0);
+  }
+  job.stage_done = 0.0;
+  ++job.epoch;
+  job.active = 0;
+  job.speculated = false;
   ++job.stage;
   if (job.stage == policy_.model().stage_count()) {
     // Pipeline run finished: settle the reward.

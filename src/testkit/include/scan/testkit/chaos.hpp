@@ -1,0 +1,66 @@
+#pragma once
+
+// Deterministic fault-injection ("chaos") harness: named fault scenarios
+// replayed from a recorded workload trace through BOTH engines — the
+// discrete-event simulator and the live multithreaded runtime — and
+// compared bit for bit. This extends the sim<->runtime parity oracle to
+// runs where workers crash mid-task, straggle past their planned end,
+// flap (drop the task but survive), trip circuit breakers, and race
+// speculative copies. Everything is seeded: the injected fault schedule
+// is a pure function of (seed, config), so a chaos run that passes once
+// passes forever, and two consecutive runs must agree exactly.
+//
+// Each scenario records its arrivals to a horizon well short of the
+// simulated duration so the tail of the run drains retries, backoffs and
+// re-executions; the harness then checks the scenario's expectations:
+// faults were actually injected, every arrived job was either completed
+// or (budget permitting) abandoned, and crash-only scenarios completed
+// every single job.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/core/config.hpp"
+#include "scan/testkit/golden.hpp"
+#include "scan/testkit/parity.hpp"
+
+namespace scan::testkit {
+
+/// One named fault scenario.
+struct ChaosSpec {
+  std::string name;
+  core::SimulationConfig config;
+  /// Require at least one injected fault (crash, straggle, or flap).
+  bool expect_injection = true;
+  /// Require zero abandoned jobs (scenarios without a retry budget).
+  bool expect_all_jobs_complete = true;
+};
+
+/// The preset suite: crash+checkpoint recovery, straggler speculation,
+/// flapping workers behind a circuit breaker, and all of it at once.
+[[nodiscard]] std::vector<ChaosSpec> ChaosScenarios();
+
+/// Outcome of one chaos run.
+struct ChaosResult {
+  std::uint64_t seed = 0;
+  std::string name;
+  /// Sim vs live-runtime comparison under injected faults.
+  ParityResult parity;
+  /// The simulator-side instrumented run (for digests and metrics).
+  InstrumentedRun run;
+  /// Expectation failures and invariant-oracle findings.
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool ok() const {
+    return parity.ok() && problems.empty();
+  }
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// Runs one scenario at one seed: records a workload trace, checks
+/// sim<->runtime parity on it, re-runs the simulator under the invariant
+/// oracle, and evaluates the scenario's expectations.
+[[nodiscard]] ChaosResult RunChaos(const ChaosSpec& spec, std::uint64_t seed);
+
+}  // namespace scan::testkit

@@ -9,15 +9,27 @@
 //  - the simulation clock is monotone, and simultaneous events fire in
 //    scheduling (sequence) order;
 //  - cores hired on the private tier never exceed its capacity;
-//  - per worker: threads <= cores, and accumulated busy time fits inside
-//    the hired lifetime (boot penalties make it strictly smaller);
+//  - per worker: threads <= cores, and busy-time accounting is conserved
+//    both ways: the utilization already accumulated (plus one boot
+//    penalty of slack, because execution credit is taken at dispatch,
+//    before boot completes) covers the credit still scheduled through
+//    busy_until, and accumulated-minus-future-credit — the time actually
+//    served — fits inside the hired lifetime;
 //  - per stage queue: FIFO order (enqueue times non-decreasing front to
 //    back) and stage labels match the queue;
-//  - job conservation: every arrived job is completed, queued, or
-//    executing — exactly one of the three — and no job appears twice;
+//  - job conservation: every arrived job is completed, abandoned (retry
+//    budget exhausted), waiting out a retry backoff, queued, or executing
+//    on a live assignment; with speculative re-execution enabled a job may
+//    legitimately be both queued (the speculative copy) and executing, or
+//    running on two workers at once, so the conservation count is over the
+//    union of queued and non-stale executing jobs;
 //  - metrics sanity: completions never exceed arrivals, one latency sample
-//    per completion, one retry per injected worker failure, and the cost
-//    burn rate is never negative.
+//    per completion, and the cost burn rate is never negative. With fault
+//    recovery off, retries equal injected worker failures exactly; with
+//    flapping, speculation, or a retry budget active, every retry or
+//    abandonment is instead bounded by the failure + flap count (stale
+//    losses — a crash of a copy whose sibling already won — consume a
+//    failure without producing a retry).
 
 #include <cstdint>
 #include <string>

@@ -27,6 +27,11 @@ struct ScenarioOptions {
   double max_boot_penalty = 1.0;
   /// Also compare each scenario against a second same-seed run.
   bool check_determinism = true;
+  /// Draw fault-recovery knobs (checkpointing, stragglers, flapping,
+  /// speculation, retry budgets, breaker) on top of the legacy axes.
+  /// Off by default so the pre-fault scenario corpus — and everything
+  /// pinned against it — is reproduced draw for draw.
+  bool draw_fault_knobs = false;
 };
 
 /// Draws one seeded random configuration. Equal seeds give equal configs.

@@ -1,0 +1,151 @@
+#include "scan/testkit/chaos.hpp"
+
+#include "scan/common/rng.hpp"
+#include "scan/common/str.hpp"
+#include "scan/testkit/oracle.hpp"
+#include "scan/workload/trace.hpp"
+
+namespace scan::testkit {
+
+namespace {
+
+/// Arrivals stop here; the rest of the simulated duration drains retries,
+/// backoffs, breaker cooldowns and speculative re-executions.
+constexpr double kArrivalHorizonTu = 200.0;
+constexpr double kDurationTu = 400.0;
+
+core::SimulationConfig BaseChaosConfig() {
+  core::SimulationConfig config;
+  config.duration = SimTime{kDurationTu};
+  // Predictive scaling so the expected-rework pricing path is exercised
+  // whenever the scenario has a crash rate.
+  config.scaling = core::ScalingAlgorithm::kPredictive;
+  config.mean_interarrival_tu = 3.0;  // light load: the tail must drain
+  return config;
+}
+
+}  // namespace
+
+std::vector<ChaosSpec> ChaosScenarios() {
+  std::vector<ChaosSpec> specs;
+
+  {
+    ChaosSpec spec;
+    spec.name = "crash-checkpoint";
+    spec.config = BaseChaosConfig();
+    spec.config.worker_failure_rate = 0.05;
+    spec.config.fault.checkpoint_interval = SimTime{0.5};
+    spec.config.fault.backoff_base = SimTime{0.25};
+    spec.config.fault.backoff_multiplier = 2.0;
+    spec.config.fault.backoff_cap = SimTime{2.0};
+    specs.push_back(std::move(spec));
+  }
+  {
+    ChaosSpec spec;
+    spec.name = "straggle-speculate";
+    spec.config = BaseChaosConfig();
+    spec.config.fault.straggle_rate = 0.2;
+    spec.config.fault.straggle_factor = 3.0;
+    spec.config.fault.speculation_slowdown = 1.5;
+    specs.push_back(std::move(spec));
+  }
+  {
+    ChaosSpec spec;
+    spec.name = "flap-breaker";
+    spec.config = BaseChaosConfig();
+    spec.config.fault.flap_rate = 0.04;
+    spec.config.fault.breaker_threshold = 2;
+    spec.config.fault.breaker_cooldown = SimTime{15.0};
+    specs.push_back(std::move(spec));
+  }
+  {
+    ChaosSpec spec;
+    spec.name = "kitchen-sink";
+    spec.config = BaseChaosConfig();
+    spec.config.worker_failure_rate = 0.04;
+    spec.config.fault.checkpoint_interval = SimTime{0.4};
+    spec.config.fault.straggle_rate = 0.15;
+    spec.config.fault.straggle_factor = 3.0;
+    spec.config.fault.speculation_slowdown = 1.6;
+    spec.config.fault.flap_rate = 0.02;
+    spec.config.fault.breaker_threshold = 3;
+    spec.config.fault.breaker_cooldown = SimTime{10.0};
+    spec.config.fault.max_retries_per_job = 6;
+    spec.config.fault.backoff_base = SimTime{0.2};
+    spec.config.fault.backoff_multiplier = 2.0;
+    spec.config.fault.backoff_cap = SimTime{2.0};
+    // A finite retry budget may abandon an unlucky job; conservation
+    // (completed + abandoned == arrived) is still required.
+    spec.expect_all_jobs_complete = false;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+ChaosResult RunChaos(const ChaosSpec& spec, std::uint64_t seed) {
+  ChaosResult result;
+  result.seed = seed;
+  result.name = spec.name;
+
+  // One recorded workload shared by every engine in the comparison.
+  workload::ArrivalGenerator generator(spec.config.MakeArrivalParams(),
+                                       MixSeed(seed, 0xc4a05u));
+  const workload::JobTrace trace =
+      workload::RecordTrace(generator, SimTime{kArrivalHorizonTu});
+
+  // Sim vs live runtime, bit for bit, under injected faults.
+  runtime::RuntimeOptions runtime_options;
+  runtime_options.trace = trace;
+  result.parity = CheckSimRuntimeParity(spec.config, seed, runtime_options);
+
+  // Simulator re-run under the invariant oracle (every event checked).
+  InvariantOracle oracle(spec.config);
+  core::SchedulerOptions options;
+  options.trace = trace;
+  oracle.Attach(options);
+  result.run = RunInstrumented(spec.config, seed, std::move(options));
+  for (const std::string& violation : oracle.violations()) {
+    result.problems.push_back("oracle: " + violation);
+  }
+
+  const core::RunMetrics& m = result.run.metrics;
+  const std::size_t injected =
+      m.worker_failures + m.worker_flaps + m.straggles_injected;
+  if (spec.expect_injection && injected == 0) {
+    result.problems.push_back("no faults injected (scenario vacuous)");
+  }
+  if (m.jobs_completed + m.jobs_abandoned != m.jobs_arrived) {
+    result.problems.push_back(StrFormat(
+        "jobs left unfinished: arrived %zu, completed %zu, abandoned %zu",
+        m.jobs_arrived, m.jobs_completed, m.jobs_abandoned));
+  }
+  if (spec.expect_all_jobs_complete && m.jobs_abandoned != 0) {
+    result.problems.push_back(
+        StrFormat("%zu jobs abandoned in a no-budget scenario",
+                  m.jobs_abandoned));
+  }
+  return result;
+}
+
+std::string ChaosResult::Describe() const {
+  std::string out = StrFormat(
+      "chaos %s seed=%llu: failures=%zu flaps=%zu straggles=%zu "
+      "retries=%zu checkpoints=%zu spec-launch=%zu spec-wasted=%zu "
+      "breaker-opens=%zu abandoned=%zu completed=%zu/%zu",
+      name.c_str(), static_cast<unsigned long long>(seed),
+      run.metrics.worker_failures, run.metrics.worker_flaps,
+      run.metrics.straggles_injected, run.metrics.task_retries,
+      run.metrics.checkpoints_saved, run.metrics.speculative_launches,
+      run.metrics.speculative_wasted, run.metrics.breaker_opens,
+      run.metrics.jobs_abandoned, run.metrics.jobs_completed,
+      run.metrics.jobs_arrived);
+  for (const std::string& mismatch : parity.mismatches) {
+    out += "\n    parity: " + mismatch;
+  }
+  for (const std::string& problem : problems) {
+    out += "\n    " + problem;
+  }
+  return out;
+}
+
+}  // namespace scan::testkit

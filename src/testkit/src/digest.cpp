@@ -75,6 +75,26 @@ MetricsFingerprint MetricsFingerprint::Of(const core::RunMetrics& metrics) {
   f.push_back(
       {"worker_failures", static_cast<double>(metrics.worker_failures)});
   f.push_back({"task_retries", static_cast<double>(metrics.task_retries)});
+  // Fault-recovery counters join the fingerprint only when any of them is
+  // nonzero: fault-free runs keep the exact field list (and hence digest)
+  // that the pinned goldens were recorded against.
+  if (metrics.worker_flaps != 0 || metrics.breaker_opens != 0 ||
+      metrics.checkpoints_saved != 0 || metrics.speculative_launches != 0 ||
+      metrics.speculative_wasted != 0 || metrics.straggles_injected != 0 ||
+      metrics.jobs_abandoned != 0) {
+    f.push_back({"worker_flaps", static_cast<double>(metrics.worker_flaps)});
+    f.push_back({"breaker_opens", static_cast<double>(metrics.breaker_opens)});
+    f.push_back(
+        {"checkpoints_saved", static_cast<double>(metrics.checkpoints_saved)});
+    f.push_back({"speculative_launches",
+                 static_cast<double>(metrics.speculative_launches)});
+    f.push_back({"speculative_wasted",
+                 static_cast<double>(metrics.speculative_wasted)});
+    f.push_back({"straggles_injected",
+                 static_cast<double>(metrics.straggles_injected)});
+    f.push_back(
+        {"jobs_abandoned", static_cast<double>(metrics.jobs_abandoned)});
+  }
   f.push_back({"duration", metrics.duration.value()});
   f.push_back(
       {"timeline.points", static_cast<double>(metrics.timeline.size())});

@@ -69,21 +69,38 @@ void InvariantOracle::Observe(const core::SchedulerView& view) {
     }
     (worker.tier == cloud::Tier::kPrivate ? private_sum : public_sum) +=
         static_cast<std::size_t>(worker.cores);
-    // busy_accumulated counts whole task executions (credited up front at
-    // assignment, through busy_until while a task is in flight), so the
-    // bound is the hired lifetime extended to the in-flight completion.
-    const SimTime busy_bound =
-        (worker.busy ? std::max(worker.busy_until, view.now) : view.now) -
-        worker.hired_at;
-    if (worker.busy_accumulated.value() >
-        busy_bound.value() + options_.epsilon) {
+    // "utilization accumulated == utilization observable", both ways.
+    // busy_accumulated is credited a full execution up front at dispatch,
+    // so while a task is in flight the accumulated total must cover the
+    // credit still scheduled through busy_until — up to one boot penalty
+    // of slack, because the credit is taken before the boot completes.
+    const double future_credit =
+        worker.busy
+            ? std::max((worker.busy_until - view.now).value(), 0.0)
+            : 0.0;
+    if (worker.busy_accumulated.value() + config_.boot_penalty.value() +
+            options_.epsilon <
+        future_credit) {
       Fail(view,
-           StrFormat("worker %llu busy time %.9f exceeds hired time %.9f",
+           StrFormat("worker %llu accumulated %.9f cannot cover future "
+                     "credit %.9f",
                      static_cast<unsigned long long>(worker.key),
-                     worker.busy_accumulated.value(), busy_bound.value()));
+                     worker.busy_accumulated.value(), future_credit));
     }
-    if (worker.busy) {
-      if (!executing.insert(worker.current_job).second) {
+    // And the part already served (accumulated minus the future credit)
+    // must fit inside the hired lifetime.
+    const double served =
+        worker.busy_accumulated.value() - future_credit;
+    const double lifetime = (view.now - worker.hired_at).value();
+    if (served > lifetime + options_.epsilon) {
+      Fail(view,
+           StrFormat("worker %llu served time %.9f exceeds hired time %.9f",
+                     static_cast<unsigned long long>(worker.key),
+                     served, lifetime));
+    }
+    if (worker.busy && !worker.stale) {
+      if (!executing.insert(worker.current_job).second &&
+          config_.fault.speculation_slowdown <= 0.0) {
         Fail(view, StrFormat("job %llu executing on two workers",
                              static_cast<unsigned long long>(
                                  worker.current_job)));
@@ -123,7 +140,10 @@ void InvariantOracle::Observe(const core::SchedulerView& view) {
         Fail(view, StrFormat("job %llu queued twice",
                              static_cast<unsigned long long>(task.job_id)));
       }
-      if (executing.contains(task.job_id)) {
+      // A job queued while executing is the speculative-copy pattern;
+      // without speculation it is a double-scheduling bug.
+      if (executing.contains(task.job_id) &&
+          config_.fault.speculation_slowdown <= 0.0) {
         Fail(view, StrFormat("job %llu both queued and executing",
                              static_cast<unsigned long long>(task.job_id)));
       }
@@ -137,19 +157,39 @@ void InvariantOracle::Observe(const core::SchedulerView& view) {
       Fail(view, StrFormat("completed %zu of %zu arrived jobs",
                            m.jobs_completed, m.jobs_arrived));
     }
-    const std::size_t in_flight = queued.size() + executing.size();
-    if (m.jobs_arrived != m.jobs_completed + in_flight) {
+    // A job speculatively queued while still executing is one job, so
+    // in-flight is the union of the two sets, plus jobs waiting out a
+    // retry backoff (in neither set), plus abandoned jobs (gone forever).
+    std::unordered_set<std::uint64_t> in_flight_ids = queued;
+    in_flight_ids.insert(executing.begin(), executing.end());
+    const std::size_t in_flight =
+        in_flight_ids.size() + view.backoff_jobs;
+    if (m.jobs_arrived !=
+        m.jobs_completed + m.jobs_abandoned + in_flight) {
       Fail(view, StrFormat("job conservation: arrived %zu != completed %zu "
-                           "+ in-flight %zu",
-                           m.jobs_arrived, m.jobs_completed, in_flight));
+                           "+ abandoned %zu + in-flight %zu",
+                           m.jobs_arrived, m.jobs_completed,
+                           m.jobs_abandoned, in_flight));
     }
     if (m.latency.count() != m.jobs_completed) {
       Fail(view, StrFormat("latency samples %zu != completions %zu",
                            m.latency.count(), m.jobs_completed));
     }
-    if (m.task_retries != m.worker_failures) {
-      Fail(view, StrFormat("retries %zu != worker failures %zu",
-                           m.task_retries, m.worker_failures));
+    const bool legacy_retries = config_.fault.flap_rate <= 0.0 &&
+                                config_.fault.speculation_slowdown <= 0.0 &&
+                                config_.fault.max_retries_per_job < 0;
+    if (legacy_retries) {
+      if (m.task_retries != m.worker_failures) {
+        Fail(view, StrFormat("retries %zu != worker failures %zu",
+                             m.task_retries, m.worker_failures));
+      }
+    } else if (m.task_retries + m.jobs_abandoned >
+               m.worker_failures + m.worker_flaps) {
+      Fail(view,
+           StrFormat("retries %zu + abandoned %zu exceed failures %zu + "
+                     "flaps %zu",
+                     m.task_retries, m.jobs_abandoned, m.worker_failures,
+                     m.worker_flaps));
     }
   }
 }

@@ -38,6 +38,44 @@ core::SimulationConfig DrawScenario(std::uint64_t seed,
   config.mean_job_size = rng.Uniform(3.0, 7.0);
   config.mean_jobs_per_arrival = rng.Uniform(1.0, 5.0);
   config.bandit_epoch = SimTime{rng.Uniform(20.0, 80.0)};
+
+  // Fault-recovery axes (opt-in; appended after every legacy draw so the
+  // pre-fault corpus reproduces unchanged when the flag is off). Each knob
+  // consumes a fixed number of draws regardless of the coin so scenarios
+  // stay comparable across option tweaks.
+  if (options.draw_fault_knobs) {
+    fault::FaultConfig& f = config.fault;
+    const bool ckpt = rng.Uniform() < 0.5;
+    const double ckpt_interval = rng.Uniform(0.2, 1.0);
+    if (ckpt) f.checkpoint_interval = SimTime{ckpt_interval};
+    const bool straggle = rng.Uniform() < 0.7;
+    const double straggle_rate = rng.Uniform(0.05, 0.3);
+    const double straggle_factor = rng.Uniform(1.5, 4.0);
+    if (straggle) {
+      f.straggle_rate = straggle_rate;
+      f.straggle_factor = straggle_factor;
+    }
+    const bool flap = rng.Uniform() < 0.7;
+    const double flap_rate = rng.Uniform(0.005, 0.02);
+    if (flap) f.flap_rate = flap_rate;
+    const bool speculate = rng.Uniform() < 0.5;
+    const double slowdown = rng.Uniform(1.2, 2.0);
+    if (straggle && speculate) f.speculation_slowdown = slowdown;
+    const bool budget = rng.Uniform() < 0.5;
+    const int max_retries = 4 + static_cast<int>(rng.UniformBelow(8));
+    if (budget) f.max_retries_per_job = max_retries;
+    const bool backoff = rng.Uniform() < 0.5;
+    const double backoff_base = rng.Uniform(0.05, 0.4);
+    if (backoff) f.backoff_base = SimTime{backoff_base};
+    const bool breaker = rng.Uniform() < 0.5;
+    const int threshold = 2 + static_cast<int>(rng.UniformBelow(3));
+    const double cooldown = rng.Uniform(5.0, 20.0);
+    if (breaker && flap) {
+      f.breaker_threshold = threshold;
+      f.breaker_cooldown = SimTime{cooldown};
+    }
+  }
+
   config.base_seed = MixSeed(seed, 0x5ce9a21af1u);
   return config;
 }

@@ -1,0 +1,129 @@
+// Chaos parity: the sim <-> live-runtime cross-validation extended to
+// fault scenarios. Preset chaos runs (crash+checkpoint, stragglers with
+// speculation, flapping behind a breaker, everything at once) must agree
+// bit for bit between the two engines, complete every job they can, and
+// reproduce exactly across consecutive runs. On top of the presets, ten
+// randomly drawn fault scenarios get the full treatment: invariant
+// oracle, determinism double-run, and runtime parity — twice, compared.
+
+#include <gtest/gtest.h>
+
+#include "scan/testkit/chaos.hpp"
+#include "scan/testkit/parity.hpp"
+#include "scan/testkit/scenario.hpp"
+
+namespace scan::testkit {
+namespace {
+
+TEST(ChaosParityTest, PresetScenariosPassEndToEnd) {
+  for (const ChaosSpec& spec : ChaosScenarios()) {
+    const ChaosResult result = RunChaos(spec, 11);
+    EXPECT_TRUE(result.ok()) << result.Describe();
+  }
+}
+
+TEST(ChaosParityTest, PresetScenariosInjectTheirAdvertisedFaults) {
+  for (const ChaosSpec& spec : ChaosScenarios()) {
+    const ChaosResult result = RunChaos(spec, 11);
+    const core::RunMetrics& m = result.run.metrics;
+    if (spec.config.worker_failure_rate > 0.0) {
+      EXPECT_GT(m.worker_failures, 0u) << spec.name;
+      EXPECT_GT(m.checkpoints_saved, 0u) << spec.name;
+    }
+    if (spec.config.fault.straggle_rate > 0.0) {
+      EXPECT_GT(m.straggles_injected, 0u) << spec.name;
+    }
+    if (spec.config.fault.speculation_slowdown > 0.0) {
+      EXPECT_GT(m.speculative_launches, 0u) << spec.name;
+    }
+    if (spec.config.fault.flap_rate > 0.0) {
+      EXPECT_GT(m.worker_flaps, 0u) << spec.name;
+    }
+  }
+}
+
+TEST(ChaosParityTest, PresetRunsReproduceBitForBit) {
+  for (const ChaosSpec& spec : ChaosScenarios()) {
+    const ChaosResult first = RunChaos(spec, 19);
+    const ChaosResult second = RunChaos(spec, 19);
+    EXPECT_EQ(first.run.fingerprint.digest, second.run.fingerprint.digest)
+        << spec.name;
+    EXPECT_EQ(first.run.trace_digest, second.run.trace_digest) << spec.name;
+    EXPECT_EQ(first.run.trace_events, second.run.trace_events) << spec.name;
+    EXPECT_EQ(first.parity.sim_fingerprint.digest,
+              second.parity.sim_fingerprint.digest)
+        << spec.name;
+    EXPECT_EQ(first.parity.runtime_fingerprint.digest,
+              second.parity.runtime_fingerprint.digest)
+        << spec.name;
+  }
+}
+
+TEST(ChaosParityTest, TenDrawnFaultScenariosHoldParityTwiceOver) {
+  ScenarioOptions options;
+  options.draw_fault_knobs = true;
+  // The oracle + determinism double-run happen inside StressScenario;
+  // runtime parity is checked twice so a passing-but-flaky run cannot
+  // hide behind a single lucky execution.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const core::SimulationConfig config = DrawScenario(seed, options);
+    const StressResult stress = StressScenario(config, seed, options);
+    EXPECT_TRUE(stress.ok()) << stress.Describe();
+
+    const ParityResult first = CheckSimRuntimeParity(config, seed);
+    EXPECT_TRUE(first.ok()) << "seed " << seed << "\n" << first.Describe();
+    const ParityResult second = CheckSimRuntimeParity(config, seed);
+    EXPECT_EQ(first.sim_fingerprint.digest, second.sim_fingerprint.digest)
+        << "seed " << seed;
+    EXPECT_EQ(first.runtime_fingerprint.digest,
+              second.runtime_fingerprint.digest)
+        << "seed " << seed;
+  }
+}
+
+TEST(ChaosParityTest, DrawnFaultScenariosActuallyDrawFaults) {
+  // Guard against the knob plumbing silently rotting: across the ten
+  // drawn scenarios at least one must enable each major fault axis.
+  ScenarioOptions options;
+  options.draw_fault_knobs = true;
+  bool any_ckpt = false;
+  bool any_straggle = false;
+  bool any_flap = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const core::SimulationConfig config = DrawScenario(seed, options);
+    any_ckpt |= config.fault.checkpoint_interval > SimTime{0.0};
+    any_straggle |= config.fault.straggle_rate > 0.0;
+    any_flap |= config.fault.flap_rate > 0.0;
+    // Equal seeds must give equal configs, fault knobs included.
+    const core::SimulationConfig again = DrawScenario(seed, options);
+    EXPECT_EQ(config.fault.checkpoint_interval.value(),
+              again.fault.checkpoint_interval.value());
+    EXPECT_EQ(config.fault.straggle_rate, again.fault.straggle_rate);
+    EXPECT_EQ(config.fault.flap_rate, again.fault.flap_rate);
+    EXPECT_EQ(config.fault.speculation_slowdown,
+              again.fault.speculation_slowdown);
+    EXPECT_EQ(config.fault.max_retries_per_job,
+              again.fault.max_retries_per_job);
+  }
+  EXPECT_TRUE(any_ckpt);
+  EXPECT_TRUE(any_straggle);
+  EXPECT_TRUE(any_flap);
+}
+
+TEST(ChaosParityTest, FaultKnobsOffReproducesTheLegacyDraw) {
+  // The fifteen-seed legacy corpus must keep drawing the exact configs it
+  // always has: with draw_fault_knobs off the new code path is never
+  // entered and the RNG stream is untouched.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const core::SimulationConfig config = DrawScenario(seed);
+    EXPECT_EQ(config.fault.checkpoint_interval.value(), 0.0);
+    EXPECT_EQ(config.fault.straggle_rate, 0.0);
+    EXPECT_EQ(config.fault.flap_rate, 0.0);
+    EXPECT_EQ(config.fault.speculation_slowdown, 0.0);
+    EXPECT_EQ(config.fault.max_retries_per_job, -1);
+    EXPECT_EQ(config.fault.breaker_threshold, 0);
+  }
+}
+
+}  // namespace
+}  // namespace scan::testkit

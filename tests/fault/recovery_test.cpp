@@ -1,0 +1,144 @@
+// Scheduler-level recovery behavior: checkpoint credit, retry budgets,
+// backoff, speculation, and the circuit breaker — each exercised through
+// full simulated runs under the invariant oracle, plus the legacy
+// bit-exactness guarantee: recovery knobs without fault rates must not
+// move a single bit of an existing run.
+
+#include <gtest/gtest.h>
+
+#include "scan/testkit/golden.hpp"
+#include "scan/testkit/scenario.hpp"
+
+namespace scan::testkit {
+namespace {
+
+core::SimulationConfig BaseConfig() {
+  core::SimulationConfig config;
+  config.duration = SimTime{250.0};
+  config.scaling = core::ScalingAlgorithm::kPredictive;
+  return config;
+}
+
+ScenarioOptions NoDeterminismCheck() {
+  ScenarioOptions options;
+  options.check_determinism = false;
+  return options;
+}
+
+TEST(FaultRecoveryTest, RecoveryKnobsWithoutFaultRatesAreBitExactLegacy) {
+  // Checkpointing, budgets, backoff and the breaker are all recovery
+  // machinery: with no crash/flap/straggle rate there is nothing to
+  // recover from, and the run must be bit-identical to the plain config
+  // — same metrics fingerprint AND same executed-event trace digest.
+  const core::SimulationConfig plain = BaseConfig();
+  core::SimulationConfig armed = BaseConfig();
+  armed.fault.checkpoint_interval = SimTime{0.5};
+  armed.fault.max_retries_per_job = 5;
+  armed.fault.backoff_base = SimTime{0.3};
+  armed.fault.breaker_threshold = 3;
+  armed.fault.breaker_cooldown = SimTime{10.0};
+
+  const InstrumentedRun a = RunInstrumented(plain, 17);
+  const InstrumentedRun b = RunInstrumented(armed, 17);
+  EXPECT_EQ(a.fingerprint.digest, b.fingerprint.digest)
+      << "recovery knobs leaked into a fault-free run:\n"
+      << a.fingerprint.DiffAgainst(b.fingerprint).size() << " field diffs";
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.trace_events, b.trace_events);
+}
+
+TEST(FaultRecoveryTest, CrashesWithCheckpointsRetryAndSaveWork) {
+  core::SimulationConfig config = BaseConfig();
+  config.worker_failure_rate = 0.05;
+  config.fault.checkpoint_interval = SimTime{0.5};
+
+  const StressResult result =
+      StressScenario(config, 23, NoDeterminismCheck());
+  EXPECT_TRUE(result.ok()) << result.Describe();
+  const core::RunMetrics& m = result.run.metrics;
+  EXPECT_GT(m.worker_failures, 0u);
+  EXPECT_GT(m.checkpoints_saved, 0u);
+  // No flaps, no speculation, no budget: the legacy retry ledger holds.
+  EXPECT_EQ(m.task_retries, m.worker_failures);
+  EXPECT_EQ(m.jobs_abandoned, 0u);
+}
+
+TEST(FaultRecoveryTest, ExhaustedRetryBudgetAbandonsJobs) {
+  core::SimulationConfig config = BaseConfig();
+  config.worker_failure_rate = 0.4;  // brutal: most tasks die at least once
+  config.fault.max_retries_per_job = 0;  // a single failure abandons
+
+  const StressResult result =
+      StressScenario(config, 29, NoDeterminismCheck());
+  EXPECT_TRUE(result.ok()) << result.Describe();
+  const core::RunMetrics& m = result.run.metrics;
+  EXPECT_GT(m.worker_failures, 0u);
+  EXPECT_GT(m.jobs_abandoned, 0u);
+  EXPECT_LE(m.task_retries + m.jobs_abandoned,
+            m.worker_failures + m.worker_flaps);
+}
+
+TEST(FaultRecoveryTest, BackoffDefersRequeueDeterministically) {
+  core::SimulationConfig config = BaseConfig();
+  config.worker_failure_rate = 0.08;
+  config.fault.backoff_base = SimTime{0.5};
+  config.fault.backoff_multiplier = 2.0;
+  config.fault.backoff_cap = SimTime{4.0};
+
+  const StressResult result = StressScenario(config, 31);  // + double run
+  EXPECT_TRUE(result.ok()) << result.Describe();
+  EXPECT_GT(result.run.metrics.task_retries, 0u);
+}
+
+TEST(FaultRecoveryTest, StragglersTriggerSpeculativeCopies) {
+  core::SimulationConfig config = BaseConfig();
+  config.fault.straggle_rate = 0.3;
+  config.fault.straggle_factor = 3.0;
+  config.fault.speculation_slowdown = 1.5;
+
+  const StressResult result =
+      StressScenario(config, 37, NoDeterminismCheck());
+  EXPECT_TRUE(result.ok()) << result.Describe();
+  const core::RunMetrics& m = result.run.metrics;
+  EXPECT_GT(m.straggles_injected, 0u);
+  EXPECT_GT(m.speculative_launches, 0u);
+  // Each race has exactly one loser; a wasted copy per launch is the cap.
+  EXPECT_LE(m.speculative_wasted, m.speculative_launches);
+  EXPECT_EQ(m.jobs_abandoned, 0u);
+}
+
+TEST(FaultRecoveryTest, FlappingWorkersOpenTheBreaker) {
+  core::SimulationConfig config = BaseConfig();
+  config.fault.flap_rate = 0.08;
+  config.fault.breaker_threshold = 2;
+  config.fault.breaker_cooldown = SimTime{15.0};
+
+  const StressResult result =
+      StressScenario(config, 41, NoDeterminismCheck());
+  EXPECT_TRUE(result.ok()) << result.Describe();
+  const core::RunMetrics& m = result.run.metrics;
+  EXPECT_GT(m.worker_flaps, 0u);
+  EXPECT_GT(m.breaker_opens, 0u);
+  EXPECT_LE(m.task_retries + m.jobs_abandoned,
+            m.worker_failures + m.worker_flaps);
+}
+
+TEST(FaultRecoveryTest, KitchenSinkIsDeterministic) {
+  core::SimulationConfig config = BaseConfig();
+  config.worker_failure_rate = 0.04;
+  config.fault.checkpoint_interval = SimTime{0.4};
+  config.fault.straggle_rate = 0.15;
+  config.fault.straggle_factor = 3.0;
+  config.fault.speculation_slowdown = 1.6;
+  config.fault.flap_rate = 0.02;
+  config.fault.breaker_threshold = 3;
+  config.fault.breaker_cooldown = SimTime{10.0};
+  config.fault.max_retries_per_job = 6;
+  config.fault.backoff_base = SimTime{0.2};
+
+  const DeterminismReport report = CheckDeterminism(config, 43);
+  EXPECT_TRUE(report.identical) << report.ToString();
+}
+
+}  // namespace
+}  // namespace scan::testkit

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "scan/genomics/synthetic.hpp"
 
 namespace scan::genomics {
@@ -86,6 +89,89 @@ TEST(QualityTest, ParallelMatchesSerial) {
   for (std::size_t i = 0; i < serial.mean_phred_by_position.size(); ++i) {
     EXPECT_DOUBLE_EQ(serial.mean_phred_by_position[i],
                      parallel.mean_phred_by_position[i]);
+  }
+}
+
+// Every field of two stats, compared at the bit level: the parallel path
+// must reproduce the serial reduction exactly, not just approximately
+// (phred/base tallies are integer-valued doubles, so sums are exact in
+// any association and the final divisions must agree bit for bit).
+void ExpectBitIdentical(const ReadSetStats& a, const ReadSetStats& b) {
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  EXPECT_EQ(a.read_count, b.read_count);
+  EXPECT_EQ(a.total_bases, b.total_bases);
+  EXPECT_EQ(a.min_length, b.min_length);
+  EXPECT_EQ(a.max_length, b.max_length);
+  EXPECT_EQ(bits(a.mean_length), bits(b.mean_length));
+  EXPECT_EQ(bits(a.gc_fraction), bits(b.gc_fraction));
+  EXPECT_EQ(bits(a.n_fraction), bits(b.n_fraction));
+  EXPECT_EQ(bits(a.mean_phred), bits(b.mean_phred));
+  EXPECT_EQ(bits(a.q30_read_fraction), bits(b.q30_read_fraction));
+  ASSERT_EQ(a.mean_phred_by_position.size(), b.mean_phred_by_position.size());
+  for (std::size_t i = 0; i < a.mean_phred_by_position.size(); ++i) {
+    EXPECT_EQ(bits(a.mean_phred_by_position[i]),
+              bits(b.mean_phred_by_position[i]))
+        << "position " << i;
+  }
+}
+
+TEST(QualityTest, ParallelEmptySpanWithLargePool) {
+  // Zero reads with eight workers: every chunk is empty and the merge of
+  // all-empty partials must finish to the all-zero stats.
+  ThreadPool pool(8);
+  const ReadSetStats parallel = ComputeReadSetStatsParallel({}, pool);
+  ExpectBitIdentical(ComputeReadSetStats({}), parallel);
+  EXPECT_EQ(parallel.read_count, 0u);
+  EXPECT_TRUE(parallel.mean_phred_by_position.empty());
+}
+
+TEST(QualityTest, ParallelSingleReadManyWorkers) {
+  // One read, eight workers: chunk size rounds to 1, so workers 1..7 get
+  // begin past the end of the span and must contribute nothing.
+  const std::vector<FastqRecord> reads = {{"r1", "ACGTN", "IIII#"}};
+  ThreadPool pool(8);
+  ExpectBitIdentical(ComputeReadSetStats(reads),
+                     ComputeReadSetStatsParallel(reads, pool));
+}
+
+TEST(QualityTest, ParallelBoundarySplitsLongestRead) {
+  // Seven variable-length reads over three workers: chunks are [0,3),
+  // [3,6), [6,7). The longest read sits alone in the last chunk, so the
+  // tail of mean_phred_by_position (positions 4..9) is produced by one
+  // partial and merged across empty per-position tallies from the others
+  // — exactly the path a naive merge truncates or zero-fills wrongly.
+  const std::vector<FastqRecord> reads = {
+      {"r1", "AC", "II"},
+      {"r2", "ACG", "#I#"},
+      {"r3", "ACGT", "IIII"},
+      {"r4", "AC", "##"},
+      {"r5", "ACGA", "I#I#"},
+      {"r6", "AC", "II"},
+      {"r7", "ACGTACGTAC", "IIII#IIII#"},  // longest, last chunk
+  };
+  ThreadPool pool(3);
+  const ReadSetStats serial = ComputeReadSetStats(reads);
+  const ReadSetStats parallel = ComputeReadSetStatsParallel(reads, pool);
+  ExpectBitIdentical(serial, parallel);
+  ASSERT_EQ(parallel.mean_phred_by_position.size(), 10u);
+  // Positions 4..9 are covered only by r7; the tail means are its scores.
+  EXPECT_DOUBLE_EQ(parallel.mean_phred_by_position[4], 2.0);
+  EXPECT_DOUBLE_EQ(parallel.mean_phred_by_position[9], 2.0);
+  EXPECT_DOUBLE_EQ(parallel.mean_phred_by_position[5], 40.0);
+}
+
+TEST(QualityTest, ParallelBitIdenticalAcrossPoolSizes) {
+  SyntheticGenerator gen(29);
+  const FastaRecord ref = gen.Reference("chr1", 500);
+  ReadSimSpec spec;
+  spec.read_count = 257;  // prime: never divides evenly into chunks
+  spec.read_length = 37;
+  spec.error_rate = 0.05;
+  const auto reads = gen.Reads(ref, spec);
+  const ReadSetStats serial = ComputeReadSetStats(reads);
+  for (const std::size_t workers : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    ThreadPool pool(workers);
+    ExpectBitIdentical(serial, ComputeReadSetStatsParallel(reads, pool));
   }
 }
 

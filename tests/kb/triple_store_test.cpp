@@ -41,6 +41,33 @@ TEST(TripleStoreTest, RemoveDeletesFromAllIndexes) {
   EXPECT_FALSE(store.Remove(t));  // second remove fails
 }
 
+TEST(TripleStoreTest, RemoveErasesEmptyPostingLists) {
+  // Regression: Remove used to keep the emptied posting lists in all three
+  // indexes, so a full scan kept visiting dead subjects and Match on the
+  // removed key walked an empty list instead of missing the index.
+  TripleStore store;
+  store.Add(S(1), P(1), O(1));
+  store.Add(S(2), P(2), O(2));  // survivor: the store must not go empty
+  const Triple t{*store.terms().Lookup(S(1)), *store.terms().Lookup(P(1)),
+                 *store.terms().Lookup(O(1))};
+  EXPECT_TRUE(store.Remove(t));
+  EXPECT_EQ(store.size(), 1u);
+
+  // The full scan must see exactly the surviving triple — an empty spo_
+  // posting list for S(1) would still be iterated here.
+  const auto all = store.MatchAll({});
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all.front().s, *store.terms().Lookup(S(2)));
+
+  // Re-adding the removed triple must behave like a fresh insert.
+  EXPECT_TRUE(store.Add(S(1), P(1), O(1)));
+  EXPECT_TRUE(store.Contains(t));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.MatchAll({}).size(), 2u);
+  EXPECT_EQ(store.MatchAll({std::nullopt, t.p, std::nullopt}).size(), 1u);
+  EXPECT_EQ(store.MatchAll({std::nullopt, std::nullopt, t.o}).size(), 1u);
+}
+
 TEST(TripleStoreTest, MatchBySubject) {
   TripleStore store;
   store.Add(S(1), P(1), O(1));

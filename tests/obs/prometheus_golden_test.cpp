@@ -1,0 +1,119 @@
+// Prometheus exposition golden test: the histogram wire format is consumed
+// by external scrapers, so its exact text is pinned here — any formatting
+// drift (bucket ordering, le= rendering, cumulative counting, sum/count
+// suffixes) is a breaking change and must show up as a golden diff. On top
+// of the pinned block, every histogram in the full exposition is parsed
+// and checked for the two Prometheus structural laws: bucket counts are
+// cumulative (monotone non-decreasing front to back) and the +Inf bucket
+// equals the _count series.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scan/obs/metrics.hpp"
+
+namespace scan::obs {
+namespace {
+
+TEST(PrometheusGoldenTest, HistogramBlockMatchesPinnedText) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram& h = reg.GetHistogram("obs_test_golden_block_tu",
+                                  "Pinned histogram exposition",
+                                  {0.5, 1.0, 2.5});
+  h.Reset();
+  h.Observe(0.25);   // le=0.5
+  h.Observe(0.75);   // le=1
+  h.Observe(0.75);   // le=1
+  h.Observe(2.0);    // le=2.5
+  h.Observe(100.0);  // +Inf only
+
+  const std::string text = reg.PrometheusText();
+  const std::string golden =
+      "# HELP obs_test_golden_block_tu Pinned histogram exposition\n"
+      "# TYPE obs_test_golden_block_tu histogram\n"
+      "obs_test_golden_block_tu_bucket{le=\"0.5\"} 1\n"
+      "obs_test_golden_block_tu_bucket{le=\"1\"} 3\n"
+      "obs_test_golden_block_tu_bucket{le=\"2.5\"} 4\n"
+      "obs_test_golden_block_tu_bucket{le=\"+Inf\"} 5\n"
+      "obs_test_golden_block_tu_sum 103.75\n"
+      "obs_test_golden_block_tu_count 5\n";
+  EXPECT_NE(text.find(golden), std::string::npos)
+      << "pinned histogram block not found in exposition:\n"
+      << text;
+}
+
+/// Parsed shape of one histogram series in the exposition text.
+struct ParsedHistogram {
+  std::vector<std::uint64_t> cumulative;  ///< bucket values in text order
+  bool saw_inf = false;
+  std::uint64_t inf_value = 0;
+  bool saw_count = false;
+  std::uint64_t count_value = 0;
+};
+
+TEST(PrometheusGoldenTest, EveryHistogramIsCumulativeWithInfEqualCount) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  // Ensure the exposition holds at least two non-trivial histograms (the
+  // platform metrics may or may not be resolved in this test binary).
+  Histogram& a = reg.GetHistogram("obs_test_golden_laws_a_tu", "laws a",
+                                  {1.0, 10.0, 100.0});
+  Histogram& b = reg.GetHistogram("obs_test_golden_laws_b_tu", "laws b",
+                                  {0.1, 0.2});
+  a.Reset();
+  b.Reset();
+  for (int i = 0; i < 7; ++i) a.Observe(static_cast<double>(i * i));
+  b.Observe(0.05);
+  b.Observe(1000.0);
+
+  std::map<std::string, ParsedHistogram> parsed;
+  std::istringstream lines(reg.PrometheusText());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    const std::string value_text = line.substr(space + 1);
+    const std::size_t brace = series.find("_bucket{le=\"");
+    if (brace != std::string::npos) {
+      ParsedHistogram& ph = parsed[series.substr(0, brace)];
+      const std::uint64_t value = std::stoull(value_text);
+      if (series.find("le=\"+Inf\"") != std::string::npos) {
+        ph.saw_inf = true;
+        ph.inf_value = value;
+      }
+      ph.cumulative.push_back(value);
+      continue;
+    }
+    const std::size_t count_pos = series.rfind("_count");
+    if (count_pos != std::string::npos &&
+        count_pos + 6 == series.size() &&
+        parsed.contains(series.substr(0, count_pos))) {
+      ParsedHistogram& ph = parsed[series.substr(0, count_pos)];
+      ph.saw_count = true;
+      ph.count_value = std::stoull(value_text);
+    }
+  }
+
+  ASSERT_GE(parsed.size(), 2u);
+  for (const auto& [name, ph] : parsed) {
+    ASSERT_TRUE(ph.saw_inf) << name << " has no +Inf bucket";
+    ASSERT_TRUE(ph.saw_count) << name << " has no _count series";
+    EXPECT_EQ(ph.inf_value, ph.count_value)
+        << name << ": +Inf bucket must equal _count";
+    EXPECT_EQ(ph.cumulative.back(), ph.inf_value)
+        << name << ": +Inf must be the last bucket";
+    for (std::size_t i = 1; i < ph.cumulative.size(); ++i) {
+      EXPECT_GE(ph.cumulative[i], ph.cumulative[i - 1])
+          << name << ": bucket " << i << " is not cumulative";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scan::obs

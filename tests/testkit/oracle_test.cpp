@@ -128,7 +128,26 @@ TEST(InvariantOracle, CatchesBusyTimeOverflow) {
   view.private_cores = 4;
   oracle.Observe(view);
   ASSERT_FALSE(oracle.ok());
-  EXPECT_NE(oracle.violations().front().find("busy time"), std::string::npos);
+  EXPECT_NE(oracle.violations().front().find("served time"),
+            std::string::npos);
+}
+
+TEST(InvariantOracle, CatchesAccumulatedBelowFutureCredit) {
+  // Dispatch credits busy_accumulated up front; a busy worker whose
+  // accumulated total cannot cover the credit still scheduled through
+  // busy_until (plus one boot penalty of slack) lost utilization.
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  core::WorkerView worker = CleanWorker();
+  worker.busy = true;
+  worker.current_job = 3;
+  worker.busy_until = SimTime{14.0};  // 4.0 TU of future credit at t=10
+  worker.busy_accumulated = SimTime{0.0};
+  view.workers.push_back(worker);
+  view.private_cores = 4;
+  oracle.Observe(view);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_NE(oracle.violations().front().find("future"), std::string::npos);
 }
 
 TEST(InvariantOracle, CatchesTierAccountingDrift) {
@@ -169,6 +188,7 @@ TEST(InvariantOracle, CatchesJobBothQueuedAndExecuting) {
   worker.busy = true;
   worker.current_job = 7;
   worker.busy_until = SimTime{12.0};
+  worker.busy_accumulated = SimTime{2.0};  // the up-front dispatch credit
   view.workers.push_back(worker);
   view.private_cores = 4;
   view.queues[1].push_back({7, 1, SimTime{2.0}});
@@ -176,6 +196,67 @@ TEST(InvariantOracle, CatchesJobBothQueuedAndExecuting) {
   ASSERT_FALSE(oracle.ok());
   EXPECT_NE(oracle.violations().front().find("both queued and executing"),
             std::string::npos);
+}
+
+TEST(InvariantOracle, AllowsSpeculativeCopyQueuedWhileExecuting) {
+  // With speculative re-execution enabled the same job may be queued (the
+  // speculative copy) while its original executes — not a violation.
+  core::SimulationConfig config = BaseConfig();
+  config.fault.straggle_rate = 0.2;
+  config.fault.speculation_slowdown = 1.5;
+  InvariantOracle oracle(config);
+  core::SchedulerView view = CleanView();
+  core::WorkerView worker = CleanWorker();
+  worker.busy = true;
+  worker.current_job = 7;
+  worker.busy_until = SimTime{12.0};
+  worker.busy_accumulated = SimTime{2.0};
+  view.workers.push_back(worker);
+  view.private_cores = 4;
+  view.queues[1].push_back({7, 1, SimTime{2.0}});
+  oracle.Observe(view);
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
+}
+
+TEST(InvariantOracle, SkipsStaleWorkersInConservation) {
+  // A stale assignment's job already moved on (completed elsewhere); the
+  // worker is still busy but its job must not enter the in-flight count.
+  InvariantOracle oracle(BaseConfig());
+  core::SchedulerView view = CleanView();
+  core::WorkerView worker = CleanWorker();
+  worker.busy = true;
+  worker.current_job = 9;
+  worker.busy_until = SimTime{12.0};
+  worker.busy_accumulated = SimTime{2.0};
+  worker.stale = true;
+  view.workers.push_back(worker);
+  view.private_cores = 4;
+  core::RunMetrics metrics;
+  metrics.jobs_arrived = 1;
+  metrics.jobs_completed = 1;  // job 9 finished via another copy
+  metrics.latency.Add(1.0);
+  view.metrics = &metrics;
+  oracle.Observe(view);
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
+}
+
+TEST(InvariantOracle, CountsBackoffAndAbandonedJobsInConservation) {
+  core::SimulationConfig config = BaseConfig();
+  config.fault.max_retries_per_job = 2;  // budget => non-legacy accounting
+  InvariantOracle oracle(config);
+  core::SchedulerView view = CleanView();
+  view.backoff_jobs = 1;
+  core::RunMetrics metrics;
+  metrics.jobs_arrived = 4;
+  metrics.jobs_completed = 2;
+  metrics.jobs_abandoned = 1;  // 2 done + 1 abandoned + 1 in backoff
+  metrics.worker_failures = 4;
+  metrics.task_retries = 3;  // retries + abandoned <= failures + flaps
+  metrics.latency.Add(1.0);
+  metrics.latency.Add(1.0);
+  view.metrics = &metrics;
+  oracle.Observe(view);
+  EXPECT_TRUE(oracle.ok()) << oracle.Report();
 }
 
 TEST(InvariantOracle, CatchesJobConservationBreak) {
