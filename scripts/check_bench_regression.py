@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Gate benchmark runs against a checked-in baseline.
+
+Compares a fresh bench JSON (an array of row objects, as emitted by
+--json=PATH) against the committed baseline in results/, row-matched by
+--key (default: scenario). For every requested --metric, the current value
+must not fall more than --tolerance (default 20%) below the baseline.
+
+Typical CI use:
+
+  bench_des_hotpath --json=current.json
+  scripts/check_bench_regression.py \
+      --baseline results/BENCH_des_hotpath.json --current current.json \
+      --metric ladder_eps --metric speedup
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, key):
+    with open(path) as fh:
+        rows = json.load(fh)
+    if not isinstance(rows, list):
+        sys.exit(f"{path}: expected a JSON array of rows")
+    indexed = {}
+    for row in rows:
+        if key not in row:
+            sys.exit(f"{path}: row missing key column '{key}': {row}")
+        indexed[row[key]] = row
+    return indexed
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--metric", action="append", required=True,
+                        help="numeric column to gate (repeatable)")
+    parser.add_argument("--key", default="scenario")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop below baseline")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline, args.key)
+    current = load_rows(args.current, args.key)
+
+    failures = []
+    for name, base_row in baseline.items():
+        cur_row = current.get(name)
+        if cur_row is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for metric in args.metric:
+            if metric not in base_row or metric not in cur_row:
+                failures.append(f"{name}: metric '{metric}' missing")
+                continue
+            base = float(base_row[metric])
+            cur = float(cur_row[metric])
+            floor = base * (1.0 - args.tolerance)
+            verdict = "OK" if cur >= floor else "REGRESSED"
+            print(f"{name:24s} {metric:14s} baseline={base:14.2f} "
+                  f"current={cur:14.2f} floor={floor:14.2f} {verdict}")
+            if cur < floor:
+                failures.append(
+                    f"{name}: {metric} regressed {100 * (1 - cur / base):.1f}% "
+                    f"(baseline {base:.0f}, current {cur:.0f})")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

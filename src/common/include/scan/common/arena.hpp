@@ -1,0 +1,125 @@
+#pragma once
+
+// Fixed-type pool allocator for hot-path object churn.
+//
+// The simulator schedules and retires millions of short-lived event nodes
+// per run; going through the global heap for each one costs an allocator
+// round-trip and scatters nodes across memory. PoolArena<T> hands out
+// slots from large contiguous blocks and recycles destroyed slots through
+// an intrusive free list, so steady-state Create/Destroy never touches
+// the heap and consecutive allocations stay cache-dense.
+//
+// Lifetime rules (enforced by assertions in debug builds):
+//   - Every Create() must be paired with Destroy() on the same arena.
+//   - Reset() requires live() == 0; it rebuilds the free list over the
+//     existing blocks (capacity is retained, nothing is returned to the
+//     heap) so a drained arena can be reused without reallocation.
+//   - Destroying the arena with live objects is a programming error; the
+//     destructor asserts live() == 0 in debug builds.
+//
+// The arena is deliberately not thread-safe: each Simulator owns one and
+// the determinism contract already forbids cross-thread mutation.
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace scan {
+
+template <class T>
+class PoolArena {
+ public:
+  /// `first_block` is the slot count of the first block; subsequent blocks
+  /// double in size (geometric growth keeps block count logarithmic).
+  explicit PoolArena(std::size_t first_block = 256)
+      : next_block_slots_(first_block == 0 ? 1 : first_block) {}
+
+  PoolArena(const PoolArena&) = delete;
+  PoolArena& operator=(const PoolArena&) = delete;
+
+  ~PoolArena() { assert(live_ == 0 && "PoolArena destroyed with live objects"); }
+
+  /// Constructs a T in a pooled slot and returns it.
+  template <class... Args>
+  [[nodiscard]] T* Create(Args&&... args) {
+    if (free_ == nullptr) AddBlock();
+    Slot* slot = free_;
+    free_ = slot->next;
+    T* obj = ::new (static_cast<void*>(slot->storage)) T(std::forward<Args>(args)...);
+    ++live_;
+    return obj;
+  }
+
+  /// Destroys an object previously returned by Create() and recycles its
+  /// slot. The slot becomes the first candidate for the next Create().
+  void Destroy(T* obj) {
+    assert(obj != nullptr);
+    assert(live_ > 0);
+    obj->~T();
+    Slot* slot = std::launder(reinterpret_cast<Slot*>(obj));
+    slot->next = free_;
+    free_ = slot;
+    --live_;
+  }
+
+  /// Rebuilds the free list over all existing blocks. Requires live() == 0.
+  /// Slots are relinked in block order so reuse after Reset is
+  /// deterministic.
+  void Reset() {
+    assert(live_ == 0 && "PoolArena::Reset with live objects");
+    free_ = nullptr;
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+      LinkBlock(*it);
+    }
+  }
+
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t blocks() const { return blocks_.size(); }
+
+ private:
+  // A slot is either a live T (storage) or a free-list link (next). The
+  // union guarantees the slot is sized and aligned for both roles and that
+  // the T object starts at the slot address (so Destroy can recover the
+  // slot pointer from the object pointer).
+  union Slot {
+    Slot* next;
+    alignas(T) std::byte storage[sizeof(T)];
+  };
+
+  struct Block {
+    std::unique_ptr<Slot[]> slots;
+    std::size_t count = 0;
+  };
+
+  void AddBlock() {
+    Block block;
+    block.count = next_block_slots_;
+    block.slots = std::make_unique<Slot[]>(block.count);
+    capacity_ += block.count;
+    next_block_slots_ *= 2;
+    blocks_.push_back(std::move(block));
+    LinkBlock(blocks_.back());
+  }
+
+  // Pushes every slot of `block` onto the free list, last slot deepest, so
+  // allocation proceeds through the block front to back.
+  void LinkBlock(Block& block) {
+    for (std::size_t i = block.count; i > 0; --i) {
+      Slot* slot = &block.slots[i - 1];
+      slot->next = free_;
+      free_ = slot;
+    }
+  }
+
+  std::vector<Block> blocks_;
+  Slot* free_ = nullptr;
+  std::size_t live_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t next_block_slots_;
+};
+
+}  // namespace scan

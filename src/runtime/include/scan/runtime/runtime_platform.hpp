@@ -138,6 +138,7 @@ class RuntimePlatform {
 
   struct WorkerBook {
     cloud::WorkerId id{};
+    cloud::Tier tier = cloud::Tier::kPrivate;  ///< fixed at hire
     int cores = 0;
     int threads = 0;
     bool busy = false;
@@ -230,7 +231,12 @@ class RuntimePlatform {
                           std::uint64_t assignment_seq);
   void ScheduleIdleRelease(std::uint64_t worker_key);
   void RecordWorkerUtilization(const WorkerBook& worker, SimTime now);
-  void RemoveFromIdle(std::uint64_t key, int threads);
+  /// The candidate-index view of one worker (key derives from its id).
+  [[nodiscard]] static core::WorkerIndex::IdleEntry IdleEntryFor(
+      const WorkerBook& worker);
+  /// Oracle check (SCAN_TESTKIT_VERIFY_CANDIDATES); mirrors
+  /// Scheduler::VerifyCandidateIndex.
+  void VerifyCandidateIndex() const;
   bool TryFreePrivateCapacity(int needed_cores);
   void BanditEpoch();
   void SampleTimeline();
@@ -257,7 +263,9 @@ class RuntimePlatform {
   std::vector<std::deque<std::uint64_t>> queues_;  ///< job ids per stage
   std::unordered_map<std::uint64_t, JobState> jobs_;
   std::unordered_map<std::uint64_t, WorkerBook> workers_;
-  std::map<int, std::vector<std::uint64_t>> idle_;
+  /// Incremental candidate index over workers_ (shared with the
+  /// simulator's Scheduler; see scan/core/worker_index.hpp).
+  core::WorkerIndex index_;
 
   fault::FaultInjector injector_;  ///< owns the "worker-failures" RNG
   fault::RetryPolicy retry_;
@@ -269,6 +277,8 @@ class RuntimePlatform {
   obs::PlatformMetrics pmetrics_ = obs::PlatformMetrics::Resolve();
   obs::Histogram* dispatch_micros_hist_ = nullptr;  ///< resolved in ctor
   bool ran_ = false;
+  /// Cached SCAN_TESTKIT_VERIFY_CANDIDATES (same oracle as the Scheduler).
+  bool verify_candidates_ = false;
 
   // --- calendar ---
   std::priority_queue<ControlEvent, std::vector<ControlEvent>, EventOrder>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -10,16 +11,6 @@
 #include "scan/obs/trace.hpp"
 
 namespace scan::runtime {
-
-namespace {
-
-/// Idle buckets keep keys ascending so dispatch is deterministic (the
-/// simulator does the same; see scheduler.cpp).
-void InsertSorted(std::vector<std::uint64_t>& keys, std::uint64_t key) {
-  keys.insert(std::lower_bound(keys.begin(), keys.end(), key), key);
-}
-
-}  // namespace
 
 RuntimePlatform::RuntimePlatform(const core::SimulationConfig& config,
                                  gatk::PipelineModel model,
@@ -38,6 +29,7 @@ RuntimePlatform::RuntimePlatform(const core::SimulationConfig& config,
                                                  : SpinKernel{}),
       completions_(options_.completion_capacity) {
   metrics_.stage_queue_wait.resize(policy_.model().stage_count());
+  verify_candidates_ = std::getenv("SCAN_TESTKIT_VERIFY_CANDIDATES") != nullptr;
   dispatch_micros_hist_ = &obs::MetricsRegistry::Global().GetHistogram(
       "scan_dispatch_micros", "Coordinator time per dispatch round (us)",
       {1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
@@ -357,22 +349,48 @@ void RuntimePlatform::TryDispatchAll() {
     for (std::size_t stage = queues_.size(); stage-- > 0;) {
       while (!queues_[stage].empty() && TryDispatchHead(stage)) {
         progress = true;
+        if (verify_candidates_) VerifyCandidateIndex();
       }
     }
   }
+  if (verify_candidates_) VerifyCandidateIndex();
   const std::chrono::duration<double, std::micro> elapsed =
       std::chrono::steady_clock::now() - dispatch_start;
   dispatch_micros_.Add(elapsed.count());
   if (obs::MetricsEnabled()) dispatch_micros_hist_->Observe(elapsed.count());
 }
 
-void RuntimePlatform::RemoveFromIdle(std::uint64_t key, int threads) {
-  auto it = idle_.find(threads);
-  if (it == idle_.end()) return;
-  auto& keys = it->second;
-  const auto pos = std::lower_bound(keys.begin(), keys.end(), key);
-  if (pos != keys.end() && *pos == key) keys.erase(pos);
-  if (keys.empty()) idle_.erase(it);
+core::WorkerIndex::IdleEntry RuntimePlatform::IdleEntryFor(
+    const WorkerBook& worker) {
+  return {static_cast<std::uint64_t>(worker.id), worker.threads, worker.cores,
+          worker.tier == cloud::Tier::kPrivate};
+}
+
+void RuntimePlatform::VerifyCandidateIndex() const {
+  std::vector<core::WorkerIndex::IdleEntry> expected;
+  std::optional<SimTime> scan_min;
+  for (const auto& [key, worker] : workers_) {
+    if (worker.busy) {
+      if (!scan_min || worker.busy_until < *scan_min) {
+        scan_min = worker.busy_until;
+      }
+    } else {
+      expected.push_back(IdleEntryFor(worker));
+      (void)key;
+    }
+  }
+  std::vector<std::string> issues = index_.AuditIdle(expected);
+  const std::optional<SimTime> index_min = NextWorkerFreeTime();
+  if (scan_min.has_value() != index_min.has_value() ||
+      (scan_min && scan_min->value() != index_min->value())) {
+    issues.push_back("busy: incremental min busy_until != rescan min");
+  }
+  if (!issues.empty()) {
+    std::string message =
+        "runtime candidate index diverged from rescan oracle:";
+    for (const std::string& issue : issues) message += "\n  " + issue;
+    throw std::logic_error(message);
+  }
 }
 
 bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
@@ -383,22 +401,15 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
   const std::size_t queue_len = queues_[stage].size();
 
   // 1. An idle worker already configured with the required thread count.
-  if (const auto bucket = idle_.find(threads); bucket != idle_.end()) {
-    // Mirrors the simulator: breaker-open workers are skipped; if the
-    // whole bucket is blocked, fall through to the other steps.
-    std::uint64_t key = 0;
-    int best_cores = 1 << 30;
-    for (const std::uint64_t candidate_key : bucket->second) {
-      if (!health_.Allows(candidate_key, now)) continue;
-      const int cores = workers_.at(candidate_key).cores;
-      if (cores < best_cores) {
-        best_cores = cores;
-        key = candidate_key;
-      }
-    }
+  //    Mirrors the simulator: breaker-open workers are skipped; if every
+  //    exact candidate is blocked, fall through to the other steps.
+  {
+    const std::uint64_t key = index_.BestExactIdle(
+        threads,
+        [&](std::uint64_t candidate) { return health_.Allows(candidate, now); });
     if (key != 0) {
       WorkerBook& worker = workers_.at(key);
-      RemoveFromIdle(key, threads);
+      index_.RemoveIdle(IdleEntryFor(worker));
       AuditHire(obs::HireChoice::kReuseIdle, stage, job, threads, queue_len,
                 nullptr);
       queues_[stage].pop_front();
@@ -417,21 +428,12 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
 
   // 3. Otherwise reconfigure an idle worker with enough cores.
   if (!private_fits) {
-    std::uint64_t best_key = 0;
-    int best_cores = 1 << 30;
-    for (const auto& [cfg, keys] : idle_) {
-      for (const std::uint64_t key : keys) {
-        if (!health_.Allows(key, now)) continue;
-        const WorkerBook& candidate = workers_.at(key);
-        if (candidate.cores >= threads && candidate.cores < best_cores) {
-          best_cores = candidate.cores;
-          best_key = key;
-        }
-      }
-    }
+    const std::uint64_t best_key = index_.BestReconfigurable(
+        threads,
+        [&](std::uint64_t candidate) { return health_.Allows(candidate, now); });
     if (best_key != 0) {
       WorkerBook& worker = workers_.at(best_key);
-      RemoveFromIdle(best_key, worker.threads);
+      index_.RemoveIdle(IdleEntryFor(worker));
       const auto delay = cloud_.Configure(worker.id, threads, now);
       assert(delay.ok());
       worker.threads = threads;
@@ -490,6 +492,7 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
 
   WorkerBook worker;
   worker.id = *hired;
+  worker.tier = tier;
   worker.cores = threads;
   worker.threads = threads;
   const std::uint64_t key = static_cast<std::uint64_t>(*hired);
@@ -546,6 +549,7 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   worker.assignment_seq = next_assignment_seq_++;
   ++job.active;
   const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
+  index_.PushBusy(done_at.value(), worker_key, worker.assignment_seq);
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kStageExec, start_time.value(), worker_key,
                    job_id, stage, static_cast<double>(worker.threads),
@@ -693,7 +697,7 @@ void RuntimePlatform::OnWorkerFlap(std::uint64_t job_id,
   worker.current_job = 0;
   worker.idle_since = now;
   ++worker.idle_epoch;
-  InsertSorted(idle_[worker.threads], worker_key);
+  index_.InsertIdle(IdleEntryFor(worker));
   ScheduleIdleRelease(worker_key);
   ++metrics_.worker_flaps;
   if (obs::TraceEnabled()) {
@@ -836,7 +840,7 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
   worker.current_job = 0;
   worker.idle_since = now;
   ++worker.idle_epoch;
-  InsertSorted(idle_[worker.threads], worker_key);
+  index_.InsertIdle(IdleEntryFor(worker));
   ScheduleIdleRelease(worker_key);
   if (health_.enabled()) health_.RecordSuccess(worker_key);
 
@@ -905,7 +909,7 @@ void RuntimePlatform::ScheduleIdleRelease(std::uint64_t worker_key) {
                if (it == workers_.end()) return;
                WorkerBook& worker = it->second;
                if (worker.busy || worker.idle_epoch != epoch) return;
-               RemoveFromIdle(worker_key, worker.threads);
+               index_.RemoveIdle(IdleEntryFor(worker));
                RecordWorkerUtilization(worker, Now());
                const Status released = cloud_.Release(worker.id, Now());
                assert(released.ok());
@@ -930,23 +934,24 @@ bool RuntimePlatform::TryFreePrivateCapacity(int needed_cores) {
     return false;
   }
 
-  std::vector<std::pair<int, std::uint64_t>> candidates;
-  for (const auto& [cfg, keys] : idle_) {
-    for (const std::uint64_t key : keys) {
-      const WorkerBook& worker = workers_.at(key);
-      const auto info = cloud_.Info(worker.id);
-      if (info.ok() && info->tier == cloud::Tier::kPrivate) {
-        candidates.emplace_back(worker.cores, key);
-      }
+  // Mirrors Scheduler::TryFreePrivateCapacity: the index's (cores, key)
+  // order is the release order; collect the prefix before mutating.
+  std::vector<std::uint64_t> victims;
+  {
+    std::size_t would_have = available;
+    for (const auto& [cores, key] : index_.idle_private()) {
+      if (would_have >= static_cast<std::size_t>(needed_cores)) break;
+      victims.push_back(key);
+      would_have += static_cast<std::size_t>(cores);
     }
   }
-  std::sort(candidates.begin(), candidates.end());
 
   const SimTime now = Now();
-  for (const auto& [cores, key] : candidates) {
+  for (const std::uint64_t key : victims) {
     if (available >= static_cast<std::size_t>(needed_cores)) break;
     WorkerBook& worker = workers_.at(key);
-    RemoveFromIdle(key, worker.threads);
+    const int cores = worker.cores;
+    index_.RemoveIdle(IdleEntryFor(worker));
     RecordWorkerUtilization(worker, now);
     const Status released = cloud_.Release(worker.id, now);
     assert(released.ok());
@@ -964,14 +969,15 @@ bool RuntimePlatform::TryFreePrivateCapacity(int needed_cores) {
 }
 
 std::optional<SimTime> RuntimePlatform::NextWorkerFreeTime() const {
-  std::optional<SimTime> earliest;
-  for (const auto& [key, worker] : workers_) {
-    if (!worker.busy) continue;
-    if (!earliest || worker.busy_until < *earliest) {
-      earliest = worker.busy_until;
-    }
-  }
-  return earliest;
+  // Lazy-invalidation heap; see Scheduler::NextWorkerFreeTime.
+  const std::optional<double> earliest =
+      index_.MinBusyUntil([this](std::uint64_t key, std::uint64_t seq) {
+        const auto it = workers_.find(key);
+        return it != workers_.end() && it->second.busy &&
+               it->second.assignment_seq == seq;
+      });
+  if (!earliest) return std::nullopt;
+  return SimTime{*earliest};
 }
 
 std::vector<core::QueuedJobSnapshot> RuntimePlatform::SnapshotQueue(
@@ -996,9 +1002,9 @@ void RuntimePlatform::SampleTimeline() {
   core::TimelinePoint point;
   point.time = Now();
   for (const auto& queue : queues_) point.queued_jobs += queue.size();
-  for (const auto& [key, worker] : workers_) {
-    (worker.busy ? point.busy_workers : point.idle_workers) += 1;
-  }
+  // Non-busy <=> in the idle index at event boundaries (see scheduler.cpp).
+  point.idle_workers = index_.idle_count();
+  point.busy_workers = workers_.size() - point.idle_workers;
   point.private_cores = cloud_.CoresInUse(cloud::Tier::kPrivate);
   point.public_cores = cloud_.CoresInUse(cloud::Tier::kPublic);
   point.cost_rate = cloud_.CostRate().value();

@@ -24,7 +24,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,6 +35,7 @@
 #include "scan/core/allocation.hpp"
 #include "scan/core/config.hpp"
 #include "scan/core/policy.hpp"
+#include "scan/core/worker_index.hpp"
 #include "scan/fault/health.hpp"
 #include "scan/fault/injector.hpp"
 #include "scan/fault/retry.hpp"
@@ -249,6 +249,7 @@ class Scheduler {
 
   struct WorkerBook {
     cloud::WorkerId id{};
+    cloud::Tier tier = cloud::Tier::kPrivate;  ///< fixed at hire
     int cores = 0;    ///< instance size (fixed at hire)
     int threads = 0;  ///< current software configuration (<= cores)
     bool busy = false;
@@ -326,8 +327,14 @@ class Scheduler {
   [[nodiscard]] std::vector<QueuedJobSnapshot> SnapshotQueue(
       std::size_t stage) const;
 
-  /// Removes `key` from its idle bucket, if present.
-  void RemoveFromIdle(std::uint64_t key, int threads);
+  /// The candidate-index view of one worker (key derives from its id).
+  [[nodiscard]] static WorkerIndex::IdleEntry IdleEntryFor(
+      const WorkerBook& worker);
+
+  /// Oracle check (SCAN_TESTKIT_VERIFY_CANDIDATES): recomputes the
+  /// candidate sets from the worker book with the legacy O(workers) scan
+  /// and throws std::logic_error if the incremental index diverges.
+  void VerifyCandidateIndex() const;
 
   /// Builds the inspection snapshot for the event about to execute.
   [[nodiscard]] SchedulerView BuildView(SimTime when, std::uint64_t seq) const;
@@ -352,8 +359,9 @@ class Scheduler {
   std::vector<std::deque<std::uint64_t>> queues_;  ///< job ids per stage
   std::unordered_map<std::uint64_t, JobState> jobs_;
   std::unordered_map<std::uint64_t, WorkerBook> workers_;
-  /// Idle worker keys per thread configuration (sorted for determinism).
-  std::map<int, std::vector<std::uint64_t>> idle_;
+  /// Incremental candidate index over workers_ (see worker_index.hpp);
+  /// updated on every idle/busy transition, replacing per-decision scans.
+  WorkerIndex index_;
 
   fault::FaultInjector injector_;      ///< owns the "worker-failures" RNG
   fault::RetryPolicy retry_;
@@ -368,6 +376,9 @@ class Scheduler {
   /// obs::MetricsEnabled() so the disabled cost is one load + branch.
   obs::PlatformMetrics pmetrics_ = obs::PlatformMetrics::Resolve();
   bool ran_ = false;
+  /// Cached SCAN_TESTKIT_VERIFY_CANDIDATES; when set, every dispatch
+  /// round cross-checks index_ against a from-scratch rescan.
+  bool verify_candidates_ = false;
 };
 
 }  // namespace scan::core

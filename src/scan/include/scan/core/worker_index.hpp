@@ -1,0 +1,195 @@
+#pragma once
+
+// Incremental candidate index for scheduler dispatch decisions.
+//
+// The legacy dispatch path rescanned every worker per decision: an
+// O(workers) sweep for the best reconfigure candidate, another for idle
+// private compaction, and a third for the earliest busy completion that
+// prices the predictive hire-or-wait inequality. At 10k workers and 1M
+// jobs those sweeps dominate the run. WorkerIndex maintains the same
+// candidate orders incrementally — updated on worker state transitions
+// (idle <-> busy, hire, release) — so each decision is a bounded probe.
+//
+// Selection-equivalence contract (pinned by the candidate oracle test
+// behind SCAN_TESTKIT_VERIFY_CANDIDATES, and relied on by the golden
+// digests): each query returns exactly the worker the legacy scan chose.
+//
+//   - BestExactIdle(t): the legacy scan walked the idle bucket for thread
+//     config t in ascending key order keeping the strictly-smallest core
+//     count => the winner is min (cores, key) among allowed workers. The
+//     exact_ set is ordered (threads, cores, key), so the first allowed
+//     element of the t-range is that minimum.
+//   - BestReconfigurable(t): the legacy scan walked buckets in ascending
+//     config order, keys ascending, keeping the strictly-smallest core
+//     count >= t => the winner is min (cores, config, key). The reconfig_
+//     set is ordered (cores, config, key); lower_bound on cores = t and
+//     the first allowed element is that minimum.
+//   - idle_private(): the compaction path sorted idle private workers by
+//     (cores, key) ascending and released a minimal prefix; the
+//     idle_private_ set iterates in exactly that order.
+//   - MinBusyUntil: the legacy scan took the minimum busy_until over busy
+//     workers; the busy_ min-heap with lazy invalidation (assignment
+//     sequence numbers are globally unique, so a stale entry can never
+//     become valid again) yields the same minimum.
+//
+// The index never owns worker state; the scheduler's book remains the
+// source of truth and AuditIdle() recomputes the index from it for the
+// oracle check.
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "scan/common/str.hpp"
+
+namespace scan::core {
+
+class WorkerIndex {
+ public:
+  /// One idle worker as the index should see it; used both for updates
+  /// and for the from-scratch oracle comparison.
+  struct IdleEntry {
+    std::uint64_t key = 0;
+    int threads = 0;
+    int cores = 0;
+    bool is_private = false;
+  };
+
+  void InsertIdle(const IdleEntry& e) {
+    exact_.emplace(e.threads, e.cores, e.key);
+    reconfig_.emplace(e.cores, e.threads, e.key);
+    if (e.is_private) idle_private_.emplace(e.cores, e.key);
+  }
+
+  void RemoveIdle(const IdleEntry& e) {
+    exact_.erase({e.threads, e.cores, e.key});
+    reconfig_.erase({e.cores, e.threads, e.key});
+    if (e.is_private) idle_private_.erase({e.cores, e.key});
+  }
+
+  [[nodiscard]] std::size_t idle_count() const { return exact_.size(); }
+
+  /// First health-allowed idle worker already configured with `threads`,
+  /// preferring the fewest cores then the lowest key; 0 if none.
+  template <class Allows>
+  [[nodiscard]] std::uint64_t BestExactIdle(int threads, Allows&& allows) const {
+    for (auto it = exact_.lower_bound({threads, 0, 0}); it != exact_.end();
+         ++it) {
+      if (std::get<0>(*it) != threads) break;
+      if (allows(std::get<2>(*it))) return std::get<2>(*it);
+    }
+    return 0;
+  }
+
+  /// First health-allowed idle worker with cores >= `min_cores`, in
+  /// (cores, config, key) order; 0 if none.
+  template <class Allows>
+  [[nodiscard]] std::uint64_t BestReconfigurable(int min_cores,
+                                                 Allows&& allows) const {
+    for (auto it = reconfig_.lower_bound({min_cores, 0, 0});
+         it != reconfig_.end(); ++it) {
+      if (allows(std::get<2>(*it))) return std::get<2>(*it);
+    }
+    return 0;
+  }
+
+  /// Idle private-tier workers in (cores, key) ascending order — the
+  /// compaction release order.
+  [[nodiscard]] const std::set<std::pair<int, std::uint64_t>>& idle_private()
+      const {
+    return idle_private_;
+  }
+
+  /// Registers a new assignment's planned completion. `assignment_seq`
+  /// must be globally unique (never reused) — invalidation relies on it.
+  void PushBusy(double busy_until, std::uint64_t key,
+                std::uint64_t assignment_seq) {
+    busy_.push(BusyEntry{busy_until, key, assignment_seq});
+  }
+
+  /// Minimum busy_until over entries `valid(key, assignment_seq)` accepts.
+  /// Stale tops (completed/lost assignments) are discarded on the way —
+  /// each pushed entry is popped at most once over the run.
+  template <class Valid>
+  [[nodiscard]] std::optional<double> MinBusyUntil(Valid&& valid) const {
+    while (!busy_.empty()) {
+      const BusyEntry& top = busy_.top();
+      if (valid(top.key, top.assignment_seq)) return top.busy_until;
+      busy_.pop();
+    }
+    return std::nullopt;
+  }
+
+  /// Oracle check: rebuilds the idle views from `expected` (the caller's
+  /// from-scratch O(workers) scan) and reports every divergence from the
+  /// incrementally maintained state; empty means identical.
+  [[nodiscard]] std::vector<std::string> AuditIdle(
+      const std::vector<IdleEntry>& expected) const {
+    std::vector<std::string> issues;
+    std::set<std::tuple<int, int, std::uint64_t>> want_exact;
+    std::set<std::tuple<int, int, std::uint64_t>> want_reconfig;
+    std::set<std::pair<int, std::uint64_t>> want_private;
+    for (const IdleEntry& e : expected) {
+      want_exact.emplace(e.threads, e.cores, e.key);
+      want_reconfig.emplace(e.cores, e.threads, e.key);
+      if (e.is_private) want_private.emplace(e.cores, e.key);
+    }
+    auto diff = [&issues](const auto& want, const auto& have,
+                          const char* name) {
+      for (const auto& entry : want) {
+        if (!have.contains(entry)) {
+          issues.push_back(StrFormat("%s: missing key %llu", name,
+                                     static_cast<unsigned long long>(
+                                         std::get<std::tuple_size_v<
+                                             std::decay_t<decltype(entry)>> -
+                                         1>(entry))));
+        }
+      }
+      for (const auto& entry : have) {
+        if (!want.contains(entry)) {
+          issues.push_back(StrFormat("%s: stale key %llu", name,
+                                     static_cast<unsigned long long>(
+                                         std::get<std::tuple_size_v<
+                                             std::decay_t<decltype(entry)>> -
+                                         1>(entry))));
+        }
+      }
+    };
+    diff(want_exact, exact_, "exact");
+    diff(want_reconfig, reconfig_, "reconfig");
+    diff(want_private, idle_private_, "private");
+    return issues;
+  }
+
+ private:
+  struct BusyEntry {
+    double busy_until = 0.0;
+    std::uint64_t key = 0;
+    std::uint64_t assignment_seq = 0;
+  };
+  struct BusyOrder {
+    bool operator()(const BusyEntry& a, const BusyEntry& b) const {
+      if (a.busy_until != b.busy_until) return a.busy_until > b.busy_until;
+      return a.assignment_seq > b.assignment_seq;  // deterministic tie-break
+    }
+  };
+
+  // (threads, cores, key): exact-config dispatch order.
+  std::set<std::tuple<int, int, std::uint64_t>> exact_;
+  // (cores, threads, key): reconfigure-candidate order.
+  std::set<std::tuple<int, int, std::uint64_t>> reconfig_;
+  // (cores, key): private-tier compaction order.
+  std::set<std::pair<int, std::uint64_t>> idle_private_;
+  // Planned completions, min-first, invalidated lazily. Mutable because
+  // discarding stale tops from a const query (NextWorkerFreeTime is
+  // const) changes storage but never the observable minimum.
+  mutable std::priority_queue<BusyEntry, std::vector<BusyEntry>, BusyOrder>
+      busy_;
+};
+
+}  // namespace scan::core

@@ -3,21 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "scan/common/log.hpp"
 #include "scan/obs/trace.hpp"
 
 namespace scan::core {
-
-namespace {
-
-/// Idle buckets keep keys ascending so dispatch is deterministic.
-void InsertSorted(std::vector<std::uint64_t>& keys, std::uint64_t key) {
-  keys.insert(std::lower_bound(keys.begin(), keys.end(), key), key);
-}
-
-}  // namespace
 
 Scheduler::Scheduler(const SimulationConfig& config, gatk::PipelineModel model,
                      std::uint64_t seed, SchedulerOptions options)
@@ -32,6 +24,38 @@ Scheduler::Scheduler(const SimulationConfig& config, gatk::PipelineModel model,
       retry_(config.fault),
       health_(config.fault.breaker_threshold, config.fault.breaker_cooldown) {
   metrics_.stage_queue_wait.resize(policy_.model().stage_count());
+  verify_candidates_ = std::getenv("SCAN_TESTKIT_VERIFY_CANDIDATES") != nullptr;
+}
+
+WorkerIndex::IdleEntry Scheduler::IdleEntryFor(const WorkerBook& worker) {
+  return {static_cast<std::uint64_t>(worker.id), worker.threads, worker.cores,
+          worker.tier == cloud::Tier::kPrivate};
+}
+
+void Scheduler::VerifyCandidateIndex() const {
+  std::vector<WorkerIndex::IdleEntry> expected;
+  std::optional<SimTime> scan_min;
+  for (const auto& [key, worker] : workers_) {
+    if (worker.busy) {
+      if (!scan_min || worker.busy_until < *scan_min) {
+        scan_min = worker.busy_until;
+      }
+    } else {
+      expected.push_back(IdleEntryFor(worker));
+      (void)key;
+    }
+  }
+  std::vector<std::string> issues = index_.AuditIdle(expected);
+  const std::optional<SimTime> index_min = NextWorkerFreeTime();
+  if (scan_min.has_value() != index_min.has_value() ||
+      (scan_min && scan_min->value() != index_min->value())) {
+    issues.push_back("busy: incremental min busy_until != rescan min");
+  }
+  if (!issues.empty()) {
+    std::string message = "candidate index diverged from rescan oracle:";
+    for (const std::string& issue : issues) message += "\n  " + issue;
+    throw std::logic_error(message);
+  }
 }
 
 ThreadPlan Scheduler::PlanFor(DataSize size) const {
@@ -122,9 +146,10 @@ RunMetrics Scheduler::Run() {
           TimelinePoint point;
           point.time = s.Now();
           for (const auto& queue : queues_) point.queued_jobs += queue.size();
-          for (const auto& [key, worker] : workers_) {
-            (worker.busy ? point.busy_workers : point.idle_workers) += 1;
-          }
+          // Non-busy <=> in the idle index at event boundaries, so the
+          // index size replaces the per-worker sweep.
+          point.idle_workers = index_.idle_count();
+          point.busy_workers = workers_.size() - point.idle_workers;
           point.private_cores = cloud_.CoresInUse(cloud::Tier::kPrivate);
           point.public_cores = cloud_.CoresInUse(cloud::Tier::kPublic);
           point.cost_rate = cloud_.CostRate().value();
@@ -236,18 +261,11 @@ void Scheduler::TryDispatchAll() {
     for (std::size_t stage = queues_.size(); stage-- > 0;) {
       while (!queues_[stage].empty() && TryDispatchHead(stage)) {
         progress = true;
+        if (verify_candidates_) VerifyCandidateIndex();
       }
     }
   }
-}
-
-void Scheduler::RemoveFromIdle(std::uint64_t key, int threads) {
-  auto it = idle_.find(threads);
-  if (it == idle_.end()) return;
-  auto& keys = it->second;
-  const auto pos = std::lower_bound(keys.begin(), keys.end(), key);
-  if (pos != keys.end() && *pos == key) keys.erase(pos);
-  if (keys.empty()) idle_.erase(it);
+  if (verify_candidates_) VerifyCandidateIndex();
 }
 
 bool Scheduler::TryDispatchHead(std::size_t stage) {
@@ -257,26 +275,19 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
   const SimTime now = sim_.Now();
   const std::size_t queue_len = queues_[stage].size();
 
-  // 1. An idle worker already configured with the required thread count.
-  //    Within the bucket, prefer the fewest cores (a big machine downsized
-  //    to few threads wastes its extra cores for the task's duration).
-  if (const auto bucket = idle_.find(threads); bucket != idle_.end()) {
-    // Workers with an open circuit breaker are skipped (health_ allows
-    // everyone when the breaker is disabled, preserving legacy choices);
-    // if the whole bucket is blocked, fall through to the other steps.
-    std::uint64_t key = 0;
-    int best_cores = 1 << 30;
-    for (const std::uint64_t candidate_key : bucket->second) {
-      if (!health_.Allows(candidate_key, now)) continue;
-      const int cores = workers_.at(candidate_key).cores;
-      if (cores < best_cores) {
-        best_cores = cores;
-        key = candidate_key;
-      }
-    }
+  // 1. An idle worker already configured with the required thread count,
+  //    preferring the fewest cores (a big machine downsized to few threads
+  //    wastes its extra cores for the task's duration). Workers with an
+  //    open circuit breaker are skipped (health_ allows everyone when the
+  //    breaker is disabled, preserving legacy choices); if every exact
+  //    candidate is blocked, fall through to the other steps.
+  {
+    const std::uint64_t key = index_.BestExactIdle(
+        threads,
+        [&](std::uint64_t candidate) { return health_.Allows(candidate, now); });
     if (key != 0) {
       WorkerBook& worker = workers_.at(key);
-      RemoveFromIdle(key, threads);
+      index_.RemoveIdle(IdleEntryFor(worker));
       AuditHire(obs::HireChoice::kReuseIdle, stage, job, threads, queue_len,
                 nullptr);
       queues_[stage].pop_front();
@@ -299,21 +310,12 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
   //    capacity, but loses to an exact-size private hire (which avoids
   //    running a narrow task on a wide, mostly-wasted machine).
   if (!private_fits) {
-    std::uint64_t best_key = 0;
-    int best_cores = 1 << 30;
-    for (const auto& [cfg, keys] : idle_) {
-      for (const std::uint64_t key : keys) {
-        if (!health_.Allows(key, now)) continue;
-        const WorkerBook& candidate = workers_.at(key);
-        if (candidate.cores >= threads && candidate.cores < best_cores) {
-          best_cores = candidate.cores;
-          best_key = key;
-        }
-      }
-    }
+    const std::uint64_t best_key = index_.BestReconfigurable(
+        threads,
+        [&](std::uint64_t candidate) { return health_.Allows(candidate, now); });
     if (best_key != 0) {
       WorkerBook& worker = workers_.at(best_key);
-      RemoveFromIdle(best_key, worker.threads);
+      index_.RemoveIdle(IdleEntryFor(worker));
       const auto delay = cloud_.Configure(worker.id, threads, now);
       assert(delay.ok());
       worker.threads = threads;
@@ -372,6 +374,7 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
 
   WorkerBook worker;
   worker.id = *hired;
+  worker.tier = tier;
   worker.cores = threads;
   worker.threads = threads;
   const std::uint64_t key = static_cast<std::uint64_t>(*hired);
@@ -428,6 +431,7 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   worker.assignment_seq = next_assignment_seq_++;
   ++job.active;
   const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
+  index_.PushBusy(done_at.value(), worker_key, worker.assignment_seq);
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kStageExec, start_time.value(), worker_key,
                    job_id, stage, static_cast<double>(worker.threads),
@@ -547,7 +551,7 @@ void Scheduler::OnWorkerFlap(std::uint64_t job_id, std::uint64_t worker_key,
   worker.current_job = 0;
   worker.idle_since = now;
   ++worker.idle_epoch;
-  InsertSorted(idle_[worker.threads], worker_key);
+  index_.InsertIdle(IdleEntryFor(worker));
   ScheduleIdleRelease(worker_key);
   ++metrics_.worker_flaps;
   if (obs::TraceEnabled()) {
@@ -704,7 +708,7 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
   worker.current_job = 0;
   worker.idle_since = now;
   ++worker.idle_epoch;
-  InsertSorted(idle_[worker.threads], worker_key);
+  index_.InsertIdle(IdleEntryFor(worker));
   ScheduleIdleRelease(worker_key);
   if (health_.enabled()) health_.RecordSuccess(worker_key);
 
@@ -780,7 +784,7 @@ void Scheduler::ScheduleIdleRelease(std::uint64_t worker_key) {
         if (it == workers_.end()) return;
         WorkerBook& worker = it->second;
         if (worker.busy || worker.idle_epoch != epoch) return;
-        RemoveFromIdle(worker_key, worker.threads);
+        index_.RemoveIdle(IdleEntryFor(worker));
         RecordWorkerUtilization(worker, s.Now());
         const Status released = cloud_.Release(worker.id, s.Now());
         assert(released.ok());
@@ -806,25 +810,26 @@ bool Scheduler::TryFreePrivateCapacity(int needed_cores) {
     return false;  // could never fit, even empty
   }
 
-  // Collect idle private workers, smallest cores first (release as little
-  // capacity as possible), key order breaking ties for determinism.
-  std::vector<std::pair<int, std::uint64_t>> candidates;
-  for (const auto& [cfg, keys] : idle_) {
-    for (const std::uint64_t key : keys) {
-      const WorkerBook& worker = workers_.at(key);
-      const auto info = cloud_.Info(worker.id);
-      if (info.ok() && info->tier == cloud::Tier::kPrivate) {
-        candidates.emplace_back(worker.cores, key);
-      }
+  // The index keeps idle private workers in (cores, key) order — smallest
+  // first, so as little capacity as possible is released, key order
+  // breaking ties for determinism. The prefix to release is collected
+  // before mutating (releasing removes entries from the set iterated).
+  std::vector<std::uint64_t> victims;
+  {
+    std::size_t would_have = available;
+    for (const auto& [cores, key] : index_.idle_private()) {
+      if (would_have >= static_cast<std::size_t>(needed_cores)) break;
+      victims.push_back(key);
+      would_have += static_cast<std::size_t>(cores);
     }
   }
-  std::sort(candidates.begin(), candidates.end());
 
   const SimTime now = sim_.Now();
-  for (const auto& [cores, key] : candidates) {
+  for (const std::uint64_t key : victims) {
     if (available >= static_cast<std::size_t>(needed_cores)) break;
     WorkerBook& worker = workers_.at(key);
-    RemoveFromIdle(key, worker.threads);
+    const int cores = worker.cores;
+    index_.RemoveIdle(IdleEntryFor(worker));
     RecordWorkerUtilization(worker, now);
     const Status released = cloud_.Release(worker.id, now);
     assert(released.ok());
@@ -841,14 +846,18 @@ bool Scheduler::TryFreePrivateCapacity(int needed_cores) {
 }
 
 std::optional<SimTime> Scheduler::NextWorkerFreeTime() const {
-  std::optional<SimTime> earliest;
-  for (const auto& [key, worker] : workers_) {
-    if (!worker.busy) continue;
-    if (!earliest || worker.busy_until < *earliest) {
-      earliest = worker.busy_until;
-    }
-  }
-  return earliest;
+  // Every busy worker has exactly one valid heap entry (pushed at
+  // assignment); entries for finished or lost assignments fail the
+  // predicate and are discarded lazily, so this returns the same minimum
+  // as the legacy all-workers scan.
+  const std::optional<double> earliest =
+      index_.MinBusyUntil([this](std::uint64_t key, std::uint64_t seq) {
+        const auto it = workers_.find(key);
+        return it != workers_.end() && it->second.busy &&
+               it->second.assignment_seq == seq;
+      });
+  if (!earliest) return std::nullopt;
+  return SimTime{*earliest};
 }
 
 std::vector<QueuedJobSnapshot> Scheduler::SnapshotQueue(

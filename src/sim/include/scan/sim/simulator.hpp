@@ -11,17 +11,26 @@
 // callbacks (drawing randomness only from seeded scan::RandomStream
 // objects), two runs produce identical event orders. Simultaneous events
 // fire in scheduling order (monotone sequence numbers break time ties).
+//
+// Hot-path design (see DESIGN.md §11): the calendar is a calendar-queue/
+// ladder-queue hybrid (scan/sim/calendar.hpp) whose event nodes live in a
+// pool arena, and ScheduleAt is a template so callbacks land directly in
+// a 64-byte inline buffer without an intermediate std::function (whose
+// 16-byte small-object buffer would heap-allocate every scheduler
+// callback). Behaviour is bit-identical to the retained priority-queue
+// reference — the differential battery in tests/sim pins this.
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <queue>
-#include <string>
+#include <stdexcept>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "scan/common/units.hpp"
+#include "scan/sim/calendar.hpp"
 
 namespace scan::sim {
 
@@ -66,12 +75,33 @@ class Simulator {
   [[nodiscard]] SimTime Now() const { return now_; }
 
   /// Schedules `cb` at absolute time `when` (>= Now()). Returns a handle
-  /// that can cancel the event before it fires.
-  EventId ScheduleAt(SimTime when, Callback cb);
+  /// that can cancel the event before it fires. Accepts any callable of
+  /// (Simulator&); callables up to 64 bytes are stored inline.
+  template <class F>
+    requires std::is_invocable_v<std::decay_t<F>&, Simulator&>
+  EventId ScheduleAt(SimTime when, F&& cb) {
+    if (!(when >= now_)) {
+      throw std::invalid_argument(
+          "Simulator::ScheduleAt: cannot schedule in the past");
+    }
+    // Null-state callables (e.g. a default-constructed std::function)
+    // keep the legacy contract and are rejected up front.
+    if constexpr (requires { static_cast<bool>(cb); }) {
+      if (!static_cast<bool>(cb)) {
+        throw std::invalid_argument("Simulator::ScheduleAt: empty callback");
+      }
+    }
+    const std::uint64_t seq = next_seq_++;
+    calendar_.Push(when.value(), seq, std::forward<F>(cb));
+    ++stats_.events_scheduled;
+    return EventId{seq};
+  }
 
   /// Schedules `cb` after a non-negative delay from Now().
-  EventId ScheduleAfter(SimTime delay, Callback cb) {
-    return ScheduleAt(now_ + delay, std::move(cb));
+  template <class F>
+    requires std::is_invocable_v<std::decay_t<F>&, Simulator&>
+  EventId ScheduleAfter(SimTime delay, F&& cb) {
+    return ScheduleAt(now_ + delay, std::forward<F>(cb));
   }
 
   /// Cancels a pending event. Returns false if it already fired, was
@@ -104,6 +134,12 @@ class Simulator {
 
   [[nodiscard]] const SimulatorStats& stats() const { return stats_; }
 
+  /// Calendar internals (reseeds, bucket sorts, peak pending), exposed
+  /// for benchmarks and boundary tests.
+  [[nodiscard]] const CalendarStats& calendar_stats() const {
+    return calendar_.stats();
+  }
+
   /// Trace hook invoked before each event executes (event time, sequence).
   /// Used by tests to assert ordering; pass nullptr to clear.
   void SetTraceHook(std::function<void(SimTime, std::uint64_t)> hook) {
@@ -111,17 +147,6 @@ class Simulator {
   }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq = 0;
-    Callback cb;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;  // min-heap on time
-      return a.seq > b.seq;                          // FIFO among ties
-    }
-  };
   struct PeriodicState {
     SimTime period;
     Callback cb;
@@ -137,9 +162,11 @@ class Simulator {
 
   SimTime now_{0.0};
   std::uint64_t next_seq_ = 1;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> calendar_;
+  // Mutable: const peeks (NextEventTime) may advance the ladder window,
+  // which reorders storage but never observable state.
+  mutable LadderCalendar calendar_;
   // Cancelled events stay in the calendar and are skipped on pop (lazy
-  // deletion keeps Cancel O(1) without heap surgery).
+  // deletion keeps Cancel O(1) without calendar surgery).
   std::unordered_set<std::uint64_t> cancelled_;
   std::vector<std::shared_ptr<PeriodicState>> periodics_;
   SimulatorStats stats_;

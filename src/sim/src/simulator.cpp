@@ -8,20 +8,6 @@
 
 namespace scan::sim {
 
-EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
-  if (!(when >= now_)) {
-    throw std::invalid_argument(
-        "Simulator::ScheduleAt: cannot schedule in the past");
-  }
-  if (!cb) {
-    throw std::invalid_argument("Simulator::ScheduleAt: empty callback");
-  }
-  const std::uint64_t seq = next_seq_++;
-  calendar_.push(Event{when, seq, std::move(cb)});
-  ++stats_.events_scheduled;
-  return EventId{seq};
-}
-
 bool Simulator::Cancel(EventId id) {
   if (!id.valid() || id.seq_ >= next_seq_) return false;
   // Periodic handles cancel their recurrence state instead.
@@ -63,30 +49,37 @@ EventId Simulator::SchedulePeriodic(SimTime period, Callback cb) {
 }
 
 void Simulator::PopAndRun() {
-  // The priority queue does not allow moving out of top(); copy the handle
-  // pieces and const_cast-free move via re-pop pattern.
-  Event ev = calendar_.top();
-  calendar_.pop();
-  if (cancelled_.erase(ev.seq) > 0) {
+  LadderCalendar::Entry entry = calendar_.PopMin();
+  if (!cancelled_.empty() && cancelled_.erase(entry.seq) > 0) {
+    calendar_.ReleaseNode(entry.node);
     return;  // lazily-deleted event
   }
-  assert(ev.when >= now_);
-  now_ = ev.when;
-  SetLogSimTime(now_.value());
-  if (trace_hook_) trace_hook_(ev.when, ev.seq);
+  assert(entry.when >= now_.value());
+  now_ = SimTime{entry.when};
+  SetLogSimTime(entry.when);
+  if (trace_hook_) trace_hook_(SimTime{entry.when}, entry.seq);
   ++stats_.events_executed;
-  ev.cb(*this);
+  // The callback may schedule further events (growing the arena) but can
+  // never reach this node again: its seq is already popped. The guard
+  // returns the node to the arena even if the callback throws.
+  struct NodeGuard {
+    LadderCalendar& calendar;
+    LadderCalendar::EventNode* node;
+    ~NodeGuard() { calendar.ReleaseNode(node); }
+  } guard{calendar_, entry.node};
+  entry.node->cb(*this);
 }
 
 void Simulator::RunUntil(SimTime horizon) {
   while (!calendar_.empty()) {
-    const Event& next = calendar_.top();
-    if (cancelled_.contains(next.seq)) {
+    const LadderCalendar::Entry& next = calendar_.PeekMin();
+    if (!cancelled_.empty() && cancelled_.contains(next.seq)) {
       cancelled_.erase(next.seq);
-      calendar_.pop();
+      const LadderCalendar::Entry dead = calendar_.PopMin();
+      calendar_.ReleaseNode(dead.node);
       continue;
     }
-    if (next.when > horizon) {
+    if (SimTime{next.when} > horizon) {
       now_ = horizon;
       return;
     }
@@ -99,10 +92,11 @@ void Simulator::RunUntil(SimTime horizon) {
 
 bool Simulator::Step() {
   while (!calendar_.empty()) {
-    const Event& next = calendar_.top();
-    if (cancelled_.contains(next.seq)) {
+    const LadderCalendar::Entry& next = calendar_.PeekMin();
+    if (!cancelled_.empty() && cancelled_.contains(next.seq)) {
       cancelled_.erase(next.seq);
-      calendar_.pop();
+      const LadderCalendar::Entry dead = calendar_.PopMin();
+      calendar_.ReleaseNode(dead.node);
       continue;
     }
     PopAndRun();
@@ -112,7 +106,7 @@ bool Simulator::Step() {
 }
 
 bool Simulator::Empty() const {
-  // Account for lazily-cancelled entries still in the heap.
+  // Account for lazily-cancelled entries still in the calendar.
   return calendar_.size() <= cancelled_.size();
 }
 
@@ -122,7 +116,7 @@ SimTime Simulator::NextEventTime() const {
   if (calendar_.empty()) {
     return SimTime{std::numeric_limits<double>::infinity()};
   }
-  return calendar_.top().when;
+  return SimTime{calendar_.PeekMin().when};
 }
 
 }  // namespace scan::sim

@@ -32,6 +32,12 @@ struct ScenarioOptions {
   /// Off by default so the pre-fault scenario corpus — and everything
   /// pinned against it — is reproduced draw for draw.
   bool draw_fault_knobs = false;
+  /// Redraw the load axes into a calendar-stress regime: bursty arrivals
+  /// of many simultaneous jobs plus a short idle-release timeout, which
+  /// floods the event calendar with time-tied events and heavy
+  /// schedule/cancel churn (idle releases are cancelled on every
+  /// re-assignment). Off by default for the same corpus-stability reason.
+  bool stress_calendar = false;
 };
 
 /// Draws one seeded random configuration. Equal seeds give equal configs.

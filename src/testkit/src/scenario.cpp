@@ -76,6 +76,19 @@ core::SimulationConfig DrawScenario(std::uint64_t seed,
     }
   }
 
+  // Calendar-stress axis (opt-in, appended after the fault block so every
+  // earlier corpus reproduces draw for draw): bursty simultaneous events
+  // and cancellation churn for the ladder calendar. Fixed draw count,
+  // like the fault knobs.
+  if (options.stress_calendar) {
+    config.mean_interarrival_tu = rng.Uniform(0.05, 0.5);
+    config.mean_jobs_per_arrival = rng.Uniform(8.0, 24.0);
+    config.idle_release_timeout = SimTime{rng.Uniform(0.05, 0.5)};
+    // Short horizon: the burst regime packs an order of magnitude more
+    // events per time unit, so suites stay fast.
+    config.duration = SimTime{rng.Uniform(15.0, 40.0)};
+  }
+
   config.base_seed = MixSeed(seed, 0x5ce9a21af1u);
   return config;
 }

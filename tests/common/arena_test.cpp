@@ -1,0 +1,207 @@
+#include "scan/common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "scan/common/inplace_function.hpp"
+#include "scan/common/rng.hpp"
+
+namespace scan {
+namespace {
+
+struct Payload {
+  explicit Payload(std::uint64_t v) : value(v) { ++live_count; }
+  ~Payload() {
+    value = 0xdeadbeef;
+    --live_count;
+  }
+  std::uint64_t value;
+  char padding[24] = {};
+  static int live_count;
+};
+int Payload::live_count = 0;
+
+TEST(PoolArenaTest, CreateDestroyRoundTrip) {
+  PoolArena<Payload> arena;
+  Payload* p = arena.Create(42u);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->value, 42u);
+  EXPECT_EQ(arena.live(), 1u);
+  arena.Destroy(p);
+  EXPECT_EQ(arena.live(), 0u);
+  EXPECT_EQ(Payload::live_count, 0);
+}
+
+TEST(PoolArenaTest, AllObjectsAligned) {
+  PoolArena<Payload> arena(8);
+  std::vector<Payload*> objects;
+  for (std::uint64_t i = 0; i < 100; ++i) objects.push_back(arena.Create(i));
+  for (Payload* p : objects) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(Payload), 0u);
+  }
+  for (Payload* p : objects) arena.Destroy(p);
+}
+
+TEST(PoolArenaTest, NoLiveObjectOverlap) {
+  // Property: the [p, p + sizeof) ranges of live objects never intersect,
+  // across an interleaved create/destroy schedule that spans several
+  // blocks.
+  PoolArena<Payload> arena(4);
+  RandomStream rng(7, "arena-overlap");
+  std::vector<Payload*> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.Uniform() < 0.6) {
+      live.push_back(arena.Create(static_cast<std::uint64_t>(step)));
+    } else {
+      const std::size_t victim = rng.UniformBelow(live.size());
+      arena.Destroy(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    // Overlap check via sorted addresses: each start must lie at or after
+    // the previous object's end.
+    std::vector<std::uintptr_t> starts;
+    starts.reserve(live.size());
+    for (Payload* p : live) {
+      starts.push_back(reinterpret_cast<std::uintptr_t>(p));
+    }
+    std::sort(starts.begin(), starts.end());
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      ASSERT_GE(starts[i], starts[i - 1] + sizeof(Payload));
+    }
+  }
+  EXPECT_EQ(arena.live(), live.size());
+  for (Payload* p : live) arena.Destroy(p);
+}
+
+TEST(PoolArenaTest, SlotsAreRecycled) {
+  PoolArena<Payload> arena;
+  Payload* first = arena.Create(1u);
+  arena.Destroy(first);
+  // The freed slot is the first candidate for the next allocation.
+  Payload* second = arena.Create(2u);
+  EXPECT_EQ(static_cast<void*>(first), static_cast<void*>(second));
+  arena.Destroy(second);
+}
+
+TEST(PoolArenaTest, ReuseAfterReset) {
+  PoolArena<Payload> arena(16);
+  std::vector<Payload*> objects;
+  for (std::uint64_t i = 0; i < 50; ++i) objects.push_back(arena.Create(i));
+  std::set<void*> first_round(objects.begin(), objects.end());
+  const std::size_t capacity_before = arena.capacity();
+  const std::size_t blocks_before = arena.blocks();
+  for (Payload* p : objects) arena.Destroy(p);
+
+  arena.Reset();
+  EXPECT_EQ(arena.capacity(), capacity_before);  // nothing freed
+  EXPECT_EQ(arena.blocks(), blocks_before);
+
+  // Allocations after Reset reuse the same memory, no new blocks.
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    Payload* p = arena.Create(i + 100);
+    EXPECT_TRUE(first_round.count(p)) << "expected recycled slot";
+    objects[i] = p;
+  }
+  EXPECT_EQ(arena.blocks(), blocks_before);
+  for (Payload* p : objects) arena.Destroy(p);
+}
+
+TEST(PoolArenaTest, GeometricBlockGrowth) {
+  PoolArena<Payload> arena(2);
+  std::vector<Payload*> objects;
+  for (std::uint64_t i = 0; i < 64; ++i) objects.push_back(arena.Create(i));
+  // 2 + 4 + 8 + 16 + 32 = 62 < 64 <= 126, reached in 6 blocks.
+  EXPECT_EQ(arena.blocks(), 6u);
+  EXPECT_GE(arena.capacity(), 64u);
+  for (Payload* p : objects) arena.Destroy(p);
+}
+
+TEST(PoolArenaTest, DestructorsRunExactlyOnce) {
+  Payload::live_count = 0;
+  {
+    PoolArena<Payload> arena;
+    std::vector<Payload*> objects;
+    for (std::uint64_t i = 0; i < 30; ++i) objects.push_back(arena.Create(i));
+    EXPECT_EQ(Payload::live_count, 30);
+    for (Payload* p : objects) arena.Destroy(p);
+    EXPECT_EQ(Payload::live_count, 0);
+  }
+  EXPECT_EQ(Payload::live_count, 0);
+}
+
+// ---------------------------------------------------------------------------
+// InplaceFunction: the callback container the arena-backed calendar stores.
+
+TEST(InplaceFunctionTest, SmallCallableStoredInline) {
+  int hits = 0;
+  InplaceFunction<void(int), 64> fn([&hits](int v) { hits += v; });
+  EXPECT_TRUE(fn.is_inline());
+  fn(3);
+  fn(4);
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(InplaceFunctionTest, SchedulerSizedCaptureStaysInline) {
+  // The scheduler's largest event capture is 48 bytes (this + 5 words);
+  // pin that it fits the 64-byte buffer with room to spare.
+  struct {
+    void* self;
+    std::uint64_t a, b, c;
+    double d, e;
+  } capture{nullptr, 1, 2, 3, 4.0, 5.0};
+  static_assert(sizeof(capture) == 48);
+  InplaceFunction<std::uint64_t(), 64> fn(
+      [capture]() { return capture.a + capture.b + capture.c; });
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(fn(), 6u);
+}
+
+TEST(InplaceFunctionTest, OversizedCallableFallsBackToHeap) {
+  char big[128] = {7};
+  InplaceFunction<int(), 64> fn([big]() { return big[0]; });
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(fn(), 7);
+}
+
+TEST(InplaceFunctionTest, MoveTransfersTarget) {
+  auto counter = std::make_shared<int>(0);
+  InplaceFunction<void(), 64> a([counter] { ++*counter; });
+  InplaceFunction<void(), 64> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+  // use_count: one in b, one local — the moved-from a holds nothing.
+  EXPECT_EQ(counter.use_count(), 2);
+}
+
+TEST(InplaceFunctionTest, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(11);
+  InplaceFunction<int(), 64> fn([p = std::move(owned)]() { return *p; });
+  EXPECT_EQ(fn(), 11);
+}
+
+TEST(InplaceFunctionTest, WrapsStdFunction) {
+  std::function<int(int)> base = [](int v) { return v * 2; };
+  InplaceFunction<int(int), 64> fn(base);  // copies; base stays usable
+  EXPECT_TRUE(fn.is_inline());             // std::function is 32 bytes
+  EXPECT_EQ(fn(21), 42);
+  EXPECT_EQ(base(5), 10);
+}
+
+TEST(InplaceFunctionTest, DestroysTargetOnAssignment) {
+  auto counter = std::make_shared<int>(0);
+  InplaceFunction<void(), 64> fn([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  fn = InplaceFunction<void(), 64>([] {});
+  EXPECT_EQ(counter.use_count(), 1);  // old target destroyed
+}
+
+}  // namespace
+}  // namespace scan

@@ -1,0 +1,75 @@
+// Calendar-stress scenarios: the ScenarioOptions::stress_calendar knob
+// redraws the load axes into a regime of bursty simultaneous arrivals and
+// rapid idle-release churn — the worst case for the ladder calendar (deep
+// time-ties, dense near-future buckets, heavy lazy cancellation). Every
+// drawn scenario must still pass the invariant oracle and replay
+// bit-identically, with and without the fault knobs stacked on top.
+
+#include "scan/testkit/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scan/core/config.hpp"
+
+namespace scan::testkit {
+namespace {
+
+ScenarioOptions StressOptions() {
+  ScenarioOptions options;
+  options.stress_calendar = true;
+  return options;
+}
+
+TEST(CalendarStressScenarioTest, KnobRedrawsLoadAxesIntoBurstRegime) {
+  const ScenarioOptions options = StressOptions();
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const core::SimulationConfig config = DrawScenario(seed, options);
+    EXPECT_GE(config.mean_interarrival_tu, 0.05);
+    EXPECT_LT(config.mean_interarrival_tu, 0.5);
+    EXPECT_GE(config.mean_jobs_per_arrival, 8.0);
+    EXPECT_LT(config.mean_jobs_per_arrival, 24.0);
+    EXPECT_GE(config.idle_release_timeout.value(), 0.05);
+    EXPECT_LT(config.idle_release_timeout.value(), 0.5);
+    EXPECT_LE(config.duration.value(), 40.0);
+  }
+}
+
+TEST(CalendarStressScenarioTest, KnobOffLeavesCorpusUntouched) {
+  // The stress draws sit after every legacy draw, so disabling the knob
+  // must reproduce the historical scenario corpus exactly.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const core::SimulationConfig off = DrawScenario(seed);
+    const core::SimulationConfig on = DrawScenario(seed, StressOptions());
+    // Non-load axes are shared between the two draws...
+    EXPECT_EQ(off.allocation, on.allocation);
+    EXPECT_EQ(off.scaling, on.scaling);
+    EXPECT_EQ(off.reward_scheme, on.reward_scheme);
+    EXPECT_EQ(off.private_capacity_cores, on.private_capacity_cores);
+    EXPECT_EQ(off.base_seed, on.base_seed);
+    // ...and the load axes land in disjoint regimes.
+    EXPECT_GE(off.mean_interarrival_tu, 2.0);
+    EXPECT_LT(on.mean_interarrival_tu, 0.5);
+  }
+}
+
+TEST(CalendarStressScenarioTest, BurstScenariosPassOracleAndReplay) {
+  const auto results = StressSweep(0xCA7E9D41u, 4, StressOptions());
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok()) << result.Describe();
+    EXPECT_GT(result.events_checked, 0u);
+  }
+}
+
+TEST(CalendarStressScenarioTest, BurstPlusFaultScenariosPassOracle) {
+  ScenarioOptions options = StressOptions();
+  options.draw_fault_knobs = true;
+  options.check_determinism = false;  // the burst suite above covers replay
+  const auto results = StressSweep(0xCA7E9D42u, 3, options);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok()) << result.Describe();
+  }
+}
+
+}  // namespace
+}  // namespace scan::testkit
