@@ -12,9 +12,17 @@
 //
 // Table II of the paper gives the coefficients measured by profiling the
 // real GATK; PaperGatk() reproduces them exactly.
+//
+// Stages form a DAG: each stage lists the predecessor stages that must
+// complete before it becomes ready ("after" clauses in the PDL). The
+// legacy constructor builds the implicit linear chain (stage i after
+// stage i-1), so every pre-DAG call site keeps its exact behaviour.
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "scan/common/units.hpp"
@@ -34,12 +42,31 @@ struct StageCoefficients {
 /// The instance sizes offered by the simulated cloud (Table III).
 inline constexpr int kInstanceSizes[] = {1, 2, 4, 8, 16};
 
+/// Per-stage predecessor lists: deps[i] holds the stages that must finish
+/// before stage i is ready. Stages are in topological input order, so
+/// every entry of deps[i] is < i.
+using StageDeps = std::vector<std::vector<std::size_t>>;
+
 /// A multi-stage pipeline model.
 class PipelineModel {
  public:
-  /// Builds a model from per-stage coefficients. Throws std::invalid_argument
-  /// if empty or if any c is outside [0, 1].
+  /// Stage indices are packed with job ids into 8-bit task keys by both
+  /// engines, so a model holds at most this many stages.
+  static constexpr std::size_t kMaxStages = 256;
+
+  /// Builds a linear-chain model from per-stage coefficients (stage i
+  /// depends on stage i-1). Throws std::invalid_argument if empty or if
+  /// any c is outside [0, 1].
   explicit PipelineModel(std::vector<StageCoefficients> stages);
+
+  /// Builds a DAG model. `deps[i]` lists the predecessors of stage i (all
+  /// < i; deduplicated and sorted internally). `names` is empty or one
+  /// label per stage (cosmetic — excluded from Fingerprint()).
+  /// `time_scale`, when set, overrides SimulationConfig::stage_time_scale
+  /// for this pipeline (the compiled profile is then self-contained).
+  PipelineModel(std::vector<StageCoefficients> stages, StageDeps deps,
+                std::vector<std::string> names = {},
+                std::optional<double> time_scale = std::nullopt);
 
   /// The paper's 7-stage GATK pipeline (Table II).
   [[nodiscard]] static PipelineModel PaperGatk();
@@ -47,7 +74,8 @@ class PipelineModel {
   /// A copy with every stage's time coefficients (a, b) multiplied by
   /// `factor` (c is dimensionless and unchanged). Used to convert the
   /// profiling time unit of Table II into scheduler TUs — see
-  /// EXPERIMENTS.md, "unit calibration".
+  /// EXPERIMENTS.md, "unit calibration". Deps, names and time_scale are
+  /// carried over unchanged.
   [[nodiscard]] PipelineModel Scaled(double factor) const;
 
   [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
@@ -55,6 +83,26 @@ class PipelineModel {
   [[nodiscard]] const std::vector<StageCoefficients>& stages() const {
     return stages_;
   }
+
+  /// Predecessors of a stage (sorted ascending, all < index).
+  [[nodiscard]] const std::vector<std::size_t>& deps(std::size_t index) const;
+  /// Stages that list `index` as a predecessor (sorted ascending).
+  [[nodiscard]] const std::vector<std::size_t>& dependents(
+      std::size_t index) const;
+  /// True iff the DAG is exactly the legacy linear chain. Both engines and
+  /// the testkit oracle use this to keep single-path invariants strict.
+  [[nodiscard]] bool is_linear() const { return linear_; }
+  /// Stage label ("stageK", 1-based, unless the builder named it).
+  [[nodiscard]] const std::string& name(std::size_t index) const;
+  /// Per-pipeline time-unit calibration; nullopt = defer to the config.
+  [[nodiscard]] std::optional<double> time_scale() const {
+    return time_scale_;
+  }
+
+  /// FNV-1a digest over the stage coefficients' bit patterns, the DAG
+  /// edges, and the time-scale override. Names are cosmetic and excluded:
+  /// two models with equal fingerprints schedule identically.
+  [[nodiscard]] std::uint64_t Fingerprint() const;
 
   /// E_i(d): single-threaded time of stage `index` for first-stage input
   /// size d. Clamped below at 0 (stage 2's negative intercept can produce
@@ -68,8 +116,16 @@ class PipelineModel {
                                      DataSize d) const;
 
   /// Total pipeline time for input d with per-stage thread counts
-  /// (threads.size() must equal stage_count()).
+  /// (threads.size() must equal stage_count()). Sums every stage — the
+  /// serialized execution time, which for a DAG overstates latency; use
+  /// MakespanTime for the critical path.
   [[nodiscard]] SimTime PipelineTime(DataSize d,
+                                     std::span<const int> threads) const;
+
+  /// Critical-path latency of the DAG: each stage starts when its last
+  /// predecessor finishes. For a linear chain this accumulates in stage
+  /// order and is bit-identical to PipelineTime.
+  [[nodiscard]] SimTime MakespanTime(DataSize d,
                                      std::span<const int> threads) const;
 
   /// Total pipeline time with every stage single-threaded.
@@ -99,6 +155,11 @@ class PipelineModel {
 
  private:
   std::vector<StageCoefficients> stages_;
+  StageDeps deps_;
+  StageDeps dependents_;
+  std::vector<std::string> names_;
+  std::optional<double> time_scale_;
+  bool linear_ = true;
 };
 
 }  // namespace scan::gatk

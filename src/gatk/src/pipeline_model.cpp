@@ -1,16 +1,35 @@
 #include "scan/gatk/pipeline_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
 
+#include "scan/common/str.hpp"
+
 namespace scan::gatk {
 
 PipelineModel::PipelineModel(std::vector<StageCoefficients> stages)
-    : stages_(std::move(stages)) {
+    : PipelineModel(std::move(stages), StageDeps{}) {}
+
+PipelineModel::PipelineModel(std::vector<StageCoefficients> stages,
+                             StageDeps deps, std::vector<std::string> names,
+                             std::optional<double> time_scale)
+    : stages_(std::move(stages)),
+      deps_(std::move(deps)),
+      names_(std::move(names)),
+      time_scale_(time_scale) {
   if (stages_.empty()) {
     throw std::invalid_argument("PipelineModel: no stages");
+  }
+  if (deps_.empty()) {
+    // The implicit legacy topology: stage i after stage i-1.
+    deps_.resize(stages_.size());
+    for (std::size_t i = 1; i < stages_.size(); ++i) deps_[i] = {i - 1};
+  }
+  if (stages_.size() > kMaxStages) {
+    throw std::invalid_argument("PipelineModel: too many stages");
   }
   for (const StageCoefficients& s : stages_) {
     if (s.c < 0.0 || s.c > 1.0) {
@@ -18,6 +37,80 @@ PipelineModel::PipelineModel(std::vector<StageCoefficients> stages)
           "PipelineModel: Amdahl fraction c outside [0, 1]");
     }
   }
+  if (deps_.size() != stages_.size()) {
+    throw std::invalid_argument("PipelineModel: deps size mismatch");
+  }
+  if (names_.empty()) {
+    names_.reserve(stages_.size());
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      names_.push_back(StrFormat("stage%zu", i + 1));
+    }
+  } else if (names_.size() != stages_.size()) {
+    throw std::invalid_argument("PipelineModel: names size mismatch");
+  }
+  if (time_scale_ && *time_scale_ <= 0.0) {
+    throw std::invalid_argument("PipelineModel: time_scale must be > 0");
+  }
+  dependents_.assign(stages_.size(), {});
+  linear_ = deps_[0].empty();
+  for (std::size_t i = 0; i < deps_.size(); ++i) {
+    std::vector<std::size_t>& preds = deps_[i];
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    for (const std::size_t p : preds) {
+      if (p >= i) {
+        throw std::invalid_argument(
+            "PipelineModel: dependency not in topological order");
+      }
+      dependents_[p].push_back(i);
+    }
+    if (i > 0 && (preds.size() != 1 || preds[0] != i - 1)) linear_ = false;
+  }
+}
+
+const std::vector<std::size_t>& PipelineModel::deps(std::size_t index) const {
+  if (index >= deps_.size()) {
+    throw std::out_of_range("PipelineModel::deps: index out of range");
+  }
+  return deps_[index];
+}
+
+const std::vector<std::size_t>& PipelineModel::dependents(
+    std::size_t index) const {
+  if (index >= dependents_.size()) {
+    throw std::out_of_range("PipelineModel::dependents: index out of range");
+  }
+  return dependents_[index];
+}
+
+const std::string& PipelineModel::name(std::size_t index) const {
+  if (index >= names_.size()) {
+    throw std::out_of_range("PipelineModel::name: index out of range");
+  }
+  return names_[index];
+}
+
+std::uint64_t PipelineModel::Fingerprint() const {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (value >> shift) & 0xffu;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(stages_.size());
+  for (const StageCoefficients& s : stages_) {
+    mix(std::bit_cast<std::uint64_t>(s.a));
+    mix(std::bit_cast<std::uint64_t>(s.b));
+    mix(std::bit_cast<std::uint64_t>(s.c));
+  }
+  for (const std::vector<std::size_t>& preds : deps_) {
+    mix(preds.size());
+    for (const std::size_t p : preds) mix(p);
+  }
+  mix(time_scale_.has_value() ? 1 : 0);
+  mix(std::bit_cast<std::uint64_t>(time_scale_.value_or(0.0)));
+  return hash;
 }
 
 PipelineModel PipelineModel::PaperGatk() {
@@ -42,7 +135,7 @@ PipelineModel PipelineModel::Scaled(double factor) const {
     s.a *= factor;
     s.b *= factor;
   }
-  return PipelineModel(std::move(scaled));
+  return PipelineModel(std::move(scaled), deps_, names_, time_scale_);
 }
 
 const StageCoefficients& PipelineModel::stage(std::size_t index) const {
@@ -79,6 +172,26 @@ SimTime PipelineModel::PipelineTime(DataSize d,
     total += ThreadedTime(i, threads[i], d);
   }
   return total;
+}
+
+SimTime PipelineModel::MakespanTime(DataSize d,
+                                    std::span<const int> threads) const {
+  if (threads.size() != stages_.size()) {
+    throw std::invalid_argument(
+        "PipelineModel::MakespanTime: thread plan size mismatch");
+  }
+  // done[i] = earliest finish of stage i; topological input order makes a
+  // single forward pass sufficient. For a linear chain this reduces to the
+  // same left-fold accumulation as PipelineTime (bit-identical).
+  std::vector<double> done(stages_.size(), 0.0);
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    double start = 0.0;
+    for (const std::size_t p : deps_[i]) start = std::max(start, done[p]);
+    done[i] = start + ThreadedTime(i, threads[i], d).value();
+    makespan = std::max(makespan, done[i]);
+  }
+  return SimTime{makespan};
 }
 
 SimTime PipelineModel::SequentialPipelineTime(DataSize d) const {

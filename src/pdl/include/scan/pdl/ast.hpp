@@ -1,0 +1,73 @@
+#pragma once
+
+// Abstract syntax of a PDL program, position-annotated for diagnostics.
+// The AST stays close to the surface syntax; sema resolves names, checks
+// the `after` DAG, and the compiler lowers into gatk::PipelineModel.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scan/pdl/diagnostics.hpp"
+
+namespace scan::pdl {
+
+/// A referenced name with its source location.
+struct Identifier {
+  std::string name;
+  SourcePos pos;
+};
+
+/// `name = value;` — value is a number or a bare identifier (enums like
+/// `scheme = time_based`).
+struct Attribute {
+  std::string name;
+  SourcePos pos;  ///< of the attribute name
+  bool is_number = true;
+  double number = 0.0;
+  std::string ident;  ///< set when !is_number
+  SourcePos value_pos;
+};
+
+/// `shard = policy;` or `shard = policy(n);`
+struct ShardClause {
+  std::string policy;
+  std::optional<double> param;
+  SourcePos pos;  ///< of the `shard` keyword
+  SourcePos policy_pos;
+};
+
+/// `reward { ... }` or `faults { ... }`.
+struct BlockClause {
+  std::string name;
+  SourcePos pos;
+  std::vector<Attribute> attrs;
+};
+
+/// `stage name { attrs... after a, b; }`. Forward references in `after`
+/// are legal; sema resolves and topologically orders the stages.
+struct StageDecl {
+  std::string name;
+  SourcePos pos;
+  std::vector<Attribute> attrs;
+  bool has_after = false;
+  std::vector<Identifier> after;
+  SourcePos after_pos;  ///< of the `after` keyword; unset without one
+};
+
+/// One `pipeline "name" { ... }` program.
+struct PipelineDecl {
+  std::string name;
+  SourcePos pos;
+  std::vector<Attribute> attrs;  ///< pipeline-level, e.g. time_scale
+  std::optional<ShardClause> shard;
+  std::optional<BlockClause> reward;
+  std::optional<BlockClause> faults;
+  std::vector<StageDecl> stages;
+};
+
+/// Structural equality ignoring every SourcePos. Doubles are compared by
+/// bit pattern, so printer round-trip tests are exact.
+[[nodiscard]] bool AstEquals(const PipelineDecl& a, const PipelineDecl& b);
+
+}  // namespace scan::pdl

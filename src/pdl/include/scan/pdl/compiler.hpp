@@ -1,0 +1,57 @@
+#pragma once
+
+// The PDL compiler: lowers a parsed and checked program into the stage
+// model both engines consume (gatk::PipelineModel) plus the config
+// overrides the profile pins. One call turns `.pdl` text into something
+// core::Scheduler or runtime::RuntimePlatform can run directly — the
+// platform no longer assumes the hardcoded GATK chain.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scan/core/config.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/pdl/sema.hpp"
+
+namespace scan::pdl {
+
+/// A fully lowered pipeline profile.
+struct CompiledPipeline {
+  std::string name;
+  gatk::PipelineModel model;
+  ShardSpec shard;
+  RewardSpec reward;
+  FaultSpec faults;
+
+  /// Overwrites the config knobs this profile pins (reward scheme and
+  /// terms, fault-rate priors). Knobs the profile leaves unset keep the
+  /// caller's values. The stage model travels separately — pass `model`
+  /// to the engine's constructor.
+  void ApplyTo(core::SimulationConfig& config) const;
+
+  /// FNV-1a digest over everything that affects scheduling: the model
+  /// fingerprint, shard policy, and every reward / fault override. The
+  /// pipeline name is cosmetic and excluded.
+  [[nodiscard]] std::uint64_t Fingerprint() const;
+};
+
+struct CompileResult {
+  std::optional<CompiledPipeline> pipeline;
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool ok() const { return pipeline.has_value(); }
+};
+
+/// Compiles one PDL program (lex + parse + sema + lower). `file` labels
+/// diagnostics only.
+[[nodiscard]] CompileResult CompileString(std::string_view source,
+                                          std::string file = "<pdl>");
+
+/// Reads `path` and compiles it; an unreadable file is a diagnostic, not
+/// an exception.
+[[nodiscard]] CompileResult CompileFile(const std::string& path);
+
+}  // namespace scan::pdl

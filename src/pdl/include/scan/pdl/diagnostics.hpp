@@ -1,0 +1,35 @@
+#pragma once
+
+// Diagnostics for the SCAN pipeline-description language (PDL). Every
+// lexer / parser / sema error carries the source file and the 1-based
+// line:column where it was detected, and formats the way compilers do —
+// "file:line:col: error: message" — so editors can jump straight to it.
+
+#include <string>
+#include <vector>
+
+namespace scan::pdl {
+
+/// 1-based position inside a PDL source file.
+struct SourcePos {
+  int line = 1;
+  int column = 1;
+
+  friend bool operator==(const SourcePos&, const SourcePos&) = default;
+};
+
+/// One compiler error. PDL has no warnings: a profile either lowers
+/// exactly or is rejected, so severity is always "error".
+struct Diagnostic {
+  std::string file;
+  SourcePos pos;
+  std::string message;
+
+  [[nodiscard]] std::string Format() const;
+};
+
+/// All diagnostics, one per line, each in Format() form.
+[[nodiscard]] std::string FormatDiagnostics(
+    const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace scan::pdl

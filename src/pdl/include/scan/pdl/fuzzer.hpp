@@ -1,0 +1,38 @@
+#pragma once
+
+// PDL program fuzzer: draws random *valid* pipeline definitions — chain,
+// bag-of-tasks, fan-out/fan-in, and general DAG topologies — as source
+// text. Every drawn program compiles clean, so the testkit's scenario
+// fuzzer and the chaos parity harness can push arbitrary pipelines
+// through both engines without hand-writing profiles.
+//
+// Callers pass a dedicated named RandomStream (e.g. derived from the
+// scenario seed with its own stream name): the fuzzer's draw count varies
+// with the topology, and an isolated stream keeps it from perturbing any
+// pinned scenario corpus.
+
+#include <cstddef>
+#include <string>
+
+#include "scan/common/rng.hpp"
+
+namespace scan::pdl {
+
+struct FuzzOptions {
+  std::size_t min_stages = 2;
+  std::size_t max_stages = 10;
+  /// Draw a shard clause (advisory metadata; never perturbs scheduling).
+  bool draw_shard = true;
+  /// Draw a pipeline-level time_scale override.
+  bool draw_time_scale = true;
+  /// Reward / fault blocks override the config the harness pins, so
+  /// suites that fix their own config leave these off.
+  bool draw_reward = false;
+  bool draw_faults = false;
+};
+
+/// One random valid PDL program, as source text.
+[[nodiscard]] std::string DrawPipelineSource(RandomStream& rng,
+                                             const FuzzOptions& options = {});
+
+}  // namespace scan::pdl

@@ -1,0 +1,33 @@
+#pragma once
+
+// Hand-written single-pass PDL lexer. Whitespace and comments (both `#`
+// and `//` to end of line) are trivia. The lexer never throws: bad input
+// yields a kError token whose text explains the problem.
+
+#include <cstddef>
+#include <string_view>
+
+#include "scan/pdl/token.hpp"
+
+namespace scan::pdl {
+
+class Lexer {
+ public:
+  /// `source` must outlive the lexer; no copy is taken.
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  /// The next token; kEof forever once exhausted.
+  [[nodiscard]] Token Next();
+
+ private:
+  [[nodiscard]] char Peek(std::size_t ahead = 0) const;
+  char Advance();
+  void SkipTrivia();
+  [[nodiscard]] Token LexNumber();
+
+  std::string_view source_;
+  std::size_t offset_ = 0;
+  SourcePos pos_;
+};
+
+}  // namespace scan::pdl

@@ -1,0 +1,37 @@
+#pragma once
+
+// Recursive-descent parser for PDL.
+//
+// Grammar (keywords are contextual identifiers):
+//
+//   program    ::= "pipeline" STRING "{" item* "}"
+//   item       ::= stage | shard | block | attr
+//   stage      ::= "stage" IDENT "{" stage_item* "}"
+//   stage_item ::= "after" IDENT ("," IDENT)* ";" | attr
+//   shard      ::= "shard" "=" IDENT [ "(" NUMBER ")" ] ";"
+//   block      ::= ("reward" | "faults") "{" attr* "}"
+//   attr       ::= IDENT "=" (NUMBER | IDENT) ";"
+//
+// The parser stops at the first syntax error: one precise diagnostic
+// beats a cascade of follow-on confusion.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scan/pdl/ast.hpp"
+
+namespace scan::pdl {
+
+struct ParseResult {
+  std::optional<PipelineDecl> pipeline;
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool ok() const { return pipeline.has_value(); }
+};
+
+[[nodiscard]] ParseResult ParsePdl(std::string_view source,
+                                   std::string file = "<pdl>");
+
+}  // namespace scan::pdl

@@ -1,0 +1,19 @@
+#pragma once
+
+// Canonical PDL pretty-printer. The round-trip contract backing the
+// profile tests: ParsePdl(PrintPdl(ast)) reproduces `ast` under
+// AstEquals, with every double preserved bit for bit (numbers print in
+// shortest-round-trip form).
+
+#include <string>
+
+#include "scan/pdl/ast.hpp"
+
+namespace scan::pdl {
+
+/// Shortest decimal spelling that parses back to the same double bits.
+[[nodiscard]] std::string FormatPdlNumber(double value);
+
+[[nodiscard]] std::string PrintPdl(const PipelineDecl& ast);
+
+}  // namespace scan::pdl

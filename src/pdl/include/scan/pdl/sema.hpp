@@ -1,0 +1,88 @@
+#pragma once
+
+// Semantic analysis for PDL: attribute validation, duplicate / unknown
+// name checking over the `after` DAG, cycle detection, and the
+// declaration-order -> emission-order mapping the compiler lowers with.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/pdl/ast.hpp"
+#include "scan/workload/reward.hpp"
+
+namespace scan::pdl {
+
+/// How a compiled pipeline wants its input sharded into tasks. Advisory
+/// metadata for the platform's data broker — the scheduler itself is
+/// shard-agnostic, so the policy rides on CompiledPipeline instead of
+/// the stage model.
+enum class ShardPolicy : int { kNone, kFixed, kByRegion, kDynamic };
+
+[[nodiscard]] const char* ShardPolicyName(ShardPolicy policy);
+
+struct ShardSpec {
+  ShardPolicy policy = ShardPolicy::kNone;
+  int fanout = 0;  ///< fixed / by_region parameter; 0 otherwise
+
+  friend bool operator==(const ShardSpec&, const ShardSpec&) = default;
+};
+
+/// Reward / deadline terms. Unset fields defer to SimulationConfig; a
+/// `deadline` attribute lowers into r_penalty = r_max / deadline (the
+/// time-based scheme's break-even latency is r_max / r_penalty).
+struct RewardSpec {
+  std::optional<workload::RewardScheme> scheme;
+  std::optional<double> r_max;
+  std::optional<double> r_penalty;
+  std::optional<double> r_scale;
+};
+
+/// Fault-rate priors. Unset fields defer to the config's fault block.
+struct FaultSpec {
+  std::optional<double> crash_rate;  ///< -> worker_failure_rate
+  std::optional<double> straggle_rate;
+  std::optional<double> straggle_factor;
+  std::optional<double> flap_rate;
+  std::optional<double> checkpoint_interval;
+  std::optional<int> max_retries;
+  std::optional<double> backoff_base;
+  std::optional<double> backoff_multiplier;
+  std::optional<double> backoff_cap;
+  std::optional<int> breaker_threshold;
+  std::optional<double> breaker_cooldown;
+  std::optional<double> speculation_slowdown;
+};
+
+/// Stage cap of the DSL — far below the engines' 8-bit task-key limit,
+/// it keeps fuzzed programs and diagnostics tractable.
+inline constexpr std::size_t kMaxPdlStages = 64;
+
+/// Everything sema resolves from a parsed program. `order` maps emission
+/// position -> declaration index: the compiler emits stages in this
+/// order so PipelineModel's "every dep p < i" invariant holds. Kahn's
+/// algorithm with a smallest-declaration-index tie-break makes the order
+/// deterministic — and the identity whenever the declaration order is
+/// already topological (so gatk.pdl lowers to exactly PaperGatk's
+/// stage order).
+struct Analysis {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<std::size_t> order;
+  /// Declaration-indexed predecessor lists (deduplicated, sorted).
+  std::vector<std::vector<std::size_t>> deps;
+  /// Declaration-indexed coefficients.
+  std::vector<gatk::StageCoefficients> coeffs;
+  std::optional<double> time_scale;
+  ShardSpec shard;
+  RewardSpec reward;
+  FaultSpec faults;
+
+  [[nodiscard]] bool ok() const { return diagnostics.empty(); }
+};
+
+[[nodiscard]] Analysis Analyze(const PipelineDecl& ast,
+                               const std::string& file);
+
+}  // namespace scan::pdl

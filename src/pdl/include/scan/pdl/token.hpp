@@ -1,0 +1,39 @@
+#pragma once
+
+// Token stream of the PDL lexer. Keywords (pipeline, stage, after, shard,
+// reward, faults) are contextual identifiers — the parser gives them
+// meaning, the lexer does not reserve them.
+
+#include <string>
+
+#include "scan/pdl/diagnostics.hpp"
+
+namespace scan::pdl {
+
+enum class TokenKind : int {
+  kIdent,      ///< [A-Za-z_][A-Za-z0-9_]*
+  kString,     ///< double-quoted, no escapes
+  kNumber,     ///< decimal double, optional sign / fraction / exponent
+  kLBrace,     ///< {
+  kRBrace,     ///< }
+  kLParen,     ///< (
+  kRParen,     ///< )
+  kEquals,     ///< =
+  kSemicolon,  ///< ;
+  kComma,      ///< ,
+  kEof,
+  kError,  ///< lexing problem; the message rides in Token::text
+};
+
+[[nodiscard]] const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  /// Identifier spelling, string body, or — for kError — the problem.
+  std::string text;
+  /// Value when kind == kNumber.
+  double number = 0.0;
+  SourcePos pos;
+};
+
+}  // namespace scan::pdl

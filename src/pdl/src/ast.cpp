@@ -1,0 +1,71 @@
+#include "scan/pdl/ast.hpp"
+
+#include <bit>
+#include <cstdint>
+
+namespace scan::pdl {
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool AttrEquals(const Attribute& a, const Attribute& b) {
+  if (a.name != b.name || a.is_number != b.is_number) return false;
+  return a.is_number ? SameBits(a.number, b.number) : a.ident == b.ident;
+}
+
+bool AttrsEqual(const std::vector<Attribute>& a,
+                const std::vector<Attribute>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!AttrEquals(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+bool BlockEquals(const std::optional<BlockClause>& a,
+                 const std::optional<BlockClause>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return a->name == b->name && AttrsEqual(a->attrs, b->attrs);
+}
+
+bool StageEquals(const StageDecl& a, const StageDecl& b) {
+  if (a.name != b.name || a.has_after != b.has_after ||
+      a.after.size() != b.after.size() || !AttrsEqual(a.attrs, b.attrs)) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.after.size(); ++i) {
+    if (a.after[i].name != b.after[i].name) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool AstEquals(const PipelineDecl& a, const PipelineDecl& b) {
+  if (a.name != b.name || !AttrsEqual(a.attrs, b.attrs)) return false;
+  if (a.shard.has_value() != b.shard.has_value()) return false;
+  if (a.shard.has_value()) {
+    if (a.shard->policy != b.shard->policy ||
+        a.shard->param.has_value() != b.shard->param.has_value()) {
+      return false;
+    }
+    if (a.shard->param.has_value() &&
+        !SameBits(*a.shard->param, *b.shard->param)) {
+      return false;
+    }
+  }
+  if (!BlockEquals(a.reward, b.reward) || !BlockEquals(a.faults, b.faults)) {
+    return false;
+  }
+  if (a.stages.size() != b.stages.size()) return false;
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    if (!StageEquals(a.stages[i], b.stages[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace scan::pdl

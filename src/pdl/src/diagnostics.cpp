@@ -1,0 +1,21 @@
+#include "scan/pdl/diagnostics.hpp"
+
+#include "scan/common/str.hpp"
+
+namespace scan::pdl {
+
+std::string Diagnostic::Format() const {
+  return StrFormat("%s:%d:%d: error: %s", file.c_str(), pos.line, pos.column,
+                   message.c_str());
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    out += diagnostic.Format();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace scan::pdl

@@ -1,0 +1,142 @@
+#include "scan/pdl/fuzzer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "scan/common/str.hpp"
+#include "scan/pdl/printer.hpp"
+
+namespace scan::pdl {
+
+namespace {
+
+enum class Topology : int { kChain, kBag, kFanOutIn, kRandomDag };
+
+/// Predecessor lists (indices < i) for `n` stages under a drawn topology.
+std::vector<std::vector<std::size_t>> DrawDeps(RandomStream& rng,
+                                               std::size_t n) {
+  std::vector<std::vector<std::size_t>> deps(n);
+  const auto topology = static_cast<Topology>(rng.UniformBelow(4));
+  switch (topology) {
+    case Topology::kChain:
+      for (std::size_t i = 1; i < n; ++i) deps[i] = {i - 1};
+      break;
+    case Topology::kBag:
+      break;  // no edges: a pure bag of tasks
+    case Topology::kFanOutIn:
+      if (n < 3) {
+        for (std::size_t i = 1; i < n; ++i) deps[i] = {i - 1};
+        break;
+      }
+      // One splitter, n-2 parallel branches, one merger.
+      for (std::size_t i = 1; i + 1 < n; ++i) deps[i] = {0};
+      for (std::size_t i = 1; i + 1 < n; ++i) deps[n - 1].push_back(i);
+      break;
+    case Topology::kRandomDag:
+      for (std::size_t i = 1; i < n; ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+          if (rng.Uniform() < 2.0 / static_cast<double>(i + 1)) {
+            deps[i].push_back(j);
+          }
+        }
+        // Roots beyond stage 0 are legal but rare in real pipelines;
+        // usually chain onto the previous stage instead.
+        if (deps[i].empty() && rng.Uniform() < 0.8) deps[i] = {i - 1};
+      }
+      break;
+  }
+  return deps;
+}
+
+}  // namespace
+
+std::string DrawPipelineSource(RandomStream& rng, const FuzzOptions& options) {
+  const std::size_t lo = std::max<std::size_t>(1, options.min_stages);
+  const std::size_t hi = std::max(lo, options.max_stages);
+  const std::size_t n =
+      lo + rng.UniformBelow(static_cast<std::uint32_t>(hi - lo + 1));
+  const std::vector<std::vector<std::size_t>> deps = DrawDeps(rng, n);
+
+  std::string out =
+      StrFormat("pipeline \"fuzz-%zu\" {\n", n);
+  if (options.draw_time_scale && rng.Uniform() < 0.5) {
+    out += StrFormat("  time_scale = %s;\n",
+                     FormatPdlNumber(rng.Uniform(0.1, 0.6)).c_str());
+  }
+  if (options.draw_shard && rng.Uniform() < 0.5) {
+    switch (rng.UniformBelow(4)) {
+      case 0: out += "  shard = none;\n"; break;
+      case 1:
+        out += StrFormat("  shard = fixed(%u);\n", 2 + rng.UniformBelow(15));
+        break;
+      case 2:
+        out += StrFormat("  shard = by_region(%u);\n",
+                         2 + rng.UniformBelow(30));
+        break;
+      default: out += "  shard = dynamic;\n"; break;
+    }
+  }
+  if (options.draw_reward && rng.Uniform() < 0.5) {
+    const double r_max = rng.Uniform(100.0, 800.0);
+    out += "  reward {\n";
+    out += StrFormat("    scheme = %s;\n", rng.Uniform() < 0.5
+                                               ? "time_based"
+                                               : "throughput_based");
+    out += StrFormat("    r_max = %s;\n", FormatPdlNumber(r_max).c_str());
+    if (rng.Uniform() < 0.5) {
+      out += StrFormat("    deadline = %s;\n",
+                       FormatPdlNumber(rng.Uniform(10.0, 40.0)).c_str());
+    } else {
+      out += StrFormat("    r_penalty = %s;\n",
+                       FormatPdlNumber(rng.Uniform(5.0, 30.0)).c_str());
+    }
+    out += StrFormat("    r_scale = %s;\n",
+                     FormatPdlNumber(rng.Uniform(5000.0, 30000.0)).c_str());
+    out += "  }\n";
+  }
+  if (options.draw_faults && rng.Uniform() < 0.5) {
+    out += "  faults {\n";
+    out += StrFormat("    crash_rate = %s;\n",
+                     FormatPdlNumber(rng.Uniform(0.0, 0.05)).c_str());
+    if (rng.Uniform() < 0.5) {
+      out += StrFormat("    straggle_rate = %s;\n",
+                       FormatPdlNumber(rng.Uniform(0.05, 0.3)).c_str());
+      out += StrFormat("    straggle_factor = %s;\n",
+                       FormatPdlNumber(rng.Uniform(1.5, 4.0)).c_str());
+    }
+    if (rng.Uniform() < 0.5) {
+      out += StrFormat("    checkpoint_interval = %s;\n",
+                       FormatPdlNumber(rng.Uniform(0.2, 1.0)).c_str());
+    }
+    out += "  }\n";
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out += StrFormat("\n  stage s%zu {\n", i);
+    out += StrFormat("    a = %s;\n",
+                     FormatPdlNumber(rng.Uniform(0.05, 3.5)).c_str());
+    out += StrFormat("    b = %s;\n",
+                     FormatPdlNumber(rng.Uniform(-0.5, 8.0)).c_str());
+    const double parallel = rng.Uniform(0.0, 1.0);
+    if (rng.Uniform() < 0.25) {
+      out += StrFormat("    serial = %s;\n",
+                       FormatPdlNumber(1.0 - parallel).c_str());
+    } else {
+      out += StrFormat("    parallel = %s;\n",
+                       FormatPdlNumber(parallel).c_str());
+    }
+    if (!deps[i].empty()) {
+      out += "    after ";
+      for (std::size_t k = 0; k < deps[i].size(); ++k) {
+        if (k > 0) out += ", ";
+        out += StrFormat("s%zu", deps[i][k]);
+      }
+      out += ";\n";
+    }
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace scan::pdl

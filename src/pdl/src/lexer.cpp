@@ -1,0 +1,173 @@
+#include "scan/pdl/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "scan/common/str.hpp"
+
+namespace scan::pdl {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Printable rendering of a byte for "unexpected character" messages.
+std::string ShowChar(char c) {
+  if (std::isprint(static_cast<unsigned char>(c)) != 0) {
+    return StrFormat("'%c'", c);
+  }
+  return StrFormat("0x%02x", static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kEof: return "end of file";
+    case TokenKind::kError: return "invalid token";
+  }
+  return "token";
+}
+
+char Lexer::Peek(std::size_t ahead) const {
+  return offset_ + ahead < source_.size() ? source_[offset_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = source_[offset_++];
+  if (c == '\n') {
+    ++pos_.line;
+    pos_.column = 1;
+  } else {
+    ++pos_.column;
+  }
+  return c;
+}
+
+void Lexer::SkipTrivia() {
+  while (offset_ < source_.size()) {
+    const char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+    } else if (c == '#' || (c == '/' && Peek(1) == '/')) {
+      while (offset_ < source_.size() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::LexNumber() {
+  Token token;
+  token.kind = TokenKind::kNumber;
+  token.pos = pos_;
+  const std::size_t start = offset_;
+  if (Peek() == '-') Advance();
+  while (IsDigit(Peek())) Advance();
+  if (Peek() == '.') {
+    Advance();
+    if (!IsDigit(Peek())) {
+      token.kind = TokenKind::kError;
+      token.text = "malformed number: digit expected after '.'";
+      return token;
+    }
+    while (IsDigit(Peek())) Advance();
+  }
+  if (Peek() == 'e' || Peek() == 'E') {
+    Advance();
+    if (Peek() == '+' || Peek() == '-') Advance();
+    if (!IsDigit(Peek())) {
+      token.kind = TokenKind::kError;
+      token.text = "malformed number: digit expected in exponent";
+      return token;
+    }
+    while (IsDigit(Peek())) Advance();
+  }
+  const std::string_view spelled = source_.substr(start, offset_ - start);
+  const auto [ptr, ec] = std::from_chars(
+      spelled.data(), spelled.data() + spelled.size(), token.number);
+  if (ec != std::errc{} || ptr != spelled.data() + spelled.size()) {
+    token.kind = TokenKind::kError;
+    token.text =
+        StrFormat("malformed number '%.*s'",
+                  static_cast<int>(spelled.size()), spelled.data());
+  }
+  return token;
+}
+
+Token Lexer::Next() {
+  SkipTrivia();
+  Token token;
+  token.pos = pos_;
+  if (offset_ >= source_.size()) {
+    token.kind = TokenKind::kEof;
+    return token;
+  }
+
+  const char c = Peek();
+  if (IsIdentStart(c)) {
+    token.kind = TokenKind::kIdent;
+    const std::size_t start = offset_;
+    while (IsIdentBody(Peek())) Advance();
+    token.text.assign(source_.substr(start, offset_ - start));
+    return token;
+  }
+  if (IsDigit(c) || c == '.' || (c == '-' && (IsDigit(Peek(1)) || Peek(1) == '.'))) {
+    return LexNumber();
+  }
+  if (c == '"') {
+    Advance();
+    token.kind = TokenKind::kString;
+    const std::size_t start = offset_;
+    while (offset_ < source_.size() && Peek() != '"' && Peek() != '\n') {
+      Advance();
+    }
+    if (Peek() != '"') {
+      token.kind = TokenKind::kError;
+      token.text = "unterminated string";
+      return token;
+    }
+    token.text.assign(source_.substr(start, offset_ - start));
+    Advance();  // closing quote
+    return token;
+  }
+
+  switch (c) {
+    case '{': token.kind = TokenKind::kLBrace; break;
+    case '}': token.kind = TokenKind::kRBrace; break;
+    case '(': token.kind = TokenKind::kLParen; break;
+    case ')': token.kind = TokenKind::kRParen; break;
+    case '=': token.kind = TokenKind::kEquals; break;
+    case ';': token.kind = TokenKind::kSemicolon; break;
+    case ',': token.kind = TokenKind::kComma; break;
+    default:
+      token.kind = TokenKind::kError;
+      token.text = StrFormat("unexpected character %s", ShowChar(c).c_str());
+      Advance();
+      return token;
+  }
+  Advance();
+  return token;
+}
+
+}  // namespace scan::pdl

@@ -1,0 +1,269 @@
+#include "scan/pdl/parser.hpp"
+
+#include <utility>
+
+#include "scan/common/str.hpp"
+#include "scan/pdl/lexer.hpp"
+
+namespace scan::pdl {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string file)
+      : lexer_(source), file_(std::move(file)) {
+    Bump();
+  }
+
+  ParseResult Run() {
+    ParseResult result;
+    PipelineDecl pipeline;
+    if (ParsePipeline(pipeline) && ExpectEof()) {
+      result.pipeline = std::move(pipeline);
+    }
+    result.diagnostics = std::move(diagnostics_);
+    return result;
+  }
+
+ private:
+  void Bump() { current_ = lexer_.Next(); }
+
+  [[nodiscard]] bool At(TokenKind kind) const {
+    return current_.kind == kind;
+  }
+
+  /// True when the current token is the contextual keyword `word`.
+  [[nodiscard]] bool AtKeyword(const char* word) const {
+    return current_.kind == TokenKind::kIdent && current_.text == word;
+  }
+
+  void Error(std::string message) {
+    // The lexer's own message wins over "expected X got invalid token".
+    if (current_.kind == TokenKind::kError) message = current_.text;
+    diagnostics_.push_back(Diagnostic{file_, current_.pos, std::move(message)});
+  }
+
+  bool Expect(TokenKind kind, const char* context) {
+    if (!At(kind)) {
+      Error(StrFormat("expected %s %s, got %s", TokenKindName(kind), context,
+                      TokenKindName(current_.kind)));
+      return false;
+    }
+    Bump();
+    return true;
+  }
+
+  bool ExpectEof() {
+    if (!At(TokenKind::kEof)) {
+      Error(StrFormat("expected end of file after pipeline, got %s",
+                      TokenKindName(current_.kind)));
+      return false;
+    }
+    return true;
+  }
+
+  bool ParsePipeline(PipelineDecl& pipeline) {
+    pipeline.pos = current_.pos;
+    if (!AtKeyword("pipeline")) {
+      Error(StrFormat("expected 'pipeline', got %s",
+                      TokenKindName(current_.kind)));
+      return false;
+    }
+    Bump();
+    if (!At(TokenKind::kString)) {
+      Error(StrFormat("expected pipeline name string, got %s",
+                      TokenKindName(current_.kind)));
+      return false;
+    }
+    pipeline.name = current_.text;
+    Bump();
+    if (!Expect(TokenKind::kLBrace, "to open the pipeline body")) return false;
+    while (!At(TokenKind::kRBrace)) {
+      if (At(TokenKind::kEof) || At(TokenKind::kError)) {
+        Error("expected '}' to close the pipeline body");
+        return false;
+      }
+      if (!ParseItem(pipeline)) return false;
+    }
+    Bump();  // '}'
+    return true;
+  }
+
+  bool ParseItem(PipelineDecl& pipeline) {
+    if (AtKeyword("stage")) return ParseStage(pipeline);
+    if (AtKeyword("shard")) return ParseShard(pipeline);
+    if (AtKeyword("reward") || AtKeyword("faults")) {
+      return ParseBlock(pipeline);
+    }
+    if (At(TokenKind::kIdent)) {
+      Attribute attr;
+      if (!ParseAttribute(attr)) return false;
+      pipeline.attrs.push_back(std::move(attr));
+      return true;
+    }
+    Error(StrFormat("expected 'stage', 'shard', 'reward', 'faults', or an "
+                    "attribute, got %s",
+                    TokenKindName(current_.kind)));
+    return false;
+  }
+
+  bool ParseStage(PipelineDecl& pipeline) {
+    StageDecl stage;
+    stage.pos = current_.pos;
+    Bump();  // 'stage'
+    if (!At(TokenKind::kIdent)) {
+      Error(StrFormat("expected stage name, got %s",
+                      TokenKindName(current_.kind)));
+      return false;
+    }
+    stage.name = current_.text;
+    stage.pos = current_.pos;
+    Bump();
+    if (!Expect(TokenKind::kLBrace, "to open the stage body")) return false;
+    while (!At(TokenKind::kRBrace)) {
+      if (AtKeyword("after")) {
+        if (!ParseAfter(stage)) return false;
+      } else if (At(TokenKind::kIdent)) {
+        Attribute attr;
+        if (!ParseAttribute(attr)) return false;
+        stage.attrs.push_back(std::move(attr));
+      } else {
+        Error(StrFormat("expected an attribute, 'after', or '}' in stage "
+                        "'%s', got %s",
+                        stage.name.c_str(), TokenKindName(current_.kind)));
+        return false;
+      }
+    }
+    Bump();  // '}'
+    pipeline.stages.push_back(std::move(stage));
+    return true;
+  }
+
+  bool ParseAfter(StageDecl& stage) {
+    stage.has_after = true;
+    stage.after_pos = current_.pos;
+    Bump();  // 'after'
+    for (;;) {
+      if (!At(TokenKind::kIdent)) {
+        Error(StrFormat("expected a stage name in 'after' clause, got %s",
+                        TokenKindName(current_.kind)));
+        return false;
+      }
+      stage.after.push_back(Identifier{current_.text, current_.pos});
+      Bump();
+      if (At(TokenKind::kComma)) {
+        Bump();
+        continue;
+      }
+      break;
+    }
+    return Expect(TokenKind::kSemicolon, "after the 'after' clause");
+  }
+
+  bool ParseShard(PipelineDecl& pipeline) {
+    ShardClause shard;
+    shard.pos = current_.pos;
+    Bump();  // 'shard'
+    if (!Expect(TokenKind::kEquals, "after 'shard'")) return false;
+    if (!At(TokenKind::kIdent)) {
+      Error(StrFormat("expected a shard policy name, got %s",
+                      TokenKindName(current_.kind)));
+      return false;
+    }
+    shard.policy = current_.text;
+    shard.policy_pos = current_.pos;
+    Bump();
+    if (At(TokenKind::kLParen)) {
+      Bump();
+      if (!At(TokenKind::kNumber)) {
+        Error(StrFormat("expected a numeric shard parameter, got %s",
+                        TokenKindName(current_.kind)));
+        return false;
+      }
+      shard.param = current_.number;
+      Bump();
+      if (!Expect(TokenKind::kRParen, "after the shard parameter")) {
+        return false;
+      }
+    }
+    if (!Expect(TokenKind::kSemicolon, "after the shard clause")) return false;
+    if (pipeline.shard.has_value()) {
+      diagnostics_.push_back(
+          Diagnostic{file_, shard.pos, "duplicate 'shard' clause"});
+      return false;
+    }
+    pipeline.shard = std::move(shard);
+    return true;
+  }
+
+  bool ParseBlock(PipelineDecl& pipeline) {
+    BlockClause block;
+    block.name = current_.text;
+    block.pos = current_.pos;
+    Bump();  // 'reward' / 'faults'
+    if (!Expect(TokenKind::kLBrace, "to open the block")) return false;
+    while (!At(TokenKind::kRBrace)) {
+      if (!At(TokenKind::kIdent)) {
+        Error(StrFormat("expected an attribute or '}' in '%s' block, got %s",
+                        block.name.c_str(), TokenKindName(current_.kind)));
+        return false;
+      }
+      Attribute attr;
+      if (!ParseAttribute(attr)) return false;
+      block.attrs.push_back(std::move(attr));
+    }
+    Bump();  // '}'
+    std::optional<BlockClause>& slot =
+        block.name == "reward" ? pipeline.reward : pipeline.faults;
+    if (slot.has_value()) {
+      diagnostics_.push_back(Diagnostic{
+          file_, block.pos,
+          StrFormat("duplicate '%s' block", block.name.c_str())});
+      return false;
+    }
+    slot = std::move(block);
+    return true;
+  }
+
+  bool ParseAttribute(Attribute& attr) {
+    attr.name = current_.text;
+    attr.pos = current_.pos;
+    Bump();  // name
+    if (!Expect(TokenKind::kEquals, StrFormat("after attribute '%s'",
+                                              attr.name.c_str())
+                                        .c_str())) {
+      return false;
+    }
+    attr.value_pos = current_.pos;
+    if (At(TokenKind::kNumber)) {
+      attr.is_number = true;
+      attr.number = current_.number;
+      Bump();
+    } else if (At(TokenKind::kIdent)) {
+      attr.is_number = false;
+      attr.ident = current_.text;
+      Bump();
+    } else {
+      Error(StrFormat("expected a number or identifier value for '%s', "
+                      "got %s",
+                      attr.name.c_str(), TokenKindName(current_.kind)));
+      return false;
+    }
+    return Expect(TokenKind::kSemicolon,
+                  StrFormat("after attribute '%s'", attr.name.c_str()).c_str());
+  }
+
+  Lexer lexer_;
+  std::string file_;
+  Token current_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace
+
+ParseResult ParsePdl(std::string_view source, std::string file) {
+  return Parser(source, std::move(file)).Run();
+}
+
+}  // namespace scan::pdl

@@ -1,0 +1,448 @@
+#include "scan/pdl/sema.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "scan/common/str.hpp"
+
+namespace scan::pdl {
+
+namespace {
+
+/// Collects diagnostics against one file; every checker below reports
+/// through this.
+class Checker {
+ public:
+  Checker(const std::string& file, std::vector<Diagnostic>& out)
+      : file_(file), out_(out) {}
+
+  void Error(SourcePos pos, std::string message) {
+    out_.push_back(Diagnostic{file_, pos, std::move(message)});
+  }
+
+  /// Requires a numeric attribute value; reports and returns nullopt for
+  /// identifier values.
+  std::optional<double> Number(const Attribute& attr) {
+    if (!attr.is_number) {
+      Error(attr.value_pos,
+            StrFormat("attribute '%s' expects a number, got '%s'",
+                      attr.name.c_str(), attr.ident.c_str()));
+      return std::nullopt;
+    }
+    return attr.number;
+  }
+
+  /// Numeric value that must also lie in [lo, hi].
+  std::optional<double> NumberIn(const Attribute& attr, double lo, double hi) {
+    const std::optional<double> value = Number(attr);
+    if (value.has_value() && (*value < lo || *value > hi)) {
+      Error(attr.value_pos,
+            StrFormat("attribute '%s' must be within [%g, %g], got %g",
+                      attr.name.c_str(), lo, hi, *value));
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  /// Numeric value that must be strictly positive.
+  std::optional<double> PositiveNumber(const Attribute& attr) {
+    const std::optional<double> value = Number(attr);
+    if (value.has_value() && *value <= 0.0) {
+      Error(attr.value_pos,
+            StrFormat("attribute '%s' must be positive, got %g",
+                      attr.name.c_str(), *value));
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  /// Numeric value that must be >= 0.
+  std::optional<double> NonNegativeNumber(const Attribute& attr) {
+    const std::optional<double> value = Number(attr);
+    if (value.has_value() && *value < 0.0) {
+      Error(attr.value_pos,
+            StrFormat("attribute '%s' must not be negative, got %g",
+                      attr.name.c_str(), *value));
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  /// Numeric value that must be a whole number in [0, 1e6]; returns int.
+  std::optional<int> CountNumber(const Attribute& attr) {
+    const std::optional<double> value = Number(attr);
+    if (!value.has_value()) return std::nullopt;
+    if (*value < 0.0 || *value > 1e6 || *value != std::floor(*value)) {
+      Error(attr.value_pos,
+            StrFormat("attribute '%s' must be a non-negative integer, got %g",
+                      attr.name.c_str(), *value));
+      return std::nullopt;
+    }
+    return static_cast<int>(*value);
+  }
+
+  /// Flags the second occurrence of an attribute name inside one scope.
+  bool CheckDuplicate(const Attribute& attr, const char* scope,
+                      std::vector<std::string>& seen) {
+    if (std::find(seen.begin(), seen.end(), attr.name) != seen.end()) {
+      Error(attr.pos, StrFormat("duplicate attribute '%s' in %s",
+                                attr.name.c_str(), scope));
+      return true;
+    }
+    seen.push_back(attr.name);
+    return false;
+  }
+
+ private:
+  const std::string& file_;
+  std::vector<Diagnostic>& out_;
+};
+
+void AnalyzePipelineAttrs(const PipelineDecl& ast, Checker& check,
+                          Analysis& analysis) {
+  std::vector<std::string> seen;
+  for (const Attribute& attr : ast.attrs) {
+    if (check.CheckDuplicate(attr, "pipeline", seen)) continue;
+    if (attr.name == "time_scale") {
+      analysis.time_scale = check.PositiveNumber(attr);
+    } else {
+      check.Error(attr.pos,
+                  StrFormat("unknown pipeline attribute '%s' (expected "
+                            "'time_scale')",
+                            attr.name.c_str()));
+    }
+  }
+}
+
+void AnalyzeShard(const PipelineDecl& ast, Checker& check,
+                  Analysis& analysis) {
+  if (!ast.shard.has_value()) return;
+  const ShardClause& shard = *ast.shard;
+  const bool takes_param =
+      shard.policy == "fixed" || shard.policy == "by_region";
+  if (shard.policy == "none") {
+    analysis.shard.policy = ShardPolicy::kNone;
+  } else if (shard.policy == "fixed") {
+    analysis.shard.policy = ShardPolicy::kFixed;
+  } else if (shard.policy == "by_region") {
+    analysis.shard.policy = ShardPolicy::kByRegion;
+  } else if (shard.policy == "dynamic") {
+    analysis.shard.policy = ShardPolicy::kDynamic;
+  } else {
+    check.Error(shard.policy_pos,
+                StrFormat("unknown shard policy '%s' (expected none, "
+                          "fixed(n), by_region(n), or dynamic)",
+                          shard.policy.c_str()));
+    return;
+  }
+  if (takes_param) {
+    if (!shard.param.has_value()) {
+      check.Error(shard.policy_pos,
+                  StrFormat("shard policy '%s' requires a fan-out "
+                            "parameter, e.g. %s(4)",
+                            shard.policy.c_str(), shard.policy.c_str()));
+      return;
+    }
+    const double param = *shard.param;
+    if (param < 1.0 || param > 4096.0 || param != std::floor(param)) {
+      check.Error(shard.policy_pos,
+                  StrFormat("shard fan-out must be an integer in [1, 4096], "
+                            "got %g",
+                            param));
+      return;
+    }
+    analysis.shard.fanout = static_cast<int>(param);
+  } else if (shard.param.has_value()) {
+    check.Error(shard.policy_pos,
+                StrFormat("shard policy '%s' takes no parameter",
+                          shard.policy.c_str()));
+  }
+}
+
+void AnalyzeReward(const PipelineDecl& ast, Checker& check,
+                   Analysis& analysis) {
+  if (!ast.reward.has_value()) return;
+  std::vector<std::string> seen;
+  std::optional<double> deadline;
+  SourcePos deadline_pos;
+  const Attribute* penalty_attr = nullptr;
+  RewardSpec& reward = analysis.reward;
+  for (const Attribute& attr : ast.reward->attrs) {
+    if (check.CheckDuplicate(attr, "'reward' block", seen)) continue;
+    if (attr.name == "scheme") {
+      if (attr.is_number) {
+        check.Error(attr.value_pos,
+                    "attribute 'scheme' expects time_based or "
+                    "throughput_based");
+      } else if (attr.ident == "time_based") {
+        reward.scheme = workload::RewardScheme::kTimeBased;
+      } else if (attr.ident == "throughput_based") {
+        reward.scheme = workload::RewardScheme::kThroughputBased;
+      } else {
+        check.Error(attr.value_pos,
+                    StrFormat("unknown reward scheme '%s' (expected "
+                              "time_based or throughput_based)",
+                              attr.ident.c_str()));
+      }
+    } else if (attr.name == "r_max") {
+      reward.r_max = check.PositiveNumber(attr);
+    } else if (attr.name == "r_penalty") {
+      reward.r_penalty = check.NonNegativeNumber(attr);
+      penalty_attr = &attr;
+    } else if (attr.name == "r_scale") {
+      reward.r_scale = check.PositiveNumber(attr);
+    } else if (attr.name == "deadline") {
+      deadline = check.PositiveNumber(attr);
+      deadline_pos = attr.pos;
+    } else {
+      check.Error(attr.pos,
+                  StrFormat("unknown reward attribute '%s' (expected "
+                            "scheme, r_max, r_penalty, r_scale, or "
+                            "deadline)",
+                            attr.name.c_str()));
+    }
+  }
+  if (deadline.has_value()) {
+    if (penalty_attr != nullptr) {
+      check.Error(deadline_pos,
+                  "reward block sets both 'deadline' and 'r_penalty'; "
+                  "a deadline lowers into r_penalty = r_max / deadline");
+    } else if (!reward.r_max.has_value()) {
+      check.Error(deadline_pos,
+                  "'deadline' needs 'r_max' to lower into a penalty rate");
+    } else {
+      // Lowering: the time-based reward r_max - r_penalty * latency hits
+      // zero exactly at the deadline.
+      reward.r_penalty = *reward.r_max / *deadline;
+    }
+  }
+}
+
+void AnalyzeFaults(const PipelineDecl& ast, Checker& check,
+                   Analysis& analysis) {
+  if (!ast.faults.has_value()) return;
+  std::vector<std::string> seen;
+  FaultSpec& faults = analysis.faults;
+  for (const Attribute& attr : ast.faults->attrs) {
+    if (check.CheckDuplicate(attr, "'faults' block", seen)) continue;
+    if (attr.name == "crash_rate") {
+      faults.crash_rate = check.NumberIn(attr, 0.0, 1.0);
+    } else if (attr.name == "straggle_rate") {
+      faults.straggle_rate = check.NumberIn(attr, 0.0, 1.0);
+    } else if (attr.name == "straggle_factor") {
+      faults.straggle_factor = check.PositiveNumber(attr);
+    } else if (attr.name == "flap_rate") {
+      faults.flap_rate = check.NonNegativeNumber(attr);
+    } else if (attr.name == "checkpoint_interval") {
+      faults.checkpoint_interval = check.NonNegativeNumber(attr);
+    } else if (attr.name == "max_retries") {
+      faults.max_retries = check.CountNumber(attr);
+    } else if (attr.name == "backoff_base") {
+      faults.backoff_base = check.NonNegativeNumber(attr);
+    } else if (attr.name == "backoff_multiplier") {
+      faults.backoff_multiplier = check.PositiveNumber(attr);
+    } else if (attr.name == "backoff_cap") {
+      faults.backoff_cap = check.NonNegativeNumber(attr);
+    } else if (attr.name == "breaker_threshold") {
+      faults.breaker_threshold = check.CountNumber(attr);
+    } else if (attr.name == "breaker_cooldown") {
+      faults.breaker_cooldown = check.NonNegativeNumber(attr);
+    } else if (attr.name == "speculation_slowdown") {
+      const std::optional<double> value = check.Number(attr);
+      if (value.has_value() && *value != 0.0 && *value <= 1.0) {
+        check.Error(attr.value_pos,
+                    StrFormat("attribute 'speculation_slowdown' must be 0 "
+                              "(off) or greater than 1, got %g",
+                              *value));
+      } else {
+        faults.speculation_slowdown = value;
+      }
+    } else {
+      check.Error(attr.pos, StrFormat("unknown fault attribute '%s'",
+                                      attr.name.c_str()));
+    }
+  }
+}
+
+void AnalyzeStage(const StageDecl& stage, Checker& check,
+                  gatk::StageCoefficients& coeffs) {
+  std::vector<std::string> seen;
+  const char* scope = stage.name.c_str();
+  bool has_a = false;
+  const Attribute* parallel_attr = nullptr;
+  const Attribute* serial_attr = nullptr;
+  for (const Attribute& attr : stage.attrs) {
+    if (check.CheckDuplicate(
+            attr, StrFormat("stage '%s'", scope).c_str(), seen)) {
+      continue;
+    }
+    if (attr.name == "a") {
+      const std::optional<double> value = check.NonNegativeNumber(attr);
+      if (value.has_value()) {
+        coeffs.a = *value;
+        has_a = true;
+      }
+    } else if (attr.name == "b") {
+      // Table II's stage 2 has a negative intercept; the model clamps
+      // E_i(d) below at zero, so negative b is legal here too.
+      const std::optional<double> value = check.Number(attr);
+      if (value.has_value()) coeffs.b = *value;
+    } else if (attr.name == "parallel") {
+      const std::optional<double> value = check.NumberIn(attr, 0.0, 1.0);
+      if (value.has_value()) {
+        coeffs.c = *value;
+        parallel_attr = &attr;
+      }
+    } else if (attr.name == "serial") {
+      const std::optional<double> value = check.NumberIn(attr, 0.0, 1.0);
+      if (value.has_value()) {
+        coeffs.c = 1.0 - *value;
+        serial_attr = &attr;
+      }
+    } else {
+      check.Error(attr.pos,
+                  StrFormat("unknown stage attribute '%s' in stage '%s' "
+                            "(expected a, b, parallel, or serial)",
+                            attr.name.c_str(), scope));
+    }
+  }
+  if (parallel_attr != nullptr && serial_attr != nullptr) {
+    check.Error(serial_attr->pos,
+                StrFormat("stage '%s' sets both 'parallel' and 'serial'; "
+                          "they are complements — pick one",
+                          scope));
+  }
+  if (!has_a) {
+    check.Error(stage.pos,
+                StrFormat("stage '%s' is missing required attribute 'a' "
+                          "(time per unit input)",
+                          scope));
+  }
+}
+
+/// Resolves `after` names to declaration indices and topologically orders
+/// the stages (Kahn; smallest declaration index first, so an already
+/// topological declaration order maps to itself).
+void AnalyzeDag(const PipelineDecl& ast, Checker& check, Analysis& analysis) {
+  const std::size_t n = ast.stages.size();
+  std::unordered_map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < n; ++i) {
+    const StageDecl& stage = ast.stages[i];
+    if (!index_of.emplace(stage.name, i).second) {
+      check.Error(stage.pos, StrFormat("duplicate stage '%s'",
+                                       stage.name.c_str()));
+    }
+  }
+
+  analysis.deps.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    const StageDecl& stage = ast.stages[i];
+    for (const Identifier& dep : stage.after) {
+      const auto it = index_of.find(dep.name);
+      if (it == index_of.end()) {
+        check.Error(dep.pos,
+                    StrFormat("unknown stage '%s' in 'after' clause of "
+                              "stage '%s'",
+                              dep.name.c_str(), stage.name.c_str()));
+        continue;
+      }
+      if (it->second == i) {
+        check.Error(dep.pos, StrFormat("stage '%s' depends on itself",
+                                       stage.name.c_str()));
+        continue;
+      }
+      std::vector<std::size_t>& deps = analysis.deps[i];
+      if (std::find(deps.begin(), deps.end(), it->second) != deps.end()) {
+        check.Error(dep.pos,
+                    StrFormat("duplicate dependency '%s' in 'after' clause "
+                              "of stage '%s'",
+                              dep.name.c_str(), stage.name.c_str()));
+        continue;
+      }
+      deps.push_back(it->second);
+    }
+    std::sort(analysis.deps[i].begin(), analysis.deps[i].end());
+  }
+
+  // Kahn's algorithm over declaration indices. O(n^2) scans are fine at
+  // the DSL's 64-stage cap and keep the smallest-index tie-break obvious.
+  std::vector<std::size_t> remaining(n, 0);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = analysis.deps[i].size();
+  std::vector<bool> emitted(n, false);
+  analysis.order.clear();
+  analysis.order.reserve(n);
+  for (;;) {
+    std::size_t next = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!emitted[i] && remaining[i] == 0) {
+        next = i;
+        break;
+      }
+    }
+    if (next == n) break;
+    emitted[next] = true;
+    analysis.order.push_back(next);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (emitted[i]) continue;
+      const std::vector<std::size_t>& deps = analysis.deps[i];
+      if (std::find(deps.begin(), deps.end(), next) != deps.end()) {
+        --remaining[i];
+      }
+    }
+  }
+  if (analysis.order.size() != n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!emitted[i]) {
+        check.Error(ast.stages[i].after_pos,
+                    StrFormat("dependency cycle involving stage '%s'",
+                              ast.stages[i].name.c_str()));
+        break;  // one cycle report; the rest would repeat the same loop
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* ShardPolicyName(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kNone: return "none";
+    case ShardPolicy::kFixed: return "fixed";
+    case ShardPolicy::kByRegion: return "by_region";
+    case ShardPolicy::kDynamic: return "dynamic";
+  }
+  return "none";
+}
+
+Analysis Analyze(const PipelineDecl& ast, const std::string& file) {
+  Analysis analysis;
+  Checker check(file, analysis.diagnostics);
+
+  if (ast.stages.empty()) {
+    check.Error(ast.pos, StrFormat("pipeline \"%s\" declares no stages",
+                                   ast.name.c_str()));
+  }
+  if (ast.stages.size() > kMaxPdlStages) {
+    check.Error(ast.pos,
+                StrFormat("pipeline \"%s\" declares %zu stages; the cap "
+                          "is %zu",
+                          ast.name.c_str(), ast.stages.size(),
+                          kMaxPdlStages));
+    return analysis;
+  }
+
+  AnalyzePipelineAttrs(ast, check, analysis);
+  AnalyzeShard(ast, check, analysis);
+  AnalyzeReward(ast, check, analysis);
+  AnalyzeFaults(ast, check, analysis);
+
+  analysis.coeffs.assign(ast.stages.size(), gatk::StageCoefficients{});
+  for (std::size_t i = 0; i < ast.stages.size(); ++i) {
+    AnalyzeStage(ast.stages[i], check, analysis.coeffs[i]);
+  }
+  AnalyzeDag(ast, check, analysis);
+  return analysis;
+}
+
+}  // namespace scan::pdl

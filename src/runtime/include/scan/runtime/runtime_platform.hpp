@@ -121,19 +121,26 @@ class RuntimePlatform {
 
  private:
   // --- mirrored Scheduler bookkeeping (see scheduler.cpp) ---
-  struct JobState {
-    std::uint64_t id = 0;
-    DataSize size{0.0};
-    SimTime arrival{0.0};
-    std::size_t stage = 0;
-    core::ThreadPlan plan;
+  /// One stage of one job (mirrors core::Scheduler::StageTask).
+  struct StageTaskState {
     SimTime enqueued_at{0.0};
-    int retries = 0;
+    std::size_t remaining_deps = 0;
+    bool completed = false;
     double stage_done = 0.0;
     std::uint64_t epoch = 0;
     int active = 0;
     bool in_backoff = false;
     bool speculated = false;
+  };
+
+  struct JobState {
+    std::uint64_t id = 0;
+    DataSize size{0.0};
+    SimTime arrival{0.0};
+    core::ThreadPlan plan;
+    int retries = 0;
+    std::size_t stages_remaining = 0;
+    std::vector<StageTaskState> tasks;
   };
 
   struct WorkerBook {
@@ -143,6 +150,7 @@ class RuntimePlatform {
     int threads = 0;
     bool busy = false;
     std::uint64_t current_job = 0;
+    std::size_t current_stage = 0;
     SimTime busy_until{0.0};
     SimTime idle_since{0.0};
     SimTime busy_accumulated{0.0};
@@ -175,9 +183,10 @@ class RuntimePlatform {
   /// completion message is drained and discarded.
   struct TicketState {
     std::uint64_t job_id = 0;
+    std::size_t stage = 0;
     std::uint64_t worker_key = 0;
     bool orphaned = false;
-    /// Job epoch the assignment started under (stale-result detection).
+    /// Task epoch the assignment started under (stale-result detection).
     std::uint64_t epoch = 0;
     /// Straggle overrun beyond the planned end (0 normally), passed to
     /// OnTaskComplete by the wall-clock completion path.
@@ -211,23 +220,34 @@ class RuntimePlatform {
   void DrainInFlight();
 
   // --- mirrored Scheduler mechanics ---
+  /// Key into speculative_queued_: one (job, stage) task. Stage fits 8
+  /// bits (PipelineModel::kMaxStages).
+  [[nodiscard]] static std::uint64_t TaskKey(std::uint64_t job_id,
+                                             std::size_t stage) {
+    return (job_id << 8) | static_cast<std::uint64_t>(stage);
+  }
   void OnBatchArrival(const workload::ArrivalBatch& batch);
-  void EnqueueJob(std::uint64_t job_id);
+  void EnqueueTask(std::uint64_t job_id, std::size_t stage);
   void TryDispatchAll();
   bool TryDispatchHead(std::size_t stage);
   void AssignTask(std::uint64_t job_id, std::size_t stage,
                   WorkerBook& worker, SimTime start_time);
-  void OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
-                      std::uint64_t epoch, SimTime extra);
-  void OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key,
-                       std::uint64_t epoch, SimTime start_time,
-                       SimTime planned_exec);
-  void OnWorkerFlap(std::uint64_t job_id, std::uint64_t worker_key,
-                    std::uint64_t epoch, SimTime start_time,
-                    SimTime planned_exec);
-  void HandleTaskLoss(JobState& job, SimTime served, SimTime planned_exec);
-  void OnSpeculationCheck(std::uint64_t job_id, std::uint64_t epoch,
-                          std::uint64_t worker_key,
+  void OnTaskComplete(std::uint64_t job_id, std::size_t stage,
+                      std::uint64_t worker_key, std::uint64_t epoch,
+                      SimTime extra);
+  void OnWorkerFailure(std::uint64_t job_id, std::size_t stage,
+                       std::uint64_t worker_key, std::uint64_t epoch,
+                       SimTime start_time, SimTime planned_exec);
+  void OnWorkerFlap(std::uint64_t job_id, std::size_t stage,
+                    std::uint64_t worker_key, std::uint64_t epoch,
+                    SimTime start_time, SimTime planned_exec);
+  void HandleTaskLoss(JobState& job, std::size_t stage, SimTime served,
+                      SimTime planned_exec);
+  /// Drops the job from every queue and the job table (retry budget
+  /// exhausted). A DAG job may hold ready entries on parallel branches.
+  void AbandonJob(std::uint64_t job_id);
+  void OnSpeculationCheck(std::uint64_t job_id, std::size_t stage,
+                          std::uint64_t epoch, std::uint64_t worker_key,
                           std::uint64_t assignment_seq);
   void ScheduleIdleRelease(std::uint64_t worker_key);
   void RecordWorkerUtilization(const WorkerBook& worker, SimTime now);
@@ -270,6 +290,8 @@ class RuntimePlatform {
   fault::FaultInjector injector_;  ///< owns the "worker-failures" RNG
   fault::RetryPolicy retry_;
   fault::WorkerHealthTracker health_;
+  /// TaskKeys whose queue entry is a speculative straggler copy (at most
+  /// one per task).
   std::unordered_set<std::uint64_t> speculative_queued_;
   std::uint64_t next_assignment_seq_ = 1;
   core::RunMetrics metrics_;

@@ -214,7 +214,8 @@ void RuntimePlatform::HandleWallCompletion(const TaskCompletion& completion) {
   const TicketState state = it->second;
   in_flight_.erase(it);
   if (state.orphaned) return;  // its worker crashed; the result is lost
-  OnTaskComplete(state.job_id, state.worker_key, state.epoch, state.extra);
+  OnTaskComplete(state.job_id, state.stage, state.worker_key, state.epoch,
+                 state.extra);
 }
 
 void RuntimePlatform::WallFailureDue(std::uint64_t ticket) {
@@ -224,8 +225,8 @@ void RuntimePlatform::WallFailureDue(std::uint64_t ticket) {
   if (it == in_flight_.end() || it->second.orphaned) return;
   it->second.orphaned = true;
   const TicketState state = it->second;
-  OnWorkerFailure(state.job_id, state.worker_key, state.epoch, state.start,
-                  state.planned_exec);
+  OnWorkerFailure(state.job_id, state.stage, state.worker_key, state.epoch,
+                  state.start, state.planned_exec);
 }
 
 void RuntimePlatform::WallFlapDue(std::uint64_t ticket) {
@@ -235,8 +236,8 @@ void RuntimePlatform::WallFlapDue(std::uint64_t ticket) {
   if (it == in_flight_.end() || it->second.orphaned) return;
   it->second.orphaned = true;
   const TicketState state = it->second;
-  OnWorkerFlap(state.job_id, state.worker_key, state.epoch, state.start,
-               state.planned_exec);
+  OnWorkerFlap(state.job_id, state.stage, state.worker_key, state.epoch,
+               state.start, state.planned_exec);
 }
 
 void RuntimePlatform::DrainInFlight() {
@@ -263,15 +264,24 @@ void RuntimePlatform::OnBatchArrival(const workload::ArrivalBatch& batch) {
       obs::TraceEmit(obs::EventKind::kJobArrival, Now().value(), 0, job.id, 0,
                      job.size.value());
     }
+    const gatk::PipelineModel& model = policy_.model();
     JobState state;
     state.id = job.id;
     state.size = job.size;
     state.arrival = job.arrival;
-    state.stage = 0;
     state.plan = policy_.PlanFor(job.size);
+    state.stages_remaining = model.stage_count();
+    state.tasks.resize(model.stage_count());
+    for (std::size_t stage = 0; stage < model.stage_count(); ++stage) {
+      state.tasks[stage].remaining_deps = model.deps(stage).size();
+    }
     if (obs::AuditEnabled()) AuditPlan(job.id, job.size, state.plan);
     jobs_.emplace(job.id, std::move(state));
-    EnqueueJob(job.id);
+    // Every zero-in-degree stage is ready on arrival (stage 0 alone for
+    // the linear chain; all of them for a bag of tasks).
+    for (std::size_t stage = 0; stage < model.stage_count(); ++stage) {
+      if (model.deps(stage).empty()) EnqueueTask(job.id, stage);
+    }
   }
   TryDispatchAll();
 }
@@ -330,13 +340,14 @@ void RuntimePlatform::AuditHire(obs::HireChoice choice, std::size_t stage,
   obs::DecisionAudit::Global().RecordHire(rec);
 }
 
-void RuntimePlatform::EnqueueJob(std::uint64_t job_id) {
+void RuntimePlatform::EnqueueTask(std::uint64_t job_id, std::size_t stage) {
   JobState& job = jobs_.at(job_id);
-  job.enqueued_at = Now();
-  queues_[job.stage].push_back(job_id);
+  StageTaskState& task = job.tasks[stage];
+  task.enqueued_at = Now();
+  queues_[stage].push_back(job_id);
   if (obs::TraceEnabled()) {
-    obs::TraceEmit(obs::EventKind::kQueueEnqueue, job.enqueued_at.value(), 0,
-                   job_id, job.stage);
+    obs::TraceEmit(obs::EventKind::kQueueEnqueue, task.enqueued_at.value(), 0,
+                   job_id, stage);
   }
   if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(1.0);
 }
@@ -516,9 +527,11 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
 void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
                                  WorkerBook& worker, SimTime start_time) {
   JobState& job = jobs_.at(job_id);
-  const bool speculative = speculative_queued_.erase(job_id) > 0;
+  StageTaskState& task = job.tasks[stage];
+  const bool speculative =
+      speculative_queued_.erase(TaskKey(job_id, stage)) > 0;
   const SimTime now = Now();
-  const SimTime wait = now - job.enqueued_at;
+  const SimTime wait = now - task.enqueued_at;
   policy_.ObserveQueueWait(stage, wait);
   metrics_.queue_wait.Add(wait.value());
   metrics_.stage_queue_wait[stage].Add(wait.value());
@@ -537,17 +550,18 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   // Checkpoint resume (mirrors scheduler.cpp, including the bit-identical
   // no-checkpoint branch).
   SimTime exec = full_exec;
-  if (job.stage_done > 0.0) {
-    exec = SimTime{full_exec.value() * (1.0 - job.stage_done)};
+  if (task.stage_done > 0.0) {
+    exec = SimTime{full_exec.value() * (1.0 - task.stage_done)};
   }
   const SimTime done_at = start_time + exec;
   worker.busy = true;
   worker.current_job = job_id;
+  worker.current_stage = stage;
   worker.busy_until = done_at;
   worker.busy_accumulated += exec;
-  worker.assignment_epoch = job.epoch;
+  worker.assignment_epoch = task.epoch;
   worker.assignment_seq = next_assignment_seq_++;
-  ++job.active;
+  ++task.active;
   const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
   index_.PushBusy(done_at.value(), worker_key, worker.assignment_seq);
   if (obs::TraceEnabled()) {
@@ -580,22 +594,22 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   // sleep).
   const SimTime actual_exec = fate.actual_end - start_time;
   const SimTime extra = fate.actual_end - done_at;
-  const std::uint64_t epoch = job.epoch;
+  const std::uint64_t epoch = task.epoch;
   const std::uint64_t ticket = next_ticket_++;
   in_flight_.emplace(
-      ticket, TicketState{job_id, worker_key, false, epoch, extra, start_time,
-                          exec});
+      ticket, TicketState{job_id, stage, worker_key, false, epoch, extra,
+                          start_time, exec});
   ++unconsumed_;
   ++stage_tasks_dispatched_;
-  StageTask task;
-  task.ticket = ticket;
-  task.slices = worker.threads;
+  StageTask phys_task;
+  phys_task.ticket = ticket;
+  phys_task.slices = worker.threads;
   const double seconds_per_tu = clock_->seconds_per_tu();
-  task.pre_delay_seconds = (start_time - now).value() * seconds_per_tu;
-  task.burn_seconds = actual_exec.value() * seconds_per_tu;
-  task.sim_start_tu = start_time.value();
-  task.sim_exec_tu = actual_exec.value();
-  live_workers_.at(worker_key)->Execute(task);
+  phys_task.pre_delay_seconds = (start_time - now).value() * seconds_per_tu;
+  phys_task.burn_seconds = actual_exec.value() * seconds_per_tu;
+  phys_task.sim_start_tu = start_time.value();
+  phys_task.sim_exec_tu = actual_exec.value();
+  live_workers_.at(worker_key)->Execute(phys_task);
   peak_pool_queue_depth_ =
       std::max(peak_pool_queue_depth_, exec_pool_->queue_depth());
 
@@ -603,14 +617,14 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   // the simulator orders its calendar inserts (same-instant tie-break
   // parity depends on matching sequence numbers).
   if (config_.fault.speculation_slowdown > 0.0 && !speculative &&
-      !job.speculated) {
-    job.speculated = true;
+      !task.speculated) {
+    task.speculated = true;
     const SimTime check_at =
         start_time +
         SimTime{exec.value() * config_.fault.speculation_slowdown};
     const std::uint64_t seq = worker.assignment_seq;
-    ScheduleAt(check_at, [this, job_id, epoch, worker_key, seq] {
-      OnSpeculationCheck(job_id, epoch, worker_key, seq);
+    ScheduleAt(check_at, [this, job_id, stage, epoch, worker_key, seq] {
+      OnSpeculationCheck(job_id, stage, epoch, worker_key, seq);
     });
   }
 
@@ -618,28 +632,28 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
     // The completion (or crash/flap) is a calendar event at its modeled
     // instant, gated on the physical completion message.
     if (fate.crash_at) {
-      ScheduleAt(*fate.crash_at, [this, job_id, worker_key, ticket, epoch,
-                                  start_time, exec] {
+      ScheduleAt(*fate.crash_at, [this, job_id, stage, worker_key, ticket,
+                                  epoch, start_time, exec] {
         WaitForTicket(ticket);
         in_flight_.erase(ticket);
-        OnWorkerFailure(job_id, worker_key, epoch, start_time, exec);
+        OnWorkerFailure(job_id, stage, worker_key, epoch, start_time, exec);
       });
       return;
     }
     if (fate.flap_at) {
-      ScheduleAt(*fate.flap_at, [this, job_id, worker_key, ticket, epoch,
-                                 start_time, exec] {
+      ScheduleAt(*fate.flap_at, [this, job_id, stage, worker_key, ticket,
+                                 epoch, start_time, exec] {
         WaitForTicket(ticket);
         in_flight_.erase(ticket);
-        OnWorkerFlap(job_id, worker_key, epoch, start_time, exec);
+        OnWorkerFlap(job_id, stage, worker_key, epoch, start_time, exec);
       });
       return;
     }
     ScheduleAt(fate.actual_end,
-               [this, job_id, worker_key, ticket, epoch, extra] {
+               [this, job_id, stage, worker_key, ticket, epoch, extra] {
                  WaitForTicket(ticket);
                  in_flight_.erase(ticket);
-                 OnTaskComplete(job_id, worker_key, epoch, extra);
+                 OnTaskComplete(job_id, stage, worker_key, epoch, extra);
                });
     return;
   }
@@ -652,7 +666,7 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   }
 }
 
-void RuntimePlatform::OnWorkerFailure(std::uint64_t job_id,
+void RuntimePlatform::OnWorkerFailure(std::uint64_t job_id, std::size_t stage,
                                       std::uint64_t worker_key,
                                       std::uint64_t epoch, SimTime start_time,
                                       SimTime planned_exec) {
@@ -677,13 +691,13 @@ void RuntimePlatform::OnWorkerFailure(std::uint64_t job_id,
   }
 
   const auto jit = jobs_.find(job_id);
-  if (jit != jobs_.end() && jit->second.epoch == epoch) {
-    HandleTaskLoss(jit->second, now - start_time, planned_exec);
+  if (jit != jobs_.end() && jit->second.tasks[stage].epoch == epoch) {
+    HandleTaskLoss(jit->second, stage, now - start_time, planned_exec);
   }
   TryDispatchAll();
 }
 
-void RuntimePlatform::OnWorkerFlap(std::uint64_t job_id,
+void RuntimePlatform::OnWorkerFlap(std::uint64_t job_id, std::size_t stage,
                                    std::uint64_t worker_key,
                                    std::uint64_t epoch, SimTime start_time,
                                    SimTime planned_exec) {
@@ -715,15 +729,16 @@ void RuntimePlatform::OnWorkerFlap(std::uint64_t job_id,
   }
 
   const auto jit = jobs_.find(job_id);
-  if (jit != jobs_.end() && jit->second.epoch == epoch) {
-    HandleTaskLoss(jit->second, now - start_time, planned_exec);
+  if (jit != jobs_.end() && jit->second.tasks[stage].epoch == epoch) {
+    HandleTaskLoss(jit->second, stage, now - start_time, planned_exec);
   }
   TryDispatchAll();
 }
 
-void RuntimePlatform::HandleTaskLoss(JobState& job, SimTime served,
-                                     SimTime planned_exec) {
+void RuntimePlatform::HandleTaskLoss(JobState& job, std::size_t stage,
+                                     SimTime served, SimTime planned_exec) {
   const SimTime now = Now();
+  StageTaskState& task = job.tasks[stage];
   // Mirrors Scheduler::HandleTaskLoss line for line — see scheduler.cpp
   // for the reasoning behind each step.
   if (config_.fault.checkpoint_interval > SimTime{0.0} &&
@@ -734,84 +749,105 @@ void RuntimePlatform::HandleTaskLoss(JobState& job, SimTime served,
     if (saved > 0.0) {
       const double fraction =
           std::min(saved / planned_exec.value(), 0.95);
-      job.stage_done += (1.0 - job.stage_done) * fraction;
+      task.stage_done += (1.0 - task.stage_done) * fraction;
       ++metrics_.checkpoints_saved;
       if (obs::TraceEnabled()) {
         obs::TraceEmit(obs::EventKind::kCheckpoint, now.value(), 0, job.id,
-                       job.stage, job.stage_done);
+                       stage, task.stage_done);
       }
       if (obs::MetricsEnabled()) pmetrics_.checkpoints_saved->Increment();
     }
   }
 
-  --job.active;
-  if (job.active > 0 || speculative_queued_.count(job.id) > 0) {
+  --task.active;
+  if (task.active > 0 ||
+      speculative_queued_.count(TaskKey(job.id, stage)) > 0) {
     return;
   }
 
-  ++job.epoch;
-  job.active = 0;
-  job.speculated = false;
+  ++task.epoch;
+  task.active = 0;
+  task.speculated = false;
   ++job.retries;
   if (retry_.Exhausted(job.retries)) {
     ++metrics_.jobs_abandoned;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kJobAbandoned, now.value(), 0, job.id,
-                     job.stage, static_cast<double>(job.retries));
+                     stage, static_cast<double>(job.retries));
     }
     if (obs::MetricsEnabled()) pmetrics_.jobs_abandoned->Increment();
-    jobs_.erase(job.id);
+    AbandonJob(job.id);
     return;
   }
   ++metrics_.task_retries;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job.id,
-                   job.stage);
+                   stage);
   }
   if (obs::MetricsEnabled()) pmetrics_.task_retries->Increment();
 
   const SimTime backoff = retry_.BackoffFor(job.retries - 1);
   if (backoff <= SimTime{0.0}) {
-    EnqueueJob(job.id);
+    EnqueueTask(job.id, stage);
     return;
   }
-  job.in_backoff = true;
+  task.in_backoff = true;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kRetryBackoff, now.value(), 0, job.id,
-                   job.stage, backoff.value());
+                   stage, backoff.value());
   }
   const std::uint64_t job_id = job.id;
-  ScheduleAt(now + backoff, [this, job_id] {
+  ScheduleAt(now + backoff, [this, job_id, stage] {
     const auto it = jobs_.find(job_id);
     if (it == jobs_.end()) return;
-    it->second.in_backoff = false;
-    EnqueueJob(job_id);
+    it->second.tasks[stage].in_backoff = false;
+    EnqueueTask(job_id, stage);
     TryDispatchAll();
   });
 }
 
+void RuntimePlatform::AbandonJob(std::uint64_t job_id) {
+  // Mirrors Scheduler::AbandonJob: a DAG job may hold ready entries on
+  // parallel branches when its retry budget runs out; a linear job never
+  // does, so this sweep finds nothing on the legacy path.
+  for (std::size_t stage = 0; stage < queues_.size(); ++stage) {
+    auto& queue = queues_[stage];
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (*it == job_id) {
+        it = queue.erase(it);
+        speculative_queued_.erase(TaskKey(job_id, stage));
+        if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(-1.0);
+      } else {
+        ++it;
+      }
+    }
+  }
+  jobs_.erase(job_id);
+}
+
 void RuntimePlatform::OnSpeculationCheck(std::uint64_t job_id,
+                                         std::size_t stage,
                                          std::uint64_t epoch,
                                          std::uint64_t worker_key,
                                          std::uint64_t assignment_seq) {
   const auto jit = jobs_.find(job_id);
-  if (jit == jobs_.end() || jit->second.epoch != epoch) return;
+  if (jit == jobs_.end() || jit->second.tasks[stage].epoch != epoch) return;
   const auto wit = workers_.find(worker_key);
   if (wit == workers_.end() || !wit->second.busy ||
       wit->second.current_job != job_id ||
       wit->second.assignment_seq != assignment_seq) {
     return;
   }
-  if (speculative_queued_.count(job_id) > 0) return;
-  speculative_queued_.insert(job_id);
+  if (speculative_queued_.count(TaskKey(job_id, stage)) > 0) return;
+  speculative_queued_.insert(TaskKey(job_id, stage));
   ++metrics_.speculative_launches;
   const SimTime now = Now();
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kSpeculativeLaunch, now.value(),
-                   worker_key, job_id, jit->second.stage);
+                   worker_key, job_id, stage);
   }
   if (obs::MetricsEnabled()) pmetrics_.speculative_launches->Increment();
-  EnqueueJob(job_id);
+  EnqueueTask(job_id, stage);
   TryDispatchAll();
 }
 
@@ -829,7 +865,7 @@ void RuntimePlatform::RecordWorkerUtilization(const WorkerBook& worker,
   }
 }
 
-void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
+void RuntimePlatform::OnTaskComplete(std::uint64_t job_id, std::size_t stage,
                                      std::uint64_t worker_key,
                                      std::uint64_t epoch, SimTime extra) {
   const SimTime now = Now();
@@ -847,7 +883,7 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
   // Stale completion (superseded epoch): the worker is freed, the result
   // is discarded. Mirrors Scheduler::OnTaskComplete.
   const auto jit = jobs_.find(job_id);
-  if (jit == jobs_.end() || jit->second.epoch != epoch) {
+  if (jit == jobs_.end() || jit->second.tasks[stage].epoch != epoch) {
     ++metrics_.speculative_wasted;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kSpeculativeWasted, now.value(),
@@ -859,19 +895,21 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
   }
 
   JobState& job = jit->second;
-  if (speculative_queued_.erase(job_id) > 0) {
-    auto& queue = queues_[job.stage];
+  StageTaskState& task = job.tasks[stage];
+  if (speculative_queued_.erase(TaskKey(job_id, stage)) > 0) {
+    auto& queue = queues_[stage];
     const auto entry = std::find(queue.begin(), queue.end(), job_id);
     assert(entry != queue.end());
     queue.erase(entry);
     if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(-1.0);
   }
-  job.stage_done = 0.0;
-  ++job.epoch;
-  job.active = 0;
-  job.speculated = false;
-  ++job.stage;
-  if (job.stage == policy_.model().stage_count()) {
+  task.stage_done = 0.0;
+  ++task.epoch;
+  task.active = 0;
+  task.speculated = false;
+  task.completed = true;
+  --job.stages_remaining;
+  if (job.stages_remaining == 0) {
     const SimTime latency = now - job.arrival;
     const double reward = policy_.reward()(job.size, latency).value();
     metrics_.total_reward += reward;
@@ -896,7 +934,13 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id,
       policy_.ReplanFromBill(cloud_.CostUpTo(now));
     }
   } else {
-    EnqueueJob(job_id);
+    // Release every dependent whose predecessors are now all complete
+    // (exactly "enqueue stage+1" for the linear chain).
+    for (const std::size_t next : policy_.model().dependents(stage)) {
+      if (--job.tasks[next].remaining_deps == 0) {
+        EnqueueTask(job_id, next);
+      }
+    }
   }
   TryDispatchAll();
 }
@@ -987,7 +1031,7 @@ std::vector<core::QueuedJobSnapshot> RuntimePlatform::SnapshotQueue(
   const SimTime now = Now();
   for (const std::uint64_t job_id : queues_[stage]) {
     const JobState& job = jobs_.at(job_id);
-    snapshot.push_back({job.size, now - job.arrival, job.stage,
+    snapshot.push_back({job.size, now - job.arrival, stage,
                         std::span<const int>(job.plan)});
   }
   return snapshot;

@@ -142,6 +142,8 @@ struct WorkerView {
   bool busy = false;
   /// Job executing on this worker; meaningful only while busy.
   std::uint64_t current_job = 0;
+  /// Pipeline stage of the current assignment; meaningful only while busy.
+  std::size_t current_stage = 0;
   SimTime busy_until{0.0};
   SimTime busy_accumulated{0.0};
   SimTime hired_at{0.0};
@@ -174,6 +176,13 @@ struct SchedulerView {
   double cost_rate = 0.0;  ///< CU per TU burn rate right now
   /// Jobs sitting out a retry backoff (neither queued nor executing).
   std::size_t backoff_jobs = 0;
+  /// Ids of the jobs with a stage in retry backoff, ascending (the oracle
+  /// unions these with the queued/executing sets for job conservation).
+  std::vector<std::uint64_t> backoff_job_ids;
+  /// The pipeline DAG is the legacy linear chain; the oracle keeps its
+  /// strict one-place-per-job invariants only in this mode (a DAG job
+  /// legitimately occupies several queues/workers at once).
+  bool linear_pipeline = true;
   /// Metrics accumulated so far (owned by the running scheduler).
   const RunMetrics* metrics = nullptr;
 };
@@ -222,21 +231,21 @@ class Scheduler {
   [[nodiscard]] ThreadPlan PlanFor(DataSize size) const;
 
  private:
-  struct JobState {
-    std::uint64_t id = 0;
-    DataSize size{0.0};
-    SimTime arrival{0.0};
-    std::size_t stage = 0;
-    ThreadPlan plan;
+  /// Per-stage readiness and recovery state of one job. DAG-readiness:
+  /// a task joins its stage queue when remaining_deps reaches zero, and
+  /// the job completes when every task has. For a linear chain exactly one
+  /// task is live at a time, reproducing the legacy single-cursor walk.
+  struct StageTask {
     SimTime enqueued_at{0.0};
+    /// Predecessor stages not yet completed; ready at zero.
+    std::size_t remaining_deps = 0;
+    bool completed = false;
     // --- recovery bookkeeping (inert without fault injection) ----------
-    /// Times this job's current pipeline run was lost and re-enqueued.
-    int retries = 0;
-    /// Fraction of the current stage already checkpointed; a new
-    /// assignment only executes the remaining (1 - stage_done) share.
+    /// Fraction of the stage already checkpointed; a new assignment only
+    /// executes the remaining (1 - stage_done) share.
     double stage_done = 0.0;
-    /// Bumped on every stage advance and every retry: in-flight events
-    /// carrying an older epoch are stale and must not advance the job.
+    /// Bumped on completion and on every retry: in-flight events carrying
+    /// an older epoch are stale and must not advance the task.
     std::uint64_t epoch = 0;
     /// Same-epoch assignments currently executing (2 with a live
     /// speculative copy).
@@ -245,6 +254,19 @@ class Scheduler {
     bool in_backoff = false;
     /// A speculation check was already scheduled for this epoch.
     bool speculated = false;
+  };
+
+  struct JobState {
+    std::uint64_t id = 0;
+    DataSize size{0.0};
+    SimTime arrival{0.0};
+    ThreadPlan plan;
+    /// Times one of this job's tasks was lost and re-enqueued (the retry
+    /// budget is per job across stages).
+    int retries = 0;
+    /// Tasks not yet completed; the job settles its reward at zero.
+    std::size_t stages_remaining = 0;
+    std::vector<StageTask> tasks;  ///< one per pipeline stage
   };
 
   struct WorkerBook {
@@ -258,7 +280,9 @@ class Scheduler {
     SimTime idle_since{0.0};
     SimTime busy_accumulated{0.0};  ///< total task-execution time served
     std::uint64_t idle_epoch = 0;
-    /// Epoch of the job when the current assignment started (staleness
+    /// Stage of the current assignment; meaningful only while busy.
+    std::size_t current_stage = 0;
+    /// Epoch of the task when the current assignment started (staleness
     /// detection for speculative duplicates).
     std::uint64_t assignment_epoch = 0;
     /// Unique id of the current assignment (distinguishes the original
@@ -271,38 +295,51 @@ class Scheduler {
   void RecordWorkerUtilization(const WorkerBook& worker, SimTime now);
 
   void OnBatchArrival(const workload::ArrivalBatch& batch);
-  void EnqueueJob(std::uint64_t job_id);
+  /// Enqueues one ready stage task of a job onto its stage queue.
+  void EnqueueTask(std::uint64_t job_id, std::size_t stage);
   void TryDispatchAll();
   /// Attempts to dispatch the head of one stage queue; true on success.
   bool TryDispatchHead(std::size_t stage);
   void AssignTask(std::uint64_t job_id, std::size_t stage,
                   WorkerBook& worker, SimTime start_time);
-  /// `epoch` is the job epoch the assignment started under (stale
-  /// completions free the worker but do not advance the job); `extra` is
+  /// `epoch` is the task epoch the assignment started under (stale
+  /// completions free the worker but do not advance the task); `extra` is
   /// the straggle overrun beyond the planned end (0 normally).
-  void OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
-                      std::uint64_t epoch, SimTime extra);
+  void OnTaskComplete(std::uint64_t job_id, std::size_t stage,
+                      std::uint64_t worker_key, std::uint64_t epoch,
+                      SimTime extra);
   /// Failure-injection: the worker crashed mid-task; bill and discard it,
   /// then run recovery for the interrupted assignment (checkpoint resume,
   /// retry budget, backoff). `start_time`/`planned_exec` describe the
   /// interrupted assignment for checkpoint accounting.
-  void OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key,
-                       std::uint64_t epoch, SimTime start_time,
-                       SimTime planned_exec);
+  void OnWorkerFailure(std::uint64_t job_id, std::size_t stage,
+                       std::uint64_t worker_key, std::uint64_t epoch,
+                       SimTime start_time, SimTime planned_exec);
   /// Flap-injection: the worker drops its task but survives and returns
   /// to the idle pool; feeds the per-worker circuit breaker.
-  void OnWorkerFlap(std::uint64_t job_id, std::uint64_t worker_key,
-                    std::uint64_t epoch, SimTime start_time,
-                    SimTime planned_exec);
+  void OnWorkerFlap(std::uint64_t job_id, std::size_t stage,
+                    std::uint64_t worker_key, std::uint64_t epoch,
+                    SimTime start_time, SimTime planned_exec);
   /// Shared recovery path for a valid-epoch task loss (crash or flap):
   /// checkpoint credit, sibling check, retry budget, backoff scheduling.
-  void HandleTaskLoss(JobState& job, SimTime served, SimTime planned_exec);
+  void HandleTaskLoss(JobState& job, std::size_t stage, SimTime served,
+                      SimTime planned_exec);
+  /// Retry budget exhausted: purge the job's queued tasks (a DAG job may
+  /// have parallel branches queued) and drop it.
+  void AbandonJob(std::uint64_t job_id);
   /// Straggler detection: fires at start + slowdown * modeled_exec; if
   /// the same assignment is still running, enqueues a speculative copy.
-  void OnSpeculationCheck(std::uint64_t job_id, std::uint64_t epoch,
-                          std::uint64_t worker_key,
+  void OnSpeculationCheck(std::uint64_t job_id, std::size_t stage,
+                          std::uint64_t epoch, std::uint64_t worker_key,
                           std::uint64_t assignment_seq);
   void ScheduleIdleRelease(std::uint64_t worker_key);
+
+  /// Key of one (job, stage) task for the speculative-copy ledger. Stage
+  /// indices fit 8 bits (PipelineModel::kMaxStages).
+  [[nodiscard]] static std::uint64_t TaskKey(std::uint64_t job_id,
+                                             std::size_t stage) {
+    return (job_id << 8) | static_cast<std::uint64_t>(stage);
+  }
 
   /// The predictive hire-or-wait inequality for the head of `stage`'s
   /// queue; true = hire public capacity now. Delegates to the shared
@@ -366,8 +403,8 @@ class Scheduler {
   fault::FaultInjector injector_;      ///< owns the "worker-failures" RNG
   fault::RetryPolicy retry_;
   fault::WorkerHealthTracker health_;  ///< circuit breaker (off by default)
-  /// Jobs whose queue entry is a speculative straggler copy (at most one
-  /// per job); consumed by AssignTask, cancelled on valid completion.
+  /// TaskKeys whose queue entry is a speculative straggler copy (at most
+  /// one per task); consumed by AssignTask, cancelled on valid completion.
   std::unordered_set<std::uint64_t> speculative_queued_;
   std::uint64_t next_assignment_seq_ = 1;
 

@@ -7,14 +7,12 @@ namespace scan::core {
 
 namespace {
 
-/// Execution latency of a plan (no queueing).
+/// Execution latency of a plan (no queueing): the DAG critical path,
+/// which for a linear chain accumulates in stage order exactly like the
+/// legacy per-stage sum.
 double PlanLatency(const gatk::PipelineModel& model, DataSize d,
                    std::span<const int> plan) {
-  double total = 0.0;
-  for (std::size_t i = 0; i < model.stage_count(); ++i) {
-    total += model.ThreadedTime(i, plan[i], d).value();
-  }
-  return total;
+  return model.MakespanTime(d, plan).value();
 }
 
 /// Core-time cost of a plan.

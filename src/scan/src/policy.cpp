@@ -12,7 +12,10 @@ SchedulingPolicy::SchedulingPolicy(const SimulationConfig& config,
                                    std::optional<double> allocation_price_hint,
                                    std::uint64_t seed)
     : config_(config),
-      model_(model.Scaled(config.stage_time_scale)),
+      // A model carrying its own calibration (compiled .pdl profiles) wins
+      // over the config scalar; legacy models defer to the config, keeping
+      // every pre-PDL run bit-identical.
+      model_(model.Scaled(model.time_scale().value_or(config.stage_time_scale))),
       reward_(config.MakeRewardParams()),
       queue_estimator_(model_.stage_count()),
       forced_plan_(std::move(forced_plan)),

@@ -66,13 +66,14 @@ SchedulerView Scheduler::BuildView(SimTime when, std::uint64_t seq) const {
   SchedulerView view;
   view.now = when;
   view.event_seq = seq;
+  view.linear_pipeline = policy_.model().is_linear();
   view.queues.reserve(queues_.size());
   for (std::size_t stage = 0; stage < queues_.size(); ++stage) {
     std::vector<QueuedTaskView> tasks;
     tasks.reserve(queues_[stage].size());
     for (const std::uint64_t job_id : queues_[stage]) {
       const JobState& job = jobs_.at(job_id);
-      tasks.push_back({job_id, job.stage, job.enqueued_at});
+      tasks.push_back({job_id, stage, job.tasks[stage].enqueued_at});
     }
     view.queues.push_back(std::move(tasks));
   }
@@ -88,11 +89,13 @@ SchedulerView Scheduler::BuildView(SimTime when, std::uint64_t seq) const {
     wv.current_job = worker.current_job;
     wv.busy_until = worker.busy_until;
     wv.busy_accumulated = worker.busy_accumulated;
+    wv.current_stage = worker.current_stage;
     if (info.ok()) wv.hired_at = info->hired_at;
     if (worker.busy) {
       const auto jit = jobs_.find(worker.current_job);
       wv.stale = jit == jobs_.end() ||
-                 jit->second.epoch != worker.assignment_epoch;
+                 jit->second.tasks[worker.current_stage].epoch !=
+                     worker.assignment_epoch;
     }
     view.workers.push_back(wv);
   }
@@ -103,9 +106,15 @@ SchedulerView Scheduler::BuildView(SimTime when, std::uint64_t seq) const {
   view.private_capacity = cloud_.config().private_tier.core_capacity;
   view.cost_rate = cloud_.CostRate().value();
   for (const auto& [id, job] : jobs_) {
-    (void)id;
-    if (job.in_backoff) ++view.backoff_jobs;
+    for (const StageTask& task : job.tasks) {
+      if (task.in_backoff) {
+        view.backoff_job_ids.push_back(id);
+        break;
+      }
+    }
   }
+  std::sort(view.backoff_job_ids.begin(), view.backoff_job_ids.end());
+  view.backoff_jobs = view.backoff_job_ids.size();
   view.metrics = &metrics_;
   return view;
 }
@@ -173,15 +182,24 @@ void Scheduler::OnBatchArrival(const workload::ArrivalBatch& batch) {
       obs::TraceEmit(obs::EventKind::kJobArrival, sim_.Now().value(), 0,
                      job.id, 0, job.size.value());
     }
+    const gatk::PipelineModel& model = policy_.model();
     JobState state;
     state.id = job.id;
     state.size = job.size;
     state.arrival = job.arrival;
-    state.stage = 0;
     state.plan = PlanFor(job.size);
+    state.stages_remaining = model.stage_count();
+    state.tasks.resize(model.stage_count());
+    for (std::size_t stage = 0; stage < model.stage_count(); ++stage) {
+      state.tasks[stage].remaining_deps = model.deps(stage).size();
+    }
     if (obs::AuditEnabled()) AuditPlan(job.id, job.size, state.plan);
     jobs_.emplace(job.id, std::move(state));
-    EnqueueJob(job.id);
+    // Every zero-in-degree stage is ready on arrival (stage 0 alone for
+    // the linear chain; all of them for a bag of tasks).
+    for (std::size_t stage = 0; stage < model.stage_count(); ++stage) {
+      if (model.deps(stage).empty()) EnqueueTask(job.id, stage);
+    }
   }
   TryDispatchAll();
 }
@@ -240,13 +258,14 @@ void Scheduler::AuditHire(obs::HireChoice choice, std::size_t stage,
   obs::DecisionAudit::Global().RecordHire(rec);
 }
 
-void Scheduler::EnqueueJob(std::uint64_t job_id) {
+void Scheduler::EnqueueTask(std::uint64_t job_id, std::size_t stage) {
   JobState& job = jobs_.at(job_id);
-  job.enqueued_at = sim_.Now();
-  queues_[job.stage].push_back(job_id);
+  StageTask& task = job.tasks[stage];
+  task.enqueued_at = sim_.Now();
+  queues_[stage].push_back(job_id);
   if (obs::TraceEnabled()) {
-    obs::TraceEmit(obs::EventKind::kQueueEnqueue, job.enqueued_at.value(), 0,
-                   job_id, job.stage);
+    obs::TraceEmit(obs::EventKind::kQueueEnqueue, task.enqueued_at.value(), 0,
+                   job_id, stage);
   }
   if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(1.0);
 }
@@ -395,11 +414,12 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
 void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
                            WorkerBook& worker, SimTime start_time) {
   JobState& job = jobs_.at(job_id);
+  StageTask& task = job.tasks[stage];
   // A queued speculative copy is consumed by whichever dispatch reaches
-  // the job first; it must not spawn a second speculation check.
-  const bool speculative = speculative_queued_.erase(job_id) > 0;
+  // the task first; it must not spawn a second speculation check.
+  const bool speculative = speculative_queued_.erase(TaskKey(job_id, stage)) > 0;
   const SimTime now = sim_.Now();
-  const SimTime wait = now - job.enqueued_at;
+  const SimTime wait = now - task.enqueued_at;
   policy_.ObserveQueueWait(stage, wait);
   metrics_.queue_wait.Add(wait.value());
   metrics_.stage_queue_wait[stage].Add(wait.value());
@@ -419,17 +439,18 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   // share. The branch keeps the arithmetic bit-identical to legacy when
   // nothing was checkpointed.
   SimTime exec = full_exec;
-  if (job.stage_done > 0.0) {
-    exec = SimTime{full_exec.value() * (1.0 - job.stage_done)};
+  if (task.stage_done > 0.0) {
+    exec = SimTime{full_exec.value() * (1.0 - task.stage_done)};
   }
   const SimTime done_at = start_time + exec;
   worker.busy = true;
   worker.current_job = job_id;
+  worker.current_stage = stage;
   worker.busy_until = done_at;
   worker.busy_accumulated += exec;
-  worker.assignment_epoch = job.epoch;
+  worker.assignment_epoch = task.epoch;
   worker.assignment_seq = next_assignment_seq_++;
-  ++job.active;
+  ++task.active;
   const std::uint64_t worker_key = static_cast<std::uint64_t>(worker.id);
   index_.PushBusy(done_at.value(), worker_key, worker.assignment_seq);
   if (obs::TraceEnabled()) {
@@ -462,44 +483,45 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   // Straggler detection: if this (non-speculative) assignment is still
   // running once slowdown * its modeled time has passed, enqueue one
   // speculative copy. Gated so disabled configs schedule no extra event.
-  const std::uint64_t epoch = job.epoch;
+  const std::uint64_t epoch = task.epoch;
   if (config_.fault.speculation_slowdown > 0.0 && !speculative &&
-      !job.speculated) {
-    job.speculated = true;
+      !task.speculated) {
+    task.speculated = true;
     const SimTime check_at =
         start_time +
         SimTime{exec.value() * config_.fault.speculation_slowdown};
     const std::uint64_t seq = worker.assignment_seq;
-    sim_.ScheduleAt(check_at,
-                    [this, job_id, epoch, worker_key, seq](sim::Simulator&) {
-                      OnSpeculationCheck(job_id, epoch, worker_key, seq);
-                    });
+    sim_.ScheduleAt(
+        check_at, [this, job_id, stage, epoch, worker_key, seq](sim::Simulator&) {
+          OnSpeculationCheck(job_id, stage, epoch, worker_key, seq);
+        });
   }
 
   if (fate.crash_at) {
-    sim_.ScheduleAt(*fate.crash_at, [this, job_id, worker_key, epoch,
+    sim_.ScheduleAt(*fate.crash_at, [this, job_id, stage, worker_key, epoch,
                                      start_time, exec](sim::Simulator&) {
-      OnWorkerFailure(job_id, worker_key, epoch, start_time, exec);
+      OnWorkerFailure(job_id, stage, worker_key, epoch, start_time, exec);
     });
     return;
   }
   if (fate.flap_at) {
-    sim_.ScheduleAt(*fate.flap_at, [this, job_id, worker_key, epoch,
+    sim_.ScheduleAt(*fate.flap_at, [this, job_id, stage, worker_key, epoch,
                                     start_time, exec](sim::Simulator&) {
-      OnWorkerFlap(job_id, worker_key, epoch, start_time, exec);
+      OnWorkerFlap(job_id, stage, worker_key, epoch, start_time, exec);
     });
     return;
   }
   const SimTime extra = fate.actual_end - done_at;
-  sim_.ScheduleAt(fate.actual_end,
-                  [this, job_id, worker_key, epoch, extra](sim::Simulator&) {
-                    OnTaskComplete(job_id, worker_key, epoch, extra);
-                  });
+  sim_.ScheduleAt(
+      fate.actual_end,
+      [this, job_id, stage, worker_key, epoch, extra](sim::Simulator&) {
+        OnTaskComplete(job_id, stage, worker_key, epoch, extra);
+      });
 }
 
-void Scheduler::OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key,
-                                std::uint64_t epoch, SimTime start_time,
-                                SimTime planned_exec) {
+void Scheduler::OnWorkerFailure(std::uint64_t job_id, std::size_t stage,
+                                std::uint64_t worker_key, std::uint64_t epoch,
+                                SimTime start_time, SimTime planned_exec) {
   const SimTime now = sim_.Now();
   // The crashed VM is gone; its bill stops at the crash instant.
   WorkerBook& worker = workers_.at(worker_key);
@@ -527,19 +549,19 @@ void Scheduler::OnWorkerFailure(std::uint64_t job_id, std::uint64_t worker_key,
     pmetrics_.busy_workers->Add(-1.0);
   }
 
-  // Recovery only applies if the job is still on the epoch this
+  // Recovery only applies if the task is still on the epoch this
   // assignment started under (a speculative sibling may have finished or
   // retried it already — then the crash cost is all there was to settle).
   const auto jit = jobs_.find(job_id);
-  if (jit != jobs_.end() && jit->second.epoch == epoch) {
-    HandleTaskLoss(jit->second, now - start_time, planned_exec);
+  if (jit != jobs_.end() && jit->second.tasks[stage].epoch == epoch) {
+    HandleTaskLoss(jit->second, stage, now - start_time, planned_exec);
   }
   TryDispatchAll();
 }
 
-void Scheduler::OnWorkerFlap(std::uint64_t job_id, std::uint64_t worker_key,
-                             std::uint64_t epoch, SimTime start_time,
-                             SimTime planned_exec) {
+void Scheduler::OnWorkerFlap(std::uint64_t job_id, std::size_t stage,
+                             std::uint64_t worker_key, std::uint64_t epoch,
+                             SimTime start_time, SimTime planned_exec) {
   const SimTime now = sim_.Now();
   // The worker survives but drops its in-flight task: roll back the
   // unserved credit (same accounting as a crash) and return it to the
@@ -569,15 +591,16 @@ void Scheduler::OnWorkerFlap(std::uint64_t job_id, std::uint64_t worker_key,
   }
 
   const auto jit = jobs_.find(job_id);
-  if (jit != jobs_.end() && jit->second.epoch == epoch) {
-    HandleTaskLoss(jit->second, now - start_time, planned_exec);
+  if (jit != jobs_.end() && jit->second.tasks[stage].epoch == epoch) {
+    HandleTaskLoss(jit->second, stage, now - start_time, planned_exec);
   }
   TryDispatchAll();
 }
 
-void Scheduler::HandleTaskLoss(JobState& job, SimTime served,
-                               SimTime planned_exec) {
+void Scheduler::HandleTaskLoss(JobState& job, std::size_t stage,
+                               SimTime served, SimTime planned_exec) {
   const SimTime now = sim_.Now();
+  StageTask& task = job.tasks[stage];
   // Checkpoint credit: work completes at whole checkpoint intervals of
   // *modeled* execution time (a straggler checkpoints on the same modeled
   // boundaries — progress is measured in work, priced in the model's
@@ -594,43 +617,43 @@ void Scheduler::HandleTaskLoss(JobState& job, SimTime served,
       // a resumed assignment always has a positive remainder to run.
       const double fraction =
           std::min(saved / planned_exec.value(), 0.95);
-      job.stage_done += (1.0 - job.stage_done) * fraction;
+      task.stage_done += (1.0 - task.stage_done) * fraction;
       ++metrics_.checkpoints_saved;
       if (obs::TraceEnabled()) {
         obs::TraceEmit(obs::EventKind::kCheckpoint, now.value(), 0, job.id,
-                       job.stage, job.stage_done);
+                       stage, task.stage_done);
       }
       if (obs::MetricsEnabled()) pmetrics_.checkpoints_saved->Increment();
     }
   }
 
-  --job.active;
-  if (job.active > 0 || speculative_queued_.count(job.id) > 0) {
+  --task.active;
+  if (task.active > 0 || speculative_queued_.count(TaskKey(job.id, stage)) > 0) {
     // A same-epoch sibling (running speculative copy, or one still in the
-    // queue) carries the job; no retry needed for this loss.
+    // queue) carries the task; no retry needed for this loss.
     return;
   }
 
   // Full loss: invalidate any outstanding speculation events and spend
   // one retry from the budget.
-  ++job.epoch;
-  job.active = 0;
-  job.speculated = false;
+  ++task.epoch;
+  task.active = 0;
+  task.speculated = false;
   ++job.retries;
   if (retry_.Exhausted(job.retries)) {
     ++metrics_.jobs_abandoned;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kJobAbandoned, now.value(), 0, job.id,
-                     job.stage, static_cast<double>(job.retries));
+                     stage, static_cast<double>(job.retries));
     }
     if (obs::MetricsEnabled()) pmetrics_.jobs_abandoned->Increment();
-    jobs_.erase(job.id);
+    AbandonJob(job.id);
     return;
   }
   ++metrics_.task_retries;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job.id,
-                   job.stage);
+                   stage);
   }
   if (obs::MetricsEnabled()) pmetrics_.task_retries->Increment();
 
@@ -638,29 +661,50 @@ void Scheduler::HandleTaskLoss(JobState& job, SimTime served,
   if (backoff <= SimTime{0.0}) {
     // Immediate requeue in the same event — the legacy path, with no
     // extra calendar entry (keeps disabled-fault runs bit-identical).
-    EnqueueJob(job.id);
+    EnqueueTask(job.id, stage);
     return;
   }
-  job.in_backoff = true;
+  task.in_backoff = true;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kRetryBackoff, now.value(), 0, job.id,
-                   job.stage, backoff.value());
+                   stage, backoff.value());
   }
   const std::uint64_t job_id = job.id;
-  sim_.ScheduleAfter(backoff, [this, job_id](sim::Simulator&) {
+  sim_.ScheduleAfter(backoff, [this, job_id, stage](sim::Simulator&) {
     const auto it = jobs_.find(job_id);
     if (it == jobs_.end()) return;
-    it->second.in_backoff = false;
-    EnqueueJob(job_id);
+    it->second.tasks[stage].in_backoff = false;
+    EnqueueTask(job_id, stage);
     TryDispatchAll();
   });
 }
 
-void Scheduler::OnSpeculationCheck(std::uint64_t job_id, std::uint64_t epoch,
+void Scheduler::AbandonJob(std::uint64_t job_id) {
+  // Purge every still-queued task of the job: a DAG job may hold ready
+  // entries on parallel branches when its retry budget runs out. A linear
+  // job never does (the lost task was executing, not queued), so this
+  // sweep finds nothing on the legacy path.
+  for (std::size_t stage = 0; stage < queues_.size(); ++stage) {
+    auto& queue = queues_[stage];
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (*it == job_id) {
+        it = queue.erase(it);
+        speculative_queued_.erase(TaskKey(job_id, stage));
+        if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(-1.0);
+      } else {
+        ++it;
+      }
+    }
+  }
+  jobs_.erase(job_id);
+}
+
+void Scheduler::OnSpeculationCheck(std::uint64_t job_id, std::size_t stage,
+                                   std::uint64_t epoch,
                                    std::uint64_t worker_key,
                                    std::uint64_t assignment_seq) {
   const auto jit = jobs_.find(job_id);
-  if (jit == jobs_.end() || jit->second.epoch != epoch) return;
+  if (jit == jobs_.end() || jit->second.tasks[stage].epoch != epoch) return;
   const auto wit = workers_.find(worker_key);
   // Only a straggler trips the check: the original assignment must still
   // be running on the same worker past slowdown * its modeled time.
@@ -669,16 +713,16 @@ void Scheduler::OnSpeculationCheck(std::uint64_t job_id, std::uint64_t epoch,
       wit->second.assignment_seq != assignment_seq) {
     return;
   }
-  if (speculative_queued_.count(job_id) > 0) return;
-  speculative_queued_.insert(job_id);
+  if (speculative_queued_.count(TaskKey(job_id, stage)) > 0) return;
+  speculative_queued_.insert(TaskKey(job_id, stage));
   ++metrics_.speculative_launches;
   const SimTime now = sim_.Now();
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kSpeculativeLaunch, now.value(),
-                   worker_key, job_id, jit->second.stage);
+                   worker_key, job_id, stage);
   }
   if (obs::MetricsEnabled()) pmetrics_.speculative_launches->Increment();
-  EnqueueJob(job_id);
+  EnqueueTask(job_id, stage);
   TryDispatchAll();
 }
 
@@ -696,8 +740,9 @@ void Scheduler::RecordWorkerUtilization(const WorkerBook& worker,
   }
 }
 
-void Scheduler::OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
-                               std::uint64_t epoch, SimTime extra) {
+void Scheduler::OnTaskComplete(std::uint64_t job_id, std::size_t stage,
+                               std::uint64_t worker_key, std::uint64_t epoch,
+                               SimTime extra) {
   const SimTime now = sim_.Now();
   WorkerBook& worker = workers_.at(worker_key);
   // A straggler served longer than the credit taken at assignment; top
@@ -712,11 +757,11 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
   ScheduleIdleRelease(worker_key);
   if (health_.enabled()) health_.RecordSuccess(worker_key);
 
-  // A completion from a superseded epoch (the job finished via a
-  // speculative sibling, was retried, or abandoned) only frees the
-  // worker; the result is discarded.
+  // A completion from a superseded epoch (the task finished via a
+  // speculative sibling, was retried, or the job was abandoned) only
+  // frees the worker; the result is discarded.
   const auto jit = jobs_.find(job_id);
-  if (jit == jobs_.end() || jit->second.epoch != epoch) {
+  if (jit == jobs_.end() || jit->second.tasks[stage].epoch != epoch) {
     ++metrics_.speculative_wasted;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kSpeculativeWasted, now.value(),
@@ -728,20 +773,22 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
   }
 
   JobState& job = jit->second;
+  StageTask& task = job.tasks[stage];
   // A speculative copy still sitting in the queue is moot now.
-  if (speculative_queued_.erase(job_id) > 0) {
-    auto& queue = queues_[job.stage];
+  if (speculative_queued_.erase(TaskKey(job_id, stage)) > 0) {
+    auto& queue = queues_[stage];
     const auto entry = std::find(queue.begin(), queue.end(), job_id);
     assert(entry != queue.end());
     queue.erase(entry);
     if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(-1.0);
   }
-  job.stage_done = 0.0;
-  ++job.epoch;
-  job.active = 0;
-  job.speculated = false;
-  ++job.stage;
-  if (job.stage == policy_.model().stage_count()) {
+  task.stage_done = 0.0;
+  ++task.epoch;
+  task.active = 0;
+  task.speculated = false;
+  task.completed = true;
+  --job.stages_remaining;
+  if (job.stages_remaining == 0) {
     // Pipeline run finished: settle the reward.
     const SimTime latency = now - job.arrival;
     const double reward = policy_.reward()(job.size, latency).value();
@@ -770,7 +817,14 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id, std::uint64_t worker_key,
       policy_.ReplanFromBill(cloud_.CostUpTo(now));
     }
   } else {
-    EnqueueJob(job_id);
+    // Release every dependent whose predecessors are now all complete.
+    // For a linear chain this is exactly "enqueue stage+1" — the legacy
+    // behavior, with the same single EnqueueTask call.
+    for (const std::size_t next : policy_.model().dependents(stage)) {
+      if (--job.tasks[next].remaining_deps == 0) {
+        EnqueueTask(job_id, next);
+      }
+    }
   }
   TryDispatchAll();
 }
@@ -867,7 +921,7 @@ std::vector<QueuedJobSnapshot> Scheduler::SnapshotQueue(
   const SimTime now = sim_.Now();
   for (const std::uint64_t job_id : queues_[stage]) {
     const JobState& job = jobs_.at(job_id);
-    snapshot.push_back({job.size, now - job.arrival, job.stage,
+    snapshot.push_back({job.size, now - job.arrival, stage,
                         std::span<const int>(job.plan)});
   }
   return snapshot;

@@ -18,10 +18,12 @@
 // every single job.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "scan/core/config.hpp"
+#include "scan/gatk/pipeline_model.hpp"
 #include "scan/testkit/golden.hpp"
 #include "scan/testkit/parity.hpp"
 
@@ -31,6 +33,10 @@ namespace scan::testkit {
 struct ChaosSpec {
   std::string name;
   core::SimulationConfig config;
+  /// Stage model to run; nullopt = the paper's hardcoded GATK chain.
+  /// DAG models (e.g. compiled from a PDL profile) go through the same
+  /// bit-for-bit sim<->runtime comparison as the legacy chain.
+  std::optional<gatk::PipelineModel> model;
   /// Require at least one injected fault (crash, straggle, or flap).
   bool expect_injection = true;
   /// Require zero abandoned jobs (scenarios without a retry budget).
@@ -40,6 +46,14 @@ struct ChaosSpec {
 /// The preset suite: crash+checkpoint recovery, straggler speculation,
 /// flapping workers behind a circuit breaker, and all of it at once.
 [[nodiscard]] std::vector<ChaosSpec> ChaosScenarios();
+
+/// Fuzzer-drawn chaos suite: `count` scenarios whose stage models are
+/// random PDL pipelines (chains, bags of tasks, fan-out/fan-in, general
+/// DAGs) drawn from a stream seeded by `base_seed`, each paired with the
+/// kitchen-sink fault config. Exercises arbitrary pipelines through the
+/// full sim<->runtime chaos parity contract.
+[[nodiscard]] std::vector<ChaosSpec> FuzzedChaosScenarios(
+    std::uint64_t base_seed, int count);
 
 /// Outcome of one chaos run.
 struct ChaosResult {

@@ -13,6 +13,7 @@
 
 #include "scan/core/config.hpp"
 #include "scan/core/scheduler.hpp"
+#include "scan/gatk/pipeline_model.hpp"
 #include "scan/testkit/digest.hpp"
 
 namespace scan::testkit {
@@ -25,8 +26,14 @@ struct InstrumentedRun {
   std::uint64_t trace_events = 0;
 };
 
-/// Runs one scheduler simulation with the trace digest attached. Any
-/// hooks already present in `options` are replaced.
+/// Runs one scheduler simulation of `model` with the trace digest
+/// attached. Any hooks already present in `options` are replaced.
+[[nodiscard]] InstrumentedRun RunInstrumented(
+    const core::SimulationConfig& config, const gatk::PipelineModel& model,
+    std::uint64_t seed, core::SchedulerOptions options = {});
+
+/// Same, on the paper's hardcoded GATK pipeline (the legacy default every
+/// pre-PDL golden is pinned against).
 [[nodiscard]] InstrumentedRun RunInstrumented(
     const core::SimulationConfig& config, std::uint64_t seed,
     core::SchedulerOptions options = {});
@@ -43,6 +50,10 @@ struct DeterminismReport {
 };
 
 /// Runs `config` twice with the same seed and compares bit-for-bit.
+[[nodiscard]] DeterminismReport CheckDeterminism(
+    const core::SimulationConfig& config, const gatk::PipelineModel& model,
+    std::uint64_t seed, core::SchedulerOptions options = {});
+
 [[nodiscard]] DeterminismReport CheckDeterminism(
     const core::SimulationConfig& config, std::uint64_t seed,
     core::SchedulerOptions options = {});

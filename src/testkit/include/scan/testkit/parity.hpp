@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "scan/core/config.hpp"
+#include "scan/gatk/pipeline_model.hpp"
 #include "scan/runtime/runtime_platform.hpp"
 #include "scan/testkit/digest.hpp"
 
@@ -41,6 +42,11 @@ struct ParityResult {
 /// compares the full parity payload. Remaining `runtime_options` fields
 /// (forced plan, price hint, trace, timeline sampling) are honored and
 /// mirrored onto the simulator's options.
+[[nodiscard]] ParityResult CheckSimRuntimeParity(
+    const core::SimulationConfig& config, const gatk::PipelineModel& model,
+    std::uint64_t seed, runtime::RuntimeOptions runtime_options = {});
+
+/// Same, on the paper's hardcoded GATK pipeline (the legacy default).
 [[nodiscard]] ParityResult CheckSimRuntimeParity(
     const core::SimulationConfig& config, std::uint64_t seed,
     runtime::RuntimeOptions runtime_options = {});

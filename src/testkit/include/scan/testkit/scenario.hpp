@@ -38,6 +38,12 @@ struct ScenarioOptions {
   /// schedule/cancel churn (idle releases are cancelled on every
   /// re-assignment). Off by default for the same corpus-stability reason.
   bool stress_calendar = false;
+  /// Run each scenario on a fuzzer-drawn PDL pipeline (random chain /
+  /// bag-of-tasks / DAG topology) instead of the hardcoded GATK chain.
+  /// The pipeline comes from its own named stream ("pdl-fuzzer"), so the
+  /// SimulationConfig draw sequence — and every corpus pinned to it —
+  /// is untouched. Off by default.
+  bool draw_pdl_pipelines = false;
 };
 
 /// Draws one seeded random configuration. Equal seeds give equal configs.
@@ -48,6 +54,9 @@ struct ScenarioOptions {
 struct StressResult {
   std::uint64_t seed = 0;
   core::SimulationConfig config;
+  /// The fuzzer-drawn PDL program this scenario ran (empty when the
+  /// scenario used the hardcoded GATK chain).
+  std::string pdl_source;
   InstrumentedRun run;
   std::uint64_t events_checked = 0;
   std::vector<std::string> violations;       ///< oracle findings

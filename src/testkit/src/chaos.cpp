@@ -1,7 +1,11 @@
 #include "scan/testkit/chaos.hpp"
 
+#include <stdexcept>
+
 #include "scan/common/rng.hpp"
 #include "scan/common/str.hpp"
+#include "scan/pdl/compiler.hpp"
+#include "scan/pdl/fuzzer.hpp"
 #include "scan/testkit/oracle.hpp"
 #include "scan/workload/trace.hpp"
 
@@ -82,6 +86,52 @@ std::vector<ChaosSpec> ChaosScenarios() {
   return specs;
 }
 
+std::vector<ChaosSpec> FuzzedChaosScenarios(std::uint64_t base_seed,
+                                            int count) {
+  std::vector<ChaosSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  // One stream for the whole suite: scenario k's pipeline depends only on
+  // (base_seed, draws of scenarios 0..k-1), so the suite is reproducible
+  // end to end. Reward/fault blocks stay off — the chaos config below
+  // owns the fault schedule.
+  RandomStream rng(base_seed, "pdl-chaos-fuzzer");
+  pdl::FuzzOptions fuzz;
+  fuzz.max_stages = 8;
+  fuzz.draw_reward = false;
+  fuzz.draw_faults = false;
+  for (int i = 0; i < count; ++i) {
+    const std::string source = pdl::DrawPipelineSource(rng, fuzz);
+    pdl::CompileResult compiled =
+        pdl::CompileString(source, StrFormat("<fuzz-%d>", i));
+    if (!compiled.ok()) {
+      // The fuzzer's validity contract is load-bearing for the suite;
+      // surface a breach loudly rather than skipping the scenario.
+      throw std::logic_error("fuzzer drew an invalid pipeline:\n" +
+                             pdl::FormatDiagnostics(compiled.diagnostics) +
+                             source);
+    }
+    ChaosSpec spec;
+    spec.name = StrFormat("pdl-fuzz-%d-%s", i,
+                          compiled.pipeline->model.is_linear() ? "chain"
+                                                               : "dag");
+    spec.config = BaseChaosConfig();
+    spec.config.worker_failure_rate = 0.04;
+    spec.config.fault.checkpoint_interval = SimTime{0.4};
+    spec.config.fault.straggle_rate = 0.15;
+    spec.config.fault.straggle_factor = 3.0;
+    spec.config.fault.speculation_slowdown = 1.6;
+    spec.config.fault.flap_rate = 0.02;
+    spec.config.fault.breaker_threshold = 3;
+    spec.config.fault.breaker_cooldown = SimTime{10.0};
+    spec.config.fault.backoff_base = SimTime{0.2};
+    spec.config.fault.backoff_multiplier = 2.0;
+    spec.config.fault.backoff_cap = SimTime{2.0};
+    spec.model = std::move(compiled.pipeline->model);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 ChaosResult RunChaos(const ChaosSpec& spec, std::uint64_t seed) {
   ChaosResult result;
   result.seed = seed;
@@ -93,17 +143,21 @@ ChaosResult RunChaos(const ChaosSpec& spec, std::uint64_t seed) {
   const workload::JobTrace trace =
       workload::RecordTrace(generator, SimTime{kArrivalHorizonTu});
 
+  const gatk::PipelineModel model =
+      spec.model.has_value() ? *spec.model : gatk::PipelineModel::PaperGatk();
+
   // Sim vs live runtime, bit for bit, under injected faults.
   runtime::RuntimeOptions runtime_options;
   runtime_options.trace = trace;
-  result.parity = CheckSimRuntimeParity(spec.config, seed, runtime_options);
+  result.parity =
+      CheckSimRuntimeParity(spec.config, model, seed, runtime_options);
 
   // Simulator re-run under the invariant oracle (every event checked).
   InvariantOracle oracle(spec.config);
   core::SchedulerOptions options;
   options.trace = trace;
   oracle.Attach(options);
-  result.run = RunInstrumented(spec.config, seed, std::move(options));
+  result.run = RunInstrumented(spec.config, model, seed, std::move(options));
   for (const std::string& violation : oracle.violations()) {
     result.problems.push_back("oracle: " + violation);
   }

@@ -6,12 +6,12 @@
 namespace scan::testkit {
 
 InstrumentedRun RunInstrumented(const core::SimulationConfig& config,
+                                const gatk::PipelineModel& model,
                                 std::uint64_t seed,
                                 core::SchedulerOptions options) {
   TraceDigest trace;
   trace.Attach(options);
-  core::Scheduler scheduler(config, gatk::PipelineModel::PaperGatk(), seed,
-                            std::move(options));
+  core::Scheduler scheduler(config, model, seed, std::move(options));
   InstrumentedRun run;
   run.metrics = scheduler.Run();
   run.fingerprint = MetricsFingerprint::Of(run.metrics);
@@ -20,15 +20,23 @@ InstrumentedRun RunInstrumented(const core::SimulationConfig& config,
   return run;
 }
 
+InstrumentedRun RunInstrumented(const core::SimulationConfig& config,
+                                std::uint64_t seed,
+                                core::SchedulerOptions options) {
+  return RunInstrumented(config, gatk::PipelineModel::PaperGatk(), seed,
+                         std::move(options));
+}
+
 DeterminismReport CheckDeterminism(const core::SimulationConfig& config,
+                                   const gatk::PipelineModel& model,
                                    std::uint64_t seed,
                                    core::SchedulerOptions options) {
   DeterminismReport report;
   // A caller-supplied inspection hook (e.g. an oracle) would carry state
   // across the two runs and misread the clock restart; drop it here.
   options.inspection_hook = nullptr;
-  report.first = RunInstrumented(config, seed, options);
-  report.second = RunInstrumented(config, seed, std::move(options));
+  report.first = RunInstrumented(config, model, seed, options);
+  report.second = RunInstrumented(config, model, seed, std::move(options));
 
   report.differences =
       report.first.fingerprint.DiffAgainst(report.second.fingerprint);
@@ -46,6 +54,13 @@ DeterminismReport CheckDeterminism(const core::SimulationConfig& config,
   }
   report.identical = report.differences.empty();
   return report;
+}
+
+DeterminismReport CheckDeterminism(const core::SimulationConfig& config,
+                                   std::uint64_t seed,
+                                   core::SchedulerOptions options) {
+  return CheckDeterminism(config, gatk::PipelineModel::PaperGatk(), seed,
+                          std::move(options));
 }
 
 std::string DeterminismReport::ToString() const {

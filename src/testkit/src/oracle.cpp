@@ -58,8 +58,19 @@ void InvariantOracle::Observe(const core::SchedulerView& view) {
   std::size_t private_sum = 0;
   std::size_t public_sum = 0;
 
+  // Under a DAG pipeline one job legitimately runs (or queues) several
+  // stages at once, so uniqueness is tracked per (job, stage) task there;
+  // a linear chain keeps the stricter legacy job-level keying. Stage fits
+  // 8 bits (PipelineModel::kMaxStages).
+  const auto unique_key = [&view](std::uint64_t job_id, std::size_t stage) {
+    return view.linear_pipeline
+               ? job_id
+               : (job_id << 8) | static_cast<std::uint64_t>(stage);
+  };
+
   // --- workers: configuration sane, busy-time accounting conserved.
-  std::unordered_set<std::uint64_t> executing;
+  std::unordered_set<std::uint64_t> executing;       // uniqueness keys
+  std::unordered_set<std::uint64_t> executing_jobs;  // job ids
   for (const core::WorkerView& worker : view.workers) {
     if (worker.cores <= 0 || worker.threads <= 0 ||
         worker.threads > worker.cores) {
@@ -99,7 +110,10 @@ void InvariantOracle::Observe(const core::SchedulerView& view) {
                      served, lifetime));
     }
     if (worker.busy && !worker.stale) {
-      if (!executing.insert(worker.current_job).second &&
+      executing_jobs.insert(worker.current_job);
+      if (!executing.insert(unique_key(worker.current_job,
+                                       worker.current_stage))
+               .second &&
           config_.fault.speculation_slowdown <= 0.0) {
         Fail(view, StrFormat("job %llu executing on two workers",
                              static_cast<unsigned long long>(
@@ -117,7 +131,8 @@ void InvariantOracle::Observe(const core::SchedulerView& view) {
 
   // --- queues: FIFO per stage, stage labels consistent, no duplicates,
   //     and nothing both queued and executing.
-  std::unordered_set<std::uint64_t> queued;
+  std::unordered_set<std::uint64_t> queued;       // uniqueness keys
+  std::unordered_set<std::uint64_t> queued_jobs;  // job ids
   for (std::size_t stage = 0; stage < view.queues.size(); ++stage) {
     SimTime previous{0.0};
     bool first = true;
@@ -136,13 +151,14 @@ void InvariantOracle::Observe(const core::SchedulerView& view) {
       }
       previous = task.enqueued_at;
       first = false;
-      if (!queued.insert(task.job_id).second) {
+      queued_jobs.insert(task.job_id);
+      if (!queued.insert(unique_key(task.job_id, task.stage)).second) {
         Fail(view, StrFormat("job %llu queued twice",
                              static_cast<unsigned long long>(task.job_id)));
       }
-      // A job queued while executing is the speculative-copy pattern;
+      // A task queued while executing is the speculative-copy pattern;
       // without speculation it is a double-scheduling bug.
-      if (executing.contains(task.job_id) &&
+      if (executing.contains(unique_key(task.job_id, task.stage)) &&
           config_.fault.speculation_slowdown <= 0.0) {
         Fail(view, StrFormat("job %llu both queued and executing",
                              static_cast<unsigned long long>(task.job_id)));
@@ -157,13 +173,16 @@ void InvariantOracle::Observe(const core::SchedulerView& view) {
       Fail(view, StrFormat("completed %zu of %zu arrived jobs",
                            m.jobs_completed, m.jobs_arrived));
     }
-    // A job speculatively queued while still executing is one job, so
-    // in-flight is the union of the two sets, plus jobs waiting out a
-    // retry backoff (in neither set), plus abandoned jobs (gone forever).
-    std::unordered_set<std::uint64_t> in_flight_ids = queued;
-    in_flight_ids.insert(executing.begin(), executing.end());
-    const std::size_t in_flight =
-        in_flight_ids.size() + view.backoff_jobs;
+    // A job is in flight if any of its tasks is queued, executing, or
+    // waiting out a retry backoff; one job may appear in several of those
+    // sets at once (speculative copies on a chain, parallel branches on a
+    // DAG), so count the union of job ids. On a linear chain the three
+    // sets are disjoint and this reproduces the legacy sum exactly.
+    std::unordered_set<std::uint64_t> in_flight_ids = queued_jobs;
+    in_flight_ids.insert(executing_jobs.begin(), executing_jobs.end());
+    in_flight_ids.insert(view.backoff_job_ids.begin(),
+                         view.backoff_job_ids.end());
+    const std::size_t in_flight = in_flight_ids.size();
     if (m.jobs_arrived !=
         m.jobs_completed + m.jobs_abandoned + in_flight) {
       Fail(view, StrFormat("job conservation: arrived %zu != completed %zu "

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
 #include "scan/core/scheduler.hpp"
 #include "scan/gatk/pipeline_model.hpp"
@@ -91,6 +92,7 @@ std::string ParityResult::Describe() const {
 }
 
 ParityResult CheckSimRuntimeParity(const core::SimulationConfig& config,
+                                   const gatk::PipelineModel& model,
                                    std::uint64_t seed,
                                    runtime::RuntimeOptions runtime_options) {
   // SCAN_OBS_TRACE=1 turns every scan_obs subsystem on for the whole
@@ -118,12 +120,10 @@ ParityResult CheckSimRuntimeParity(const core::SimulationConfig& config,
   sim_options.timeline_sample_period = runtime_options.timeline_sample_period;
   sim_options.record_schedule = true;
 
-  core::Scheduler scheduler(config, gatk::PipelineModel::PaperGatk(), seed,
-                            sim_options);
+  core::Scheduler scheduler(config, model, seed, sim_options);
   const core::RunMetrics sim_metrics = scheduler.Run();
 
-  runtime::RuntimePlatform platform(config, gatk::PipelineModel::PaperGatk(),
-                                    seed, runtime_options);
+  runtime::RuntimePlatform platform(config, model, seed, runtime_options);
   const runtime::RuntimeReport report = platform.Serve();
 
   ParityResult result;
@@ -145,6 +145,13 @@ ParityResult CheckSimRuntimeParity(const core::SimulationConfig& config,
              " runtime=" + std::to_string(result.runtime_fingerprint.digest));
   }
   return result;
+}
+
+ParityResult CheckSimRuntimeParity(const core::SimulationConfig& config,
+                                   std::uint64_t seed,
+                                   runtime::RuntimeOptions runtime_options) {
+  return CheckSimRuntimeParity(config, gatk::PipelineModel::PaperGatk(), seed,
+                               std::move(runtime_options));
 }
 
 }  // namespace scan::testkit

@@ -2,9 +2,14 @@
 
 #include <atomic>
 #include <mutex>
+#include <optional>
+#include <utility>
 
 #include "scan/common/rng.hpp"
 #include "scan/common/str.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/pdl/compiler.hpp"
+#include "scan/pdl/fuzzer.hpp"
 #include "scan/testkit/oracle.hpp"
 
 namespace scan::testkit {
@@ -100,11 +105,31 @@ StressResult StressScenario(const core::SimulationConfig& config,
   result.seed = seed;
   result.config = config;
 
+  // The stage model: the hardcoded GATK chain, or — when the options ask
+  // for it — a fuzzer-drawn PDL pipeline from its own named stream (no
+  // draw is taken from any scenario stream).
+  std::optional<gatk::PipelineModel> drawn;
+  if (options.draw_pdl_pipelines) {
+    RandomStream pdl_rng(seed, "pdl-fuzzer");
+    result.pdl_source = pdl::DrawPipelineSource(pdl_rng);
+    pdl::CompileResult compiled =
+        pdl::CompileString(result.pdl_source, "<pdl-fuzzer>");
+    if (!compiled.ok()) {
+      result.violations.push_back(
+          "pdl fuzzer drew an invalid pipeline:\n" +
+          pdl::FormatDiagnostics(compiled.diagnostics));
+      return result;
+    }
+    drawn = std::move(compiled.pipeline->model);
+  }
+  const gatk::PipelineModel model =
+      drawn.has_value() ? std::move(*drawn) : gatk::PipelineModel::PaperGatk();
+
   InvariantOracle oracle(config);
   core::SchedulerOptions run_options;
   run_options.timeline_sample_period = SimTime{10.0};
   oracle.Attach(run_options);
-  result.run = RunInstrumented(config, seed, run_options);
+  result.run = RunInstrumented(config, model, seed, run_options);
   result.events_checked = oracle.events_checked();
   result.violations = oracle.violations();
   if (!oracle.ok() && result.violations.empty()) {
@@ -115,7 +140,7 @@ StressResult StressScenario(const core::SimulationConfig& config,
     core::SchedulerOptions replay_options;
     replay_options.timeline_sample_period = SimTime{10.0};
     const InstrumentedRun replay =
-        RunInstrumented(config, seed, replay_options);
+        RunInstrumented(config, model, seed, replay_options);
     result.determinism_diff =
         result.run.fingerprint.DiffAgainst(replay.fingerprint);
     if (result.run.trace_digest != replay.trace_digest ||
@@ -149,6 +174,9 @@ std::string StressResult::Describe() const {
   }
   for (const std::string& diff : determinism_diff) {
     out += "\n    determinism: " + diff;
+  }
+  if (!pdl_source.empty() && !(violations.empty() && determinism_diff.empty())) {
+    out += "\n    pipeline under test:\n" + pdl_source;
   }
   return out;
 }

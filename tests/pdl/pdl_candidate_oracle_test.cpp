@@ -1,0 +1,58 @@
+// Candidate-index oracle over DSL pipelines: with
+// SCAN_TESTKIT_VERIFY_CANDIDATES set, both engines re-derive candidate
+// sets from scratch after every decision and throw on divergence from
+// the incremental WorkerIndex. Fuzzer-drawn PDL pipelines reach stage
+// layouts (bags of tasks, wide fan-out) the hardcoded chain never
+// produces, so this binary re-runs the oracle over the DSL corpus.
+// Separate binary: the env flag is read once per engine construction,
+// so it must not leak into suites that measure plain runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "scan/testkit/scenario.hpp"
+
+namespace scan::testkit {
+namespace {
+
+class PdlCandidateOracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::setenv("SCAN_TESTKIT_VERIFY_CANDIDATES", "1", 1);
+  }
+  void TearDown() override { ::unsetenv("SCAN_TESTKIT_VERIFY_CANDIDATES"); }
+};
+
+TEST_F(PdlCandidateOracleTest, DrawnPipelinesMatchRescan) {
+  ScenarioOptions options;
+  options.check_determinism = false;  // oracle cost is the point here
+  options.draw_pdl_pipelines = true;
+  const auto results = StressSweep(0x9D1CA11u, 6, options);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok()) << result.Describe();
+    EXPECT_GT(result.events_checked, 0u);
+    EXPECT_FALSE(result.pdl_source.empty());
+  }
+}
+
+TEST_F(PdlCandidateOracleTest, DrawnPipelinesWithFaultKnobsMatchRescan) {
+  // Fault churn (flaps, breakers, retries) on arbitrary topologies is the
+  // busiest regime for the index: workers leave and re-enter the idle
+  // sets while multiple DAG branches contend for them.
+  ScenarioOptions options;
+  options.check_determinism = false;
+  options.draw_fault_knobs = true;
+  options.draw_pdl_pipelines = true;
+  const auto results = StressSweep(0x9D1FA17u, 6, options);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok()) << result.Describe();
+  }
+}
+
+TEST_F(PdlCandidateOracleTest, OracleFlagIsActuallyArmed) {
+  EXPECT_NE(std::getenv("SCAN_TESTKIT_VERIFY_CANDIDATES"), nullptr);
+}
+
+}  // namespace
+}  // namespace scan::testkit

@@ -1,0 +1,69 @@
+// Chaos parity on arbitrary pipelines: fuzzer-drawn PDL programs (chains,
+// bags of tasks, fan-out/fan-in, general DAGs) replayed through BOTH
+// engines under the kitchen-sink fault config — crashes, stragglers,
+// speculation, flapping behind a breaker, backoff — and compared bit for
+// bit. The legacy preset suite keeps running on the hardcoded chain in
+// tests/runtime; this file is the DSL corpus.
+
+#include "scan/testkit/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scan/pdl/compiler.hpp"
+
+namespace scan::testkit {
+namespace {
+
+TEST(PdlChaos, FuzzedPipelinesHoldChaosParity) {
+  const std::vector<ChaosSpec> specs = FuzzedChaosScenarios(0xC4A05, 10);
+  ASSERT_EQ(specs.size(), 10u);
+  bool saw_dag = false;
+  bool saw_chain = false;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ChaosSpec& spec = specs[i];
+    ASSERT_TRUE(spec.model.has_value()) << spec.name;
+    saw_dag = saw_dag || !spec.model->is_linear();
+    saw_chain = saw_chain || spec.model->is_linear();
+    const ChaosResult result =
+        RunChaos(spec, 0xC4A05u + static_cast<std::uint64_t>(i));
+    EXPECT_TRUE(result.ok()) << result.Describe();
+  }
+  // The drawn corpus must cover both shapes, or the suite silently
+  // stops testing DAG readiness under faults.
+  EXPECT_TRUE(saw_dag) << "fuzzed corpus drew no DAG pipeline";
+  EXPECT_TRUE(saw_chain) << "fuzzed corpus drew no linear pipeline";
+}
+
+TEST(PdlChaos, FuzzedSuiteIsDeterministic) {
+  const std::vector<ChaosSpec> first = FuzzedChaosScenarios(0xC4A06, 4);
+  const std::vector<ChaosSpec> second = FuzzedChaosScenarios(0xC4A06, 4);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].name, second[i].name);
+    ASSERT_TRUE(first[i].model.has_value() && second[i].model.has_value());
+    EXPECT_EQ(first[i].model->Fingerprint(), second[i].model->Fingerprint());
+  }
+}
+
+TEST(PdlChaos, ShippedDagProfileSurvivesKitchenSinkFaults) {
+  // The checked-in GATK-Spark DAG under the harshest preset config: swap
+  // the model into the last preset scenario (the all-faults-at-once one)
+  // and run the full parity + expectation battery.
+  pdl::CompileResult compiled = pdl::CompileFile(
+      std::string(SCAN_PDL_PROFILE_DIR) + "/gatk_spark.pdl");
+  ASSERT_TRUE(compiled.ok()) << pdl::FormatDiagnostics(compiled.diagnostics);
+
+  std::vector<ChaosSpec> presets = ChaosScenarios();
+  ASSERT_FALSE(presets.empty());
+  ChaosSpec spec = presets.back();
+  spec.name = "gatk-spark-dag-" + spec.name;
+  spec.model = std::move(compiled.pipeline->model);
+
+  const ChaosResult result = RunChaos(spec, 0xD46);
+  EXPECT_TRUE(result.ok()) << result.Describe();
+}
+
+}  // namespace
+}  // namespace scan::testkit

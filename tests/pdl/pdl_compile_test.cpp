@@ -1,0 +1,200 @@
+// Compiler lowering: the shipped gatk.pdl reproduces the hardcoded paper
+// model bit for bit, forward references lower in topological order,
+// deadline sugar lowers into a penalty rate, ApplyTo maps overrides onto
+// the config (and only the overrides), and the profile fingerprint
+// tracks semantics, not spelling.
+
+#include "scan/pdl/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "scan/gatk/pipeline_model.hpp"
+
+namespace scan::pdl {
+namespace {
+
+std::string ProfilePath(const std::string& name) {
+  return std::string(SCAN_PDL_PROFILE_DIR) + "/" + name;
+}
+
+CompiledPipeline CompileProfile(const std::string& name) {
+  CompileResult result = CompileFile(ProfilePath(name));
+  if (!result.ok()) {
+    throw std::runtime_error(FormatDiagnostics(result.diagnostics));
+  }
+  return std::move(*result.pipeline);
+}
+
+TEST(PdlCompile, GatkProfileReproducesThePaperModelBitForBit) {
+  const CompiledPipeline compiled = CompileProfile("gatk.pdl");
+  const gatk::PipelineModel& model = compiled.model;
+  const gatk::PipelineModel paper = gatk::PipelineModel::PaperGatk();
+
+  ASSERT_EQ(model.stage_count(), paper.stage_count());
+  for (std::size_t i = 0; i < model.stage_count(); ++i) {
+    EXPECT_EQ(model.stage(i).a, paper.stage(i).a) << "stage " << i;
+    EXPECT_EQ(model.stage(i).b, paper.stage(i).b) << "stage " << i;
+    EXPECT_EQ(model.stage(i).c, paper.stage(i).c) << "stage " << i;
+    EXPECT_EQ(model.deps(i), paper.deps(i)) << "stage " << i;
+  }
+  EXPECT_TRUE(model.is_linear());
+  EXPECT_EQ(model.name(0), "align");
+  EXPECT_EQ(model.name(6), "annotate");
+
+  // The profile pins the paper's time scale explicitly; the hardcoded
+  // model leaves it to the config (which defaults to the same 0.25).
+  ASSERT_TRUE(model.time_scale().has_value());
+  EXPECT_EQ(*model.time_scale(), 0.25);
+  EXPECT_EQ(compiled.shard.policy, ShardPolicy::kNone);
+}
+
+TEST(PdlCompile, EveryShippedProfileCompilesWithADistinctFingerprint) {
+  const char* names[] = {"cloudbreak.pdl", "gatk.pdl", "gatk_spark.pdl",
+                         "rbiocloud.pdl"};
+  std::set<std::uint64_t> fingerprints;
+  for (const char* name : names) {
+    fingerprints.insert(CompileProfile(name).Fingerprint());
+  }
+  EXPECT_EQ(fingerprints.size(), 4u);
+}
+
+TEST(PdlCompile, GatkSparkLowersToADag) {
+  const CompiledPipeline compiled = CompileProfile("gatk_spark.pdl");
+  EXPECT_FALSE(compiled.model.is_linear());
+  EXPECT_EQ(compiled.shard.policy, ShardPolicy::kByRegion);
+  EXPECT_EQ(compiled.shard.fanout, 24);
+  // merge_calls joins the three caller branches.
+  bool found_join = false;
+  for (std::size_t i = 0; i < compiled.model.stage_count(); ++i) {
+    if (compiled.model.name(i) == "merge_calls") {
+      EXPECT_EQ(compiled.model.deps(i).size(), 3u);
+      found_join = true;
+    }
+  }
+  EXPECT_TRUE(found_join);
+}
+
+TEST(PdlCompile, ForwardReferencesLowerInTopologicalOrder) {
+  // Declared join-first; lowering must emit root, left, right, merge with
+  // the smallest-declaration-index tie-break.
+  const CompileResult result = CompileString(
+      "pipeline \"p\" {\n"
+      "  stage merge { a = 1; after left, right; }\n"
+      "  stage left { a = 1; after root; }\n"
+      "  stage right { a = 1; after root; }\n"
+      "  stage root { a = 1; }\n"
+      "}\n");
+  ASSERT_TRUE(result.ok()) << FormatDiagnostics(result.diagnostics);
+  const gatk::PipelineModel& model = result.pipeline->model;
+  ASSERT_EQ(model.stage_count(), 4u);
+  EXPECT_EQ(model.name(0), "root");
+  EXPECT_EQ(model.name(1), "left");
+  EXPECT_EQ(model.name(2), "right");
+  EXPECT_EQ(model.name(3), "merge");
+  EXPECT_EQ(model.deps(0), (std::vector<std::size_t>{}));
+  EXPECT_EQ(model.deps(1), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(model.deps(2), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(model.deps(3), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(PdlCompile, DeadlineLowersIntoPenaltyRate) {
+  const CompileResult result = CompileString(
+      "pipeline \"d\" {\n"
+      "  reward { scheme = time_based; r_max = 400; deadline = 20; }\n"
+      "  stage s { a = 1; }\n"
+      "}\n");
+  ASSERT_TRUE(result.ok()) << FormatDiagnostics(result.diagnostics);
+  ASSERT_TRUE(result.pipeline->reward.r_penalty.has_value());
+  EXPECT_EQ(*result.pipeline->reward.r_penalty, 20.0);
+
+  core::SimulationConfig config;
+  result.pipeline->ApplyTo(config);
+  EXPECT_EQ(config.reward_scheme, workload::RewardScheme::kTimeBased);
+  EXPECT_EQ(config.r_max, 400.0);
+  EXPECT_EQ(config.r_penalty, 20.0);
+}
+
+TEST(PdlCompile, ApplyToMapsFaultPriorsOntoTheConfig) {
+  const CompileResult result = CompileString(
+      "pipeline \"f\" {\n"
+      "  faults {\n"
+      "    crash_rate = 0.03;\n"
+      "    checkpoint_interval = 0.5;\n"
+      "    straggle_rate = 0.1;\n"
+      "    straggle_factor = 2.5;\n"
+      "    flap_rate = 0.01;\n"
+      "    max_retries = 6;\n"
+      "    backoff_base = 0.2;\n"
+      "    backoff_multiplier = 2;\n"
+      "    backoff_cap = 1.5;\n"
+      "    breaker_threshold = 3;\n"
+      "    breaker_cooldown = 12;\n"
+      "    speculation_slowdown = 1.6;\n"
+      "  }\n"
+      "  stage s { a = 1; }\n"
+      "}\n");
+  ASSERT_TRUE(result.ok()) << FormatDiagnostics(result.diagnostics);
+
+  core::SimulationConfig config;
+  result.pipeline->ApplyTo(config);
+  EXPECT_EQ(config.worker_failure_rate, 0.03);
+  EXPECT_EQ(config.fault.checkpoint_interval.value(), 0.5);
+  EXPECT_EQ(config.fault.straggle_rate, 0.1);
+  EXPECT_EQ(config.fault.straggle_factor, 2.5);
+  EXPECT_EQ(config.fault.flap_rate, 0.01);
+  EXPECT_EQ(config.fault.max_retries_per_job, 6);
+  EXPECT_EQ(config.fault.backoff_base.value(), 0.2);
+  EXPECT_EQ(config.fault.backoff_multiplier, 2.0);
+  EXPECT_EQ(config.fault.backoff_cap.value(), 1.5);
+  EXPECT_EQ(config.fault.breaker_threshold, 3);
+  EXPECT_EQ(config.fault.breaker_cooldown.value(), 12.0);
+  EXPECT_EQ(config.fault.speculation_slowdown, 1.6);
+}
+
+TEST(PdlCompile, ApplyToLeavesUnsetKnobsAlone) {
+  const CompileResult result = CompileString(
+      "pipeline \"partial\" {\n"
+      "  reward { r_max = 500; }\n"
+      "  stage s { a = 1; }\n"
+      "}\n");
+  ASSERT_TRUE(result.ok());
+
+  core::SimulationConfig config;
+  config.r_scale = 9999.0;
+  config.worker_failure_rate = 0.07;
+  result.pipeline->ApplyTo(config);
+  EXPECT_EQ(config.r_max, 500.0);
+  EXPECT_EQ(config.r_scale, 9999.0) << "unset override clobbered the config";
+  EXPECT_EQ(config.worker_failure_rate, 0.07);
+}
+
+TEST(PdlCompile, SerialIsTheComplementOfParallel) {
+  const CompileResult result = CompileString(
+      "pipeline \"s\" { stage s { a = 1; serial = 0.25; } }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.pipeline->model.stage(0).c, 0.75);
+}
+
+TEST(PdlCompile, FingerprintIgnoresSpellingButNotSemantics) {
+  const CompileResult plain = CompileString(
+      "pipeline \"one\" { stage s { a = 1; parallel = 0.5; } }");
+  const CompileResult cosmetic = CompileString(
+      "# renamed, reformatted, re-commented\n"
+      "pipeline \"two\" {\n"
+      "  stage s {\n"
+      "    a = 1;  // same coefficients\n"
+      "    parallel = 0.5;\n"
+      "  }\n"
+      "}\n");
+  const CompileResult changed = CompileString(
+      "pipeline \"one\" { stage s { a = 2; parallel = 0.5; } }");
+  ASSERT_TRUE(plain.ok() && cosmetic.ok() && changed.ok());
+  EXPECT_EQ(plain.pipeline->Fingerprint(), cosmetic.pipeline->Fingerprint());
+  EXPECT_NE(plain.pipeline->Fingerprint(), changed.pipeline->Fingerprint());
+}
+
+}  // namespace
+}  // namespace scan::pdl

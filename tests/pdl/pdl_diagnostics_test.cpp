@@ -1,0 +1,232 @@
+// Golden diagnostics: the exact file:line:column rendering users see for
+// the canonical mistakes (bad token, dependency cycle, unknown shard
+// policy, duplicate stage), plus substring coverage for every semantic
+// check. Exact strings are the contract — tooling greps these.
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scan/pdl/compiler.hpp"
+
+namespace scan::pdl {
+namespace {
+
+using ::testing::HasSubstr;
+
+/// Compiles and returns the first diagnostic in rendered form.
+std::string FirstDiagnostic(std::string_view source) {
+  const CompileResult result = CompileString(source);
+  if (result.ok()) return "<compiled clean>";
+  if (result.diagnostics.empty()) return "<no diagnostics>";
+  return result.diagnostics.front().Format();
+}
+
+// ---- The four golden renderings (exact match, position included) ----
+
+TEST(PdlGoldenDiagnostics, BadToken) {
+  EXPECT_EQ(FirstDiagnostic("pipeline \"p\" {\n"
+                            "  stage s { a = 1; @ }\n"
+                            "}\n"),
+            "<pdl>:2:20: error: unexpected character '@'");
+}
+
+TEST(PdlGoldenDiagnostics, DependencyCycle) {
+  EXPECT_EQ(FirstDiagnostic("pipeline \"p\" {\n"
+                            "  stage a {\n"
+                            "    a = 1;\n"
+                            "    after b;\n"
+                            "  }\n"
+                            "  stage b {\n"
+                            "    a = 1;\n"
+                            "    after a;\n"
+                            "  }\n"
+                            "}\n"),
+            "<pdl>:4:5: error: dependency cycle involving stage 'a'");
+}
+
+TEST(PdlGoldenDiagnostics, UnknownShardPolicy) {
+  EXPECT_EQ(FirstDiagnostic("pipeline \"p\" {\n"
+                            "  shard = zones;\n"
+                            "  stage s { a = 1; }\n"
+                            "}\n"),
+            "<pdl>:2:11: error: unknown shard policy 'zones' (expected "
+            "none, fixed(n), by_region(n), or dynamic)");
+}
+
+TEST(PdlGoldenDiagnostics, DuplicateStage) {
+  EXPECT_EQ(FirstDiagnostic("pipeline \"p\" {\n"
+                            "  stage s { a = 1; }\n"
+                            "  stage s { a = 2; }\n"
+                            "}\n"),
+            "<pdl>:3:9: error: duplicate stage 's'");
+}
+
+// ---- Semantic checks (message substrings) ----
+
+TEST(PdlDiagnostics, UnknownStageInAfter) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  stage s { a = 1; after ghost; }\n"
+                              "}\n"),
+              HasSubstr("unknown stage 'ghost' in 'after' clause of "
+                        "stage 's'"));
+}
+
+TEST(PdlDiagnostics, SelfDependency) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  stage s { a = 1; after s; }\n"
+                              "}\n"),
+              HasSubstr("stage 's' depends on itself"));
+}
+
+TEST(PdlDiagnostics, DuplicateDependency) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  stage a { a = 1; }\n"
+                              "  stage b { a = 1; after a, a; }\n"
+                              "}\n"),
+              HasSubstr("duplicate dependency 'a' in 'after' clause of "
+                        "stage 'b'"));
+}
+
+TEST(PdlDiagnostics, DuplicateAttributeInStage) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  stage s { a = 1; a = 2; }\n"
+                              "}\n"),
+              HasSubstr("duplicate attribute 'a' in stage 's'"));
+}
+
+TEST(PdlDiagnostics, ParallelFractionOutOfRange) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  stage s { a = 1; parallel = 1.5; }\n"
+                              "}\n"),
+              HasSubstr("attribute 'parallel' must be within [0, 1], "
+                        "got 1.5"));
+}
+
+TEST(PdlDiagnostics, ParallelAndSerialConflict) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  stage s { a = 1; parallel = 0.5; "
+                              "serial = 0.5; }\n"
+                              "}\n"),
+              HasSubstr("sets both 'parallel' and 'serial'"));
+}
+
+TEST(PdlDiagnostics, MissingRequiredA) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  stage s { b = 1; }\n"
+                              "}\n"),
+              HasSubstr("stage 's' is missing required attribute 'a'"));
+}
+
+TEST(PdlDiagnostics, DeadlineAndPenaltyConflict) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  reward { r_max = 400; r_penalty = 10; "
+                              "deadline = 30; }\n"
+                              "  stage s { a = 1; }\n"
+                              "}\n"),
+              HasSubstr("sets both 'deadline' and 'r_penalty'"));
+}
+
+TEST(PdlDiagnostics, DeadlineWithoutRMax) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  reward { deadline = 30; }\n"
+                              "  stage s { a = 1; }\n"
+                              "}\n"),
+              HasSubstr("'deadline' needs 'r_max'"));
+}
+
+TEST(PdlDiagnostics, PipelineWithoutStages) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"empty\" { }\n"),
+              HasSubstr("pipeline \"empty\" declares no stages"));
+}
+
+TEST(PdlDiagnostics, UnknownPipelineAttribute) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  speed = 3;\n"
+                              "  stage s { a = 1; }\n"
+                              "}\n"),
+              HasSubstr("unknown pipeline attribute 'speed'"));
+}
+
+TEST(PdlDiagnostics, UnknownRewardScheme) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  reward { scheme = fast; }\n"
+                              "  stage s { a = 1; }\n"
+                              "}\n"),
+              HasSubstr("unknown reward scheme 'fast'"));
+}
+
+TEST(PdlDiagnostics, UnknownFaultAttribute) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  faults { gremlins = 1; }\n"
+                              "  stage s { a = 1; }\n"
+                              "}\n"),
+              HasSubstr("unknown fault attribute 'gremlins'"));
+}
+
+TEST(PdlDiagnostics, ShardPolicyMissingFanout) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  shard = fixed;\n"
+                              "  stage s { a = 1; }\n"
+                              "}\n"),
+              HasSubstr("shard policy 'fixed' requires a fan-out "
+                        "parameter"));
+}
+
+TEST(PdlDiagnostics, ShardFanoutMustBeInteger) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  shard = by_region(2.5);\n"
+                              "  stage s { a = 1; }\n"
+                              "}\n"),
+              HasSubstr("shard fan-out must be an integer in [1, 4096], "
+                        "got 2.5"));
+}
+
+TEST(PdlDiagnostics, DynamicShardTakesNoParameter) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  shard = dynamic(4);\n"
+                              "  stage s { a = 1; }\n"
+                              "}\n"),
+              HasSubstr("shard policy 'dynamic' takes no parameter"));
+}
+
+TEST(PdlDiagnostics, SpeculationSlowdownMustExceedOne) {
+  EXPECT_THAT(FirstDiagnostic("pipeline \"p\" {\n"
+                              "  faults { speculation_slowdown = 1; }\n"
+                              "  stage s { a = 1; }\n"
+                              "}\n"),
+              HasSubstr("must be 0 (off) or greater than 1, got 1"));
+}
+
+TEST(PdlDiagnostics, StageCapEnforced) {
+  std::string source = "pipeline \"big\" {\n";
+  for (int i = 0; i < 65; ++i) {
+    source += "  stage s" + std::to_string(i) + " { a = 1; }\n";
+  }
+  source += "}\n";
+  EXPECT_THAT(FirstDiagnostic(source),
+              HasSubstr("declares 65 stages; the cap is 64"));
+}
+
+TEST(PdlDiagnostics, SemaCollectsMultipleErrors) {
+  // Unlike the parser, sema keeps going: two broken stages, two reports.
+  const CompileResult result = CompileString(
+      "pipeline \"p\" {\n"
+      "  stage s { b = 1; }\n"
+      "  stage t { b = 1; }\n"
+      "}\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.diagnostics.size(), 2u);
+}
+
+TEST(PdlDiagnostics, MissingFileIsADiagnostic) {
+  const CompileResult result = CompileFile("/nonexistent/ghost.pdl");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].message, "cannot open file");
+  EXPECT_EQ(result.diagnostics[0].file, "/nonexistent/ghost.pdl");
+}
+
+}  // namespace
+}  // namespace scan::pdl

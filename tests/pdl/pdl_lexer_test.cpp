@@ -1,0 +1,104 @@
+// Token-level contract of the PDL lexer: kinds, spellings, number
+// values, comment/whitespace trivia, 1-based positions, and error
+// tokens for malformed input.
+
+#include "scan/pdl/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scan::pdl {
+namespace {
+
+std::vector<Token> LexAll(std::string_view source) {
+  Lexer lexer(source);
+  std::vector<Token> tokens;
+  for (;;) {
+    Token token = lexer.Next();
+    const bool done =
+        token.kind == TokenKind::kEof || token.kind == TokenKind::kError;
+    tokens.push_back(std::move(token));
+    if (done) break;
+  }
+  return tokens;
+}
+
+TEST(PdlLexer, LexesThePunctuationAndIdentifiers) {
+  const auto tokens = LexAll("stage s1 { a = 1; after x, y; }");
+  std::vector<TokenKind> kinds;
+  kinds.reserve(tokens.size());
+  for (const Token& token : tokens) kinds.push_back(token.kind);
+  const std::vector<TokenKind> expected{
+      TokenKind::kIdent, TokenKind::kIdent, TokenKind::kLBrace,
+      TokenKind::kIdent, TokenKind::kEquals, TokenKind::kNumber,
+      TokenKind::kSemicolon, TokenKind::kIdent, TokenKind::kIdent,
+      TokenKind::kComma, TokenKind::kIdent, TokenKind::kSemicolon,
+      TokenKind::kRBrace, TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+  EXPECT_EQ(tokens[0].text, "stage");
+  EXPECT_EQ(tokens[1].text, "s1");
+  EXPECT_EQ(tokens[5].number, 1.0);
+}
+
+TEST(PdlLexer, LexesNumbersIncludingSignFractionAndExponent) {
+  const auto tokens = LexAll("0.35 -0.53 2.7e2 1e-3 17.86");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].number, 0.35);
+  EXPECT_EQ(tokens[1].number, -0.53);
+  EXPECT_EQ(tokens[2].number, 270.0);
+  EXPECT_EQ(tokens[3].number, 1e-3);
+  EXPECT_EQ(tokens[4].number, 17.86);
+}
+
+TEST(PdlLexer, SkipsBothCommentStyles) {
+  const auto tokens = LexAll("# hash comment\nfoo // tail comment\nbar");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].text, "bar");
+  EXPECT_EQ(tokens[1].pos.line, 3);
+  EXPECT_EQ(tokens[1].pos.column, 1);
+}
+
+TEST(PdlLexer, TracksLineAndColumnOneBased) {
+  const auto tokens = LexAll("a\n  bb\n    c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].pos.line, 1);
+  EXPECT_EQ(tokens[0].pos.column, 1);
+  EXPECT_EQ(tokens[1].pos.line, 2);
+  EXPECT_EQ(tokens[1].pos.column, 3);
+  EXPECT_EQ(tokens[2].pos.line, 3);
+  EXPECT_EQ(tokens[2].pos.column, 5);
+}
+
+TEST(PdlLexer, LexesStrings) {
+  const auto tokens = LexAll("pipeline \"my gatk\" {");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "my gatk");
+}
+
+TEST(PdlLexer, ReportsUnterminatedString) {
+  const auto tokens = LexAll("\"oops");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens.back().kind, TokenKind::kError);
+  EXPECT_EQ(tokens.back().text, "unterminated string");
+}
+
+TEST(PdlLexer, ReportsUnexpectedCharacter) {
+  const auto tokens = LexAll("a = @;");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kError);
+  EXPECT_EQ(tokens[2].text, "unexpected character '@'");
+  EXPECT_EQ(tokens[2].pos.column, 5);
+}
+
+TEST(PdlLexer, ReportsMalformedNumbers) {
+  EXPECT_EQ(LexAll("1e").back().text,
+            "malformed number: digit expected in exponent");
+  EXPECT_EQ(LexAll("3.").back().text,
+            "malformed number: digit expected after '.'");
+}
+
+}  // namespace
+}  // namespace scan::pdl

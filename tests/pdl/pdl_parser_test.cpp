@@ -1,0 +1,143 @@
+// Parser structure and recovery: a full-grammar program maps onto the
+// expected AST, and malformed programs fail with a located diagnostic at
+// the first error.
+
+#include "scan/pdl/parser.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+namespace scan::pdl {
+namespace {
+
+using ::testing::HasSubstr;
+
+TEST(PdlParser, ParsesTheFullGrammar) {
+  const ParseResult result = ParsePdl(R"(
+# Every construct in one program.
+pipeline "demo" {
+  time_scale = 0.5;
+  shard = fixed(8);
+  reward {
+    scheme = time_based;  // identifier-valued attribute
+    r_max = 400;
+  }
+  faults {
+    crash_rate = 0.01;
+  }
+  stage align { a = 0.35; b = 5.38; parallel = 0.89; }
+  stage call { a = 1.0; serial = 0.2; after align; }
+}
+)");
+  ASSERT_TRUE(result.ok()) << FormatDiagnostics(result.diagnostics);
+  const PipelineDecl& pipeline = *result.pipeline;
+  EXPECT_EQ(pipeline.name, "demo");
+
+  ASSERT_EQ(pipeline.attrs.size(), 1u);
+  EXPECT_EQ(pipeline.attrs[0].name, "time_scale");
+  EXPECT_TRUE(pipeline.attrs[0].is_number);
+  EXPECT_EQ(pipeline.attrs[0].number, 0.5);
+
+  ASSERT_TRUE(pipeline.shard.has_value());
+  EXPECT_EQ(pipeline.shard->policy, "fixed");
+  ASSERT_TRUE(pipeline.shard->param.has_value());
+  EXPECT_EQ(*pipeline.shard->param, 8.0);
+
+  ASSERT_TRUE(pipeline.reward.has_value());
+  ASSERT_EQ(pipeline.reward->attrs.size(), 2u);
+  EXPECT_EQ(pipeline.reward->attrs[0].name, "scheme");
+  EXPECT_FALSE(pipeline.reward->attrs[0].is_number);
+  EXPECT_EQ(pipeline.reward->attrs[0].ident, "time_based");
+
+  ASSERT_TRUE(pipeline.faults.has_value());
+  ASSERT_EQ(pipeline.faults->attrs.size(), 1u);
+
+  ASSERT_EQ(pipeline.stages.size(), 2u);
+  EXPECT_EQ(pipeline.stages[0].name, "align");
+  EXPECT_EQ(pipeline.stages[0].attrs.size(), 3u);
+  EXPECT_FALSE(pipeline.stages[0].has_after);
+  EXPECT_TRUE(pipeline.stages[1].has_after);
+  ASSERT_EQ(pipeline.stages[1].after.size(), 1u);
+  EXPECT_EQ(pipeline.stages[1].after[0].name, "align");
+}
+
+TEST(PdlParser, AfterAcceptsMultipleDependencies) {
+  const ParseResult result = ParsePdl(
+      "pipeline \"p\" {\n"
+      "  stage a { a = 1; }\n"
+      "  stage b { a = 1; }\n"
+      "  stage c { a = 1; after a, b; }\n"
+      "}\n");
+  ASSERT_TRUE(result.ok()) << FormatDiagnostics(result.diagnostics);
+  ASSERT_EQ(result.pipeline->stages[2].after.size(), 2u);
+  EXPECT_EQ(result.pipeline->stages[2].after[0].name, "a");
+  EXPECT_EQ(result.pipeline->stages[2].after[1].name, "b");
+}
+
+std::string FirstError(std::string_view source) {
+  const ParseResult result = ParsePdl(source);
+  EXPECT_FALSE(result.ok()) << "expected a parse failure";
+  if (result.diagnostics.empty()) return "<no diagnostics>";
+  return result.diagnostics.front().message;
+}
+
+TEST(PdlParser, RejectsMissingPipelineKeyword) {
+  EXPECT_THAT(FirstError("banana \"p\" {}"),
+              HasSubstr("expected 'pipeline', got identifier"));
+}
+
+TEST(PdlParser, RejectsMissingPipelineName) {
+  EXPECT_THAT(FirstError("pipeline { }"),
+              HasSubstr("expected pipeline name string, got '{'"));
+}
+
+TEST(PdlParser, RejectsMissingSemicolon) {
+  EXPECT_THAT(FirstError("pipeline \"p\" { stage s { a = 1 } }"),
+              HasSubstr("expected ';' after attribute 'a', got '}'"));
+}
+
+TEST(PdlParser, RejectsMissingAttributeValue) {
+  EXPECT_THAT(FirstError("pipeline \"p\" { stage s { a = ; } }"),
+              HasSubstr("expected a number or identifier value for 'a', "
+                        "got ';'"));
+}
+
+TEST(PdlParser, RejectsUnterminatedPipelineBody) {
+  EXPECT_THAT(FirstError("pipeline \"p\" { stage s { a = 1; }"),
+              HasSubstr("expected '}' to close the pipeline body"));
+}
+
+TEST(PdlParser, RejectsDuplicateShardClause) {
+  EXPECT_THAT(FirstError("pipeline \"p\" {\n"
+                         "  shard = none;\n"
+                         "  shard = dynamic;\n"
+                         "  stage s { a = 1; }\n"
+                         "}\n"),
+              HasSubstr("duplicate 'shard' clause"));
+}
+
+TEST(PdlParser, RejectsDuplicateRewardBlock) {
+  EXPECT_THAT(FirstError("pipeline \"p\" {\n"
+                         "  reward { r_max = 1; }\n"
+                         "  reward { r_max = 2; }\n"
+                         "  stage s { a = 1; }\n"
+                         "}\n"),
+              HasSubstr("duplicate 'reward' block"));
+}
+
+TEST(PdlParser, RejectsTrailingGarbage) {
+  EXPECT_THAT(FirstError("pipeline \"p\" { stage s { a = 1; } } extra"),
+              HasSubstr("expected end of file after pipeline, "
+                        "got identifier"));
+}
+
+TEST(PdlParser, StopsAtTheFirstError) {
+  // One located diagnostic, not a cascade.
+  const ParseResult result =
+      ParsePdl("pipeline \"p\" { stage s { a = 1 } more junk }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.diagnostics.size(), 1u);
+}
+
+}  // namespace
+}  // namespace scan::pdl

@@ -1,0 +1,95 @@
+// Round-trip contract: ParsePdl(PrintPdl(ast)) reproduces the AST under
+// AstEquals — every number bit for bit — for every shipped profile and
+// for fuzzer-drawn programs across all topologies.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scan/common/rng.hpp"
+#include "scan/pdl/compiler.hpp"
+#include "scan/pdl/fuzzer.hpp"
+#include "scan/pdl/parser.hpp"
+#include "scan/pdl/printer.hpp"
+
+namespace scan::pdl {
+namespace {
+
+constexpr const char* kProfiles[] = {"cloudbreak.pdl", "gatk.pdl",
+                                     "gatk_spark.pdl", "rbiocloud.pdl"};
+
+std::string ReadProfile(const std::string& name) {
+  std::ifstream in(std::string(SCAN_PDL_PROFILE_DIR) + "/" + name);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// One parse -> print -> re-parse cycle; asserts AST identity and equal
+/// compiled fingerprints (the printed form must mean the same thing).
+void CheckRoundTrip(const std::string& source, const std::string& label) {
+  const ParseResult first = ParsePdl(source, label);
+  ASSERT_TRUE(first.ok()) << FormatDiagnostics(first.diagnostics);
+  const std::string printed = PrintPdl(*first.pipeline);
+  const ParseResult second = ParsePdl(printed, label + " (printed)");
+  ASSERT_TRUE(second.ok()) << FormatDiagnostics(second.diagnostics)
+                           << "\nprinted form:\n" << printed;
+  EXPECT_TRUE(AstEquals(*first.pipeline, *second.pipeline))
+      << label << " did not round-trip; printed form:\n" << printed;
+
+  const CompileResult a = CompileString(source, label);
+  const CompileResult b = CompileString(printed, label + " (printed)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.pipeline->Fingerprint(), b.pipeline->Fingerprint()) << label;
+}
+
+TEST(PdlRoundTrip, EveryShippedProfileSurvivesParsePrintParse) {
+  for (const char* name : kProfiles) {
+    const std::string source = ReadProfile(name);
+    ASSERT_FALSE(source.empty()) << "missing profile " << name;
+    CheckRoundTrip(source, name);
+  }
+}
+
+TEST(PdlRoundTrip, FuzzedProgramsCompileCleanAndRoundTrip) {
+  // The fuzzer's always-valid contract and the printer's bit-exactness,
+  // checked across 50 seeds spanning chain / bag / fan-out / DAG draws
+  // with reward and fault blocks enabled.
+  FuzzOptions options;
+  options.draw_reward = true;
+  options.draw_faults = true;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    RandomStream rng(0xF12Du + i, "pdl-roundtrip-fuzz");
+    const std::string source = DrawPipelineSource(rng, options);
+    const CompileResult compiled = CompileString(source, "<fuzz>");
+    ASSERT_TRUE(compiled.ok())
+        << FormatDiagnostics(compiled.diagnostics) << "\nprogram:\n"
+        << source;
+    CheckRoundTrip(source, "fuzz seed " + std::to_string(i));
+  }
+}
+
+TEST(PdlRoundTrip, NumberFormatterRoundTripsBits) {
+  const double values[] = {0.0,   -0.53,    17.86, 1.0 / 3.0, 0.1,
+                           2.7,   1e-300,   1e300, 0.25,      5.38,
+                           123.456789012345678};
+  for (const double value : values) {
+    const std::string spelled = FormatPdlNumber(value);
+    double parsed = 0.0;
+    const auto [ptr, ec] = std::from_chars(
+        spelled.data(), spelled.data() + spelled.size(), parsed);
+    ASSERT_EQ(ec, std::errc{}) << spelled;
+    ASSERT_EQ(ptr, spelled.data() + spelled.size()) << spelled;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+              std::bit_cast<std::uint64_t>(value))
+        << spelled;
+  }
+}
+
+}  // namespace
+}  // namespace scan::pdl

@@ -246,6 +246,7 @@ TEST(InvariantOracle, CountsBackoffAndAbandonedJobsInConservation) {
   InvariantOracle oracle(config);
   core::SchedulerView view = CleanView();
   view.backoff_jobs = 1;
+  view.backoff_job_ids = {7};
   core::RunMetrics metrics;
   metrics.jobs_arrived = 4;
   metrics.jobs_completed = 2;
