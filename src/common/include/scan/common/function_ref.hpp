@@ -1,0 +1,44 @@
+#pragma once
+
+// Non-owning callable reference (the C++26 std::function_ref shape).
+//
+// std::function heap-allocates captures beyond its tiny inline buffer, so
+// passing a scanning callback as `const std::function<...>&` costs an
+// allocation per call site even when the callee only invokes it
+// synchronously. FunctionRef stores a type-erased pointer to the caller's
+// callable plus one thunk pointer: construction is two stores, invocation
+// one indirect call, never an allocation. Only safe where the callable
+// outlives the call — exactly the visitor-scan pattern used by
+// TripleStore::Match and FrozenIndex.
+
+#include <type_traits>
+#include <utility>
+
+namespace scan {
+
+template <class Signature>
+class FunctionRef;  // undefined; specialised for function signatures
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& fn)  // NOLINT(google-explicit-constructor)
+      : target_(const_cast<void*>(static_cast<const void*>(&fn))),
+        thunk_([](void* target, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(target))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return thunk_(target_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* target_ = nullptr;
+  R (*thunk_)(void*, Args...) = nullptr;
+};
+
+}  // namespace scan

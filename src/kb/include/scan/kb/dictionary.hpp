@@ -1,0 +1,51 @@
+#pragma once
+
+// Sorted term dictionary for the frozen KB index.
+//
+// TermTable's unordered_map gives O(1) interning during loading, but every
+// lookup hashes two full strings and chases buckets. The frozen dictionary
+// is the read-optimized counterpart built once at Freeze() time: term ids
+// ordered by (kind, lexical, datatype), so constant resolution in query
+// compilation is a cache-friendly binary search and prefix scans over IRIs
+// (e.g. every scan:GATK* individual) are contiguous ranges. Ids are NOT
+// remapped — the dictionary orders the TermTable's existing dense ids, so
+// frozen answers are id-compatible with the staging store.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "scan/kb/term.hpp"
+
+namespace scan::kb {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds the sorted view over every term interned in `terms`.
+  static Dictionary Build(const TermTable& terms);
+
+  /// Resolves a term to its id by binary search. O(log n) comparisons.
+  [[nodiscard]] std::optional<TermId> Lookup(const Term& term) const;
+
+  /// Ids of all IRIs whose text starts with `prefix`, in lexical order.
+  [[nodiscard]] std::vector<TermId> IriPrefixRange(
+      std::string_view prefix) const;
+
+  [[nodiscard]] const Term& Get(TermId id) const { return terms_->Get(id); }
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// Ids in dictionary (sorted) order.
+  [[nodiscard]] const std::vector<TermId>& sorted_ids() const {
+    return sorted_;
+  }
+
+ private:
+  const TermTable* terms_ = nullptr;
+  std::vector<TermId> sorted_;
+};
+
+}  // namespace scan::kb

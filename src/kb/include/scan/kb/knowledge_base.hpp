@@ -12,12 +12,14 @@
 //  3. query for advice (AdviseShardSize / AdviseThreads / FitETimeModel).
 
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "scan/common/stats.hpp"
 #include "scan/common/status.hpp"
+#include "scan/kb/frozen_index.hpp"
 #include "scan/kb/ontology.hpp"
 #include "scan/kb/sparql.hpp"
 #include "scan/kb/triple_store.hpp"
@@ -59,6 +61,13 @@ class KnowledgeBase {
   /// Adds a bootstrap profile; returns the individual's term id.
   TermId AddProfile(const ApplicationProfile& profile);
 
+  /// Bulk bootstrap: stages every profile's triples with one
+  /// TripleStore::AddBatch (O(n log n) where per-triple insertion into
+  /// large posting lists is quadratic). The path for loading millions of
+  /// profiles before Freeze(). Returns the individuals' term ids.
+  std::vector<TermId> AddProfilesBulk(
+      std::span<const ApplicationProfile> profiles);
+
   /// Expands the KB from the log of a finished task (same payload as a
   /// profile; auto-named "<App>N" like the paper's GATK1..GATK4 sequence).
   TermId RecordTaskLog(const ApplicationProfile& log_entry);
@@ -91,8 +100,27 @@ class KnowledgeBase {
                                         std::optional<int> stage,
                                         int threads = 1) const;
 
-  /// Raw SPARQL access (used by examples and the Data Broker).
+  /// Raw SPARQL access (used by examples and the Data Broker). Routed to
+  /// the frozen planner-driven engine when a fresh snapshot exists, to the
+  /// legacy staging-store engine otherwise. Solution multisets are
+  /// identical either way; row order of unordered queries may differ.
   [[nodiscard]] Result<ResultSet> Query(std::string_view sparql) const;
+
+  /// Builds (or rebuilds) the read-optimized serving index from the current
+  /// staging store. Advice and query entry points route to it until the
+  /// next mutation makes it stale.
+  const FrozenIndex& Freeze();
+
+  /// True if a frozen snapshot exists and reflects the current store
+  /// revision.
+  [[nodiscard]] bool FrozenFresh() const {
+    return frozen_.has_value() && frozen_revision_ == store_.revision();
+  }
+
+  /// The fresh frozen snapshot, or nullptr when absent / stale.
+  [[nodiscard]] const FrozenIndex* frozen() const {
+    return FrozenFresh() ? &*frozen_ : nullptr;
+  }
 
   [[nodiscard]] const TripleStore& store() const { return store_; }
   [[nodiscard]] TripleStore& mutable_store() { return store_; }
@@ -105,8 +133,16 @@ class KnowledgeBase {
   TermId InsertIndividual(const ApplicationProfile& profile,
                           const std::string& name);
   [[nodiscard]] std::string NextIndividualName(std::string_view application);
+  TermId StageProfileTriples(const ApplicationProfile& profile,
+                             const std::string& name,
+                             std::vector<Triple>& out);
+  [[nodiscard]] Result<ShardAdvice> AdviseShardSizeFrozen(
+      const FrozenIndex& frozen, std::string_view application, double min_gb,
+      double max_gb) const;
 
   TripleStore store_;
+  std::optional<FrozenIndex> frozen_;
+  std::uint64_t frozen_revision_ = 0;
   std::size_t auto_name_counter_ = 0;
 };
 

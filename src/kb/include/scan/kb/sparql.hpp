@@ -32,9 +32,15 @@
 
 namespace scan::kb {
 
+/// Dense id of a query variable, interned at parse time so the engines
+/// carry flat `vector<TermId>` solution rows instead of per-row
+/// name -> id hash maps. Ids index SelectQuery::var_names.
+inline constexpr std::uint32_t kNoVarId = 0xffffffffu;
+
 /// A SPARQL variable (stored without the leading '?').
 struct Variable {
   std::string name;
+  std::uint32_t id = kNoVarId;  ///< dense id within the enclosing query
   friend bool operator==(const Variable&, const Variable&) = default;
 };
 
@@ -68,8 +74,9 @@ enum class ExprOp {
 
 struct Expr {
   ExprOp op = ExprOp::kLiteral;
-  std::string var;  // for kVar / kBound
-  Term literal;     // for kLiteral
+  std::string var;                   // for kVar / kBound
+  std::uint32_t var_id = kNoVarId;   // interned id of `var`
+  Term literal;                      // for kLiteral
   ExprPtr lhs;
   ExprPtr rhs;
 };
@@ -112,6 +119,10 @@ struct Projection {
 
 struct SelectQuery {
   bool distinct = false;
+  /// Every distinct variable in the query, indexed by its dense id (the
+  /// parse-time interning table). Solution rows are vectors parallel to
+  /// this.
+  std::vector<std::string> var_names;
   std::vector<std::string> variables;  // empty == SELECT * (plain queries)
   /// Full projection list (parallel to `variables` for plain queries;
   /// carries the aggregates otherwise).

@@ -8,11 +8,12 @@
 // (sparql_engine.hpp) performs joins over these pattern matches.
 
 #include <cstdint>
-#include <functional>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "scan/common/function_ref.hpp"
 #include "scan/kb/term.hpp"
 
 namespace scan::kb {
@@ -48,6 +49,13 @@ class TripleStore {
   bool Add(const Term& s, const Term& p, const Term& o);
   bool Add(Triple t);
 
+  /// Bulk insertion: appends every triple, then restores the sorted-postings
+  /// invariant with one sort+unique per touched key. O(n log n) total where
+  /// per-triple Add into large posting lists is quadratic — the path for
+  /// staging-layer loads of millions of triples before Freeze().
+  /// Returns the number of triples actually added (duplicates collapse).
+  std::size_t AddBatch(std::span<const Triple> triples);
+
   /// Removes a triple; returns false if absent. (Used by knowledge
   /// maintenance when a profile row is superseded.)
   bool Remove(Triple t);
@@ -56,10 +64,16 @@ class TripleStore {
 
   [[nodiscard]] std::size_t size() const { return count_; }
 
+  /// Mutation counter: bumped by every successful Add / AddBatch / Remove.
+  /// A FrozenIndex snapshot is fresh iff the revision it was built at still
+  /// matches (see KnowledgeBase::Freeze).
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
   /// Invokes `fn` for every triple matching the pattern. `fn` returning
-  /// false stops the scan early.
+  /// false stops the scan early. Non-owning callable: zero allocation per
+  /// scan.
   void Match(const TriplePatternIds& pattern,
-             const std::function<bool(const Triple&)>& fn) const;
+             FunctionRef<bool(const Triple&)> fn) const;
 
   /// Convenience: collects all matches.
   [[nodiscard]] std::vector<Triple> MatchAll(
@@ -89,6 +103,7 @@ class TripleStore {
   std::unordered_map<std::uint32_t, Postings> pos_;  // p -> (o, s)
   std::unordered_map<std::uint32_t, Postings> osp_;  // o -> (s, p)
   std::size_t count_ = 0;
+  std::uint64_t revision_ = 0;
   TermTable terms_;
 };
 

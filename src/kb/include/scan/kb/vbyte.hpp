@@ -1,0 +1,74 @@
+#pragma once
+
+// Varbyte-compressed sorted posting arrays with skip samples.
+//
+// The frozen KB index stores millions of (predicate, object) -> subjects
+// posting lists. Raw uint32 arrays cost 4 bytes per id; profile postings
+// are dense ascending sequences whose deltas fit one or two bytes, so
+// delta + varbyte encoding compresses them ~3-4x (the RDF-TDAA layout).
+// Every kSkipInterval-th value is kept uncompressed together with its byte
+// offset, making the array "directly addressable": At(i) decodes at most
+// kSkipInterval - 1 deltas from the nearest sample, and lower-bound search
+// binary-searches the samples then scans one block.
+//
+// All postings are strictly ascending (posting lists are de-duplicated
+// sorted id sets), so deltas are >= 1 and encoded as delta - 1.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "scan/common/function_ref.hpp"
+
+namespace scan::kb {
+
+/// One immutable compressed posting array.
+class CompressedPostings {
+ public:
+  static constexpr std::size_t kSkipInterval = 32;
+
+  CompressedPostings() = default;
+
+  /// Builds from a strictly ascending sequence.
+  static CompressedPostings Build(const std::uint32_t* values,
+                                  std::size_t count);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t byte_size() const { return bytes_.size(); }
+
+  /// Value at index i. O(kSkipInterval) worst case from the nearest sample.
+  [[nodiscard]] std::uint32_t At(std::size_t i) const;
+
+  /// Index of the first value >= key, or size() if none (lower bound).
+  [[nodiscard]] std::size_t LowerBound(std::uint32_t key) const;
+
+  /// True if the exact value is present.
+  [[nodiscard]] bool Contains(std::uint32_t value) const;
+
+  /// Streams every value in ascending order; `fn` returning false stops.
+  void ForEach(FunctionRef<bool(std::uint32_t)> fn) const;
+
+  /// Appends all values to `out` (reserve done internally).
+  void AppendTo(std::vector<std::uint32_t>& out) const;
+
+ private:
+  struct Sample {
+    std::uint32_t value = 0;       // values_[i * kSkipInterval]
+    std::uint32_t byte_offset = 0; // offset of the *next* encoded delta
+  };
+
+  std::vector<std::uint8_t> bytes_;  // varbyte deltas (samples excluded)
+  std::vector<Sample> samples_;      // one per kSkipInterval values
+  std::size_t count_ = 0;
+};
+
+/// Appends the varbyte encoding of v to out (7 bits per byte, MSB =
+/// continuation).
+void VbyteEncode(std::uint32_t v, std::vector<std::uint8_t>& out);
+
+/// Decodes one varbyte value starting at bytes[pos]; advances pos.
+[[nodiscard]] std::uint32_t VbyteDecode(const std::uint8_t* bytes,
+                                        std::size_t& pos);
+
+}  // namespace scan::kb

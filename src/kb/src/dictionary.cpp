@@ -1,0 +1,59 @@
+#include "scan/kb/dictionary.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace scan::kb {
+
+namespace {
+
+std::tuple<int, std::string_view, std::string_view> Key(const Term& t) {
+  return {static_cast<int>(t.kind), t.lexical, t.datatype};
+}
+
+}  // namespace
+
+Dictionary Dictionary::Build(const TermTable& terms) {
+  Dictionary dict;
+  dict.terms_ = &terms;
+  dict.sorted_.reserve(terms.size());
+  // Ids are dense starting at 1 (0 is the invalid sentinel).
+  for (std::uint32_t i = 1; i <= terms.size(); ++i) {
+    dict.sorted_.push_back(TermId{i});
+  }
+  std::sort(dict.sorted_.begin(), dict.sorted_.end(),
+            [&](TermId a, TermId b) {
+              return Key(terms.Get(a)) < Key(terms.Get(b));
+            });
+  return dict;
+}
+
+std::optional<TermId> Dictionary::Lookup(const Term& term) const {
+  if (terms_ == nullptr) return std::nullopt;
+  const auto key = Key(term);
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [&](TermId id, const auto& k) { return Key(terms_->Get(id)) < k; });
+  if (it == sorted_.end() || !(terms_->Get(*it) == term)) return std::nullopt;
+  return *it;
+}
+
+std::vector<TermId> Dictionary::IriPrefixRange(std::string_view prefix) const {
+  std::vector<TermId> out;
+  if (terms_ == nullptr) return out;
+  // IRIs sort as kind 0, so the range starts at lower_bound of
+  // (kIri, prefix, "") and runs while the lexical still has the prefix.
+  const auto key = std::tuple<int, std::string_view, std::string_view>{
+      static_cast<int>(TermKind::kIri), prefix, {}};
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [&](TermId id, const auto& k) { return Key(terms_->Get(id)) < k; });
+  for (; it != sorted_.end(); ++it) {
+    const Term& t = terms_->Get(*it);
+    if (t.kind != TermKind::kIri || !t.lexical.starts_with(prefix)) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace scan::kb

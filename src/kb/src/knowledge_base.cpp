@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "scan/common/str.hpp"
+#include "scan/kb/plan.hpp"
 
 namespace scan::kb {
 
@@ -38,33 +39,45 @@ std::string KnowledgeBase::NextIndividualName(std::string_view application) {
   }
 }
 
-TermId KnowledgeBase::InsertIndividual(const ApplicationProfile& profile,
-                                       const std::string& name) {
-  const Term individual = MakeIri(Scan(name));
-  const Term rdf_type = RdfType();
-  store_.Add(individual, rdf_type, ClassApplication());
-  store_.Add(individual, rdf_type, OwlNamedIndividual());
-  store_.Add(individual, PropApplication(),
-             MakeStringLiteral(profile.application));
-  store_.Add(individual, PropInputFileSize(),
-             MakeDoubleLiteral(profile.input_file_size_gb));
-  store_.Add(individual, PropSteps(), MakeIntLiteral(profile.steps));
-  store_.Add(individual, PropETime(), MakeDoubleLiteral(profile.etime));
-  store_.Add(individual, PropThreads(), MakeIntLiteral(profile.threads));
+TermId KnowledgeBase::StageProfileTriples(const ApplicationProfile& profile,
+                                          const std::string& name,
+                                          std::vector<Triple>& out) {
+  TermTable& terms = store_.terms();
+  const TermId individual = terms.Intern(MakeIri(Scan(name)));
+  const TermId rdf_type = terms.Intern(RdfType());
+  auto add = [&](const Term& p, const Term& o) {
+    out.push_back(Triple{individual, terms.Intern(p), terms.Intern(o)});
+  };
+  out.push_back(Triple{individual, rdf_type, terms.Intern(ClassApplication())});
+  out.push_back(
+      Triple{individual, rdf_type, terms.Intern(OwlNamedIndividual())});
+  add(PropApplication(), MakeStringLiteral(profile.application));
+  add(PropInputFileSize(), MakeDoubleLiteral(profile.input_file_size_gb));
+  add(PropSteps(), MakeIntLiteral(profile.steps));
+  add(PropETime(), MakeDoubleLiteral(profile.etime));
+  add(PropThreads(), MakeIntLiteral(profile.threads));
   if (profile.cpu > 0) {
-    store_.Add(individual, PropCpu(), MakeIntLiteral(profile.cpu));
+    add(PropCpu(), MakeIntLiteral(profile.cpu));
   }
   if (profile.ram_gb > 0.0) {
-    store_.Add(individual, PropRam(), MakeDoubleLiteral(profile.ram_gb));
+    add(PropRam(), MakeDoubleLiteral(profile.ram_gb));
   }
   if (profile.stage > 0) {
-    store_.Add(individual, PropStage(), MakeIntLiteral(profile.stage));
+    add(PropStage(), MakeIntLiteral(profile.stage));
   }
   if (!profile.performance.empty()) {
-    store_.Add(individual, PropPerformance(),
-               MakeStringLiteral(profile.performance));
+    add(PropPerformance(), MakeStringLiteral(profile.performance));
   }
-  return *store_.terms().Lookup(individual);
+  return individual;
+}
+
+TermId KnowledgeBase::InsertIndividual(const ApplicationProfile& profile,
+                                       const std::string& name) {
+  std::vector<Triple> staged;
+  staged.reserve(10);
+  const TermId individual = StageProfileTriples(profile, name, staged);
+  for (const Triple& t : staged) store_.Add(t);
+  return individual;
 }
 
 TermId KnowledgeBase::AddProfile(const ApplicationProfile& profile) {
@@ -80,6 +93,28 @@ TermId KnowledgeBase::RecordTaskLog(const ApplicationProfile& log_entry) {
   return InsertIndividual(log_entry, NextIndividualName(log_entry.application));
 }
 
+std::vector<TermId> KnowledgeBase::AddProfilesBulk(
+    std::span<const ApplicationProfile> profiles) {
+  std::vector<TermId> ids;
+  ids.reserve(profiles.size());
+  std::vector<Triple> staged;
+  staged.reserve(profiles.size() * 10);
+  for (const ApplicationProfile& profile : profiles) {
+    const std::string name = profile.individual.empty()
+                                 ? NextIndividualName(profile.application)
+                                 : profile.individual;
+    ids.push_back(StageProfileTriples(profile, name, staged));
+  }
+  store_.AddBatch(staged);
+  return ids;
+}
+
+const FrozenIndex& KnowledgeBase::Freeze() {
+  frozen_.emplace(FrozenIndex::Freeze(store_));
+  frozen_revision_ = store_.revision();
+  return *frozen_;
+}
+
 std::size_t KnowledgeBase::ProfileCount(std::string_view application) const {
   return Profiles(application).size();
 }
@@ -92,22 +127,34 @@ std::vector<ApplicationProfile> KnowledgeBase::Profiles(
       store_.terms().Lookup(MakeStringLiteral(std::string(application)));
   if (!app_prop || !app_value) return out;
 
+  // Serve from the frozen index when fresh: FirstObject becomes an O(1)
+  // span lookup instead of a hash probe + binary search, and the subject
+  // posting decodes straight off the compressed list. Both sides emit
+  // subjects and objects in ascending id order, so results are identical.
+  const FrozenIndex* fz = frozen();
+  auto first_object = [&](TermId subject, TermId pid) {
+    return fz ? fz->FirstObject(subject, pid)
+              : store_.FirstObject(subject, pid);
+  };
   auto numeric_of = [&](TermId subject, const Term& prop) -> double {
     const auto pid = store_.terms().Lookup(prop);
     if (!pid) return 0.0;
-    const auto obj = store_.FirstObject(subject, *pid);
+    const auto obj = first_object(subject, *pid);
     if (!obj) return 0.0;
     return NumericValue(store_.terms().Get(*obj)).value_or(0.0);
   };
   auto string_of = [&](TermId subject, const Term& prop) -> std::string {
     const auto pid = store_.terms().Lookup(prop);
     if (!pid) return {};
-    const auto obj = store_.FirstObject(subject, *pid);
+    const auto obj = first_object(subject, *pid);
     if (!obj) return {};
     return store_.terms().Get(*obj).lexical;
   };
 
-  for (const TermId subject : store_.Subjects(*app_prop, *app_value)) {
+  const std::vector<TermId> subjects =
+      fz ? fz->Subjects(*app_prop, *app_value)
+         : store_.Subjects(*app_prop, *app_value);
+  for (const TermId subject : subjects) {
     ApplicationProfile profile;
     const std::string& iri = store_.terms().Get(subject).lexical;
     const std::size_t hash_pos = iri.rfind('#');
@@ -133,6 +180,9 @@ Result<ShardAdvice> KnowledgeBase::AdviseShardSize(
     std::string_view application, double min_gb, double max_gb) const {
   if (min_gb < 0.0 || max_gb < min_gb) {
     return InvalidArgumentError("AdviseShardSize: bad size bounds");
+  }
+  if (const FrozenIndex* fz = frozen()) {
+    return AdviseShardSizeFrozen(*fz, application, min_gb, max_gb);
   }
   // The broker's query, in SPARQL as the paper prescribes. OPTIONAL blocks
   // tolerate profiles missing CPU/RAM attributes.
@@ -196,6 +246,88 @@ Result<ShardAdvice> KnowledgeBase::AdviseShardSize(
   return best;
 }
 
+Result<ShardAdvice> KnowledgeBase::AdviseShardSizeFrozen(
+    const FrozenIndex& frozen, std::string_view application, double min_gb,
+    double max_gb) const {
+  // Reproduces the SPARQL path bit-for-bit without materializing a result
+  // set. The legacy engine sorts its solutions by (etime, subject id, size)
+  // — stable sort over the join's production order — and keeps the first
+  // row whose etime/size score is strictly minimal, so the winner is the
+  // lexicographic minimum by (score, etime, subject id, size). Candidates
+  // stream off the compressed (application, name) posting list in
+  // ascending subject order; per-candidate attribute reads are span
+  // lookups.
+  const TermTable& terms = store_.terms();
+  const auto app_prop = terms.Lookup(PropApplication());
+  const auto app_value =
+      terms.Lookup(MakeStringLiteral(std::string(application)));
+  const auto rdf_type = terms.Lookup(RdfType());
+  const auto app_class = terms.Lookup(ClassApplication());
+  const auto size_prop = terms.Lookup(PropInputFileSize());
+  const auto etime_prop = terms.Lookup(PropETime());
+  const auto cpu_prop = terms.Lookup(PropCpu());
+  const auto ram_prop = terms.Lookup(PropRam());
+
+  ShardAdvice best;
+  bool found = false;
+  double best_score = 0.0;
+  double best_etime = 0.0;
+  double best_size = 0.0;
+  TermId best_ind = kInvalidTermId;
+
+  if (app_prop && app_value && rdf_type && app_class && size_prop &&
+      etime_prop) {
+    frozen.SubjectsVisit(*app_prop, *app_value, [&](TermId ind) {
+      if (!frozen.Contains(Triple{ind, *rdf_type, *app_class})) return true;
+      for (const TermId size_id : frozen.Objects(ind, *size_prop)) {
+        const auto size = NumericValue(terms.Get(size_id));
+        if (!size || *size < min_gb || *size > max_gb || *size <= 0.0) {
+          continue;
+        }
+        for (const TermId etime_id : frozen.Objects(ind, *etime_prop)) {
+          const auto etime = NumericValue(terms.Get(etime_id));
+          if (!etime || *etime <= 0.0) continue;
+          const double score = *etime / *size;
+          const bool better =
+              !found || score < best_score ||
+              (score == best_score &&
+               (*etime < best_etime ||
+                (*etime == best_etime &&
+                 (Index(ind) < Index(best_ind) ||
+                  (ind == best_ind && *size < best_size)))));
+          if (!better) continue;
+          found = true;
+          best_score = score;
+          best_etime = *etime;
+          best_size = *size;
+          best_ind = ind;
+        }
+      }
+      return true;
+    });
+  }
+
+  if (!found) {
+    return NotFoundError("AdviseShardSize: no profile for application '" +
+                         std::string(application) + "' within bounds");
+  }
+  best.shard_size_gb = best_size;
+  best.time_per_gb = best_score;
+  const std::string& iri = terms.Get(best_ind).lexical;
+  const std::size_t hash_pos = iri.rfind('#');
+  best.source_individual =
+      hash_pos == std::string::npos ? iri : iri.substr(hash_pos + 1);
+  auto numeric_attr = [&](const std::optional<TermId>& prop) -> double {
+    if (!prop) return 0.0;
+    const auto obj = frozen.FirstObject(best_ind, *prop);
+    if (!obj) return 0.0;
+    return NumericValue(terms.Get(*obj)).value_or(0.0);
+  };
+  best.recommended_cpu = static_cast<int>(numeric_attr(cpu_prop));
+  best.recommended_ram_gb = numeric_attr(ram_prop);
+  return best;
+}
+
 Result<int> KnowledgeBase::AdviseThreads(std::string_view application,
                                          int stage) const {
   const auto profiles = Profiles(application, stage);
@@ -236,6 +368,10 @@ LinearFit KnowledgeBase::FitETimeModel(std::string_view application,
 }
 
 Result<ResultSet> KnowledgeBase::Query(std::string_view sparql) const {
+  if (const FrozenIndex* fz = frozen()) {
+    const FrozenQueryEngine engine(*fz, store_.terms());
+    return engine.Execute(sparql);
+  }
   const QueryEngine engine(store_);
   return engine.Execute(sparql);
 }

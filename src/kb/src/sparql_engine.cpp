@@ -1,40 +1,30 @@
 #include <algorithm>
 #include <cassert>
-#include <map>
-#include <set>
 #include <sstream>
-#include <unordered_map>
+#include <vector>
 
+#include "query_common.hpp"
 #include "scan/kb/sparql.hpp"
+
+// The legacy pattern-at-a-time engine over the mutable TripleStore. Kept as
+// the staging-layer engine and the differential oracle for the frozen
+// executor (plan.cpp). Solutions are flat rows indexed by the parse-time
+// interned variable ids (query_common.hpp); kInvalidTermId means unbound.
 
 namespace scan::kb {
 
 namespace {
 
-/// A partial solution: variable name -> bound term id.
-using Binding = std::unordered_map<std::string, TermId>;
-
-/// Tri-state FILTER evaluation result per SPARQL semantics.
-enum class Ebv { kTrue, kFalse, kError };
-
-Ebv Not(Ebv v) {
-  switch (v) {
-    case Ebv::kTrue:
-      return Ebv::kFalse;
-    case Ebv::kFalse:
-      return Ebv::kTrue;
-    case Ebv::kError:
-      return Ebv::kError;
-  }
-  return Ebv::kError;
-}
+using detail::Ebv;
+using detail::Row;
 
 class Evaluator {
  public:
-  explicit Evaluator(const TripleStore& store) : store_(store) {}
+  Evaluator(const TripleStore& store, std::size_t var_count)
+      : store_(store), var_count_(var_count) {}
 
-  std::vector<Binding> EvaluateGroup(const GroupPattern& group,
-                                     std::vector<Binding> seeds) const {
+  std::vector<Row> EvaluateGroup(const GroupPattern& group,
+                                 std::vector<Row> seeds) const {
     // 1. Basic graph pattern: extend seeds pattern by pattern. Patterns are
     //    reordered greedily so the most selective (fewest unbound positions
     //    relative to current bindings) runs first.
@@ -42,12 +32,15 @@ class Evaluator {
     remaining.reserve(group.triples.size());
     for (const auto& tp : group.triples) remaining.push_back(&tp);
 
-    std::vector<Binding> current = std::move(seeds);
+    std::vector<Row> current = std::move(seeds);
     // Track which variables are certainly bound in every row so the pattern
     // ordering heuristic can count bound positions.
-    std::set<std::string> bound_vars;
+    std::vector<bool> bound(var_count_, false);
     if (!current.empty()) {
-      for (const auto& [name, _] : current.front()) bound_vars.insert(name);
+      const Row& front = current.front();
+      for (std::size_t i = 0; i < front.size(); ++i) {
+        bound[i] = front[i] != kInvalidTermId;
+      }
     }
 
     while (!remaining.empty()) {
@@ -55,7 +48,7 @@ class Evaluator {
       std::size_t best = 0;
       int best_score = -1;
       for (std::size_t i = 0; i < remaining.size(); ++i) {
-        const int score = BoundScore(*remaining[i], bound_vars);
+        const int score = BoundScore(*remaining[i], bound);
         if (score > best_score) {
           best_score = score;
           best = i;
@@ -64,22 +57,22 @@ class Evaluator {
       const TriplePattern& tp = *remaining[best];
       remaining.erase(remaining.begin() + static_cast<long>(best));
 
-      std::vector<Binding> next;
-      for (const Binding& binding : current) {
-        ExtendWithPattern(tp, binding, next);
+      std::vector<Row> next;
+      for (const Row& row : current) {
+        ExtendWithPattern(tp, row, next);
       }
       current = std::move(next);
-      CollectVars(tp, bound_vars);
+      CollectVars(tp, bound);
       if (current.empty()) break;
     }
 
     // 2. UNION alternations: each construct maps every current solution
     //    through each branch and concatenates the extensions.
     for (const auto& branches : group.unions) {
-      std::vector<Binding> next;
-      for (const Binding& binding : current) {
+      std::vector<Row> next;
+      for (const Row& row : current) {
         for (const GroupPattern& branch : branches) {
-          for (auto& extended : EvaluateGroup(branch, {binding})) {
+          for (auto& extended : EvaluateGroup(branch, {row})) {
             next.push_back(std::move(extended));
           }
         }
@@ -90,11 +83,11 @@ class Evaluator {
 
     // 3. OPTIONAL groups: left outer join, in source order.
     for (const GroupPattern& opt : group.optionals) {
-      std::vector<Binding> next;
-      for (const Binding& binding : current) {
-        auto extended = EvaluateGroup(opt, {binding});
+      std::vector<Row> next;
+      for (const Row& row : current) {
+        auto extended = EvaluateGroup(opt, {row});
         if (extended.empty()) {
-          next.push_back(binding);
+          next.push_back(row);
         } else {
           for (auto& e : extended) next.push_back(std::move(e));
         }
@@ -104,10 +97,10 @@ class Evaluator {
 
     // 4. FILTERs: keep rows whose every filter evaluates to true.
     for (const ExprPtr& filter : group.filters) {
-      std::vector<Binding> kept;
-      for (Binding& binding : current) {
-        if (Evaluate(*filter, binding) == Ebv::kTrue) {
-          kept.push_back(std::move(binding));
+      std::vector<Row> kept;
+      for (Row& row : current) {
+        if (detail::EvalExpr(*filter, row, store_.terms()) == Ebv::kTrue) {
+          kept.push_back(std::move(row));
         }
       }
       current = std::move(kept);
@@ -115,52 +108,52 @@ class Evaluator {
     return current;
   }
 
-  const TripleStore& store() const { return store_; }
-
  private:
   static int BoundScore(const TriplePattern& tp,
-                        const std::set<std::string>& bound) {
+                        const std::vector<bool>& bound) {
     auto node_bound = [&](const PatternNode& node) {
       if (std::holds_alternative<Term>(node)) return 2;  // constant: best
-      return bound.contains(std::get<Variable>(node).name) ? 2 : 0;
+      const auto& var = std::get<Variable>(node);
+      return var.id < bound.size() && bound[var.id] ? 2 : 0;
     };
     return node_bound(tp.s) + node_bound(tp.p) + node_bound(tp.o);
   }
 
-  static void CollectVars(const TriplePattern& tp,
-                          std::set<std::string>& vars) {
+  static void CollectVars(const TriplePattern& tp, std::vector<bool>& bound) {
     for (const PatternNode* node : {&tp.s, &tp.p, &tp.o}) {
-      if (const auto* v = std::get_if<Variable>(node)) vars.insert(v->name);
+      if (const auto* v = std::get_if<Variable>(node)) {
+        if (v->id < bound.size()) bound[v->id] = true;
+      }
     }
   }
 
-  /// Resolves a pattern node under a binding: a concrete id, or nullopt for
-  /// a still-free variable. Constants not present in the store resolve to
+  /// Resolves a pattern node under a row: a concrete id, or nullopt for a
+  /// still-free variable. Constants not present in the store resolve to
   /// kInvalidTermId, which matches nothing.
-  std::optional<TermId> Resolve(const PatternNode& node,
-                                const Binding& binding) const {
+  std::optional<TermId> Resolve(const PatternNode& node, const Row& row) const {
     if (const auto* term = std::get_if<Term>(&node)) {
       const auto id = store_.terms().Lookup(*term);
       return id ? *id : kInvalidTermId;
     }
     const auto& var = std::get<Variable>(node);
-    const auto it = binding.find(var.name);
-    if (it == binding.end()) return std::nullopt;
-    return it->second;
+    assert(var.id < row.size());
+    const TermId value = row[var.id];
+    if (value == kInvalidTermId) return std::nullopt;
+    return value;
   }
 
-  void ExtendWithPattern(const TriplePattern& tp, const Binding& binding,
-                         std::vector<Binding>& out) const {
-    const auto s = Resolve(tp.s, binding);
-    const auto p = Resolve(tp.p, binding);
-    const auto o = Resolve(tp.o, binding);
+  void ExtendWithPattern(const TriplePattern& tp, const Row& row,
+                         std::vector<Row>& out) const {
+    const auto s = Resolve(tp.s, row);
+    const auto p = Resolve(tp.p, row);
+    const auto o = Resolve(tp.o, row);
     // A constant term absent from the store can never match.
     if ((s && *s == kInvalidTermId) || (p && *p == kInvalidTermId) ||
         (o && *o == kInvalidTermId)) {
       return;
     }
     store_.Match(TriplePatternIds{s, p, o}, [&](const Triple& t) {
-      Binding extended = binding;
+      Row extended = row;
       if (!BindIfVar(tp.s, t.s, extended)) return true;
       if (!BindIfVar(tp.p, t.p, extended)) return true;
       if (!BindIfVar(tp.o, t.o, extended)) return true;
@@ -171,143 +164,20 @@ class Evaluator {
 
   /// Binds a variable node to `value`; false if a same-row repeated
   /// variable conflicts (e.g. `?x :p ?x` with s != o).
-  static bool BindIfVar(const PatternNode& node, TermId value,
-                        Binding& binding) {
+  static bool BindIfVar(const PatternNode& node, TermId value, Row& row) {
     const auto* var = std::get_if<Variable>(&node);
     if (var == nullptr) return true;
-    const auto [it, inserted] = binding.emplace(var->name, value);
-    return inserted || it->second == value;
-  }
-
-  /// SPARQL effective boolean value of an expression under a binding.
-  Ebv Evaluate(const Expr& expr, const Binding& binding) const {
-    switch (expr.op) {
-      case ExprOp::kBound:
-        return binding.contains(expr.var) ? Ebv::kTrue : Ebv::kFalse;
-      case ExprOp::kNot:
-        return Not(Evaluate(*expr.lhs, binding));
-      case ExprOp::kAnd: {
-        const Ebv a = Evaluate(*expr.lhs, binding);
-        const Ebv b = Evaluate(*expr.rhs, binding);
-        if (a == Ebv::kFalse || b == Ebv::kFalse) return Ebv::kFalse;
-        if (a == Ebv::kError || b == Ebv::kError) return Ebv::kError;
-        return Ebv::kTrue;
-      }
-      case ExprOp::kOr: {
-        const Ebv a = Evaluate(*expr.lhs, binding);
-        const Ebv b = Evaluate(*expr.rhs, binding);
-        if (a == Ebv::kTrue || b == Ebv::kTrue) return Ebv::kTrue;
-        if (a == Ebv::kError || b == Ebv::kError) return Ebv::kError;
-        return Ebv::kFalse;
-      }
-      case ExprOp::kEq:
-      case ExprOp::kNe:
-      case ExprOp::kLt:
-      case ExprOp::kLe:
-      case ExprOp::kGt:
-      case ExprOp::kGe:
-        return Compare(expr, binding);
-      case ExprOp::kVar: {
-        // Bare variable as boolean: numeric non-zero / non-empty string.
-        const auto term = OperandTerm(expr, binding);
-        if (!term) return Ebv::kError;
-        if (const auto num = NumericValue(*term)) {
-          return *num != 0.0 ? Ebv::kTrue : Ebv::kFalse;
-        }
-        return term->lexical.empty() ? Ebv::kFalse : Ebv::kTrue;
-      }
-      case ExprOp::kLiteral: {
-        if (const auto num = NumericValue(expr.literal)) {
-          return *num != 0.0 ? Ebv::kTrue : Ebv::kFalse;
-        }
-        return expr.literal.lexical.empty() ? Ebv::kFalse : Ebv::kTrue;
-      }
+    assert(var->id < row.size());
+    if (row[var->id] == kInvalidTermId) {
+      row[var->id] = value;
+      return true;
     }
-    return Ebv::kError;
-  }
-
-  /// Resolves a kVar/kLiteral operand to a Term; nullopt if unbound.
-  std::optional<Term> OperandTerm(const Expr& expr,
-                                  const Binding& binding) const {
-    if (expr.op == ExprOp::kLiteral) return expr.literal;
-    assert(expr.op == ExprOp::kVar);
-    const auto it = binding.find(expr.var);
-    if (it == binding.end()) return std::nullopt;
-    return store_.terms().Get(it->second);
-  }
-
-  Ebv Compare(const Expr& expr, const Binding& binding) const {
-    const auto lhs = OperandTerm(*expr.lhs, binding);
-    const auto rhs = OperandTerm(*expr.rhs, binding);
-    if (!lhs || !rhs) return Ebv::kError;  // unbound in comparison: error
-
-    int cmp = 0;  // -1, 0, +1
-    const auto ln = NumericValue(*lhs);
-    const auto rn = NumericValue(*rhs);
-    if (ln && rn) {
-      cmp = (*ln < *rn) ? -1 : (*ln > *rn ? 1 : 0);
-    } else if (expr.op == ExprOp::kEq || expr.op == ExprOp::kNe) {
-      // Term equality across kinds; datatype-insensitive for literals whose
-      // lexical forms match (pragmatic choice: the KB mixes typed and plain
-      // numerics).
-      const bool equal = lhs->kind == rhs->kind && lhs->lexical == rhs->lexical;
-      cmp = equal ? 0 : 1;
-    } else {
-      // Ordering across non-numeric terms: lexical comparison of same-kind
-      // terms, error otherwise.
-      if (lhs->kind != rhs->kind) return Ebv::kError;
-      cmp = lhs->lexical.compare(rhs->lexical);
-      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
-    }
-
-    bool truth = false;
-    switch (expr.op) {
-      case ExprOp::kEq:
-        truth = cmp == 0;
-        break;
-      case ExprOp::kNe:
-        truth = cmp != 0;
-        break;
-      case ExprOp::kLt:
-        truth = cmp < 0;
-        break;
-      case ExprOp::kLe:
-        truth = cmp <= 0;
-        break;
-      case ExprOp::kGt:
-        truth = cmp > 0;
-        break;
-      case ExprOp::kGe:
-        truth = cmp >= 0;
-        break;
-      default:
-        return Ebv::kError;
-    }
-    return truth ? Ebv::kTrue : Ebv::kFalse;
+    return row[var->id] == value;
   }
 
   const TripleStore& store_;
+  std::size_t var_count_;
 };
-
-/// Collects the variables appearing anywhere in a group (for SELECT *).
-void CollectGroupVars(const GroupPattern& group,
-                      std::vector<std::string>& out,
-                      std::set<std::string>& seen) {
-  auto add = [&](const PatternNode& node) {
-    if (const auto* v = std::get_if<Variable>(&node)) {
-      if (seen.insert(v->name).second) out.push_back(v->name);
-    }
-  };
-  for (const auto& tp : group.triples) {
-    add(tp.s);
-    add(tp.p);
-    add(tp.o);
-  }
-  for (const auto& opt : group.optionals) CollectGroupVars(opt, out, seen);
-  for (const auto& branches : group.unions) {
-    for (const auto& branch : branches) CollectGroupVars(branch, out, seen);
-  }
-}
 
 }  // namespace
 
@@ -334,247 +204,12 @@ std::string ResultSet::ToString() const {
   return os.str();
 }
 
-namespace {
-
-/// Aggregation path: groups solutions by the GROUP BY variables and
-/// evaluates the aggregate projections per group.
-Result<ResultSet> ExecuteAggregates(const TripleStore& store,
-                                    const SelectQuery& query,
-                                    std::vector<Binding>& solutions) {
-  // Validate: every plain projection must be a GROUP BY variable.
-  for (const Projection& p : query.projections) {
-    if (p.fn == AggregateFn::kNone &&
-        std::find(query.group_by.begin(), query.group_by.end(), p.var) ==
-            query.group_by.end()) {
-      return InvalidArgumentError(
-          "SPARQL: non-aggregated variable ?" + p.var +
-          " must appear in GROUP BY");
-    }
-  }
-
-  // Group solutions. With no GROUP BY everything lands in one group.
-  auto group_key = [&](const Binding& b) {
-    std::string key;
-    for (const std::string& var : query.group_by) {
-      const auto it = b.find(var);
-      key += it == b.end() ? std::string("\x01")
-                           : kb::ToString(store.terms().Get(it->second));
-      key += '\x02';
-    }
-    return key;
-  };
-  std::map<std::string, std::vector<const Binding*>> groups;
-  for (const Binding& b : solutions) {
-    groups[group_key(b)].push_back(&b);
-  }
-  if (groups.empty() && query.group_by.empty()) {
-    groups.emplace("", std::vector<const Binding*>{});  // COUNT(*) = 0 row
-  }
-
-  ResultSet result;
-  for (const Projection& p : query.projections) {
-    result.variables.push_back(p.alias);
-  }
-  for (const auto& [key, members] : groups) {
-    std::vector<std::optional<Term>> row;
-    row.reserve(query.projections.size());
-    for (const Projection& p : query.projections) {
-      if (p.fn == AggregateFn::kNone) {
-        // Group-by column: take the value from any member (all equal).
-        if (members.empty()) {
-          row.emplace_back(std::nullopt);
-          continue;
-        }
-        const auto it = members.front()->find(p.var);
-        row.emplace_back(it == members.front()->end()
-                             ? std::optional<Term>{}
-                             : std::optional<Term>(
-                                   store.terms().Get(it->second)));
-        continue;
-      }
-      if (p.fn == AggregateFn::kCount) {
-        long long count = 0;
-        for (const Binding* b : members) {
-          if (p.star || b->contains(p.var)) ++count;
-        }
-        row.emplace_back(MakeIntLiteral(count));
-        continue;
-      }
-      // Numeric folds over bound, numeric values.
-      double sum = 0.0;
-      double min_v = 0.0;
-      double max_v = 0.0;
-      std::size_t n = 0;
-      for (const Binding* b : members) {
-        const auto it = b->find(p.var);
-        if (it == b->end()) continue;
-        const auto value = NumericValue(store.terms().Get(it->second));
-        if (!value) continue;
-        if (n == 0) {
-          min_v = max_v = *value;
-        } else {
-          min_v = std::min(min_v, *value);
-          max_v = std::max(max_v, *value);
-        }
-        sum += *value;
-        ++n;
-      }
-      if (n == 0) {
-        row.emplace_back(std::nullopt);  // empty aggregate is unbound
-        continue;
-      }
-      switch (p.fn) {
-        case AggregateFn::kSum:
-          row.emplace_back(MakeDoubleLiteral(sum));
-          break;
-        case AggregateFn::kAvg:
-          row.emplace_back(MakeDoubleLiteral(sum / static_cast<double>(n)));
-          break;
-        case AggregateFn::kMin:
-          row.emplace_back(MakeDoubleLiteral(min_v));
-          break;
-        case AggregateFn::kMax:
-          row.emplace_back(MakeDoubleLiteral(max_v));
-          break;
-        default:
-          return InternalError("SPARQL: unexpected aggregate");
-      }
-    }
-    result.rows.push_back(std::move(row));
-  }
-
-  // ORDER BY over output columns (alias names).
-  if (!query.order_by.empty()) {
-    std::stable_sort(
-        result.rows.begin(), result.rows.end(),
-        [&](const auto& a, const auto& b) {
-          for (const OrderKey& keyspec : query.order_by) {
-            const auto col = result.ColumnOf(keyspec.var);
-            if (!col) continue;
-            const auto& ta = a[*col];
-            const auto& tb = b[*col];
-            if (!ta && !tb) continue;
-            if (!ta) return keyspec.ascending;
-            if (!tb) return !keyspec.ascending;
-            const auto na = NumericValue(*ta);
-            const auto nb = NumericValue(*tb);
-            int cmp;
-            if (na && nb) {
-              cmp = (*na < *nb) ? -1 : (*na > *nb ? 1 : 0);
-            } else {
-              const int c = ta->lexical.compare(tb->lexical);
-              cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
-            }
-            if (cmp != 0) return keyspec.ascending ? cmp < 0 : cmp > 0;
-          }
-          return false;
-        });
-  }
-  if (query.offset && *query.offset > 0) {
-    if (*query.offset >= result.rows.size()) {
-      result.rows.clear();
-    } else {
-      result.rows.erase(
-          result.rows.begin(),
-          result.rows.begin() + static_cast<long>(*query.offset));
-    }
-  }
-  if (query.limit && result.rows.size() > *query.limit) {
-    result.rows.resize(*query.limit);
-  }
-  return result;
-}
-
-}  // namespace
-
 Result<ResultSet> QueryEngine::Execute(const SelectQuery& query) const {
-  Evaluator evaluator(store_);
-  std::vector<Binding> solutions =
-      evaluator.EvaluateGroup(query.where, {Binding{}});
-
-  if (query.HasAggregates() || !query.group_by.empty()) {
-    return ExecuteAggregates(store_, query, solutions);
-  }
-
-  // Projection list.
-  ResultSet result;
-  if (query.variables.empty()) {
-    std::set<std::string> seen;
-    CollectGroupVars(query.where, result.variables, seen);
-  } else {
-    result.variables = query.variables;
-  }
-
-  // ORDER BY (stable sort for determinism among ties).
-  if (!query.order_by.empty()) {
-    auto key_term = [&](const Binding& b,
-                        const std::string& var) -> std::optional<Term> {
-      const auto it = b.find(var);
-      if (it == b.end()) return std::nullopt;
-      return store_.terms().Get(it->second);
-    };
-    std::stable_sort(
-        solutions.begin(), solutions.end(),
-        [&](const Binding& a, const Binding& b) {
-          for (const OrderKey& key : query.order_by) {
-            const auto ta = key_term(a, key.var);
-            const auto tb = key_term(b, key.var);
-            // Unbound sorts first (SPARQL: lowest).
-            if (!ta && !tb) continue;
-            if (!ta) return key.ascending;
-            if (!tb) return !key.ascending;
-            const auto na = NumericValue(*ta);
-            const auto nb = NumericValue(*tb);
-            int cmp;
-            if (na && nb) {
-              cmp = (*na < *nb) ? -1 : (*na > *nb ? 1 : 0);
-            } else {
-              const int c = ta->lexical.compare(tb->lexical);
-              cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
-            }
-            if (cmp != 0) return key.ascending ? cmp < 0 : cmp > 0;
-          }
-          return false;
-        });
-  }
-
-  // Materialize rows (projection).
-  std::set<std::vector<std::string>> distinct_seen;
-  for (const Binding& binding : solutions) {
-    std::vector<std::optional<Term>> row;
-    row.reserve(result.variables.size());
-    for (const std::string& var : result.variables) {
-      const auto it = binding.find(var);
-      if (it == binding.end()) {
-        row.emplace_back(std::nullopt);
-      } else {
-        row.emplace_back(store_.terms().Get(it->second));
-      }
-    }
-    if (query.distinct) {
-      std::vector<std::string> key;
-      key.reserve(row.size());
-      for (const auto& cell : row) {
-        key.push_back(cell ? kb::ToString(*cell) : std::string("\x01"));
-      }
-      if (!distinct_seen.insert(std::move(key)).second) continue;
-    }
-    result.rows.push_back(std::move(row));
-  }
-
-  // OFFSET / LIMIT.
-  if (query.offset && *query.offset > 0) {
-    if (*query.offset >= result.rows.size()) {
-      result.rows.clear();
-    } else {
-      result.rows.erase(result.rows.begin(),
-                        result.rows.begin() + static_cast<long>(*query.offset));
-    }
-  }
-  if (query.limit && result.rows.size() > *query.limit) {
-    result.rows.resize(*query.limit);
-  }
-  return result;
+  Evaluator evaluator(store_, query.var_names.size());
+  std::vector<Row> solutions = evaluator.EvaluateGroup(
+      query.where, {Row(query.var_names.size(), kInvalidTermId)});
+  return detail::MaterializeResults(query, store_.terms(),
+                                    std::move(solutions));
 }
 
 Result<ResultSet> QueryEngine::Execute(std::string_view text) const {

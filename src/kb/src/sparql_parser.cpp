@@ -366,6 +366,7 @@ class Parser {
     if (Cur().kind != TokKind::kEof) {
       return Err("trailing input after query (near '" + Cur().text + "')");
     }
+    query.var_names = std::move(var_names_);
     return query;
   }
 
@@ -382,6 +383,17 @@ class Parser {
   }
   Status Err(std::string msg) const {
     return ParseError(msg + " at line " + std::to_string(Cur().line));
+  }
+
+  /// Interns a variable name to its dense id (satellite of the flat-row
+  /// engines: a solution row is vector<TermId> indexed by these ids).
+  std::uint32_t InternVar(const std::string& name) {
+    const auto it = var_ids_.find(name);
+    if (it != var_ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(var_names_.size());
+    var_names_.push_back(name);
+    var_ids_.emplace(name, id);
+    return id;
   }
 
   /// Parses "( FN(?v | *) AS ?alias )" after the opening '(' is current.
@@ -455,7 +467,7 @@ class Parser {
   Result<PatternNode> ParseNode(bool allow_literal) {
     switch (Cur().kind) {
       case TokKind::kVariable: {
-        Variable v{Cur().text};
+        Variable v{Cur().text, InternVar(Cur().text)};
         Next();
         return PatternNode{std::move(v)};
       }
@@ -641,6 +653,7 @@ class Parser {
       auto node = std::make_unique<Expr>();
       node->op = ExprOp::kBound;
       node->var = Cur().text;
+      node->var_id = InternVar(Cur().text);
       Next();
       if (!IsPunct(")")) return Err("expected ')' after BOUND variable");
       Next();
@@ -676,6 +689,7 @@ class Parser {
       case TokKind::kVariable:
         node->op = ExprOp::kVar;
         node->var = Cur().text;
+        node->var_id = InternVar(Cur().text);
         Next();
         return node;
       case TokKind::kNumber:
@@ -713,6 +727,8 @@ class Parser {
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
   std::map<std::string, std::string> prefixes_;
+  std::vector<std::string> var_names_;
+  std::map<std::string, std::uint32_t, std::less<>> var_ids_;
 };
 
 }  // namespace

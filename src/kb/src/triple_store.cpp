@@ -45,7 +45,53 @@ bool TripleStore::Add(Triple t) {
   InsertSorted(pos_[Index(t.p)], {t.o, t.s});
   InsertSorted(osp_[Index(t.o)], {t.s, t.p});
   ++count_;
+  ++revision_;
   return true;
+}
+
+std::size_t TripleStore::AddBatch(std::span<const Triple> triples) {
+  if (triples.empty()) return 0;
+  const std::size_t before = count_;
+
+  // Append everything, tracking touched keys per index.
+  std::vector<std::uint32_t> touched_s;
+  std::vector<std::uint32_t> touched_p;
+  std::vector<std::uint32_t> touched_o;
+  touched_s.reserve(triples.size());
+  touched_p.reserve(triples.size());
+  touched_o.reserve(triples.size());
+  for (const Triple& t : triples) {
+    assert(Index(t.s) != 0 && Index(t.p) != 0 && Index(t.o) != 0);
+    spo_[Index(t.s)].emplace_back(t.p, t.o);
+    pos_[Index(t.p)].emplace_back(t.o, t.s);
+    osp_[Index(t.o)].emplace_back(t.s, t.p);
+    touched_s.push_back(Index(t.s));
+    touched_p.push_back(Index(t.p));
+    touched_o.push_back(Index(t.o));
+  }
+
+  // Restore the sorted-unique invariant once per touched key.
+  auto restore = [](std::unordered_map<std::uint32_t, Postings>& index,
+                    std::vector<std::uint32_t>& keys) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (const std::uint32_t key : keys) {
+      Postings& postings = index[key];
+      std::sort(postings.begin(), postings.end(), PairLess);
+      postings.erase(std::unique(postings.begin(), postings.end()),
+                     postings.end());
+    }
+  };
+  restore(spo_, touched_s);
+  restore(pos_, touched_p);
+  restore(osp_, touched_o);
+
+  // Duplicates (within the batch or against existing triples) collapsed
+  // above; recount from the primary index.
+  count_ = 0;
+  for (const auto& [s, postings] : spo_) count_ += postings.size();
+  if (count_ != before) ++revision_;
+  return count_ - before;
 }
 
 bool TripleStore::Remove(Triple t) {
@@ -67,6 +113,7 @@ bool TripleStore::Remove(Triple t) {
     if (oit->second.empty()) osp_.erase(oit);
   }
   --count_;
+  ++revision_;
   return true;
 }
 
@@ -80,7 +127,7 @@ bool TripleStore::Contains(Triple t) const {
 }
 
 void TripleStore::Match(const TriplePatternIds& pattern,
-                        const std::function<bool(const Triple&)>& fn) const {
+                        FunctionRef<bool(const Triple&)> fn) const {
   // Choose the index keyed by a bound position; prefer the subject index,
   // then predicate, then object; fall back to a full scan over spo_.
   if (pattern.s) {

@@ -67,4 +67,85 @@ class ArrivalGenerator {
   std::uint64_t next_job_id_ = 0;
 };
 
+/// Time-varying arrival patterns beyond the paper's homogeneous process.
+/// The platform's elasticity experiments need load that moves: a diurnal
+/// cycle, ON/OFF burst trains, and a flash crowd (sudden spike with an
+/// exponential cool-down).
+enum class ArrivalPattern {
+  kHomogeneous,  ///< constant rate — degenerates to ArrivalGenerator's law
+  kDiurnal,      ///< sinusoidal day/night modulation
+  kBursty,       ///< two-state Markov-modulated (ON/OFF) rate
+  kFlashCrowd,   ///< baseline + spike at flash_time decaying exponentially
+};
+
+struct PatternParams {
+  ArrivalPattern pattern = ArrivalPattern::kHomogeneous;
+
+  // kDiurnal: rate(t) = base * (1 + amplitude * sin(2*pi*t / period)).
+  double diurnal_period_tu = 200.0;
+  double diurnal_amplitude = 0.8;  ///< in [0, 1]
+
+  // kBursty: alternating quiet/burst segments with exponential durations;
+  // the rate is base * quiet_rate_factor or base * burst_rate_factor.
+  double burst_rate_factor = 4.0;
+  double quiet_rate_factor = 0.25;
+  double mean_burst_len_tu = 20.0;
+  double mean_quiet_len_tu = 60.0;
+
+  // kFlashCrowd: rate(t) = base for t < flash_time, then
+  // base * (1 + (flash_rate_factor - 1) * exp(-(t - flash_time) / decay)).
+  double flash_time_tu = 100.0;
+  double flash_rate_factor = 10.0;
+  double flash_decay_tu = 25.0;
+};
+
+/// Non-homogeneous batched-Poisson generator. Batch event times follow the
+/// pattern's rate function via Lewis-Shedler thinning (candidate events at
+/// the pattern's peak rate, accepted with probability rate(t) / peak);
+/// batch composition (jobs per event, job sizes) follows the same law as
+/// ArrivalGenerator. Fully deterministic given (params, pattern, seed):
+/// every stochastic choice draws from its own named stream.
+class PatternedArrivalGenerator {
+ public:
+  PatternedArrivalGenerator(ArrivalParams params, PatternParams pattern,
+                            std::uint64_t seed);
+
+  /// Next batch (>= 1 job), advancing the internal clock.
+  [[nodiscard]] ArrivalBatch NextBatch();
+
+  /// All batches with time <= horizon (one-shot per horizon, like
+  /// ArrivalGenerator::GenerateUntil).
+  [[nodiscard]] std::vector<ArrivalBatch> GenerateUntil(SimTime horizon);
+
+  /// The instantaneous batch-event rate multiplier at time t (1.0 =
+  /// baseline). Bursty patterns lazily extend their segment sequence, hence
+  /// non-const. Exposed for tests and load dashboards.
+  [[nodiscard]] double RateFactorAt(double t);
+
+  /// The pattern's peak rate multiplier (the thinning envelope).
+  [[nodiscard]] double PeakRateFactor() const;
+
+  [[nodiscard]] const ArrivalParams& params() const { return params_; }
+  [[nodiscard]] const PatternParams& pattern() const { return pattern_; }
+  [[nodiscard]] std::uint64_t jobs_generated() const { return next_job_id_; }
+
+ private:
+  struct Segment {
+    double end_time = 0.0;  ///< exclusive upper bound of the segment
+    double factor = 1.0;
+  };
+  void ExtendSegmentsThrough(double t);
+
+  ArrivalParams params_;
+  PatternParams pattern_;
+  RandomStream candidate_rng_;
+  RandomStream thinning_rng_;
+  RandomStream state_rng_;
+  RandomStream batch_rng_;
+  RandomStream size_rng_;
+  std::vector<Segment> segments_;  // kBursty only, grown lazily
+  SimTime clock_{0.0};
+  std::uint64_t next_job_id_ = 0;
+};
+
 }  // namespace scan::workload

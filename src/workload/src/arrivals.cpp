@@ -1,5 +1,6 @@
 #include "scan/workload/arrivals.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -48,6 +49,158 @@ ArrivalBatch ArrivalGenerator::NextBatch() {
 }
 
 std::vector<ArrivalBatch> ArrivalGenerator::GenerateUntil(SimTime horizon) {
+  std::vector<ArrivalBatch> batches;
+  for (;;) {
+    ArrivalBatch batch = NextBatch();
+    if (batch.time > horizon) break;
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+PatternedArrivalGenerator::PatternedArrivalGenerator(ArrivalParams params,
+                                                     PatternParams pattern,
+                                                     std::uint64_t seed)
+    : params_(params),
+      pattern_(pattern),
+      candidate_rng_(seed, "arrivals/pattern-candidate"),
+      thinning_rng_(seed, "arrivals/pattern-thinning"),
+      state_rng_(seed, "arrivals/pattern-state"),
+      batch_rng_(seed, "arrivals/batch-size"),
+      size_rng_(seed, "arrivals/job-size") {
+  if (params_.mean_interarrival_tu <= 0.0) {
+    throw std::invalid_argument(
+        "PatternedArrivalGenerator: mean inter-arrival must be positive");
+  }
+  if (params_.mean_job_size <= 0.0) {
+    throw std::invalid_argument(
+        "PatternedArrivalGenerator: mean job size must be positive");
+  }
+  switch (pattern_.pattern) {
+    case ArrivalPattern::kHomogeneous:
+      break;
+    case ArrivalPattern::kDiurnal:
+      if (pattern_.diurnal_period_tu <= 0.0 ||
+          pattern_.diurnal_amplitude < 0.0 ||
+          pattern_.diurnal_amplitude > 1.0) {
+        throw std::invalid_argument(
+            "PatternedArrivalGenerator: diurnal period must be positive and "
+            "amplitude in [0, 1]");
+      }
+      break;
+    case ArrivalPattern::kBursty:
+      if (pattern_.burst_rate_factor <= 0.0 ||
+          pattern_.quiet_rate_factor <= 0.0 ||
+          pattern_.mean_burst_len_tu <= 0.0 ||
+          pattern_.mean_quiet_len_tu <= 0.0) {
+        throw std::invalid_argument(
+            "PatternedArrivalGenerator: bursty factors and segment means "
+            "must be positive");
+      }
+      break;
+    case ArrivalPattern::kFlashCrowd:
+      if (pattern_.flash_time_tu < 0.0 || pattern_.flash_rate_factor < 1.0 ||
+          pattern_.flash_decay_tu <= 0.0) {
+        throw std::invalid_argument(
+            "PatternedArrivalGenerator: flash crowd needs time >= 0, "
+            "factor >= 1, positive decay");
+      }
+      break;
+  }
+}
+
+double PatternedArrivalGenerator::PeakRateFactor() const {
+  switch (pattern_.pattern) {
+    case ArrivalPattern::kHomogeneous:
+      return 1.0;
+    case ArrivalPattern::kDiurnal:
+      return 1.0 + pattern_.diurnal_amplitude;
+    case ArrivalPattern::kBursty:
+      return std::max(pattern_.burst_rate_factor, pattern_.quiet_rate_factor);
+    case ArrivalPattern::kFlashCrowd:
+      return pattern_.flash_rate_factor;
+  }
+  return 1.0;
+}
+
+void PatternedArrivalGenerator::ExtendSegmentsThrough(double t) {
+  // Alternating quiet -> burst -> quiet ... segments with exponential
+  // durations (a two-state MMPP). The sequence is generated lazily but only
+  // forward, so any query order observes the same segmentation.
+  while (segments_.empty() || segments_.back().end_time <= t) {
+    const bool next_is_quiet = segments_.size() % 2 == 0;
+    const double start =
+        segments_.empty() ? 0.0 : segments_.back().end_time;
+    const double mean_len = next_is_quiet ? pattern_.mean_quiet_len_tu
+                                          : pattern_.mean_burst_len_tu;
+    const double factor = next_is_quiet ? pattern_.quiet_rate_factor
+                                        : pattern_.burst_rate_factor;
+    segments_.push_back(
+        Segment{start + state_rng_.Exponential(mean_len), factor});
+  }
+}
+
+double PatternedArrivalGenerator::RateFactorAt(double t) {
+  switch (pattern_.pattern) {
+    case ArrivalPattern::kHomogeneous:
+      return 1.0;
+    case ArrivalPattern::kDiurnal: {
+      constexpr double kTwoPi = 6.283185307179586476925286766559;
+      const double factor =
+          1.0 + pattern_.diurnal_amplitude *
+                    std::sin(kTwoPi * t / pattern_.diurnal_period_tu);
+      return factor > 0.0 ? factor : 0.0;
+    }
+    case ArrivalPattern::kBursty: {
+      ExtendSegmentsThrough(t);
+      const auto it = std::lower_bound(
+          segments_.begin(), segments_.end(), t,
+          [](const Segment& seg, double time) { return seg.end_time <= time; });
+      return it->factor;
+    }
+    case ArrivalPattern::kFlashCrowd: {
+      if (t < pattern_.flash_time_tu) return 1.0;
+      return 1.0 + (pattern_.flash_rate_factor - 1.0) *
+                       std::exp(-(t - pattern_.flash_time_tu) /
+                                pattern_.flash_decay_tu);
+    }
+  }
+  return 1.0;
+}
+
+ArrivalBatch PatternedArrivalGenerator::NextBatch() {
+  // Lewis-Shedler thinning: candidate events arrive at the peak rate;
+  // each is accepted with probability rate(t) / peak.
+  const double peak = PeakRateFactor();
+  const double candidate_mean = params_.mean_interarrival_tu / peak;
+  for (;;) {
+    clock_ += SimTime{candidate_rng_.Exponential(candidate_mean)};
+    if (thinning_rng_.Uniform() * peak <= RateFactorAt(clock_.value())) {
+      break;
+    }
+  }
+
+  ArrivalBatch batch;
+  batch.time = clock_;
+  const double drawn_count = batch_rng_.TruncatedNormal(
+      params_.mean_jobs_per_arrival,
+      std::sqrt(params_.jobs_per_arrival_variance), 0.0);
+  const auto count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(drawn_count + 0.5));
+  batch.jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Job job;
+    job.id = next_job_id_++;
+    job.size = DataSize{size_rng_.TruncatedNormal(
+        params_.mean_job_size, std::sqrt(params_.job_size_variance), 0.25)};
+    job.arrival = clock_;
+    batch.jobs.push_back(job);
+  }
+  return batch;
+}
+
+std::vector<ArrivalBatch> PatternedArrivalGenerator::GenerateUntil(
+    SimTime horizon) {
   std::vector<ArrivalBatch> batches;
   for (;;) {
     ArrivalBatch batch = NextBatch();

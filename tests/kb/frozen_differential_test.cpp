@@ -1,0 +1,361 @@
+// Randomized differential fuzz: FrozenIndex vs the legacy TripleStore
+// oracle. Because Freeze() keeps the staging store's term ids, every frozen
+// answer must be id-identical to the legacy one — pattern scans in the
+// exact legacy emission order, broker accessors element-for-element, SPARQL
+// solution multisets query-for-query, and AdviseShardSize bit-for-bit.
+//
+// The suites run under ASan/UBSan/TSan in CI (see .github/workflows/ci.yml);
+// the concurrency test at the bottom exercises FrozenIndex's immutable-
+// after-Freeze contract under TSan.
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scan/common/rng.hpp"
+#include "scan/kb/frozen_index.hpp"
+#include "scan/kb/knowledge_base.hpp"
+#include "scan/kb/plan.hpp"
+#include "scan/kb/sparql.hpp"
+#include "scan/kb/triple_store.hpp"
+
+namespace scan::kb {
+namespace {
+
+/// Small closed vocabularies keep the graphs dense enough that random
+/// patterns actually hit postings (and produce repeated-id collisions).
+Term RandomSubject(RandomStream& rng) {
+  return MakeIri("s/" + std::to_string(rng.UniformBelow(30)));
+}
+
+Term RandomPredicate(RandomStream& rng) {
+  if (rng.UniformBelow(8) == 0) return MakeIri(std::string(kRdfType));
+  return MakeIri("p/" + std::to_string(rng.UniformBelow(8)));
+}
+
+Term RandomObject(RandomStream& rng) {
+  switch (rng.UniformBelow(4)) {
+    case 0:
+      return MakeIri("s/" + std::to_string(rng.UniformBelow(30)));
+    case 1:
+      return MakeIri("c/" + std::to_string(rng.UniformBelow(5)));
+    case 2:
+      return MakeIntLiteral(static_cast<int>(rng.UniformBelow(20)));
+    default:
+      return MakeDoubleLiteral(0.5 * (1 + rng.UniformBelow(10)));
+  }
+}
+
+/// Builds a random store: a batch of adds followed by a sprinkle of
+/// removes, so Freeze() sees a store whose postings have holes.
+TripleStore RandomStore(std::uint64_t seed, std::size_t triples) {
+  RandomStream rng(seed, "differential/store");
+  TripleStore store;
+  std::vector<Triple> added;
+  for (std::size_t i = 0; i < triples; ++i) {
+    const Term s = RandomSubject(rng);
+    const Term p = RandomPredicate(rng);
+    const Term o = RandomObject(rng);
+    store.Add(s, p, o);
+    added.push_back(Triple{*store.terms().Lookup(s), *store.terms().Lookup(p),
+                           *store.terms().Lookup(o)});
+  }
+  const std::size_t removals = triples / 10;
+  for (std::size_t i = 0; i < removals && !added.empty(); ++i) {
+    const std::size_t at = rng.UniformBelow(
+        static_cast<std::uint32_t>(added.size()));
+    store.Remove(added[at]);
+  }
+  return store;
+}
+
+/// A random id biased toward ids that exist in the store (plus a few
+/// absent / out-of-range ids to probe the miss paths).
+std::optional<TermId> RandomPosition(RandomStream& rng,
+                                     const TripleStore& store) {
+  switch (rng.UniformBelow(6)) {
+    case 0:
+      return std::nullopt;  // wildcard
+    case 1:
+      return TermId{1 + rng.UniformBelow(
+                 static_cast<std::uint32_t>(store.terms().size() + 8))};
+    default:
+      return TermId{1 + rng.UniformBelow(
+                 static_cast<std::uint32_t>(store.terms().size()))};
+  }
+}
+
+TEST(FrozenDifferential, MatchOrderAndAccessorsAgreeWithLegacy) {
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    const TripleStore store = RandomStore(seed, 600);
+    const FrozenIndex frozen = FrozenIndex::Freeze(store);
+    ASSERT_EQ(frozen.size(), store.size()) << "seed=" << seed;
+
+    RandomStream rng(seed, "differential/patterns");
+    for (int i = 0; i < 300; ++i) {
+      const TriplePatternIds pattern{RandomPosition(rng, store),
+                                     RandomPosition(rng, store),
+                                     RandomPosition(rng, store)};
+      ASSERT_EQ(frozen.MatchAll(pattern), store.MatchAll(pattern))
+          << "seed=" << seed << " iter=" << i;
+    }
+
+    for (int i = 0; i < 300; ++i) {
+      const TermId s{1 + rng.UniformBelow(
+          static_cast<std::uint32_t>(store.terms().size() + 4))};
+      const TermId p{1 + rng.UniformBelow(
+          static_cast<std::uint32_t>(store.terms().size() + 4))};
+      const auto frozen_objects = frozen.Objects(s, p);
+      ASSERT_EQ(std::vector<TermId>(frozen_objects.begin(),
+                                    frozen_objects.end()),
+                store.Objects(s, p))
+          << "seed=" << seed;
+      ASSERT_EQ(frozen.FirstObject(s, p), store.FirstObject(s, p));
+      ASSERT_EQ(frozen.Subjects(p, s), store.Subjects(p, s));
+      ASSERT_EQ(frozen.SubjectCount(p, s), store.Subjects(p, s).size());
+      const auto frozen_instances = frozen.InstancesOf(s);
+      ASSERT_EQ(std::vector<TermId>(frozen_instances.begin(),
+                                    frozen_instances.end()),
+                store.InstancesOf(s));
+      ASSERT_EQ(frozen.Contains(Triple{s, p, s}),
+                store.Contains(Triple{s, p, s}));
+    }
+
+    // CountEstimate is exact on constants-only patterns.
+    for (int i = 0; i < 100; ++i) {
+      const TriplePatternIds pattern{RandomPosition(rng, store),
+                                     RandomPosition(rng, store),
+                                     RandomPosition(rng, store)};
+      if (pattern.s && pattern.p && pattern.o) {
+        ASSERT_EQ(frozen.CountEstimate(pattern),
+                  store.Contains(Triple{*pattern.s, *pattern.p, *pattern.o})
+                      ? 1u
+                      : 0u);
+      } else if (!pattern.s && !pattern.p && !pattern.o) {
+        ASSERT_EQ(frozen.CountEstimate(pattern), store.size());
+      } else if (pattern.s && !pattern.p && pattern.o) {
+        // (s, ?, o) is estimated by the subject's degree: an upper bound.
+        ASSERT_GE(frozen.CountEstimate(pattern),
+                  store.MatchAll(pattern).size());
+      } else {
+        ASSERT_EQ(frozen.CountEstimate(pattern),
+                  store.MatchAll(pattern).size())
+            << "seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(FrozenDifferential, FreezeAfterMutationTracksTheStore) {
+  RandomStream rng(77, "differential/mutation");
+  TripleStore store;
+  std::vector<Triple> live;
+  for (int round = 0; round < 6; ++round) {
+    // Mutate: a mix of single adds, batch adds, and removes.
+    std::vector<Triple> staged;
+    for (int i = 0; i < 120; ++i) {
+      const Term s = RandomSubject(rng);
+      const Term p = RandomPredicate(rng);
+      const Term o = RandomObject(rng);
+      if (rng.UniformBelow(2) == 0) {
+        store.Add(s, p, o);
+      } else {
+        staged.push_back(Triple{store.terms().Intern(s),
+                                store.terms().Intern(p),
+                                store.terms().Intern(o)});
+      }
+    }
+    store.AddBatch(staged);
+    live = store.MatchAll({std::nullopt, std::nullopt, std::nullopt});
+    for (int i = 0; i < 25 && !live.empty(); ++i) {
+      store.Remove(live[rng.UniformBelow(
+          static_cast<std::uint32_t>(live.size()))]);
+    }
+
+    const FrozenIndex frozen = FrozenIndex::Freeze(store);
+    ASSERT_EQ(frozen.size(), store.size()) << "round=" << round;
+    ASSERT_EQ(frozen.MatchAll({std::nullopt, std::nullopt, std::nullopt}),
+              store.MatchAll({std::nullopt, std::nullopt, std::nullopt}));
+  }
+}
+
+/// Renders solution rows order-insensitively.
+std::vector<std::string> SortedRows(const ResultSet& rs) {
+  std::vector<std::string> rows;
+  rows.reserve(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    std::string key;
+    for (const auto& cell : row) {
+      key += cell ? ToString(*cell) : std::string("UNBOUND");
+      key += '\x1f';
+    }
+    rows.push_back(std::move(key));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(FrozenDifferential, SparqlResultSetsAgreeOnRandomProfileGraphs) {
+  for (const std::uint64_t seed : {5ull, 6ull, 7ull}) {
+    RandomStream rng(seed, "differential/profiles");
+    KnowledgeBase kb;
+    const std::vector<std::string> apps = {"GATK", "BWA", "SAMtools"};
+    for (int i = 0; i < 60; ++i) {
+      ApplicationProfile p;
+      p.application = apps[rng.UniformBelow(3)];
+      // Quantized lattices force score ties and shared literals.
+      p.input_file_size_gb = 0.5 * (1 + rng.UniformBelow(8));
+      p.etime = 2.0 * (1 + rng.UniformBelow(6));
+      p.threads = 1 + static_cast<int>(rng.UniformBelow(4));
+      p.stage = static_cast<int>(rng.UniformBelow(3));
+      if (rng.UniformBelow(2) == 0) p.cpu = 4 << rng.UniformBelow(3);
+      if (rng.UniformBelow(3) == 0) p.ram_gb = 8.0 * (1 + rng.UniformBelow(4));
+      kb.AddProfile(p);
+    }
+    const TripleStore& store = kb.store();
+    const FrozenIndex frozen = FrozenIndex::Freeze(store);
+    const QueryEngine legacy(store);
+    const FrozenQueryEngine planned(frozen, store.terms());
+
+    const std::string prefixes = KnowledgeBase::QueryPrefixes();
+    std::vector<std::string> queries;
+    for (const std::string& app : apps) {
+      queries.push_back(
+          "SELECT ?ind ?size ?etime WHERE { ?ind a scan:Application . ?ind "
+          "scan:application \"" + app + "\" . ?ind scan:inputFileSize ?size "
+          ". ?ind scan:eTime ?etime . }");
+      queries.push_back(
+          "SELECT ?ind ?cpu WHERE { ?ind scan:application \"" + app +
+          "\" . OPTIONAL { ?ind scan:CPU ?cpu . } FILTER(BOUND(?cpu) || "
+          "!BOUND(?cpu)) }");
+    }
+    queries.push_back(
+        "SELECT ?ind WHERE { { ?ind scan:application \"GATK\" . ?ind "
+        "scan:threads ?t . FILTER(?t >= 2) } UNION { ?ind scan:application "
+        "\"BWA\" . } }");
+    queries.push_back(
+        "SELECT DISTINCT ?size WHERE { ?ind scan:inputFileSize ?size . }");
+    queries.push_back(
+        "SELECT ?app (COUNT(*) AS ?n) (MIN(?etime) AS ?best) WHERE { ?ind "
+        "scan:application ?app . ?ind scan:eTime ?etime . } GROUP BY ?app");
+    queries.push_back(
+        "SELECT ?ind ?etime WHERE { ?ind scan:eTime ?etime . ?ind "
+        "scan:threads ?t . FILTER(?t < 3) } ORDER BY ASC(?etime) ASC(?ind) "
+        "LIMIT 20");
+
+    for (const std::string& body : queries) {
+      const std::string text = prefixes + body;
+      const auto a = legacy.Execute(text);
+      const auto b = planned.Execute(text);
+      ASSERT_TRUE(a.ok()) << a.status().ToString() << "\n" << body;
+      ASSERT_TRUE(b.ok()) << b.status().ToString() << "\n" << body;
+      ASSERT_EQ(a.value().variables, b.value().variables) << body;
+      ASSERT_EQ(SortedRows(a.value()), SortedRows(b.value()))
+          << "seed=" << seed << "\n" << body;
+    }
+  }
+}
+
+TEST(FrozenDifferential, BrokerAdvicePathsAreBitIdentical) {
+  for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    RandomStream rng(seed, "differential/advice");
+    std::vector<ApplicationProfile> profiles;
+    const std::vector<std::string> apps = {"GATK", "BWA"};
+    for (int i = 0; i < 80; ++i) {
+      ApplicationProfile p;
+      p.application = apps[rng.UniformBelow(2)];
+      // Heavy quantization: many profiles tie on (etime / size) so the
+      // advice paths must agree on tie-breaking, not just scoring.
+      p.input_file_size_gb = 1.0 * (1 + rng.UniformBelow(4));
+      p.etime = 4.0 * (1 + rng.UniformBelow(3));
+      if (rng.UniformBelow(2) == 0) p.cpu = 8;
+      if (rng.UniformBelow(2) == 0) p.ram_gb = 16.0;
+      profiles.push_back(p);
+    }
+
+    KnowledgeBase legacy_kb;
+    for (const auto& p : profiles) legacy_kb.AddProfile(p);
+    KnowledgeBase frozen_kb;
+    frozen_kb.AddProfilesBulk(profiles);
+    frozen_kb.Freeze();
+    ASSERT_TRUE(frozen_kb.FrozenFresh());
+
+    for (const std::string& app : apps) {
+      for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+               {0.5, 10.0}, {2.0, 3.0}, {3.5, 4.0}, {9.0, 9.5}}) {
+        const auto a = legacy_kb.AdviseShardSize(app, lo, hi);
+        const auto b = frozen_kb.AdviseShardSize(app, lo, hi);
+        ASSERT_EQ(a.ok(), b.ok())
+            << "seed=" << seed << " app=" << app << " [" << lo << "," << hi
+            << "] legacy=" << a.status().ToString()
+            << " frozen=" << b.status().ToString();
+        if (!a.ok()) {
+          EXPECT_EQ(a.status().ToString(), b.status().ToString());
+          continue;
+        }
+        EXPECT_EQ(a.value().shard_size_gb, b.value().shard_size_gb);
+        EXPECT_EQ(a.value().time_per_gb, b.value().time_per_gb);
+        EXPECT_EQ(a.value().source_individual, b.value().source_individual);
+        EXPECT_EQ(a.value().recommended_cpu, b.value().recommended_cpu);
+        EXPECT_EQ(a.value().recommended_ram_gb, b.value().recommended_ram_gb);
+      }
+
+      // Profiles() answers element-for-element through either path.
+      const auto pa = legacy_kb.Profiles(app);
+      const auto pb = frozen_kb.Profiles(app);
+      ASSERT_EQ(pa.size(), pb.size());
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i].individual, pb[i].individual);
+        EXPECT_EQ(pa[i].input_file_size_gb, pb[i].input_file_size_gb);
+        EXPECT_EQ(pa[i].etime, pb[i].etime);
+        EXPECT_EQ(pa[i].cpu, pb[i].cpu);
+        EXPECT_EQ(pa[i].ram_gb, pb[i].ram_gb);
+      }
+    }
+  }
+}
+
+TEST(FrozenDifferential, ConcurrentReadsAreRaceFree) {
+  const TripleStore store = RandomStore(999, 800);
+  const FrozenIndex frozen = FrozenIndex::Freeze(store);
+  const auto expected =
+      frozen.MatchAll({std::nullopt, std::nullopt, std::nullopt});
+
+  std::vector<std::thread> readers;
+  std::vector<bool> ok(4, false);
+  for (std::size_t t = 0; t < ok.size(); ++t) {
+    readers.emplace_back([&, t] {
+      bool all_good = true;
+      RandomStream rng(1000 + t, "differential/concurrent");
+      for (int i = 0; i < 50; ++i) {
+        const TermId s{1 + rng.UniformBelow(
+            static_cast<std::uint32_t>(store.terms().size()))};
+        const TermId p{1 + rng.UniformBelow(
+            static_cast<std::uint32_t>(store.terms().size()))};
+        const auto objects = frozen.Objects(s, p);
+        all_good = all_good &&
+                   std::is_sorted(objects.begin(), objects.end(),
+                                  [](TermId a, TermId b) {
+                                    return Index(a) < Index(b);
+                                  });
+        all_good = all_good && frozen.Subjects(p, s) == store.Subjects(p, s);
+      }
+      all_good =
+          all_good &&
+          frozen.MatchAll({std::nullopt, std::nullopt, std::nullopt}) ==
+              expected;
+      ok[t] = all_good;
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  for (std::size_t t = 0; t < ok.size(); ++t) {
+    EXPECT_TRUE(ok[t]) << "reader " << t;
+  }
+}
+
+}  // namespace
+}  // namespace scan::kb

@@ -1,0 +1,191 @@
+// Tests for the time-varying arrival patterns (diurnal / bursty / flash
+// crowd) layered on the paper's homogeneous batched-Poisson process.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scan/workload/arrivals.hpp"
+
+namespace scan::workload {
+namespace {
+
+PatternParams Pattern(ArrivalPattern p) {
+  PatternParams params;
+  params.pattern = p;
+  return params;
+}
+
+std::size_t CountBatchesIn(const std::vector<ArrivalBatch>& batches,
+                           double lo, double hi) {
+  std::size_t n = 0;
+  for (const auto& b : batches) {
+    if (b.time.value() >= lo && b.time.value() < hi) ++n;
+  }
+  return n;
+}
+
+TEST(PatternedArrivals, SameSeedIsBitIdentical) {
+  for (const ArrivalPattern pattern :
+       {ArrivalPattern::kHomogeneous, ArrivalPattern::kDiurnal,
+        ArrivalPattern::kBursty, ArrivalPattern::kFlashCrowd}) {
+    PatternedArrivalGenerator a({}, Pattern(pattern), 42);
+    PatternedArrivalGenerator b({}, Pattern(pattern), 42);
+    const auto batches_a = a.GenerateUntil(SimTime{500.0});
+    const auto batches_b = b.GenerateUntil(SimTime{500.0});
+    ASSERT_EQ(batches_a.size(), batches_b.size());
+    for (std::size_t i = 0; i < batches_a.size(); ++i) {
+      ASSERT_EQ(batches_a[i].time.value(), batches_b[i].time.value());
+      ASSERT_EQ(batches_a[i].jobs.size(), batches_b[i].jobs.size());
+      for (std::size_t j = 0; j < batches_a[i].jobs.size(); ++j) {
+        ASSERT_EQ(batches_a[i].jobs[j].id, batches_b[i].jobs[j].id);
+        ASSERT_EQ(batches_a[i].jobs[j].size.value(),
+                  batches_b[i].jobs[j].size.value());
+        ASSERT_EQ(batches_a[i].jobs[j].arrival.value(),
+                  batches_b[i].jobs[j].arrival.value());
+      }
+    }
+    ASSERT_EQ(a.jobs_generated(), b.jobs_generated());
+
+    // Different seeds diverge.
+    PatternedArrivalGenerator c({}, Pattern(pattern), 43);
+    const auto batches_c = c.GenerateUntil(SimTime{500.0});
+    const bool same = batches_c.size() == batches_a.size() &&
+                      (batches_c.empty() ||
+                       batches_c.front().time.value() ==
+                           batches_a.front().time.value());
+    EXPECT_FALSE(same);
+  }
+}
+
+TEST(PatternedArrivals, HomogeneousMatchesBaselineLaw) {
+  // Pattern kHomogeneous is the identity envelope (peak factor 1, every
+  // candidate accepted), so its long-run rate matches ArrivalGenerator's.
+  PatternedArrivalGenerator patterned({}, Pattern(ArrivalPattern::kHomogeneous),
+                                      7);
+  const auto batches = patterned.GenerateUntil(SimTime{20000.0});
+  const double per_tu = static_cast<double>(batches.size()) / 20000.0;
+  // Mean inter-arrival 2.5 TU -> 0.4 batches/TU.
+  EXPECT_NEAR(per_tu, 0.4, 0.04);
+  EXPECT_EQ(patterned.PeakRateFactor(), 1.0);
+  EXPECT_EQ(patterned.RateFactorAt(123.0), 1.0);
+  for (const auto& batch : batches) {
+    ASSERT_GE(batch.jobs.size(), 1u);
+    for (const auto& job : batch.jobs) {
+      ASSERT_GE(job.size.value(), 0.25);
+      ASSERT_EQ(job.arrival.value(), batch.time.value());
+    }
+  }
+}
+
+TEST(PatternedArrivals, DiurnalPeaksBeatTroughs) {
+  PatternParams pattern = Pattern(ArrivalPattern::kDiurnal);
+  pattern.diurnal_period_tu = 200.0;
+  pattern.diurnal_amplitude = 0.8;
+  PatternedArrivalGenerator gen({}, pattern, 11);
+  EXPECT_DOUBLE_EQ(gen.PeakRateFactor(), 1.8);
+  EXPECT_NEAR(gen.RateFactorAt(50.0), 1.8, 1e-9);    // sin peak
+  EXPECT_NEAR(gen.RateFactorAt(150.0), 0.2, 1e-9);   // sin trough
+
+  const auto batches = gen.GenerateUntil(SimTime{20000.0});
+  // Quarter-period windows around peaks vs troughs, across all cycles.
+  std::size_t peak_count = 0;
+  std::size_t trough_count = 0;
+  for (double cycle = 0.0; cycle < 20000.0; cycle += 200.0) {
+    peak_count += CountBatchesIn(batches, cycle + 25.0, cycle + 75.0);
+    trough_count += CountBatchesIn(batches, cycle + 125.0, cycle + 175.0);
+  }
+  // Expected ratio ~ integral of (1 + .8 sin) over peak vs trough windows:
+  // about (1 + 0.72) / (1 - 0.72) = 6.1. Require a conservative 2x.
+  EXPECT_GT(peak_count, 2 * trough_count);
+}
+
+TEST(PatternedArrivals, FlashCrowdSpikesThenDecays) {
+  PatternParams pattern = Pattern(ArrivalPattern::kFlashCrowd);
+  pattern.flash_time_tu = 1000.0;
+  pattern.flash_rate_factor = 10.0;
+  pattern.flash_decay_tu = 50.0;
+  PatternedArrivalGenerator gen({}, pattern, 13);
+  EXPECT_DOUBLE_EQ(gen.RateFactorAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(gen.RateFactorAt(999.9), 1.0);
+  EXPECT_DOUBLE_EQ(gen.RateFactorAt(1000.0), 10.0);
+  EXPECT_NEAR(gen.RateFactorAt(1050.0), 1.0 + 9.0 * std::exp(-1.0), 1e-9);
+
+  const auto batches = gen.GenerateUntil(SimTime{2000.0});
+  const std::size_t before = CountBatchesIn(batches, 900.0, 1000.0);
+  const std::size_t spike = CountBatchesIn(batches, 1000.0, 1100.0);
+  const std::size_t after = CountBatchesIn(batches, 1600.0, 1700.0);
+  EXPECT_GT(spike, 2 * before);
+  EXPECT_GT(spike, 2 * after);
+}
+
+TEST(PatternedArrivals, BurstyAlternatesAndKeepsSegmentsStable) {
+  PatternParams pattern = Pattern(ArrivalPattern::kBursty);
+  PatternedArrivalGenerator gen({}, pattern, 17);
+  EXPECT_DOUBLE_EQ(gen.PeakRateFactor(), 4.0);
+
+  // The lazily-grown segmentation is stable: revisiting earlier times gives
+  // the same factor, and every factor is one of the two state factors.
+  std::vector<double> first;
+  for (double t = 0.0; t < 1000.0; t += 7.0) {
+    const double f = gen.RateFactorAt(t);
+    EXPECT_TRUE(f == pattern.burst_rate_factor ||
+                f == pattern.quiet_rate_factor);
+    first.push_back(f);
+  }
+  std::size_t i = 0;
+  for (double t = 0.0; t < 1000.0; t += 7.0) {
+    EXPECT_EQ(gen.RateFactorAt(t), first[i++]);
+  }
+  // Both states must actually occur over 1000 TU (mean cycle 80 TU).
+  EXPECT_NE(*std::min_element(first.begin(), first.end()),
+            *std::max_element(first.begin(), first.end()));
+
+  // Long-run arrival rate lands between the quiet and burst extremes.
+  PatternedArrivalGenerator rate_gen({}, pattern, 19);
+  const auto batches = rate_gen.GenerateUntil(SimTime{20000.0});
+  const double per_tu = static_cast<double>(batches.size()) / 20000.0;
+  EXPECT_GT(per_tu, 0.4 * pattern.quiet_rate_factor);
+  EXPECT_LT(per_tu, 0.4 * pattern.burst_rate_factor);
+}
+
+TEST(PatternedArrivals, ValidatesParameters) {
+  ArrivalParams bad_base;
+  bad_base.mean_interarrival_tu = 0.0;
+  EXPECT_THROW(PatternedArrivalGenerator(bad_base, {}, 1),
+               std::invalid_argument);
+
+  PatternParams diurnal = Pattern(ArrivalPattern::kDiurnal);
+  diurnal.diurnal_amplitude = 1.5;
+  EXPECT_THROW(PatternedArrivalGenerator({}, diurnal, 1),
+               std::invalid_argument);
+  diurnal.diurnal_amplitude = 0.5;
+  diurnal.diurnal_period_tu = 0.0;
+  EXPECT_THROW(PatternedArrivalGenerator({}, diurnal, 1),
+               std::invalid_argument);
+
+  PatternParams bursty = Pattern(ArrivalPattern::kBursty);
+  bursty.quiet_rate_factor = 0.0;
+  EXPECT_THROW(PatternedArrivalGenerator({}, bursty, 1),
+               std::invalid_argument);
+  bursty = Pattern(ArrivalPattern::kBursty);
+  bursty.mean_burst_len_tu = -1.0;
+  EXPECT_THROW(PatternedArrivalGenerator({}, bursty, 1),
+               std::invalid_argument);
+
+  PatternParams flash = Pattern(ArrivalPattern::kFlashCrowd);
+  flash.flash_rate_factor = 0.5;
+  EXPECT_THROW(PatternedArrivalGenerator({}, flash, 1),
+               std::invalid_argument);
+  flash = Pattern(ArrivalPattern::kFlashCrowd);
+  flash.flash_decay_tu = 0.0;
+  EXPECT_THROW(PatternedArrivalGenerator({}, flash, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scan::workload
