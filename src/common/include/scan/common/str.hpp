@@ -46,4 +46,10 @@ namespace scan {
 [[nodiscard]] std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (U+0000..U+001F as \uXXXX, with
+/// the short forms \b \f \n \r \t). Bytes >= 0x20 pass through untouched,
+/// so valid UTF-8 stays valid UTF-8.
+[[nodiscard]] std::string EscapeJson(std::string_view s);
+
 }  // namespace scan

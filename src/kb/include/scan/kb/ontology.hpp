@@ -58,6 +58,16 @@ inline constexpr std::string_view kRdfsNs =
 [[nodiscard]] Term PropStage();          // scan:stage (pipeline stage index)
 [[nodiscard]] Term PropApplication();    // scan:application ("GATK", "BWA", ...)
 
+// --- Measured stage-profile rows (fed by the obs ProfileLedger) ---
+[[nodiscard]] Term ClassStageProfile();  // scan:StageProfile
+[[nodiscard]] Term PropTier();           // scan:tier ("private"/"public")
+[[nodiscard]] Term PropObservations();   // scan:observations (exec attempts)
+[[nodiscard]] Term PropCrashes();        // scan:crashes
+[[nodiscard]] Term PropFlaps();          // scan:flaps
+[[nodiscard]] Term PropRetries();        // scan:retries
+[[nodiscard]] Term PropStraggles();      // scan:straggles
+[[nodiscard]] Term PropTotalRuntime();   // scan:totalRuntimeTU
+
 // --- Linker properties (relate domain to cloud) ---
 [[nodiscard]] Term PropRequiredBy();         // scan:requiredBy
 [[nodiscard]] Term PropComputingResource();  // scan:computingResource

@@ -1,0 +1,57 @@
+#include "scan/kb/ledger_ingest.hpp"
+
+#include <string>
+#include <vector>
+
+#include "scan/common/str.hpp"
+#include "scan/kb/ontology.hpp"
+
+namespace scan::kb {
+
+std::size_t IngestLedger(TripleStore& store, const obs::ProfileLedger& ledger,
+                         std::string_view prefix) {
+  using namespace vocab;
+  TermTable& terms = store.terms();
+  const TermId rdf_type = terms.Intern(RdfType());
+  const TermId profile_class = terms.Intern(ClassStageProfile());
+  const TermId prop_stage = terms.Intern(PropStage());
+  const TermId prop_tier = terms.Intern(PropTier());
+  const TermId prop_threads = terms.Intern(PropThreads());
+  const TermId prop_observations = terms.Intern(PropObservations());
+  const TermId prop_total_runtime = terms.Intern(PropTotalRuntime());
+  const TermId prop_etime = terms.Intern(PropETime());
+  const TermId prop_crashes = terms.Intern(PropCrashes());
+  const TermId prop_flaps = terms.Intern(PropFlaps());
+  const TermId prop_retries = terms.Intern(PropRetries());
+  const TermId prop_straggles = terms.Intern(PropStraggles());
+
+  std::vector<Triple> triples;
+  triples.reserve(ledger.rows().size() * 11);
+  for (const obs::ProfileRow& row : ledger.rows()) {
+    const std::string name =
+        StrFormat("%s%zu_%s_t%d", std::string(prefix).c_str(), row.stage,
+                  obs::LedgerTierName(row.tier), row.threads);
+    const TermId subject = terms.Intern(MakeIri(Scan(name)));
+    const auto add = [&](TermId p, const Term& o) {
+      triples.push_back(Triple{subject, p, terms.Intern(o)});
+    };
+    triples.push_back(Triple{subject, rdf_type, profile_class});
+    add(prop_stage, MakeIntLiteral(static_cast<long long>(row.stage)));
+    add(prop_tier, MakeStringLiteral(obs::LedgerTierName(row.tier)));
+    add(prop_threads, MakeIntLiteral(row.threads));
+    add(prop_observations,
+        MakeIntLiteral(static_cast<long long>(row.observations)));
+    add(prop_total_runtime, MakeDoubleLiteral(row.total_runtime_tu));
+    // eTime carries the mean attempt runtime: the same property the
+    // hand-profiled individuals use, so existing ranking queries apply.
+    add(prop_etime, MakeDoubleLiteral(row.mean_runtime_tu()));
+    add(prop_crashes, MakeIntLiteral(static_cast<long long>(row.crashes)));
+    add(prop_flaps, MakeIntLiteral(static_cast<long long>(row.flaps)));
+    add(prop_retries, MakeIntLiteral(static_cast<long long>(row.retries)));
+    add(prop_straggles,
+        MakeIntLiteral(static_cast<long long>(row.straggles)));
+  }
+  return store.AddBatch(triples);
+}
+
+}  // namespace scan::kb

@@ -37,6 +37,15 @@ Term PropPerformance() { return MakeIri(Scan("performance")); }
 Term PropStage() { return MakeIri(Scan("stage")); }
 Term PropApplication() { return MakeIri(Scan("application")); }
 
+Term ClassStageProfile() { return MakeIri(Scan("StageProfile")); }
+Term PropTier() { return MakeIri(Scan("tier")); }
+Term PropObservations() { return MakeIri(Scan("observations")); }
+Term PropCrashes() { return MakeIri(Scan("crashes")); }
+Term PropFlaps() { return MakeIri(Scan("flaps")); }
+Term PropRetries() { return MakeIri(Scan("retries")); }
+Term PropStraggles() { return MakeIri(Scan("straggles")); }
+Term PropTotalRuntime() { return MakeIri(Scan("totalRuntimeTU")); }
+
 Term PropRequiredBy() { return MakeIri(Scan("requiredBy")); }
 Term PropComputingResource() { return MakeIri(Scan("computingResource")); }
 Term PropRunsOnTier() { return MakeIri(Scan("runsOnTier")); }
@@ -82,6 +91,9 @@ std::size_t SeedScanOntology(TripleStore& store) {
   store.Add(ClassIntegrativeAnalysis(), subclass, ClassWorkflow());
 
   // Cloud ontology.
+  declare_class(ClassStageProfile(),
+                "Measured per-(stage, tier, threads) runtime profile");
+
   declare_class(ClassCloudResource(), "Cloud resource");
   declare_class(ClassComputeTier(), "Compute tier");
   declare_class(ClassInstanceType(), "Instance type");

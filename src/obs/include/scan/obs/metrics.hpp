@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "scan/obs/sketch.hpp"
+
 namespace scan::obs {
 
 namespace internal {
@@ -127,6 +129,17 @@ class MetricsRegistry {
   [[nodiscard]] Histogram& GetHistogram(const std::string& name,
                                         const std::string& help,
                                         std::vector<double> upper_bounds);
+  /// Relative-error quantile sketch, exposed as a Prometheus summary
+  /// (quantile="0.5|0.95|0.99" + _sum/_count). `relative_accuracy`
+  /// applies on first registration.
+  [[nodiscard]] QuantileSketch& GetSketch(
+      const std::string& name, const std::string& help,
+      double relative_accuracy = QuantileSketch::kDefaultAccuracy);
+  /// SLO monitoring an already-registered sketch (its Observe() forwards
+  /// there, so call sites feed both with one call). `spec` applies on
+  /// first registration.
+  [[nodiscard]] Slo& GetSlo(const std::string& name, const std::string& help,
+                            SloSpec spec, QuantileSketch& sketch);
 
   /// Prometheus text exposition format (HELP/TYPE comments, cumulative
   /// `le` buckets, `_sum`, `_count`, `+Inf`).
@@ -168,6 +181,15 @@ struct PlatformMetrics {
   Histogram* queue_wait_tu = nullptr;
   Histogram* job_latency_tu = nullptr;
   Histogram* worker_utilization = nullptr;
+  /// Relative-error sketches: tails across decades of magnitude, which
+  /// the fixed-bucket histograms above cannot resolve.
+  QuantileSketch* queue_wait_sketch = nullptr;    ///< TU
+  QuantileSketch* job_latency_sketch = nullptr;   ///< TU
+  QuantileSketch* decision_latency_us = nullptr;  ///< wall microseconds
+  /// p99 decision latency objective (the ROADMAP item-2 gate) and a
+  /// p95 job-latency objective; Observe() feeds their sketches too.
+  Slo* decision_latency_slo = nullptr;
+  Slo* job_latency_slo = nullptr;
 
   [[nodiscard]] static PlatformMetrics Resolve();
 };

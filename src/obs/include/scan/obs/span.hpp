@@ -1,0 +1,77 @@
+#pragma once
+
+// Structural span identifiers for the causal trace graph.
+//
+// Span ids are *pure functions* of quantities both engines already agree
+// on bit-for-bit — job id, stage index, retry epoch, speculative-copy
+// flag, completion ticket, slice index. No counters, no clocks, no
+// randomness: the simulator and the live runtime therefore mint identical
+// ids by construction, and enabling the span graph cannot perturb the
+// 15-seed parity suite.
+//
+// Encoding (64 bits; top 2 bits = tag):
+//   tag 1  job span    (1<<62) | job
+//   tag 2  stage span  (2<<62) | job<<12 | stage<<5 | (epoch & 0xF)<<1 | copy
+//   tag 3  slice span  (3<<62) | ticket<<8 | slice
+//
+// The stage-span epoch field is masked to 4 bits: it only needs to
+// *distinguish* successive retry attempts within one (job, stage), and the
+// retry budget caps attempts far below 16. `copy` marks the speculative
+// duplicate execution of an attempt (same epoch, second enqueue), so the
+// original and its speculative twin get distinct exec spans.
+//
+// Span id 0 is reserved: "no span" / "no parent" (graph roots).
+
+#include <cstdint>
+
+namespace scan::obs {
+
+inline constexpr std::uint64_t kSpanNone = 0;
+
+enum class SpanTag : std::uint8_t {
+  kNone = 0,
+  kJob = 1,
+  kStage = 2,
+  kSlice = 3,
+};
+
+[[nodiscard]] inline constexpr std::uint64_t JobSpan(std::uint64_t job) {
+  return (std::uint64_t{1} << 62) | job;
+}
+
+[[nodiscard]] inline constexpr std::uint64_t StageSpan(std::uint64_t job,
+                                                       std::uint64_t stage,
+                                                       std::uint64_t epoch,
+                                                       bool copy = false) {
+  return (std::uint64_t{2} << 62) | (job << 12) | ((stage & 0x7F) << 5) |
+         ((epoch & 0xF) << 1) | (copy ? 1 : 0);
+}
+
+[[nodiscard]] inline constexpr std::uint64_t SliceSpan(std::uint64_t ticket,
+                                                       std::uint64_t slice) {
+  return (std::uint64_t{3} << 62) | (ticket << 8) | (slice & 0xFF);
+}
+
+[[nodiscard]] inline constexpr SpanTag TagOf(std::uint64_t span) {
+  return static_cast<SpanTag>(span >> 62);
+}
+
+/// Job id carried by a job or stage span (not meaningful for slices).
+[[nodiscard]] inline constexpr std::uint64_t SpanJob(std::uint64_t span) {
+  return TagOf(span) == SpanTag::kJob ? (span & ~(std::uint64_t{3} << 62))
+                                      : ((span & ~(std::uint64_t{3} << 62)) >> 12);
+}
+
+[[nodiscard]] inline constexpr std::uint64_t SpanStage(std::uint64_t span) {
+  return (span >> 5) & 0x7F;
+}
+
+[[nodiscard]] inline constexpr std::uint64_t SpanEpoch(std::uint64_t span) {
+  return (span >> 1) & 0xF;
+}
+
+[[nodiscard]] inline constexpr bool SpanIsCopy(std::uint64_t span) {
+  return (span & 1) != 0;
+}
+
+}  // namespace scan::obs

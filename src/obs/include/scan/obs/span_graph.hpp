@@ -1,0 +1,90 @@
+#pragma once
+
+// Causal span graph over a collected trace. Events carry structural span
+// and parent ids (span.hpp) minted identically by the simulator and the
+// live runtime, so the graph — and every derived artifact — is a pure
+// function of the merged event stream.
+//
+// The headline query is the exact per-job critical path: starting from a
+// job's kJobComplete event, the walk follows parent links backwards
+// (final attempt -> its enqueue cause -> predecessor attempt -> ... ->
+// arrival). Each hop is one stage attempt with three telescoping
+// segments:
+//
+//   queued = dequeue.t - enqueue.t      (head-of-line wait)
+//   boot   = exec.t    - dequeue.t      (hire / reconfigure delay)
+//   run    = end       - exec.t         (execution until the next link)
+//
+// where `end` is the instant the hop caused its successor (the next
+// hop's enqueue time; the completion time for the final hop). The
+// segments sum exactly to the job's recorded latency — across retries,
+// backoff, speculation, and DAG dependency chains — because every
+// boundary is a recorded event instant, not an estimate.
+//
+// Determinism: Build() consumes the Collect()ed stream (stably sorted by
+// modeled time) and uses first-occurrence indexing, so equal inputs give
+// bitwise-equal paths regardless of engine.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "scan/obs/trace.hpp"
+
+namespace scan::obs {
+
+/// One stage attempt on a job's critical path (arrival -> completion
+/// order). Times are modeled TU; a segment is 0 when its boundary event
+/// was not recorded (dropped lane entry).
+struct SpanHop {
+  std::uint64_t span = 0;   ///< canonical (copy=0) attempt span id
+  std::size_t stage = 0;
+  std::uint64_t epoch = 0;  ///< retry epoch of this attempt
+  double enqueue_tu = 0.0;
+  double dequeue_tu = 0.0;
+  double exec_tu = 0.0;
+  double end_tu = 0.0;  ///< instant this hop caused the next link
+  [[nodiscard]] double queued_tu() const { return dequeue_tu - enqueue_tu; }
+  [[nodiscard]] double boot_tu() const { return exec_tu - dequeue_tu; }
+  [[nodiscard]] double run_tu() const { return end_tu - exec_tu; }
+};
+
+/// The exact causal chain from a job's arrival to its completion.
+struct JobCriticalPath {
+  std::uint64_t job_id = 0;
+  double arrival_tu = 0.0;
+  double complete_tu = 0.0;
+  double latency_tu = 0.0;  ///< as recorded on kJobComplete
+  /// False when a parent link pointed at a span with no recorded
+  /// enqueue (ring overwrite); hops then cover only the tail.
+  bool complete_chain = true;
+  std::vector<SpanHop> hops;
+  [[nodiscard]] double total_queued_tu() const;
+  [[nodiscard]] double total_boot_tu() const;
+  [[nodiscard]] double total_run_tu() const;
+};
+
+/// The graph: per-job critical paths plus node/edge counts.
+class SpanGraph {
+ public:
+  /// Builds from a TraceRecorder::Collect() stream.
+  [[nodiscard]] static SpanGraph Build(const std::vector<TraceEvent>& events);
+
+  /// Completed jobs' paths, sorted by job id.
+  [[nodiscard]] const std::vector<JobCriticalPath>& jobs() const {
+    return jobs_;
+  }
+  [[nodiscard]] const JobCriticalPath* Find(std::uint64_t job_id) const;
+
+  /// Distinct span ids seen across the stream.
+  [[nodiscard]] std::size_t span_count() const { return span_count_; }
+  /// Events carrying a non-zero parent link.
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+ private:
+  std::vector<JobCriticalPath> jobs_;
+  std::size_t span_count_ = 0;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace scan::obs

@@ -41,7 +41,7 @@ namespace scan::obs {
 ///  kQueueDequeue   instant  a=job_id  b=stage            value=wait_tu
 ///  kWorkerHire     instant  a=job_id  b=tier  track=key  value=threads
 ///  kWorkerRelease  instant  track=worker_key
-///  kWorkerFailure  instant  a=job_id  track=worker_key
+///  kWorkerFailure  instant  a=job_id  b=stage track=worker_key
 ///  kTaskRetry      instant  a=job_id  b=stage
 ///  kStageExec      span     a=job_id  b=stage track=key  value=threads
 ///  kStageSlice     span     a=ticket  b=slice track=lane
@@ -50,13 +50,28 @@ namespace scan::obs {
 ///  kDecision       instant  a=job_id  b=stage track=HireChoice
 ///                           value=delay_cost-hire_cost (0 if not priced)
 ///  kStraggle       instant  a=job_id  b=stage track=key value=factor
-///  kWorkerFlap     instant  a=job_id  track=worker_key
+///  kWorkerFlap     instant  a=job_id  b=stage track=worker_key
 ///  kBreakerOpen    instant  track=worker_key             value=cooldown_tu
 ///  kCheckpoint     instant  a=job_id  b=stage            value=stage_done
 ///  kRetryBackoff   instant  a=job_id  b=stage            value=backoff_tu
 ///  kSpeculativeLaunch instant a=job_id b=stage track=straggler_key
-///  kSpeculativeWasted instant a=job_id track=worker_key
+///  kSpeculativeWasted instant a=job_id b=stage track=worker_key
 ///  kJobAbandoned   instant  a=job_id  b=stage            value=retries
+///
+/// Causal span/parent conventions (ids from span.hpp; 0 = none/root):
+///  kJobArrival        span=JobSpan                 parent=0
+///  kQueueEnqueue      span=StageSpan(+copy bit)    parent=caller's cause
+///  kQueueDequeue/kStageExec  same attempt span     parent=enqueue cause
+///  kDecision/kWorkerHire     span=StageSpan        parent=JobSpan
+///  kStraggle          span=StageSpan(+copy)        parent=JobSpan
+///  kWorkerFailure/kWorkerFlap/kCheckpoint span=StageSpan parent=JobSpan
+///  kTaskRetry/kRetryBackoff  span=StageSpan(epoch) parent=StageSpan(epoch-1)
+///  kSpeculativeLaunch span=StageSpan(copy=1)       parent=StageSpan(copy=0)
+///  kSpeculativeWasted span=StageSpan(stale epoch)
+///  kStageSlice        span=SliceSpan(ticket,slice) parent=exec attempt span
+///  kTicketDelivery    span=exec attempt span
+///  kJobComplete       span=JobSpan                 parent=final attempt span
+///  kJobAbandoned      span=JobSpan                 parent=lost attempt span
 enum class EventKind : std::uint8_t {
   kJobArrival = 0,
   kShardSplit,
@@ -90,6 +105,10 @@ enum class EventKind : std::uint8_t {
 
 /// One recorded event. Times are modeled simulation TU (doubles, so the
 /// recorder depends on nothing but scan_common).
+///
+/// `span` names the causal node this event belongs to and `parent` the
+/// node that caused it (0 = root / unlinked). Ids follow the structural
+/// scheme in span.hpp, so both engines mint identical values.
 struct TraceEvent {
   double time_tu = 0.0;
   double duration_tu = 0.0;  ///< spans only; 0 for instants
@@ -97,6 +116,8 @@ struct TraceEvent {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   double value = 0.0;
+  std::uint64_t span = 0;    ///< causal node id (span.hpp), 0 = none
+  std::uint64_t parent = 0;  ///< causal parent node id, 0 = root
   EventKind kind = EventKind::kJobArrival;
 };
 
@@ -161,11 +182,13 @@ class TraceRecorder {
 
   /// Writes the merged stream as Chrome trace-event JSON ("traceEvents"
   /// array; 1 TU = 1000 trace microseconds). Loadable in Perfetto /
-  /// chrome://tracing. False on I/O failure.
+  /// chrome://tracing. Parent->child span edges additionally emit flow
+  /// event pairs (ph "s"/"f") so Perfetto draws causal arrows. False on
+  /// I/O failure.
   bool ExportChromeJson(const std::string& path) const;
 
   /// Writes one JSON object per line ({"t","dur","kind","track","a","b",
-  /// "v"}), times in TU with full round-trip precision.
+  /// "v","span","parent"}), times in TU with full round-trip precision.
   bool ExportJsonl(const std::string& path) const;
 
  private:
@@ -176,12 +199,15 @@ class TraceRecorder {
   [[nodiscard]] Impl& impl() const;
 };
 
-/// Emission helper: TraceEmit(kind, t, track, a, b, value, duration).
+/// Emission helper: TraceEmit(kind, t, track, a, b, value, duration,
+/// span, parent). Span/parent default to 0 (unlinked) so legacy sites
+/// stay valid.
 inline void TraceEmit(EventKind kind, double time_tu, std::uint64_t track,
                       std::uint64_t a, std::uint64_t b = 0,
-                      double value = 0.0, double duration_tu = 0.0) {
+                      double value = 0.0, double duration_tu = 0.0,
+                      std::uint64_t span = 0, std::uint64_t parent = 0) {
   TraceRecorder::Global().Emit(
-      TraceEvent{time_tu, duration_tu, track, a, b, value, kind});
+      TraceEvent{time_tu, duration_tu, track, a, b, value, span, parent, kind});
 }
 
 }  // namespace scan::obs

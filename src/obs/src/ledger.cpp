@@ -1,0 +1,138 @@
+#include "scan/obs/ledger.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "scan/obs/span.hpp"
+
+namespace scan::obs {
+
+namespace {
+
+/// Canonical attempt id (copy bit cleared): fault events reference the
+/// copy=0 span, exec events may carry the copy bit.
+std::uint64_t Canonical(std::uint64_t span) {
+  return TagOf(span) == SpanTag::kStage ? (span & ~std::uint64_t{1}) : span;
+}
+
+struct RowKey {
+  std::size_t stage;
+  std::uint64_t tier;
+  int threads;
+  bool operator<(const RowKey& other) const {
+    return std::tie(stage, tier, threads) <
+           std::tie(other.stage, other.tier, other.threads);
+  }
+};
+
+struct RowAcc {
+  std::vector<double> durations;
+  std::uint64_t crashes = 0;
+  std::uint64_t flaps = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t straggles = 0;
+};
+
+struct AttemptConfig {
+  std::uint64_t tier = kLedgerTierUnknown;
+  int threads = 0;
+};
+
+}  // namespace
+
+const char* LedgerTierName(std::uint64_t tier) {
+  switch (tier) {
+    case 0:
+      return "private";
+    case 1:
+      return "public";
+    default:
+      return "unknown";
+  }
+}
+
+ProfileLedger ProfileLedger::FromEvents(
+    const std::vector<TraceEvent>& events) {
+  // std::map: deterministic, already-sorted iteration for the row list.
+  std::map<RowKey, RowAcc> acc;
+  std::unordered_map<std::uint64_t, std::uint64_t> worker_tier;
+  std::unordered_map<std::uint64_t, AttemptConfig> attempt_config;
+
+  const auto config_of =
+      [&](std::uint64_t span, std::size_t fallback_stage) -> RowKey {
+    const auto it = attempt_config.find(Canonical(span));
+    if (it == attempt_config.end()) {
+      return RowKey{fallback_stage, kLedgerTierUnknown, 0};
+    }
+    return RowKey{static_cast<std::size_t>(SpanStage(span)), it->second.tier,
+                  it->second.threads};
+  };
+
+  for (const TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case EventKind::kWorkerHire:
+        worker_tier[ev.track] = ev.b;
+        break;
+      case EventKind::kStageExec: {
+        const auto tier_it = worker_tier.find(ev.track);
+        const std::uint64_t tier = tier_it != worker_tier.end()
+                                       ? tier_it->second
+                                       : kLedgerTierUnknown;
+        const int threads = static_cast<int>(ev.value);
+        attempt_config[Canonical(ev.span)] = AttemptConfig{tier, threads};
+        acc[RowKey{static_cast<std::size_t>(ev.b), tier, threads}]
+            .durations.push_back(ev.duration_tu);
+        break;
+      }
+      case EventKind::kWorkerFailure:
+        ++acc[config_of(ev.span, static_cast<std::size_t>(ev.b))].crashes;
+        break;
+      case EventKind::kWorkerFlap:
+        ++acc[config_of(ev.span, static_cast<std::size_t>(ev.b))].flaps;
+        break;
+      case EventKind::kStraggle:
+        ++acc[config_of(ev.span, static_cast<std::size_t>(ev.b))].straggles;
+        break;
+      case EventKind::kTaskRetry:
+        // The retry's parent is the lost attempt; charge its config.
+        ++acc[config_of(ev.parent, static_cast<std::size_t>(ev.b))].retries;
+        break;
+      default:
+        break;
+    }
+  }
+
+  ProfileLedger ledger;
+  ledger.rows_.reserve(acc.size());
+  for (auto& [key, row_acc] : acc) {
+    ProfileRow row;
+    row.stage = key.stage;
+    row.tier = key.tier;
+    row.threads = key.threads;
+    row.observations = row_acc.durations.size();
+    // Value-sorted summation: bitwise order-independent across engines
+    // whose equal-time events interleave differently.
+    std::sort(row_acc.durations.begin(), row_acc.durations.end());
+    for (const double d : row_acc.durations) row.total_runtime_tu += d;
+    row.crashes = row_acc.crashes;
+    row.flaps = row_acc.flaps;
+    row.retries = row_acc.retries;
+    row.straggles = row_acc.straggles;
+    ledger.rows_.push_back(row);
+  }
+  return ledger;
+}
+
+const ProfileRow* ProfileLedger::Find(std::size_t stage, std::uint64_t tier,
+                                      int threads) const {
+  for (const ProfileRow& row : rows_) {
+    if (row.stage == stage && row.tier == tier && row.threads == threads) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace scan::obs

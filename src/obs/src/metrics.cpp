@@ -46,7 +46,7 @@ void Histogram::Reset() {
 
 namespace {
 
-enum class MetricType { kCounter, kGauge, kHistogram };
+enum class MetricType { kCounter, kGauge, kHistogram, kSketch, kSlo };
 
 const char* MetricTypeName(MetricType type) {
   switch (type) {
@@ -56,6 +56,10 @@ const char* MetricTypeName(MetricType type) {
       return "gauge";
     case MetricType::kHistogram:
       return "histogram";
+    case MetricType::kSketch:
+      return "summary";
+    case MetricType::kSlo:
+      return "slo";
   }
   return "?";
 }
@@ -77,6 +81,8 @@ struct Entry {
   std::unique_ptr<Counter> counter;
   std::unique_ptr<Gauge> gauge;
   std::unique_ptr<Histogram> histogram;
+  std::unique_ptr<QuantileSketch> sketch;
+  std::unique_ptr<Slo> slo;
 };
 
 }  // namespace
@@ -151,10 +157,39 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *entry.histogram;
 }
 
+QuantileSketch& MetricsRegistry::GetSketch(const std::string& name,
+                                           const std::string& help,
+                                           double relative_accuracy) {
+  const std::scoped_lock lock(impl_->mutex);
+  Entry& entry = FindOrCreate(impl_->entries, name, help, MetricType::kSketch);
+  if (!entry.sketch) {
+    entry.sketch = std::make_unique<QuantileSketch>(relative_accuracy);
+  }
+  return *entry.sketch;
+}
+
+Slo& MetricsRegistry::GetSlo(const std::string& name, const std::string& help,
+                             SloSpec spec, QuantileSketch& sketch) {
+  const std::scoped_lock lock(impl_->mutex);
+  Entry& entry = FindOrCreate(impl_->entries, name, help, MetricType::kSlo);
+  if (!entry.slo) entry.slo = std::make_unique<Slo>(spec, sketch);
+  return *entry.slo;
+}
+
 std::string MetricsRegistry::PrometheusText() const {
   const std::scoped_lock lock(impl_->mutex);
   std::ostringstream out;
   for (const auto& [name, entry] : impl_->entries) {
+    // Sketches and SLOs render whole blocks (their own TYPE lines: a
+    // summary, resp. a family of counters/gauges under the name prefix).
+    if (entry.type == MetricType::kSketch) {
+      out << SketchPrometheusBlock(name, entry.help, *entry.sketch);
+      continue;
+    }
+    if (entry.type == MetricType::kSlo) {
+      out << SloPrometheusBlock(name, entry.help, *entry.slo);
+      continue;
+    }
     if (!entry.help.empty()) {
       out << "# HELP " << name << ' ' << entry.help << '\n';
     }
@@ -182,6 +217,9 @@ std::string MetricsRegistry::PrometheusText() const {
         out << name << "_count " << h.count() << '\n';
         break;
       }
+      case MetricType::kSketch:
+      case MetricType::kSlo:
+        break;  // handled above
     }
   }
   return out.str();
@@ -215,6 +253,25 @@ std::string MetricsRegistry::JsonSnapshot() const {
             << h.bucket_count(h.upper_bounds().size()) << "}]}";
         break;
       }
+      case MetricType::kSketch: {
+        const QuantileSketch& s = *entry.sketch;
+        out << "{\"p50\": " << StrFormat("%.17g", s.Quantile(0.5))
+            << ", \"p95\": " << StrFormat("%.17g", s.Quantile(0.95))
+            << ", \"p99\": " << StrFormat("%.17g", s.Quantile(0.99))
+            << ", \"sum\": " << StrFormat("%.17g", s.sum())
+            << ", \"count\": " << s.count() << "}";
+        break;
+      }
+      case MetricType::kSlo: {
+        const Slo& s = *entry.slo;
+        out << "{\"good\": " << s.good() << ", \"breach\": " << s.breached()
+            << ", \"objective\": " << StrFormat("%.17g", s.spec().threshold)
+            << ", \"observed\": "
+            << StrFormat("%.17g", s.sketch().Quantile(s.spec().quantile))
+            << ", \"budget_burn\": " << StrFormat("%.17g", s.BudgetBurn())
+            << "}";
+        break;
+      }
     }
   }
   out << "\n}\n";
@@ -233,6 +290,12 @@ void MetricsRegistry::ResetAll() {
         break;
       case MetricType::kHistogram:
         entry.histogram->Reset();
+        break;
+      case MetricType::kSketch:
+        entry.sketch->Reset();
+        break;
+      case MetricType::kSlo:
+        entry.slo->Reset();
         break;
     }
   }
@@ -285,6 +348,21 @@ PlatformMetrics PlatformMetrics::Resolve() {
       "scan_worker_utilization_ratio",
       "Released-worker lifetime utilization (busy/hired)",
       {0.1, 0.25, 0.5, 0.75, 0.9, 0.99});
+  m.queue_wait_sketch = &reg.GetSketch(
+      "scan_queue_wait_sketch_tu", "Per-dispatch queue wait quantiles (TU)");
+  m.job_latency_sketch = &reg.GetSketch(
+      "scan_job_latency_sketch_tu", "Completed-job latency quantiles (TU)");
+  m.decision_latency_us = &reg.GetSketch(
+      "scan_decision_latency_us",
+      "Wall-clock dispatch-round decision latency quantiles (microseconds)");
+  m.decision_latency_slo = &reg.GetSlo(
+      "scan_decision_latency_slo",
+      "Objective: p99 decision latency <= 500us, 1% error budget",
+      SloSpec{0.99, 500.0, 0.01}, *m.decision_latency_us);
+  m.job_latency_slo = &reg.GetSlo(
+      "scan_job_latency_slo",
+      "Objective: p95 job latency <= 200 TU, 5% error budget",
+      SloSpec{0.95, 200.0, 0.05}, *m.job_latency_sketch);
   return m;
 }
 

@@ -1,0 +1,147 @@
+#include "scan/obs/span_graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "scan/obs/span.hpp"
+
+namespace scan::obs {
+
+namespace {
+
+/// Canonical attempt id: the copy=0 span of a stage attempt (parents
+/// always point at the canonical node; see the emission table in
+/// trace.hpp).
+std::uint64_t Canonical(std::uint64_t span) {
+  return TagOf(span) == SpanTag::kStage ? (span & ~std::uint64_t{1}) : span;
+}
+
+/// The boundary events of one attempt span, indexed by first occurrence
+/// (the stream is stably time-sorted, so "first" is deterministic).
+struct AttemptInfo {
+  const TraceEvent* enqueue = nullptr;
+  const TraceEvent* dequeue = nullptr;
+  const TraceEvent* exec = nullptr;
+};
+
+}  // namespace
+
+double JobCriticalPath::total_queued_tu() const {
+  double total = 0.0;
+  for (const SpanHop& hop : hops) total += hop.queued_tu();
+  return total;
+}
+
+double JobCriticalPath::total_boot_tu() const {
+  double total = 0.0;
+  for (const SpanHop& hop : hops) total += hop.boot_tu();
+  return total;
+}
+
+double JobCriticalPath::total_run_tu() const {
+  double total = 0.0;
+  for (const SpanHop& hop : hops) total += hop.run_tu();
+  return total;
+}
+
+SpanGraph SpanGraph::Build(const std::vector<TraceEvent>& events) {
+  SpanGraph graph;
+  std::unordered_map<std::uint64_t, AttemptInfo> attempts;
+  std::unordered_map<std::uint64_t, double> arrivals;  // job id -> time
+  std::unordered_set<std::uint64_t> distinct_spans;
+  std::vector<const TraceEvent*> completions;
+
+  for (const TraceEvent& ev : events) {
+    if (ev.span != kSpanNone) distinct_spans.insert(ev.span);
+    if (ev.parent != kSpanNone) ++graph.edge_count_;
+    switch (ev.kind) {
+      case EventKind::kJobArrival:
+        arrivals.emplace(ev.a, ev.time_tu);
+        break;
+      case EventKind::kQueueEnqueue: {
+        AttemptInfo& info = attempts[Canonical(ev.span)];
+        if (info.enqueue == nullptr) info.enqueue = &ev;
+        break;
+      }
+      case EventKind::kQueueDequeue: {
+        AttemptInfo& info = attempts[Canonical(ev.span)];
+        if (info.dequeue == nullptr) info.dequeue = &ev;
+        break;
+      }
+      case EventKind::kStageExec: {
+        AttemptInfo& info = attempts[Canonical(ev.span)];
+        if (info.exec == nullptr) info.exec = &ev;
+        break;
+      }
+      case EventKind::kJobComplete:
+        completions.push_back(&ev);
+        break;
+      default:
+        break;
+    }
+  }
+  graph.span_count_ = distinct_spans.size();
+
+  graph.jobs_.reserve(completions.size());
+  for (const TraceEvent* completion : completions) {
+    JobCriticalPath path;
+    path.job_id = completion->a;
+    path.complete_tu = completion->time_tu;
+    path.latency_tu = completion->value;
+    const auto arrival = arrivals.find(path.job_id);
+    path.arrival_tu =
+        arrival != arrivals.end() ? arrival->second : completion->time_tu;
+
+    // Walk parent links back to the arrival. `link_end` is the instant
+    // the current hop caused the next one (the completion itself for the
+    // final hop); it telescopes each hop's run segment exactly.
+    double link_end = completion->time_tu;
+    std::uint64_t cursor = Canonical(completion->parent);
+    // A chain is at most (stages x retry epochs) long; the visited set
+    // guards against malformed streams.
+    std::unordered_set<std::uint64_t> visited;
+    while (cursor != kSpanNone && TagOf(cursor) == SpanTag::kStage &&
+           visited.insert(cursor).second) {
+      const auto it = attempts.find(cursor);
+      if (it == attempts.end() || it->second.enqueue == nullptr) {
+        path.complete_chain = false;
+        break;
+      }
+      const AttemptInfo& info = it->second;
+      SpanHop hop;
+      hop.span = cursor;
+      hop.stage = static_cast<std::size_t>(SpanStage(cursor));
+      hop.epoch = SpanEpoch(cursor);
+      hop.enqueue_tu = info.enqueue->time_tu;
+      hop.dequeue_tu = info.dequeue != nullptr ? info.dequeue->time_tu
+                                               : info.enqueue->time_tu;
+      hop.exec_tu =
+          info.exec != nullptr ? info.exec->time_tu : hop.dequeue_tu;
+      hop.end_tu = link_end;
+      path.hops.push_back(hop);
+      link_end = hop.enqueue_tu;
+      cursor = Canonical(info.enqueue->parent);
+    }
+    std::reverse(path.hops.begin(), path.hops.end());
+    graph.jobs_.push_back(std::move(path));
+  }
+
+  std::sort(graph.jobs_.begin(), graph.jobs_.end(),
+            [](const JobCriticalPath& a, const JobCriticalPath& b) {
+              return a.job_id < b.job_id;
+            });
+  return graph;
+}
+
+const JobCriticalPath* SpanGraph::Find(std::uint64_t job_id) const {
+  const auto it = std::lower_bound(
+      jobs_.begin(), jobs_.end(), job_id,
+      [](const JobCriticalPath& path, std::uint64_t id) {
+        return path.job_id < id;
+      });
+  if (it == jobs_.end() || it->job_id != job_id) return nullptr;
+  return &*it;
+}
+
+}  // namespace scan::obs

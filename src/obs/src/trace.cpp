@@ -4,8 +4,10 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 #include "scan/common/str.hpp"
+#include "scan/obs/span.hpp"
 
 namespace scan::obs {
 
@@ -183,16 +185,54 @@ namespace {
 /// 200 ms timeline — comfortable zoom range in Perfetto.
 constexpr double kMicrosPerTu = 1000.0;
 
+/// True for the event that *defines* a span node: the one whose (ts,
+/// track) a flow arrow should depart from when the span is someone's
+/// parent. Job spans are defined by arrival, stage spans by their exec
+/// slice, slice spans by the slice itself.
+bool DefinesSpan(const TraceEvent& ev) {
+  switch (TagOf(ev.span)) {
+    case SpanTag::kJob:
+      return ev.kind == EventKind::kJobArrival;
+    case SpanTag::kStage:
+      return ev.kind == EventKind::kStageExec;
+    case SpanTag::kSlice:
+      return ev.kind == EventKind::kStageSlice;
+    case SpanTag::kNone:
+      return false;
+  }
+  return false;
+}
+
+/// True for events that should receive an inbound Perfetto flow arrow:
+/// the causal skeleton (exec spans, slices, completions) rather than
+/// every instant — keeps the rendered graph readable.
+bool ReceivesFlow(const TraceEvent& ev) {
+  return IsSpan(ev.kind) || ev.kind == EventKind::kJobComplete;
+}
+
 }  // namespace
 
 bool TraceRecorder::ExportChromeJson(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
   const std::vector<TraceEvent> events = Collect();
+  // Anchor of each span id: where flow arrows out of that span start.
+  std::unordered_map<std::uint64_t, const TraceEvent*> anchors;
+  for (const TraceEvent& ev : events) {
+    if (ev.span != kSpanNone && DefinesSpan(ev)) {
+      anchors.emplace(ev.span, &ev);  // first (earliest) definition wins
+    }
+  }
   out << "{\"traceEvents\":[\n";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& ev = events[i];
-    out << "{\"name\":\"" << EventKindName(ev.kind)
+  bool first = true;
+  const auto sep = [&first, &out]() {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  std::uint64_t flow_id = 0;
+  for (const TraceEvent& ev : events) {
+    sep();
+    out << "{\"name\":\"" << EscapeJson(EventKindName(ev.kind))
         << "\",\"cat\":\"scan\",\"ph\":\"" << (IsSpan(ev.kind) ? "X" : "i")
         << "\"";
     if (!IsSpan(ev.kind)) out << ",\"s\":\"t\"";
@@ -202,10 +242,27 @@ bool TraceRecorder::ExportChromeJson(const std::string& path) const {
     }
     out << ",\"pid\":1,\"tid\":" << ev.track << ",\"args\":{\"a\":" << ev.a
         << ",\"b\":" << ev.b << ",\"v\":" << StrFormat("%.17g", ev.value)
-        << "}}";
-    out << (i + 1 < events.size() ? ",\n" : "\n");
+        << ",\"span\":" << ev.span << ",\"parent\":" << ev.parent << "}}";
+    // Causal arrow parent -> this event, as a Perfetto flow pair. "bp":"e"
+    // binds the finish to the enclosing slice rather than the next one.
+    if (ev.parent != kSpanNone && ReceivesFlow(ev)) {
+      const auto it = anchors.find(ev.parent);
+      if (it != anchors.end()) {
+        const TraceEvent& from = *it->second;
+        const std::uint64_t id = ++flow_id;
+        sep();
+        out << "{\"name\":\"causal\",\"cat\":\"scan-flow\",\"ph\":\"s\",\"id\":"
+            << id << ",\"ts\":" << StrFormat("%.17g", from.time_tu * kMicrosPerTu)
+            << ",\"pid\":1,\"tid\":" << from.track << "}";
+        sep();
+        out << "{\"name\":\"causal\",\"cat\":\"scan-flow\",\"ph\":\"f\",\"bp\":"
+            << "\"e\",\"id\":" << id
+            << ",\"ts\":" << StrFormat("%.17g", ev.time_tu * kMicrosPerTu)
+            << ",\"pid\":1,\"tid\":" << ev.track << "}";
+      }
+    }
   }
-  out << "]}\n";
+  out << (first ? "" : "\n") << "]}\n";
   return out.good();
 }
 
@@ -215,10 +272,10 @@ bool TraceRecorder::ExportJsonl(const std::string& path) const {
   for (const TraceEvent& ev : Collect()) {
     out << "{\"t\":" << StrFormat("%.17g", ev.time_tu)
         << ",\"dur\":" << StrFormat("%.17g", ev.duration_tu)
-        << ",\"kind\":\"" << EventKindName(ev.kind)
+        << ",\"kind\":\"" << EscapeJson(EventKindName(ev.kind))
         << "\",\"track\":" << ev.track << ",\"a\":" << ev.a
         << ",\"b\":" << ev.b << ",\"v\":" << StrFormat("%.17g", ev.value)
-        << "}\n";
+        << ",\"span\":" << ev.span << ",\"parent\":" << ev.parent << "}\n";
   }
   return out.good();
 }

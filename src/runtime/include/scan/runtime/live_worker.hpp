@@ -38,6 +38,10 @@ struct StageTask {
   /// (the scan_obs determinism contract forbids wall-time stamps).
   double sim_start_tu = 0.0;
   double sim_exec_tu = 0.0;
+  /// The exec attempt span this task belongs to: each kStageSlice event
+  /// mints SliceSpan(ticket, slice) and points its parent here, stitching
+  /// executor-thread slices into the causal span graph.
+  std::uint64_t parent_span = 0;
 };
 
 /// One hired worker VM executing stage tasks on the shared pool.

@@ -131,6 +131,9 @@ class RuntimePlatform {
     int active = 0;
     bool in_backoff = false;
     bool speculated = false;
+    /// Causal parent span recorded at enqueue time (pure trace
+    /// bookkeeping, never feeds a decision).
+    std::uint64_t enqueue_parent_span = 0;
   };
 
   struct JobState {
@@ -195,6 +198,8 @@ class RuntimePlatform {
     /// accounting on the wall-clock failure/flap paths).
     SimTime start{0.0};
     SimTime planned_exec{0.0};
+    /// The exec attempt span (trace bookkeeping for kTicketDelivery).
+    std::uint64_t span = 0;
   };
 
   [[nodiscard]] SimTime Now() const { return clock_->Now(); }
@@ -227,7 +232,8 @@ class RuntimePlatform {
     return (job_id << 8) | static_cast<std::uint64_t>(stage);
   }
   void OnBatchArrival(const workload::ArrivalBatch& batch);
-  void EnqueueTask(std::uint64_t job_id, std::size_t stage);
+  void EnqueueTask(std::uint64_t job_id, std::size_t stage,
+                   std::uint64_t parent_span);
   void TryDispatchAll();
   bool TryDispatchHead(std::size_t stage);
   void AssignTask(std::uint64_t job_id, std::size_t stage,

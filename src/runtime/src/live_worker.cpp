@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "scan/obs/metrics.hpp"
+#include "scan/obs/span.hpp"
 #include "scan/obs/trace.hpp"
 
 namespace scan::runtime {
@@ -40,7 +41,8 @@ void LiveWorker::Execute(const StageTask& task) {
                               pre = task.pre_delay_seconds,
                               burn = task.burn_seconds, slice,
                               sim_start = task.sim_start_tu,
-                              sim_exec = task.sim_exec_tu] {
+                              sim_exec = task.sim_exec_tu,
+                              parent_span = task.parent_span] {
       if (pre > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(pre));
       }
@@ -55,7 +57,10 @@ void LiveWorker::Execute(const StageTask& task) {
         obs::TraceEmit(obs::EventKind::kStageSlice, sim_start,
                        1000 + obs::TraceRecorder::Global().CurrentLane(),
                        group->ticket, static_cast<std::uint64_t>(slice), 0.0,
-                       sim_exec);
+                       sim_exec,
+                       obs::SliceSpan(group->ticket,
+                                      static_cast<std::uint64_t>(slice)),
+                       parent_span);
       }
       if (group->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (obs::MetricsEnabled()) {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "scan/common/log.hpp"
+#include "scan/obs/span.hpp"
 #include "scan/obs/trace.hpp"
 
 namespace scan::runtime {
@@ -193,8 +194,11 @@ void RuntimePlatform::WaitForTicket(std::uint64_t ticket) {
     --unconsumed_;
     if (completion.ticket == ticket) {
       if (obs::TraceEnabled()) {
+        const auto it = in_flight_.find(ticket);
+        const std::uint64_t span =
+            it != in_flight_.end() ? it->second.span : obs::kSpanNone;
         obs::TraceEmit(obs::EventKind::kTicketDelivery, Now().value(), 0,
-                       ticket);
+                       ticket, 0, 0.0, 0.0, span);
       }
       return;
     }
@@ -205,8 +209,11 @@ void RuntimePlatform::WaitForTicket(std::uint64_t ticket) {
 void RuntimePlatform::HandleWallCompletion(const TaskCompletion& completion) {
   SetLogSimTime(Now().value());
   if (obs::TraceEnabled()) {
+    const auto sit = in_flight_.find(completion.ticket);
+    const std::uint64_t span =
+        sit != in_flight_.end() ? sit->second.span : obs::kSpanNone;
     obs::TraceEmit(obs::EventKind::kTicketDelivery, Now().value(), 0,
-                   completion.ticket);
+                   completion.ticket, 0, 0.0, 0.0, span);
   }
   const auto it = in_flight_.find(completion.ticket);
   assert(it != in_flight_.end());
@@ -262,7 +269,7 @@ void RuntimePlatform::OnBatchArrival(const workload::ArrivalBatch& batch) {
     if (obs::MetricsEnabled()) pmetrics_.jobs_arrived->Increment();
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kJobArrival, Now().value(), 0, job.id, 0,
-                     job.size.value());
+                     job.size.value(), 0.0, obs::JobSpan(job.id));
     }
     const gatk::PipelineModel& model = policy_.model();
     JobState state;
@@ -280,7 +287,9 @@ void RuntimePlatform::OnBatchArrival(const workload::ArrivalBatch& batch) {
     // Every zero-in-degree stage is ready on arrival (stage 0 alone for
     // the linear chain; all of them for a bag of tasks).
     for (std::size_t stage = 0; stage < model.stage_count(); ++stage) {
-      if (model.deps(stage).empty()) EnqueueTask(job.id, stage);
+      if (model.deps(stage).empty()) {
+        EnqueueTask(job.id, stage, obs::JobSpan(job.id));
+      }
     }
   }
   TryDispatchAll();
@@ -317,7 +326,9 @@ void RuntimePlatform::AuditHire(obs::HireChoice choice, std::size_t stage,
                               ? eval->delay_cost - eval->hire_cost
                               : 0.0;
     obs::TraceEmit(obs::EventKind::kDecision, now,
-                   static_cast<std::uint64_t>(choice), job.id, stage, margin);
+                   static_cast<std::uint64_t>(choice), job.id, stage, margin,
+                   0.0, obs::StageSpan(job.id, stage, job.tasks[stage].epoch),
+                   obs::JobSpan(job.id));
   }
   if (!audit) return;
   obs::HireDecisionRecord rec;
@@ -340,14 +351,21 @@ void RuntimePlatform::AuditHire(obs::HireChoice choice, std::size_t stage,
   obs::DecisionAudit::Global().RecordHire(rec);
 }
 
-void RuntimePlatform::EnqueueTask(std::uint64_t job_id, std::size_t stage) {
+void RuntimePlatform::EnqueueTask(std::uint64_t job_id, std::size_t stage,
+                                  std::uint64_t parent_span) {
   JobState& job = jobs_.at(job_id);
   StageTaskState& task = job.tasks[stage];
   task.enqueued_at = Now();
+  task.enqueue_parent_span = parent_span;
   queues_[stage].push_back(job_id);
   if (obs::TraceEnabled()) {
+    // A speculative copy (flagged by the caller before this enqueue) gets
+    // the copy-bit attempt span so the duplicate is its own graph node.
+    const bool copy = speculative_queued_.count(TaskKey(job_id, stage)) > 0;
     obs::TraceEmit(obs::EventKind::kQueueEnqueue, task.enqueued_at.value(), 0,
-                   job_id, stage);
+                   job_id, stage, 0.0, 0.0,
+                   obs::StageSpan(job_id, stage, task.epoch, copy),
+                   parent_span);
   }
   if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(1.0);
 }
@@ -368,7 +386,10 @@ void RuntimePlatform::TryDispatchAll() {
   const std::chrono::duration<double, std::micro> elapsed =
       std::chrono::steady_clock::now() - dispatch_start;
   dispatch_micros_.Add(elapsed.count());
-  if (obs::MetricsEnabled()) dispatch_micros_hist_->Observe(elapsed.count());
+  if (obs::MetricsEnabled()) {
+    dispatch_micros_hist_->Observe(elapsed.count());
+    pmetrics_.decision_latency_slo->Observe(elapsed.count());
+  }
 }
 
 core::WorkerIndex::IdleEntry RuntimePlatform::IdleEntryFor(
@@ -517,7 +538,9 @@ bool RuntimePlatform::TryDispatchHead(std::size_t stage) {
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kWorkerHire, now.value(), key, job_id,
                    static_cast<std::uint64_t>(tier),
-                   static_cast<double>(threads));
+                   static_cast<double>(threads), 0.0,
+                   obs::StageSpan(job_id, stage, job.tasks[stage].epoch),
+                   obs::JobSpan(job_id));
   }
   queues_[stage].pop_front();
   AssignTask(job_id, stage, workers_.at(key), now + delay.value());
@@ -537,11 +560,14 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   metrics_.stage_queue_wait[stage].Add(wait.value());
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kQueueDequeue, now.value(), 0, job_id,
-                   stage, wait.value());
+                   stage, wait.value(), 0.0,
+                   obs::StageSpan(job_id, stage, task.epoch, speculative),
+                   task.enqueue_parent_span);
   }
   if (obs::MetricsEnabled()) {
     pmetrics_.queued_jobs->Add(-1.0);
     pmetrics_.queue_wait_tu->Observe(wait.value());
+    pmetrics_.queue_wait_sketch->Observe(wait.value());
     pmetrics_.busy_workers->Add(1.0);
   }
 
@@ -567,7 +593,9 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kStageExec, start_time.value(), worker_key,
                    job_id, stage, static_cast<double>(worker.threads),
-                   exec.value());
+                   exec.value(),
+                   obs::StageSpan(job_id, stage, task.epoch, speculative),
+                   task.enqueue_parent_span);
   }
 
   // Fault injection: the same injector draws, in the same order, as the
@@ -578,7 +606,9 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
     ++metrics_.straggles_injected;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kStraggle, start_time.value(),
-                     worker_key, job_id, stage, fate.straggle_factor);
+                     worker_key, job_id, stage, fate.straggle_factor, 0.0,
+                     obs::StageSpan(job_id, stage, task.epoch, speculative),
+                     obs::JobSpan(job_id));
     }
     if (obs::MetricsEnabled()) pmetrics_.straggles->Increment();
   }
@@ -595,15 +625,18 @@ void RuntimePlatform::AssignTask(std::uint64_t job_id, std::size_t stage,
   const SimTime actual_exec = fate.actual_end - start_time;
   const SimTime extra = fate.actual_end - done_at;
   const std::uint64_t epoch = task.epoch;
+  const std::uint64_t exec_span =
+      obs::StageSpan(job_id, stage, epoch, speculative);
   const std::uint64_t ticket = next_ticket_++;
   in_flight_.emplace(
       ticket, TicketState{job_id, stage, worker_key, false, epoch, extra,
-                          start_time, exec});
+                          start_time, exec, exec_span});
   ++unconsumed_;
   ++stage_tasks_dispatched_;
   StageTask phys_task;
   phys_task.ticket = ticket;
   phys_task.slices = worker.threads;
+  phys_task.parent_span = exec_span;
   const double seconds_per_tu = clock_->seconds_per_tu();
   phys_task.pre_delay_seconds = (start_time - now).value() * seconds_per_tu;
   phys_task.burn_seconds = actual_exec.value() * seconds_per_tu;
@@ -683,7 +716,9 @@ void RuntimePlatform::OnWorkerFailure(std::uint64_t job_id, std::size_t stage,
   ++metrics_.worker_failures;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kWorkerFailure, now.value(), worker_key,
-                   job_id);
+                   job_id, stage, 0.0, 0.0,
+                   obs::StageSpan(job_id, stage, epoch),
+                   obs::JobSpan(job_id));
   }
   if (obs::MetricsEnabled()) {
     pmetrics_.worker_failures->Increment();
@@ -716,7 +751,9 @@ void RuntimePlatform::OnWorkerFlap(std::uint64_t job_id, std::size_t stage,
   ++metrics_.worker_flaps;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kWorkerFlap, now.value(), worker_key,
-                   job_id);
+                   job_id, stage, 0.0, 0.0,
+                   obs::StageSpan(job_id, stage, epoch),
+                   obs::JobSpan(job_id));
   }
   if (obs::MetricsEnabled()) pmetrics_.worker_flaps->Increment();
   if (health_.enabled() && health_.RecordFlap(worker_key, now)) {
@@ -753,7 +790,9 @@ void RuntimePlatform::HandleTaskLoss(JobState& job, std::size_t stage,
       ++metrics_.checkpoints_saved;
       if (obs::TraceEnabled()) {
         obs::TraceEmit(obs::EventKind::kCheckpoint, now.value(), 0, job.id,
-                       stage, task.stage_done);
+                       stage, task.stage_done, 0.0,
+                       obs::StageSpan(job.id, stage, task.epoch),
+                       obs::JobSpan(job.id));
       }
       if (obs::MetricsEnabled()) pmetrics_.checkpoints_saved->Increment();
     }
@@ -773,35 +812,41 @@ void RuntimePlatform::HandleTaskLoss(JobState& job, std::size_t stage,
     ++metrics_.jobs_abandoned;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kJobAbandoned, now.value(), 0, job.id,
-                     stage, static_cast<double>(job.retries));
+                     stage, static_cast<double>(job.retries), 0.0,
+                     obs::JobSpan(job.id),
+                     obs::StageSpan(job.id, stage, task.epoch - 1));
     }
     if (obs::MetricsEnabled()) pmetrics_.jobs_abandoned->Increment();
     AbandonJob(job.id);
     return;
   }
   ++metrics_.task_retries;
+  // The retry's causal parent is the attempt just lost (epoch was bumped
+  // above, so the lost attempt is epoch - 1).
+  const std::uint64_t lost_span = obs::StageSpan(job.id, stage, task.epoch - 1);
+  const std::uint64_t retry_span = obs::StageSpan(job.id, stage, task.epoch);
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job.id,
-                   stage);
+                   stage, 0.0, 0.0, retry_span, lost_span);
   }
   if (obs::MetricsEnabled()) pmetrics_.task_retries->Increment();
 
   const SimTime backoff = retry_.BackoffFor(job.retries - 1);
   if (backoff <= SimTime{0.0}) {
-    EnqueueTask(job.id, stage);
+    EnqueueTask(job.id, stage, lost_span);
     return;
   }
   task.in_backoff = true;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kRetryBackoff, now.value(), 0, job.id,
-                   stage, backoff.value());
+                   stage, backoff.value(), 0.0, retry_span, lost_span);
   }
   const std::uint64_t job_id = job.id;
-  ScheduleAt(now + backoff, [this, job_id, stage] {
+  ScheduleAt(now + backoff, [this, job_id, stage, lost_span] {
     const auto it = jobs_.find(job_id);
     if (it == jobs_.end()) return;
     it->second.tasks[stage].in_backoff = false;
-    EnqueueTask(job_id, stage);
+    EnqueueTask(job_id, stage, lost_span);
     TryDispatchAll();
   });
 }
@@ -842,12 +887,16 @@ void RuntimePlatform::OnSpeculationCheck(std::uint64_t job_id,
   speculative_queued_.insert(TaskKey(job_id, stage));
   ++metrics_.speculative_launches;
   const SimTime now = Now();
+  // The running original attempt is the copy's causal parent.
+  const std::uint64_t attempt_span = obs::StageSpan(job_id, stage, epoch);
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kSpeculativeLaunch, now.value(),
-                   worker_key, job_id, stage);
+                   worker_key, job_id, stage, 0.0, 0.0,
+                   obs::StageSpan(job_id, stage, epoch, /*copy=*/true),
+                   attempt_span);
   }
   if (obs::MetricsEnabled()) pmetrics_.speculative_launches->Increment();
-  EnqueueTask(job_id, stage);
+  EnqueueTask(job_id, stage, attempt_span);
   TryDispatchAll();
 }
 
@@ -887,7 +936,8 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id, std::size_t stage,
     ++metrics_.speculative_wasted;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kSpeculativeWasted, now.value(),
-                     worker_key, job_id);
+                     worker_key, job_id, stage, 0.0, 0.0,
+                     obs::StageSpan(job_id, stage, epoch));
     }
     if (obs::MetricsEnabled()) pmetrics_.speculative_wasted->Increment();
     TryDispatchAll();
@@ -919,11 +969,13 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id, std::size_t stage,
     ++metrics_.jobs_completed;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kJobComplete, now.value(), 0, job_id, 0,
-                     latency.value());
+                     latency.value(), 0.0, obs::JobSpan(job_id),
+                     obs::StageSpan(job_id, stage, epoch));
     }
     if (obs::MetricsEnabled()) {
       pmetrics_.jobs_completed->Increment();
       pmetrics_.job_latency_tu->Observe(latency.value());
+      pmetrics_.job_latency_slo->Observe(latency.value());
     }
     if (options_.record_schedule) {
       metrics_.job_completions.push_back({job_id, now, latency, reward});
@@ -935,10 +987,11 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id, std::size_t stage,
     }
   } else {
     // Release every dependent whose predecessors are now all complete
-    // (exactly "enqueue stage+1" for the linear chain).
+    // (exactly "enqueue stage+1" for the linear chain). The completing
+    // attempt is the causal parent of every release it triggers.
     for (const std::size_t next : policy_.model().dependents(stage)) {
       if (--job.tasks[next].remaining_deps == 0) {
-        EnqueueTask(job_id, next);
+        EnqueueTask(job_id, next, obs::StageSpan(job_id, stage, epoch));
       }
     }
   }

@@ -254,6 +254,11 @@ class Scheduler {
     bool in_backoff = false;
     /// A speculation check was already scheduled for this epoch.
     bool speculated = false;
+    /// Causal parent recorded at the latest enqueue (span.hpp id of the
+    /// predecessor attempt / job / retried attempt that made this task
+    /// ready); read back when the dispatch emits its exec span. Pure
+    /// bookkeeping for the trace — never feeds a decision.
+    std::uint64_t enqueue_parent_span = 0;
   };
 
   struct JobState {
@@ -296,7 +301,13 @@ class Scheduler {
 
   void OnBatchArrival(const workload::ArrivalBatch& batch);
   /// Enqueues one ready stage task of a job onto its stage queue.
-  void EnqueueTask(std::uint64_t job_id, std::size_t stage);
+  /// `parent_span` is the causal origin of the readiness (job span on
+  /// admission, completing predecessor's attempt span on a dependency
+  /// release, the lost attempt's span on a retry, the running attempt's
+  /// span for a speculative copy); recorded on the trace event and kept
+  /// for the eventual exec span.
+  void EnqueueTask(std::uint64_t job_id, std::size_t stage,
+                   std::uint64_t parent_span);
   void TryDispatchAll();
   /// Attempts to dispatch the head of one stage queue; true on success.
   bool TryDispatchHead(std::size_t stage);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
 #include "scan/common/log.hpp"
+#include "scan/obs/span.hpp"
 #include "scan/obs/trace.hpp"
 
 namespace scan::core {
@@ -180,7 +182,7 @@ void Scheduler::OnBatchArrival(const workload::ArrivalBatch& batch) {
     if (obs::MetricsEnabled()) pmetrics_.jobs_arrived->Increment();
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kJobArrival, sim_.Now().value(), 0,
-                     job.id, 0, job.size.value());
+                     job.id, 0, job.size.value(), 0.0, obs::JobSpan(job.id));
     }
     const gatk::PipelineModel& model = policy_.model();
     JobState state;
@@ -198,7 +200,9 @@ void Scheduler::OnBatchArrival(const workload::ArrivalBatch& batch) {
     // Every zero-in-degree stage is ready on arrival (stage 0 alone for
     // the linear chain; all of them for a bag of tasks).
     for (std::size_t stage = 0; stage < model.stage_count(); ++stage) {
-      if (model.deps(stage).empty()) EnqueueTask(job.id, stage);
+      if (model.deps(stage).empty()) {
+        EnqueueTask(job.id, stage, obs::JobSpan(job.id));
+      }
     }
   }
   TryDispatchAll();
@@ -235,7 +239,9 @@ void Scheduler::AuditHire(obs::HireChoice choice, std::size_t stage,
                               ? eval->delay_cost - eval->hire_cost
                               : 0.0;
     obs::TraceEmit(obs::EventKind::kDecision, now,
-                   static_cast<std::uint64_t>(choice), job.id, stage, margin);
+                   static_cast<std::uint64_t>(choice), job.id, stage, margin,
+                   0.0, obs::StageSpan(job.id, stage, job.tasks[stage].epoch),
+                   obs::JobSpan(job.id));
   }
   if (!audit) return;
   obs::HireDecisionRecord rec;
@@ -258,19 +264,32 @@ void Scheduler::AuditHire(obs::HireChoice choice, std::size_t stage,
   obs::DecisionAudit::Global().RecordHire(rec);
 }
 
-void Scheduler::EnqueueTask(std::uint64_t job_id, std::size_t stage) {
+void Scheduler::EnqueueTask(std::uint64_t job_id, std::size_t stage,
+                            std::uint64_t parent_span) {
   JobState& job = jobs_.at(job_id);
   StageTask& task = job.tasks[stage];
   task.enqueued_at = sim_.Now();
+  task.enqueue_parent_span = parent_span;
   queues_[stage].push_back(job_id);
   if (obs::TraceEnabled()) {
+    // A speculative copy (flagged by the caller before this enqueue) gets
+    // the copy-bit attempt span so the duplicate is its own graph node.
+    const bool copy = speculative_queued_.count(TaskKey(job_id, stage)) > 0;
     obs::TraceEmit(obs::EventKind::kQueueEnqueue, task.enqueued_at.value(), 0,
-                   job_id, stage);
+                   job_id, stage, 0.0, 0.0,
+                   obs::StageSpan(job_id, stage, task.epoch, copy),
+                   parent_span);
   }
   if (obs::MetricsEnabled()) pmetrics_.queued_jobs->Add(1.0);
 }
 
 void Scheduler::TryDispatchAll() {
+  // Decision-latency SLO input: wall-clock cost of the dispatch round.
+  // Reading the clock never feeds back into scheduling, and the
+  // metrics-off path pays only the enabled check.
+  const bool timed = obs::MetricsEnabled();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   // Later stages first: draining work in progress before admitting new
   // stage-0 tasks keeps the pipeline flowing under overload (stage-0-first
   // would starve downstream stages and complete nothing).
@@ -285,6 +304,11 @@ void Scheduler::TryDispatchAll() {
     }
   }
   if (verify_candidates_) VerifyCandidateIndex();
+  if (timed) {
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    pmetrics_.decision_latency_slo->Observe(elapsed.count());
+  }
 }
 
 bool Scheduler::TryDispatchHead(std::size_t stage) {
@@ -404,7 +428,9 @@ bool Scheduler::TryDispatchHead(std::size_t stage) {
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kWorkerHire, now.value(), key, job_id,
                    static_cast<std::uint64_t>(tier),
-                   static_cast<double>(threads));
+                   static_cast<double>(threads), 0.0,
+                   obs::StageSpan(job_id, stage, job.tasks[stage].epoch),
+                   obs::JobSpan(job_id));
   }
   queues_[stage].pop_front();
   AssignTask(job_id, stage, workers_.at(key), now + delay.value());
@@ -425,11 +451,14 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   metrics_.stage_queue_wait[stage].Add(wait.value());
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kQueueDequeue, now.value(), 0, job_id,
-                   stage, wait.value());
+                   stage, wait.value(), 0.0,
+                   obs::StageSpan(job_id, stage, task.epoch, speculative),
+                   task.enqueue_parent_span);
   }
   if (obs::MetricsEnabled()) {
     pmetrics_.queued_jobs->Add(-1.0);
     pmetrics_.queue_wait_tu->Observe(wait.value());
+    pmetrics_.queue_wait_sketch->Observe(wait.value());
     pmetrics_.busy_workers->Add(1.0);
   }
 
@@ -456,7 +485,9 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kStageExec, start_time.value(), worker_key,
                    job_id, stage, static_cast<double>(worker.threads),
-                   exec.value());
+                   exec.value(),
+                   obs::StageSpan(job_id, stage, task.epoch, speculative),
+                   task.enqueue_parent_span);
   }
 
   // Fault injection: the assignment may straggle (run slower than its
@@ -470,7 +501,9 @@ void Scheduler::AssignTask(std::uint64_t job_id, std::size_t stage,
     ++metrics_.straggles_injected;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kStraggle, start_time.value(),
-                     worker_key, job_id, stage, fate.straggle_factor);
+                     worker_key, job_id, stage, fate.straggle_factor, 0.0,
+                     obs::StageSpan(job_id, stage, task.epoch, speculative),
+                     obs::JobSpan(job_id));
     }
     if (obs::MetricsEnabled()) pmetrics_.straggles->Increment();
   }
@@ -542,7 +575,9 @@ void Scheduler::OnWorkerFailure(std::uint64_t job_id, std::size_t stage,
   ++metrics_.worker_failures;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kWorkerFailure, now.value(), worker_key,
-                   job_id);
+                   job_id, stage, 0.0, 0.0,
+                   obs::StageSpan(job_id, stage, epoch),
+                   obs::JobSpan(job_id));
   }
   if (obs::MetricsEnabled()) {
     pmetrics_.worker_failures->Increment();
@@ -578,7 +613,9 @@ void Scheduler::OnWorkerFlap(std::uint64_t job_id, std::size_t stage,
   ++metrics_.worker_flaps;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kWorkerFlap, now.value(), worker_key,
-                   job_id);
+                   job_id, stage, 0.0, 0.0,
+                   obs::StageSpan(job_id, stage, epoch),
+                   obs::JobSpan(job_id));
   }
   if (obs::MetricsEnabled()) pmetrics_.worker_flaps->Increment();
   if (health_.enabled() && health_.RecordFlap(worker_key, now)) {
@@ -621,7 +658,9 @@ void Scheduler::HandleTaskLoss(JobState& job, std::size_t stage,
       ++metrics_.checkpoints_saved;
       if (obs::TraceEnabled()) {
         obs::TraceEmit(obs::EventKind::kCheckpoint, now.value(), 0, job.id,
-                       stage, task.stage_done);
+                       stage, task.stage_done, 0.0,
+                       obs::StageSpan(job.id, stage, task.epoch),
+                       obs::JobSpan(job.id));
       }
       if (obs::MetricsEnabled()) pmetrics_.checkpoints_saved->Increment();
     }
@@ -644,16 +683,22 @@ void Scheduler::HandleTaskLoss(JobState& job, std::size_t stage,
     ++metrics_.jobs_abandoned;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kJobAbandoned, now.value(), 0, job.id,
-                     stage, static_cast<double>(job.retries));
+                     stage, static_cast<double>(job.retries), 0.0,
+                     obs::JobSpan(job.id),
+                     obs::StageSpan(job.id, stage, task.epoch - 1));
     }
     if (obs::MetricsEnabled()) pmetrics_.jobs_abandoned->Increment();
     AbandonJob(job.id);
     return;
   }
   ++metrics_.task_retries;
+  // The retry's causal parent is the attempt just lost (epoch was bumped
+  // above, so the lost attempt is epoch - 1).
+  const std::uint64_t lost_span = obs::StageSpan(job.id, stage, task.epoch - 1);
+  const std::uint64_t retry_span = obs::StageSpan(job.id, stage, task.epoch);
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kTaskRetry, now.value(), 0, job.id,
-                   stage);
+                   stage, 0.0, 0.0, retry_span, lost_span);
   }
   if (obs::MetricsEnabled()) pmetrics_.task_retries->Increment();
 
@@ -661,20 +706,21 @@ void Scheduler::HandleTaskLoss(JobState& job, std::size_t stage,
   if (backoff <= SimTime{0.0}) {
     // Immediate requeue in the same event — the legacy path, with no
     // extra calendar entry (keeps disabled-fault runs bit-identical).
-    EnqueueTask(job.id, stage);
+    EnqueueTask(job.id, stage, lost_span);
     return;
   }
   task.in_backoff = true;
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kRetryBackoff, now.value(), 0, job.id,
-                   stage, backoff.value());
+                   stage, backoff.value(), 0.0, retry_span, lost_span);
   }
   const std::uint64_t job_id = job.id;
-  sim_.ScheduleAfter(backoff, [this, job_id, stage](sim::Simulator&) {
+  sim_.ScheduleAfter(backoff, [this, job_id, stage,
+                               lost_span](sim::Simulator&) {
     const auto it = jobs_.find(job_id);
     if (it == jobs_.end()) return;
     it->second.tasks[stage].in_backoff = false;
-    EnqueueTask(job_id, stage);
+    EnqueueTask(job_id, stage, lost_span);
     TryDispatchAll();
   });
 }
@@ -717,12 +763,16 @@ void Scheduler::OnSpeculationCheck(std::uint64_t job_id, std::size_t stage,
   speculative_queued_.insert(TaskKey(job_id, stage));
   ++metrics_.speculative_launches;
   const SimTime now = sim_.Now();
+  // The running original attempt is the copy's causal parent.
+  const std::uint64_t attempt_span = obs::StageSpan(job_id, stage, epoch);
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::EventKind::kSpeculativeLaunch, now.value(),
-                   worker_key, job_id, stage);
+                   worker_key, job_id, stage, 0.0, 0.0,
+                   obs::StageSpan(job_id, stage, epoch, /*copy=*/true),
+                   attempt_span);
   }
   if (obs::MetricsEnabled()) pmetrics_.speculative_launches->Increment();
-  EnqueueTask(job_id, stage);
+  EnqueueTask(job_id, stage, attempt_span);
   TryDispatchAll();
 }
 
@@ -765,7 +815,8 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id, std::size_t stage,
     ++metrics_.speculative_wasted;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kSpeculativeWasted, now.value(),
-                     worker_key, job_id);
+                     worker_key, job_id, stage, 0.0, 0.0,
+                     obs::StageSpan(job_id, stage, epoch));
     }
     if (obs::MetricsEnabled()) pmetrics_.speculative_wasted->Increment();
     TryDispatchAll();
@@ -799,11 +850,13 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id, std::size_t stage,
     ++metrics_.jobs_completed;
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::EventKind::kJobComplete, now.value(), 0, job_id, 0,
-                     latency.value());
+                     latency.value(), 0.0, obs::JobSpan(job_id),
+                     obs::StageSpan(job_id, stage, epoch));
     }
     if (obs::MetricsEnabled()) {
       pmetrics_.jobs_completed->Increment();
       pmetrics_.job_latency_tu->Observe(latency.value());
+      pmetrics_.job_latency_slo->Observe(latency.value());
     }
     if (options_.record_schedule) {
       metrics_.job_completions.push_back({job_id, now, latency, reward});
@@ -819,10 +872,11 @@ void Scheduler::OnTaskComplete(std::uint64_t job_id, std::size_t stage,
   } else {
     // Release every dependent whose predecessors are now all complete.
     // For a linear chain this is exactly "enqueue stage+1" — the legacy
-    // behavior, with the same single EnqueueTask call.
+    // behavior, with the same single EnqueueTask call. The completing
+    // attempt is the causal parent of every release it triggers.
     for (const std::size_t next : policy_.model().dependents(stage)) {
       if (--job.tasks[next].remaining_deps == 0) {
-        EnqueueTask(job_id, next);
+        EnqueueTask(job_id, next, obs::StageSpan(job_id, stage, epoch));
       }
     }
   }

@@ -32,6 +32,12 @@ struct ParityResult {
   std::size_t job_records = 0;
   /// Human-readable differences; empty means bit-for-bit agreement.
   std::vector<std::string> mismatches;
+  /// Per-job critical paths and profile-ledger rows compared (non-zero
+  /// only under SCAN_OBS_FULL=1, which runs both engines with tracing,
+  /// metric sketches, and audit all enabled and derives both artifacts
+  /// from each side's span graph).
+  std::size_t critical_paths_compared = 0;
+  std::size_t ledger_rows_compared = 0;
 
   [[nodiscard]] bool ok() const { return mismatches.empty(); }
   [[nodiscard]] std::string Describe() const;

@@ -8,7 +8,9 @@
 #include "scan/core/scheduler.hpp"
 #include "scan/gatk/pipeline_model.hpp"
 #include "scan/obs/audit.hpp"
+#include "scan/obs/ledger.hpp"
 #include "scan/obs/metrics.hpp"
+#include "scan/obs/span_graph.hpp"
 #include "scan/obs/trace.hpp"
 
 namespace scan::testkit {
@@ -76,6 +78,98 @@ void CompareSchedules(const core::RunMetrics& sim,
   }
 }
 
+/// SCAN_OBS_FULL=1: run both engines with every obs subsystem on (trace
+/// + metric sketches + audit), derive the span-graph critical paths and
+/// the profile ledger from each side's event stream, and require both
+/// artifacts to agree exactly (bitwise for doubles). Subsumes
+/// SCAN_OBS_TRACE and additionally proves the causal layer itself is
+/// engine-independent.
+bool ObsFullEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("SCAN_OBS_FULL");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return enabled;
+}
+
+/// Collected obs artifacts of one engine's run.
+struct ObsArtifacts {
+  obs::SpanGraph graph;
+  obs::ProfileLedger ledger;
+};
+
+ObsArtifacts CollectObsArtifacts() {
+  const std::vector<obs::TraceEvent> events =
+      obs::TraceRecorder::Global().Collect();
+  ObsArtifacts artifacts;
+  artifacts.graph = obs::SpanGraph::Build(events);
+  artifacts.ledger = obs::ProfileLedger::FromEvents(events);
+  return artifacts;
+}
+
+void CompareObsArtifacts(const ObsArtifacts& sim, const ObsArtifacts& live,
+                         ParityResult& result) {
+  const auto& sim_jobs = sim.graph.jobs();
+  const auto& live_jobs = live.graph.jobs();
+  if (sim_jobs.size() != live_jobs.size()) {
+    Note(result.mismatches,
+         "critical paths: sim=" + std::to_string(sim_jobs.size()) +
+             " runtime=" + std::to_string(live_jobs.size()));
+  }
+  const std::size_t n = std::min(sim_jobs.size(), live_jobs.size());
+  result.critical_paths_compared = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const obs::JobCriticalPath& a = sim_jobs[i];
+    const obs::JobCriticalPath& b = live_jobs[i];
+    bool equal = a.job_id == b.job_id && a.arrival_tu == b.arrival_tu &&
+                 a.complete_tu == b.complete_tu &&
+                 a.latency_tu == b.latency_tu &&
+                 a.complete_chain == b.complete_chain &&
+                 a.hops.size() == b.hops.size();
+    for (std::size_t h = 0; equal && h < a.hops.size(); ++h) {
+      const obs::SpanHop& ha = a.hops[h];
+      const obs::SpanHop& hb = b.hops[h];
+      equal = ha.span == hb.span && ha.enqueue_tu == hb.enqueue_tu &&
+              ha.dequeue_tu == hb.dequeue_tu && ha.exec_tu == hb.exec_tu &&
+              ha.end_tu == hb.end_tu;
+    }
+    if (!equal) {
+      Note(result.mismatches,
+           "critical path[" + std::to_string(i) + "] (job " +
+               std::to_string(a.job_id) + "): sim and runtime span-graph "
+               "walks differ");
+    }
+  }
+
+  const auto& sim_rows = sim.ledger.rows();
+  const auto& live_rows = live.ledger.rows();
+  if (sim_rows.size() != live_rows.size()) {
+    Note(result.mismatches,
+         "ledger rows: sim=" + std::to_string(sim_rows.size()) +
+             " runtime=" + std::to_string(live_rows.size()));
+  }
+  const std::size_t m = std::min(sim_rows.size(), live_rows.size());
+  result.ledger_rows_compared = m;
+  for (std::size_t i = 0; i < m; ++i) {
+    const obs::ProfileRow& a = sim_rows[i];
+    const obs::ProfileRow& b = live_rows[i];
+    if (a.stage != b.stage || a.tier != b.tier || a.threads != b.threads ||
+        a.observations != b.observations ||
+        a.total_runtime_tu != b.total_runtime_tu || a.crashes != b.crashes ||
+        a.flaps != b.flaps || a.retries != b.retries ||
+        a.straggles != b.straggles) {
+      std::ostringstream oss;
+      oss << "ledger row[" << i << "]: sim(stage " << a.stage << " "
+          << obs::LedgerTierName(a.tier) << " x" << a.threads << " n="
+          << a.observations << " rt=" << a.total_runtime_tu
+          << ") != runtime(stage " << b.stage << " "
+          << obs::LedgerTierName(b.tier) << " x" << b.threads << " n="
+          << b.observations << " rt=" << b.total_runtime_tu << ")";
+      Note(result.mismatches, oss.str());
+    }
+  }
+}
+
 }  // namespace
 
 std::string ParityResult::Describe() const {
@@ -120,11 +214,34 @@ ParityResult CheckSimRuntimeParity(const core::SimulationConfig& config,
   sim_options.timeline_sample_period = runtime_options.timeline_sample_period;
   sim_options.record_schedule = true;
 
+  // Per-check artifact capture under SCAN_OBS_FULL: each engine runs
+  // against a cleared recorder (quiescent here — no run is in flight)
+  // with trace + metrics + audit all on.
+  const bool obs_full = ObsFullEnabled();
+  if (obs_full) {
+    obs::TraceRecorder::Global().Clear();
+    obs::TraceRecorder::Global().Enable();
+    obs::EnableMetrics();
+    obs::DecisionAudit::Global().Enable();
+  }
+
   core::Scheduler scheduler(config, model, seed, sim_options);
   const core::RunMetrics sim_metrics = scheduler.Run();
 
+  ObsArtifacts sim_artifacts;
+  if (obs_full) {
+    sim_artifacts = CollectObsArtifacts();
+    obs::TraceRecorder::Global().Clear();
+  }
+
   runtime::RuntimePlatform platform(config, model, seed, runtime_options);
   const runtime::RuntimeReport report = platform.Serve();
+
+  ObsArtifacts runtime_artifacts;
+  if (obs_full) {
+    runtime_artifacts = CollectObsArtifacts();
+    obs::TraceRecorder::Global().Clear();
+  }
 
   ParityResult result;
   result.seed = seed;
@@ -134,6 +251,9 @@ ParityResult CheckSimRuntimeParity(const core::SimulationConfig& config,
   result.job_records = sim_metrics.job_completions.size();
 
   CompareSchedules(sim_metrics, report.metrics, result.mismatches);
+  if (obs_full) {
+    CompareObsArtifacts(sim_artifacts, runtime_artifacts, result);
+  }
   if (result.sim_fingerprint.digest != result.runtime_fingerprint.digest) {
     for (std::string& diff :
          result.sim_fingerprint.DiffAgainst(result.runtime_fingerprint)) {

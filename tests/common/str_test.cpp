@@ -86,5 +86,35 @@ TEST(StrTest, StrFormat) {
   EXPECT_EQ(StrFormat("plain"), "plain");
 }
 
+// Regression for the trace exporters: any string placed inside a JSON
+// string literal must come out parseable, whatever bytes it carries.
+TEST(StrTest, EscapeJsonPassesPlainTextThrough) {
+  EXPECT_EQ(EscapeJson("job-complete_42"), "job-complete_42");
+  EXPECT_EQ(EscapeJson(""), "");
+}
+
+TEST(StrTest, EscapeJsonEscapesQuotesAndBackslashes) {
+  EXPECT_EQ(EscapeJson("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeJson("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeJson("\\\""), "\\\\\\\"");
+}
+
+TEST(StrTest, EscapeJsonEscapesNamedControls) {
+  EXPECT_EQ(EscapeJson("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeJson("\t\r\b\f"), "\\t\\r\\b\\f");
+}
+
+TEST(StrTest, EscapeJsonHexEscapesOtherControls) {
+  EXPECT_EQ(EscapeJson(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  // NUL inside a sized view is a control character, not a terminator.
+  EXPECT_EQ(EscapeJson(std::string_view("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(StrTest, EscapeJsonLeavesUtf8Intact) {
+  // Multi-byte sequences are >= 0x80 per byte and must pass unmodified.
+  EXPECT_EQ(EscapeJson("génétié"), "génétié");
+  EXPECT_EQ(EscapeJson("αβγ"), "αβγ");
+}
+
 }  // namespace
 }  // namespace scan

@@ -1,0 +1,165 @@
+// The observability -> knowledge-base bridge: a traced (chaos-injected)
+// run is aggregated into the profile ledger, ingested as
+// scan:StageProfile triples through TripleStore::AddBatch, frozen into
+// the serving index, and read back via SPARQL — the full round trip the
+// paper's knowledge-expansion loop performs with hand-profiled
+// individuals, now fed from measured spans.
+
+#include "scan/kb/ledger_ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "scan/core/scheduler.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/kb/knowledge_base.hpp"
+#include "scan/obs/ledger.hpp"
+#include "scan/obs/trace.hpp"
+
+namespace scan::kb {
+namespace {
+
+class LedgerKbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceRecorder::Global().Disable();
+    obs::TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    obs::TraceRecorder::Global().Disable();
+    obs::TraceRecorder::Global().Clear();
+  }
+
+  /// Traced chaos run: crashes, straggles, flaps, retries, speculation
+  /// all active so the ledger's fault columns are exercised.
+  obs::ProfileLedger RunAndAggregate(std::uint64_t seed) {
+    core::SimulationConfig config;
+    config.duration = SimTime{400.0};
+    config.scaling = core::ScalingAlgorithm::kPredictive;
+    config.worker_failure_rate = 0.004;
+    config.fault.straggle_rate = 0.08;
+    config.fault.flap_rate = 0.004;
+    config.fault.max_retries_per_job = 4;
+    config.fault.backoff_base = SimTime{0.5};
+    config.fault.speculation_slowdown = 2.0;
+
+    obs::TraceRecorder::Global().Enable();
+    core::Scheduler scheduler(config, gatk::PipelineModel::PaperGatk(), seed);
+    (void)scheduler.Run();
+    obs::TraceRecorder::Global().Disable();
+    return obs::ProfileLedger::FromEvents(
+        obs::TraceRecorder::Global().Collect());
+  }
+};
+
+TEST_F(LedgerKbTest, LedgerAggregatesChaosRun) {
+  const obs::ProfileLedger ledger = RunAndAggregate(4242);
+  ASSERT_FALSE(ledger.rows().empty());
+  std::uint64_t total_faults = 0;
+  for (const obs::ProfileRow& row : ledger.rows()) {
+    EXPECT_GT(row.observations, 0u);
+    EXPECT_GT(row.total_runtime_tu, 0.0);
+    EXPECT_GT(row.mean_runtime_tu(), 0.0);
+    EXPECT_NE(row.tier, obs::kLedgerTierUnknown);
+    EXPECT_GT(row.threads, 0);
+    total_faults += row.crashes + row.flaps + row.retries + row.straggles;
+  }
+  // The chaos knobs must have produced attributable faults.
+  EXPECT_GT(total_faults, 0u);
+}
+
+TEST_F(LedgerKbTest, TriplesRoundTripThroughFreezeAndSparql) {
+  const obs::ProfileLedger ledger = RunAndAggregate(4242);
+  ASSERT_FALSE(ledger.rows().empty());
+
+  KnowledgeBase kb;
+  const std::size_t added = IngestLedger(kb.mutable_store(), ledger);
+  EXPECT_EQ(added, ledger.rows().size() * 11);  // 11 triples per row
+
+  // Serve from the frozen planner-driven index, as production queries do.
+  (void)kb.Freeze();
+  ASSERT_TRUE(kb.FrozenFresh());
+
+  // Every ledger row must come back as a StageProfile solution with its
+  // stage/threads/mean-runtime intact.
+  const auto rs = kb.Query(
+      KnowledgeBase::QueryPrefixes() +
+      "SELECT ?p ?stage ?threads ?etime WHERE { "
+      "?p a scan:StageProfile . ?p scan:stage ?stage . "
+      "?p scan:threads ?threads . ?p scan:eTime ?etime . }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), ledger.rows().size());
+
+  // Cross-check one concrete row end to end: pick the first ledger row
+  // and find its solution by the deterministic individual name.
+  const obs::ProfileRow& first = ledger.rows().front();
+  const auto one = kb.Query(
+      KnowledgeBase::QueryPrefixes() +
+      "SELECT ?etime ?obs ?crashes WHERE { "
+      "scan:profile_s" + std::to_string(first.stage) + "_" +
+      obs::LedgerTierName(first.tier) + "_t" +
+      std::to_string(first.threads) +
+      " scan:eTime ?etime ; scan:observations ?obs ; "
+      "scan:crashes ?crashes . }");
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_EQ(one->rows.size(), 1u);
+}
+
+TEST_F(LedgerKbTest, FaultColumnsAreQueryable) {
+  const obs::ProfileLedger ledger = RunAndAggregate(4242);
+  KnowledgeBase kb;
+  (void)IngestLedger(kb.mutable_store(), ledger);
+  (void)kb.Freeze();
+
+  // "Which (stage, tier, threads) configurations ever lost an attempt?"
+  // — the question the planner asks when avoiding flaky configurations.
+  const auto rs = kb.Query(
+      KnowledgeBase::QueryPrefixes() +
+      "SELECT ?p ?retries WHERE { "
+      "?p a scan:StageProfile . ?p scan:retries ?retries . "
+      "FILTER(?retries >= 1) }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  std::size_t rows_with_retries = 0;
+  for (const obs::ProfileRow& row : ledger.rows()) {
+    if (row.retries >= 1) ++rows_with_retries;
+  }
+  EXPECT_EQ(rs->rows.size(), rows_with_retries);
+  EXPECT_GT(rows_with_retries, 0u);
+}
+
+TEST_F(LedgerKbTest, IngestIsIdempotentAcrossIdenticalLedgers) {
+  // AddBatch deduplicates: ingesting the same ledger twice must not
+  // change the store (the rows map to identical triples).
+  const obs::ProfileLedger ledger = RunAndAggregate(7);
+  KnowledgeBase kb;
+  (void)IngestLedger(kb.mutable_store(), ledger);
+  const std::size_t size_after_first = kb.store().size();
+  (void)IngestLedger(kb.mutable_store(), ledger);
+  EXPECT_EQ(kb.store().size(), size_after_first);
+}
+
+TEST_F(LedgerKbTest, PrefixSeparatesIngestGenerations) {
+  const obs::ProfileLedger ledger = RunAndAggregate(7);
+  KnowledgeBase kb;
+  (void)IngestLedger(kb.mutable_store(), ledger, "run1_s");
+  (void)IngestLedger(kb.mutable_store(), ledger, "run2_s");
+  (void)kb.Freeze();
+  const auto rs = kb.Query(
+      KnowledgeBase::QueryPrefixes() +
+      "SELECT ?p WHERE { ?p a scan:StageProfile . }");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), ledger.rows().size() * 2);
+}
+
+TEST_F(LedgerKbTest, EmptyLedgerIngestsNothing) {
+  KnowledgeBase kb;
+  const std::size_t before = kb.store().size();
+  EXPECT_EQ(IngestLedger(kb.mutable_store(), obs::ProfileLedger{}), 0u);
+  EXPECT_EQ(kb.store().size(), before);
+}
+
+}  // namespace
+}  // namespace scan::kb

@@ -1,0 +1,201 @@
+#include "scan/obs/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace scan::obs {
+namespace {
+
+/// Exact order statistic with the sketch's rank convention
+/// (1-based rank = max(1, ceil(q * n))).
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  const std::size_t rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(q * n)));
+  return values[rank - 1];
+}
+
+TEST(QuantileSketchTest, EmptySketchReportsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+}
+
+TEST(QuantileSketchTest, RejectsInvalidAccuracy) {
+  EXPECT_THROW(QuantileSketch(0.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(1.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(-0.5), std::invalid_argument);
+}
+
+/// The DDSketch contract: every reported quantile is within the relative
+/// accuracy of the exact order statistic — across several decades of
+/// magnitude, where fixed-bucket histograms lose all resolution.
+TEST(QuantileSketchTest, RelativeErrorBoundAgainstExactQuantiles) {
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  std::mt19937_64 rng(1234);
+  std::lognormal_distribution<double> dist(0.0, 2.5);  // ~4 decades
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist(rng);
+    values.push_back(v);
+    sketch.Observe(v);
+  }
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99,
+                         0.999}) {
+    const double exact = ExactQuantile(values, q);
+    const double approx = sketch.Quantile(q);
+    EXPECT_LE(std::fabs(approx - exact), alpha * exact * 1.0000001)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(QuantileSketchTest, NonPositiveValuesLandInZeroBucket) {
+  QuantileSketch sketch;
+  sketch.Observe(0.0);
+  sketch.Observe(-5.0);
+  sketch.Observe(10.0);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.1), 0.0);
+  EXPECT_NEAR(sketch.Quantile(0.99), 10.0, 0.2);
+}
+
+/// Merging is exact bucket addition, so quantiles are bitwise identical
+/// regardless of how the observations were partitioned or in which
+/// order the partial sketches were merged.
+TEST(QuantileSketchTest, MergeIsAssociativeAndOrderIndependent) {
+  std::mt19937_64 rng(99);
+  std::exponential_distribution<double> dist(0.1);
+  std::vector<double> values;
+  for (int i = 0; i < 9000; ++i) values.push_back(dist(rng));
+
+  QuantileSketch whole;
+  for (const double v : values) whole.Observe(v);
+
+  QuantileSketch a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Observe(values[i]);
+  }
+
+  // (a + b) + c
+  QuantileSketch left;
+  left.Merge(a);
+  left.Merge(b);
+  left.Merge(c);
+  // c + (b + a)
+  QuantileSketch right;
+  right.Merge(c);
+  right.Merge(b);
+  right.Merge(a);
+
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double lq = left.Quantile(q);
+    EXPECT_EQ(lq, right.Quantile(q)) << "q=" << q;
+    EXPECT_EQ(lq, whole.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(right.count(), whole.count());
+}
+
+TEST(QuantileSketchTest, MergeRejectsAccuracyMismatch) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.02);
+  b.Observe(1.0);
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketchTest, SelfMergeDoublesCounts) {
+  QuantileSketch sketch;
+  sketch.Observe(1.0);
+  sketch.Observe(100.0);
+  const double before = sketch.Quantile(0.5);
+  sketch.Merge(sketch);
+  EXPECT_EQ(sketch.count(), 4u);
+  EXPECT_EQ(sketch.Quantile(0.5), before);
+}
+
+TEST(QuantileSketchTest, ResetClearsEverything) {
+  QuantileSketch sketch;
+  sketch.Observe(3.0);
+  sketch.Reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.9), 0.0);
+}
+
+TEST(SloTest, ClassifiesAndFeedsSketch) {
+  QuantileSketch sketch;
+  Slo slo(SloSpec{0.95, 10.0, 0.05}, sketch);
+  for (int i = 0; i < 98; ++i) slo.Observe(1.0);
+  slo.Observe(50.0);
+  slo.Observe(60.0);
+  EXPECT_EQ(slo.good(), 98u);
+  EXPECT_EQ(slo.breached(), 2u);
+  EXPECT_EQ(sketch.count(), 100u);  // one Observe feeds both
+  // 2% breach rate against a 5% budget: 40% burned.
+  EXPECT_NEAR(slo.BudgetBurn(), 0.4, 1e-12);
+  // p95 of 98x1.0 + 2 large values is ~1.0 <= 10.0.
+  EXPECT_TRUE(slo.Met());
+}
+
+TEST(SloTest, BreachedObjectiveReportsUnmet) {
+  QuantileSketch sketch;
+  Slo slo(SloSpec{0.5, 1.0, 0.1}, sketch);
+  for (int i = 0; i < 10; ++i) slo.Observe(100.0);
+  EXPECT_FALSE(slo.Met());
+  EXPECT_GT(slo.BudgetBurn(), 1.0);  // budget exhausted
+}
+
+/// Prometheus exposition golden: structure is load-bearing (scrapers
+/// parse it), so the exact line sequence is pinned.
+TEST(SketchPrometheusTest, SummaryBlockGolden) {
+  QuantileSketch sketch;
+  for (int i = 1; i <= 100; ++i) sketch.Observe(static_cast<double>(i));
+  const std::string block =
+      SketchPrometheusBlock("scan_demo_sketch", "demo", sketch);
+
+  // Structural lines, in order.
+  EXPECT_NE(block.find("# HELP scan_demo_sketch demo\n"), std::string::npos);
+  EXPECT_NE(block.find("# TYPE scan_demo_sketch summary\n"),
+            std::string::npos);
+  EXPECT_NE(block.find("scan_demo_sketch{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(block.find("scan_demo_sketch{quantile=\"0.95\"} "),
+            std::string::npos);
+  EXPECT_NE(block.find("scan_demo_sketch{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(block.find("scan_demo_sketch_sum 5050\n"), std::string::npos);
+  EXPECT_NE(block.find("scan_demo_sketch_count 100\n"), std::string::npos);
+  // TYPE precedes the samples; samples precede _sum; _sum precedes _count.
+  EXPECT_LT(block.find("# TYPE"), block.find("{quantile"));
+  EXPECT_LT(block.find("{quantile"), block.find("_sum "));
+  EXPECT_LT(block.find("_sum "), block.find("_count "));
+}
+
+TEST(SketchPrometheusTest, SloBlockGolden) {
+  QuantileSketch sketch;
+  Slo slo(SloSpec{0.99, 500.0, 0.01}, sketch);
+  for (int i = 0; i < 9; ++i) slo.Observe(10.0);
+  slo.Observe(900.0);
+  const std::string block = SloPrometheusBlock("scan_demo_slo", "demo", slo);
+  EXPECT_NE(block.find("# TYPE scan_demo_slo_good_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(block.find("scan_demo_slo_good_total 9\n"), std::string::npos);
+  EXPECT_NE(block.find("scan_demo_slo_breach_total 1\n"), std::string::npos);
+  EXPECT_NE(block.find("scan_demo_slo_objective 500\n"), std::string::npos);
+  EXPECT_NE(block.find("# TYPE scan_demo_slo_budget_burn gauge\n"),
+            std::string::npos);
+  // 10% breaches on a 1% budget: burn = 10.
+  EXPECT_NE(block.find("scan_demo_slo_budget_burn 10\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scan::obs

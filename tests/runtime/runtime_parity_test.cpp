@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "scan/gatk/pipeline_model.hpp"
@@ -51,6 +52,14 @@ TEST_P(SimRuntimeParity, VirtualClockRunMatchesSimulatorBitForBit) {
   EXPECT_TRUE(result.ok()) << result.Describe();
   EXPECT_GT(result.stage_records, 0u) << "run dispatched nothing";
   EXPECT_GT(result.job_records, 0u) << "run completed nothing";
+  // Under SCAN_OBS_FULL=1 the oracle additionally derives and compares
+  // the span-graph critical paths and the profile ledger of both
+  // engines; make sure that comparison actually engaged.
+  const char* obs_full = std::getenv("SCAN_OBS_FULL");
+  if (obs_full != nullptr && obs_full[0] != '\0' && obs_full[0] != '0') {
+    EXPECT_EQ(result.critical_paths_compared, result.job_records);
+    EXPECT_GT(result.ledger_rows_compared, 0u);
+  }
 }
 
 using core::AllocationAlgorithm;
