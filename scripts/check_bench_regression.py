@@ -20,16 +20,38 @@ import sys
 
 
 def load_rows(path, key):
-    with open(path) as fh:
-        rows = json.load(fh)
+    try:
+        with open(path) as fh:
+            rows = json.load(fh)
+    except FileNotFoundError:
+        sys.exit(f"error: {path}: no such file (did the bench run with "
+                 f"--json={path}, and is the baseline committed?)")
+    except OSError as err:
+        sys.exit(f"error: {path}: cannot read: {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: {path}: not valid JSON (line {err.lineno}, "
+                 f"column {err.colno}): {err.msg}")
     if not isinstance(rows, list):
-        sys.exit(f"{path}: expected a JSON array of rows")
+        sys.exit(f"error: {path}: expected a JSON array of row objects, "
+                 f"got {type(rows).__name__}")
     indexed = {}
-    for row in rows:
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            sys.exit(f"error: {path}: row {i} is {type(row).__name__}, "
+                     f"expected an object")
         if key not in row:
-            sys.exit(f"{path}: row missing key column '{key}': {row}")
+            sys.exit(f"error: {path}: row {i} has no key column '{key}' "
+                     f"(columns: {', '.join(sorted(row))})")
         indexed[row[key]] = row
     return indexed
+
+
+def numeric(path, name, metric, value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        sys.exit(f"error: {path}: row '{name}': metric '{metric}' is not "
+                 f"numeric: {value!r}")
 
 
 def main():
@@ -53,11 +75,19 @@ def main():
             failures.append(f"{name}: missing from current run")
             continue
         for metric in args.metric:
-            if metric not in base_row or metric not in cur_row:
-                failures.append(f"{name}: metric '{metric}' missing")
+            missing = [
+                label for label, row in (("baseline", base_row),
+                                         ("current", cur_row))
+                if metric not in row
+            ]
+            if missing:
+                failures.append(
+                    f"{name}: metric '{metric}' missing from "
+                    f"{' and '.join(missing)} (columns: "
+                    f"{', '.join(sorted(set(base_row) | set(cur_row)))})")
                 continue
-            base = float(base_row[metric])
-            cur = float(cur_row[metric])
+            base = numeric(args.baseline, name, metric, base_row[metric])
+            cur = numeric(args.current, name, metric, cur_row[metric])
             floor = base * (1.0 - args.tolerance)
             verdict = "OK" if cur >= floor else "REGRESSED"
             print(f"{name:24s} {metric:14s} baseline={base:14.2f} "

@@ -66,6 +66,30 @@ struct HireDecisionRecord {
   double rework_factor = 1.0;
 };
 
+/// What the serving front end did with one tenant job submission.
+enum class AdmissionOutcome : std::uint8_t {
+  kAdmitted = 0,  ///< accepted into the tenant's FIFO queue
+  kShed,          ///< rejected: the tenant's bounded queue was full
+  kReleased,      ///< dequeued and handed to the platform by the dispatcher
+};
+
+[[nodiscard]] const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
+/// One admission-control event at the multi-tenant front end. Queue depth
+/// and in-flight are the tenant's values *after* the event took effect.
+struct AdmissionRecord {
+  double time_tu = 0.0;
+  std::uint64_t tenant_id = 0;
+  std::uint64_t job_id = 0;
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+  std::size_t queue_depth = 0;
+  std::size_t in_flight = 0;
+  double size_du = 0.0;
+  /// Worker-TU budget the tenant has left in the current quota epoch;
+  /// +inf when the tenant has no budget quota.
+  double budget_remaining_tu = 0.0;
+};
+
 /// One thread-allocation decision (job admission).
 struct PlanDecisionRecord {
   double time_tu = 0.0;
@@ -99,12 +123,15 @@ class DecisionAudit {
 
   void RecordHire(const HireDecisionRecord& record);
   void RecordPlan(PlanDecisionRecord record);
+  void RecordAdmission(const AdmissionRecord& record);
 
   [[nodiscard]] std::vector<HireDecisionRecord> hires() const;
   [[nodiscard]] std::vector<PlanDecisionRecord> plans() const;
+  [[nodiscard]] std::vector<AdmissionRecord> admissions() const;
 
   /// One JSON object per line; hire records carry "type":"hire", plan
-  /// records "type":"plan". NaN cost fields are emitted as null.
+  /// records "type":"plan", admission records "type":"admission". NaN
+  /// cost fields are emitted as null.
   bool ExportJsonl(const std::string& path) const;
 
  private:

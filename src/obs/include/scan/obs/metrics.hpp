@@ -194,6 +194,32 @@ struct PlatformMetrics {
   [[nodiscard]] static PlatformMetrics Resolve();
 };
 
+/// Serving-front-end instruments (scan::serve::ServeFrontend): admission
+/// flow counters, backlog gauges, and the batched hire-vs-wait decision
+/// latency objective. Per-tenant queue-depth gauges are registered
+/// dynamically as `scan_serve_tenant_queue_depth_<id>` (see
+/// TenantQueueGauge) since the tenant set is per-deployment.
+struct ServeMetrics {
+  Counter* jobs_submitted = nullptr;  ///< arrivals offered by all tenants
+  Counter* jobs_admitted = nullptr;   ///< accepted into a tenant queue
+  Counter* jobs_shed = nullptr;       ///< rejected: bounded queue full
+  Counter* jobs_released = nullptr;   ///< handed to the platform by DRR
+  Counter* jobs_completed = nullptr;  ///< outcomes reported back
+  Counter* decision_rounds = nullptr; ///< DRR release rounds run
+  Counter* pricing_evaluations = nullptr;  ///< batched hire-vs-wait prices
+  Gauge* queued_jobs = nullptr;       ///< backlog across all tenant queues
+  Gauge* in_flight_jobs = nullptr;    ///< released, not yet retired
+  /// Wall microseconds per DRR release round (the amortized §III decision
+  /// cost) and its p99 objective.
+  QuantileSketch* decision_micros = nullptr;
+  Slo* decision_slo = nullptr;
+
+  [[nodiscard]] static ServeMetrics Resolve();
+};
+
+/// The dynamically-named per-tenant backlog gauge.
+[[nodiscard]] Gauge& TenantQueueGauge(std::uint64_t tenant_id);
+
 /// Execution-substrate instruments (ThreadPool / CompletionQueue), shared
 /// process-wide and resolved lazily on first touch.
 struct PoolMetrics {

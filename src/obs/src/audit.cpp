@@ -24,10 +24,23 @@ const char* HireChoiceName(HireChoice choice) {
   return "?";
 }
 
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kShed:
+      return "shed";
+    case AdmissionOutcome::kReleased:
+      return "released";
+  }
+  return "?";
+}
+
 struct DecisionAudit::Impl {
   mutable std::mutex mutex;
   std::vector<HireDecisionRecord> hires;
   std::vector<PlanDecisionRecord> plans;
+  std::vector<AdmissionRecord> admissions;
 };
 
 DecisionAudit& DecisionAudit::Global() {
@@ -45,6 +58,7 @@ void DecisionAudit::Clear() {
   const std::scoped_lock lock(im.mutex);
   im.hires.clear();
   im.plans.clear();
+  im.admissions.clear();
 }
 
 void DecisionAudit::RecordHire(const HireDecisionRecord& record) {
@@ -59,6 +73,12 @@ void DecisionAudit::RecordPlan(PlanDecisionRecord record) {
   im.plans.push_back(std::move(record));
 }
 
+void DecisionAudit::RecordAdmission(const AdmissionRecord& record) {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  im.admissions.push_back(record);
+}
+
 std::vector<HireDecisionRecord> DecisionAudit::hires() const {
   Impl& im = impl();
   const std::scoped_lock lock(im.mutex);
@@ -69,6 +89,12 @@ std::vector<PlanDecisionRecord> DecisionAudit::plans() const {
   Impl& im = impl();
   const std::scoped_lock lock(im.mutex);
   return im.plans;
+}
+
+std::vector<AdmissionRecord> DecisionAudit::admissions() const {
+  Impl& im = impl();
+  const std::scoped_lock lock(im.mutex);
+  return im.admissions;
 }
 
 namespace {
@@ -117,6 +143,19 @@ bool DecisionAudit::ExportJsonl(const std::string& path) const {
         << StrFormat("%.17g", r.predicted_exec_tu)
         << ",\"predicted_reward\":"
         << StrFormat("%.17g", r.predicted_reward) << "}\n";
+  }
+  for (const AdmissionRecord& r : im.admissions) {
+    out << "{\"type\":\"admission\",\"t\":" << StrFormat("%.17g", r.time_tu)
+        << ",\"tenant\":" << r.tenant_id << ",\"job\":" << r.job_id
+        << ",\"outcome\":\"" << AdmissionOutcomeName(r.outcome)
+        << "\",\"queue_depth\":" << r.queue_depth
+        << ",\"in_flight\":" << r.in_flight
+        << ",\"size_du\":" << StrFormat("%.17g", r.size_du)
+        << ",\"budget_remaining_tu\":"
+        << (std::isinf(r.budget_remaining_tu)
+                ? std::string("null")
+                : StrFormat("%.17g", r.budget_remaining_tu))
+        << "}\n";
   }
   return out.good();
 }

@@ -366,6 +366,46 @@ PlatformMetrics PlatformMetrics::Resolve() {
   return m;
 }
 
+ServeMetrics ServeMetrics::Resolve() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  ServeMetrics m;
+  m.jobs_submitted = &reg.GetCounter("scan_serve_jobs_submitted_total",
+                                     "Jobs offered by all tenants");
+  m.jobs_admitted = &reg.GetCounter("scan_serve_jobs_admitted_total",
+                                    "Submissions accepted into a tenant queue");
+  m.jobs_shed = &reg.GetCounter("scan_serve_jobs_shed_total",
+                                "Submissions rejected (bounded queue full)");
+  m.jobs_released = &reg.GetCounter(
+      "scan_serve_jobs_released_total",
+      "Jobs handed to the platform by the weighted-fair dispatcher");
+  m.jobs_completed = &reg.GetCounter("scan_serve_jobs_completed_total",
+                                     "Job outcomes reported back to tenants");
+  m.decision_rounds = &reg.GetCounter("scan_serve_decision_rounds_total",
+                                      "DRR release rounds run");
+  m.pricing_evaluations =
+      &reg.GetCounter("scan_serve_pricing_evaluations_total",
+                      "Batched hire-vs-wait evaluations (one per tenant "
+                      "per loaded round)");
+  m.queued_jobs = &reg.GetGauge("scan_serve_queued_jobs",
+                                "Backlog across all tenant queues");
+  m.in_flight_jobs = &reg.GetGauge("scan_serve_in_flight_jobs",
+                                   "Released jobs not yet retired");
+  m.decision_micros = &reg.GetSketch(
+      "scan_serve_decision_micros",
+      "Wall-clock DRR release-round latency quantiles (microseconds)");
+  m.decision_slo = &reg.GetSlo(
+      "scan_serve_decision_slo",
+      "Objective: p99 serve decision round <= 250us, 1% error budget",
+      SloSpec{0.99, 250.0, 0.01}, *m.decision_micros);
+  return m;
+}
+
+Gauge& TenantQueueGauge(std::uint64_t tenant_id) {
+  return MetricsRegistry::Global().GetGauge(
+      "scan_serve_tenant_queue_depth_" + std::to_string(tenant_id),
+      "Queued jobs for one tenant");
+}
+
 PoolMetrics& PoolMetrics::Global() {
   static PoolMetrics* metrics = [] {
     MetricsRegistry& reg = MetricsRegistry::Global();

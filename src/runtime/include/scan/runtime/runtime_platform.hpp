@@ -51,6 +51,7 @@
 #include "scan/obs/metrics.hpp"
 #include "scan/runtime/clock.hpp"
 #include "scan/runtime/completion_queue.hpp"
+#include "scan/runtime/ingest.hpp"
 #include "scan/runtime/live_worker.hpp"
 #include "scan/workload/arrivals.hpp"
 #include "scan/workload/trace.hpp"
@@ -71,6 +72,11 @@ struct RuntimeOptions {
   std::optional<double> allocation_price_hint;
   /// Replay this recorded workload instead of the synthetic arrivals.
   std::optional<workload::JobTrace> trace;
+  /// Streaming ingest source (not owned; must outlive the platform).
+  /// When set it replaces both the synthetic generator and `trace`: the
+  /// platform pulls batches one at a time and reports every job outcome
+  /// back, so a front end can meter admission against completions.
+  IngestSource* ingest = nullptr;
   /// Record the parity payload (RunMetrics::stage_schedule et al.).
   bool record_schedule = false;
   /// When positive, sample a TimelinePoint every this many TU.
@@ -232,6 +238,17 @@ class RuntimePlatform {
     return (job_id << 8) | static_cast<std::uint64_t>(stage);
   }
   void OnBatchArrival(const workload::ArrivalBatch& batch);
+  /// The per-job admission body of OnBatchArrival, without the trailing
+  /// dispatch round (outcome-released jobs are admitted mid-event).
+  void AdmitJobs(const std::vector<workload::Job>& jobs);
+  /// Streaming arrivals: pulls the next batch (generator, trace, or
+  /// ingest source) and schedules its arrival event — one batch in the
+  /// calendar at a time, so long-serving runs hold O(1) arrival state.
+  void PumpArrivals();
+  /// Reports a retired job to the ingest source and admits whatever the
+  /// source releases into the freed capacity. No-op without a source.
+  void NotifyOutcome(std::uint64_t job_id, bool completed, SimTime now,
+                     SimTime latency, DataSize size, double reward);
   void EnqueueTask(std::uint64_t job_id, std::size_t stage,
                    std::uint64_t parent_span);
   void TryDispatchAll();
@@ -285,6 +302,10 @@ class RuntimePlatform {
   core::SchedulingPolicy policy_;  ///< shared decision core (also in sim)
   cloud::CloudManager cloud_;
   workload::ArrivalGenerator arrivals_;
+  /// Trace replay batches + cursor (options_.trace only; the trace is
+  /// already materialized, so streaming it costs nothing extra).
+  std::vector<workload::ArrivalBatch> trace_batches_;
+  std::size_t next_trace_batch_ = 0;
 
   std::vector<std::deque<std::uint64_t>> queues_;  ///< job ids per stage
   std::unordered_map<std::uint64_t, JobState> jobs_;

@@ -86,16 +86,15 @@ RuntimeReport RuntimePlatform::Serve() {
   }
   const auto wall_start = std::chrono::steady_clock::now();
 
-  // Admission/ingest: pre-generate the whole arrival schedule (or replay a
-  // recorded trace), mirroring Scheduler::Run so the arrival process is
-  // independent of scheduling decisions.
-  const std::vector<workload::ArrivalBatch> batches =
-      options_.trace ? options_.trace->ToBatches()
-                     : arrivals_.GenerateUntil(config_.duration);
-  for (const workload::ArrivalBatch& batch : batches) {
-    if (batch.time > config_.duration) continue;
-    ScheduleAt(batch.time, [this, batch] { OnBatchArrival(batch); });
+  // Admission/ingest: batches are pulled one at a time (generator, trace
+  // cursor, or a streaming IngestSource), mirroring Scheduler::Run. The
+  // synthetic generator draws from its own RNG streams, so lazy pulls
+  // reproduce exactly the schedule the old pre-generated path built —
+  // without materializing the whole horizon up front.
+  if (options_.trace && options_.ingest == nullptr) {
+    trace_batches_ = options_.trace->ToBatches();
   }
+  PumpArrivals();
   if (config_.scaling == core::ScalingAlgorithm::kLearnedBandit) {
     SchedulePeriodic(config_.bandit_epoch, [this] { BanditEpoch(); });
   }
@@ -263,8 +262,73 @@ void RuntimePlatform::DrainInFlight() {
 // decision sequences from the shared SchedulingPolicy.
 // ---------------------------------------------------------------------------
 
+void RuntimePlatform::PumpArrivals() {
+  if (options_.ingest != nullptr) {
+    const std::optional<SimTime> next = options_.ingest->NextEventTime();
+    if (!next || *next > config_.duration) return;
+    ScheduleAt(*next, [this] {
+      const std::vector<workload::Job> jobs = options_.ingest->PullDue(Now());
+      AdmitJobs(jobs);
+      // Re-ask only after the pull: the source's next instant may depend
+      // on what was just consumed (its lookahead batch, quota epochs).
+      PumpArrivals();
+      TryDispatchAll();
+    });
+    return;
+  }
+  std::optional<workload::ArrivalBatch> batch;
+  if (options_.trace) {
+    while (next_trace_batch_ < trace_batches_.size()) {
+      workload::ArrivalBatch& candidate = trace_batches_[next_trace_batch_++];
+      if (candidate.time > config_.duration) continue;  // the old skip
+      batch = std::move(candidate);
+      break;
+    }
+  } else {
+    workload::ArrivalBatch drawn = arrivals_.NextBatch();
+    // The batch straddling the horizon is dropped exactly as
+    // GenerateUntil dropped it (same draws consumed, so the schedule is
+    // bit-identical to the pre-generated path); a batch at exactly the
+    // horizon is kept and fires (RunVirtual/RunWall fire events with
+    // when <= horizon).
+    if (drawn.time <= config_.duration) batch = std::move(drawn);
+  }
+  if (!batch) return;
+  // The next arrival is scheduled before the batch is processed, so its
+  // sequence number predates any completion event the batch triggers —
+  // the same relative order the pre-generated schedule had.
+  ScheduleAt(batch->time, [this, b = std::move(*batch)] {
+    PumpArrivals();
+    OnBatchArrival(b);
+  });
+}
+
+void RuntimePlatform::NotifyOutcome(std::uint64_t job_id, bool completed,
+                                    SimTime now, SimTime latency,
+                                    DataSize size, double reward) {
+  if (options_.ingest == nullptr) return;
+  JobOutcome outcome;
+  outcome.job_id = job_id;
+  outcome.completed = completed;
+  outcome.finished_at = now;
+  outcome.latency = latency;
+  outcome.size = size;
+  outcome.reward = reward;
+  const std::vector<workload::Job> released =
+      options_.ingest->OnJobOutcome(outcome);
+  // Released jobs are admitted mid-event; the caller's trailing
+  // TryDispatchAll places them in the same dispatch round that freed the
+  // capacity.
+  if (!released.empty()) AdmitJobs(released);
+}
+
 void RuntimePlatform::OnBatchArrival(const workload::ArrivalBatch& batch) {
-  for (const workload::Job& job : batch.jobs) {
+  AdmitJobs(batch.jobs);
+  TryDispatchAll();
+}
+
+void RuntimePlatform::AdmitJobs(const std::vector<workload::Job>& jobs) {
+  for (const workload::Job& job : jobs) {
     ++metrics_.jobs_arrived;
     if (obs::MetricsEnabled()) pmetrics_.jobs_arrived->Increment();
     if (obs::TraceEnabled()) {
@@ -867,7 +931,11 @@ void RuntimePlatform::AbandonJob(std::uint64_t job_id) {
       }
     }
   }
+  const auto it = jobs_.find(job_id);
+  const DataSize job_size = it != jobs_.end() ? it->second.size : DataSize{0.0};
   jobs_.erase(job_id);
+  NotifyOutcome(job_id, /*completed=*/false, Now(), SimTime{0.0}, job_size,
+                0.0);
 }
 
 void RuntimePlatform::OnSpeculationCheck(std::uint64_t job_id,
@@ -980,11 +1048,13 @@ void RuntimePlatform::OnTaskComplete(std::uint64_t job_id, std::size_t stage,
     if (options_.record_schedule) {
       metrics_.job_completions.push_back({job_id, now, latency, reward});
     }
+    const DataSize job_size = job.size;
     jobs_.erase(job_id);
 
     if (policy_.NoteCompletion()) {
       policy_.ReplanFromBill(cloud_.CostUpTo(now));
     }
+    NotifyOutcome(job_id, /*completed=*/true, now, latency, job_size, reward);
   } else {
     // Release every dependent whose predecessors are now all complete
     // (exactly "enqueue stage+1" for the linear chain). The completing

@@ -299,6 +299,12 @@ class Scheduler {
   /// utilization into the run metrics.
   void RecordWorkerUtilization(const WorkerBook& worker, SimTime now);
 
+  /// Pulls the next arrival batch (trace cursor or synthetic generator)
+  /// and schedules it; each fired batch pulls its successor, so the
+  /// horizon is never materialized up front. The generator draws from its
+  /// own RNG streams in the same order the eager path did, so schedules
+  /// are bit-identical.
+  void PumpArrivals();
   void OnBatchArrival(const workload::ArrivalBatch& batch);
   /// Enqueues one ready stage task of a job onto its stage queue.
   /// `parent_span` is the causal origin of the readiness (job span on
@@ -403,6 +409,11 @@ class Scheduler {
   cloud::CloudManager cloud_;
   workload::ArrivalGenerator arrivals_;
   sim::Simulator sim_;
+
+  /// Trace replay batches + cursor (options_.trace only; the trace is
+  /// already materialized, so streaming it costs nothing extra).
+  std::vector<workload::ArrivalBatch> trace_batches_;
+  std::size_t next_trace_batch_ = 0;
 
   std::vector<std::deque<std::uint64_t>> queues_;  ///< job ids per stage
   std::unordered_map<std::uint64_t, JobState> jobs_;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 
 #include "scan/common/log.hpp"
@@ -134,18 +135,13 @@ RunMetrics Scheduler::Run() {
     });
   }
 
-  // Pre-generate the arrival schedule for the whole horizon so the arrival
-  // process is independent of scheduling decisions. A recorded trace, when
-  // provided, replaces the synthetic generator.
-  const std::vector<workload::ArrivalBatch> batches =
-      options_.trace ? options_.trace->ToBatches()
-                     : arrivals_.GenerateUntil(config_.duration);
-  for (const workload::ArrivalBatch& batch : batches) {
-    if (batch.time > config_.duration) continue;
-    sim_.ScheduleAt(batch.time, [this, batch](sim::Simulator&) {
-      OnBatchArrival(batch);
-    });
-  }
+  // Admission: batches are pulled one at a time (trace cursor or synthetic
+  // generator) instead of materializing the whole horizon up front. The
+  // arrival process stays independent of scheduling decisions — the
+  // generator draws from its own RNG streams, so lazy pulls reproduce
+  // exactly the schedule the old pre-generated path built.
+  if (options_.trace) trace_batches_ = options_.trace->ToBatches();
+  PumpArrivals();
 
   if (config_.scaling == ScalingAlgorithm::kLearnedBandit) {
     sim_.SchedulePeriodic(config_.bandit_epoch,
@@ -174,6 +170,33 @@ RunMetrics Scheduler::Run() {
   metrics_.cost_report = cloud_.CostUpTo(config_.duration);
   metrics_.total_cost = metrics_.cost_report.total.value();
   return metrics_;
+}
+
+void Scheduler::PumpArrivals() {
+  std::optional<workload::ArrivalBatch> batch;
+  if (options_.trace) {
+    while (next_trace_batch_ < trace_batches_.size()) {
+      workload::ArrivalBatch& candidate = trace_batches_[next_trace_batch_++];
+      if (candidate.time > config_.duration) continue;  // the old skip
+      batch = std::move(candidate);
+      break;
+    }
+  } else {
+    workload::ArrivalBatch drawn = arrivals_.NextBatch();
+    // The batch straddling the horizon is dropped exactly as GenerateUntil
+    // dropped it (same draws consumed, so the schedule is bit-identical to
+    // the pre-generated path); a batch at exactly the horizon is kept and
+    // fires (RunUntil fires events with when <= horizon).
+    if (drawn.time <= config_.duration) batch = std::move(drawn);
+  }
+  if (!batch) return;
+  // The next arrival is scheduled before the batch is processed, so its
+  // sequence number predates any completion event the batch triggers —
+  // the same relative order the pre-generated schedule had.
+  sim_.ScheduleAt(batch->time, [this, b = std::move(*batch)](sim::Simulator&) {
+    PumpArrivals();
+    OnBatchArrival(b);
+  });
 }
 
 void Scheduler::OnBatchArrival(const workload::ArrivalBatch& batch) {

@@ -1,0 +1,73 @@
+#pragma once
+
+// One-call multi-tenant serving episode: wire a ServeFrontend into a
+// RuntimePlatform, serve for config.duration, and fold both sides into a
+// single ServeReport. The report's Digest() covers only modeled-time
+// state, so two runs with the same seed compare bit-for-bit even though
+// wall-clock decision latencies differ.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/core/config.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/runtime/runtime_platform.hpp"
+#include "scan/serve/frontend.hpp"
+#include "scan/serve/tenant.hpp"
+
+namespace scan::serve {
+
+/// One tenant's slice of the episode.
+struct TenantReport {
+  std::uint64_t id = 0;
+  std::string name;
+  double weight = 1.0;
+  /// Quota terms echoed from the spec so oracles can check the peaks.
+  std::size_t max_queue_depth = 0;
+  std::size_t max_in_flight = 0;
+  TenantStats stats;
+};
+
+/// Everything one serving episode produced.
+struct ServeReport {
+  std::vector<TenantReport> tenants;
+  runtime::RuntimeReport runtime;  ///< the platform's own report
+
+  // Front-end aggregates (deterministic).
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_shed = 0;
+  std::uint64_t jobs_released = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t decision_rounds = 0;
+  std::uint64_t pricing_evaluations = 0;
+  std::uint64_t priced_holds = 0;
+  std::uint64_t quota_violations = 0;                ///< must be 0
+  std::uint64_t work_conservation_violations = 0;    ///< must be 0
+  std::size_t peak_global_in_flight = 0;
+
+  // Wall-clock measurements (excluded from the digest).
+  double decision_p50_us = 0.0;
+  double decision_p99_us = 0.0;
+  std::uint64_t decision_samples = 0;
+
+  /// Deterministic episode digest: the front end's ledger digest mixed
+  /// with the platform's modeled outcome totals.
+  std::uint64_t digest = 0;
+};
+
+/// Runs one serving episode. `runtime_options.ingest` is overwritten;
+/// every other runtime knob (clock mode, exec threads, ...) is honored.
+[[nodiscard]] ServeReport RunMultiTenantServe(
+    const core::SimulationConfig& config, const gatk::PipelineModel& model,
+    std::vector<TenantSpec> tenants, std::uint64_t seed,
+    ServeOptions serve_options = {},
+    runtime::RuntimeOptions runtime_options = {});
+
+/// Paper-GATK convenience overload.
+[[nodiscard]] ServeReport RunMultiTenantServe(
+    const core::SimulationConfig& config, std::vector<TenantSpec> tenants,
+    std::uint64_t seed, ServeOptions serve_options = {},
+    runtime::RuntimeOptions runtime_options = {});
+
+}  // namespace scan::serve

@@ -1,0 +1,50 @@
+#pragma once
+
+// Multi-tenant serving oracle: the invariants one ServeReport must
+// satisfy, and the replay check that pins a serving episode to its seed.
+//
+// Invariants checked (each failure is a named mismatch string):
+//  - Conservation of jobs: submitted = shed + released + still queued,
+//    and released = completed + abandoned + still in flight, per tenant.
+//  - Quotas never exceeded: the front end counted zero violations, every
+//    tenant's peak in-flight respects its max, the global peak respects
+//    the cap, and no tenant queue ever grew past its bound.
+//  - Work conservation: no release round ended with free capacity AND an
+//    eligible backlogged tenant.
+//  - Starvation-freedom: every tenant that had work admitted got some of
+//    it released (a flash crowd on one tenant cannot freeze out another).
+//  - Deterministic replay: two episodes from the same seed produce equal
+//    digests (CheckServeReplay).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scan/core/config.hpp"
+#include "scan/gatk/pipeline_model.hpp"
+#include "scan/serve/serve.hpp"
+
+namespace scan::testkit {
+
+/// Outcome of checking one ServeReport against the tenancy invariants.
+struct TenancyCheck {
+  std::vector<std::string> mismatches;
+  [[nodiscard]] bool ok() const { return mismatches.empty(); }
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// Validates the serving invariants on a finished episode.
+/// `queued_at_end` / `in_flight_at_end` come from the frontend when the
+/// caller still has it (RunMultiTenantServe drains neither); pass the
+/// frontend's queued_total() and in_flight_total() — or use the
+/// report-only overload, which checks the weaker per-tenant inequalities.
+[[nodiscard]] TenancyCheck CheckServeInvariants(const serve::ServeReport& report);
+
+/// Runs the same serving episode twice and compares digests; any
+/// difference (and any invariant failure on either run) is a mismatch.
+[[nodiscard]] TenancyCheck CheckServeReplay(
+    const core::SimulationConfig& config, const gatk::PipelineModel& model,
+    std::vector<serve::TenantSpec> tenants, std::uint64_t seed,
+    serve::ServeOptions serve_options = {});
+
+}  // namespace scan::testkit

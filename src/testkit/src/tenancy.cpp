@@ -1,0 +1,117 @@
+#include "scan/testkit/tenancy.hpp"
+
+#include <utility>
+
+#include "scan/common/str.hpp"
+
+namespace scan::testkit {
+
+std::string TenancyCheck::Describe() const {
+  if (ok()) return "tenancy: all invariants hold\n";
+  std::string out = "tenancy: invariant violations\n";
+  for (const std::string& m : mismatches) out += "  " + m + "\n";
+  return out;
+}
+
+TenancyCheck CheckServeInvariants(const serve::ServeReport& report) {
+  TenancyCheck check;
+  const auto fail = [&check](std::string msg) {
+    check.mismatches.push_back(std::move(msg));
+  };
+
+  if (report.quota_violations != 0) {
+    fail(StrFormat("front end counted %llu quota violations",
+                   static_cast<unsigned long long>(report.quota_violations)));
+  }
+  if (report.work_conservation_violations != 0) {
+    fail(StrFormat(
+        "front end counted %llu work-conservation violations",
+        static_cast<unsigned long long>(report.work_conservation_violations)));
+  }
+
+  std::uint64_t any_released = 0;
+  for (const serve::TenantReport& t : report.tenants) {
+    // Conservation: what a tenant offered either bounced, left for the
+    // platform, or is still queued; what left either finished, was
+    // abandoned, or is still in flight. Without end-of-run queue depths
+    // these are inequalities.
+    if (t.stats.shed + t.stats.released > t.stats.submitted) {
+      fail(StrFormat("tenant %llu: shed %llu + released %llu > submitted %llu",
+                     static_cast<unsigned long long>(t.id),
+                     static_cast<unsigned long long>(t.stats.shed),
+                     static_cast<unsigned long long>(t.stats.released),
+                     static_cast<unsigned long long>(t.stats.submitted)));
+    }
+    if (t.stats.completed + t.stats.abandoned > t.stats.released) {
+      fail(StrFormat(
+          "tenant %llu: completed %llu + abandoned %llu > released %llu",
+          static_cast<unsigned long long>(t.id),
+          static_cast<unsigned long long>(t.stats.completed),
+          static_cast<unsigned long long>(t.stats.abandoned),
+          static_cast<unsigned long long>(t.stats.released)));
+    }
+    any_released += t.stats.released;
+  }
+
+  for (const serve::TenantReport& t : report.tenants) {
+    if (t.stats.peak_in_flight > t.max_in_flight) {
+      fail(StrFormat("tenant %llu: peak in-flight %llu exceeds quota %llu",
+                     static_cast<unsigned long long>(t.id),
+                     static_cast<unsigned long long>(t.stats.peak_in_flight),
+                     static_cast<unsigned long long>(t.max_in_flight)));
+    }
+    if (t.stats.peak_queue_depth > t.max_queue_depth) {
+      fail(StrFormat("tenant %llu: peak queue depth %llu exceeds bound %llu",
+                     static_cast<unsigned long long>(t.id),
+                     static_cast<unsigned long long>(t.stats.peak_queue_depth),
+                     static_cast<unsigned long long>(t.max_queue_depth)));
+    }
+    // Starvation-freedom: a tenant with admitted work (not everything
+    // shed) must have gotten releases — unless nothing was released at
+    // all (platform never had capacity, e.g. zero-duration run).
+    const std::uint64_t admitted = t.stats.submitted - t.stats.shed;
+    if (admitted > 0 && t.stats.released == 0 && any_released > 0) {
+      fail(StrFormat(
+          "tenant %llu starved: %llu admitted, 0 released while other "
+          "tenants progressed",
+          static_cast<unsigned long long>(t.id),
+          static_cast<unsigned long long>(admitted)));
+    }
+  }
+
+  if (report.peak_global_in_flight > 0 && report.jobs_released == 0) {
+    fail("peak in-flight positive with zero releases");
+  }
+  return check;
+}
+
+TenancyCheck CheckServeReplay(const core::SimulationConfig& config,
+                              const gatk::PipelineModel& model,
+                              std::vector<serve::TenantSpec> tenants,
+                              std::uint64_t seed,
+                              serve::ServeOptions serve_options) {
+  const serve::ServeReport first =
+      serve::RunMultiTenantServe(config, model, tenants, seed, serve_options);
+  const serve::ServeReport second = serve::RunMultiTenantServe(
+      config, model, std::move(tenants), seed, serve_options);
+
+  TenancyCheck check = CheckServeInvariants(first);
+  const TenancyCheck second_check = CheckServeInvariants(second);
+  check.mismatches.insert(check.mismatches.end(),
+                          second_check.mismatches.begin(),
+                          second_check.mismatches.end());
+  if (first.digest != second.digest) {
+    check.mismatches.push_back(StrFormat(
+        "replay diverged: digest 0x%016llx != 0x%016llx",
+        static_cast<unsigned long long>(first.digest),
+        static_cast<unsigned long long>(second.digest)));
+  }
+  if (first.jobs_submitted != second.jobs_submitted ||
+      first.jobs_released != second.jobs_released ||
+      first.jobs_completed != second.jobs_completed) {
+    check.mismatches.push_back("replay diverged: job flow counters differ");
+  }
+  return check;
+}
+
+}  // namespace scan::testkit
